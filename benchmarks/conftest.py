@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure benchmark renders its result table to stdout and to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, table: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print(f"\n{table}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")

@@ -1,0 +1,49 @@
+"""Ablations of CRDT Paxos design choices (see repro.bench.ablations)."""
+
+from conftest import publish
+
+from repro.bench.ablations import render_ablations, run_ablations
+
+
+def test_ablations(benchmark):
+    rows = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    publish("ablations", render_ablations(rows))
+    by_name = {row.name: row for row in rows}
+
+    base = by_name["base protocol"]
+    assert base.fast_path_share is not None and base.fast_path_share > 0.3
+
+    # Disabling the consistent-quorum fast path forces every learn
+    # through the vote phase, which concurrent readers keep invalidating:
+    # even at one eighth of the load the variant is crippled (§3.5's
+    # "concurrent proposers can block each other indefinitely").
+    no_fast = by_name["no fast path (4 clients)"]
+    assert (no_fast.fast_path_share or 0.0) == 0.0
+    assert no_fast.throughput < 0.25 * base.throughput
+    if no_fast.mean_read_rts is not None and base.mean_read_rts is not None:
+        assert no_fast.mean_read_rts > 2 * base.mean_read_rts
+
+    # Dropping the payload from PREPAREs slows convergence: reads need at
+    # least as many round trips on average.
+    bare_prepare = by_name["no state in PREPARE"]
+    assert bare_prepare.mean_read_rts is not None
+    assert bare_prepare.mean_read_rts >= base.mean_read_rts * 0.95
+
+    # Delta MERGEs shrink the update traffic.
+    delta = by_name["delta MERGE"]
+    assert delta.merge_bytes_mean is not None
+    assert base.merge_bytes_mean is not None
+    assert delta.merge_bytes_mean < base.merge_bytes_mean
+
+    # GLA-Stability bookkeeping is essentially free.
+    gla_stab = by_name["GLA-stability"]
+    assert gla_stab.throughput > 0.5 * base.throughput
+
+    # Wider batch windows trade latency for fewer conflicts: the 20 ms
+    # batch must show a higher update p95 than the 1 ms batch.
+    assert by_name["batching 20 ms"].update_p95_ms is not None
+    assert by_name["batching 1 ms"].update_p95_ms is not None
+    assert (
+        by_name["batching 20 ms"].update_p95_ms
+        > by_name["batching 1 ms"].update_p95_ms
+    )

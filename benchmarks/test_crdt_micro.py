@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the CRDT substrate and protocol primitives.
+
+These are classic pytest-benchmark measurements (many iterations of a
+small operation) covering the inner loops every experiment leans on:
+merge/compare of the counter used in all figures, the bigger OR-Set
+payloads, and one full protocol step of the acceptor.
+"""
+
+from repro.core.acceptor import Acceptor
+from repro.core.messages import Merge, Prepare
+from repro.core.rounds import Round, RoundIdGenerator
+from repro.crdt.gcounter import GCounter, Increment
+from repro.crdt.orset import ORSet, ORSetAdd
+
+
+def build_gcounter(slots: int = 3, value: int = 1000) -> GCounter:
+    return GCounter.of({f"r{i}": value + i for i in range(slots)})
+
+
+def build_orset(elements: int = 100) -> ORSet:
+    state = ORSet.initial()
+    for i in range(elements):
+        state = state.with_add(f"item-{i}", f"r{i % 3}")
+    return state
+
+
+def test_gcounter_merge(benchmark):
+    a = build_gcounter(value=1000)
+    b = build_gcounter(value=2000)
+    result = benchmark(a.merge, b)
+    assert result.value() >= a.value()
+
+
+def test_gcounter_compare(benchmark):
+    a = build_gcounter(value=1000)
+    b = a.merge(build_gcounter(value=2000))
+    assert benchmark(a.compare, b)
+
+
+def test_gcounter_increment(benchmark):
+    state = build_gcounter()
+    op = Increment()
+    result = benchmark(op.apply, state, "r0")
+    assert result.slot("r0") == state.slot("r0") + 1
+
+
+def test_orset_merge(benchmark):
+    a = build_orset(100)
+    b = build_orset(100).with_add("extra", "r1")
+    result = benchmark(a.merge, b)
+    assert "extra" in result
+
+
+def test_orset_add(benchmark):
+    state = build_orset(100)
+    op = ORSetAdd("new-item")
+    result = benchmark(op.apply, state, "r2")
+    assert "new-item" in result
+
+
+def test_acceptor_merge_step(benchmark):
+    acceptor = Acceptor(build_gcounter())
+    message = Merge(request_id="m", state=build_gcounter(value=5000))
+    benchmark(acceptor.handle_merge, message)
+
+
+def test_acceptor_prepare_step(benchmark):
+    acceptor = Acceptor(build_gcounter())
+    generator = RoundIdGenerator(0)
+
+    def prepare_once():
+        message = Prepare(
+            request_id="q",
+            attempt=1,
+            round=Round.incremental(generator.fresh()),
+        )
+        return acceptor.handle_prepare(message)
+
+    reply = benchmark(prepare_once)
+    assert reply is not None

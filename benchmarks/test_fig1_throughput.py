@@ -1,0 +1,56 @@
+"""Figure 1: throughput vs. clients for five read/update mixes.
+
+Regenerates all five panels (100/95/90/50/0 % reads × four systems) and
+asserts the paper's qualitative claims:
+
+* CRDT Paxos with batching leads the read-heavy mixed panels at the
+  higher client counts;
+* unbatched CRDT Paxos degrades with client count under mixed load
+  (read/update interference, §4.1);
+* Raft's throughput is roughly mix-independent (reads go through the
+  log);
+* Multi-Paxos profits from reads (leases) but not from updates;
+* conflict-free mixes (100 %/0 % reads) far outrun the contended 50 %
+  mix for unbatched CRDT Paxos.
+"""
+
+from conftest import publish
+
+from repro.bench.fig1 import render_fig1, run_fig1, throughput_of
+
+
+def test_fig1_throughput(benchmark):
+    cells = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    publish("fig1_throughput", render_fig1(cells))
+
+    clients = sorted({cell.clients for cell in cells})
+    low, mid, high = clients[0], clients[len(clients) // 2], clients[-1]
+
+    # Batched CRDT Paxos leads read-heavy mixed panels at scale.
+    for read_pct in (95, 90):
+        batched = throughput_of(cells, "crdt-paxos-batching", read_pct, high)
+        assert batched > throughput_of(cells, "raft", read_pct, high)
+        assert batched > throughput_of(cells, "multi-paxos", read_pct, high)
+
+    # Unbatched CRDT Paxos degrades under contention as clients grow.
+    assert throughput_of(cells, "crdt-paxos", 90, high) < throughput_of(
+        cells, "crdt-paxos", 90, mid
+    )
+
+    # Raft is roughly flat across mixes (same log path for reads/updates).
+    raft = [throughput_of(cells, "raft", pct, mid) for pct in (100, 95, 90, 50, 0)]
+    assert max(raft) / min(raft) < 2.0
+
+    # Multi-Paxos: read-heavy beats update-only (leases vs. log writes).
+    assert throughput_of(cells, "multi-paxos", 95, mid) > throughput_of(
+        cells, "multi-paxos", 0, mid
+    )
+
+    # Conflict-free mixes far outrun the contended 50 % mix (paper: about
+    # an order of magnitude at scale; we require a clear multiple).
+    contended = throughput_of(cells, "crdt-paxos", 50, high)
+    assert throughput_of(cells, "crdt-paxos", 100, high) > 2.5 * contended
+    assert throughput_of(cells, "crdt-paxos", 0, high) > 2.5 * contended
+
+    # Every cell produced a live measurement.
+    assert all(cell.throughput > 0 for cell in cells if cell.clients >= low)

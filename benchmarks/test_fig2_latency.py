@@ -1,0 +1,51 @@
+"""Figure 2: 95th-percentile read/update latency at 10 % updates.
+
+Asserts the paper's observations:
+
+* update latency of CRDT Paxos stays low and flat (single round trip,
+  no synchronization) while the system is unsaturated;
+* its read tail exceeds its update tail (a fraction of reads retries
+  after conflicting with updates);
+* batching adds roughly its window to both paths at low concurrency but
+  keeps the read tail bounded under load.
+"""
+
+from conftest import publish
+
+from repro.bench.calibration import BATCH_WINDOW
+from repro.bench.fig2 import cell_of, render_fig2, run_fig2
+
+
+def test_fig2_latency(benchmark):
+    cells = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    publish("fig2_latency", render_fig2(cells))
+
+    clients = sorted({cell.clients for cell in cells})
+    low, high = clients[0], clients[-1]
+
+    # Unbatched CRDT Paxos: reads retry sometimes, updates never do.
+    unbatched = cell_of(cells, "crdt-paxos", high)
+    assert unbatched.update_p95_ms is not None
+    assert unbatched.read_p95_ms is not None
+    assert unbatched.read_p95_ms >= unbatched.update_p95_ms
+
+    # Updates stay within a small multiple of the one-round-trip floor
+    # while the cluster is far from saturation.
+    floor_ms = 2 * 0.4  # two 400 µs legs
+    low_load = cell_of(cells, "crdt-paxos", low)
+    assert low_load.update_p95_ms is not None
+    assert low_load.update_p95_ms < 6 * floor_ms
+
+    # Batching pays its window at low concurrency...
+    batched_low = cell_of(cells, "crdt-paxos-batching", low)
+    assert batched_low.update_p95_ms is not None
+    assert batched_low.update_p95_ms >= BATCH_WINDOW * 1e3 * 0.8
+    # ...but keeps the read tail bounded under load (conflicts removed).
+    batched_high = cell_of(cells, "crdt-paxos-batching", high)
+    assert batched_high.read_p95_ms is not None
+    assert batched_high.read_p95_ms < 4 * BATCH_WINDOW * 1e3
+
+    # Every protocol produced latencies at every point.
+    for cell in cells:
+        assert cell.read_p95_ms is not None
+        assert cell.update_p95_ms is not None

@@ -1,0 +1,45 @@
+"""Figure 3: CDF of round trips needed to process reads.
+
+Checks the paper's headline claim directly: with 5 ms batching, "more
+than 97 % of reads can be processed within two round trips" — and that
+without batching the distribution has the long retry tail the figure's
+top panel shows.
+"""
+
+from conftest import publish
+
+from repro.bench.fig3 import curve_of, render_fig3, run_fig3
+
+
+def test_fig3_round_trips(benchmark):
+    curves = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    publish("fig3_roundtrips", render_fig3(curves))
+
+    clients = sorted({curve.clients for curve in curves})
+    high = clients[-1]
+
+    # The headline claim (§1, §4.1): >97 % of reads within two round
+    # trips under batching, even at the highest contention level run.
+    for n in clients:
+        batched = curve_of(curves, batching=True, clients=n)
+        assert batched.reads > 100
+        assert batched.pct_within(2) > 97.0
+
+    # Without batching, contention stretches the tail: strictly worse
+    # 2-RT coverage, and some reads need many retries at high client
+    # counts (the paper's x-axis reaches 14).
+    unbatched = curve_of(curves, batching=False, clients=high)
+    batched = curve_of(curves, batching=True, clients=high)
+    assert unbatched.pct_within(2) < batched.pct_within(2)
+    assert unbatched.pct_within(2) < 90.0
+    assert unbatched.pct_within(6) < 100.0  # a real tail exists
+
+    # CDFs are monotone.  Batched curves saturate at ~100 % within the
+    # plotted range; the unbatched high-contention curve may still have a
+    # small tail beyond 15 round trips (the paper's top panel likewise
+    # asymptotes below 100 within its 14-RT axis).
+    for curve in curves:
+        assert list(curve.cumulative_pct) == sorted(curve.cumulative_pct)
+        assert curve.cumulative_pct[-1] >= 85.0
+        if curve.batching:
+            assert curve.cumulative_pct[-1] >= 99.0

@@ -1,0 +1,34 @@
+"""Message-size overhead: CRDT Paxos vs. the original GLA protocol.
+
+The quantitative form of the paper's §5/§6 argument for excluding
+Falerio et al.'s protocol from the throughput evaluation: its proposals
+carry an ever-growing command set, while CRDT Paxos messages are bounded
+by the CRDT payload plus one round.
+"""
+
+from conftest import publish
+
+from repro.bench.overhead import render_overhead, run_overhead
+
+
+def test_message_overhead_growth(benchmark):
+    points = benchmark.pedantic(
+        run_overhead,
+        kwargs={"segments": 6, "updates_per_segment": 50},
+        rounds=1,
+        iterations=1,
+    )
+    publish("message_overhead", render_overhead(points))
+
+    crdt = [p.mean_bytes for p in points if p.protocol == "crdt-paxos"]
+    gla = [p.mean_bytes for p in points if p.protocol == "gla"]
+
+    # CRDT Paxos: bounded by the payload (3 slots) — flat after warm-up.
+    assert max(crdt[1:]) / min(crdt[1:]) < 1.1
+
+    # GLA: grows monotonically, severalfold over the run.
+    assert all(later > earlier for earlier, later in zip(gla, gla[1:]))
+    assert gla[-1] / gla[1] > 2.0
+
+    # And the absolute gap is stark by the end.
+    assert gla[-1] > 20 * crdt[-1]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Continuous availability through a replica crash (the Figure 4 story).
+
+Leader-based systems go dark during leader failover: no commands commit
+until a new leader is elected.  CRDT Paxos has no leader, so killing a
+replica leaves the service available as long as a quorum survives — only
+clients pinned to the dead replica pay a one-off failover timeout.
+
+This example runs the deterministic simulator (so it finishes instantly
+regardless of the simulated minute of traffic) and prints a side-by-side
+availability timeline for CRDT Paxos and Raft with the same crash.
+
+Run:  python examples/failure_resilience.py
+"""
+
+from repro.bench.calibration import paper_latency, paper_service_model
+from repro.runtime.failures import FailureSchedule
+from repro.workload.runner import run_workload
+from repro.workload.spec import WorkloadSpec
+
+DURATION = 20.0
+CRASH_AT = 8.0
+WINDOW = 1.0
+
+
+def timeline(protocol: str) -> list[tuple[float, int]]:
+    """Completed requests per second around the crash."""
+    spec = WorkloadSpec(
+        n_clients=24,
+        read_ratio=0.9,
+        duration=DURATION,
+        warmup=2.0,
+        client_timeout=0.4,
+    )
+    schedule = FailureSchedule().crash(CRASH_AT, "r2")
+    result = run_workload(
+        protocol,
+        spec,
+        seed=7,
+        latency=paper_latency(),
+        service_model=paper_service_model(),
+        failure_schedule=schedule,
+    )
+    buckets: dict[int, int] = {}
+    for record in result.records:
+        buckets[int(record.completed_at // WINDOW)] = (
+            buckets.get(int(record.completed_at // WINDOW), 0) + 1
+        )
+    return [
+        (second * WINDOW, buckets.get(second, 0))
+        for second in range(int(DURATION / WINDOW))
+    ]
+
+
+def main() -> None:
+    print(f"replica r2 crashes at t={CRASH_AT:.0f}s; 24 clients, 90% reads\n")
+    crdt = dict(timeline("crdt-paxos"))
+    raft = dict(timeline("raft"))
+    print(f"{'t':>4}  {'crdt-paxos req/s':>18}  {'raft req/s':>12}")
+    for second in sorted(crdt):
+        marker = "  <- crash" if second == CRASH_AT else ""
+        print(f"{second:4.0f}  {crdt[second]:18d}  {raft[second]:12d}{marker}")
+
+    # The leaderless protocol keeps serving through the crash window; it
+    # never has a zero-throughput second after warm-up.
+    after_warmup = [count for second, count in crdt.items() if second >= 2.0]
+    assert all(count > 0 for count in after_warmup), "availability gap!"
+    print("\nCRDT Paxos served requests in every second — no failover gap.")
+
+
+if __name__ == "__main__":
+    main()

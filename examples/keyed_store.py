@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A fine-granular keyed CRDT store — the Scalaris deployment shape.
+
+The paper's implementation lives inside a key-value store: every key is
+an independent replicated CRDT with its own protocol instance, so
+contention is per key, not per store ("linearizable access on CRDT data
+on a fine-granular scale", §1).
+
+This example runs a 3-replica keyed store holding heterogeneous values —
+page-view G-Counters and a tag OR-Set — under concurrent writers, then
+takes linearizable per-key readings.
+
+Run:  python examples/keyed_store.py
+"""
+
+import asyncio
+
+from repro.core.keyspace import Keyed, KeyedCrdtReplica
+from repro.core.messages import ClientQuery, ClientUpdate
+from repro.crdt import (
+    GCounter,
+    GCounterValue,
+    Increment,
+    ORSet,
+    ORSetAdd,
+    ORSetElements,
+)
+from repro.runtime.asyncio_cluster import AsyncioCluster
+
+
+def initial_state_for(key: str):
+    """All replicas agree on each key's CRDT type by naming convention."""
+    if key.startswith("tags:"):
+        return ORSet.initial()
+    return GCounter.initial()
+
+
+class KeyedClient:
+    """Thin wrapper translating per-key calls into Keyed envelopes."""
+
+    def __init__(self, cluster: AsyncioCluster, name: str) -> None:
+        self._client = cluster.client(name)
+        self._cluster = cluster
+        self._counter = 0
+
+    async def update(self, replica: str, key: str, op) -> None:
+        self._counter += 1
+        message = Keyed(
+            key=key,
+            message=ClientUpdate(request_id=f"{key}#{self._counter}", op=op),
+        )
+        reply = await self._request(replica, message)
+        assert reply.key == key
+
+    async def query(self, replica: str, key: str, op):
+        self._counter += 1
+        message = Keyed(
+            key=key,
+            message=ClientQuery(request_id=f"{key}#{self._counter}", op=op),
+        )
+        reply = await self._request(replica, message)
+        return reply.message.result
+
+    async def _request(self, replica: str, message: Keyed):
+        # Keyed delegates request_id to its inner message, so the asyncio
+        # client's request/reply correlation works unchanged.
+        return await self._client.request(replica, message)
+
+
+async def main() -> None:
+    cluster = AsyncioCluster(
+        lambda nid, peers: KeyedCrdtReplica(nid, peers, initial_state_for),
+        n_replicas=3,
+    )
+    async with cluster:
+        writers = [KeyedClient(cluster, f"w{i}") for i in range(3)]
+
+        async def traffic(writer: KeyedClient, index: int) -> None:
+            replica = cluster.addresses[index % 3]
+            for i in range(10):
+                await writer.update(replica, f"views:page{i % 3}", Increment())
+            await writer.update(replica, "tags:global", ORSetAdd(f"tag-{index}"))
+
+        await asyncio.gather(
+            *(traffic(writer, index) for index, writer in enumerate(writers))
+        )
+
+        reader = KeyedClient(cluster, "reader")
+        total = 0
+        for page in range(3):
+            count = await reader.query(
+                "r1", f"views:page{page}", GCounterValue()
+            )
+            print(f"views:page{page} = {count}")
+            total += count
+        tags = await reader.query("r2", "tags:global", ORSetElements())
+        print(f"tags:global  = {sorted(tags)}")
+
+        assert total == 30
+        assert sorted(tags) == ["tag-0", "tag-1", "tag-2"]
+        print("\nall per-key reads linearizable; keys never synchronized "
+              "with each other")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

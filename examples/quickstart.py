@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: a linearizable replicated G-Counter in ~40 lines.
+
+Three replicas run the CRDT Paxos protocol in-process on asyncio.  Updates
+complete in a single round trip without any leader; the read afterwards is
+linearizable — it is guaranteed to include every increment that completed
+before it was issued, no matter which replica serves it.
+
+Run:  python examples/quickstart.py
+"""
+
+import asyncio
+
+from repro.core import ClientQuery, ClientUpdate, CrdtPaxosReplica
+from repro.crdt import GCounter, GCounterValue, Increment
+from repro.runtime.asyncio_cluster import AsyncioCluster
+
+
+async def main() -> None:
+    cluster = AsyncioCluster(
+        lambda node_id, peers: CrdtPaxosReplica(node_id, peers, GCounter.initial()),
+        n_replicas=3,
+    )
+    async with cluster:
+        client = cluster.client("quickstart")
+
+        # Ten increments, spread over all three replicas — no leader, any
+        # replica accepts updates directly.
+        for i in range(10):
+            replica = cluster.addresses[i % 3]
+            await client.request(
+                replica, ClientUpdate(request_id=f"u{i}", op=Increment())
+            )
+            print(f"increment #{i + 1} acknowledged by {replica}")
+
+        # A linearizable read from yet another replica must see all ten.
+        reply = await client.request(
+            "r1", ClientQuery(request_id="q1", op=GCounterValue())
+        )
+        print(
+            f"\nlinearizable read: counter = {reply.result} "
+            f"(learned via {reply.learned_via!r} in {reply.round_trips} "
+            f"round trip(s))"
+        )
+        assert reply.result == 10
+
+        # Peek at the protocol's entire coordination state: one round per
+        # replica.  No log anywhere.
+        for address in cluster.addresses:
+            node = cluster.node(address)
+            print(
+                f"{address}: payload={node.state.as_dict()} "
+                f"round={node.acceptor.round}"
+            )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The modern PEP 517 editable path requires the ``wheel`` package, which is
+not available in offline environments; this shim lets ``pip install -e .``
+fall back to the classic setuptools develop install.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Baseline replication protocols the paper compares against.
+
+* :mod:`repro.baselines.multipaxos` — leader-based Multi-Paxos with a
+  command log and leader read leases (the riak_ensemble role in §4).
+* :mod:`repro.baselines.raft` — Raft with randomized elections; *both*
+  updates and consistent reads are appended to the log (the rabbitmq/ra
+  role in §4, which explains its mix-independent throughput).
+* :mod:`repro.baselines.gla` — the wait-free generalized lattice agreement
+  protocol of Falerio et al. with its ever-growing proposal sets; excluded
+  from the paper's throughput runs for exactly that reason, included here
+  to *measure* the growth (message-overhead experiment).
+
+All three speak the protocol-agnostic client interface of
+:mod:`repro.baselines.common` so the workload generator can drive any of
+them interchangeably with CRDT Paxos.
+"""
+
+from repro.baselines.common import (
+    IntCounter,
+    RsmQuery,
+    RsmQueryDone,
+    RsmUpdate,
+    RsmUpdateDone,
+    StateMachine,
+)
+
+__all__ = [
+    "IntCounter",
+    "RsmQuery",
+    "RsmQueryDone",
+    "RsmUpdate",
+    "RsmUpdateDone",
+    "StateMachine",
+]

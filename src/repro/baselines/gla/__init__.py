@@ -1,0 +1,14 @@
+"""Generalized lattice agreement baseline (Falerio et al., PODC 2012).
+
+The wait-free GLA protocol over the powerset lattice of submitted
+commands.  Proposals carry the proposer's entire accepted command set;
+under contention the sets only ever grow, and no truncation mechanism is
+described in the original paper — the reason the CRDT-Paxos authors left
+it out of their throughput evaluation and the reason this repository
+includes it: the message-overhead benchmark measures exactly that growth
+against CRDT Paxos' constant one-round-per-message overhead.
+"""
+
+from repro.baselines.gla.node import GlaConfig, GlaNode
+
+__all__ = ["GlaConfig", "GlaNode"]

@@ -1,0 +1,13 @@
+"""Multi-Paxos baseline with leader read leases.
+
+Mirrors the second comparison system of the paper's evaluation
+(riak_ensemble): a ballot-based leader replicates update commands through
+a per-slot Phase 2 exchange, while reads are served locally at the leader
+under a quorum-renewed lease — which is why Multi-Paxos profits from
+read-heavy mixes in Figure 1, unlike Raft.
+"""
+
+from repro.baselines.multipaxos.config import MultiPaxosConfig
+from repro.baselines.multipaxos.node import MultiPaxosNode
+
+__all__ = ["MultiPaxosConfig", "MultiPaxosNode"]

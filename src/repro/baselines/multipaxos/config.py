@@ -1,0 +1,42 @@
+"""Multi-Paxos tuning knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class MultiPaxosConfig:
+    """Timeouts, lease parameters and compaction limits.
+
+    The read lease must be shorter than the election timeout so a
+    partitioned leader's lease expires before a successor can be elected —
+    the standard safety argument for lease reads under bounded clock drift
+    (drift is zero in the simulator).
+    """
+
+    election_timeout_min: float = 0.150
+    election_timeout_max: float = 0.300
+    heartbeat_interval: float = 0.030
+    lease_duration: float = 0.120
+    snapshot_threshold: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.election_timeout_min <= 0:
+            raise ConfigurationError("election_timeout_min must be positive")
+        if self.election_timeout_max < self.election_timeout_min:
+            raise ConfigurationError(
+                "election_timeout_max must be >= election_timeout_min"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError("heartbeat_interval must be positive")
+        if not self.heartbeat_interval < self.lease_duration:
+            raise ConfigurationError("heartbeat_interval must be below lease_duration")
+        if not self.lease_duration <= self.election_timeout_min:
+            raise ConfigurationError(
+                "lease_duration must not exceed election_timeout_min"
+            )
+        if self.snapshot_threshold <= 1:
+            raise ConfigurationError("snapshot_threshold must be > 1")

@@ -1,0 +1,607 @@
+"""The Multi-Paxos replica state machine (sans-io).
+
+A ballot-based stable leader replicates update commands into numbered log
+slots via per-slot Phase 2 exchanges; Phase 1 runs once per leadership
+change over the whole suffix.  Reads are served *locally* at the leader
+while it holds a quorum-renewed lease — no log slot, no round trip — which
+is the riak_ensemble behaviour the paper benchmarks ("the Multi-Paxos
+implementation employs leader read leases").
+
+Safety notes implemented here:
+
+* a follower that recently acknowledged a leader refuses Phase 1 bids from
+  other candidates until the lease promise expires, so a lease-holding
+  leader cannot be silently superseded;
+* a fresh leader serves lease reads only after everything it inherited
+  from earlier ballots has committed (the *read barrier*), since those
+  entries may already be acknowledged to clients;
+* commands are applied in slot order; gaps trigger a catch-up exchange and
+  the applied prefix is compacted into machine snapshots.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.baselines.common import (
+    Forwarded,
+    RsmQuery,
+    RsmQueryDone,
+    RsmUpdate,
+    RsmUpdateDone,
+    StateMachine,
+)
+from repro.baselines.multipaxos.config import MultiPaxosConfig
+from repro.baselines.multipaxos.messages import (
+    Ballot,
+    CatchupReply,
+    CatchupRequest,
+    Heartbeat,
+    HeartbeatAck,
+    PaxEntry,
+    Phase1a,
+    Phase1b,
+    Phase2a,
+    Phase2b,
+)
+from repro.net.node import Effects, ProtocolNode
+
+_BUFFER_LIMIT = 100_000
+_CATCHUP_BATCH = 256
+
+#: Ballot below every real ballot (real counters start at 1).
+_NO_BALLOT: Ballot = (0, -1)
+
+
+class MultiPaxosNode(ProtocolNode):
+    """One Multi-Paxos replica (acceptor + potential leader)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        peers: list[str],
+        machine: StateMachine,
+        config: MultiPaxosConfig | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        if node_id not in peers:
+            raise ValueError(f"node_id {node_id!r} must be listed in peers")
+        self.peers = sorted(peers)
+        self.remotes = [p for p in self.peers if p != node_id]
+        self.majority = len(self.peers) // 2 + 1
+        self.my_index = self.peers.index(node_id)
+        self.config = config or MultiPaxosConfig()
+        self._rng = rng or random.Random(hash(node_id) & 0xFFFFFFFF)
+
+        # Acceptor state.
+        self.promised: Ballot = _NO_BALLOT
+        self.accepted: dict[int, tuple[Ballot, PaxEntry]] = {}
+        self.commit_index = 0
+        self.applied_index = 0
+        self.machine = machine
+        self.snapshot_slot = 0
+        self.snapshot_data: Any = machine.snapshot()
+        self._lease_promise_until = 0.0
+
+        # Role.
+        self.role = "follower"
+        self.leader_id: str | None = None
+        self._max_ballot_counter = 0
+
+        # Leader state.
+        self.ballot: Ballot = _NO_BALLOT
+        self.next_slot = 1
+        self._phase1_votes: dict[str, Phase1b] = {}
+        self._slot_acks: dict[int, set[str]] = {}
+        self._committed: set[int] = set()
+        self._pending: dict[int, tuple[str, str]] = {}
+        self._read_barrier = 0
+        self._lease_until = 0.0
+        self._hb_sent_at = -1.0
+        self._hb_acks: set[str] = set()
+
+        # Command routing.
+        self._buffer: list[tuple[str, RsmUpdate | RsmQuery]] = []
+
+        # Observability.
+        self.elections_started = 0
+        self.lease_reads = 0
+        self.log_reads = 0
+        self.snapshots_taken = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self, now: float) -> Effects:
+        effects = Effects()
+        if self.role == "leader":
+            # Recovered leader: the lease is gone until re-acknowledged.
+            self._lease_until = 0.0
+            effects.set_timer("heartbeat", self.config.heartbeat_interval)
+        else:
+            self._arm_election(effects)
+        return effects
+
+    def _arm_election(self, effects: Effects) -> None:
+        timeout = self._rng.uniform(
+            self.config.election_timeout_min, self.config.election_timeout_max
+        )
+        effects.set_timer("election", timeout)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, message: Any, now: float) -> Effects:
+        if isinstance(message, (RsmUpdate, RsmQuery)):
+            return self._on_client_command(src, message, now)
+        if isinstance(message, Forwarded):
+            return self._on_client_command(message.client, message.message, now)
+        if isinstance(message, Phase1a):
+            return self._on_phase1a(src, message, now)
+        if isinstance(message, Phase1b):
+            return self._on_phase1b(src, message, now)
+        if isinstance(message, Phase2a):
+            return self._on_phase2a(src, message, now)
+        if isinstance(message, Phase2b):
+            return self._on_phase2b(src, message, now)
+        if isinstance(message, Heartbeat):
+            return self._on_heartbeat_msg(src, message, now)
+        if isinstance(message, HeartbeatAck):
+            return self._on_heartbeat_ack(src, message, now)
+        if isinstance(message, CatchupRequest):
+            return self._on_catchup_request(src, message)
+        if isinstance(message, CatchupReply):
+            return self._on_catchup_reply(src, message)
+        return Effects()
+
+    def on_timer(self, key: str, now: float) -> Effects:
+        if key == "election":
+            return self._start_election(now)
+        if key == "heartbeat":
+            return self._heartbeat_tick(now)
+        return Effects()
+
+    # ------------------------------------------------------------------
+    # Elections (Phase 1 over the log suffix)
+    # ------------------------------------------------------------------
+    def _start_election(self, now: float) -> Effects:
+        effects = Effects()
+        if self.role == "leader":
+            return effects
+        self.elections_started += 1
+        self.role = "candidate"
+        self._max_ballot_counter += 1
+        self.ballot = (self._max_ballot_counter, self.my_index)
+        self.promised = self.ballot
+        self.leader_id = None
+        self._phase1_votes = {
+            self.node_id: self._make_phase1b(self.applied_index + 1, granted=True)
+        }
+        effects.broadcast(
+            self.remotes,
+            Phase1a(ballot=self.ballot, from_slot=self.applied_index + 1),
+        )
+        self._arm_election(effects)
+        if len(self._phase1_votes) >= self.majority:  # single-node group
+            self._become_leader(effects, now)
+        return effects
+
+    def _make_phase1b(self, from_slot: int, granted: bool) -> Phase1b:
+        snapshot_slot = 0
+        snapshot = None
+        if granted and from_slot <= self.snapshot_slot:
+            snapshot_slot = self.snapshot_slot
+            snapshot = self.snapshot_data
+        accepted = tuple(
+            (slot, ballot, entry)
+            for slot, (ballot, entry) in sorted(self.accepted.items())
+            if slot >= from_slot
+        ) if granted else ()
+        return Phase1b(
+            ballot=self.promised,
+            granted=granted,
+            accepted=accepted,
+            commit_index=self.commit_index,
+            snapshot_slot=snapshot_slot,
+            snapshot=snapshot,
+        )
+
+    def _on_phase1a(self, src: str, msg: Phase1a, now: float) -> Effects:
+        effects = Effects()
+        self._observe_counter(msg.ballot)
+        lease_blocked = (
+            now < self._lease_promise_until
+            and self.leader_id is not None
+            and self.leader_id != src
+        )
+        if msg.ballot > self.promised and not lease_blocked:
+            if self.role == "leader":
+                self._abdicate(effects)
+            self.promised = msg.ballot
+            self.role = "follower"
+            self._arm_election(effects)
+            effects.send(src, self._make_phase1b(msg.from_slot, granted=True))
+        else:
+            effects.send(src, self._make_phase1b(msg.from_slot, granted=False))
+        return effects
+
+    def _on_phase1b(self, src: str, msg: Phase1b, now: float) -> Effects:
+        effects = Effects()
+        self._observe_counter(msg.ballot)
+        if self.role != "candidate":
+            return effects
+        if not msg.granted:
+            if msg.ballot > self.ballot:
+                self.role = "follower"
+                self._arm_election(effects)
+            return effects
+        if msg.ballot != self.ballot:
+            return effects
+        self._phase1_votes[src] = msg
+        if len(self._phase1_votes) >= self.majority:
+            self._become_leader(effects, now)
+        return effects
+
+    def _become_leader(self, effects: Effects, now: float) -> None:
+        self.role = "leader"
+        self.leader_id = self.node_id
+
+        # Adopt the most advanced snapshot among the quorum, then the
+        # highest-ballot accepted value per slot, then everybody's commit
+        # knowledge.
+        votes = list(self._phase1_votes.values())
+        best_snapshot = max(votes, key=lambda v: v.snapshot_slot)
+        if best_snapshot.snapshot_slot > self.applied_index:
+            self.machine.restore(best_snapshot.snapshot)
+            self.snapshot_data = best_snapshot.snapshot
+            self.snapshot_slot = best_snapshot.snapshot_slot
+            self.applied_index = best_snapshot.snapshot_slot
+            self.accepted = {
+                slot: value
+                for slot, value in self.accepted.items()
+                if slot > self.snapshot_slot
+            }
+        for vote in votes:
+            for slot, ballot, entry in vote.accepted:
+                if slot <= self.snapshot_slot:
+                    continue
+                current = self.accepted.get(slot)
+                if current is None or current[0] < ballot:
+                    self.accepted[slot] = (ballot, entry)
+            self.commit_index = max(self.commit_index, vote.commit_index)
+
+        highest = max(self.accepted, default=self.commit_index)
+        self.next_slot = max(highest, self.commit_index, self.snapshot_slot) + 1
+
+        # Re-propose the whole uncommitted suffix under my ballot, filling
+        # holes with no-ops; none of it may be lost (it could be acked).
+        self._slot_acks = {}
+        self._committed = {
+            slot for slot in self._committed if slot <= self.commit_index
+        }
+        for slot in range(self.commit_index + 1, self.next_slot):
+            _, entry = self.accepted.get(slot, (None, PaxEntry(kind="noop")))
+            self.accepted[slot] = (self.ballot, entry)
+            self._slot_acks[slot] = {self.node_id}
+            effects.broadcast(
+                self.remotes,
+                Phase2a(
+                    ballot=self.ballot,
+                    slot=slot,
+                    entry=entry,
+                    commit_index=self.commit_index,
+                ),
+            )
+        self._read_barrier = self.next_slot - 1
+        self._lease_until = 0.0
+        effects.cancel_timer("election")
+        effects.merge(self._heartbeat_tick(now))
+        self._apply_committed(effects)
+        self._flush_buffer(effects)
+        self._maybe_commit(effects)
+
+    def _abdicate(self, effects: Effects) -> None:
+        self.role = "follower"
+        self.leader_id = None
+        self._lease_until = 0.0
+        effects.cancel_timer("heartbeat")
+        self._arm_election(effects)
+
+    def _observe_counter(self, ballot: Ballot) -> None:
+        if ballot[0] > self._max_ballot_counter:
+            self._max_ballot_counter = ballot[0]
+
+    # ------------------------------------------------------------------
+    # Client commands
+    # ------------------------------------------------------------------
+    def _on_client_command(
+        self, client: str, msg: RsmUpdate | RsmQuery, now: float
+    ) -> Effects:
+        effects = Effects()
+        if self.role == "leader":
+            if isinstance(msg, RsmQuery):
+                self._serve_read(client, msg, now, effects)
+            else:
+                self._propose(client, msg, "update", effects)
+        elif self.leader_id is not None and self.leader_id != self.node_id:
+            effects.send(self.leader_id, Forwarded(client=client, message=msg))
+        elif len(self._buffer) < _BUFFER_LIMIT:
+            self._buffer.append((client, msg))
+        return effects
+
+    def _serve_read(
+        self, client: str, msg: RsmQuery, now: float, effects: Effects
+    ) -> None:
+        lease_ok = now < self._lease_until
+        barrier_ok = self.commit_index >= self._read_barrier
+        if lease_ok and barrier_ok:
+            # Local lease read: the applied state reflects every update
+            # this leadership has acknowledged, and the barrier guarantees
+            # everything inherited from older ballots is in as well.
+            self.lease_reads += 1
+            result = self.machine.apply_query(msg.command)
+            effects.send(
+                client,
+                RsmQueryDone(
+                    request_id=msg.request_id,
+                    result=result,
+                    served_by=self.node_id,
+                    via="lease",
+                ),
+            )
+            return
+        self.log_reads += 1
+        self._propose(client, msg, "read", effects)
+
+    def _propose(
+        self,
+        client: str,
+        msg: RsmUpdate | RsmQuery,
+        kind: str,
+        effects: Effects,
+    ) -> None:
+        slot = self.next_slot
+        self.next_slot += 1
+        entry = PaxEntry(
+            kind=kind,
+            command=msg.command,
+            client=client,
+            request_id=msg.request_id,
+        )
+        self.accepted[slot] = (self.ballot, entry)
+        self._slot_acks[slot] = {self.node_id}
+        self._pending[slot] = (client, msg.request_id)
+        effects.broadcast(
+            self.remotes,
+            Phase2a(
+                ballot=self.ballot,
+                slot=slot,
+                entry=entry,
+                commit_index=self.commit_index,
+            ),
+        )
+        self._maybe_commit(effects)  # single-node groups commit instantly
+
+    def _flush_buffer(self, effects: Effects) -> None:
+        buffered, self._buffer = self._buffer, []
+        for client, msg in buffered:
+            effects.merge(self._on_client_command(client, msg, now=0.0))
+
+    # ------------------------------------------------------------------
+    # Phase 2
+    # ------------------------------------------------------------------
+    def _on_phase2a(self, src: str, msg: Phase2a, now: float) -> Effects:
+        effects = Effects()
+        self._observe_counter(msg.ballot)
+        if msg.ballot < self.promised:
+            effects.send(
+                src, Phase2b(ballot=self.promised, slot=msg.slot, accepted=False)
+            )
+            return effects
+        if msg.ballot > self.promised or self.role != "follower":
+            if self.role == "leader" and msg.ballot > self.ballot:
+                self._abdicate(effects)
+            self.role = "follower"
+        self.promised = msg.ballot
+        self.leader_id = src
+        self._lease_promise_until = now + self.config.lease_duration
+        self._arm_election(effects)
+        if msg.slot > self.snapshot_slot:
+            self.accepted[msg.slot] = (msg.ballot, msg.entry)
+        if msg.commit_index > self.commit_index:
+            self.commit_index = msg.commit_index
+            self._apply_committed(effects)
+        self._flush_buffer(effects)
+        effects.send(src, Phase2b(ballot=msg.ballot, slot=msg.slot, accepted=True))
+        return effects
+
+    def _on_phase2b(self, src: str, msg: Phase2b, now: float) -> Effects:
+        effects = Effects()
+        self._observe_counter(msg.ballot)
+        if self.role != "leader":
+            return effects
+        if not msg.accepted:
+            if msg.ballot > self.ballot:
+                self._abdicate(effects)
+            return effects
+        if msg.ballot != self.ballot:
+            return effects
+        acks = self._slot_acks.setdefault(msg.slot, {self.node_id})
+        acks.add(src)
+        self._maybe_commit(effects)
+        return effects
+
+    def _maybe_commit(self, effects: Effects) -> None:
+        for slot, acks in self._slot_acks.items():
+            if slot not in self._committed and len(acks) >= self.majority:
+                self._committed.add(slot)
+        advanced = False
+        while self.commit_index + 1 in self._committed:
+            self.commit_index += 1
+            advanced = True
+        if advanced:
+            self._apply_committed(effects)
+
+    # ------------------------------------------------------------------
+    # Heartbeats and leases
+    # ------------------------------------------------------------------
+    def _heartbeat_tick(self, now: float) -> Effects:
+        effects = Effects()
+        if self.role != "leader":
+            return effects
+        self._hb_sent_at = now
+        self._hb_acks = {self.node_id}
+        effects.broadcast(
+            self.remotes,
+            Heartbeat(ballot=self.ballot, commit_index=self.commit_index),
+        )
+        # Re-drive a bounded window of stuck slots: a lost Phase2a/2b would
+        # otherwise hole the log forever and block every later commit.
+        # Re-proposals are idempotent (same ballot, slot and entry).
+        stuck = [
+            slot
+            for slot in range(self.commit_index + 1, self.next_slot)
+            if slot not in self._committed and slot in self.accepted
+        ][:_CATCHUP_BATCH]
+        for slot in stuck:
+            _, entry = self.accepted[slot]
+            effects.broadcast(
+                self.remotes,
+                Phase2a(
+                    ballot=self.ballot,
+                    slot=slot,
+                    entry=entry,
+                    commit_index=self.commit_index,
+                ),
+            )
+        if len(self._hb_acks) >= self.majority:  # single-node group
+            self._lease_until = now + self.config.lease_duration
+        effects.set_timer("heartbeat", self.config.heartbeat_interval)
+        return effects
+
+    def _on_heartbeat_msg(self, src: str, msg: Heartbeat, now: float) -> Effects:
+        effects = Effects()
+        self._observe_counter(msg.ballot)
+        if msg.ballot < self.promised:
+            return effects
+        if self.role == "leader" and msg.ballot > self.ballot:
+            self._abdicate(effects)
+        self.role = "follower"
+        self.promised = msg.ballot
+        self.leader_id = src
+        self._lease_promise_until = now + self.config.lease_duration
+        self._arm_election(effects)
+        if msg.commit_index > self.commit_index:
+            self.commit_index = msg.commit_index
+            self._apply_committed(effects)
+        if self.applied_index < self.commit_index:
+            effects.send(src, CatchupRequest(from_slot=self.applied_index + 1))
+        self._flush_buffer(effects)
+        effects.send(
+            src, HeartbeatAck(ballot=msg.ballot, applied_index=self.applied_index)
+        )
+        return effects
+
+    def _on_heartbeat_ack(self, src: str, msg: HeartbeatAck, now: float) -> Effects:
+        effects = Effects()
+        if self.role != "leader" or msg.ballot != self.ballot:
+            return effects
+        self._hb_acks.add(src)
+        if len(self._hb_acks) >= self.majority and self._hb_sent_at >= 0:
+            self._lease_until = self._hb_sent_at + self.config.lease_duration
+        return effects
+
+    # ------------------------------------------------------------------
+    # Catch-up and application
+    # ------------------------------------------------------------------
+    def _on_catchup_request(self, src: str, msg: CatchupRequest) -> Effects:
+        effects = Effects()
+        if msg.from_slot <= self.snapshot_slot:
+            effects.send(
+                src,
+                CatchupReply(
+                    entries=(),
+                    commit_index=self.commit_index,
+                    snapshot_slot=self.snapshot_slot,
+                    snapshot=self.snapshot_data,
+                ),
+            )
+            return effects
+        entries = tuple(
+            (slot, ballot, entry)
+            for slot, (ballot, entry) in sorted(self.accepted.items())
+            if msg.from_slot <= slot <= self.commit_index
+        )[:_CATCHUP_BATCH]
+        effects.send(
+            src, CatchupReply(entries=entries, commit_index=self.commit_index)
+        )
+        return effects
+
+    def _on_catchup_reply(self, src: str, msg: CatchupReply) -> Effects:
+        effects = Effects()
+        if msg.snapshot_slot > self.applied_index:
+            self.machine.restore(msg.snapshot)
+            self.snapshot_data = msg.snapshot
+            self.snapshot_slot = msg.snapshot_slot
+            self.applied_index = msg.snapshot_slot
+            self.accepted = {
+                slot: value
+                for slot, value in self.accepted.items()
+                if slot > self.snapshot_slot
+            }
+        for slot, ballot, entry in msg.entries:
+            if slot <= self.snapshot_slot:
+                continue
+            current = self.accepted.get(slot)
+            if current is None or current[0] <= ballot:
+                self.accepted[slot] = (ballot, entry)
+        if msg.commit_index > self.commit_index:
+            self.commit_index = msg.commit_index
+        self._apply_committed(effects)
+        if self.applied_index < self.commit_index and self.leader_id:
+            effects.send(
+                self.leader_id, CatchupRequest(from_slot=self.applied_index + 1)
+            )
+        return effects
+
+    def _apply_committed(self, effects: Effects) -> None:
+        while self.applied_index < self.commit_index:
+            slot = self.applied_index + 1
+            if slot <= self.snapshot_slot:
+                self.applied_index = self.snapshot_slot
+                continue
+            if slot not in self.accepted:
+                break  # gap; a catch-up is (or will be) in flight
+            _, entry = self.accepted[slot]
+            if entry.kind == "update":
+                self.machine.apply_update(entry.command)
+            pending = self._pending.pop(slot, None)
+            if pending is not None:
+                client, request_id = pending
+                if entry.kind == "update":
+                    effects.send(client, RsmUpdateDone(request_id=request_id))
+                elif entry.kind == "read":
+                    effects.send(
+                        client,
+                        RsmQueryDone(
+                            request_id=request_id,
+                            result=self.machine.apply_query(entry.command),
+                            served_by=self.node_id,
+                            via="log",
+                        ),
+                    )
+            self.applied_index = slot
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if self.applied_index - self.snapshot_slot >= self.config.snapshot_threshold:
+            self.snapshot_data = self.machine.snapshot()
+            self.snapshot_slot = self.applied_index
+            self.accepted = {
+                slot: value
+                for slot, value in self.accepted.items()
+                if slot > self.snapshot_slot
+            }
+            self.snapshots_taken += 1

@@ -1,0 +1,13 @@
+"""Raft baseline (Ongaro & Ousterhout, USENIX ATC '14).
+
+Mirrors the comparison system of the paper's evaluation (rabbitmq/ra):
+a leader-based, log-replicating consensus protocol where **both updates
+and consistent reads are appended to the command log** — the property the
+paper credits for Raft's mix-independent throughput in Figure 1.
+"""
+
+from repro.baselines.raft.config import RaftConfig
+from repro.baselines.raft.log import LogEntry, RaftLog
+from repro.baselines.raft.node import RaftNode
+
+__all__ = ["LogEntry", "RaftConfig", "RaftLog", "RaftNode"]

@@ -1,0 +1,41 @@
+"""Raft tuning knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class RaftConfig:
+    """Timeouts and batching limits.
+
+    Defaults follow the classic paper values (150–300 ms election
+    timeouts); the benchmark calibration scales them down together with
+    the simulated link latencies.
+    """
+
+    election_timeout_min: float = 0.150
+    election_timeout_max: float = 0.300
+    heartbeat_interval: float = 0.030
+    max_entries_per_append: int = 64
+    snapshot_threshold: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.election_timeout_min <= 0:
+            raise ConfigurationError("election_timeout_min must be positive")
+        if self.election_timeout_max < self.election_timeout_min:
+            raise ConfigurationError(
+                "election_timeout_max must be >= election_timeout_min"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError("heartbeat_interval must be positive")
+        if self.heartbeat_interval >= self.election_timeout_min:
+            raise ConfigurationError(
+                "heartbeat_interval must be below election_timeout_min"
+            )
+        if self.max_entries_per_append <= 0:
+            raise ConfigurationError("max_entries_per_append must be positive")
+        if self.snapshot_threshold <= 1:
+            raise ConfigurationError("snapshot_threshold must be > 1")

@@ -1,0 +1,83 @@
+"""Raft RPCs, modelled as one-way messages (reply is a separate send)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.baselines.raft.log import LogEntry
+from repro.net.message import wire_size as _wire_size
+
+
+@dataclass(frozen=True, slots=True)
+class RequestVote:
+    term: int
+    candidate: str
+    last_log_index: int
+    last_log_term: int
+
+    def wire_size(self) -> int:
+        return 24 + len(self.candidate)
+
+
+@dataclass(frozen=True, slots=True)
+class RequestVoteReply:
+    term: int
+    granted: bool
+
+    def wire_size(self) -> int:
+        return 9
+
+
+@dataclass(frozen=True, slots=True)
+class AppendEntries:
+    term: int
+    leader: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: tuple[LogEntry, ...]
+    leader_commit: int
+    #: Per-peer RPC sequence number, echoed by the reply.  The leader only
+    #: acts on the reply to its *latest* RPC; without this, a heartbeat
+    #: retransmission racing a pipelined append would spawn a duplicate
+    #: self-perpetuating reply stream and melt the leader.
+    seq: int = 0
+
+    def wire_size(self) -> int:
+        return 40 + len(self.leader) + sum(e.wire_size() for e in self.entries)
+
+
+@dataclass(frozen=True, slots=True)
+class AppendEntriesReply:
+    term: int
+    success: bool
+    #: On success: highest index known replicated.  On failure: the
+    #: follower's last log index, used as a back-off hint.
+    match_index: int
+    seq: int = 0
+
+    def wire_size(self) -> int:
+        return 25
+
+
+@dataclass(frozen=True, slots=True)
+class InstallSnapshot:
+    term: int
+    leader: str
+    last_included_index: int
+    last_included_term: int
+    snapshot: Any
+    seq: int = 0
+
+    def wire_size(self) -> int:
+        return 32 + len(self.leader) + _wire_size(self.snapshot)
+
+
+@dataclass(frozen=True, slots=True)
+class InstallSnapshotReply:
+    term: int
+    last_included_index: int
+    seq: int = 0
+
+    def wire_size(self) -> int:
+        return 24

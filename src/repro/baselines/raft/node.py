@@ -1,0 +1,549 @@
+"""The Raft replica state machine (sans-io).
+
+A faithful single-file Raft: randomized elections, log replication with
+pipelined/batched AppendEntries, commit-from-current-term rule, snapshot
+compaction and InstallSnapshot for lagging followers.
+
+Client commands — updates *and reads* — are appended to the log (the
+behaviour of the rabbitmq/ra implementation the paper benchmarked); a read
+is answered when its entry is applied, so every read costs a log slot and
+a majority round trip, which is why Raft's throughput in Figure 1 does not
+improve with the read ratio.
+
+Non-leaders forward client commands to the leader (buffering them while no
+leader is known); the leader replies directly to the client.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.baselines.common import (
+    Forwarded,
+    RsmQuery,
+    RsmQueryDone,
+    RsmUpdate,
+    RsmUpdateDone,
+    StateMachine,
+)
+from repro.baselines.raft.config import RaftConfig
+from repro.baselines.raft.log import LogEntry, RaftLog
+from repro.baselines.raft.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    InstallSnapshot,
+    InstallSnapshotReply,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.net.node import Effects, ProtocolNode
+
+#: Upper bound on commands buffered while no leader is known.
+_BUFFER_LIMIT = 100_000
+
+
+class RaftNode(ProtocolNode):
+    """One Raft replica.
+
+    Parameters
+    ----------
+    node_id, peers:
+        This node's address and the full group membership (incl. self).
+    machine:
+        The replicated :class:`StateMachine` (fresh instance per node).
+    config:
+        Timeouts and batching limits.
+    rng:
+        Source of election-timeout randomness.  Pass a seeded generator
+        for deterministic simulations.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        peers: list[str],
+        machine: StateMachine,
+        config: RaftConfig | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        if node_id not in peers:
+            raise ValueError(f"node_id {node_id!r} must be listed in peers")
+        self.peers = list(peers)
+        self.remotes = [p for p in peers if p != node_id]
+        self.majority = len(peers) // 2 + 1
+        self.config = config or RaftConfig()
+        self._rng = rng or random.Random(hash(node_id) & 0xFFFFFFFF)
+
+        # Persistent state (preserved across crash-recovery).
+        self.term = 0
+        self.voted_for: str | None = None
+        self.log = RaftLog()
+        self.machine = machine
+        self.snapshot_data: Any = machine.snapshot()
+
+        # Volatile state.
+        self.role = "follower"
+        self.leader_id: str | None = None
+        self.commit_index = 0
+        self.last_applied = 0
+        self._votes: set[str] = set()
+
+        # Leader state.
+        self.next_index: dict[str, int] = {}
+        self.match_index: dict[str, int] = {}
+        self._outstanding: dict[str, bool] = {}
+        self._dirty: dict[str, bool] = {}
+        self._rpc_seq: dict[str, int] = {}
+
+        # Command routing.
+        self._pending: dict[int, tuple[str, str]] = {}  # index → (client, req)
+        self._buffer: list[tuple[str, RsmUpdate | RsmQuery]] = []
+
+        # Observability.
+        self.elections_started = 0
+        self.snapshots_taken = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self, now: float) -> Effects:
+        effects = Effects()
+        if self.role == "leader":
+            effects.set_timer("heartbeat", self.config.heartbeat_interval)
+        else:
+            self._arm_election(effects)
+        return effects
+
+    def _arm_election(self, effects: Effects) -> None:
+        timeout = self._rng.uniform(
+            self.config.election_timeout_min, self.config.election_timeout_max
+        )
+        effects.set_timer("election", timeout)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, message: Any, now: float) -> Effects:
+        if isinstance(message, (RsmUpdate, RsmQuery)):
+            return self._on_client_command(src, message)
+        if isinstance(message, Forwarded):
+            return self._on_forwarded(message)
+        if isinstance(message, RequestVote):
+            return self._on_request_vote(src, message)
+        if isinstance(message, RequestVoteReply):
+            return self._on_request_vote_reply(src, message)
+        if isinstance(message, AppendEntries):
+            return self._on_append_entries(src, message)
+        if isinstance(message, AppendEntriesReply):
+            return self._on_append_entries_reply(src, message)
+        if isinstance(message, InstallSnapshot):
+            return self._on_install_snapshot(src, message)
+        if isinstance(message, InstallSnapshotReply):
+            return self._on_install_snapshot_reply(src, message)
+        return Effects()
+
+    def on_timer(self, key: str, now: float) -> Effects:
+        if key == "election":
+            return self._start_election()
+        if key == "heartbeat":
+            return self._on_heartbeat()
+        return Effects()
+
+    # ------------------------------------------------------------------
+    # Elections
+    # ------------------------------------------------------------------
+    def _start_election(self) -> Effects:
+        effects = Effects()
+        if self.role == "leader":
+            return effects
+        self.elections_started += 1
+        self.role = "candidate"
+        self.term += 1
+        self.voted_for = self.node_id
+        self.leader_id = None
+        self._votes = {self.node_id}
+        request = RequestVote(
+            term=self.term,
+            candidate=self.node_id,
+            last_log_index=self.log.last_index,
+            last_log_term=self.log.last_term,
+        )
+        effects.broadcast(self.remotes, request)
+        self._arm_election(effects)
+        if len(self._votes) >= self.majority:  # single-node group
+            self._become_leader(effects)
+        return effects
+
+    def _on_request_vote(self, src: str, msg: RequestVote) -> Effects:
+        effects = Effects()
+        if msg.term > self.term:
+            self._step_down(msg.term, effects)
+        granted = False
+        if msg.term == self.term and self.voted_for in (None, msg.candidate):
+            up_to_date = (msg.last_log_term, msg.last_log_index) >= (
+                self.log.last_term,
+                self.log.last_index,
+            )
+            if up_to_date and self.role != "leader":
+                granted = True
+                self.voted_for = msg.candidate
+                self._arm_election(effects)
+        effects.send(src, RequestVoteReply(term=self.term, granted=granted))
+        return effects
+
+    def _on_request_vote_reply(self, src: str, msg: RequestVoteReply) -> Effects:
+        effects = Effects()
+        if msg.term > self.term:
+            self._step_down(msg.term, effects)
+            return effects
+        if self.role != "candidate" or msg.term != self.term or not msg.granted:
+            return effects
+        self._votes.add(src)
+        if len(self._votes) >= self.majority:
+            self._become_leader(effects)
+        return effects
+
+    def _become_leader(self, effects: Effects) -> None:
+        self.role = "leader"
+        self.leader_id = self.node_id
+        for peer in self.remotes:
+            self.next_index[peer] = self.log.last_index + 1
+            self.match_index[peer] = 0
+            self._outstanding[peer] = False
+            self._dirty[peer] = False
+        # A no-op entry lets the new leader commit (and thus learn the
+        # commit frontier for) everything from earlier terms.
+        self.log.append(LogEntry(term=self.term, kind="noop"))
+        effects.cancel_timer("election")
+        effects.set_timer("heartbeat", self.config.heartbeat_interval)
+        for peer in self.remotes:
+            self._send_append(peer, effects)
+        self._advance_commit(effects)
+        self._flush_buffer(effects)
+
+    def _step_down(self, new_term: int, effects: Effects) -> None:
+        was_leader = self.role == "leader"
+        self.term = new_term
+        self.voted_for = None
+        self.role = "follower"
+        self.leader_id = None
+        self._votes = set()
+        if was_leader:
+            effects.cancel_timer("heartbeat")
+        self._arm_election(effects)
+
+    # ------------------------------------------------------------------
+    # Client commands
+    # ------------------------------------------------------------------
+    def _on_client_command(
+        self, client: str, msg: RsmUpdate | RsmQuery
+    ) -> Effects:
+        effects = Effects()
+        if self.role == "leader":
+            self._append_command(client, msg, effects)
+        elif self.leader_id is not None and self.leader_id != self.node_id:
+            effects.send(self.leader_id, Forwarded(client=client, message=msg))
+        elif len(self._buffer) < _BUFFER_LIMIT:
+            self._buffer.append((client, msg))
+        return effects
+
+    def _on_forwarded(self, msg: Forwarded) -> Effects:
+        return self._on_client_command(msg.client, msg.message)
+
+    def _append_command(
+        self, client: str, msg: RsmUpdate | RsmQuery, effects: Effects
+    ) -> None:
+        kind = "update" if isinstance(msg, RsmUpdate) else "read"
+        entry = LogEntry(
+            term=self.term,
+            kind=kind,
+            command=msg.command,
+            client=client,
+            request_id=msg.request_id,
+        )
+        index = self.log.append(entry)
+        self._pending[index] = (client, msg.request_id)
+        for peer in self.remotes:
+            if self._outstanding.get(peer):
+                self._dirty[peer] = True
+            else:
+                self._send_append(peer, effects)
+        self._advance_commit(effects)  # single-node groups commit instantly
+
+    def _flush_buffer(self, effects: Effects) -> None:
+        buffered, self._buffer = self._buffer, []
+        for client, msg in buffered:
+            if self.role == "leader":
+                self._append_command(client, msg, effects)
+            elif self.leader_id is not None:
+                effects.send(self.leader_id, Forwarded(client=client, message=msg))
+            else:
+                self._buffer.append((client, msg))
+
+    # ------------------------------------------------------------------
+    # Log replication (leader side)
+    # ------------------------------------------------------------------
+    def _send_append(self, peer: str, effects: Effects) -> None:
+        seq = self._rpc_seq.get(peer, 0) + 1
+        self._rpc_seq[peer] = seq
+        next_index = self.next_index[peer]
+        if next_index <= self.log.base_index:
+            effects.send(
+                peer,
+                InstallSnapshot(
+                    term=self.term,
+                    leader=self.node_id,
+                    last_included_index=self.log.base_index,
+                    last_included_term=self.log.base_term,
+                    snapshot=self.snapshot_data,
+                    seq=seq,
+                ),
+            )
+            self._outstanding[peer] = True
+            self._dirty[peer] = False
+            return
+        prev_index = next_index - 1
+        prev_term = self.log.term_at(prev_index)
+        assert prev_term is not None, "next_index points into compacted log"
+        entries = self.log.slice_from(
+            next_index, self.config.max_entries_per_append
+        )
+        effects.send(
+            peer,
+            AppendEntries(
+                term=self.term,
+                leader=self.node_id,
+                prev_log_index=prev_index,
+                prev_log_term=prev_term,
+                entries=entries,
+                leader_commit=self.commit_index,
+                seq=seq,
+            ),
+        )
+        self._outstanding[peer] = True
+        self._dirty[peer] = False
+
+    def _on_heartbeat(self) -> Effects:
+        effects = Effects()
+        if self.role != "leader":
+            return effects
+        for peer in self.remotes:
+            # Force a send even with an RPC outstanding: this re-drives
+            # followers whose replies were lost.
+            self._send_append(peer, effects)
+        effects.set_timer("heartbeat", self.config.heartbeat_interval)
+        return effects
+
+    def _on_append_entries_reply(
+        self, src: str, msg: AppendEntriesReply
+    ) -> Effects:
+        effects = Effects()
+        if msg.term > self.term:
+            self._step_down(msg.term, effects)
+            return effects
+        if self.role != "leader" or msg.term != self.term:
+            return effects
+        if msg.seq != self._rpc_seq.get(src):
+            # Reply to a superseded RPC (a heartbeat already retransmitted
+            # past it); acting on it would fork a duplicate append stream.
+            return effects
+        self._outstanding[src] = False
+        if msg.success:
+            self.match_index[src] = max(self.match_index.get(src, 0), msg.match_index)
+            self.next_index[src] = self.match_index[src] + 1
+            self._advance_commit(effects)
+        else:
+            # Back off using the follower's hint, at least one step.
+            self.next_index[src] = max(
+                1, min(self.next_index[src] - 1, msg.match_index + 1)
+            )
+        if self._dirty.get(src) or self.next_index[src] <= self.log.last_index:
+            self._send_append(src, effects)
+        return effects
+
+    def _advance_commit(self, effects: Effects) -> None:
+        if self.role != "leader":
+            return
+        matches = sorted(
+            [self.log.last_index] + [self.match_index.get(p, 0) for p in self.remotes],
+            reverse=True,
+        )
+        candidate = matches[self.majority - 1]
+        if candidate > self.commit_index and self.log.term_at(candidate) == self.term:
+            self.commit_index = candidate
+            self._apply_committed(effects)
+
+    # ------------------------------------------------------------------
+    # Log replication (follower side)
+    # ------------------------------------------------------------------
+    def _on_append_entries(self, src: str, msg: AppendEntries) -> Effects:
+        effects = Effects()
+        if msg.term < self.term:
+            effects.send(
+                src,
+                AppendEntriesReply(
+                    term=self.term,
+                    success=False,
+                    match_index=self.log.last_index,
+                    seq=msg.seq,
+                ),
+            )
+            return effects
+        if msg.term > self.term or self.role != "follower":
+            self._step_down(msg.term, effects)
+        self.leader_id = msg.leader
+        self._arm_election(effects)
+        self._flush_buffer(effects)
+
+        prev_index = msg.prev_log_index
+        entries = msg.entries
+        if prev_index < self.log.base_index:
+            # Part of this append is already compacted here; clip it.
+            skip = self.log.base_index - prev_index
+            if skip >= len(entries) and prev_index + len(entries) <= self.log.base_index:
+                effects.send(
+                    src,
+                    AppendEntriesReply(
+                        term=self.term,
+                        success=True,
+                        match_index=self.log.base_index,
+                        seq=msg.seq,
+                    ),
+                )
+                return effects
+            entries = entries[skip:]
+            prev_index = self.log.base_index
+
+        local_prev_term = self.log.term_at(prev_index)
+        if local_prev_term is None or (
+            prev_index > self.log.base_index
+            and local_prev_term != msg.prev_log_term
+        ):
+            effects.send(
+                src,
+                AppendEntriesReply(
+                    term=self.term,
+                    success=False,
+                    match_index=min(prev_index - 1, self.log.last_index),
+                    seq=msg.seq,
+                ),
+            )
+            return effects
+
+        for offset, entry in enumerate(entries):
+            index = prev_index + 1 + offset
+            existing = self.log.entry(index)
+            if existing is None:
+                if index == self.log.last_index + 1:
+                    self.log.append(entry)
+                continue
+            if existing.term != entry.term:
+                for stale in range(index, self.log.last_index + 1):
+                    self._pending.pop(stale, None)
+                self.log.truncate_from(index)
+                self.log.append(entry)
+
+        match = prev_index + len(entries)
+        if msg.leader_commit > self.commit_index:
+            self.commit_index = min(msg.leader_commit, self.log.last_index)
+            self._apply_committed(effects)
+        effects.send(
+            src,
+            AppendEntriesReply(
+                term=self.term, success=True, match_index=match, seq=msg.seq
+            ),
+        )
+        return effects
+
+    def _on_install_snapshot(self, src: str, msg: InstallSnapshot) -> Effects:
+        effects = Effects()
+        if msg.term < self.term:
+            effects.send(
+                src,
+                InstallSnapshotReply(
+                    term=self.term,
+                    last_included_index=self.log.base_index,
+                    seq=msg.seq,
+                ),
+            )
+            return effects
+        if msg.term > self.term or self.role != "follower":
+            self._step_down(msg.term, effects)
+        self.leader_id = msg.leader
+        self._arm_election(effects)
+        if msg.last_included_index > self.log.base_index:
+            self.machine.restore(msg.snapshot)
+            self.snapshot_data = msg.snapshot
+            self.log.reset_to_snapshot(
+                msg.last_included_index, msg.last_included_term
+            )
+            self.commit_index = max(self.commit_index, msg.last_included_index)
+            self.last_applied = msg.last_included_index
+            self._pending.clear()
+        effects.send(
+            src,
+            InstallSnapshotReply(
+                term=self.term,
+                last_included_index=msg.last_included_index,
+                seq=msg.seq,
+            ),
+        )
+        return effects
+
+    def _on_install_snapshot_reply(
+        self, src: str, msg: InstallSnapshotReply
+    ) -> Effects:
+        effects = Effects()
+        if msg.term > self.term:
+            self._step_down(msg.term, effects)
+            return effects
+        if self.role != "leader":
+            return effects
+        if msg.seq != self._rpc_seq.get(src):
+            return effects
+        self._outstanding[src] = False
+        self.match_index[src] = max(
+            self.match_index.get(src, 0), msg.last_included_index
+        )
+        self.next_index[src] = self.match_index[src] + 1
+        if self.next_index[src] <= self.log.last_index:
+            self._send_append(src, effects)
+        return effects
+
+    # ------------------------------------------------------------------
+    # Applying committed entries
+    # ------------------------------------------------------------------
+    def _apply_committed(self, effects: Effects) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            entry = self.log.entry(self.last_applied)
+            assert entry is not None, "applying a compacted entry"
+            if entry.kind == "update":
+                self.machine.apply_update(entry.command)
+            pending = self._pending.pop(self.last_applied, None)
+            if pending is None:
+                continue
+            client, request_id = pending
+            if entry.kind == "update":
+                effects.send(client, RsmUpdateDone(request_id=request_id))
+            elif entry.kind == "read":
+                result = self.machine.apply_query(entry.command)
+                effects.send(
+                    client,
+                    RsmQueryDone(
+                        request_id=request_id,
+                        result=result,
+                        served_by=self.node_id,
+                        via="log",
+                    ),
+                )
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        applied_in_log = self.last_applied - self.log.base_index
+        if applied_in_log >= self.config.snapshot_threshold:
+            self.snapshot_data = self.machine.snapshot()
+            self.log.compact_to(self.last_applied)
+            self.snapshots_taken += 1

@@ -1,0 +1,36 @@
+"""Benchmark harness regenerating the paper's evaluation (§4).
+
+One module per figure:
+
+* :mod:`repro.bench.fig1` — throughput vs. number of clients for the five
+  read/update mixes (Figure 1),
+* :mod:`repro.bench.fig2` — 95th-percentile read/update latency vs.
+  clients at 10 % updates (Figure 2),
+* :mod:`repro.bench.fig3` — CDF of round trips per read, with and without
+  batching (Figure 3),
+* :mod:`repro.bench.fig4` — latency time line across a replica crash
+  (Figure 4),
+* :mod:`repro.bench.overhead` — message-size growth of Falerio-style GLA
+  vs. CRDT Paxos' constant per-message overhead (§5/§6 discussion),
+* :mod:`repro.bench.ablations` — fast path, prepare payloads, batch
+  window, delta merging.
+
+:mod:`repro.bench.calibration` holds the simulator calibration shared by
+all figures; :mod:`repro.bench.format` renders result tables.
+"""
+
+from repro.bench.calibration import (
+    bench_scale,
+    paper_latency,
+    paper_multipaxos_config,
+    paper_raft_config,
+    paper_service_model,
+)
+
+__all__ = [
+    "bench_scale",
+    "paper_latency",
+    "paper_multipaxos_config",
+    "paper_raft_config",
+    "paper_service_model",
+]

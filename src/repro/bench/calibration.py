@@ -1,0 +1,100 @@
+"""Shared simulator calibration for the benchmark figures.
+
+The paper's test bed was three dual-Xeon nodes on 10 GbE driven by up to
+three load generators.  The simulator stands in for that hardware; these
+constants are chosen so that the *shapes* of the evaluation reproduce:
+
+* one-way link latency a few hundred microseconds with log-normal jitter
+  (an Erlang distribution over a quiet data-centre network),
+* per-message CPU cost of a few tens of microseconds at each replica, plus
+  a per-send cost — this makes replicas serial servers whose queues, not
+  the wire, limit throughput, and makes fan-out leaders bottleneck first,
+* baseline protocol timeouts at their classic defaults, comfortably inside
+  the benches' warm-up window.
+
+Absolute requests/second differ from the paper's Erlang deployment;
+who-beats-whom, by what rough factor, and where the curves bend is what
+carries over (see EXPERIMENTS.md).
+
+``REPRO_BENCH_SCALE`` widens the grids: ``quick`` (default) keeps every
+figure runnable in CI; ``full`` extends client counts and run lengths
+toward the paper's 1…4096 range.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.baselines.multipaxos import MultiPaxosConfig
+from repro.baselines.raft import RaftConfig
+from repro.core import CrdtPaxosConfig
+from repro.net.latency import LatencyModel, LogNormalLatency
+from repro.sim.process import ServiceModel
+
+#: The paper's batching window (§4.1: "5 ms batches").
+BATCH_WINDOW = 0.005
+
+
+def bench_scale() -> str:
+    """``quick`` or ``full`` (environment variable REPRO_BENCH_SCALE)."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if scale not in ("quick", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be 'quick' or 'full', got {scale!r}")
+    return scale
+
+
+def paper_latency() -> LatencyModel:
+    """One-way link delay: 400 µs median, mild jitter, 0.8 ns/byte."""
+    return LogNormalLatency(median=400e-6, sigma=0.25, per_byte=8e-10)
+
+
+def paper_service_model() -> ServiceModel:
+    """Replica CPU for the lean, logless CRDT Paxos path:
+    20 µs per receive, 10 µs per send, 1.5 ns per byte."""
+    return ServiceModel(base=20e-6, per_byte=1.5e-9, per_send=10e-6)
+
+
+def service_model_for(protocol: str) -> ServiceModel:
+    """Per-implementation CPU constants.
+
+    The paper compares *implementations*: Scalaris' lean CRDT module
+    against riak_ensemble (Multi-Paxos) and rabbitmq/ra (Raft) — both
+    full consensus frameworks that serialize every command into a managed
+    log (kept on a RAM disk in the paper "to minimize their performance
+    impact", but still paying serialization, log bookkeeping and extra
+    process hops per command).  We model that as a ~2.5× higher
+    per-message CPU cost for the log-based baselines; the logless CRDT
+    path keeps the lean constants.  EXPERIMENTS.md discusses this
+    calibration and its effect on absolute numbers.
+    """
+    if protocol in ("raft", "multi-paxos"):
+        return ServiceModel(base=50e-6, per_byte=1.5e-9, per_send=15e-6)
+    return paper_service_model()
+
+
+def paper_raft_config() -> RaftConfig:
+    return RaftConfig(
+        election_timeout_min=0.150,
+        election_timeout_max=0.300,
+        heartbeat_interval=0.030,
+        max_entries_per_append=64,
+        snapshot_threshold=2048,
+    )
+
+
+def paper_multipaxos_config() -> MultiPaxosConfig:
+    return MultiPaxosConfig(
+        election_timeout_min=0.150,
+        election_timeout_max=0.300,
+        heartbeat_interval=0.030,
+        lease_duration=0.120,
+        snapshot_threshold=2048,
+    )
+
+
+def crdt_paxos_config(batching: bool = False) -> CrdtPaxosConfig:
+    return CrdtPaxosConfig(
+        batching=batching,
+        batch_window=BATCH_WINDOW,
+        request_timeout=1.0,
+    )

@@ -1,0 +1,132 @@
+"""Figure 1 — throughput vs. number of clients, five read/update mixes.
+
+Paper setup: three replicas, closed-loop clients spread over the
+replicas, mixes of 100/95/90/50/0 % reads, median throughput over 1 s
+windows (99 % CI).  Systems: CRDT Paxos, CRDT Paxos with 5 ms batching,
+Raft, Multi-Paxos.
+
+Expected shape (paper §4.1): CRDT Paxos and Multi-Paxos profit from reads
+(fast path / leases) while Raft is flat across mixes; CRDT Paxos leads
+mixed read-heavy workloads at moderate client counts thanks to its load
+distribution over all replicas; conflict-free mixes (100 % or 0 % reads)
+run an order of magnitude faster than update-heavy mixed ones; batching
+lifts the contended mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.calibration import (
+    bench_scale,
+    crdt_paxos_config,
+    paper_latency,
+    paper_multipaxos_config,
+    paper_raft_config,
+    service_model_for,
+)
+from repro.bench.format import format_table
+from repro.workload.runner import run_workload
+from repro.workload.spec import WorkloadSpec
+
+PROTOCOLS = ("crdt-paxos", "crdt-paxos-batching", "raft", "multi-paxos")
+READ_PERCENTAGES = (100, 95, 90, 50, 0)
+
+_GRIDS = {
+    "quick": {"clients": (4, 32, 128), "duration": 1.2, "warmup": 0.5},
+    "full": {"clients": (1, 8, 64, 512, 1024, 2048), "duration": 4.0, "warmup": 1.0},
+}
+
+
+@dataclass(frozen=True)
+class Fig1Cell:
+    """One point of one curve."""
+
+    protocol: str
+    read_pct: int
+    clients: int
+    throughput: float
+    ci_low: float
+    ci_high: float
+
+
+def run_fig1(
+    scale: str | None = None, seed: int = 0
+) -> list[Fig1Cell]:
+    """Regenerate every Figure 1 panel at the requested scale."""
+    grid = _GRIDS[scale or bench_scale()]
+    cells: list[Fig1Cell] = []
+    for read_pct in READ_PERCENTAGES:
+        for protocol in PROTOCOLS:
+            for clients in grid["clients"]:
+                spec = WorkloadSpec(
+                    n_clients=clients,
+                    read_ratio=read_pct / 100.0,
+                    duration=grid["duration"],
+                    warmup=grid["warmup"],
+                    client_timeout=2.0,
+                )
+                result = run_workload(
+                    protocol,
+                    spec,
+                    seed=seed,
+                    latency=paper_latency(),
+                    service_model=service_model_for(protocol),
+                    crdt_config=crdt_paxos_config(),
+                    raft_config=paper_raft_config(),
+                    multipaxos_config=paper_multipaxos_config(),
+                )
+                ci = result.throughput()
+                cells.append(
+                    Fig1Cell(
+                        protocol=protocol,
+                        read_pct=read_pct,
+                        clients=clients,
+                        throughput=ci.median,
+                        ci_low=ci.low,
+                        ci_high=ci.high,
+                    )
+                )
+    return cells
+
+
+def render_fig1(cells: list[Fig1Cell]) -> str:
+    """One table per read-mix panel, mirroring the figure's five panels."""
+    parts = []
+    clients = sorted({cell.clients for cell in cells})
+    for read_pct in READ_PERCENTAGES:
+        rows = []
+        for protocol in PROTOCOLS:
+            row: list[object] = [protocol]
+            for n in clients:
+                match = [
+                    cell
+                    for cell in cells
+                    if cell.protocol == protocol
+                    and cell.read_pct == read_pct
+                    and cell.clients == n
+                ]
+                row.append(match[0].throughput if match else None)
+            rows.append(row)
+        parts.append(
+            format_table(
+                ["protocol"] + [f"{n} clients" for n in clients],
+                rows,
+                title=f"Figure 1 panel: {read_pct}% reads (req/s, median of 1s windows)",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def throughput_of(
+    cells: list[Fig1Cell], protocol: str, read_pct: int, clients: int
+) -> float:
+    """Lookup helper for assertions."""
+    for cell in cells:
+        if (
+            cell.protocol == protocol
+            and cell.read_pct == read_pct
+            and cell.clients == clients
+        ):
+            return cell.throughput
+    raise KeyError((protocol, read_pct, clients))

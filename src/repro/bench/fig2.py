@@ -1,0 +1,113 @@
+"""Figure 2 — 95th-percentile read/update latency at 10 % updates.
+
+Expected shape (paper §4.1): CRDT Paxos' read tail sits slightly above
+the leader-based baselines because a small fraction of reads retries after
+conflicting with updates; its update latency stays flat (single round
+trip) until saturation; batching adds its ~5 ms window but stabilizes the
+tail under load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.calibration import (
+    bench_scale,
+    crdt_paxos_config,
+    paper_latency,
+    paper_multipaxos_config,
+    paper_raft_config,
+    service_model_for,
+)
+from repro.bench.format import format_table
+from repro.workload.runner import run_workload
+from repro.workload.spec import WorkloadSpec
+
+PROTOCOLS = ("crdt-paxos", "crdt-paxos-batching", "raft", "multi-paxos")
+
+_GRIDS = {
+    "quick": {"clients": (4, 16, 64), "duration": 1.2, "warmup": 0.5},
+    "full": {"clients": (1, 4, 16, 64, 256, 1024), "duration": 4.0, "warmup": 1.0},
+}
+
+#: The figure's workload: 10 % updates.
+READ_RATIO = 0.9
+
+
+@dataclass(frozen=True)
+class Fig2Cell:
+    protocol: str
+    clients: int
+    read_p95_ms: float | None
+    update_p95_ms: float | None
+
+
+def run_fig2(scale: str | None = None, seed: int = 0) -> list[Fig2Cell]:
+    grid = _GRIDS[scale or bench_scale()]
+    cells: list[Fig2Cell] = []
+    for protocol in PROTOCOLS:
+        for clients in grid["clients"]:
+            spec = WorkloadSpec(
+                n_clients=clients,
+                read_ratio=READ_RATIO,
+                duration=grid["duration"],
+                warmup=grid["warmup"],
+                client_timeout=2.0,
+            )
+            result = run_workload(
+                protocol,
+                spec,
+                seed=seed,
+                latency=paper_latency(),
+                service_model=service_model_for(protocol),
+                crdt_config=crdt_paxos_config(),
+                raft_config=paper_raft_config(),
+                multipaxos_config=paper_multipaxos_config(),
+            )
+            read_p95 = result.latency_percentile("read", 95)
+            update_p95 = result.latency_percentile("update", 95)
+            cells.append(
+                Fig2Cell(
+                    protocol=protocol,
+                    clients=clients,
+                    read_p95_ms=None if read_p95 is None else read_p95 * 1e3,
+                    update_p95_ms=None if update_p95 is None else update_p95 * 1e3,
+                )
+            )
+    return cells
+
+
+def render_fig2(cells: list[Fig2Cell]) -> str:
+    clients = sorted({cell.clients for cell in cells})
+    parts = []
+    for metric, label in (
+        ("read_p95_ms", "Figure 2 (top): read 95th pctl latency in ms, 10% updates"),
+        (
+            "update_p95_ms",
+            "Figure 2 (bottom): update 95th pctl latency in ms, 10% updates",
+        ),
+    ):
+        rows = []
+        for protocol in PROTOCOLS:
+            row: list[object] = [protocol]
+            for n in clients:
+                match = [
+                    cell
+                    for cell in cells
+                    if cell.protocol == protocol and cell.clients == n
+                ]
+                row.append(getattr(match[0], metric) if match else None)
+            rows.append(row)
+        parts.append(
+            format_table(
+                ["protocol"] + [f"{n} clients" for n in clients], rows, title=label
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def cell_of(cells: list[Fig2Cell], protocol: str, clients: int) -> Fig2Cell:
+    for cell in cells:
+        if cell.protocol == protocol and cell.clients == clients:
+            return cell
+    raise KeyError((protocol, clients))

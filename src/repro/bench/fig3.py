@@ -1,0 +1,108 @@
+"""Figure 3 — round trips needed to process reads.
+
+Cumulative percentage of reads finishing within k round trips for 16–128
+clients under the 10 %-update workload, with and without 5 ms batching.
+
+Expected shape (paper §1/§4.1): without batching the tail stretches as
+concurrent updates invalidate prepares; with batching "more than 97 % of
+reads can be processed within two round trips".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.calibration import (
+    bench_scale,
+    crdt_paxos_config,
+    paper_latency,
+    service_model_for,
+)
+from repro.bench.format import format_table
+from repro.workload.runner import run_workload
+from repro.workload.spec import WorkloadSpec
+
+_GRIDS = {
+    "quick": {"clients": (16, 64), "duration": 1.5, "warmup": 0.5},
+    "full": {"clients": (16, 32, 64, 128), "duration": 5.0, "warmup": 1.0},
+}
+
+READ_RATIO = 0.9
+MAX_RT = 15
+
+
+@dataclass(frozen=True)
+class Fig3Curve:
+    """One CDF: cumulative % of reads within k round trips, k = 0…MAX_RT."""
+
+    batching: bool
+    clients: int
+    cumulative_pct: tuple[float, ...]
+    reads: int
+
+    def pct_within(self, round_trips: int) -> float:
+        return self.cumulative_pct[min(round_trips, MAX_RT)]
+
+
+def run_fig3(scale: str | None = None, seed: int = 0) -> list[Fig3Curve]:
+    grid = _GRIDS[scale or bench_scale()]
+    curves: list[Fig3Curve] = []
+    for batching in (False, True):
+        protocol = "crdt-paxos-batching" if batching else "crdt-paxos"
+        for clients in grid["clients"]:
+            spec = WorkloadSpec(
+                n_clients=clients,
+                read_ratio=READ_RATIO,
+                duration=grid["duration"],
+                warmup=grid["warmup"],
+                client_timeout=2.0,
+            )
+            result = run_workload(
+                protocol,
+                spec,
+                seed=seed,
+                latency=paper_latency(),
+                service_model=service_model_for(protocol),
+                crdt_config=crdt_paxos_config(),
+            )
+            cdf = result.round_trip_cdf(max_rt=MAX_RT)
+            curves.append(
+                Fig3Curve(
+                    batching=batching,
+                    clients=clients,
+                    cumulative_pct=tuple(pct for _, pct in cdf),
+                    reads=len(result.read_round_trips()),
+                )
+            )
+    return curves
+
+
+def render_fig3(curves: list[Fig3Curve]) -> str:
+    parts = []
+    for batching, label in (
+        (False, "Figure 3 (top): reads within k round trips, no batching"),
+        (True, "Figure 3 (bottom): reads within k round trips, 5 ms batching"),
+    ):
+        rows = []
+        for curve in curves:
+            if curve.batching != batching:
+                continue
+            rows.append(
+                [f"{curve.clients} clients"]
+                + [round(curve.pct_within(k), 1) for k in range(1, 9)]
+            )
+        parts.append(
+            format_table(
+                ["workload"] + [f"≤{k} RT %" for k in range(1, 9)],
+                rows,
+                title=label,
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def curve_of(curves: list[Fig3Curve], batching: bool, clients: int) -> Fig3Curve:
+    for curve in curves:
+        if curve.batching == batching and curve.clients == clients:
+            return curve
+    raise KeyError((batching, clients))

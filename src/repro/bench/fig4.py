@@ -1,0 +1,157 @@
+"""Figure 4 — 95th-percentile latency across a replica crash.
+
+64 clients, 10 % updates; one of the three replicas is killed mid-run.
+Expected shape (paper §4.2): **no unavailability window** — the protocol
+is leaderless, so service continues as long as a quorum lives; latencies
+rise slightly without batching because a consistent quorum now requires
+the two survivors to agree exactly, making update interference likelier.
+Clients pinned to the dead replica fail over after their client timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.calibration import (
+    bench_scale,
+    crdt_paxos_config,
+    paper_latency,
+    paper_service_model,
+)
+from repro.bench.format import format_table
+from repro.runtime.failures import FailureSchedule
+from repro.workload.runner import run_workload
+from repro.workload.spec import WorkloadSpec
+
+_GRIDS = {
+    "quick": {
+        "clients": 64,
+        "duration": 24.0,
+        "warmup": 2.0,
+        "crash_at": 12.0,
+        "window": 2.0,
+    },
+    "full": {
+        "clients": 64,
+        "duration": 120.0,
+        "warmup": 5.0,
+        "crash_at": 60.0,
+        "window": 5.0,
+    },
+}
+
+READ_RATIO = 0.9
+CRASHED_REPLICA = "r2"
+
+
+@dataclass(frozen=True)
+class Fig4Series:
+    """Latency time line for one configuration."""
+
+    batching: bool
+    crash_at: float
+    window: float
+    read_p95_ms: tuple[tuple[float, float | None], ...]
+    update_p95_ms: tuple[tuple[float, float | None], ...]
+    client_timeouts: int
+
+    def _mean(
+        self, series: tuple[tuple[float, float | None], ...], after: bool
+    ) -> float | None:
+        values = [
+            value
+            for time, value in series
+            if value is not None
+            and ((time >= self.crash_at + self.window) if after
+                 else (self.window <= time < self.crash_at - self.window))
+        ]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def mean_read_before(self) -> float | None:
+        return self._mean(self.read_p95_ms, after=False)
+
+    def mean_read_after(self) -> float | None:
+        return self._mean(self.read_p95_ms, after=True)
+
+    def windows_without_completions(self) -> int:
+        """Windows after the crash in which *no* read completed — an
+        availability gap (leader-based systems would show one here)."""
+        return sum(
+            1
+            for time, value in self.read_p95_ms
+            if time >= self.crash_at + self.window and value is None
+        )
+
+
+def run_fig4(scale: str | None = None, seed: int = 0) -> list[Fig4Series]:
+    grid = _GRIDS[scale or bench_scale()]
+    series_list: list[Fig4Series] = []
+    for batching in (False, True):
+        protocol = "crdt-paxos-batching" if batching else "crdt-paxos"
+        spec = WorkloadSpec(
+            n_clients=grid["clients"],
+            read_ratio=READ_RATIO,
+            duration=grid["duration"],
+            warmup=grid["warmup"],
+            client_timeout=0.5,
+        )
+        schedule = FailureSchedule().crash(grid["crash_at"], CRASHED_REPLICA)
+        result = run_workload(
+            protocol,
+            spec,
+            seed=seed,
+            latency=paper_latency(),
+            service_model=paper_service_model(),
+            crdt_config=crdt_paxos_config(),
+            failure_schedule=schedule,
+        )
+        series_list.append(
+            Fig4Series(
+                batching=batching,
+                crash_at=grid["crash_at"],
+                window=grid["window"],
+                read_p95_ms=tuple(
+                    (time, None if value is None else value * 1e3)
+                    for time, value in result.latency_timeline(
+                        "read", 95, grid["window"]
+                    )
+                ),
+                update_p95_ms=tuple(
+                    (time, None if value is None else value * 1e3)
+                    for time, value in result.latency_timeline(
+                        "update", 95, grid["window"]
+                    )
+                ),
+                client_timeouts=result.client_timeouts,
+            )
+        )
+    return series_list
+
+
+def render_fig4(series_list: list[Fig4Series]) -> str:
+    parts = []
+    for series in series_list:
+        label = "with 5 ms batching" if series.batching else "no batching"
+        rows = [
+            [
+                f"{time:.0f}s" + (" <crash>" if time == series.crash_at else ""),
+                read,
+                update,
+            ]
+            for (time, read), (_, update) in zip(
+                series.read_p95_ms, series.update_p95_ms
+            )
+        ]
+        parts.append(
+            format_table(
+                ["elapsed", "read p95 (ms)", "update p95 (ms)"],
+                rows,
+                title=(
+                    f"Figure 4 ({label}): 95th pctl latency, "
+                    f"{CRASHED_REPLICA} crashes at {series.crash_at:.0f}s"
+                ),
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,45 @@
+"""Correctness tooling for lattice-linearizable histories.
+
+The paper proves five conditions for its protocol (§3.1/§3.3): Validity,
+Stability, Consistency, Update Stability and Update Visibility, plus the
+optional GLA-Stability of §3.4.  This package checks them on *recorded
+histories*:
+
+* :mod:`repro.checker.history` — operation records with real-time
+  invocation/completion ordering;
+* :mod:`repro.checker.lattice_linearizability` — the condition checkers
+  (raising :class:`~repro.errors.HistoryViolation` with a narrative);
+* :mod:`repro.checker.scheduler` — an adversarial interleaving explorer
+  reproducing the authors' own test methodology ("a protocol scheduler
+  that enforces random interleavings of incoming messages"), extended
+  with message loss, duplication and replica crashes.
+"""
+
+from repro.checker.history import History, QueryRecord, UpdateRecord
+from repro.checker.lattice_linearizability import (
+    check_all,
+    check_consistency,
+    check_gla_stability,
+    check_stability,
+    check_update_stability,
+    check_update_visibility,
+    check_validity_gcounter,
+    gcounter_includes,
+)
+from repro.checker.scheduler import ExplorationReport, InterleavingExplorer
+
+__all__ = [
+    "ExplorationReport",
+    "History",
+    "InterleavingExplorer",
+    "QueryRecord",
+    "UpdateRecord",
+    "check_all",
+    "check_consistency",
+    "check_gla_stability",
+    "check_stability",
+    "check_update_stability",
+    "check_update_visibility",
+    "check_validity_gcounter",
+    "gcounter_includes",
+]

@@ -1,0 +1,100 @@
+"""Operation histories with real-time precedence.
+
+A history collects the updates and queries a test harness observed, each
+with invocation and completion instants.  Real-time precedence — operation
+A *precedes* B iff A completed before B was invoked — is what the §3.1
+conditions quantify over ("subsequent", "completes before ... submitted").
+
+Queries record the *learned state* itself (harnesses submit
+:class:`~repro.crdt.base.IdentityQuery`), because the conditions are
+statements about lattice elements, not derived values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crdt.base import StateCRDT
+
+
+@dataclass
+class UpdateRecord:
+    """One update operation.
+
+    ``inclusion_tag`` identifies this update's effect inside payload
+    states (see :class:`repro.core.messages.UpdateDone`); ``replica`` is
+    the proposer it was submitted to.  ``completed_at`` is None while the
+    update is still in flight (histories may end with open operations).
+    """
+
+    op_id: str
+    replica: str
+    invoked_at: float
+    completed_at: float | None = None
+    inclusion_tag: Any = None
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+
+@dataclass
+class QueryRecord:
+    """One query operation with the state it learned."""
+
+    op_id: str
+    replica: str
+    invoked_at: float
+    completed_at: float | None = None
+    state: StateCRDT | None = None
+    proposer: str = ""
+    learn_seq: int = 0
+    round_trips: int = 0
+    learned_via: str = ""
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+
+@dataclass
+class History:
+    """All operations observed during one run."""
+
+    updates: list[UpdateRecord] = field(default_factory=list)
+    queries: list[QueryRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def begin_update(self, op_id: str, replica: str, now: float) -> UpdateRecord:
+        record = UpdateRecord(op_id=op_id, replica=replica, invoked_at=now)
+        self.updates.append(record)
+        return record
+
+    def begin_query(self, op_id: str, replica: str, now: float) -> QueryRecord:
+        record = QueryRecord(op_id=op_id, replica=replica, invoked_at=now)
+        self.queries.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def completed_updates(self) -> list[UpdateRecord]:
+        return [u for u in self.updates if u.complete]
+
+    def completed_queries(self) -> list[QueryRecord]:
+        return [q for q in self.queries if q.complete]
+
+    def submitted_updates_per_replica(self) -> dict[str, int]:
+        """How many updates were submitted via each replica (for Validity)."""
+        counts: dict[str, int] = {}
+        for update in self.updates:
+            counts[update.replica] = counts.get(update.replica, 0) + 1
+        return counts
+
+    @staticmethod
+    def precedes(
+        first_completed_at: float | None, second_invoked_at: float
+    ) -> bool:
+        """Real-time precedence: completed strictly before the invocation."""
+        return first_completed_at is not None and (
+            first_completed_at < second_invoked_at
+        )

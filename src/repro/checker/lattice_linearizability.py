@@ -1,0 +1,181 @@
+"""Checkers for the §3.1 correctness conditions on recorded histories.
+
+Every checker raises :class:`~repro.errors.HistoryViolation` with a
+narrative naming the offending operations, and returns quietly when the
+history satisfies the condition.  ``check_all`` bundles them.
+
+Inclusion reasoning needs to know when a payload state *includes* a given
+update (§3.1's definition).  For a G-Counter this is exact: the update
+that raised replica ``r``'s slot to ``k`` is included in any state whose
+slot ``r`` is ≥ k — that is what :func:`gcounter_includes` implements and
+why the harnesses replicate G-Counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.checker.history import History, QueryRecord
+from repro.crdt.gcounter import GCounter
+from repro.errors import HistoryViolation
+
+#: (state, inclusion tag) → does the state include the tagged update?
+IncludesFn = Callable[[Any, Any], bool]
+
+
+def gcounter_includes(state: GCounter, tag: tuple[str, int]) -> bool:
+    """Inclusion test for G-Counter increments tagged ``(replica, slot)``."""
+    replica, slot_value = tag
+    return state.slot(replica) >= slot_value
+
+
+# ----------------------------------------------------------------------
+def check_consistency(history: History) -> None:
+    """§3.1 Consistency: any two learned states are comparable."""
+    learned = [q for q in history.completed_queries() if q.state is not None]
+    for i, first in enumerate(learned):
+        for second in learned[i + 1 :]:
+            assert first.state is not None and second.state is not None
+            if not first.state.comparable(second.state):
+                raise HistoryViolation(
+                    "Consistency violated: learned states of queries "
+                    f"{first.op_id} and {second.op_id} are incomparable: "
+                    f"{first.state!r} vs {second.state!r}"
+                )
+
+
+def check_stability(history: History) -> None:
+    """§3.1 Stability: subsequent learned states grow monotonically."""
+    learned = [q for q in history.completed_queries() if q.state is not None]
+    for first in learned:
+        for second in learned:
+            if first is second:
+                continue
+            if History.precedes(first.completed_at, second.invoked_at):
+                assert first.state is not None and second.state is not None
+                if not first.state.compare(second.state):
+                    raise HistoryViolation(
+                        "Stability violated: query "
+                        f"{first.op_id} (completed {first.completed_at}) "
+                        f"learned {first.state!r}, but subsequent query "
+                        f"{second.op_id} (invoked {second.invoked_at}) "
+                        f"learned the smaller/incomparable {second.state!r}"
+                    )
+
+
+def check_update_visibility(
+    history: History, includes: IncludesFn = gcounter_includes
+) -> None:
+    """§3.1 Update Visibility: a completed update is seen by later queries."""
+    for update in history.completed_updates():
+        if update.inclusion_tag is None:
+            continue
+        for query in history.completed_queries():
+            if query.state is None:
+                continue
+            if History.precedes(update.completed_at, query.invoked_at):
+                if not includes(query.state, update.inclusion_tag):
+                    raise HistoryViolation(
+                        "Update Visibility violated: update "
+                        f"{update.op_id} (completed {update.completed_at}, "
+                        f"tag {update.inclusion_tag}) is missing from the "
+                        f"state learned by later query {query.op_id} "
+                        f"(invoked {query.invoked_at}): {query.state!r}"
+                    )
+
+
+def check_update_stability(
+    history: History, includes: IncludesFn = gcounter_includes
+) -> None:
+    """§3.1 Update Stability: u1 before u2 ⇒ states with u2 contain u1."""
+    completed = [
+        u for u in history.completed_updates() if u.inclusion_tag is not None
+    ]
+    for first in completed:
+        for second in history.updates:
+            if second.inclusion_tag is None or first is second:
+                continue
+            if not History.precedes(first.completed_at, second.invoked_at):
+                continue
+            for query in history.completed_queries():
+                if query.state is None:
+                    continue
+                if includes(query.state, second.inclusion_tag) and not includes(
+                    query.state, first.inclusion_tag
+                ):
+                    raise HistoryViolation(
+                        "Update Stability violated: state learned by query "
+                        f"{query.op_id} includes {second.op_id} "
+                        f"(tag {second.inclusion_tag}) but not the earlier "
+                        f"completed update {first.op_id} "
+                        f"(tag {first.inclusion_tag})"
+                    )
+
+
+def check_validity_gcounter(history: History) -> None:
+    """§3.1 Validity, specialised to G-Counters.
+
+    A learned state must be a join of *submitted* update effects applied
+    to s0.  Updates submitted via one replica serialize at its acceptor,
+    so slot ``r`` of any learned state must lie between 0 and the number
+    of updates submitted via ``r`` (any value in that range is a prefix of
+    ``r``'s serial update sequence, hence a legal subset).
+    """
+    limits = history.submitted_updates_per_replica()
+    for query in history.completed_queries():
+        state = query.state
+        if state is None:
+            continue
+        if not isinstance(state, GCounter):
+            raise HistoryViolation(
+                f"Validity check expects GCounter states, got {type(state).__name__}"
+            )
+        for replica, value in state.as_dict().items():
+            if value < 0 or value > limits.get(replica, 0):
+                raise HistoryViolation(
+                    "Validity violated: query "
+                    f"{query.op_id} learned slot {replica}={value}, but only "
+                    f"{limits.get(replica, 0)} updates were submitted via "
+                    f"{replica}"
+                )
+
+
+def check_gla_stability(history: History) -> None:
+    """§3.4 GLA-Stability: states learned at one proposer are monotone in
+    learn order (even for overlapping queries)."""
+    by_proposer: dict[str, list[QueryRecord]] = {}
+    for query in history.completed_queries():
+        if query.state is None or not query.proposer:
+            continue
+        by_proposer.setdefault(query.proposer, []).append(query)
+    for proposer, queries in by_proposer.items():
+        queries.sort(key=lambda q: q.learn_seq)
+        for earlier, later in zip(queries, queries[1:]):
+            assert earlier.state is not None and later.state is not None
+            if earlier.learn_seq == later.learn_seq:
+                continue  # one batch answers many queries with one learn
+            if not earlier.state.compare(later.state):
+                raise HistoryViolation(
+                    "GLA-Stability violated at proposer "
+                    f"{proposer}: learn #{earlier.learn_seq} "
+                    f"({earlier.op_id}) produced {earlier.state!r}, later "
+                    f"learn #{later.learn_seq} ({later.op_id}) produced the "
+                    f"non-larger {later.state!r}"
+                )
+
+
+def check_all(
+    history: History,
+    includes: IncludesFn = gcounter_includes,
+    expect_gla_stability: bool = False,
+    validity: bool = True,
+) -> None:
+    """Run every §3.1 condition (and §3.4 when requested)."""
+    if validity:
+        check_validity_gcounter(history)
+    check_consistency(history)
+    check_stability(history)
+    check_update_visibility(history, includes)
+    check_update_stability(history, includes)
+    if expect_gla_stability:
+        check_gla_stability(history)

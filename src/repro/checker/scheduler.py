@@ -1,0 +1,248 @@
+"""Adversarial interleaving exploration of CRDT Paxos.
+
+Reproduces (and extends) the authors' testing methodology: client
+commands and protocol messages are interleaved in *uniformly random
+order* by an adversary, optionally spiced with message loss, duplication
+and replica crash/recovery.  Every run is deterministic under its seed and
+produces a :class:`~repro.checker.history.History` that the §3.1 checkers
+validate.
+
+Timer-driven behaviour (request re-drive, batching cadence) is disabled
+here on purpose — the adversary already controls scheduling, and timers
+would let the protocol paper over orderings we want to expose.  The
+explorer therefore forces ``request_timeout=None`` and ``batching=False``
+on the supplied configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.checker.history import History
+from repro.core.config import CrdtPaxosConfig
+from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
+from repro.core.replica import CrdtPaxosReplica
+from repro.crdt.base import IdentityQuery
+from repro.crdt.gcounter import GCounter, Increment
+from repro.net.adversary import AdversarialNetwork
+from repro.net.message import Envelope
+from repro.net.node import ProtocolNode
+from repro.sim.kernel import Simulator
+
+#: Virtual time consumed by an injection step (keeps "now" increasing).
+_STEP_EPSILON = 1e-9
+
+
+class _DirectRuntime:
+    """Zero-latency runtime: handles a delivery synchronously.
+
+    Timer effects are intentionally discarded (see module docstring);
+    sends feed back into the adversarial pool.
+    """
+
+    def __init__(self, sim: Simulator, network: AdversarialNetwork, node: ProtocolNode):
+        self._sim = sim
+        self._network = network
+        self.node = node
+        self.crashed = False
+        network.register(node.node_id, self)
+
+    def deliver(self, envelope: Envelope) -> None:
+        if self.crashed:
+            return
+        effects = self.node.on_message(
+            envelope.src, envelope.payload, self._sim.now
+        )
+        for dst, message in effects.sends:
+            self._network.send(self.node.node_id, dst, message)
+
+
+class _RecordingClient:
+    """Injects operations and stamps the history on completion."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: AdversarialNetwork,
+        address: str,
+        history: History,
+    ) -> None:
+        self._sim = sim
+        self._network = network
+        self.address = address
+        self._history = history
+        self._open: dict[str, Any] = {}
+        self._counter = 0
+        network.register(address, self)
+
+    def inject_update(self, replica: str) -> None:
+        self._counter += 1
+        op_id = f"{self.address}/u{self._counter}"
+        self._sim.now += _STEP_EPSILON
+        self._open[op_id] = self._history.begin_update(
+            op_id, replica, self._sim.now
+        )
+        self._network.send(
+            self.address, replica, ClientUpdate(request_id=op_id, op=Increment())
+        )
+
+    def inject_query(self, replica: str) -> None:
+        self._counter += 1
+        op_id = f"{self.address}/q{self._counter}"
+        self._sim.now += _STEP_EPSILON
+        self._open[op_id] = self._history.begin_query(
+            op_id, replica, self._sim.now
+        )
+        self._network.send(
+            self.address, replica, ClientQuery(request_id=op_id, op=IdentityQuery())
+        )
+
+    def deliver(self, envelope: Envelope) -> None:
+        message = envelope.payload
+        if isinstance(message, UpdateDone):
+            record = self._open.pop(message.request_id, None)
+            if record is not None:
+                record.completed_at = self._sim.now
+                record.inclusion_tag = message.inclusion_tag
+        elif isinstance(message, QueryDone):
+            record = self._open.pop(message.request_id, None)
+            if record is not None:
+                record.completed_at = self._sim.now
+                record.state = message.result
+                record.proposer = message.proposer
+                record.learn_seq = message.learn_seq
+                record.round_trips = message.round_trips
+                record.learned_via = message.learned_via
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of one adversarial run."""
+
+    history: History
+    steps: int
+    deliveries: int
+    injections: int
+    crashes: int
+    recoveries: int
+
+    @property
+    def all_complete(self) -> bool:
+        return all(u.complete for u in self.history.updates) and all(
+            q.complete for q in self.history.queries
+        )
+
+
+class InterleavingExplorer:
+    """Runs one adversarially scheduled workload against CRDT Paxos."""
+
+    def __init__(
+        self,
+        seed: int,
+        n_replicas: int = 3,
+        n_clients: int = 3,
+        config: CrdtPaxosConfig | None = None,
+    ) -> None:
+        self.seed = seed
+        self.n_replicas = n_replicas
+        self.n_clients = n_clients
+        base = config or CrdtPaxosConfig()
+        self.config = replace(
+            base,
+            request_timeout=None,
+            batching=False,
+            inclusion_tagger=lambda state, replica: (replica, state.slot(replica)),
+        )
+
+    def run(
+        self,
+        n_ops: int = 40,
+        read_fraction: float = 0.5,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        crash_probability: float = 0.0,
+        max_steps: int = 200_000,
+    ) -> ExplorationReport:
+        sim = Simulator(seed=self.seed)
+        network = AdversarialNetwork(sim)
+        rng = sim.rng.stream("explorer")
+        history = History()
+
+        runtimes = {}
+        replica_ids = [f"r{i}" for i in range(self.n_replicas)]
+        replica_set = set(replica_ids)
+        # Client sessions are dedup'd in practice (request ids over TCP);
+        # only replica↔replica channels may duplicate.
+        network.duplicable = (
+            lambda envelope: envelope.src in replica_set
+            and envelope.dst in replica_set
+        )
+        for replica_id in replica_ids:
+            node = CrdtPaxosReplica(
+                replica_id, list(replica_ids), GCounter.initial(), self.config
+            )
+            runtimes[replica_id] = _DirectRuntime(sim, network, node)
+        clients = [
+            _RecordingClient(sim, network, f"c{i}", history)
+            for i in range(self.n_clients)
+        ]
+
+        plan: list[str] = [
+            "read" if rng.random() < read_fraction else "update"
+            for _ in range(n_ops)
+        ]
+        max_crashed = (self.n_replicas - 1) // 2
+        crashed: set[str] = set()
+        steps = deliveries = injections = crashes = recoveries = 0
+
+        while steps < max_steps and (plan or network.pending):
+            steps += 1
+            inject_now = bool(plan) and (
+                network.pending == 0 or rng.random() < 0.25
+            )
+            if inject_now:
+                kind = plan.pop()
+                client = rng.choice(clients)
+                replica = rng.choice(replica_ids)
+                if kind == "update":
+                    client.inject_update(replica)
+                else:
+                    client.inject_query(replica)
+                injections += 1
+                continue
+
+            if crash_probability > 0.0 and rng.random() < crash_probability:
+                if crashed and rng.random() < 0.5:
+                    recovered = rng.choice(sorted(crashed))
+                    crashed.discard(recovered)
+                    runtimes[recovered].crashed = False
+                    recoveries += 1
+                    continue
+                if len(crashed) < max_crashed:
+                    victim = rng.choice(
+                        [r for r in replica_ids if r not in crashed]
+                    )
+                    crashed.add(victim)
+                    runtimes[victim].crashed = True
+                    crashes += 1
+                    continue
+
+            if network.deliver_random(drop_probability, duplicate_probability):
+                deliveries += 1
+
+        # Heal everything and let the system quiesce so that as many
+        # operations as possible complete before checking.
+        for replica_id in crashed:
+            runtimes[replica_id].crashed = False
+        network.drain(max_deliveries=max_steps)
+
+        return ExplorationReport(
+            history=history,
+            steps=steps,
+            deliveries=deliveries,
+            injections=injections,
+            crashes=crashes,
+            recoveries=recoveries,
+        )

@@ -1,0 +1,41 @@
+"""CRDT Paxos — the paper's contribution (Algorithm 2).
+
+Linearizable state machine replication of state-based CRDTs without logs,
+leaders, or auxiliary processes:
+
+* **updates** apply at the receiving replica's local acceptor and complete
+  after a single ``MERGE`` round trip to a quorum;
+* **queries** learn a payload state with a Paxos-like prepare/vote exchange
+  — one round trip when a *consistent quorum* is observed, two when a vote
+  is needed, more only under contention with concurrent updates;
+* the only coordination state is one round ``(number, id)`` per acceptor
+  and the only per-message overhead is that round — no command log exists.
+
+Public entry points:
+
+* :class:`~repro.core.replica.CrdtPaxosReplica` — a sans-io replica
+  implementing both the proposer and acceptor roles,
+* :class:`~repro.core.config.CrdtPaxosConfig` — protocol options
+  (batching, retry policy, GLA-Stability, the §3.6 optimizations),
+* the client-facing message types in :mod:`repro.core.messages`.
+"""
+
+from repro.core.config import CrdtPaxosConfig
+from repro.core.messages import (
+    ClientQuery,
+    ClientUpdate,
+    QueryDone,
+    UpdateDone,
+)
+from repro.core.replica import CrdtPaxosReplica
+from repro.core.rounds import Round
+
+__all__ = [
+    "ClientQuery",
+    "ClientUpdate",
+    "CrdtPaxosConfig",
+    "CrdtPaxosReplica",
+    "QueryDone",
+    "Round",
+    "UpdateDone",
+]

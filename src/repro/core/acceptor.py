@@ -1,0 +1,113 @@
+"""The acceptor role of CRDT Paxos (Algorithm 2, right column).
+
+An acceptor's entire state is the CRDT payload ``s`` plus the highest round
+``r`` it has observed — this is the paper's "memory overhead of a single
+counter per replica".  There is no log.
+
+All handlers are pure with respect to IO: they mutate the acceptor and
+return the reply message for the replica to route back.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import (
+    Merge,
+    Merged,
+    Prepare,
+    PrepareAck,
+    PrepareNack,
+    Vote,
+    Voted,
+    VoteNack,
+)
+from repro.core.rounds import Round
+from repro.crdt.base import StateCRDT, UpdateOp
+
+
+class Acceptor:
+    """Replicated storage for one CRDT: payload state + highest round."""
+
+    def __init__(self, initial_state: StateCRDT) -> None:
+        self.state = initial_state
+        self.round = Round.initial()
+        # Counters for observability; not part of protocol state.
+        self.merges_handled = 0
+        self.prepares_accepted = 0
+        self.prepares_rejected = 0
+        self.votes_granted = 0
+        self.votes_denied = 0
+
+    # ------------------------------------------------------------------
+    # Update commands
+    # ------------------------------------------------------------------
+    def apply_update(self, op: UpdateOp, replica_id: str) -> StateCRDT:
+        """Apply ``f_u`` locally (lines 28–31); returns the new payload.
+
+        The round id becomes the ``write`` marker so that any in-flight
+        vote prepared against the previous state is invalidated.
+        """
+        self.state = op.apply(self.state, replica_id)
+        self.round = self.round.with_write_id()
+        return self.state
+
+    def handle_merge(self, msg: Merge) -> Merged:
+        """Fold a remote payload into ours by LUB (lines 32–35)."""
+        self.state = self.state.merge(msg.state)
+        self.round = self.round.with_write_id()
+        self.merges_handled += 1
+        return Merged(request_id=msg.request_id)
+
+    # ------------------------------------------------------------------
+    # Query commands
+    # ------------------------------------------------------------------
+    def handle_prepare(self, msg: Prepare) -> PrepareAck | PrepareNack:
+        """Phase 1 (lines 36–42).
+
+        The carried payload is merged *unconditionally* (line 37) — even a
+        rejected prepare still disseminates state.  Incremental prepares
+        are always accepted; fixed prepares only with a strictly larger
+        round number.
+        """
+        if msg.state is not None:
+            self.state = self.state.merge(msg.state)
+
+        proposed = msg.round
+        if proposed.is_incremental:
+            proposed = proposed.concretized(self.round.number)
+
+        if proposed.number > self.round.number:
+            self.round = proposed
+            self.prepares_accepted += 1
+            return PrepareAck(
+                request_id=msg.request_id,
+                attempt=msg.attempt,
+                round=self.round,
+                state=self.state,
+            )
+        self.prepares_rejected += 1
+        return PrepareNack(
+            request_id=msg.request_id,
+            attempt=msg.attempt,
+            round=self.round,
+            state=self.state,
+        )
+
+    def handle_vote(self, msg: Vote) -> Voted | VoteNack:
+        """Phase 2 (lines 43–47).
+
+        The proposed payload is merged unconditionally (line 44); the vote
+        is granted only if our round still equals the prepared round — any
+        interleaved update or competing prepare has changed it (invariant
+        I4 / the ``write`` marker), in which case the proposer must retry.
+        """
+        self.state = self.state.merge(msg.state)
+        if msg.round == self.round:
+            self.votes_granted += 1
+            return Voted(request_id=msg.request_id, attempt=msg.attempt)
+        self.votes_denied += 1
+        return VoteNack(
+            request_id=msg.request_id,
+            attempt=msg.attempt,
+            round=self.round,
+            state=self.state,
+        )

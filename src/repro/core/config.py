@@ -1,0 +1,86 @@
+"""Configuration of the CRDT Paxos protocol.
+
+Defaults mirror the paper's base protocol; the optimizations of §3.6 and
+the GLA-Stability extension of §3.4 are opt-in flags so experiments can
+ablate them individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.crdt.base import StateCRDT
+from repro.errors import ConfigurationError
+
+#: Extracts an opaque inclusion token from (payload after update, replica).
+InclusionTagger = Callable[[StateCRDT, str], Any]
+
+
+@dataclass
+class CrdtPaxosConfig:
+    """Protocol knobs for one replica group.
+
+    ``initial_prepare`` / ``retry_prepare``
+        ``"incremental"`` leaves the round number ``⊥`` (always accepted;
+        required for the eventual-liveness argument of §3.5) while
+        ``"fixed"`` picks ``highest observed number + 1``.  The paper's
+        proposers start incremental and retry incremental.
+    ``fast_path``
+        Enables learning by *consistent quorum* (§3.2 case (a)) — skipping
+        the vote phase when a quorum answered with equivalent payloads.
+        Disabling it is an ablation, not a recommended mode.
+    ``include_state_in_prepare``
+        Ship the proposer's local payload in PREPARE messages to speed up
+        convergence (never ships ``s0``; §3.6).
+    ``batching`` / ``batch_window``
+        Per-proposer update and query batches (§3.6).  Buffered commands
+        are applied locally; message count and size are independent of the
+        batch size.
+    ``gla_stability``
+        §3.4: proposers remember their largest learned state so states
+        learned at the same proposer increase monotonically even across
+        concurrent (overlapping) queries.
+    ``delta_merge``
+        Extension (related-work pointer to delta-CRDTs): MERGE messages
+        carry only the update's delta instead of the full payload.  A
+        quorum still durably stores every completed update, so the §3.1
+        conditions are preserved; payload convergence then relies on the
+        query path.
+    ``request_timeout``
+        Client-request supervision: how long a proposer waits before
+        re-driving an open request (resending MERGEs / starting a fresh
+        query attempt).  ``None`` disables (fine on lossless fabrics).
+    ``retry_backoff``
+        Delay before a failed query attempt is retried.  0 retries
+        immediately, which matches the evaluation's behaviour.
+    ``inclusion_tagger``
+        Optional extractor of inclusion tokens for the correctness checker
+        (see :class:`~repro.core.messages.UpdateDone`).
+    """
+
+    batching: bool = False
+    batch_window: float = 0.005
+    initial_prepare: str = "incremental"
+    retry_prepare: str = "incremental"
+    retry_backoff: float = 0.0
+    request_timeout: float | None = 1.0
+    gla_stability: bool = False
+    fast_path: bool = True
+    include_state_in_prepare: bool = True
+    delta_merge: bool = False
+    inclusion_tagger: InclusionTagger | None = None
+
+    def __post_init__(self) -> None:
+        for field_name in ("initial_prepare", "retry_prepare"):
+            value = getattr(self, field_name)
+            if value not in ("incremental", "fixed"):
+                raise ConfigurationError(
+                    f"{field_name} must be 'incremental' or 'fixed', got {value!r}"
+                )
+        if self.batch_window <= 0:
+            raise ConfigurationError("batch_window must be positive")
+        if self.retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be non-negative")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ConfigurationError("request_timeout must be positive or None")

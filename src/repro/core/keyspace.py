@@ -1,0 +1,214 @@
+"""Keyed CRDT store: many independent protocol instances on one replica.
+
+The paper's implementation lives inside the Scalaris key-value store —
+"linearizable access on CRDT data on a fine-granular scale" (§1).  This
+module provides that deployment shape: a :class:`KeyedCrdtReplica` hosts
+one acceptor/proposer pair *per key*, created on first touch from a
+per-key initial state.  Keys are completely independent — an update to
+``"cart:42"`` never synchronizes with a read of ``"views:7"`` — which is
+exactly why the fine-granular deployment scales: contention is per key,
+not per store.
+
+Wire format: client messages and the inter-replica protocol messages are
+wrapped in :class:`Keyed` envelopes carrying the key; unwrapped handling
+is delegated to the per-key :class:`~repro.core.replica.CrdtPaxosReplica`
+machinery.  Memory overhead per key is the CRDT payload plus one round —
+the paper's logless claim, multiplied by keys, with no log anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.core.acceptor import Acceptor
+from repro.core.config import CrdtPaxosConfig
+from repro.core.messages import ClientQuery, ClientUpdate
+from repro.core.proposer import Proposer
+from repro.crdt.base import StateCRDT
+from repro.net.message import wire_size as _wire_size
+from repro.net.node import Effects, ProtocolNode
+from repro.quorum.system import MajorityQuorum, QuorumSystem
+
+
+@dataclass(frozen=True, slots=True)
+class Keyed:
+    """Wrapper routing any protocol or client message to one key."""
+
+    key: Hashable
+    message: Any
+
+    @property
+    def request_id(self) -> Any:
+        """Delegate correlation ids so request/reply clients (e.g. the
+        asyncio client) can match keyed replies transparently."""
+        return getattr(self.message, "request_id", None)
+
+    def wire_size(self) -> int:
+        return _wire_size(self.key) + _wire_size(self.message)
+
+
+class _KeyInstance:
+    """One key's acceptor + proposer pair."""
+
+    def __init__(
+        self,
+        key: Hashable,
+        node_id: str,
+        proposer_index: int,
+        peers: list[str],
+        initial_state: StateCRDT,
+        quorum: QuorumSystem,
+        config: CrdtPaxosConfig,
+    ) -> None:
+        self.acceptor = Acceptor(initial_state)
+        self.proposer = Proposer(
+            node_id=node_id,
+            proposer_index=proposer_index,
+            peers=peers,
+            acceptor=self.acceptor,
+            quorum=quorum,
+            config=config,
+            initial_state=initial_state,
+        )
+
+
+class KeyedCrdtReplica(ProtocolNode):
+    """A replica hosting an independent CRDT Paxos instance per key.
+
+    Parameters
+    ----------
+    initial_state_for:
+        ``key → bottom payload`` factory; called once per key on first
+        touch and must be deterministic across replicas (all members must
+        agree on a key's type).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        peers: list[str],
+        initial_state_for: Callable[[Hashable], StateCRDT],
+        config: CrdtPaxosConfig | None = None,
+        quorum: QuorumSystem | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        if node_id not in peers:
+            raise ValueError(f"node_id {node_id!r} must be listed in peers")
+        self.peers = list(peers)
+        self.config = config or CrdtPaxosConfig()
+        self.quorum = quorum or MajorityQuorum(peers)
+        self._initial_state_for = initial_state_for
+        self._proposer_index = sorted(peers).index(node_id)
+        self._instances: dict[Hashable, _KeyInstance] = {}
+
+    # ------------------------------------------------------------------
+    def instance(self, key: Hashable) -> _KeyInstance:
+        """The per-key machinery, created on first touch."""
+        existing = self._instances.get(key)
+        if existing is not None:
+            return existing
+        created = _KeyInstance(
+            key=key,
+            node_id=self.node_id,
+            proposer_index=self._proposer_index,
+            peers=self.peers,
+            initial_state=self._initial_state_for(key),
+            quorum=self.quorum,
+            config=self.config,
+        )
+        self._instances[key] = created
+        return created
+
+    def keys(self) -> list[Hashable]:
+        return list(self._instances)
+
+    def state_of(self, key: Hashable) -> StateCRDT:
+        return self.instance(key).acceptor.state
+
+    # ------------------------------------------------------------------
+    def on_start(self, now: float) -> Effects:
+        return Effects()
+
+    def on_message(self, src: str, message: Any, now: float) -> Effects:
+        if not isinstance(message, Keyed):
+            return Effects()  # unkeyed traffic is not ours
+        key = message.key
+        inner = message.message
+        instance = self.instance(key)
+
+        if isinstance(inner, ClientUpdate):
+            effects = instance.proposer.client_update(
+                src, inner.request_id, inner.op, now
+            )
+        elif isinstance(inner, ClientQuery):
+            effects = instance.proposer.client_query(
+                src, inner.request_id, inner.op, now
+            )
+        else:
+            effects = self._on_peer_message(instance, src, inner, now)
+        return self._wrap(key, effects)
+
+    def _on_peer_message(
+        self, instance: _KeyInstance, src: str, inner: Any, now: float
+    ) -> Effects:
+        from repro.core.messages import (
+            Merge,
+            Merged,
+            Prepare,
+            PrepareAck,
+            PrepareNack,
+            Vote,
+            Voted,
+            VoteNack,
+        )
+
+        if isinstance(inner, Merge):
+            effects = Effects()
+            effects.send(src, instance.acceptor.handle_merge(inner))
+            return effects
+        if isinstance(inner, Prepare):
+            effects = Effects()
+            effects.send(src, instance.acceptor.handle_prepare(inner))
+            return effects
+        if isinstance(inner, Vote):
+            effects = Effects()
+            effects.send(src, instance.acceptor.handle_vote(inner))
+            return effects
+        if isinstance(inner, Merged):
+            return instance.proposer.on_merged(src, inner, now)
+        if isinstance(inner, PrepareAck):
+            return instance.proposer.on_prepare_ack(src, inner, now)
+        if isinstance(inner, PrepareNack):
+            return instance.proposer.on_prepare_nack(src, inner, now)
+        if isinstance(inner, Voted):
+            return instance.proposer.on_voted(src, inner, now)
+        if isinstance(inner, VoteNack):
+            return instance.proposer.on_vote_nack(src, inner, now)
+        return Effects()
+
+    def on_timer(self, key: str, now: float) -> Effects:
+        # Timer keys are namespaced "<repr(key)>|<proposer key>".
+        namespace, _, proposer_key = key.partition("|")
+        for candidate, instance in self._instances.items():
+            if repr(candidate) == namespace:
+                return self._wrap(
+                    candidate, instance.proposer.on_timer(proposer_key, now)
+                )
+        return Effects()
+
+    # ------------------------------------------------------------------
+    def _wrap(self, key: Hashable, effects: Effects) -> Effects:
+        """Wrap outgoing sends in Keyed envelopes and namespace timers.
+
+        Replies to clients are wrapped too, so client code can route by
+        key; adapters unwrap transparently.
+        """
+        wrapped = Effects()
+        for dst, message in effects.sends:
+            wrapped.send(dst, Keyed(key=key, message=message))
+        for timer_key, delay in effects.timers:
+            wrapped.set_timer(f"{key!r}|{timer_key}", delay)
+        for timer_key in effects.cancels:
+            wrapped.cancel_timer(f"{key!r}|{timer_key}")
+        return wrapped

@@ -1,0 +1,197 @@
+"""Wire messages of CRDT Paxos.
+
+Replica-to-replica messages carry at most one payload state and one round —
+the paper's "message size overhead for coordination consists of a single
+counter per message".  ``request_id`` strings correlate replies with the
+originating request (or batch); acceptors echo them verbatim.
+
+VOTED deliberately carries **no payload** (§3.6): the proposer already
+knows the state it proposed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.rounds import Round
+from repro.crdt.base import QueryOp, StateCRDT, UpdateOp
+from repro.net.message import wire_size as _wire_size
+
+
+def _state_size(state: StateCRDT | None) -> int:
+    return 0 if state is None else state.wire_size()
+
+
+# ----------------------------------------------------------------------
+# Client ↔ proposer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class ClientUpdate:
+    """Submit an update function ``f_u ∈ U``; completes with UpdateDone."""
+
+    request_id: str
+    op: UpdateOp
+
+    def wire_size(self) -> int:
+        return 8 + self.op.wire_size()
+
+
+@dataclass(frozen=True, slots=True)
+class ClientQuery:
+    """Submit a query function ``f_q ∈ Q``; completes with QueryDone."""
+
+    request_id: str
+    op: QueryOp
+
+    def wire_size(self) -> int:
+        return 8 + self.op.wire_size()
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateDone:
+    """Update completed (a quorum stores it).
+
+    ``inclusion_tag`` is an opaque token identifying the update's effect in
+    later payload states (e.g. ``(replica, slot value)`` for a G-Counter
+    increment); the correctness checker uses it to verify Update Stability
+    and Update Visibility.  It is None unless the replica was configured
+    with an extractor.
+    """
+
+    request_id: str
+    inclusion_tag: Any = None
+
+    def wire_size(self) -> int:
+        return 8 + _wire_size(self.inclusion_tag)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryDone:
+    """Query completed with ``result = f_q(learned state)``.
+
+    Diagnostic fields: how many round trips the request cost, over how many
+    attempts, whether the final learn came from the consistent-quorum fast
+    path (``"fast"``) or a vote (``"vote"``), and the per-proposer learn
+    sequence number (used to check GLA-Stability).
+    """
+
+    request_id: str
+    result: Any
+    round_trips: int
+    attempts: int
+    learned_via: str
+    proposer: str
+    learn_seq: int
+
+    def wire_size(self) -> int:
+        return 8 + _wire_size(self.result) + 20
+
+
+# ----------------------------------------------------------------------
+# Proposer → acceptor (and replies)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class Merge:
+    """Update path: merge this payload into the acceptor's state."""
+
+    request_id: str
+    state: StateCRDT
+
+    def wire_size(self) -> int:
+        return 8 + _state_size(self.state)
+
+
+@dataclass(frozen=True, slots=True)
+class Merged:
+    """Acceptor acknowledgement of a Merge."""
+
+    request_id: str
+
+    def wire_size(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True, slots=True)
+class Prepare:
+    """Phase 1: announce intent to learn; round may be incremental.
+
+    ``state`` is optional (§3.6: never ship ``s0``; shipping a recent local
+    state speeds convergence but is not needed for safety).
+    """
+
+    request_id: str
+    attempt: int
+    round: Round
+    state: StateCRDT | None = None
+
+    def wire_size(self) -> int:
+        return 12 + self.round.wire_size() + _state_size(self.state)
+
+
+@dataclass(frozen=True, slots=True)
+class PrepareAck:
+    """Acceptor accepted the prepare; carries its round and payload."""
+
+    request_id: str
+    attempt: int
+    round: Round
+    state: StateCRDT
+
+    def wire_size(self) -> int:
+        return 12 + self.round.wire_size() + _state_size(self.state)
+
+
+@dataclass(frozen=True, slots=True)
+class PrepareNack:
+    """Acceptor rejected a fixed prepare with a stale round number.
+
+    Carries the acceptor's current round and payload so the proposer can
+    retry with a larger number and a fresher state (§3.2, Retrying
+    Requests).
+    """
+
+    request_id: str
+    attempt: int
+    round: Round
+    state: StateCRDT
+
+    def wire_size(self) -> int:
+        return 12 + self.round.wire_size() + _state_size(self.state)
+
+
+@dataclass(frozen=True, slots=True)
+class Vote:
+    """Phase 2: propose to learn ``state`` under the prepared round."""
+
+    request_id: str
+    attempt: int
+    round: Round
+    state: StateCRDT
+
+    def wire_size(self) -> int:
+        return 12 + self.round.wire_size() + _state_size(self.state)
+
+
+@dataclass(frozen=True, slots=True)
+class Voted:
+    """Acceptor voted for the proposal (payload elided, §3.6)."""
+
+    request_id: str
+    attempt: int
+
+    def wire_size(self) -> int:
+        return 12
+
+
+@dataclass(frozen=True, slots=True)
+class VoteNack:
+    """Acceptor denied the vote (its round moved); proposer must retry."""
+
+    request_id: str
+    attempt: int
+    round: Round
+    state: StateCRDT
+
+    def wire_size(self) -> int:
+        return 12 + self.round.wire_size() + _state_size(self.state)

@@ -1,0 +1,490 @@
+"""The proposer role of CRDT Paxos (Algorithm 2, left column).
+
+A proposer turns client commands into protocol exchanges:
+
+* **updates** — apply the update function at the co-located acceptor, then
+  broadcast the resulting payload in a single ``MERGE`` round trip; done
+  when a quorum (counting the local acceptor) acknowledged.
+* **queries** — learn a payload state first: PREPARE to all acceptors; on
+  a quorum of ACKs either (a) all payloads are equivalent → *learned by
+  consistent quorum*, one round trip; or (b) all rounds are equal → VOTE
+  the LUB, *learned by vote* on a quorum of VOTEDs; or (c) retry with a
+  fixed prepare above every observed round number.  NACKs abort the
+  attempt and retry (incremental by default — the §3.5 liveness argument).
+
+Proposers keep **no durable state**: only bookkeeping for open requests.
+Batching (§3.6) buffers commands per proposer and applies them locally, so
+message count and size are independent of batch size.
+
+Commands are grouped into batches even when batching is off (a batch of
+one); this gives a single code path and matches the paper's observation
+that the batched and unbatched protocols are the same machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.acceptor import Acceptor
+from repro.core.config import CrdtPaxosConfig
+from repro.core.messages import (
+    Merge,
+    Merged,
+    Prepare,
+    PrepareAck,
+    PrepareNack,
+    QueryDone,
+    UpdateDone,
+    Vote,
+    Voted,
+    VoteNack,
+)
+from repro.core.rounds import Round, RoundIdGenerator
+from repro.crdt.base import QueryOp, StateCRDT, UpdateOp, join_all
+from repro.net.node import Effects
+from repro.quorum.system import QuorumSystem
+
+
+@dataclass
+class _UpdateItem:
+    client: str
+    request_id: str
+    op: UpdateOp
+
+
+@dataclass
+class _QueryItem:
+    client: str
+    request_id: str
+    op: QueryOp
+
+
+@dataclass
+class _UpdateBatch:
+    batch_id: str
+    items: list[_UpdateItem]
+    payload: StateCRDT
+    tags: list[Any]
+    acked: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _QueryBatch:
+    batch_id: str
+    items: list[_QueryItem]
+    accumulated: StateCRDT
+    attempt: int = 0
+    phase: str = "prepare"  # prepare | vote | backoff
+    sent_round: Round | None = None
+    acks: dict[str, tuple[Round, StateCRDT]] = field(default_factory=dict)
+    voted: set[str] = field(default_factory=set)
+    proposed: StateCRDT | None = None
+    max_round_number: int = 0
+    round_trips: int = 0
+    retry_kind: str = "incremental"
+
+
+class ProposerStats:
+    """Aggregate counters exposed for benchmarks and debugging."""
+
+    def __init__(self) -> None:
+        self.updates_completed = 0
+        self.queries_completed = 0
+        self.fast_path_learns = 0
+        self.vote_learns = 0
+        self.prepare_retries = 0
+        self.vote_retries = 0
+        self.timeouts = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+class Proposer:
+    """Sans-io proposer; all handlers return :class:`Effects`."""
+
+    def __init__(
+        self,
+        node_id: str,
+        proposer_index: int,
+        peers: list[str],
+        acceptor: Acceptor,
+        quorum: QuorumSystem,
+        config: CrdtPaxosConfig,
+        initial_state: StateCRDT,
+    ) -> None:
+        self.node_id = node_id
+        self._remotes = [p for p in peers if p != node_id]
+        self._acceptor = acceptor
+        self._quorum = quorum
+        self._config = config
+        self._initial_state = initial_state
+        self._rid_gen = RoundIdGenerator(proposer_index)
+        self._batch_counter = 0
+        self._update_batches: dict[str, _UpdateBatch] = {}
+        self._query_batches: dict[str, _QueryBatch] = {}
+        self._update_buffer: list[_UpdateItem] = []
+        self._query_buffer: list[_QueryItem] = []
+        self._update_in_flight = False
+        self._query_in_flight = False
+        self._flush_armed = False
+        self._flush_ever_armed = False
+        # Stagger the batching cadence across proposers (clock drift does
+        # this in any real deployment).  If every proposer flushed at the
+        # same instant, each read batch would systematically collide with
+        # the other proposers' merge fronts and retry — the opposite of
+        # what batching is for (§3.6).
+        self._flush_phase = (
+            self._config.batch_window * proposer_index / max(len(peers), 1)
+        )
+        # Per-proposer backoff factor: identical retry delays re-align
+        # dueling proposers (the §3.5 liveness hazard); distinct periods
+        # let them drift apart, like randomized timeouts do in practice.
+        self._backoff_factor = 1.0 + proposer_index / max(len(peers), 1)
+        self._learned_max: StateCRDT | None = None
+        self._learn_seq = 0
+        self.stats = ProposerStats()
+
+    # ------------------------------------------------------------------
+    # Client entry points
+    # ------------------------------------------------------------------
+    def client_update(
+        self, client: str, request_id: str, op: UpdateOp, now: float
+    ) -> Effects:
+        item = _UpdateItem(client, request_id, op)
+        if not self._config.batching:
+            return self._start_update_batch([item])
+        effects = Effects()
+        self._update_buffer.append(item)
+        self._ensure_flush_timer(effects)
+        return effects
+
+    def client_query(
+        self, client: str, request_id: str, op: QueryOp, now: float
+    ) -> Effects:
+        item = _QueryItem(client, request_id, op)
+        if not self._config.batching:
+            return self._start_query_batch([item])
+        effects = Effects()
+        self._query_buffer.append(item)
+        self._ensure_flush_timer(effects)
+        return effects
+
+    # ------------------------------------------------------------------
+    # Batching cadence (§3.6)
+    # ------------------------------------------------------------------
+    def _ensure_flush_timer(self, effects: Effects) -> None:
+        if not self._flush_armed:
+            self._flush_armed = True
+            delay = self._config.batch_window
+            if not self._flush_ever_armed:
+                self._flush_ever_armed = True
+                delay += self._flush_phase
+            effects.set_timer("flush", delay)
+
+    def on_flush_timer(self, now: float) -> Effects:
+        self._flush_armed = False
+        effects = Effects()
+        if self._update_buffer and not self._update_in_flight:
+            items, self._update_buffer = self._update_buffer, []
+            effects.merge(self._start_update_batch(items))
+        if self._query_buffer and not self._query_in_flight:
+            items, self._query_buffer = self._query_buffer, []
+            effects.merge(self._start_query_batch(items))
+        if (
+            self._update_buffer
+            or self._query_buffer
+            or self._update_in_flight
+            or self._query_in_flight
+        ):
+            self._ensure_flush_timer(effects)
+        return effects
+
+    # ------------------------------------------------------------------
+    # Update path (single round trip)
+    # ------------------------------------------------------------------
+    def _start_update_batch(self, items: list[_UpdateItem]) -> Effects:
+        self._batch_counter += 1
+        batch_id = f"{self.node_id}/u{self._batch_counter}"
+        effects = Effects()
+
+        delta: StateCRDT | None = None
+        tags: list[Any] = []
+        for item in items:
+            before = self._acceptor.state
+            after = self._acceptor.apply_update(item.op, self.node_id)
+            if self._config.inclusion_tagger is not None:
+                tags.append(self._config.inclusion_tagger(after, self.node_id))
+            else:
+                tags.append(None)
+            if self._config.delta_merge:
+                piece = item.op.delta(before, after, self.node_id)
+                delta = piece if delta is None else delta.merge(piece)
+
+        payload = delta if self._config.delta_merge else self._acceptor.state
+        assert payload is not None
+        batch = _UpdateBatch(batch_id, items, payload, tags, acked={self.node_id})
+        self._update_batches[batch_id] = batch
+        self._update_in_flight = True
+
+        if self._quorum.is_quorum(batch.acked):
+            # Degenerate single-replica group: already durable.
+            effects.merge(self._complete_update(batch))
+            return effects
+
+        message = Merge(request_id=batch_id, state=payload)
+        effects.broadcast(self._remotes, message)
+        if self._config.request_timeout is not None:
+            effects.set_timer(f"uto:{batch_id}", self._config.request_timeout)
+        return effects
+
+    def on_merged(self, src: str, msg: Merged, now: float) -> Effects:
+        batch = self._update_batches.get(msg.request_id)
+        if batch is None:
+            return Effects()
+        batch.acked.add(src)
+        if self._quorum.is_quorum(batch.acked):
+            return self._complete_update(batch)
+        return Effects()
+
+    def _complete_update(self, batch: _UpdateBatch) -> Effects:
+        effects = Effects()
+        del self._update_batches[batch.batch_id]
+        effects.cancel_timer(f"uto:{batch.batch_id}")
+        for item, tag in zip(batch.items, batch.tags):
+            effects.send(
+                item.client,
+                UpdateDone(request_id=item.request_id, inclusion_tag=tag),
+            )
+            self.stats.updates_completed += 1
+        self._update_in_flight = False
+        return effects
+
+    # ------------------------------------------------------------------
+    # Query path (prepare / vote)
+    # ------------------------------------------------------------------
+    def _start_query_batch(self, items: list[_QueryItem]) -> Effects:
+        self._batch_counter += 1
+        batch_id = f"{self.node_id}/q{self._batch_counter}"
+        batch = _QueryBatch(
+            batch_id=batch_id,
+            items=items,
+            accumulated=self._acceptor.state,
+        )
+        self._query_batches[batch_id] = batch
+        self._query_in_flight = True
+        effects = self._start_attempt(batch, self._config.initial_prepare)
+        if self._config.request_timeout is not None and batch_id in self._query_batches:
+            effects.set_timer(f"qto:{batch_id}", self._config.request_timeout)
+        return effects
+
+    def _start_attempt(self, batch: _QueryBatch, kind: str) -> Effects:
+        """Send PREPAREs for a fresh attempt (incremental or fixed)."""
+        batch.attempt += 1
+        batch.phase = "prepare"
+        batch.acks = {}
+        batch.voted = set()
+        batch.proposed = None
+        batch.round_trips += 1
+
+        rid = self._rid_gen.fresh()
+        if kind == "incremental":
+            round_ = Round.incremental(rid)
+        else:
+            round_ = Round(batch.max_round_number + 1, rid)
+        batch.sent_round = round_
+
+        state: StateCRDT | None = None
+        if self._config.include_state_in_prepare and not batch.accumulated.equivalent(
+            self._initial_state
+        ):
+            state = batch.accumulated
+
+        message = Prepare(
+            request_id=batch.batch_id,
+            attempt=batch.attempt,
+            round=round_,
+            state=state,
+        )
+        effects = Effects()
+        effects.broadcast(self._remotes, message)
+        # The co-located acceptor handles its PREPARE synchronously.
+        local_reply = self._acceptor.handle_prepare(message)
+        if isinstance(local_reply, PrepareAck):
+            effects.merge(self.on_prepare_ack(self.node_id, local_reply, 0.0))
+        else:
+            effects.merge(self.on_prepare_nack(self.node_id, local_reply, 0.0))
+        return effects
+
+    def _current(self, request_id: str, attempt: int) -> _QueryBatch | None:
+        batch = self._query_batches.get(request_id)
+        if batch is None or batch.attempt != attempt:
+            return None
+        return batch
+
+    def on_prepare_ack(self, src: str, msg: PrepareAck, now: float) -> Effects:
+        batch = self._current(msg.request_id, msg.attempt)
+        if batch is None or batch.phase != "prepare":
+            return Effects()
+        batch.acks[src] = (msg.round, msg.state)
+        batch.accumulated = batch.accumulated.merge(msg.state)
+        batch.max_round_number = max(batch.max_round_number, msg.round.number)
+        if not self._quorum.is_quorum(batch.acks.keys()):
+            return Effects()
+        return self._evaluate_prepare_quorum(batch)
+
+    def _evaluate_prepare_quorum(self, batch: _QueryBatch) -> Effects:
+        """Lines 11–21: act on the first quorum of ACKs."""
+        states = [state for _, state in batch.acks.values()]
+        rounds = [round_ for round_, _ in batch.acks.values()]
+        lub = join_all(states)
+
+        if self._config.fast_path and all(s.equivalent(lub) for s in states):
+            # (a) learned by consistent quorum — the second phase is skipped.
+            return self._learn(batch, lub, "fast")
+
+        first = rounds[0]
+        if all(r == first for r in rounds):
+            # (b) consistent rounds: propose the LUB under that round.
+            batch.phase = "vote"
+            batch.proposed = lub
+            batch.round_trips += 1
+            message = Vote(
+                request_id=batch.batch_id,
+                attempt=batch.attempt,
+                round=first,
+                state=lub,
+            )
+            effects = Effects()
+            effects.broadcast(self._remotes, message)
+            local_reply = self._acceptor.handle_vote(message)
+            if isinstance(local_reply, Voted):
+                effects.merge(self.on_voted(self.node_id, local_reply, 0.0))
+            else:
+                effects.merge(self.on_vote_nack(self.node_id, local_reply, 0.0))
+            return effects
+
+        # (c) inconsistent rounds: retry with a fixed prepare above all
+        # observed round numbers (only reachable from incremental prepares).
+        self.stats.prepare_retries += 1
+        return self._retry(batch, "fixed")
+
+    def on_prepare_nack(self, src: str, msg: PrepareNack, now: float) -> Effects:
+        batch = self._current(msg.request_id, msg.attempt)
+        if batch is None or batch.phase != "prepare":
+            return Effects()
+        batch.accumulated = batch.accumulated.merge(msg.state)
+        batch.max_round_number = max(batch.max_round_number, msg.round.number)
+        self.stats.prepare_retries += 1
+        return self._retry(batch, self._config.retry_prepare)
+
+    def on_voted(self, src: str, msg: Voted, now: float) -> Effects:
+        batch = self._current(msg.request_id, msg.attempt)
+        if batch is None or batch.phase != "vote":
+            return Effects()
+        batch.voted.add(src)
+        if self._quorum.is_quorum(batch.voted):
+            assert batch.proposed is not None
+            return self._learn(batch, batch.proposed, "vote")
+        return Effects()
+
+    def on_vote_nack(self, src: str, msg: VoteNack, now: float) -> Effects:
+        batch = self._current(msg.request_id, msg.attempt)
+        if batch is None or batch.phase != "vote":
+            return Effects()
+        batch.accumulated = batch.accumulated.merge(msg.state)
+        batch.max_round_number = max(batch.max_round_number, msg.round.number)
+        self.stats.vote_retries += 1
+        return self._retry(batch, self._config.retry_prepare)
+
+    def _retry(self, batch: _QueryBatch, kind: str) -> Effects:
+        if self._config.retry_backoff > 0:
+            # Park the batch; replies from the aborted attempt are ignored
+            # by the phase guards until the retry timer fires.
+            batch.phase = "backoff"
+            batch.proposed = None
+            batch.sent_round = None
+            batch.retry_kind = kind
+            effects = Effects()
+            effects.set_timer(
+                f"retry:{batch.batch_id}",
+                self._config.retry_backoff * self._backoff_factor,
+            )
+            return effects
+        return self._start_attempt(batch, kind)
+
+    def _learn(self, batch: _QueryBatch, state: StateCRDT, via: str) -> Effects:
+        """Complete every query in the batch against the learned state."""
+        if self._config.gla_stability:
+            # §3.4: answer with the largest state ever learned here.  The
+            # Consistency condition guarantees comparability.
+            if self._learned_max is not None and not self._learned_max.compare(state):
+                state = self._learned_max
+            self._learned_max = state
+
+        effects = Effects()
+        del self._query_batches[batch.batch_id]
+        effects.cancel_timer(f"qto:{batch.batch_id}")
+        self._learn_seq += 1
+        if via == "fast":
+            self.stats.fast_path_learns += 1
+        else:
+            self.stats.vote_learns += 1
+        for item in batch.items:
+            result = item.op.apply(state)
+            effects.send(
+                item.client,
+                QueryDone(
+                    request_id=item.request_id,
+                    result=result,
+                    round_trips=batch.round_trips,
+                    attempts=batch.attempt,
+                    learned_via=via,
+                    proposer=self.node_id,
+                    learn_seq=self._learn_seq,
+                ),
+            )
+            self.stats.queries_completed += 1
+        self._query_in_flight = False
+        return effects
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def on_timer(self, key: str, now: float) -> Effects:
+        if key == "flush":
+            return self.on_flush_timer(now)
+        if key.startswith("retry:"):
+            batch = self._query_batches.get(key.removeprefix("retry:"))
+            if batch is None or batch.phase != "backoff":
+                return Effects()
+            return self._start_attempt(batch, batch.retry_kind)
+        if key.startswith("uto:"):
+            return self._on_update_timeout(key.removeprefix("uto:"))
+        if key.startswith("qto:"):
+            return self._on_query_timeout(key.removeprefix("qto:"))
+        return Effects()
+
+    def _on_update_timeout(self, batch_id: str) -> Effects:
+        batch = self._update_batches.get(batch_id)
+        if batch is None:
+            return Effects()
+        self.stats.timeouts += 1
+        effects = Effects()
+        message = Merge(request_id=batch.batch_id, state=batch.payload)
+        for peer in self._remotes:
+            if peer not in batch.acked:
+                effects.send(peer, message)
+        effects.set_timer(f"uto:{batch_id}", self._config.request_timeout or 1.0)
+        return effects
+
+    def _on_query_timeout(self, batch_id: str) -> Effects:
+        batch = self._query_batches.get(batch_id)
+        if batch is None:
+            return Effects()
+        self.stats.timeouts += 1
+        effects = self._start_attempt(batch, self._config.retry_prepare)
+        if batch_id in self._query_batches:
+            effects.set_timer(f"qto:{batch_id}", self._config.request_timeout or 1.0)
+        return effects

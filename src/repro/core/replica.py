@@ -1,0 +1,123 @@
+"""A CRDT Paxos replica: acceptor + proposer in one sans-io node.
+
+For simplicity the paper assumes every process implements both roles
+(§3.2); so does this class.  Messages from clients go to the proposer,
+messages from peers go to the acceptor (whose reply is routed straight
+back) or to the proposer (quorum bookkeeping).  The co-located acceptor is
+invoked synchronously by the proposer, so a replica never sends protocol
+messages to itself over the network.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.acceptor import Acceptor
+from repro.core.config import CrdtPaxosConfig
+from repro.core.messages import (
+    ClientQuery,
+    ClientUpdate,
+    Merge,
+    Merged,
+    Prepare,
+    PrepareAck,
+    PrepareNack,
+    Vote,
+    Voted,
+    VoteNack,
+)
+from repro.core.proposer import Proposer
+from repro.crdt.base import StateCRDT
+from repro.net.node import Effects, ProtocolNode
+from repro.quorum.system import MajorityQuorum, QuorumSystem
+
+
+class CrdtPaxosReplica(ProtocolNode):
+    """One member of a CRDT Paxos replica group.
+
+    Parameters
+    ----------
+    node_id:
+        This replica's network address.
+    peers:
+        Addresses of **all** group members, including this one.
+    initial_state:
+        The CRDT bottom element ``s0`` shared by the whole group.
+    config:
+        Protocol options; defaults to the paper's base protocol.
+    quorum:
+        Quorum system over ``peers``; majority if omitted.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        peers: list[str],
+        initial_state: StateCRDT,
+        config: CrdtPaxosConfig | None = None,
+        quorum: QuorumSystem | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        if node_id not in peers:
+            raise ValueError(f"node_id {node_id!r} must be listed in peers")
+        self.peers = list(peers)
+        self.config = config or CrdtPaxosConfig()
+        self.quorum = quorum or MajorityQuorum(peers)
+        self.acceptor = Acceptor(initial_state)
+        self.proposer = Proposer(
+            node_id=node_id,
+            proposer_index=sorted(peers).index(node_id),
+            peers=self.peers,
+            acceptor=self.acceptor,
+            quorum=self.quorum,
+            config=self.config,
+            initial_state=initial_state,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> StateCRDT:
+        """The local acceptor's current payload (diagnostic access)."""
+        return self.acceptor.state
+
+    def on_start(self, now: float) -> Effects:
+        return Effects()
+
+    def on_message(self, src: str, message: Any, now: float) -> Effects:
+        # Client commands → proposer.
+        if isinstance(message, ClientUpdate):
+            return self.proposer.client_update(src, message.request_id, message.op, now)
+        if isinstance(message, ClientQuery):
+            return self.proposer.client_query(src, message.request_id, message.op, now)
+
+        # Peer requests → acceptor; its reply goes straight back to src.
+        if isinstance(message, Merge):
+            effects = Effects()
+            effects.send(src, self.acceptor.handle_merge(message))
+            return effects
+        if isinstance(message, Prepare):
+            effects = Effects()
+            effects.send(src, self.acceptor.handle_prepare(message))
+            return effects
+        if isinstance(message, Vote):
+            effects = Effects()
+            effects.send(src, self.acceptor.handle_vote(message))
+            return effects
+
+        # Peer replies → proposer.
+        if isinstance(message, Merged):
+            return self.proposer.on_merged(src, message, now)
+        if isinstance(message, PrepareAck):
+            return self.proposer.on_prepare_ack(src, message, now)
+        if isinstance(message, PrepareNack):
+            return self.proposer.on_prepare_nack(src, message, now)
+        if isinstance(message, Voted):
+            return self.proposer.on_voted(src, message, now)
+        if isinstance(message, VoteNack):
+            return self.proposer.on_vote_nack(src, message, now)
+
+        # Unknown messages are dropped, like any unreliable channel would.
+        return Effects()
+
+    def on_timer(self, key: str, now: float) -> Effects:
+        return self.proposer.on_timer(key, now)

@@ -1,0 +1,126 @@
+"""State-based conflict-free replicated data types (CRDTs).
+
+Implements the data model of §2.2 of the paper: a state-based CRDT is a
+triple ``(S, Q, U)`` where the payload states ``S`` form a join semilattice
+(:class:`~repro.crdt.base.StateCRDT` with ``merge`` = least upper bound and
+``compare`` = the partial order), ``Q`` is a set of side-effect-free query
+functions and ``U`` a set of inflationary update functions.
+
+The portfolio covers the structures named by the paper and its references:
+
+=====================  =====================================================
+Type                   Semantics
+=====================  =====================================================
+:class:`GCounter`      grow-only counter (Algorithm 1 of the paper)
+:class:`PNCounter`     increment/decrement counter (two G-Counters)
+:class:`MaxRegister`   largest-value-wins integer register
+:class:`GSet`          grow-only set
+:class:`TwoPhaseSet`   add-once / remove-once set with tombstones
+:class:`ORSet`         observed-remove (add-wins) set with unique tags
+:class:`LWWRegister`   last-writer-wins register (totally ordered stamps)
+:class:`MVRegister`    multi-value register (concurrent writes preserved)
+:class:`LWWMap`        map with last-writer-wins entries and tombstones
+:class:`GMap`          grow-only map of nested CRDTs, merged pointwise
+:class:`VectorClock`   version vector (itself a lattice; used by MVRegister)
+=====================  =====================================================
+
+Updates are reified as :class:`~repro.crdt.base.UpdateOp` objects and
+queries as :class:`~repro.crdt.base.QueryOp` objects so they can be shipped
+to a replica and applied there — matching the paper's model where clients
+submit update *functions* ``f_u ∈ U`` and query *functions* ``f_q ∈ Q``.
+"""
+
+from repro.crdt.base import (
+    IdentityQuery,
+    QueryOp,
+    StateCRDT,
+    UpdateOp,
+    equivalent,
+    join_all,
+)
+from repro.crdt.gcounter import GCounter, GCounterValue, Increment
+from repro.crdt.gset import Contains, Elements, GSet, GSetAdd
+from repro.crdt.gmap import GMap, GMapApply, GMapGet
+from repro.crdt.graph import (
+    AddEdge,
+    AddVertex,
+    AsNetworkX,
+    HasEdge,
+    HasVertex,
+    RemoveEdge,
+    RemoveVertex,
+    TwoPhaseGraph,
+)
+from repro.crdt.lwwmap import LWWMap, LWWMapGet, LWWMapKeys, LWWMapPut, LWWMapRemove
+from repro.crdt.lwwregister import LWWRegister, LWWSet, LWWValue
+from repro.crdt.maxregister import MaxRegister, MaxSet, MaxValue
+from repro.crdt.mvregister import MVRegister, MVValues, MVWrite
+from repro.crdt.orset import ORSet, ORSetAdd, ORSetContains, ORSetElements, ORSetRemove
+from repro.crdt.pncounter import Decrement, PNCounter, PNCounterValue, PNIncrement
+from repro.crdt.twophase_set import (
+    TwoPhaseSet,
+    TwoPhaseAdd,
+    TwoPhaseContains,
+    TwoPhaseElements,
+    TwoPhaseRemove,
+)
+from repro.crdt.registry import crdt_registry, initial_state
+from repro.crdt.vector_clock import VectorClock
+
+__all__ = [
+    "AddEdge",
+    "AddVertex",
+    "AsNetworkX",
+    "Contains",
+    "Decrement",
+    "Elements",
+    "GCounter",
+    "GCounterValue",
+    "GMap",
+    "GMapApply",
+    "GMapGet",
+    "GSet",
+    "GSetAdd",
+    "HasEdge",
+    "HasVertex",
+    "IdentityQuery",
+    "Increment",
+    "LWWMap",
+    "LWWMapGet",
+    "LWWMapKeys",
+    "LWWMapPut",
+    "LWWMapRemove",
+    "LWWRegister",
+    "LWWSet",
+    "LWWValue",
+    "MaxRegister",
+    "MaxSet",
+    "MaxValue",
+    "MVRegister",
+    "MVValues",
+    "MVWrite",
+    "ORSet",
+    "ORSetAdd",
+    "ORSetContains",
+    "ORSetElements",
+    "ORSetRemove",
+    "PNCounter",
+    "PNCounterValue",
+    "PNIncrement",
+    "QueryOp",
+    "RemoveEdge",
+    "RemoveVertex",
+    "StateCRDT",
+    "TwoPhaseAdd",
+    "TwoPhaseContains",
+    "TwoPhaseElements",
+    "TwoPhaseGraph",
+    "TwoPhaseRemove",
+    "TwoPhaseSet",
+    "UpdateOp",
+    "VectorClock",
+    "crdt_registry",
+    "equivalent",
+    "initial_state",
+    "join_all",
+]

@@ -1,0 +1,129 @@
+"""Foundations of the state-based CRDT model (§2.2, Definitions 1–3).
+
+A state-based CRDT payload lives in a join semilattice: a set with a
+partial order ``⊑`` (here :meth:`StateCRDT.compare`) and a least upper
+bound ``⊔`` for every pair (here :meth:`StateCRDT.merge`).  All payloads in
+this package are immutable value objects; ``merge`` returns a new payload.
+
+Updates and queries are first-class objects (:class:`UpdateOp`,
+:class:`QueryOp`) because the replication protocols ship them to replicas:
+a client submits ``f_u ∈ U`` or ``f_q ∈ Q`` and the receiving replica
+applies it to its local payload.  ``UpdateOp.apply`` receives the id of the
+applying replica — exactly like ``my_replica_id()`` in Algorithm 1 of the
+paper, which a G-Counter increment needs to pick its slot.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, TypeVar
+
+S = TypeVar("S", bound="StateCRDT")
+
+
+class StateCRDT(ABC):
+    """A payload state in a join semilattice.
+
+    Subclasses must guarantee the semilattice laws, which the property-based
+    test-suite checks for every type in the package:
+
+    * ``merge`` is idempotent, commutative and associative;
+    * ``compare`` is a partial order and ``a.compare(a.merge(b))`` holds
+      (the LUB is an upper bound);
+    * ``merge(a, b)`` is the *least* upper bound: it is ``⊑`` any other
+      common upper bound.
+    """
+
+    @abstractmethod
+    def merge(self: S, other: S) -> S:
+        """Return the least upper bound ``self ⊔ other`` (pure)."""
+
+    @abstractmethod
+    def compare(self: S, other: S) -> bool:
+        """Return True iff ``self ⊑ other`` in the lattice order."""
+
+    @abstractmethod
+    def wire_size(self) -> int:
+        """Approximate serialized size in bytes, for traffic accounting."""
+
+    def equivalent(self: S, other: S) -> bool:
+        """Payload equivalence: ``self ⊑ other`` and ``other ⊑ self``.
+
+        Two equivalent payloads answer every query identically (§2.2).
+        """
+        return self.compare(other) and other.compare(self)
+
+    def comparable(self: S, other: S) -> bool:
+        """True iff the two payloads are ordered either way."""
+        return self.compare(other) or other.compare(self)
+
+
+def equivalent(a: StateCRDT, b: StateCRDT) -> bool:
+    """Module-level alias of :meth:`StateCRDT.equivalent`."""
+    return a.equivalent(b)
+
+
+def join_all(states: Iterable[S]) -> S:
+    """Fold ``merge`` over a non-empty iterable of payloads."""
+    iterator = iter(states)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("join_all requires at least one state") from None
+    for state in iterator:
+        result = result.merge(state)
+    return result
+
+
+class UpdateOp(ABC):
+    """A monotonically non-decreasing update function ``f_u ∈ U``.
+
+    ``apply`` must be *inflationary*: ``state ⊑ apply(state, replica)`` for
+    every state — Definition 3 of the paper.  It must also be deterministic
+    in ``(state, replica_id)`` so that re-applying at the same point in a
+    replica's serial history yields the same payload.
+    """
+
+    @abstractmethod
+    def apply(self, state: Any, replica_id: str) -> Any:
+        """Return the new payload after applying this update at a replica."""
+
+    def delta(self, before: Any, after: Any, replica_id: str) -> Any:
+        """A (possibly much smaller) payload carrying just this update.
+
+        Must satisfy ``before ⊔ delta ≡ after`` and, when merged into *any*
+        other payload, must make that payload include this update.  The
+        default is the full ``after`` state, which trivially satisfies
+        both; delta-capable ops override this with a minimal fragment
+        (the delta-mutation idea of Almeida et al., referenced in §5).
+        """
+        return after
+
+    def wire_size(self) -> int:
+        return 16
+
+
+class QueryOp(ABC):
+    """A side-effect-free query function ``f_q ∈ Q``."""
+
+    @abstractmethod
+    def apply(self, state: Any) -> Any:
+        """Evaluate the query against a payload state."""
+
+    def wire_size(self) -> int:
+        return 8
+
+
+class IdentityQuery(QueryOp):
+    """Returns the full learned payload state.
+
+    Used by the correctness checker, which needs the *state* a query
+    learned (not just a derived value) to verify the lattice conditions of
+    §3.1 on recorded histories.
+    """
+
+    def apply(self, state: Any) -> Any:
+        return state
+
+    def __repr__(self) -> str:
+        return "IdentityQuery()"

@@ -1,0 +1,164 @@
+"""Last-writer-wins map with tombstoned removal.
+
+Each key independently behaves like an LWW register whose stamps are
+``(timestamp, sequence, replica)`` triples; a removal is a tombstone write
+under the same stamp discipline, so adds and removes of one key resolve by
+recency while distinct keys never interact.  The payload order is the
+product order over keys, with an absent key at the bottom of its component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.crdt.base import QueryOp, StateCRDT, UpdateOp
+from repro.net.message import wire_size as _wire_size
+
+Stamp = tuple[float, int, str]
+
+_INITIAL_STAMP: Stamp = (float("-inf"), 0, "")
+
+#: Sentinel stored as the value of a removed key.
+TOMBSTONE = "\x00__tombstone__"
+
+
+@dataclass(frozen=True, slots=True)
+class LWWMap(StateCRDT):
+    """Immutable LWW-Map payload.
+
+    ``entries`` maps key → ``(value, stamp)``; a value equal to
+    :data:`TOMBSTONE` marks a removed key.
+    """
+
+    entries: tuple[tuple[Hashable, tuple[Any, Stamp]], ...] = ()
+
+    @staticmethod
+    def initial() -> "LWWMap":
+        return LWWMap()
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[Hashable, tuple[Any, Stamp]]:
+        return dict(self.entries)
+
+    def get(self, key: Hashable) -> Any:
+        """Current value for ``key`` or None if absent/removed."""
+        for candidate, (value, _) in self.entries:
+            if candidate == key:
+                return None if value == TOMBSTONE else value
+        return None
+
+    def __contains__(self, key: Hashable) -> bool:
+        for candidate, (value, _) in self.entries:
+            if candidate == key:
+                return value != TOMBSTONE
+        return False
+
+    def live_keys(self) -> frozenset:
+        return frozenset(
+            key for key, (value, _) in self.entries if value != TOMBSTONE
+        )
+
+    def _stamp_of(self, key: Hashable) -> Stamp:
+        for candidate, (_, stamp) in self.entries:
+            if candidate == key:
+                return stamp
+        return _INITIAL_STAMP
+
+    def with_write(
+        self, key: Hashable, value: Any, timestamp: float, replica_id: str
+    ) -> "LWWMap":
+        current = self._stamp_of(key)
+        new_stamp: Stamp = (timestamp, current[1] + 1, replica_id)
+        if new_stamp <= current:
+            return self
+        entries = self.as_dict()
+        entries[key] = (value, new_stamp)
+        return LWWMap(tuple(sorted(entries.items(), key=lambda kv: repr(kv[0]))))
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "LWWMap") -> "LWWMap":
+        merged = self.as_dict()
+        for key, (value, stamp) in other.entries:
+            if key not in merged or merged[key][1] < stamp:
+                merged[key] = (value, stamp)
+        return LWWMap(tuple(sorted(merged.items(), key=lambda kv: repr(kv[0]))))
+
+    def compare(self, other: "LWWMap") -> bool:
+        theirs = other.as_dict()
+        for key, (_, stamp) in self.entries:
+            if key not in theirs or theirs[key][1] < stamp:
+                return False
+        return True
+
+    def wire_size(self) -> int:
+        return 8 + sum(
+            _wire_size(key) + _wire_size(value) + 24
+            for key, (value, _) in self.entries
+        )
+
+
+class LWWMapPut(UpdateOp):
+    """Write ``key = value`` with a caller-provided timestamp."""
+
+    __slots__ = ("key", "value", "timestamp")
+
+    def __init__(self, key: Hashable, value: Any, timestamp: float) -> None:
+        if value == TOMBSTONE:
+            raise ValueError("cannot store the tombstone sentinel as a value")
+        self.key = key
+        self.value = value
+        self.timestamp = timestamp
+
+    def apply(self, state: LWWMap, replica_id: str) -> LWWMap:
+        return state.with_write(self.key, self.value, self.timestamp, replica_id)
+
+    def wire_size(self) -> int:
+        return 16 + _wire_size(self.key) + _wire_size(self.value)
+
+    def __repr__(self) -> str:
+        return f"LWWMapPut({self.key!r}, {self.value!r}, ts={self.timestamp})"
+
+
+class LWWMapRemove(UpdateOp):
+    """Remove ``key`` (a tombstone write; later puts can resurrect it)."""
+
+    __slots__ = ("key", "timestamp")
+
+    def __init__(self, key: Hashable, timestamp: float) -> None:
+        self.key = key
+        self.timestamp = timestamp
+
+    def apply(self, state: LWWMap, replica_id: str) -> LWWMap:
+        return state.with_write(self.key, TOMBSTONE, self.timestamp, replica_id)
+
+    def wire_size(self) -> int:
+        return 16 + _wire_size(self.key)
+
+    def __repr__(self) -> str:
+        return f"LWWMapRemove({self.key!r}, ts={self.timestamp})"
+
+
+class LWWMapGet(QueryOp):
+    """Read one key's value (None if absent or removed)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+
+    def apply(self, state: LWWMap) -> Any:
+        return state.get(self.key)
+
+    def __repr__(self) -> str:
+        return f"LWWMapGet({self.key!r})"
+
+
+class LWWMapKeys(QueryOp):
+    """All live (non-removed) keys."""
+
+    def apply(self, state: LWWMap) -> frozenset:
+        return state.live_keys()
+
+    def __repr__(self) -> str:
+        return "LWWMapKeys()"

@@ -1,0 +1,46 @@
+"""Name-indexed registry of CRDT types and their initial states.
+
+Benchmarks and examples select payload types by name (e.g. on a command
+line); the registry maps those names to classes and bottom elements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.crdt.base import StateCRDT
+from repro.crdt.gcounter import GCounter
+from repro.crdt.gmap import GMap
+from repro.crdt.graph import TwoPhaseGraph
+from repro.crdt.gset import GSet
+from repro.crdt.lwwmap import LWWMap
+from repro.crdt.lwwregister import LWWRegister
+from repro.crdt.maxregister import MaxRegister
+from repro.crdt.mvregister import MVRegister
+from repro.crdt.orset import ORSet
+from repro.crdt.pncounter import PNCounter
+from repro.crdt.twophase_set import TwoPhaseSet
+
+#: name → (class, initial-state factory)
+crdt_registry: dict[str, tuple[type[StateCRDT], Callable[[], StateCRDT]]] = {
+    "g-counter": (GCounter, GCounter.initial),
+    "pn-counter": (PNCounter, PNCounter.initial),
+    "max-register": (MaxRegister, MaxRegister.initial),
+    "g-set": (GSet, GSet.initial),
+    "2p-set": (TwoPhaseSet, TwoPhaseSet.initial),
+    "or-set": (ORSet, ORSet.initial),
+    "lww-register": (LWWRegister, LWWRegister.initial),
+    "mv-register": (MVRegister, MVRegister.initial),
+    "lww-map": (LWWMap, LWWMap.initial),
+    "g-map": (GMap, GMap.initial),
+    "2p2p-graph": (TwoPhaseGraph, TwoPhaseGraph.initial),
+}
+
+
+def initial_state(name: str) -> StateCRDT:
+    """Return a fresh bottom element for the named CRDT type."""
+    if name not in crdt_registry:
+        known = ", ".join(sorted(crdt_registry))
+        raise KeyError(f"unknown CRDT type {name!r}; known types: {known}")
+    _, factory = crdt_registry[name]
+    return factory()

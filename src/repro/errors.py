@@ -1,0 +1,53 @@
+"""Shared exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TransportError(ReproError):
+    """A message could not be routed, e.g. to an unregistered address."""
+
+
+class ProtocolError(ReproError):
+    """A replication protocol observed a message it cannot have produced.
+
+    This indicates a bug in the protocol implementation (or a corrupted
+    test harness), never a legal run-time condition: the protocols in this
+    package tolerate loss, duplication and reordering by design.
+    """
+
+
+class QuorumError(ReproError):
+    """A quorum system was queried with processes it does not know."""
+
+
+class RequestTimeout(ReproError):
+    """A client request did not complete within its deadline."""
+
+
+class NotLeader(ReproError):
+    """A leader-based protocol rejected a request at a non-leader node."""
+
+
+class HistoryViolation(ReproError):
+    """A recorded operation history violates a correctness condition.
+
+    Raised by :mod:`repro.checker` with a human-readable explanation of the
+    violated condition (Validity, Stability, Consistency, Update Stability,
+    Update Visibility or GLA-Stability).
+    """

@@ -1,0 +1,47 @@
+"""Message-passing network substrate.
+
+The system model of the paper (§2.1) assumes asynchronous processes that
+communicate over *unreliable* channels: messages may be lost, duplicated,
+delayed arbitrarily, or reordered.  This package provides that channel:
+
+* :class:`~repro.net.node.ProtocolNode` / :class:`~repro.net.node.Effects` —
+  the sans-io interface every protocol implementation in this repository
+  follows.  A node never performs IO; it returns the sends and timer
+  operations it wants as data, which a driver executes.  The same node code
+  therefore runs under the deterministic simulator, the adversarial
+  interleaving explorer, and the asyncio transport.
+* :class:`~repro.net.latency.LatencyModel` implementations — constant,
+  uniform and log-normal link delays with an optional per-byte component.
+* :class:`~repro.net.faults.FaultPlan` — probabilistic loss/duplication and
+  scheduled network partitions.
+* :class:`~repro.net.sim_transport.SimNetwork` — the simulated fabric that
+  routes envelopes between registered endpoints.
+* :class:`~repro.net.adversary.AdversarialNetwork` — delivers pending
+  messages in uniformly random order (the "protocol scheduler that enforces
+  random interleavings" the authors used to test their implementation).
+"""
+
+from repro.net.faults import FaultPlan, Partition
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.net.message import Envelope, wire_size
+from repro.net.node import Effects, ProtocolNode
+from repro.net.sim_transport import SimNetwork
+
+__all__ = [
+    "ConstantLatency",
+    "Effects",
+    "Envelope",
+    "FaultPlan",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Partition",
+    "ProtocolNode",
+    "SimNetwork",
+    "UniformLatency",
+    "wire_size",
+]

@@ -1,0 +1,110 @@
+"""Adversarially scheduled message delivery.
+
+The paper's authors tested their Erlang implementation "using a protocol
+scheduler that enforces random interleavings of incoming messages".  This
+module is that scheduler's network half: instead of sampling latencies, all
+in-flight messages sit in a pool and an explorer picks the next one to
+deliver uniformly at random (optionally dropping or duplicating picks).
+
+Uniform pick-next explores far more hostile interleavings than randomized
+latency — a message can be overtaken by arbitrarily many later ones — while
+remaining fully deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import TransportError
+from repro.net.message import Envelope
+from repro.net.sim_transport import Endpoint, NetworkStats
+from repro.sim.kernel import Simulator
+
+#: Virtual time consumed by one adversarial delivery.  Non-zero so that
+#: "now" is strictly increasing and timestamps remain a total order.
+DELIVERY_EPSILON = 1e-9
+
+
+class AdversarialNetwork:
+    """Drop-in replacement for :class:`~repro.net.sim_transport.SimNetwork`
+    whose delivery order is controlled by an explorer, not by latencies."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._rng = sim.rng.stream("adversary")
+        self.stats = NetworkStats()
+        self._endpoints: dict[str, Endpoint] = {}
+        self._pool: list[Envelope] = []
+        #: Which envelopes the channel may duplicate.  Client sessions are
+        #: usually dedup'd (TCP/request ids), so explorers restrict
+        #: duplication to replica↔replica links; the protocol itself makes
+        #: no at-most-once assumption there.
+        self.duplicable: Callable[[Envelope], bool] = lambda envelope: True
+
+    # ------------------------------------------------------------------
+    def register(self, address: str, endpoint: Endpoint) -> None:
+        if address in self._endpoints:
+            raise TransportError(f"address already registered: {address}")
+        self._endpoints[address] = endpoint
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    def addresses(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        envelope = Envelope(src=src, dst=dst, payload=payload)
+        self.stats.record_send(type(payload).__name__, envelope.size_bytes())
+        self._pool.append(envelope)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pool)
+
+    def deliver_random(self, drop_probability: float = 0.0, duplicate_probability: float = 0.0) -> bool:
+        """Deliver (or drop) one uniformly chosen pending message.
+
+        Returns False when the pool is empty.  A duplicated pick is
+        delivered now *and* returned to the pool for a second, later
+        delivery — modelling channel duplication.
+        """
+        if not self._pool:
+            return False
+        index = self._rng.randrange(len(self._pool))
+        envelope = self._pool.pop(index)
+        if drop_probability > 0.0 and self._rng.random() < drop_probability:
+            self.stats.messages_dropped += 1
+            return True
+        if (
+            duplicate_probability > 0.0
+            and self.duplicable(envelope)
+            and self._rng.random() < duplicate_probability
+        ):
+            self.stats.messages_duplicated += 1
+            self._pool.append(envelope)
+        self._deliver(envelope)
+        return True
+
+    def drain(self, max_deliveries: int = 1_000_000) -> int:
+        """Deliver every pending message (in random order) until quiescent.
+
+        New messages produced by handlers join the pool and are themselves
+        randomly scheduled.  Returns the number of deliveries performed.
+        """
+        delivered = 0
+        while self._pool and delivered < max_deliveries:
+            self.deliver_random()
+            delivered += 1
+        return delivered
+
+    # ------------------------------------------------------------------
+    def _deliver(self, envelope: Envelope) -> None:
+        endpoint = self._endpoints.get(envelope.dst)
+        if endpoint is None:
+            self.stats.messages_dropped += 1
+            return
+        self._sim.now += DELIVERY_EPSILON
+        self.stats.messages_delivered += 1
+        endpoint.deliver(envelope)

@@ -1,0 +1,123 @@
+"""Asyncio message transport for wall-clock deployments.
+
+The same sans-io protocol nodes that run under the deterministic simulator
+run unchanged on asyncio: this module provides the in-process network
+(``loop.call_later`` stands in for link latency) and the node runtime that
+executes :class:`~repro.net.node.Effects` with real timers.
+
+This is the "production face" of the library used by the runnable
+examples.  A process-per-replica TCP deployment would only need to replace
+:class:`AsyncioNetwork.send` with a socket write — nodes cannot tell the
+difference, which is the point of the sans-io design.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable
+
+from repro.errors import TransportError
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Envelope
+from repro.net.node import Effects, ProtocolNode
+from repro.net.sim_transport import NetworkStats
+
+
+class AsyncioNetwork:
+    """In-process asyncio fabric with optional artificial link latency."""
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._latency = latency or ConstantLatency(delay=0.0)
+        self._rng = random.Random(seed)
+        self._endpoints: dict[str, Callable[[Envelope], None]] = {}
+        self.stats = NetworkStats()
+
+    def register(self, address: str, deliver: Callable[[Envelope], None]) -> None:
+        if address in self._endpoints:
+            raise TransportError(f"address already registered: {address}")
+        self._endpoints[address] = deliver
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        envelope = Envelope(src=src, dst=dst, payload=payload)
+        size = envelope.size_bytes()
+        self.stats.record_send(type(payload).__name__, size)
+        deliver = self._endpoints.get(dst)
+        if deliver is None:
+            self.stats.messages_dropped += 1
+            return
+        delay = self._latency.sample(self._rng, size)
+        loop = asyncio.get_running_loop()
+        if delay <= 0:
+            loop.call_soon(self._deliver, deliver, envelope)
+        else:
+            loop.call_later(delay, self._deliver, deliver, envelope)
+
+    def _deliver(self, deliver: Callable[[Envelope], None], envelope: Envelope) -> None:
+        self.stats.messages_delivered += 1
+        deliver(envelope)
+
+
+class AsyncioNodeRuntime:
+    """Drives one :class:`ProtocolNode` on the running event loop."""
+
+    def __init__(self, network: AsyncioNetwork, node: ProtocolNode) -> None:
+        self._network = network
+        self.node = node
+        self._timers: dict[str, asyncio.TimerHandle] = {}
+        self.crashed = False
+        network.register(node.node_id, self._deliver)
+
+    def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._apply(self.node.on_start(loop.time()))
+
+    def crash(self) -> None:
+        if self.crashed:
+            return
+        self.crashed = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+
+    def recover(self) -> None:
+        if not self.crashed:
+            return
+        self.crashed = False
+        loop = asyncio.get_running_loop()
+        self._apply(self.node.on_recover(loop.time()))
+
+    # ------------------------------------------------------------------
+    def _deliver(self, envelope: Envelope) -> None:
+        if self.crashed:
+            return
+        loop = asyncio.get_running_loop()
+        self._apply(self.node.on_message(envelope.src, envelope.payload, loop.time()))
+
+    def _fire_timer(self, key: str) -> None:
+        if self.crashed:
+            return
+        self._timers.pop(key, None)
+        loop = asyncio.get_running_loop()
+        self._apply(self.node.on_timer(key, loop.time()))
+
+    def _apply(self, effects: Effects) -> None:
+        loop = asyncio.get_running_loop()
+        for key in effects.cancels:
+            handle = self._timers.pop(key, None)
+            if handle is not None:
+                handle.cancel()
+        for key, delay in effects.timers:
+            existing = self._timers.pop(key, None)
+            if existing is not None:
+                existing.cancel()
+            self._timers[key] = loop.call_later(delay, self._fire_timer, key)
+        for dst, message in effects.sends:
+            self._network.send(self.node.node_id, dst, message)

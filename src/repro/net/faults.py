@@ -1,0 +1,89 @@
+"""Network fault injection: loss, duplication, and partitions.
+
+The system model (§2.1) explicitly allows messages to be lost, duplicated,
+delayed arbitrarily or reordered.  Delay and reorder come from the latency
+models; this module adds probabilistic loss/duplication and time-windowed
+partitions that block whole groups of links.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Blocks all traffic between ``group_a`` and ``group_b`` during a window.
+
+    Traffic *within* each group is unaffected.  ``until`` may be ``None``
+    for a partition that never heals (within the experiment horizon).
+    """
+
+    group_a: frozenset[str]
+    group_b: frozenset[str]
+    start: float
+    until: float | None = None
+
+    def blocks(self, src: str, dst: str, now: float) -> bool:
+        if now < self.start:
+            return False
+        if self.until is not None and now >= self.until:
+            return False
+        crosses = (src in self.group_a and dst in self.group_b) or (
+            src in self.group_b and dst in self.group_a
+        )
+        return crosses
+
+
+@dataclass
+class FaultPlan:
+    """Aggregate fault configuration consulted for every send.
+
+    ``loss_probability`` and ``duplicate_probability`` apply independently
+    per message.  ``partitions`` is a list of scheduled partitions.  An
+    empty plan (the default) is a reliable-but-reordering network.
+
+    ``scope`` optionally restricts probabilistic loss/duplication to links
+    whose *both* endpoints are in the set — e.g. the replica group, while
+    client sessions (which in practice run over TCP with retransmission)
+    stay reliable.  Partitions always apply regardless of scope.
+    """
+
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    partitions: list[Partition] = field(default_factory=list)
+    scope: frozenset[str] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if not 0.0 <= self.duplicate_probability < 1.0:
+            raise ValueError("duplicate_probability must be in [0, 1)")
+
+    def add_partition(self, partition: Partition) -> None:
+        self.partitions.append(partition)
+
+    def _in_scope(self, src: str, dst: str) -> bool:
+        return self.scope is None or (src in self.scope and dst in self.scope)
+
+    def should_drop(self, rng: random.Random, src: str, dst: str, now: float) -> bool:
+        for partition in self.partitions:
+            if partition.blocks(src, dst, now):
+                return True
+        if (
+            self.loss_probability > 0.0
+            and self._in_scope(src, dst)
+            and rng.random() < self.loss_probability
+        ):
+            return True
+        return False
+
+    def should_duplicate(
+        self, rng: random.Random, src: str = "", dst: str = ""
+    ) -> bool:
+        return (
+            self.duplicate_probability > 0.0
+            and self._in_scope(src, dst)
+            and rng.random() < self.duplicate_probability
+        )

@@ -1,0 +1,69 @@
+"""Link latency models.
+
+The paper's cluster was fully connected with 10 Gbit/s links; one-way
+delays in such a fabric are dominated by a fixed cost (kernel, NIC, switch)
+plus a small size-proportional serialization term and occasional jitter.
+The models below capture those regimes; experiments pick one and share it
+across all links, matching the homogeneous test bed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+
+class LatencyModel(ABC):
+    """Samples a one-way message delay in seconds."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random, size_bytes: int) -> float:
+        """Return the delay for one message of ``size_bytes``."""
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed delay plus deterministic per-byte serialization cost."""
+
+    def __init__(self, delay: float = 100e-6, per_byte: float = 0.0) -> None:
+        self.delay = delay
+        self.per_byte = per_byte
+
+    def sample(self, rng: random.Random, size_bytes: int) -> float:
+        return self.delay + self.per_byte * size_bytes
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]`` plus per-byte cost."""
+
+    def __init__(self, low: float, high: float, per_byte: float = 0.0) -> None:
+        if high < low:
+            raise ValueError(f"high ({high}) must be >= low ({low})")
+        self.low = low
+        self.high = high
+        self.per_byte = per_byte
+
+    def sample(self, rng: random.Random, size_bytes: int) -> float:
+        return rng.uniform(self.low, self.high) + self.per_byte * size_bytes
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normally distributed delay — the classic LAN jitter shape.
+
+    ``median`` is the median one-way delay; ``sigma`` the log-space standard
+    deviation (0.2–0.5 are realistic for a quiet data-centre network).  An
+    optional per-byte term models serialization of large CRDT payloads.
+    """
+
+    def __init__(
+        self, median: float = 100e-6, sigma: float = 0.3, per_byte: float = 8e-10
+    ) -> None:
+        if median <= 0:
+            raise ValueError("median latency must be positive")
+        self.median = median
+        self.sigma = sigma
+        self.per_byte = per_byte
+
+    def sample(self, rng: random.Random, size_bytes: int) -> float:
+        jittered = self.median * math.exp(rng.gauss(0.0, self.sigma))
+        return jittered + self.per_byte * size_bytes

@@ -1,0 +1,95 @@
+"""The sans-io protocol node interface.
+
+Every replication protocol in this repository (CRDT Paxos, Multi-Paxos,
+Raft, Falerio-style GLA) is written as a *pure state machine*: a node
+receives a message or a timer expiry, updates internal state, and returns
+the IO it wants performed as an :class:`Effects` value.  Nodes never touch a
+socket, a clock, or an event loop.
+
+This buys three drivers for the price of one implementation:
+
+* the deterministic simulator (:mod:`repro.runtime.cluster`) for tests and
+  benchmark figures,
+* the adversarial interleaving explorer (:mod:`repro.checker.scheduler`)
+  for correctness campaigns,
+* the asyncio runtime (:mod:`repro.runtime.asyncio_cluster`) for real
+  wall-clock deployments used by the examples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Effects:
+    """IO requested by a protocol step, to be executed by the driver.
+
+    ``sends``   — ``(destination address, message)`` pairs.
+    ``timers``  — ``(key, delay seconds)``; setting a key that is already
+                  armed re-arms it (the old expiry is cancelled).
+    ``cancels`` — timer keys to disarm.
+    """
+
+    sends: list[tuple[str, Any]] = field(default_factory=list)
+    timers: list[tuple[str, float]] = field(default_factory=list)
+    cancels: list[str] = field(default_factory=list)
+
+    def send(self, dst: str, message: Any) -> None:
+        self.sends.append((dst, message))
+
+    def broadcast(self, dsts: list[str], message: Any) -> None:
+        for dst in dsts:
+            self.sends.append((dst, message))
+
+    def set_timer(self, key: str, delay: float) -> None:
+        self.timers.append((key, delay))
+
+    def cancel_timer(self, key: str) -> None:
+        self.cancels.append(key)
+
+    def merge(self, other: "Effects") -> None:
+        """Fold another effects bundle into this one (in order)."""
+        self.sends.extend(other.sends)
+        self.timers.extend(other.timers)
+        self.cancels.extend(other.cancels)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.sends or self.timers or self.cancels)
+
+
+class ProtocolNode(ABC):
+    """Base class for sans-io protocol participants.
+
+    Subclasses implement the three hooks below.  ``now`` is the driver's
+    current time in seconds; nodes must treat it as opaque (only deltas and
+    comparisons are meaningful) so that virtual and wall-clock drivers are
+    interchangeable.
+    """
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+
+    @abstractmethod
+    def on_start(self, now: float) -> Effects:
+        """Called once when the node is brought up."""
+
+    @abstractmethod
+    def on_message(self, src: str, message: Any, now: float) -> Effects:
+        """Called for every delivered message."""
+
+    def on_timer(self, key: str, now: float) -> Effects:
+        """Called when a timer armed via :class:`Effects` expires."""
+        return Effects()
+
+    def on_recover(self, now: float) -> Effects:
+        """Called after a crash-recovery.
+
+        Under the crash-recovery model of the paper internal state is
+        preserved; the hook exists so nodes can re-arm timers (which do not
+        survive a crash) and resume periodic duties.
+        """
+        return self.on_start(now)

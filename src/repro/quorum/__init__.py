@@ -1,0 +1,20 @@
+"""Quorum systems (§2.1 of the paper).
+
+The protocol assumes a fixed quorum system ``QS`` over the processes: a set
+of process subsets with pairwise non-empty intersection.  Progress needs one
+live quorum; safety needs only the intersection property.
+"""
+
+from repro.quorum.system import (
+    GridQuorum,
+    MajorityQuorum,
+    QuorumSystem,
+    WeightedMajorityQuorum,
+)
+
+__all__ = [
+    "GridQuorum",
+    "MajorityQuorum",
+    "QuorumSystem",
+    "WeightedMajorityQuorum",
+]

@@ -1,0 +1,124 @@
+"""Quorum system implementations.
+
+A quorum system over processes ``Π`` is a set ``QS ⊆ 2^Π`` such that any
+two quorums intersect (§2.1).  Protocol code only ever asks one question —
+"does this response set contain a quorum?" — so the interface is a single
+predicate plus introspection helpers.  All three classic constructions are
+provided; the majority system is the default everywhere, matching the
+paper's three-replica deployments (quorums of two).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import combinations
+from typing import Iterable, Mapping
+
+from repro.errors import QuorumError
+
+
+class QuorumSystem(ABC):
+    """A fixed quorum system over a known process set."""
+
+    def __init__(self, processes: Iterable[str]) -> None:
+        self.processes: tuple[str, ...] = tuple(sorted(set(processes)))
+        if not self.processes:
+            raise QuorumError("a quorum system needs at least one process")
+
+    @abstractmethod
+    def is_quorum(self, responders: Iterable[str]) -> bool:
+        """True iff ``responders`` contains at least one quorum."""
+
+    def validate_membership(self, responders: Iterable[str]) -> None:
+        unknown = set(responders) - set(self.processes)
+        if unknown:
+            raise QuorumError(f"unknown processes in response set: {sorted(unknown)}")
+
+    def minimal_quorums(self) -> list[frozenset[str]]:
+        """Enumerate inclusion-minimal quorums (exponential; small N only)."""
+        minimal: list[frozenset[str]] = []
+        for size in range(1, len(self.processes) + 1):
+            for combo in combinations(self.processes, size):
+                candidate = frozenset(combo)
+                if self.is_quorum(candidate) and not any(
+                    quorum < candidate for quorum in minimal
+                ):
+                    minimal.append(candidate)
+        return minimal
+
+    def verify_intersection(self) -> bool:
+        """Exhaustively check pairwise intersection of minimal quorums."""
+        quorums = self.minimal_quorums()
+        return all(a & b for a, b in combinations(quorums, 2))
+
+
+class MajorityQuorum(QuorumSystem):
+    """Quorums are all subsets of strictly more than half the processes."""
+
+    def __init__(self, processes: Iterable[str]) -> None:
+        super().__init__(processes)
+        self.threshold = len(self.processes) // 2 + 1
+
+    def is_quorum(self, responders: Iterable[str]) -> bool:
+        members = set(responders) & set(self.processes)
+        return len(members) >= self.threshold
+
+    def __repr__(self) -> str:
+        return f"MajorityQuorum(n={len(self.processes)}, threshold={self.threshold})"
+
+
+class GridQuorum(QuorumSystem):
+    """Grid quorums: one full row plus one full column.
+
+    Processes are arranged row-major into a ``rows × cols`` grid; a quorum
+    is the union of (at least) one complete row and one complete column.
+    Any row meets any column, so two quorums always intersect.  Quorum size
+    is ``O(√N)`` — smaller than a majority for large N.
+    """
+
+    def __init__(self, processes: Iterable[str], cols: int) -> None:
+        super().__init__(processes)
+        if cols <= 0:
+            raise QuorumError("cols must be positive")
+        if len(self.processes) % cols != 0:
+            raise QuorumError(
+                f"{len(self.processes)} processes do not fill a grid with "
+                f"{cols} columns"
+            )
+        self.cols = cols
+        self.rows = len(self.processes) // cols
+        self._grid = [
+            self.processes[r * cols : (r + 1) * cols] for r in range(self.rows)
+        ]
+
+    def is_quorum(self, responders: Iterable[str]) -> bool:
+        members = set(responders)
+        has_row = any(all(p in members for p in row) for row in self._grid)
+        if not has_row:
+            return False
+        for c in range(self.cols):
+            if all(self._grid[r][c] in members for r in range(self.rows)):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"GridQuorum(rows={self.rows}, cols={self.cols})"
+
+
+class WeightedMajorityQuorum(QuorumSystem):
+    """Quorums are sets holding a strict majority of the total weight."""
+
+    def __init__(self, weights: Mapping[str, float]) -> None:
+        super().__init__(weights.keys())
+        if any(weight <= 0 for weight in weights.values()):
+            raise QuorumError("all weights must be positive")
+        self.weights = dict(weights)
+        self.total_weight = sum(weights.values())
+
+    def is_quorum(self, responders: Iterable[str]) -> bool:
+        members = set(responders) & set(self.processes)
+        weight = sum(self.weights[p] for p in members)
+        return weight > self.total_weight / 2
+
+    def __repr__(self) -> str:
+        return f"WeightedMajorityQuorum(total={self.total_weight})"

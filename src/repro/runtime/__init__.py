@@ -1,0 +1,25 @@
+"""Runtime harnesses that drive sans-io protocol nodes.
+
+* :class:`~repro.runtime.cluster.SimNodeRuntime` — binds one node to the
+  simulated network, models its CPU as a serial server, executes effects
+  (sends, timers) and implements crash/recovery under the paper's
+  crash-recovery model (internal state survives, timers do not).
+* :class:`~repro.runtime.cluster.SimCluster` — builds a whole replica
+  group from a factory and offers fault-injection helpers.
+* :class:`~repro.runtime.cluster.ClientEndpoint` — a lightweight network
+  endpoint for load generators and test clients.
+* :mod:`repro.runtime.failures` — declarative crash/recovery schedules.
+* :mod:`repro.runtime.asyncio_cluster` — the wall-clock asyncio driver
+  used by the runnable examples.
+"""
+
+from repro.runtime.cluster import ClientEndpoint, SimCluster, SimNodeRuntime
+from repro.runtime.failures import FailureEvent, FailureSchedule
+
+__all__ = [
+    "ClientEndpoint",
+    "FailureEvent",
+    "FailureSchedule",
+    "SimCluster",
+    "SimNodeRuntime",
+]

@@ -1,0 +1,52 @@
+"""Declarative crash/recovery schedules for experiments.
+
+The node-failure experiment of the paper (Figure 4) kills one replica
+mid-run; a :class:`FailureSchedule` expresses such scripts as data so
+benchmarks and tests can share them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.runtime.cluster import SimCluster
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled action: crash or recover a replica at a time."""
+
+    time: float
+    action: Literal["crash", "recover"]
+    address: str
+
+
+class FailureSchedule:
+    """An ordered script of failure events, installable on a cluster."""
+
+    def __init__(self, events: list[FailureEvent] | None = None) -> None:
+        self.events: list[FailureEvent] = sorted(
+            events or [], key=lambda e: e.time
+        )
+
+    def crash(self, time: float, address: str) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "crash", address))
+        self.events.sort(key=lambda e: e.time)
+        return self
+
+    def recover(self, time: float, address: str) -> "FailureSchedule":
+        self.events.append(FailureEvent(time, "recover", address))
+        self.events.sort(key=lambda e: e.time)
+        return self
+
+    def install(self, cluster: SimCluster) -> None:
+        """Register every event with the cluster's simulator."""
+        for event in self.events:
+            if event.action == "crash":
+                cluster.crash_at(event.time, event.address)
+            else:
+                cluster.recover_at(event.time, event.address)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,97 @@
+"""The discrete-event simulator: virtual clock plus event dispatch loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    The simulator owns the virtual clock (``now``, in seconds) and an event
+    queue.  Components schedule callbacks with :meth:`schedule` / :meth:`at`
+    and the driver advances time with :meth:`run` or :meth:`step`.  Time only
+    moves when events are executed; executing an event is instantaneous in
+    virtual time.
+
+    A single :class:`~repro.sim.rng.RngRegistry` is attached so that all
+    components of one simulation draw from seed-derived streams.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = RngRegistry(seed)
+        self._queue = EventQueue()
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self.now + delay, callback, args)
+
+    def at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} which is before now={self.now}"
+            )
+        return self._queue.push(time, callback, args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError("event queue returned an event from the past")
+        self.now = event.time
+        self._events_executed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the number of events executed
+        by this call.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        at the end even if the queue drained earlier, so that subsequent
+        scheduling happens relative to the requested horizon.
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+            executed += 1
+        if until is not None and self.now < until:
+            self.now = until
+        return executed
+
+    @property
+    def events_executed(self) -> int:
+        """Total events executed over the lifetime of this simulator."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued (including cancelled stubs)."""
+        return len(self._queue)

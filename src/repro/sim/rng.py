@@ -1,0 +1,46 @@
+"""Named, independently seeded random streams.
+
+A simulation uses randomness in several places (network latency, message
+loss, workload think behaviour, protocol backoff, fault injection).  If all
+of them shared a single ``random.Random``, adding one more draw in any
+subsystem would shift every other subsystem's sequence and change the whole
+run.  The registry hands out one stream per name, each deterministically
+derived from the root seed, so subsystems are isolated from each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a stream name.
+
+    Uses SHA-256 rather than ``hash()`` because the latter is randomized per
+    interpreter run (PYTHONHASHSEED) and would break reproducibility.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory of named deterministic random streams."""
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = root_seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(derive_seed(self.root_seed, name))
+        return self._streams[name]
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Return a child registry rooted at a derived seed.
+
+        Useful when an experiment spawns sub-experiments that should each be
+        independently reproducible.
+        """
+        return RngRegistry(derive_seed(self.root_seed, name))

@@ -1,0 +1,18 @@
+"""Statistics utilities for the benchmark harness.
+
+Implements the paper's reporting methodology: request data aggregated in
+one-second windows, medians with 99 % confidence intervals, and latency
+percentiles (the evaluation reports 95th-percentile latencies).
+"""
+
+from repro.stats.histogram import LatencyHistogram
+from repro.stats.summary import median_with_ci, percentile
+from repro.stats.timeseries import WindowedPercentile, WindowedThroughput
+
+__all__ = [
+    "LatencyHistogram",
+    "WindowedPercentile",
+    "WindowedThroughput",
+    "median_with_ci",
+    "percentile",
+]

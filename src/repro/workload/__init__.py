@@ -1,0 +1,24 @@
+"""Workload generation — the Basho Bench role in the paper's evaluation.
+
+Closed-loop clients ("each client independently submits requests to one of
+the three replicas and then waits for a reply before submitting the next
+request"), read-ratio mixes, warm-up exclusion, and per-request records
+feeding the statistics layer.
+"""
+
+from repro.workload.adapters import CounterAdapter, CrdtPaxosAdapter, RsmAdapter
+from repro.workload.clients import ClosedLoopClient, OpRecord, Recorder
+from repro.workload.runner import RunResult, run_workload
+from repro.workload.spec import WorkloadSpec
+
+__all__ = [
+    "ClosedLoopClient",
+    "CounterAdapter",
+    "CrdtPaxosAdapter",
+    "OpRecord",
+    "Recorder",
+    "RsmAdapter",
+    "RunResult",
+    "WorkloadSpec",
+    "run_workload",
+]

@@ -1,0 +1,97 @@
+"""Protocol adapters: one counter workload, many wire dialects.
+
+The paper benchmarks a replicated counter on every system — a G-Counter
+under CRDT Paxos, a plain replicated integer under Multi-Paxos/Raft.  An
+adapter translates the workload's two abstract operations (increment,
+read) into the protocol's client messages and parses the replies, so the
+load generator is protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.baselines.common import (
+    RsmQuery,
+    RsmQueryDone,
+    RsmUpdate,
+    RsmUpdateDone,
+)
+from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
+from repro.crdt.gcounter import GCounterValue, Increment
+
+
+@dataclass(frozen=True)
+class ParsedReply:
+    """Normalized completion: which request, what kind, diagnostics."""
+
+    request_id: str
+    kind: str  # "update" | "read"
+    result: Any = None
+    round_trips: int = 0
+    via: str = ""
+
+
+class CounterAdapter(ABC):
+    """Builds requests and parses replies for one protocol dialect."""
+
+    @abstractmethod
+    def update_message(self, request_id: str, amount: int) -> Any:
+        """An 'increment the counter by amount' request."""
+
+    @abstractmethod
+    def query_message(self, request_id: str) -> Any:
+        """A 'read the counter' request."""
+
+    @abstractmethod
+    def parse_reply(self, message: Any) -> ParsedReply | None:
+        """Normalize a reply; None if the message is not a completion."""
+
+
+class CrdtPaxosAdapter(CounterAdapter):
+    """G-Counter operations over the CRDT Paxos client messages."""
+
+    def update_message(self, request_id: str, amount: int) -> Any:
+        return ClientUpdate(request_id=request_id, op=Increment(amount))
+
+    def query_message(self, request_id: str) -> Any:
+        return ClientQuery(request_id=request_id, op=GCounterValue())
+
+    def parse_reply(self, message: Any) -> ParsedReply | None:
+        if isinstance(message, UpdateDone):
+            return ParsedReply(
+                request_id=message.request_id, kind="update", round_trips=1
+            )
+        if isinstance(message, QueryDone):
+            return ParsedReply(
+                request_id=message.request_id,
+                kind="read",
+                result=message.result,
+                round_trips=message.round_trips,
+                via=message.learned_via,
+            )
+        return None
+
+
+class RsmAdapter(CounterAdapter):
+    """Replicated-integer operations for Multi-Paxos, Raft and GLA."""
+
+    def update_message(self, request_id: str, amount: int) -> Any:
+        return RsmUpdate(request_id=request_id, command=("incr", amount))
+
+    def query_message(self, request_id: str) -> Any:
+        return RsmQuery(request_id=request_id, command=("read",))
+
+    def parse_reply(self, message: Any) -> ParsedReply | None:
+        if isinstance(message, RsmUpdateDone):
+            return ParsedReply(request_id=message.request_id, kind="update")
+        if isinstance(message, RsmQueryDone):
+            return ParsedReply(
+                request_id=message.request_id,
+                kind="read",
+                result=message.result,
+                via=message.via,
+            )
+        return None

@@ -1,0 +1,150 @@
+"""Closed-loop clients and per-operation recording."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.sim_transport import SimNetwork
+from repro.runtime.cluster import ClientEndpoint
+from repro.sim.kernel import Simulator
+from repro.workload.adapters import CounterAdapter
+
+
+@dataclass(frozen=True, slots=True)
+class OpRecord:
+    """One completed operation, as the statistics layer sees it."""
+
+    kind: str  # "update" | "read"
+    issued_at: float
+    completed_at: float
+    round_trips: int
+    via: str
+    client: str
+    retried: bool
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.issued_at
+
+
+class Recorder:
+    """Accumulates completed operations for one run."""
+
+    def __init__(self) -> None:
+        self.records: list[OpRecord] = []
+        self.timeouts = 0
+
+    def record(self, op: OpRecord) -> None:
+        self.records.append(op)
+
+    def record_timeout(self) -> None:
+        self.timeouts += 1
+
+
+class ClosedLoopClient:
+    """One Basho-Bench-style worker.
+
+    The client is pinned to one replica; each operation is issued as soon
+    as the previous one completes.  If no reply arrives within the
+    client timeout the operation is *re-issued* under a fresh request id
+    to the next replica (round-robin) — stale replies to superseded ids
+    are dropped.  The latency of a retried operation spans from the first
+    issue, like a real benchmark client's stopwatch.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: SimNetwork,
+        address: str,
+        replicas: list[str],
+        home_replica: int,
+        adapter: CounterAdapter,
+        recorder: Recorder,
+        rng: random.Random,
+        read_ratio: float,
+        stop_time: float,
+        client_timeout: float,
+        increment_amount: int = 1,
+    ) -> None:
+        self._sim = sim
+        self._endpoint = ClientEndpoint(sim, network, address, self._on_reply)
+        self.address = address
+        self._replicas = replicas
+        self._target_index = home_replica % len(replicas)
+        self._adapter = adapter
+        self._recorder = recorder
+        self._rng = rng
+        self._read_ratio = read_ratio
+        self._stop_time = stop_time
+        self._client_timeout = client_timeout
+        self._increment_amount = increment_amount
+
+        self._sequence = 0
+        self._outstanding_id: str | None = None
+        self._current_kind = ""
+        self._first_issued_at = 0.0
+        self._retried = False
+        self.operations_completed = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._issue_new()
+
+    def _issue_new(self) -> None:
+        if self._sim.now >= self._stop_time:
+            self._outstanding_id = None
+            return
+        self._current_kind = (
+            "read" if self._rng.random() < self._read_ratio else "update"
+        )
+        self._first_issued_at = self._sim.now
+        self._retried = False
+        self._send_attempt()
+
+    def _send_attempt(self) -> None:
+        self._sequence += 1
+        request_id = f"{self.address}#{self._sequence}"
+        self._outstanding_id = request_id
+        if self._current_kind == "read":
+            message = self._adapter.query_message(request_id)
+        else:
+            message = self._adapter.update_message(
+                request_id, self._increment_amount
+            )
+        target = self._replicas[self._target_index]
+        self._endpoint.send(target, message)
+        self._sim.schedule(self._client_timeout, self._check_timeout, request_id)
+
+    def _check_timeout(self, request_id: str) -> None:
+        if self._outstanding_id != request_id:
+            return
+        # Give up on this attempt; fail over to the next replica.
+        self._recorder.record_timeout()
+        self._retried = True
+        self._target_index = (self._target_index + 1) % len(self._replicas)
+        if self._sim.now >= self._stop_time:
+            self._outstanding_id = None
+            return
+        self._send_attempt()
+
+    def _on_reply(self, src: str, message: Any) -> None:
+        parsed = self._adapter.parse_reply(message)
+        if parsed is None or parsed.request_id != self._outstanding_id:
+            return  # stale reply to a superseded attempt
+        self._outstanding_id = None
+        self.operations_completed += 1
+        self._recorder.record(
+            OpRecord(
+                kind=parsed.kind,
+                issued_at=self._first_issued_at,
+                completed_at=self._sim.now,
+                round_trips=parsed.round_trips,
+                via=parsed.via,
+                client=self.address,
+                retried=self._retried,
+            )
+        )
+        self._issue_new()

@@ -1,0 +1,260 @@
+"""Experiment runner: build a cluster, drive clients, collect results.
+
+``run_workload`` is the single entry point used by every benchmark figure
+and by integration tests.  It is deterministic for a given seed — the
+simulator, the network, the protocols' randomized timers and the clients'
+operation mixes all draw from seed-derived streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.baselines.common import IntCounter
+from repro.baselines.gla import GlaConfig, GlaNode
+from repro.baselines.multipaxos import MultiPaxosConfig, MultiPaxosNode
+from repro.baselines.raft import RaftConfig, RaftNode
+from repro.core import CrdtPaxosConfig, CrdtPaxosReplica
+from repro.crdt.gcounter import GCounter
+from repro.errors import ConfigurationError
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel, LogNormalLatency
+from repro.net.sim_transport import SimNetwork
+from repro.runtime.cluster import SimCluster
+from repro.runtime.failures import FailureSchedule
+from repro.sim.kernel import Simulator
+from repro.sim.process import ServiceModel
+from repro.stats.summary import MedianCI, median_with_ci, percentile
+from repro.stats.timeseries import WindowedPercentile, WindowedThroughput
+from repro.workload.adapters import CounterAdapter, CrdtPaxosAdapter, RsmAdapter
+from repro.workload.clients import ClosedLoopClient, OpRecord, Recorder
+from repro.workload.spec import WorkloadSpec
+
+#: Protocol names understood by :func:`run_workload`.
+PROTOCOLS = (
+    "crdt-paxos",
+    "crdt-paxos-batching",
+    "multi-paxos",
+    "raft",
+    "gla",
+)
+
+
+@dataclass
+class RunResult:
+    """Everything a figure needs from one run."""
+
+    protocol: str
+    spec: WorkloadSpec
+    records: list[OpRecord]
+    client_timeouts: int
+    bytes_by_type: dict[str, int]
+    count_by_type: dict[str, int]
+    proposer_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def _steady(self, kind: str | None = None) -> list[OpRecord]:
+        return [
+            record
+            for record in self.records
+            if record.completed_at >= self.spec.warmup
+            and (kind is None or record.kind == kind)
+        ]
+
+    def throughput(self, window: float = 1.0) -> MedianCI:
+        """Median requests/second over fixed windows (paper methodology:
+        1 s aggregation).  For runs whose steady-state interval is shorter
+        than a few windows the window shrinks so at least four fit —
+        otherwise short CI runs would report nothing.
+        """
+        steady_span = self.spec.duration - self.spec.warmup
+        effective = max(min(window, steady_span / 4), 1e-3)
+        windows = WindowedThroughput(window=effective)
+        for record in self._steady():
+            windows.add(record.completed_at)
+        rates = windows.rates(start=self.spec.warmup, end=self.spec.duration)
+        if not rates:
+            return MedianCI(0.0, 0.0, 0.0, 0.99)
+        return median_with_ci(rates, confidence=0.99)
+
+    def latency_percentile(self, kind: str, p: float = 95.0) -> float | None:
+        """The p-th percentile latency of steady-state ``kind`` requests."""
+        latencies = [record.latency for record in self._steady(kind)]
+        if not latencies:
+            return None
+        return percentile(latencies, p)
+
+    def latency_timeline(
+        self, kind: str, p: float = 95.0, window: float = 10.0
+    ) -> list[tuple[float, float | None]]:
+        """Windowed latency percentile over elapsed time (Figure 4)."""
+        series = WindowedPercentile(window=window)
+        for record in self.records:
+            if record.kind == kind:
+                series.add(record.completed_at, record.latency)
+        return series.series(p, start=0.0, end=self.spec.duration)
+
+    def read_round_trips(self) -> list[int]:
+        """Round trips of every steady-state read (Figure 3's sample)."""
+        return [record.round_trips for record in self._steady("read")]
+
+    def round_trip_cdf(self, max_rt: int = 15) -> list[tuple[int, float]]:
+        """Cumulative percentage of reads completing within k round trips."""
+        round_trips = self.read_round_trips()
+        if not round_trips:
+            return []
+        total = len(round_trips)
+        cdf = []
+        for k in range(0, max_rt + 1):
+            within = sum(1 for rt in round_trips if rt <= k)
+            cdf.append((k, 100.0 * within / total))
+        return cdf
+
+    def completed_ops(self) -> int:
+        return len(self._steady())
+
+
+# ----------------------------------------------------------------------
+def _build_protocol(
+    protocol: str,
+    sim: Simulator,
+    crdt_config: CrdtPaxosConfig | None,
+    raft_config: RaftConfig | None,
+    multipaxos_config: MultiPaxosConfig | None,
+    gla_config: GlaConfig | None,
+) -> tuple[Any, CounterAdapter]:
+    """Return (replica factory, client adapter) for a protocol name."""
+    if protocol == "crdt-paxos":
+        config = crdt_config or CrdtPaxosConfig()
+
+        def factory(node_id: str, peers: list[str]) -> CrdtPaxosReplica:
+            return CrdtPaxosReplica(node_id, peers, GCounter.initial(), config)
+
+        return factory, CrdtPaxosAdapter()
+
+    if protocol == "crdt-paxos-batching":
+        config = crdt_config or CrdtPaxosConfig()
+        config.batching = True
+
+        def factory(node_id: str, peers: list[str]) -> CrdtPaxosReplica:
+            return CrdtPaxosReplica(node_id, peers, GCounter.initial(), config)
+
+        return factory, CrdtPaxosAdapter()
+
+    if protocol == "raft":
+        config = raft_config or RaftConfig()
+
+        def factory(node_id: str, peers: list[str]) -> RaftNode:
+            return RaftNode(
+                node_id,
+                peers,
+                IntCounter(),
+                config,
+                rng=sim.rng.stream(f"raft:{node_id}"),
+            )
+
+        return factory, RsmAdapter()
+
+    if protocol == "multi-paxos":
+        config = multipaxos_config or MultiPaxosConfig()
+
+        def factory(node_id: str, peers: list[str]) -> MultiPaxosNode:
+            return MultiPaxosNode(
+                node_id,
+                peers,
+                IntCounter(),
+                config,
+                rng=sim.rng.stream(f"multipaxos:{node_id}"),
+            )
+
+        return factory, RsmAdapter()
+
+    if protocol == "gla":
+        config = gla_config or GlaConfig()
+
+        def factory(node_id: str, peers: list[str]) -> GlaNode:
+            return GlaNode(node_id, peers, IntCounter, config)
+
+        return factory, RsmAdapter()
+
+    raise ConfigurationError(
+        f"unknown protocol {protocol!r}; known: {', '.join(PROTOCOLS)}"
+    )
+
+
+def run_workload(
+    protocol: str,
+    spec: WorkloadSpec,
+    *,
+    seed: int = 0,
+    n_replicas: int = 3,
+    latency: LatencyModel | None = None,
+    faults: FaultPlan | None = None,
+    service_model: ServiceModel | None = None,
+    failure_schedule: FailureSchedule | None = None,
+    fifo_links: bool = True,
+    crdt_config: CrdtPaxosConfig | None = None,
+    raft_config: RaftConfig | None = None,
+    multipaxos_config: MultiPaxosConfig | None = None,
+    gla_config: GlaConfig | None = None,
+) -> RunResult:
+    """Run one benchmark configuration end to end and return its result.
+
+    ``fifo_links`` defaults to True: the paper's test bed spoke Erlang
+    distribution over TCP, which never reorders one link's messages.
+    Protocol-correctness tests use reordering networks instead.
+    """
+    sim = Simulator(seed=seed)
+    network = SimNetwork(
+        sim,
+        latency=latency or LogNormalLatency(),
+        faults=faults,
+        fifo_links=fifo_links,
+    )
+    factory, adapter = _build_protocol(
+        protocol, sim, crdt_config, raft_config, multipaxos_config, gla_config
+    )
+    cluster = SimCluster(
+        sim, network, factory, n_replicas=n_replicas, service_model=service_model
+    )
+    if failure_schedule is not None:
+        failure_schedule.install(cluster)
+
+    recorder = Recorder()
+    clients = []
+    for index in range(spec.n_clients):
+        client = ClosedLoopClient(
+            sim=sim,
+            network=network,
+            address=f"c{index}",
+            replicas=list(cluster.addresses),
+            home_replica=index,
+            adapter=adapter,
+            recorder=recorder,
+            rng=sim.rng.stream(f"client:{index}"),
+            read_ratio=spec.read_ratio,
+            stop_time=spec.duration,
+            client_timeout=spec.client_timeout,
+            increment_amount=spec.increment_amount,
+        )
+        clients.append(client)
+        client.start()
+
+    sim.run(until=spec.duration)
+
+    proposer_stats: dict[str, dict[str, int]] = {}
+    for address in cluster.addresses:
+        node = cluster.node(address)
+        if isinstance(node, CrdtPaxosReplica):
+            proposer_stats[address] = node.proposer.stats.snapshot()
+
+    return RunResult(
+        protocol=protocol,
+        spec=spec,
+        records=recorder.records,
+        client_timeouts=recorder.timeouts,
+        bytes_by_type=dict(network.stats.bytes_by_type),
+        count_by_type=dict(network.stats.count_by_type),
+        proposer_stats=proposer_stats,
+    )

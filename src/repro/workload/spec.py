@@ -1,0 +1,40 @@
+"""Workload specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark run's client behaviour.
+
+    ``read_ratio`` is the probability that a request is a read (the
+    paper's mixes: 1.0, 0.95, 0.9, 0.5, 0.0).  ``warmup`` seconds at the
+    start are excluded from all statistics — it covers leader election in
+    the baselines so steady-state numbers are compared.  ``client_timeout``
+    is the client-side give-up-and-fail-over interval: on expiry the
+    client re-issues the operation to the next replica (how Basho Bench
+    behaves when a node dies mid-run).
+    """
+
+    n_clients: int
+    read_ratio: float
+    duration: float
+    warmup: float = 0.5
+    client_timeout: float = 0.5
+    increment_amount: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_clients <= 0:
+            raise ConfigurationError("n_clients must be positive")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ConfigurationError("read_ratio must be within [0, 1]")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not 0 <= self.warmup < self.duration:
+            raise ConfigurationError("warmup must be within [0, duration)")
+        if self.client_timeout <= 0:
+            raise ConfigurationError("client_timeout must be positive")

@@ -1,0 +1,127 @@
+"""Shared harness for the baseline protocol tests."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.baselines.common import (
+    IntCounter,
+    RsmQuery,
+    RsmQueryDone,
+    RsmUpdate,
+    RsmUpdateDone,
+)
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.sim_transport import SimNetwork
+from repro.runtime.cluster import ClientEndpoint, SimCluster
+from repro.sim.kernel import Simulator
+
+
+class BaselineHarness:
+    """A baseline-protocol cluster plus a reply-collecting test client."""
+
+    def __init__(
+        self,
+        node_factory: Callable[..., Any],
+        seed: int = 1,
+        n_replicas: int = 3,
+        latency: LatencyModel | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.network = SimNetwork(
+            self.sim,
+            latency=latency or ConstantLatency(delay=1e-3),
+            faults=faults,
+        )
+        self.cluster = SimCluster(
+            self.sim,
+            self.network,
+            lambda nid, peers: node_factory(self.sim, nid, peers),
+            n_replicas=n_replicas,
+        )
+        self.replies: dict[str, Any] = {}
+        self.client = ClientEndpoint(self.sim, self.network, "client", self._on_reply)
+        self._counter = 0
+
+    def _on_reply(self, src: str, message: Any) -> None:
+        if isinstance(message, (RsmUpdateDone, RsmQueryDone)):
+            self.replies[message.request_id] = message
+
+    # ------------------------------------------------------------------
+    def update(self, replica: str, amount: int = 1) -> str:
+        self._counter += 1
+        request_id = f"u{self._counter}"
+        self.client.send(
+            replica, RsmUpdate(request_id=request_id, command=("incr", amount))
+        )
+        return request_id
+
+    def query(self, replica: str) -> str:
+        self._counter += 1
+        request_id = f"q{self._counter}"
+        self.client.send(replica, RsmQuery(request_id=request_id, command=("read",)))
+        return request_id
+
+    def run(self, duration: float = 1.0) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def reply(self, request_id: str) -> Any:
+        assert request_id in self.replies, f"request {request_id} never completed"
+        return self.replies[request_id]
+
+    def node(self, address: str) -> Any:
+        return self.cluster.node(address)
+
+    def leader_addresses(self) -> list[str]:
+        return [
+            address
+            for address in self.cluster.alive()
+            if getattr(self.node(address), "role", "") == "leader"
+        ]
+
+    def machine_values(self) -> dict[str, int]:
+        return {
+            address: self.node(address).machine.value
+            for address in self.cluster.addresses
+        }
+
+
+def raft_harness(seed: int = 1, n_replicas: int = 3, config=None, **kw):
+    from repro.baselines.raft import RaftConfig, RaftNode
+
+    def factory(sim, nid, peers):
+        return RaftNode(
+            nid,
+            peers,
+            IntCounter(),
+            config or RaftConfig(),
+            rng=sim.rng.stream(f"raft:{nid}"),
+        )
+
+    return BaselineHarness(factory, seed=seed, n_replicas=n_replicas, **kw)
+
+
+def multipaxos_harness(seed: int = 1, n_replicas: int = 3, config=None, **kw):
+    from repro.baselines.multipaxos import MultiPaxosConfig, MultiPaxosNode
+
+    def factory(sim, nid, peers):
+        return MultiPaxosNode(
+            nid,
+            peers,
+            IntCounter(),
+            config or MultiPaxosConfig(),
+            rng=sim.rng.stream(f"mp:{nid}"),
+        )
+
+    return BaselineHarness(factory, seed=seed, n_replicas=n_replicas, **kw)
+
+
+def gla_harness(seed: int = 1, n_replicas: int = 3, **kw):
+    from repro.baselines.gla import GlaNode
+
+    def factory(sim, nid, peers):
+        return GlaNode(nid, peers, IntCounter)
+
+    return BaselineHarness(factory, seed=seed, n_replicas=n_replicas, **kw)

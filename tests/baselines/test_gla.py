@@ -1,0 +1,97 @@
+"""GLA baseline tests: agreement, wait-freedom shape, unbounded growth."""
+
+from repro.baselines.common import IntCounter
+from tests.baselines.harness import gla_harness
+
+
+class TestAgreement:
+    def test_updates_complete_and_reads_see_them(self):
+        harness = gla_harness()
+        rids = [harness.update(f"r{i % 3}") for i in range(12)]
+        harness.run(2.0)
+        qid = harness.query("r0")
+        harness.run(1.0)
+        assert all(rid in harness.replies for rid in rids)
+        assert harness.reply(qid).result == 12
+
+    def test_reads_from_all_nodes_comparable(self):
+        harness = gla_harness()
+        for i in range(9):
+            harness.update(f"r{i % 3}")
+        harness.run(2.0)
+        qids = [harness.query(f"r{i}") for i in range(3)]
+        harness.run(1.0)
+        results = sorted(harness.reply(q).result for q in qids)
+        # All learned sets contain all 9 completed updates.
+        assert results == [9, 9, 9]
+
+    def test_no_leader_needed(self):
+        harness = gla_harness()
+        for address in harness.cluster.addresses:
+            assert not hasattr(harness.node(address), "role") or getattr(
+                harness.node(address), "role", None
+            ) is None
+
+    def test_concurrent_proposals_refine(self):
+        harness = gla_harness(seed=9)
+        for i in range(30):
+            harness.update(f"r{i % 3}")
+        harness.run(3.0)
+        refinements = sum(
+            harness.node(a).refinements for a in harness.cluster.addresses
+        )
+        # With three concurrent proposers, refinement rounds must occur.
+        assert refinements > 0
+
+
+class TestUnboundedGrowth:
+    def test_accepted_sets_grow_with_history(self):
+        """The property that keeps the original GLA out of the paper's
+        throughput evaluation: no truncation exists."""
+        harness = gla_harness()
+        sizes = []
+        for batch in range(3):
+            for i in range(10):
+                harness.update(f"r{i % 3}")
+            harness.run(2.0)
+            sizes.append(len(harness.node("r0").accepted))
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_proposal_messages_grow(self):
+        harness = gla_harness()
+        for i in range(10):
+            harness.update("r0")
+        harness.run(2.0)
+        early = harness.network.stats.mean_bytes("Propose")
+        before_count = harness.network.stats.count_by_type["Propose"]
+        before_bytes = harness.network.stats.bytes_by_type["Propose"]
+        for i in range(30):
+            harness.update("r0")
+        harness.run(3.0)
+        late_bytes = harness.network.stats.bytes_by_type["Propose"] - before_bytes
+        late_count = harness.network.stats.count_by_type["Propose"] - before_count
+        assert late_bytes / late_count > early
+
+
+class TestCrashTolerance:
+    def test_minority_crash_does_not_block(self):
+        harness = gla_harness()
+        harness.cluster.crash("r2")
+        rid = harness.update("r0")
+        qid = harness.query("r1")
+        harness.run(3.0)
+        assert rid in harness.replies
+        assert qid in harness.replies
+
+
+def test_machine_factory_is_fresh_per_read():
+    """Reads fold learned updates into a fresh machine each time."""
+    harness = gla_harness()
+    harness.update("r0", amount=5)
+    harness.run(1.0)
+    q1 = harness.query("r0")
+    harness.run(1.0)
+    q2 = harness.query("r0")
+    harness.run(1.0)
+    assert harness.reply(q1).result == 5
+    assert harness.reply(q2).result == 5  # not 10: no double application

@@ -1,0 +1,163 @@
+"""Multi-Paxos baseline tests: leases, replication, failover, catch-up."""
+
+import pytest
+
+from repro.baselines.multipaxos import MultiPaxosConfig
+from repro.errors import ConfigurationError
+from tests.baselines.harness import multipaxos_harness
+
+
+class TestConfig:
+    def test_lease_must_fit_inside_election_timeout(self):
+        with pytest.raises(ConfigurationError):
+            MultiPaxosConfig(lease_duration=0.5, election_timeout_min=0.2)
+
+    def test_heartbeat_must_be_shorter_than_lease(self):
+        with pytest.raises(ConfigurationError):
+            MultiPaxosConfig(heartbeat_interval=0.2, lease_duration=0.1)
+
+
+class TestSteadyState:
+    def test_exactly_one_leader(self):
+        harness = multipaxos_harness()
+        harness.run(1.0)
+        assert len(harness.leader_addresses()) == 1
+
+    def test_update_replicated_everywhere(self):
+        harness = multipaxos_harness()
+        harness.run(1.0)
+        rid = harness.update("r0", amount=4)
+        harness.run(1.0)
+        assert rid in harness.replies
+        assert set(harness.machine_values().values()) == {4}
+
+    def test_reads_served_from_lease(self):
+        harness = multipaxos_harness()
+        harness.run(1.0)
+        harness.update("r1", amount=2)
+        harness.run(0.5)
+        qid = harness.query("r2")
+        harness.run(0.5)
+        reply = harness.reply(qid)
+        assert reply.result == 2
+        assert reply.via == "lease"
+
+    def test_lease_read_linearizes_after_update(self):
+        harness = multipaxos_harness()
+        harness.run(1.0)
+        rid = harness.update("r0", amount=9)
+        harness.run(1.0)
+        assert rid in harness.replies
+        qid = harness.query("r0")
+        harness.run(0.5)
+        assert harness.reply(qid).result == 9
+
+    def test_lease_reads_do_not_grow_the_log(self):
+        harness = multipaxos_harness()
+        harness.run(1.0)
+        (leader,) = harness.leader_addresses()
+        slots_before = harness.node(leader).next_slot
+        for _ in range(10):
+            harness.query("r0")
+        harness.run(1.0)
+        assert harness.node(leader).next_slot == slots_before
+        assert harness.node(leader).lease_reads >= 10
+
+    def test_commands_buffered_before_first_election(self):
+        harness = multipaxos_harness()
+        rid = harness.update("r0")
+        harness.run(2.0)
+        assert rid in harness.replies
+
+
+class TestFailover:
+    def test_new_leader_after_crash(self):
+        harness = multipaxos_harness()
+        harness.run(1.0)
+        (old_leader,) = harness.leader_addresses()
+        harness.cluster.crash(old_leader)
+        harness.run(2.0)
+        leaders = harness.leader_addresses()
+        assert len(leaders) == 1 and leaders[0] != old_leader
+
+    def test_committed_state_survives_failover(self):
+        harness = multipaxos_harness()
+        harness.run(1.0)
+        harness.update("r0", amount=6)
+        harness.run(1.0)
+        (old_leader,) = harness.leader_addresses()
+        harness.cluster.crash(old_leader)
+        harness.run(2.0)
+        qid = harness.query(harness.leader_addresses()[0])
+        harness.run(1.0)
+        assert harness.reply(qid).result == 6
+
+    def test_new_leader_defers_lease_reads_until_barrier(self):
+        """A fresh leader must commit the inherited suffix before serving
+        local reads; the first read right after failover goes through the
+        log if the barrier is still open."""
+        harness = multipaxos_harness()
+        harness.run(1.0)
+        harness.update("r0", amount=3)
+        harness.run(1.0)
+        (old_leader,) = harness.leader_addresses()
+        harness.cluster.crash(old_leader)
+        harness.run(2.0)
+        new_leader = harness.leader_addresses()[0]
+        qid = harness.query(new_leader)
+        harness.run(1.0)
+        assert harness.reply(qid).result == 3  # correct either way
+
+    def test_service_continues_with_two_of_three(self):
+        harness = multipaxos_harness()
+        harness.run(1.0)
+        (leader,) = harness.leader_addresses()
+        follower = [a for a in harness.cluster.addresses if a != leader][0]
+        harness.cluster.crash(follower)
+        rid = harness.update(leader, amount=2)
+        harness.run(1.0)
+        assert rid in harness.replies
+        qid = harness.query(leader)
+        harness.run(1.0)
+        assert harness.reply(qid).result == 2
+
+
+class TestCatchupAndCompaction:
+    def test_snapshot_compaction(self):
+        harness = multipaxos_harness(
+            config=MultiPaxosConfig(snapshot_threshold=16), seed=2
+        )
+        harness.run(1.0)
+        for i in range(60):
+            harness.update(f"r{i % 3}")
+        harness.run(3.0)
+        (leader,) = harness.leader_addresses()
+        assert harness.node(leader).snapshots_taken >= 1
+        assert len(harness.node(leader).accepted) < 60
+
+    def test_recovered_follower_catches_up(self):
+        harness = multipaxos_harness(
+            config=MultiPaxosConfig(snapshot_threshold=16), seed=3
+        )
+        harness.run(1.0)
+        (leader,) = harness.leader_addresses()
+        laggard = [a for a in harness.cluster.addresses if a != leader][0]
+        harness.cluster.crash(laggard)
+        for _ in range(50):
+            harness.update(leader)
+        harness.run(3.0)
+        harness.cluster.recover(laggard)
+        harness.run(3.0)
+        assert harness.node(laggard).machine.value == 50
+
+
+@pytest.mark.parametrize("n_replicas", [1, 3, 5])
+def test_group_sizes(n_replicas):
+    harness = multipaxos_harness(n_replicas=n_replicas)
+    harness.run(1.5)
+    rid = harness.update("r0", amount=2)
+    harness.run(1.5)
+    assert rid in harness.replies
+    qid = harness.query("r0")
+    harness.run(1.5)
+    assert harness.reply(qid).result == 2

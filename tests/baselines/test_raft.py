@@ -1,0 +1,221 @@
+"""Raft baseline tests: elections, replication, safety, compaction."""
+
+import pytest
+
+from repro.baselines.raft import RaftConfig
+from repro.baselines.raft.log import LogEntry, RaftLog
+from repro.net.faults import FaultPlan, Partition
+from tests.baselines.harness import raft_harness
+
+
+class TestRaftLog:
+    def test_append_and_indexing(self):
+        log = RaftLog()
+        assert log.last_index == 0
+        index = log.append(LogEntry(term=1, kind="noop"))
+        assert index == 1
+        assert log.entry(1).term == 1
+        assert log.entry(2) is None
+        assert log.term_at(0) == 0
+
+    def test_truncate_from(self):
+        log = RaftLog()
+        for term in (1, 1, 2):
+            log.append(LogEntry(term=term, kind="noop"))
+        log.truncate_from(2)
+        assert log.last_index == 1
+        assert log.last_term == 1
+
+    def test_compact_to(self):
+        log = RaftLog()
+        for i in range(5):
+            log.append(LogEntry(term=1, kind="update", command=("incr", i)))
+        log.compact_to(3)
+        assert log.base_index == 3
+        assert log.entry(3) is None  # compacted
+        assert log.entry(4) is not None
+        assert log.last_index == 5
+        assert log.term_at(3) == 1
+
+    def test_slice_from_respects_limit(self):
+        log = RaftLog()
+        for i in range(10):
+            log.append(LogEntry(term=1, kind="noop"))
+        assert len(log.slice_from(1, 4)) == 4
+        assert len(log.slice_from(8, 100)) == 3
+
+    def test_reset_to_snapshot(self):
+        log = RaftLog()
+        log.append(LogEntry(term=1, kind="noop"))
+        log.reset_to_snapshot(10, 3)
+        assert log.last_index == 10
+        assert log.last_term == 3
+        assert len(log) == 0
+
+
+class TestElectionAndReplication:
+    def test_exactly_one_leader_emerges(self):
+        harness = raft_harness()
+        harness.run(1.0)
+        assert len(harness.leader_addresses()) == 1
+
+    def test_terms_converge(self):
+        harness = raft_harness()
+        harness.run(1.0)
+        terms = {harness.node(a).term for a in harness.cluster.addresses}
+        assert len(terms) == 1
+
+    def test_update_replicated_and_applied_everywhere(self):
+        harness = raft_harness()
+        harness.run(1.0)
+        rid = harness.update("r0", amount=7)
+        harness.run(1.0)
+        assert rid in harness.replies
+        assert set(harness.machine_values().values()) == {7}
+
+    def test_read_goes_through_log(self):
+        harness = raft_harness()
+        harness.run(1.0)
+        harness.update("r1", amount=3)
+        harness.run(0.5)
+        qid = harness.query("r2")
+        harness.run(0.5)
+        reply = harness.reply(qid)
+        assert reply.result == 3
+        assert reply.via == "log"
+
+    def test_any_replica_accepts_client_commands(self):
+        harness = raft_harness()
+        harness.run(1.0)
+        rids = [harness.update(f"r{i}") for i in range(3)]
+        harness.run(1.0)
+        assert all(rid in harness.replies for rid in rids)
+
+    def test_commands_buffered_before_first_election(self):
+        harness = raft_harness()
+        rid = harness.update("r0")  # no leader yet
+        harness.run(2.0)
+        assert rid in harness.replies
+
+
+class TestLeaderFailure:
+    def test_new_leader_elected_after_crash(self):
+        harness = raft_harness()
+        harness.run(1.0)
+        (old_leader,) = harness.leader_addresses()
+        harness.cluster.crash(old_leader)
+        harness.run(2.0)
+        leaders = harness.leader_addresses()
+        assert len(leaders) == 1
+        assert leaders[0] != old_leader
+
+    def test_committed_state_survives_leader_crash(self):
+        harness = raft_harness()
+        harness.run(1.0)
+        harness.update("r0", amount=10)
+        harness.run(1.0)
+        (old_leader,) = harness.leader_addresses()
+        harness.cluster.crash(old_leader)
+        harness.run(2.0)
+        survivor = harness.leader_addresses()[0]
+        qid = harness.query(survivor)
+        harness.run(1.0)
+        assert harness.reply(qid).result == 10
+
+    def test_recovered_old_leader_steps_down(self):
+        harness = raft_harness()
+        harness.run(1.0)
+        (old_leader,) = harness.leader_addresses()
+        harness.cluster.crash(old_leader)
+        harness.run(2.0)
+        harness.cluster.recover(old_leader)
+        harness.run(2.0)
+        assert len(harness.leader_addresses()) == 1
+        roles = {a: harness.node(a).role for a in harness.cluster.addresses}
+        assert sum(1 for r in roles.values() if r == "leader") == 1
+
+    def test_minority_cannot_commit(self):
+        harness = raft_harness()
+        harness.run(1.0)
+        (leader,) = harness.leader_addresses()
+        followers = [a for a in harness.cluster.addresses if a != leader]
+        for follower in followers:
+            harness.cluster.crash(follower)
+        rid = harness.update(leader)
+        harness.run(1.0)
+        assert rid not in harness.replies
+
+
+class TestPartitions:
+    def test_partitioned_leader_cannot_serve(self):
+        harness = raft_harness()
+        harness.run(1.0)
+        (leader,) = harness.leader_addresses()
+        others = frozenset(a for a in harness.cluster.addresses if a != leader)
+        harness.network.faults.add_partition(
+            Partition(frozenset({leader}), others, start=harness.sim.now)
+        )
+        harness.run(2.0)
+        # The majority side elects a fresh leader with a higher term.
+        majority_leaders = [a for a in harness.leader_addresses() if a != leader]
+        assert len(majority_leaders) == 1
+        assert harness.node(majority_leaders[0]).term > 1
+
+    def test_log_matching_after_partition_heals(self):
+        harness = raft_harness(seed=5)
+        harness.run(1.0)
+        (leader,) = harness.leader_addresses()
+        others = frozenset(a for a in harness.cluster.addresses if a != leader)
+        heal_at = harness.sim.now + 1.0
+        harness.network.faults.add_partition(
+            Partition(frozenset({leader}), others, start=harness.sim.now, until=heal_at)
+        )
+        harness.run(1.5)
+        new_leader = [a for a in harness.leader_addresses() if a != leader][0]
+        harness.update(new_leader, amount=5)
+        harness.run(2.0)
+        qids = [harness.query(a) for a in harness.cluster.addresses]
+        harness.run(1.0)
+        results = {harness.reply(q).result for q in qids if q in harness.replies}
+        assert results == {5}
+        assert set(harness.machine_values().values()) == {5}
+
+
+class TestCompaction:
+    def test_snapshot_truncates_log(self):
+        harness = raft_harness(
+            config=RaftConfig(snapshot_threshold=16), seed=2
+        )
+        harness.run(1.0)
+        for i in range(60):
+            harness.update(f"r{i % 3}")
+        harness.run(3.0)
+        (leader,) = harness.leader_addresses()
+        node = harness.node(leader)
+        assert node.snapshots_taken >= 1
+        assert len(node.log) < 60
+
+    def test_lagging_follower_gets_snapshot(self):
+        harness = raft_harness(config=RaftConfig(snapshot_threshold=16), seed=3)
+        harness.run(1.0)
+        (leader,) = harness.leader_addresses()
+        laggard = [a for a in harness.cluster.addresses if a != leader][0]
+        harness.cluster.crash(laggard)
+        for i in range(80):
+            harness.update(leader)
+        harness.run(3.0)
+        harness.cluster.recover(laggard)
+        harness.run(3.0)
+        assert harness.node(laggard).machine.value == 80
+
+
+@pytest.mark.parametrize("n_replicas", [1, 3, 5])
+def test_group_sizes(n_replicas):
+    harness = raft_harness(n_replicas=n_replicas)
+    harness.run(1.5)
+    rid = harness.update("r0", amount=2)
+    harness.run(1.5)
+    assert rid in harness.replies
+    qid = harness.query("r0")
+    harness.run(1.5)
+    assert harness.reply(qid).result == 2

@@ -1,0 +1,92 @@
+"""Tests for the benchmark harness plumbing (cheap pieces only — the
+figure sweeps themselves run under ``pytest benchmarks/``)."""
+
+import pytest
+
+from repro.bench.calibration import (
+    bench_scale,
+    crdt_paxos_config,
+    paper_latency,
+    paper_multipaxos_config,
+    paper_raft_config,
+    paper_service_model,
+    service_model_for,
+)
+from repro.bench.format import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        table = format_table(
+            ["name", "value"],
+            [["a", 1.0], ["long-name", 123456.0]],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "123,456" in table
+
+    def test_none_rendered_as_dash(self):
+        table = format_table(["x"], [[None]])
+        assert "-" in table.splitlines()[-1]
+
+    def test_float_formats(self):
+        table = format_table(["x"], [[0.12345], [12.3], [1234.5], [0]])
+        assert "0.123" in table
+        assert "12.3" in table
+        assert "1,234" in table  # thousands separator, no decimals
+
+    def test_rows_preserved_in_order(self):
+        table = format_table(["x"], [["first"], ["second"]])
+        lines = table.splitlines()
+        assert lines[-2].strip() == "first"
+        assert lines[-1].strip() == "second"
+
+
+class TestCalibration:
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == "quick"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert bench_scale() == "full"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_service_models_per_protocol(self):
+        lean = service_model_for("crdt-paxos")
+        heavy = service_model_for("raft")
+        assert heavy.base > lean.base
+        assert service_model_for("multi-paxos").base == heavy.base
+        assert service_model_for("gla").base == lean.base
+        assert paper_service_model().base == lean.base
+
+    def test_configs_construct(self):
+        assert paper_raft_config().heartbeat_interval > 0
+        assert paper_multipaxos_config().lease_duration > 0
+        assert crdt_paxos_config(batching=True).batching is True
+        assert crdt_paxos_config().batching is False
+
+    def test_latency_model_sane(self):
+        import random
+
+        model = paper_latency()
+        samples = [model.sample(random.Random(0), 100) for _ in range(100)]
+        assert all(0 < s < 0.01 for s in samples)
+
+
+class TestCli:
+    def test_overhead_via_cli(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["overhead", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "crdt-paxos" in out
+        assert "gla" in out
+
+    def test_unknown_experiment_rejected(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])

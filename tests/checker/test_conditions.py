@@ -1,0 +1,227 @@
+"""The condition checkers must accept good histories and reject bad ones."""
+
+import pytest
+
+from repro.checker.history import History
+from repro.checker.lattice_linearizability import (
+    check_all,
+    check_consistency,
+    check_gla_stability,
+    check_stability,
+    check_update_stability,
+    check_update_visibility,
+    check_validity_gcounter,
+    gcounter_includes,
+)
+from repro.crdt.gcounter import GCounter
+from repro.errors import HistoryViolation
+
+
+def state(**slots):
+    return GCounter.of(slots)
+
+
+def good_history():
+    """One update completes, then two reads observe it."""
+    history = History()
+    update = history.begin_update("u1", "r0", 1.0)
+    update.completed_at = 2.0
+    update.inclusion_tag = ("r0", 1)
+    q1 = history.begin_query("q1", "r1", 3.0)
+    q1.completed_at = 4.0
+    q1.state = state(r0=1)
+    q1.proposer = "r1"
+    q1.learn_seq = 1
+    q2 = history.begin_query("q2", "r2", 5.0)
+    q2.completed_at = 6.0
+    q2.state = state(r0=1)
+    q2.proposer = "r2"
+    q2.learn_seq = 1
+    return history
+
+
+def test_good_history_passes_everything():
+    check_all(good_history(), expect_gla_stability=True)
+
+
+def test_gcounter_includes():
+    assert gcounter_includes(state(r0=2), ("r0", 1))
+    assert gcounter_includes(state(r0=2), ("r0", 2))
+    assert not gcounter_includes(state(r0=2), ("r0", 3))
+    assert not gcounter_includes(state(r0=2), ("r1", 1))
+
+
+class TestConsistency:
+    def test_incomparable_states_detected(self):
+        history = good_history()
+        bad = history.begin_query("q3", "r0", 7.0)
+        bad.completed_at = 8.0
+        bad.state = state(r1=1)  # incomparable with {r0: 1}
+        with pytest.raises(HistoryViolation, match="Consistency"):
+            check_consistency(history)
+
+    def test_comparable_chain_accepted(self):
+        history = good_history()
+        bigger = history.begin_query("q3", "r0", 7.0)
+        bigger.completed_at = 8.0
+        bigger.state = state(r0=1, r1=2)
+        check_consistency(history)
+
+
+class TestStability:
+    def test_shrinking_subsequent_read_detected(self):
+        history = History()
+        q1 = history.begin_query("q1", "r0", 1.0)
+        q1.completed_at = 2.0
+        q1.state = state(r0=5)
+        q2 = history.begin_query("q2", "r1", 3.0)  # invoked after q1 done
+        q2.completed_at = 4.0
+        q2.state = state(r0=3)
+        with pytest.raises(HistoryViolation, match="Stability"):
+            check_stability(history)
+
+    def test_concurrent_reads_not_constrained(self):
+        history = History()
+        q1 = history.begin_query("q1", "r0", 1.0)
+        q1.completed_at = 5.0
+        q1.state = state(r0=5)
+        q2 = history.begin_query("q2", "r1", 2.0)  # overlaps q1
+        q2.completed_at = 6.0
+        q2.state = state(r0=3)
+        check_stability(history)  # no real-time precedence → no constraint
+
+
+class TestUpdateVisibility:
+    def test_missing_completed_update_detected(self):
+        history = History()
+        update = history.begin_update("u1", "r0", 1.0)
+        update.completed_at = 2.0
+        update.inclusion_tag = ("r0", 1)
+        query = history.begin_query("q1", "r1", 3.0)
+        query.completed_at = 4.0
+        query.state = GCounter.initial()  # does NOT include u1
+        with pytest.raises(HistoryViolation, match="Visibility"):
+            check_update_visibility(history)
+
+    def test_in_flight_update_not_required(self):
+        history = History()
+        update = history.begin_update("u1", "r0", 1.0)  # never completes
+        update.inclusion_tag = ("r0", 1)
+        query = history.begin_query("q1", "r1", 3.0)
+        query.completed_at = 4.0
+        query.state = GCounter.initial()
+        check_update_visibility(history)
+
+
+class TestUpdateStability:
+    def test_second_without_first_detected(self):
+        history = History()
+        u1 = history.begin_update("u1", "r0", 1.0)
+        u1.completed_at = 2.0
+        u1.inclusion_tag = ("r0", 1)
+        u2 = history.begin_update("u2", "r1", 3.0)  # after u1 completed
+        u2.completed_at = 9.0
+        u2.inclusion_tag = ("r1", 1)
+        query = history.begin_query("q1", "r2", 4.0)
+        query.completed_at = 5.0
+        query.state = state(r1=1)  # includes u2 but not u1
+        with pytest.raises(HistoryViolation, match="Update Stability"):
+            check_update_stability(history)
+
+    def test_concurrent_updates_unconstrained(self):
+        history = History()
+        u1 = history.begin_update("u1", "r0", 1.0)
+        u1.completed_at = 5.0
+        u1.inclusion_tag = ("r0", 1)
+        u2 = history.begin_update("u2", "r1", 2.0)  # overlaps u1
+        u2.completed_at = 6.0
+        u2.inclusion_tag = ("r1", 1)
+        query = history.begin_query("q1", "r2", 7.0)
+        query.completed_at = 8.0
+        query.state = state(r0=1, r1=1)
+        check_update_stability(history)
+
+
+class TestValidity:
+    def test_overcounted_slot_detected(self):
+        history = History()
+        history.begin_update("u1", "r0", 1.0).completed_at = 2.0
+        query = history.begin_query("q1", "r1", 3.0)
+        query.completed_at = 4.0
+        query.state = state(r0=2)  # two increments never submitted
+        with pytest.raises(HistoryViolation, match="Validity"):
+            check_validity_gcounter(history)
+
+    def test_prefix_values_accepted(self):
+        history = History()
+        for i in range(3):
+            history.begin_update(f"u{i}", "r0", float(i))
+        query = history.begin_query("q1", "r1", 5.0)
+        query.completed_at = 6.0
+        query.state = state(r0=2)  # a prefix of the three submissions
+        check_validity_gcounter(history)
+
+    def test_wrong_state_type_rejected(self):
+        history = History()
+        query = history.begin_query("q1", "r1", 1.0)
+        query.completed_at = 2.0
+        query.state = "not a gcounter"  # type: ignore[assignment]
+        with pytest.raises(HistoryViolation, match="GCounter"):
+            check_validity_gcounter(history)
+
+
+class TestGlaStability:
+    def test_non_monotone_learns_at_one_proposer_detected(self):
+        history = History()
+        q1 = history.begin_query("q1", "r0", 1.0)
+        q1.completed_at = 10.0
+        q1.state = state(r0=5)
+        q1.proposer = "r0"
+        q1.learn_seq = 1
+        q2 = history.begin_query("q2", "r0", 2.0)  # overlapping
+        q2.completed_at = 11.0
+        q2.state = state(r0=3)
+        q2.proposer = "r0"
+        q2.learn_seq = 2
+        with pytest.raises(HistoryViolation, match="GLA-Stability"):
+            check_gla_stability(history)
+
+    def test_different_proposers_unconstrained(self):
+        history = History()
+        q1 = history.begin_query("q1", "r0", 1.0)
+        q1.completed_at = 10.0
+        q1.state = state(r0=5)
+        q1.proposer = "r0"
+        q1.learn_seq = 5
+        q2 = history.begin_query("q2", "r1", 2.0)
+        q2.completed_at = 11.0
+        q2.state = state(r0=3)
+        q2.proposer = "r1"
+        q2.learn_seq = 6
+        check_gla_stability(history)
+
+    def test_same_learn_seq_exempt(self):
+        """A batch answers many queries from one learn."""
+        history = History()
+        for op_id in ("q1", "q2"):
+            q = history.begin_query(op_id, "r0", 1.0)
+            q.completed_at = 2.0
+            q.state = state(r0=1)
+            q.proposer = "r0"
+            q.learn_seq = 7
+        check_gla_stability(history)
+
+
+def test_history_precedence_semantics():
+    assert History.precedes(1.0, 2.0)
+    assert not History.precedes(2.0, 1.0)
+    assert not History.precedes(2.0, 2.0)  # simultaneous ≠ preceding
+    assert not History.precedes(None, 5.0)  # incomplete never precedes
+
+
+def test_submitted_updates_per_replica():
+    history = History()
+    history.begin_update("u1", "r0", 1.0)
+    history.begin_update("u2", "r0", 2.0)
+    history.begin_update("u3", "r1", 3.0)
+    assert history.submitted_updates_per_replica() == {"r0": 2, "r1": 1}

@@ -1,0 +1,68 @@
+"""Hypothesis-driven adversarial campaign.
+
+Instead of fixed seeds, hypothesis chooses the scheduler seed, workload
+shape, fault rates and protocol options — and shrinks any failure to a
+minimal counterexample.  Every generated run must satisfy all §3.1
+conditions; a run without faults must additionally terminate completely.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checker.lattice_linearizability import check_all
+from repro.checker.scheduler import InterleavingExplorer
+from repro.core.config import CrdtPaxosConfig
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_ops=st.integers(5, 35),
+    read_fraction=st.floats(0.0, 1.0),
+    gla_stability=st.booleans(),
+    delta_merge=st.booleans(),
+    initial_prepare=st.sampled_from(["incremental", "fixed"]),
+)
+def test_clean_network_campaign(
+    seed, n_ops, read_fraction, gla_stability, delta_merge, initial_prepare
+):
+    config = CrdtPaxosConfig(
+        gla_stability=gla_stability,
+        delta_merge=delta_merge,
+        initial_prepare=initial_prepare,
+    )
+    explorer = InterleavingExplorer(seed=seed, config=config)
+    report = explorer.run(n_ops=n_ops, read_fraction=read_fraction)
+    check_all(report.history, expect_gla_stability=gla_stability)
+    assert report.all_complete
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_ops=st.integers(5, 30),
+    read_fraction=st.floats(0.1, 0.9),
+    drop=st.floats(0.0, 0.2),
+    duplicate=st.floats(0.0, 0.2),
+    crash=st.floats(0.0, 0.02),
+    n_replicas=st.sampled_from([3, 5]),
+)
+def test_faulty_network_campaign(
+    seed, n_ops, read_fraction, drop, duplicate, crash, n_replicas
+):
+    explorer = InterleavingExplorer(seed=seed, n_replicas=n_replicas)
+    report = explorer.run(
+        n_ops=n_ops,
+        read_fraction=read_fraction,
+        drop_probability=drop,
+        duplicate_probability=duplicate,
+        crash_probability=crash,
+    )
+    # Safety must hold no matter what completed.
+    check_all(report.history)

@@ -1,0 +1,92 @@
+"""Shared integration harness for CRDT Paxos cluster tests."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.core import CrdtPaxosConfig, CrdtPaxosReplica
+from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
+from repro.crdt.base import IdentityQuery, QueryOp
+from repro.crdt.gcounter import GCounter, GCounterValue, Increment
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.sim_transport import SimNetwork
+from repro.runtime.cluster import ClientEndpoint, SimCluster
+from repro.sim.kernel import Simulator
+
+#: Tagger used so histories can verify update inclusion for G-Counters.
+GCOUNTER_TAGGER = lambda state, replica: (replica, state.slot(replica))  # noqa: E731
+
+
+class ClusterHarness:
+    """A 3-replica (by default) CRDT Paxos cluster plus one test client."""
+
+    def __init__(
+        self,
+        seed: int = 1,
+        n_replicas: int = 3,
+        config: CrdtPaxosConfig | None = None,
+        latency: LatencyModel | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        self.sim = Simulator(seed=seed)
+        self.network = SimNetwork(
+            self.sim,
+            latency=latency or ConstantLatency(delay=1e-3),
+            faults=faults,
+        )
+        base = config or CrdtPaxosConfig()
+        if base.inclusion_tagger is None:
+            base = replace(base, inclusion_tagger=GCOUNTER_TAGGER)
+        self.config = base
+        self.cluster = SimCluster(
+            self.sim,
+            self.network,
+            lambda nid, peers: CrdtPaxosReplica(
+                nid, peers, GCounter.initial(), self.config
+            ),
+            n_replicas=n_replicas,
+        )
+        self.replies: dict[str, Any] = {}
+        self.client = ClientEndpoint(
+            self.sim, self.network, "client", self._on_reply
+        )
+        self._counter = 0
+
+    def _on_reply(self, src: str, message: Any) -> None:
+        if isinstance(message, (UpdateDone, QueryDone)):
+            self.replies[message.request_id] = message
+
+    # ------------------------------------------------------------------
+    def update(self, replica: str, amount: int = 1) -> str:
+        self._counter += 1
+        request_id = f"u{self._counter}"
+        self.client.send(
+            replica, ClientUpdate(request_id=request_id, op=Increment(amount))
+        )
+        return request_id
+
+    def query(self, replica: str, op: QueryOp | None = None) -> str:
+        self._counter += 1
+        request_id = f"q{self._counter}"
+        self.client.send(
+            replica,
+            ClientQuery(request_id=request_id, op=op or GCounterValue()),
+        )
+        return request_id
+
+    def query_state(self, replica: str) -> str:
+        return self.query(replica, IdentityQuery())
+
+    def run(self, duration: float = 1.0) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def reply(self, request_id: str) -> Any:
+        assert request_id in self.replies, f"request {request_id} never completed"
+        return self.replies[request_id]
+
+    def replica(self, address: str) -> CrdtPaxosReplica:
+        node = self.cluster.node(address)
+        assert isinstance(node, CrdtPaxosReplica)
+        return node

@@ -1,0 +1,207 @@
+"""Unit tests for the acceptor role (Algorithm 2, lines 25–47)."""
+
+from repro.core.acceptor import Acceptor
+from repro.core.messages import Merge, Prepare, PrepareAck, PrepareNack, Vote, Voted, VoteNack
+from repro.core.rounds import Round, WRITE_ID, proposer_id
+from repro.crdt.gcounter import GCounter, Increment
+
+
+def fresh():
+    return Acceptor(GCounter.initial())
+
+
+def incr_state(slots):
+    return GCounter.of(slots)
+
+
+class TestUpdates:
+    def test_apply_update_modifies_state_and_sets_write_marker(self):
+        acceptor = fresh()
+        new_state = acceptor.apply_update(Increment(2), "r0")
+        assert new_state.value() == 2
+        assert acceptor.state is new_state
+        assert acceptor.round.rid == WRITE_ID
+        assert acceptor.round.number == 0  # number untouched (line 30)
+
+    def test_merge_joins_and_sets_write_marker(self):
+        acceptor = fresh()
+        reply = acceptor.handle_merge(
+            Merge(request_id="m1", state=incr_state({"r1": 3}))
+        )
+        assert isinstance(reply, Merged)
+        assert reply.request_id == "m1"
+        assert acceptor.state.value() == 3
+        assert acceptor.round.rid == WRITE_ID
+
+    def test_merge_is_idempotent(self):
+        acceptor = fresh()
+        state = incr_state({"r1": 3})
+        acceptor.handle_merge(Merge(request_id="m1", state=state))
+        acceptor.handle_merge(Merge(request_id="m1", state=state))
+        assert acceptor.state.value() == 3
+
+
+from repro.core.messages import Merged  # noqa: E402  (used above)
+
+
+class TestPrepare:
+    def test_incremental_prepare_always_accepted(self):
+        acceptor = fresh()
+        reply = acceptor.handle_prepare(
+            Prepare(
+                request_id="q1",
+                attempt=1,
+                round=Round.incremental(proposer_id(1, 0)),
+            )
+        )
+        assert isinstance(reply, PrepareAck)
+        assert reply.round.number == 1  # 0 + 1 (line 39)
+        assert acceptor.round == reply.round
+
+    def test_incremental_prepare_after_higher_round(self):
+        acceptor = fresh()
+        acceptor.handle_prepare(
+            Prepare(request_id="a", attempt=1, round=Round(7, proposer_id(1, 0)))
+        )
+        reply = acceptor.handle_prepare(
+            Prepare(
+                request_id="b",
+                attempt=1,
+                round=Round.incremental(proposer_id(1, 1)),
+            )
+        )
+        assert isinstance(reply, PrepareAck)
+        assert reply.round.number == 8
+
+    def test_fixed_prepare_with_larger_number_accepted(self):
+        acceptor = fresh()
+        round_ = Round(5, proposer_id(1, 0))
+        reply = acceptor.handle_prepare(Prepare(request_id="q", attempt=1, round=round_))
+        assert isinstance(reply, PrepareAck)
+        assert acceptor.round == round_
+
+    def test_fixed_prepare_with_stale_number_nacked(self):
+        acceptor = fresh()
+        acceptor.handle_prepare(
+            Prepare(request_id="a", attempt=1, round=Round(5, proposer_id(1, 0)))
+        )
+        reply = acceptor.handle_prepare(
+            Prepare(request_id="b", attempt=1, round=Round(5, proposer_id(2, 1)))
+        )
+        assert isinstance(reply, PrepareNack)
+        assert reply.round == Round(5, proposer_id(1, 0))  # current round echoed
+
+    def test_prepare_merges_carried_state_even_when_rejected(self):
+        """Line 37 runs before the round check."""
+        acceptor = fresh()
+        acceptor.handle_prepare(
+            Prepare(request_id="a", attempt=1, round=Round(9, proposer_id(1, 0)))
+        )
+        reply = acceptor.handle_prepare(
+            Prepare(
+                request_id="b",
+                attempt=1,
+                round=Round(1, proposer_id(1, 1)),
+                state=incr_state({"r2": 4}),
+            )
+        )
+        assert isinstance(reply, PrepareNack)
+        assert acceptor.state.value() == 4
+        assert reply.state.value() == 4
+
+    def test_ack_carries_current_state(self):
+        acceptor = fresh()
+        acceptor.apply_update(Increment(3), "r0")
+        reply = acceptor.handle_prepare(
+            Prepare(
+                request_id="q",
+                attempt=1,
+                round=Round.incremental(proposer_id(1, 0)),
+            )
+        )
+        assert isinstance(reply, PrepareAck)
+        assert reply.state.value() == 3
+
+
+class TestVote:
+    def prepared_acceptor(self):
+        acceptor = fresh()
+        reply = acceptor.handle_prepare(
+            Prepare(
+                request_id="q",
+                attempt=1,
+                round=Round.incremental(proposer_id(1, 0)),
+            )
+        )
+        return acceptor, reply.round
+
+    def test_vote_with_matching_round_granted(self):
+        acceptor, round_ = self.prepared_acceptor()
+        reply = acceptor.handle_vote(
+            Vote(request_id="q", attempt=1, round=round_, state=incr_state({"r0": 1}))
+        )
+        assert isinstance(reply, Voted)
+        assert acceptor.state.value() == 1  # proposal merged (line 44)
+
+    def test_vote_after_interleaved_update_denied(self):
+        """The write marker invalidates the prepared round (I4)."""
+        acceptor, round_ = self.prepared_acceptor()
+        acceptor.apply_update(Increment(), "r0")
+        reply = acceptor.handle_vote(
+            Vote(request_id="q", attempt=1, round=round_, state=incr_state({"r1": 1}))
+        )
+        assert isinstance(reply, VoteNack)
+        # ... but the proposal's payload was still merged (line 44).
+        assert acceptor.state.slot("r1") == 1
+
+    def test_vote_after_interleaved_prepare_denied(self):
+        acceptor, round_ = self.prepared_acceptor()
+        acceptor.handle_prepare(
+            Prepare(
+                request_id="other",
+                attempt=1,
+                round=Round.incremental(proposer_id(9, 2)),
+            )
+        )
+        reply = acceptor.handle_vote(
+            Vote(request_id="q", attempt=1, round=round_, state=GCounter.initial())
+        )
+        assert isinstance(reply, VoteNack)
+        assert reply.round != round_
+
+    def test_vote_nack_carries_state_for_retry(self):
+        acceptor, round_ = self.prepared_acceptor()
+        acceptor.apply_update(Increment(5), "r2")
+        reply = acceptor.handle_vote(
+            Vote(request_id="q", attempt=1, round=round_, state=GCounter.initial())
+        )
+        assert isinstance(reply, VoteNack)
+        assert reply.state.value() == 5
+
+
+class TestMemoryFootprint:
+    def test_acceptor_state_is_payload_plus_round_only(self):
+        """The paper's logless claim: no per-command storage grows."""
+        acceptor = fresh()
+        for i in range(100):
+            acceptor.apply_update(Increment(), "r0")
+            acceptor.handle_prepare(
+                Prepare(
+                    request_id=f"q{i}",
+                    attempt=1,
+                    round=Round.incremental(proposer_id(i, 0)),
+                )
+            )
+        protocol_attrs = {
+            name: value
+            for name, value in vars(acceptor).items()
+            if not name.startswith("_")
+            and name not in (
+                "merges_handled",
+                "prepares_accepted",
+                "prepares_rejected",
+                "votes_granted",
+                "votes_denied",
+            )
+        }
+        assert set(protocol_attrs) == {"state", "round"}

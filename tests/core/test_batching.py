@@ -1,0 +1,96 @@
+"""Tests for per-proposer batching (§3.6)."""
+
+from repro.core import CrdtPaxosConfig
+from tests.core.harness import ClusterHarness
+
+
+def batching_config(window=0.02):
+    return CrdtPaxosConfig(batching=True, batch_window=window)
+
+
+class TestUpdateBatching:
+    def test_batched_updates_complete(self):
+        harness = ClusterHarness(config=batching_config())
+        rids = [harness.update("r0") for _ in range(10)]
+        harness.run(2.0)
+        assert all(rid in harness.replies for rid in rids)
+
+    def test_batch_uses_single_merge_broadcast(self):
+        """Message count is independent of batch size (§3.6)."""
+        harness = ClusterHarness(config=batching_config())
+        for _ in range(20):
+            harness.update("r0")
+        # All 20 updates arrive within the first window and flush as one
+        # batch; the next window finds an empty buffer.
+        harness.run(0.035)
+        merges = harness.network.stats.count_by_type.get("Merge", 0)
+        assert merges == 2  # one MERGE to each of the two remote acceptors
+
+    def test_updates_wait_for_the_window(self):
+        harness = ClusterHarness(config=batching_config(window=0.05))
+        rid = harness.update("r0")
+        harness.run(0.02)
+        assert rid not in harness.replies  # still buffered
+        harness.run(0.2)
+        assert rid in harness.replies
+
+    def test_all_batched_updates_visible_afterwards(self):
+        harness = ClusterHarness(config=batching_config())
+        for i in range(15):
+            harness.update(f"r{i % 3}")
+        harness.run(2.0)
+        qid = harness.query("r0")
+        harness.run(2.0)
+        assert harness.reply(qid).result == 15
+
+
+class TestQueryBatching:
+    def test_batched_queries_share_one_learn(self):
+        harness = ClusterHarness(config=batching_config())
+        qids = [harness.query("r0") for _ in range(8)]
+        harness.run(2.0)
+        replies = [harness.reply(qid) for qid in qids]
+        # All answered from the same learned state: same learn sequence.
+        assert len({reply.learn_seq for reply in replies}) == 1
+        assert len({reply.result for reply in replies}) == 1
+
+    def test_query_batch_traffic_independent_of_size(self):
+        harness = ClusterHarness(config=batching_config())
+        for _ in range(20):
+            harness.query("r0")
+        harness.run(0.035)
+        prepares = harness.network.stats.count_by_type.get("Prepare", 0)
+        assert prepares == 2  # one prepare broadcast for the whole batch
+
+    def test_mixed_batches_linearize(self):
+        harness = ClusterHarness(config=batching_config())
+        for i in range(10):
+            harness.update(f"r{i % 3}")
+        harness.run(2.0)
+        qid = harness.query("r1")
+        harness.run(2.0)
+        assert harness.reply(qid).result == 10
+
+
+class TestBatchingReducesConflicts:
+    def test_batching_reduces_read_round_trips_under_contention(self):
+        """The paper's Fig. 3 effect, at test scale."""
+
+        def mean_read_rts(config):
+            harness = ClusterHarness(seed=11, config=config)
+            qids = []
+            for i in range(30):
+                harness.update(f"r{i % 3}")
+                qids.append(harness.query(f"r{(i + 1) % 3}"))
+            harness.run(10.0)
+            rts = [
+                harness.reply(qid).round_trips
+                for qid in qids
+                if qid in harness.replies
+            ]
+            assert rts, "no reads completed"
+            return sum(rts) / len(rts)
+
+        unbatched = mean_read_rts(CrdtPaxosConfig())
+        batched = mean_read_rts(batching_config(window=0.05))
+        assert batched <= unbatched

@@ -1,0 +1,129 @@
+"""Tests for the keyed CRDT store (per-key protocol instances)."""
+
+from typing import Any
+
+from repro.core.keyspace import Keyed, KeyedCrdtReplica
+from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
+from repro.crdt.gcounter import GCounter, GCounterValue, Increment
+from repro.crdt.gset import Elements, GSet, GSetAdd
+from repro.net.latency import ConstantLatency
+from repro.net.sim_transport import SimNetwork
+from repro.runtime.cluster import ClientEndpoint, SimCluster
+from repro.sim.kernel import Simulator
+
+
+def initial_state_for(key):
+    if str(key).startswith("set:"):
+        return GSet.initial()
+    return GCounter.initial()
+
+
+class KeyedHarness:
+    def __init__(self, seed: int = 1) -> None:
+        self.sim = Simulator(seed=seed)
+        self.network = SimNetwork(self.sim, latency=ConstantLatency(delay=1e-3))
+        self.cluster = SimCluster(
+            self.sim,
+            self.network,
+            lambda nid, peers: KeyedCrdtReplica(nid, peers, initial_state_for),
+            n_replicas=3,
+        )
+        self.replies: dict[str, Any] = {}
+        self.client = ClientEndpoint(self.sim, self.network, "c", self._on_reply)
+        self._counter = 0
+
+    def _on_reply(self, src: str, message: Any) -> None:
+        if isinstance(message, Keyed) and isinstance(
+            message.message, (UpdateDone, QueryDone)
+        ):
+            self.replies[message.message.request_id] = message.message
+
+    def update(self, replica: str, key, op) -> str:
+        self._counter += 1
+        request_id = f"u{self._counter}"
+        self.client.send(
+            replica,
+            Keyed(key=key, message=ClientUpdate(request_id=request_id, op=op)),
+        )
+        return request_id
+
+    def query(self, replica: str, key, op) -> str:
+        self._counter += 1
+        request_id = f"q{self._counter}"
+        self.client.send(
+            replica,
+            Keyed(key=key, message=ClientQuery(request_id=request_id, op=op)),
+        )
+        return request_id
+
+    def run(self, duration: float = 1.0) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+
+def test_independent_keys_do_not_interact():
+    harness = KeyedHarness()
+    harness.update("r0", "views:home", Increment(3))
+    harness.update("r1", "views:about", Increment(5))
+    harness.run(1.0)
+    q1 = harness.query("r2", "views:home", GCounterValue())
+    q2 = harness.query("r2", "views:about", GCounterValue())
+    harness.run(1.0)
+    assert harness.replies[q1].result == 3
+    assert harness.replies[q2].result == 5
+
+
+def test_heterogeneous_types_per_key():
+    harness = KeyedHarness()
+    harness.update("r0", "views:home", Increment())
+    harness.update("r0", "set:tags", GSetAdd("crdt"))
+    harness.update("r1", "set:tags", GSetAdd("paxos"))
+    harness.run(1.0)
+    q = harness.query("r2", "set:tags", Elements())
+    harness.run(1.0)
+    assert harness.replies[q].result == frozenset({"crdt", "paxos"})
+
+
+def test_many_keys_scale_without_cross_talk():
+    harness = KeyedHarness()
+    request_ids = []
+    for i in range(20):
+        request_ids.append(
+            harness.update(f"r{i % 3}", f"counter:{i % 5}", Increment())
+        )
+    harness.run(2.0)
+    assert all(rid in harness.replies for rid in request_ids)
+    totals = []
+    for i in range(5):
+        qid = harness.query("r0", f"counter:{i}", GCounterValue())
+        harness.run(1.0)
+        totals.append(harness.replies[qid].result)
+    assert sum(totals) == 20
+    assert all(t == 4 for t in totals)
+
+
+def test_per_key_memory_is_payload_plus_round():
+    harness = KeyedHarness()
+    harness.update("r0", "k1", Increment())
+    harness.run(1.0)
+    node = harness.cluster.node("r0")
+    assert set(node.keys()) == {"k1"}
+    assert node.state_of("k1").value() == 1
+
+
+def test_linearizable_read_per_key():
+    harness = KeyedHarness()
+    rid = harness.update("r0", "k", Increment(7))
+    harness.run(1.0)
+    assert rid in harness.replies
+    qid = harness.query("r1", "k", GCounterValue())
+    harness.run(1.0)
+    reply = harness.replies[qid]
+    assert reply.result == 7
+    assert reply.round_trips >= 1
+
+
+def test_unkeyed_messages_ignored():
+    harness = KeyedHarness()
+    harness.client.send("r0", "stray string")
+    harness.run(0.5)  # must not crash
+    assert harness.replies == {}

@@ -1,0 +1,74 @@
+"""Eventual liveness (§3.5): after updates stop, queries terminate.
+
+The paper's argument: with incremental-prepare retries, each failed
+iteration folds at least one more acceptor's payload into the proposer's
+accumulated LUB, so once updates cease the proposer reaches a consistent
+quorum in finitely many rounds.
+"""
+
+from repro.core import CrdtPaxosConfig
+from tests.core.harness import ClusterHarness
+
+
+def test_queries_terminate_after_updates_stop():
+    harness = ClusterHarness(seed=21)
+    # Heavy update phase.
+    for i in range(60):
+        harness.update(f"r{i % 3}")
+    harness.run(3.0)
+    # Updates have stopped; every subsequent query must learn.
+    qids = [harness.query(f"r{i % 3}") for i in range(9)]
+    harness.run(3.0)
+    for qid in qids:
+        assert qid in harness.replies
+        assert harness.reply(qid).result == 60
+
+
+def test_queries_concurrent_with_final_updates_eventually_learn():
+    harness = ClusterHarness(seed=22)
+    qids = []
+    for i in range(25):
+        harness.update(f"r{i % 3}")
+        qids.append(harness.query(f"r{(i + 1) % 3}"))
+    harness.run(10.0)
+    missing = [qid for qid in qids if qid not in harness.replies]
+    assert not missing
+
+
+def test_retry_accumulates_payloads_toward_consistency():
+    """An incremental retry carries the LUB of everything seen, so each
+    iteration can only move acceptors toward agreement."""
+    harness = ClusterHarness(seed=23, config=CrdtPaxosConfig())
+    from repro.crdt.gcounter import Increment
+
+    # Diverge all three acceptors without completing any update.
+    harness.replica("r0").acceptor.apply_update(Increment(1), "r0")
+    harness.replica("r1").acceptor.apply_update(Increment(2), "r1")
+    harness.replica("r2").acceptor.apply_update(Increment(3), "r2")
+    qid = harness.query("r0")
+    harness.run(5.0)
+    reply = harness.reply(qid)
+    assert reply.result >= 3  # at least one quorum's worth of payloads
+    # Stability: later reads can only see larger states.  (Full
+    # convergence to 6 is not required — r2's payload belongs to no
+    # *completed* update, so no visibility obligation exists for it.)
+    final = harness.query("r1")
+    harness.run(2.0)
+    assert harness.reply(final).result >= reply.result
+
+
+def test_learning_by_vote_counts_as_progress():
+    harness = ClusterHarness(seed=24)
+    stats_before = [
+        harness.replica(f"r{i}").proposer.stats.snapshot() for i in range(3)
+    ]
+    for i in range(20):
+        harness.update(f"r{i % 3}")
+        harness.query(f"r{(i + 2) % 3}")
+    harness.run(10.0)
+    learns = sum(
+        harness.replica(f"r{i}").proposer.stats.fast_path_learns
+        + harness.replica(f"r{i}").proposer.stats.vote_learns
+        for i in range(3)
+    ) - sum(s["fast_path_learns"] + s["vote_learns"] for s in stats_before)
+    assert learns == 20

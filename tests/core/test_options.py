@@ -1,0 +1,166 @@
+"""Tests for protocol options: §3.4 GLA-Stability, §3.6 optimizations,
+delta merging, retry policies and the fast-path ablation switch."""
+
+import pytest
+
+from repro.core import CrdtPaxosConfig
+from repro.errors import ConfigurationError
+from tests.core.harness import ClusterHarness
+
+
+class TestConfigValidation:
+    def test_invalid_prepare_mode(self):
+        with pytest.raises(ConfigurationError):
+            CrdtPaxosConfig(initial_prepare="bogus")
+        with pytest.raises(ConfigurationError):
+            CrdtPaxosConfig(retry_prepare="bogus")
+
+    def test_invalid_windows(self):
+        with pytest.raises(ConfigurationError):
+            CrdtPaxosConfig(batch_window=0.0)
+        with pytest.raises(ConfigurationError):
+            CrdtPaxosConfig(retry_backoff=-1.0)
+        with pytest.raises(ConfigurationError):
+            CrdtPaxosConfig(request_timeout=0.0)
+
+    def test_timeout_may_be_disabled(self):
+        assert CrdtPaxosConfig(request_timeout=None).request_timeout is None
+
+
+class TestFixedPrepare:
+    def test_fixed_initial_prepare_works(self):
+        harness = ClusterHarness(config=CrdtPaxosConfig(initial_prepare="fixed"))
+        harness.update("r0", amount=2)
+        harness.run(1.0)
+        qid = harness.query("r1")
+        harness.run(1.0)
+        assert harness.reply(qid).result == 2
+
+    def test_fixed_retry_prepare_still_safe(self):
+        harness = ClusterHarness(config=CrdtPaxosConfig(retry_prepare="fixed"))
+        for i in range(10):
+            harness.update(f"r{i % 3}")
+            harness.query(f"r{(i + 1) % 3}")
+        harness.run(5.0)
+        qid = harness.query("r0")
+        harness.run(1.0)
+        assert harness.reply(qid).result == 10
+
+
+class TestFastPathAblation:
+    def test_disabling_fast_path_forces_votes(self):
+        harness = ClusterHarness(config=CrdtPaxosConfig(fast_path=False))
+        harness.update("r0", amount=1)
+        harness.run(1.0)
+        qid = harness.query("r1")
+        harness.run(1.0)
+        reply = harness.reply(qid)
+        assert reply.result == 1
+        assert reply.learned_via == "vote"
+        assert reply.round_trips >= 2
+
+    def test_fast_path_on_skips_vote_phase(self):
+        harness = ClusterHarness(config=CrdtPaxosConfig(fast_path=True))
+        harness.update("r0", amount=1)
+        harness.run(1.0)
+        harness.query("r1")
+        harness.run(1.0)
+        assert "Vote" not in harness.network.stats.count_by_type
+
+
+class TestPrepareStateElision:
+    def test_s0_never_shipped_in_prepare(self):
+        """§3.6: the initial state is pointless to transmit."""
+        harness = ClusterHarness()
+        harness.query("r0")  # quiescent read: accumulated state is s0
+        harness.run(1.0)
+        prepare_bytes = harness.network.stats.mean_bytes("Prepare")
+        # A Prepare without payload is tiny (round + ids only).
+        assert prepare_bytes < 80
+
+    def test_payloads_shipped_once_state_grows(self):
+        harness = ClusterHarness()
+        harness.update("r0", amount=5)
+        harness.run(1.0)
+        harness.query("r0")
+        harness.run(1.0)
+        assert harness.network.stats.mean_bytes("Prepare") > 0
+
+    def test_elision_can_be_disabled(self):
+        harness = ClusterHarness(
+            config=CrdtPaxosConfig(include_state_in_prepare=False)
+        )
+        harness.update("r0", amount=5)
+        harness.run(1.0)
+        harness.query("r0")
+        harness.run(1.0)
+        # All prepares stay payload-free.
+        assert harness.network.stats.mean_bytes("Prepare") < 80
+
+    def test_voted_carries_no_payload(self):
+        """§3.6: VOTED responses elide the payload entirely."""
+        harness = ClusterHarness(config=CrdtPaxosConfig(fast_path=False))
+        harness.update("r0")
+        harness.run(1.0)
+        harness.query("r1")
+        harness.run(1.0)
+        voted_bytes = harness.network.stats.mean_bytes("Voted")
+        assert 0 < voted_bytes < 60
+
+
+class TestDeltaMerge:
+    def test_delta_merge_correct_results(self):
+        harness = ClusterHarness(config=CrdtPaxosConfig(delta_merge=True))
+        rids = [harness.update(f"r{i % 3}") for i in range(9)]
+        harness.run(2.0)
+        qid = harness.query("r1")
+        harness.run(1.0)
+        assert all(rid in harness.replies for rid in rids)
+        assert harness.reply(qid).result == 9
+
+    def test_delta_merge_shrinks_merge_messages(self):
+        full = ClusterHarness(seed=7, config=CrdtPaxosConfig(delta_merge=False))
+        delta = ClusterHarness(seed=7, config=CrdtPaxosConfig(delta_merge=True))
+        for harness in (full, delta):
+            # Space the updates out so replica payloads converge between
+            # them — a full-state MERGE then carries all three slots while
+            # a delta MERGE still carries one.
+            for i in range(30):
+                harness.update(f"r{i % 3}")
+                harness.run(0.05)
+            harness.run(1.0)
+        assert delta.network.stats.mean_bytes("Merge") < full.network.stats.mean_bytes(
+            "Merge"
+        )
+
+
+class TestGlaStability:
+    def test_same_proposer_learns_monotonically(self):
+        harness = ClusterHarness(config=CrdtPaxosConfig(gla_stability=True))
+        results = []
+        for i in range(10):
+            harness.update(f"r{i % 3}")
+            qid = harness.query("r0")
+            harness.run(0.5)
+            if qid in harness.replies:
+                results.append(harness.reply(qid).result)
+        harness.run(2.0)
+        assert results == sorted(results)
+
+    def test_learned_via_still_reported(self):
+        harness = ClusterHarness(config=CrdtPaxosConfig(gla_stability=True))
+        qid = harness.query("r0")
+        harness.run(1.0)
+        assert harness.reply(qid).learned_via in ("fast", "vote")
+
+
+class TestRetryBackoff:
+    def test_backoff_retries_still_complete(self):
+        harness = ClusterHarness(config=CrdtPaxosConfig(retry_backoff=0.01))
+        for i in range(10):
+            harness.update(f"r{i % 3}")
+            harness.query(f"r{(i + 1) % 3}")
+        harness.run(5.0)
+        qid = harness.query("r2")
+        harness.run(2.0)
+        assert harness.reply(qid).result == 10

@@ -1,0 +1,126 @@
+"""Partition behaviour of CRDT Paxos.
+
+The protocol needs no leader, so the only question under a partition is
+quorum reachability: the majority side keeps serving, the minority side
+stalls (no quorum), and healing lets stalled requests finish via the
+request-timeout re-drive.  Safety (§3.1) is never at risk — these tests
+check availability and convergence around partitions.
+"""
+
+from repro.core import CrdtPaxosConfig
+from repro.net.faults import Partition
+from repro.quorum.system import GridQuorum
+from tests.core.harness import ClusterHarness
+
+
+def partition(harness, minority, majority, start, until=None):
+    harness.network.faults.add_partition(
+        Partition(
+            frozenset(minority),
+            frozenset(majority),
+            start=start,
+            until=until,
+        )
+    )
+
+
+class TestMajoritySide:
+    def test_majority_side_keeps_serving(self):
+        harness = ClusterHarness(seed=31)
+        partition(harness, {"r2"}, {"r0", "r1"}, start=0.0)
+        rid = harness.update("r0")
+        qid = harness.query("r1")
+        harness.run(2.0)
+        assert rid in harness.replies
+        assert qid in harness.replies
+
+    def test_minority_side_cannot_learn(self):
+        harness = ClusterHarness(
+            seed=32, config=CrdtPaxosConfig(request_timeout=0.2)
+        )
+        partition(harness, {"r2"}, {"r0", "r1"}, start=0.0, until=5.0)
+        qid = harness.query("r2")  # r2 can only reach itself
+        harness.run(2.0)
+        assert qid not in harness.replies
+
+    def test_stalled_request_completes_after_heal(self):
+        harness = ClusterHarness(
+            seed=33, config=CrdtPaxosConfig(request_timeout=0.2)
+        )
+        partition(harness, {"r2"}, {"r0", "r1"}, start=0.0, until=1.0)
+        rid = harness.update("r2")
+        qid = harness.query("r2")
+        harness.run(0.8)
+        assert rid not in harness.replies
+        harness.run(3.0)  # healed at t=1.0; timeouts re-drive
+        assert rid in harness.replies
+        assert qid in harness.replies
+
+
+class TestConvergenceAcrossPartition:
+    def test_majority_updates_visible_to_healed_minority(self):
+        harness = ClusterHarness(
+            seed=34, config=CrdtPaxosConfig(request_timeout=0.2)
+        )
+        partition(harness, {"r2"}, {"r0", "r1"}, start=0.0, until=1.5)
+        for _ in range(5):
+            harness.update("r0")
+        harness.run(2.0)  # partition healed at 1.5
+        qid = harness.query("r2")
+        harness.run(2.0)
+        assert harness.reply(qid).result == 5
+
+    def test_reads_stay_monotone_across_heal(self):
+        harness = ClusterHarness(
+            seed=35, config=CrdtPaxosConfig(request_timeout=0.2)
+        )
+        q_before = harness.query("r0")
+        harness.run(0.5)
+        partition(harness, {"r2"}, {"r0", "r1"}, start=harness.sim.now, until=harness.sim.now + 1.0)
+        harness.update("r1", amount=3)
+        harness.run(2.0)
+        q_after = harness.query("r2")
+        harness.run(2.0)
+        assert harness.reply(q_after).result >= harness.reply(q_before).result
+
+
+class TestAlternativeQuorumSystems:
+    def test_grid_quorum_cluster(self):
+        """The protocol is parametric in the quorum system (§2.1): a 2×2
+        grid needs one full row plus one full column per quorum."""
+        from repro.core import CrdtPaxosReplica
+        from repro.crdt.gcounter import GCounter
+        from repro.net.latency import ConstantLatency
+        from repro.net.sim_transport import SimNetwork
+        from repro.runtime.cluster import ClientEndpoint, SimCluster
+        from repro.sim.kernel import Simulator
+
+        sim = Simulator(seed=36)
+        network = SimNetwork(sim, latency=ConstantLatency(delay=1e-3))
+        addresses = [f"r{i}" for i in range(4)]
+
+        def factory(node_id, peers):
+            return CrdtPaxosReplica(
+                node_id,
+                peers,
+                GCounter.initial(),
+                quorum=GridQuorum(peers, cols=2),
+            )
+
+        cluster = SimCluster(sim, network, factory, n_replicas=4)
+        replies = {}
+        client = ClientEndpoint(
+            sim,
+            network,
+            "client",
+            lambda src, msg: replies.__setitem__(msg.request_id, msg),
+        )
+        from repro.core.messages import ClientQuery, ClientUpdate
+        from repro.crdt.gcounter import GCounterValue, Increment
+
+        client.send("r0", ClientUpdate(request_id="u1", op=Increment(2)))
+        sim.run(until=1.0)
+        client.send("r3", ClientQuery(request_id="q1", op=GCounterValue()))
+        sim.run(until=2.0)
+        assert replies["u1"]
+        assert replies["q1"].result == 2

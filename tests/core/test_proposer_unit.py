@@ -1,0 +1,292 @@
+"""Focused unit tests of the proposer's decision logic.
+
+The integration suite exercises the proposer through whole clusters;
+these tests script individual acceptor replies to pin down each branch
+of Algorithm 2's left column: the three quorum-evaluation outcomes,
+stale-message filtering, retry bookkeeping and timeout re-drives.
+"""
+
+from repro.core.config import CrdtPaxosConfig
+from repro.core.messages import (
+    Merged,
+    PrepareAck,
+    PrepareNack,
+    Voted,
+    VoteNack,
+    QueryDone,
+    UpdateDone,
+    Prepare,
+    Vote,
+    Merge,
+)
+from repro.core.replica import CrdtPaxosReplica
+from repro.core.rounds import Round, proposer_id
+from repro.crdt.gcounter import GCounter, GCounterValue, Increment
+from repro.core.messages import ClientQuery, ClientUpdate
+
+PEERS = ["r0", "r1", "r2"]
+
+
+def make_replica(**config_kwargs) -> CrdtPaxosReplica:
+    return CrdtPaxosReplica(
+        "r0", list(PEERS), GCounter.initial(), CrdtPaxosConfig(**config_kwargs)
+    )
+
+
+def sends_of(effects, message_type):
+    return [(dst, msg) for dst, msg in effects.sends if isinstance(msg, message_type)]
+
+
+class TestUpdatePath:
+    def test_update_broadcasts_merge_to_remotes_only(self):
+        replica = make_replica()
+        effects = replica.on_message(
+            "client", ClientUpdate(request_id="u1", op=Increment()), 0.0
+        )
+        merges = sends_of(effects, Merge)
+        assert {dst for dst, _ in merges} == {"r1", "r2"}
+        assert all(msg.state.value() == 1 for _, msg in merges)
+
+    def test_update_completes_on_first_remote_ack(self):
+        replica = make_replica()
+        effects = replica.on_message(
+            "client", ClientUpdate(request_id="u1", op=Increment()), 0.0
+        )
+        (batch_id,) = {msg.request_id for _, msg in sends_of(effects, Merge)}
+        done = replica.on_message("r1", Merged(request_id=batch_id), 0.0)
+        replies = sends_of(done, UpdateDone)
+        assert replies == [("client", UpdateDone(request_id="u1", inclusion_tag=None))]
+
+    def test_third_ack_is_harmless(self):
+        replica = make_replica()
+        effects = replica.on_message(
+            "client", ClientUpdate(request_id="u1", op=Increment()), 0.0
+        )
+        (batch_id,) = {msg.request_id for _, msg in sends_of(effects, Merge)}
+        replica.on_message("r1", Merged(request_id=batch_id), 0.0)
+        late = replica.on_message("r2", Merged(request_id=batch_id), 0.0)
+        assert late.empty
+
+
+class TestQueryQuorumOutcomes:
+    def start_query(self, replica):
+        effects = replica.on_message(
+            "client", ClientQuery(request_id="q1", op=GCounterValue()), 0.0
+        )
+        prepares = sends_of(effects, Prepare)
+        assert {dst for dst, _ in prepares} == {"r1", "r2"}
+        (_, prepare) = prepares[0]
+        return prepare
+
+    def test_consistent_quorum_learns_fast(self):
+        replica = make_replica()
+        prepare = self.start_query(replica)
+        # Remote ack with a state equivalent to the local one (both s0):
+        local_round = replica.acceptor.round
+        effects = replica.on_message(
+            "r1",
+            PrepareAck(
+                request_id=prepare.request_id,
+                attempt=1,
+                round=local_round,
+                state=GCounter.initial(),
+            ),
+            0.0,
+        )
+        (reply,) = sends_of(effects, QueryDone)
+        assert reply[1].learned_via == "fast"
+        assert reply[1].round_trips == 1
+
+    def test_equal_rounds_divergent_states_vote(self):
+        replica = make_replica()
+        replica.acceptor.apply_update(Increment(1), "r0")  # diverge locally
+        prepare = self.start_query(replica)
+        local_round = replica.acceptor.round
+        effects = replica.on_message(
+            "r1",
+            PrepareAck(
+                request_id=prepare.request_id,
+                attempt=1,
+                round=local_round,
+                state=GCounter.of({"r1": 2}),
+            ),
+            0.0,
+        )
+        votes = sends_of(effects, Vote)
+        assert {dst for dst, _ in votes} == {"r1", "r2"}
+        assert votes[0][1].state.value() == 3  # the LUB of both states
+
+    def test_inconsistent_rounds_fixed_retry(self):
+        # States must diverge too: with equivalent payloads the fast path
+        # (case (a), checked first) would learn despite round disagreement.
+        replica = make_replica()
+        replica.acceptor.apply_update(Increment(1), "r0")
+        prepare = self.start_query(replica)
+        effects = replica.on_message(
+            "r1",
+            PrepareAck(
+                request_id=prepare.request_id,
+                attempt=1,
+                round=Round(9, proposer_id(5, 1)),  # different round number
+                state=GCounter.of({"r1": 2}),
+            ),
+            0.0,
+        )
+        retries = sends_of(effects, Prepare)
+        assert retries, "expected a fixed-prepare retry"
+        retry = retries[0][1]
+        assert retry.attempt == 2
+        assert not retry.round.is_incremental
+        assert retry.round.number == 10  # max seen + 1 (line 20)
+
+    def test_vote_quorum_learns(self):
+        replica = make_replica()
+        replica.acceptor.apply_update(Increment(1), "r0")
+        prepare = self.start_query(replica)
+        local_round = replica.acceptor.round
+        replica.on_message(
+            "r1",
+            PrepareAck(
+                request_id=prepare.request_id,
+                attempt=1,
+                round=local_round,
+                state=GCounter.of({"r1": 2}),
+            ),
+            0.0,
+        )
+        # The local acceptor voted synchronously; one remote VOTED forms a
+        # quorum.
+        effects = replica.on_message(
+            "r1", Voted(request_id=prepare.request_id, attempt=1), 0.0
+        )
+        (reply,) = sends_of(effects, QueryDone)
+        assert reply[1].learned_via == "vote"
+        assert reply[1].result == 3
+        assert reply[1].round_trips == 2
+
+    def test_prepare_nack_triggers_incremental_retry(self):
+        replica = make_replica()
+        prepare = self.start_query(replica)
+        effects = replica.on_message(
+            "r1",
+            PrepareNack(
+                request_id=prepare.request_id,
+                attempt=1,
+                round=Round(7, proposer_id(3, 1)),
+                state=GCounter.of({"r1": 4}),
+            ),
+            0.0,
+        )
+        retries = sends_of(effects, Prepare)
+        assert retries
+        retry = retries[0][1]
+        assert retry.round.is_incremental  # §3.5 liveness policy
+        assert retry.state is not None and retry.state.value() >= 4  # LUB kept
+
+    def test_vote_nack_triggers_retry(self):
+        replica = make_replica()
+        replica.acceptor.apply_update(Increment(1), "r0")
+        prepare = self.start_query(replica)
+        local_round = replica.acceptor.round
+        replica.on_message(
+            "r1",
+            PrepareAck(
+                request_id=prepare.request_id,
+                attempt=1,
+                round=local_round,
+                state=GCounter.of({"r1": 2}),
+            ),
+            0.0,
+        )
+        effects = replica.on_message(
+            "r1",
+            VoteNack(
+                request_id=prepare.request_id,
+                attempt=1,
+                round=Round(12, proposer_id(9, 2)),
+                state=GCounter.of({"r2": 5}),
+            ),
+            0.0,
+        )
+        assert sends_of(effects, Prepare)
+        assert replica.proposer.stats.vote_retries == 1
+
+
+class TestStaleMessageFiltering:
+    def test_ack_for_old_attempt_ignored(self):
+        replica = make_replica()
+        prepare = TestQueryQuorumOutcomes().start_query(replica)
+        # Force a retry (attempt 2) via a nack.
+        replica.on_message(
+            "r1",
+            PrepareNack(
+                request_id=prepare.request_id,
+                attempt=1,
+                round=Round(7, proposer_id(3, 1)),
+                state=GCounter.initial(),
+            ),
+            0.0,
+        )
+        stale = replica.on_message(
+            "r2",
+            PrepareAck(
+                request_id=prepare.request_id,
+                attempt=1,  # belongs to the aborted attempt
+                round=Round(1, proposer_id(1, 0)),
+                state=GCounter.initial(),
+            ),
+            0.0,
+        )
+        assert stale.empty
+
+    def test_reply_for_unknown_request_ignored(self):
+        replica = make_replica()
+        stray = replica.on_message(
+            "r1",
+            PrepareAck(
+                request_id="ghost",
+                attempt=1,
+                round=Round(1, proposer_id(1, 1)),
+                state=GCounter.initial(),
+            ),
+            0.0,
+        )
+        assert stray.empty
+
+    def test_voted_in_prepare_phase_ignored(self):
+        replica = make_replica()
+        prepare = TestQueryQuorumOutcomes().start_query(replica)
+        premature = replica.on_message(
+            "r1", Voted(request_id=prepare.request_id, attempt=1), 0.0
+        )
+        assert premature.empty
+
+
+class TestTimeoutRedrive:
+    def test_update_timeout_resends_to_unacked_only(self):
+        replica = make_replica(request_timeout=0.5)
+        effects = replica.on_message(
+            "client", ClientUpdate(request_id="u1", op=Increment()), 0.0
+        )
+        (batch_id,) = {msg.request_id for _, msg in sends_of(effects, Merge)}
+        replica.on_message("r1", Merged(request_id=batch_id), 0.0)
+        # r1 acked (update already completed at quorum {r0, r1}); a
+        # timeout for a *still-open* update resends only to laggards.
+        effects2 = replica.on_message(
+            "client", ClientUpdate(request_id="u2", op=Increment()), 0.0
+        )
+        (batch2,) = {msg.request_id for _, msg in sends_of(effects2, Merge)}
+        redrive = replica.on_timer(f"uto:{batch2}", 1.0)
+        assert {dst for dst, _ in sends_of(redrive, Merge)} == {"r1", "r2"}
+
+    def test_query_timeout_starts_new_attempt(self):
+        replica = make_replica(request_timeout=0.5)
+        prepare = TestQueryQuorumOutcomes().start_query(replica)
+        redrive = replica.on_timer(f"qto:{prepare.request_id}", 1.0)
+        retries = sends_of(redrive, Prepare)
+        assert retries and retries[0][1].attempt == 2
+
+    def test_timeout_for_finished_request_is_noop(self):
+        replica = make_replica(request_timeout=0.5)
+        assert replica.on_timer("qto:r0/q99", 1.0).empty
+        assert replica.on_timer("uto:r0/u99", 1.0).empty

@@ -1,0 +1,237 @@
+"""Integration tests: the full protocol over the simulated network."""
+
+import pytest
+
+from repro.core import CrdtPaxosConfig
+from repro.net.faults import FaultPlan
+from tests.core.harness import ClusterHarness
+
+
+class TestUpdatePath:
+    def test_update_completes_in_single_round_trip(self):
+        harness = ClusterHarness()
+        rid = harness.update("r0")
+        # Client leg (1 ms) + one MERGE round trip (2 ms) + reply leg
+        # (1 ms) + epsilon service time: anything under 4.5 ms proves the
+        # update needed exactly one proposer↔acceptor round trip.
+        harness.run(0.0045)
+        assert rid in harness.replies
+
+    def test_update_reaches_a_quorum(self):
+        harness = ClusterHarness()
+        harness.update("r0", amount=5)
+        harness.run(1.0)
+        holding = [
+            address
+            for address in harness.cluster.addresses
+            if harness.replica(address).state.value() == 5
+        ]
+        assert len(holding) >= 2
+
+    def test_update_done_carries_inclusion_tag(self):
+        harness = ClusterHarness()
+        rid = harness.update("r1")
+        harness.run(1.0)
+        assert harness.reply(rid).inclusion_tag == ("r1", 1)
+
+    def test_concurrent_updates_all_complete_and_sum(self):
+        harness = ClusterHarness()
+        rids = [harness.update(f"r{i % 3}") for i in range(30)]
+        harness.run(2.0)
+        assert all(rid in harness.replies for rid in rids)
+        qid = harness.query("r0")
+        harness.run(1.0)
+        assert harness.reply(qid).result == 30
+
+    def test_updates_never_synchronize(self):
+        """Update commands need no prepare/vote traffic at all."""
+        harness = ClusterHarness()
+        for _ in range(10):
+            harness.update("r0")
+        harness.run(2.0)
+        assert "Prepare" not in harness.network.stats.count_by_type
+        assert "Vote" not in harness.network.stats.count_by_type
+
+
+class TestQueryPath:
+    def test_quiescent_read_uses_fast_path(self):
+        harness = ClusterHarness()
+        harness.update("r0", amount=7)
+        harness.run(1.0)
+        qid = harness.query("r1")
+        harness.run(1.0)
+        reply = harness.reply(qid)
+        assert reply.result == 7
+        assert reply.learned_via == "fast"
+        assert reply.round_trips == 1
+
+    def test_read_on_fresh_cluster_returns_zero(self):
+        harness = ClusterHarness()
+        qid = harness.query("r2")
+        harness.run(1.0)
+        assert harness.reply(qid).result == 0
+
+    def test_divergent_acceptors_need_vote(self):
+        """If acceptor payloads differ, the read needs the second phase.
+
+        The proposer acts on the *first* quorum of ACKs (line 11), so the
+        learned LUB covers that quorum — not necessarily every acceptor.
+        """
+        harness = ClusterHarness()
+        # Manually diverge two acceptors (as if MERGEs were still in
+        # flight): r0 knows one update, r1 another.
+        from repro.crdt.gcounter import Increment
+
+        harness.replica("r0").acceptor.apply_update(Increment(1), "r0")
+        harness.replica("r1").acceptor.apply_update(Increment(1), "r1")
+        qid = harness.query("r2")
+        harness.run(1.0)
+        reply = harness.reply(qid)
+        assert reply.learned_via == "vote"
+        assert reply.round_trips >= 2
+        assert reply.result in (1, 2)
+        # Stability: a subsequent read can only grow the learned state.
+        later = harness.query("r2")
+        harness.run(1.0)
+        assert harness.reply(later).result >= reply.result
+
+    def test_read_linearizes_after_update(self):
+        harness = ClusterHarness()
+        rid = harness.update("r0", amount=3)
+        harness.run(1.0)
+        assert rid in harness.replies
+        qid = harness.query("r2")
+        harness.run(1.0)
+        assert harness.reply(qid).result == 3
+
+    def test_queries_from_all_replicas_agree(self):
+        harness = ClusterHarness()
+        for i in range(9):
+            harness.update(f"r{i % 3}")
+        harness.run(2.0)
+        qids = [harness.query(f"r{i}") for i in range(3)]
+        harness.run(1.0)
+        results = {harness.reply(q).result for q in qids}
+        assert results == {9}
+
+
+class TestContention:
+    def test_interleaved_updates_and_reads_complete(self):
+        harness = ClusterHarness()
+        rids = []
+        for i in range(20):
+            rids.append(harness.update(f"r{i % 3}"))
+            rids.append(harness.query(f"r{(i + 1) % 3}"))
+        harness.run(5.0)
+        missing = [rid for rid in rids if rid not in harness.replies]
+        assert not missing
+
+    def test_reads_may_retry_under_contention_but_stay_correct(self):
+        harness = ClusterHarness()
+        for i in range(15):
+            harness.update(f"r{i % 3}")
+            harness.query(f"r{(i + 2) % 3}")
+        harness.run(5.0)
+        final = harness.query("r0")
+        harness.run(1.0)
+        assert harness.reply(final).result == 15
+
+
+class TestMessageLoss:
+    #: Loss confined to replica↔replica links; client sessions model TCP.
+    REPLICAS = frozenset({"r0", "r1", "r2"})
+
+    def test_update_retries_through_loss(self):
+        harness = ClusterHarness(
+            seed=3,
+            faults=FaultPlan(loss_probability=0.2, scope=self.REPLICAS),
+            config=CrdtPaxosConfig(request_timeout=0.05),
+        )
+        rids = [harness.update(f"r{i % 3}") for i in range(10)]
+        harness.run(5.0)
+        assert all(rid in harness.replies for rid in rids)
+
+    def test_query_retries_through_loss(self):
+        harness = ClusterHarness(
+            seed=4,
+            faults=FaultPlan(loss_probability=0.2, scope=self.REPLICAS),
+            config=CrdtPaxosConfig(request_timeout=0.05),
+        )
+        harness.update("r0", amount=4)
+        harness.run(2.0)
+        qid = harness.query("r1")
+        harness.run(5.0)
+        assert harness.reply(qid).result == 4
+
+    def test_duplicated_replica_traffic_is_harmless(self):
+        harness = ClusterHarness(
+            seed=5,
+            faults=FaultPlan(duplicate_probability=0.3, scope=self.REPLICAS),
+        )
+        rids = [harness.update(f"r{i % 3}") for i in range(10)]
+        harness.run(3.0)
+        qid = harness.query("r2")
+        harness.run(2.0)
+        assert all(rid in harness.replies for rid in rids)
+        assert harness.reply(qid).result == 10
+
+
+class TestCrashRecovery:
+    def test_minority_crash_does_not_block_service(self):
+        harness = ClusterHarness()
+        harness.cluster.crash("r2")
+        rid = harness.update("r0")
+        qid = harness.query("r1")
+        harness.run(2.0)
+        assert rid in harness.replies
+        assert qid in harness.replies
+
+    def test_crashed_replica_catches_up_after_recovery(self):
+        harness = ClusterHarness(config=CrdtPaxosConfig(request_timeout=0.1))
+        harness.cluster.crash("r2")
+        for _ in range(5):
+            harness.update("r0")
+        harness.run(2.0)
+        harness.cluster.recover("r2")
+        # A query through r2 pulls it up to date via the prepare exchange.
+        qid = harness.query("r2")
+        harness.run(2.0)
+        assert harness.reply(qid).result == 5
+
+    def test_majority_crash_blocks_until_recovery(self):
+        harness = ClusterHarness(config=CrdtPaxosConfig(request_timeout=0.2))
+        harness.cluster.crash("r1")
+        harness.cluster.crash("r2")
+        rid = harness.update("r0")
+        harness.run(1.0)
+        assert rid not in harness.replies  # no quorum
+        harness.cluster.recover("r1")
+        harness.run(2.0)
+        assert rid in harness.replies  # timeout re-drive finished it
+
+
+class TestRoundTripAccounting:
+    def test_round_trips_reported_per_query(self):
+        harness = ClusterHarness()
+        qid = harness.query("r0")
+        harness.run(1.0)
+        assert harness.reply(qid).round_trips == 1
+
+    def test_single_replica_cluster_fast_everything(self):
+        harness = ClusterHarness(n_replicas=1)
+        rid = harness.update("r0")
+        qid = harness.query("r0")
+        harness.run(1.0)
+        assert harness.reply(rid)
+        assert harness.reply(qid).result == 1
+
+
+@pytest.mark.parametrize("n_replicas", [1, 3, 5, 7])
+def test_various_group_sizes(n_replicas):
+    harness = ClusterHarness(n_replicas=n_replicas)
+    rids = [harness.update(f"r{i % n_replicas}") for i in range(6)]
+    harness.run(2.0)
+    qid = harness.query("r0")
+    harness.run(1.0)
+    assert all(rid in harness.replies for rid in rids)
+    assert harness.reply(qid).result == 6

@@ -1,0 +1,119 @@
+"""Hypothesis strategies generating *reachable* CRDT states.
+
+States are built by interpreting small programs: a pool of payloads starts
+with the bottom element; each step either applies an update at a random
+replica or merges two pool members.  Everything such a program produces is
+a state a real replica group could hold, so invariants that depend on
+construction discipline (unique OR-Set tags, unique MV-Register version
+vectors, LWW stamp monotonicity per replica) are respected by design.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from hypothesis import strategies as st
+
+from repro.crdt.base import StateCRDT, UpdateOp
+from repro.crdt.gcounter import GCounter, Increment
+from repro.crdt.gmap import GMap, GMapApply
+from repro.crdt.graph import (
+    AddEdge,
+    AddVertex,
+    RemoveEdge,
+    RemoveVertex,
+    TwoPhaseGraph,
+)
+from repro.crdt.gset import GSet, GSetAdd
+from repro.crdt.lwwmap import LWWMap, LWWMapPut, LWWMapRemove
+from repro.crdt.lwwregister import LWWRegister, LWWSet
+from repro.crdt.maxregister import MaxRegister, MaxSet
+from repro.crdt.mvregister import MVRegister, MVWrite
+from repro.crdt.orset import ORSet, ORSetAdd, ORSetRemove
+from repro.crdt.pncounter import Decrement, PNCounter, PNIncrement
+from repro.crdt.twophase_set import TwoPhaseAdd, TwoPhaseRemove, TwoPhaseSet
+
+REPLICAS = ("r0", "r1", "r2")
+
+_ELEMENTS = st.integers(min_value=0, max_value=5)
+_VALUES = st.sampled_from(["a", "b", "c", "d"])
+_TIMESTAMPS = st.integers(min_value=0, max_value=9).map(float)
+
+
+def _op_strategies() -> dict[str, st.SearchStrategy[UpdateOp]]:
+    return {
+        "g-counter": st.integers(1, 3).map(Increment),
+        "pn-counter": st.one_of(
+            st.integers(1, 3).map(PNIncrement), st.integers(1, 3).map(Decrement)
+        ),
+        "max-register": st.integers(-5, 20).map(MaxSet),
+        "g-set": _ELEMENTS.map(GSetAdd),
+        "2p-set": st.one_of(
+            _ELEMENTS.map(TwoPhaseAdd), _ELEMENTS.map(TwoPhaseRemove)
+        ),
+        "or-set": st.one_of(_ELEMENTS.map(ORSetAdd), _ELEMENTS.map(ORSetRemove)),
+        "lww-register": st.builds(LWWSet, _VALUES, _TIMESTAMPS),
+        "lww-map": st.one_of(
+            st.builds(LWWMapPut, _ELEMENTS, _VALUES, _TIMESTAMPS),
+            st.builds(LWWMapRemove, _ELEMENTS, _TIMESTAMPS),
+        ),
+        "mv-register": _VALUES.map(MVWrite),
+        "g-map": st.builds(
+            GMapApply,
+            _ELEMENTS,
+            st.just(GCounter.initial()),
+            st.integers(1, 2).map(Increment),
+        ),
+        "2p2p-graph": st.one_of(
+            _ELEMENTS.map(AddVertex),
+            _ELEMENTS.map(RemoveVertex),
+            st.builds(AddEdge, _ELEMENTS, _ELEMENTS),
+            st.builds(RemoveEdge, _ELEMENTS, _ELEMENTS),
+        ),
+    }
+
+
+_INITIALS: dict[str, Callable[[], StateCRDT]] = {
+    "g-counter": GCounter.initial,
+    "pn-counter": PNCounter.initial,
+    "max-register": MaxRegister.initial,
+    "g-set": GSet.initial,
+    "2p-set": TwoPhaseSet.initial,
+    "or-set": ORSet.initial,
+    "lww-register": LWWRegister.initial,
+    "lww-map": LWWMap.initial,
+    "mv-register": MVRegister.initial,
+    "g-map": GMap.initial,
+    "2p2p-graph": TwoPhaseGraph.initial,
+}
+
+CRDT_NAMES = tuple(sorted(_INITIALS))
+
+
+@st.composite
+def reachable_state(draw, name: str) -> StateCRDT:
+    """One reachable payload of the named CRDT type."""
+    ops = _op_strategies()[name]
+    pool: list[StateCRDT] = [_INITIALS[name]()]
+    steps = draw(st.integers(min_value=0, max_value=12))
+    for _ in range(steps):
+        action = draw(st.integers(0, 3))
+        if action == 0 and len(pool) > 1:
+            a = pool[draw(st.integers(0, len(pool) - 1))]
+            b = pool[draw(st.integers(0, len(pool) - 1))]
+            pool.append(a.merge(b))
+        else:
+            index = draw(st.integers(0, len(pool) - 1))
+            op = draw(ops)
+            replica = draw(st.sampled_from(REPLICAS))
+            pool.append(op.apply(pool[index], replica))
+    return pool[draw(st.integers(0, len(pool) - 1))]
+
+
+def update_op(name: str) -> st.SearchStrategy[UpdateOp]:
+    """An arbitrary update op of the named type."""
+    return _op_strategies()[name]
+
+
+def initial_of(name: str) -> StateCRDT:
+    return _INITIALS[name]()

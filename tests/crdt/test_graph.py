@@ -1,0 +1,112 @@
+"""Behavioural tests for the 2P2P graph CRDT."""
+
+import networkx
+
+from repro.crdt.graph import (
+    AddEdge,
+    AddVertex,
+    AsNetworkX,
+    HasEdge,
+    HasVertex,
+    RemoveEdge,
+    RemoveVertex,
+    TwoPhaseGraph,
+)
+
+
+def build(*ops):
+    state = TwoPhaseGraph.initial()
+    for op in ops:
+        state = op.apply(state, "r0")
+    return state
+
+
+class TestVertices:
+    def test_add_and_query(self):
+        state = build(AddVertex("a"))
+        assert state.has_vertex("a")
+        assert HasVertex("a").apply(state) is True
+        assert HasVertex("b").apply(state) is False
+
+    def test_remove_is_permanent(self):
+        state = build(AddVertex("a"), RemoveVertex("a"), AddVertex("a"))
+        assert not state.has_vertex("a")
+
+    def test_live_vertices(self):
+        state = build(AddVertex("a"), AddVertex("b"), RemoveVertex("a"))
+        assert state.live_vertices() == frozenset({"b"})
+
+
+class TestEdges:
+    def test_edge_requires_live_endpoints(self):
+        state = build(AddEdge("a", "b"))
+        assert not state.has_edge(("a", "b"))  # endpoints missing
+        state = AddVertex("a").apply(state, "r0")
+        state = AddVertex("b").apply(state, "r0")
+        assert state.has_edge(("a", "b"))  # now observable
+
+    def test_removing_endpoint_hides_edge(self):
+        state = build(
+            AddVertex("a"), AddVertex("b"), AddEdge("a", "b"), RemoveVertex("b")
+        )
+        assert not state.has_edge(("a", "b"))
+        assert HasEdge("a", "b").apply(state) is False
+
+    def test_remove_edge(self):
+        state = build(
+            AddVertex("a"), AddVertex("b"), AddEdge("a", "b"), RemoveEdge("a", "b")
+        )
+        assert not state.has_edge(("a", "b"))
+        # 2P semantics: the edge cannot come back.
+        state = AddEdge("a", "b").apply(state, "r1")
+        assert not state.has_edge(("a", "b"))
+
+    def test_edges_are_directed(self):
+        state = build(AddVertex("a"), AddVertex("b"), AddEdge("a", "b"))
+        assert state.has_edge(("a", "b"))
+        assert not state.has_edge(("b", "a"))
+
+
+class TestConcurrency:
+    def test_concurrent_add_edge_remove_vertex(self):
+        """The conflict the 2P2P design resolves by construction: the edge
+        merges in but is unobservable because its endpoint died."""
+        base = build(AddVertex("a"), AddVertex("b"))
+        with_edge = AddEdge("a", "b").apply(base, "r1")
+        without_vertex = RemoveVertex("b").apply(base, "r2")
+        merged = with_edge.merge(without_vertex)
+        assert not merged.has_edge(("a", "b"))
+        assert merged.live_vertices() == frozenset({"a"})
+
+    def test_merge_is_componentwise_union(self):
+        left = build(AddVertex("a"))
+        right = build(AddVertex("b"), RemoveVertex("c"))
+        merged = left.merge(right)
+        assert merged.live_vertices() == frozenset({"a", "b"})
+        assert "c" in merged.vertices_removed
+
+
+class TestNetworkXExport:
+    def test_snapshot_is_networkx_digraph(self):
+        state = build(
+            AddVertex("a"),
+            AddVertex("b"),
+            AddVertex("c"),
+            AddEdge("a", "b"),
+            AddEdge("b", "c"),
+        )
+        graph = AsNetworkX().apply(state)
+        assert isinstance(graph, networkx.DiGraph)
+        assert set(graph.nodes) == {"a", "b", "c"}
+        assert networkx.has_path(graph, "a", "c")
+
+    def test_dead_parts_excluded(self):
+        state = build(
+            AddVertex("a"),
+            AddVertex("b"),
+            AddEdge("a", "b"),
+            RemoveVertex("b"),
+        )
+        graph = AsNetworkX().apply(state)
+        assert set(graph.nodes) == {"a"}
+        assert graph.number_of_edges() == 0

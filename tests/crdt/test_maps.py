@@ -1,0 +1,110 @@
+"""Behavioural tests for LWW-Map and grow-only nested GMap."""
+
+import pytest
+
+from repro.crdt.gcounter import GCounter, GCounterValue, Increment
+from repro.crdt.gmap import GMap, GMapApply, GMapGet
+from repro.crdt.gset import GSet, GSetAdd, Elements
+from repro.crdt.lwwmap import (
+    LWWMap,
+    LWWMapGet,
+    LWWMapKeys,
+    LWWMapPut,
+    LWWMapRemove,
+    TOMBSTONE,
+)
+
+
+class TestLWWMap:
+    def test_put_and_get(self):
+        state = LWWMapPut("k", "v", 1.0).apply(LWWMap.initial(), "r0")
+        assert state.get("k") == "v"
+        assert LWWMapGet("k").apply(state) == "v"
+        assert "k" in state
+
+    def test_get_absent_key(self):
+        assert LWWMap.initial().get("missing") is None
+
+    def test_later_put_wins(self):
+        state = LWWMapPut("k", "old", 1.0).apply(LWWMap.initial(), "r0")
+        state = LWWMapPut("k", "new", 2.0).apply(state, "r1")
+        assert state.get("k") == "new"
+
+    def test_remove_tombstones_key(self):
+        state = LWWMapPut("k", "v", 1.0).apply(LWWMap.initial(), "r0")
+        state = LWWMapRemove("k", 2.0).apply(state, "r0")
+        assert state.get("k") is None
+        assert "k" not in state
+        assert LWWMapKeys().apply(state) == frozenset()
+
+    def test_put_after_remove_resurrects(self):
+        state = LWWMapPut("k", "v", 1.0).apply(LWWMap.initial(), "r0")
+        state = LWWMapRemove("k", 2.0).apply(state, "r0")
+        state = LWWMapPut("k", "v2", 3.0).apply(state, "r0")
+        assert state.get("k") == "v2"
+
+    def test_stale_put_loses_to_remove(self):
+        state = LWWMapRemove("k", 5.0).apply(LWWMap.initial(), "r0")
+        state = LWWMapPut("k", "late", 1.0).apply(state, "r1")
+        assert state.get("k") is None
+
+    def test_keys_independent(self):
+        state = LWWMapPut("a", 1, 1.0).apply(LWWMap.initial(), "r0")
+        state = LWWMapPut("b", 2, 1.0).apply(state, "r0")
+        state = LWWMapRemove("a", 2.0).apply(state, "r0")
+        assert state.live_keys() == frozenset({"b"})
+
+    def test_merge_per_key_recency(self):
+        a = LWWMapPut("k", "from-a", 2.0).apply(LWWMap.initial(), "r0")
+        b = LWWMapPut("k", "from-b", 1.0).apply(LWWMap.initial(), "r1")
+        b = LWWMapPut("other", "x", 1.0).apply(b, "r1")
+        merged = a.merge(b)
+        assert merged.get("k") == "from-a"
+        assert merged.get("other") == "x"
+
+    def test_tombstone_sentinel_rejected_as_value(self):
+        with pytest.raises(ValueError):
+            LWWMapPut("k", TOMBSTONE, 1.0)
+
+
+class TestGMap:
+    def test_nested_counter(self):
+        op = GMapApply("votes", GCounter.initial(), Increment(2))
+        state = op.apply(GMap.initial(), "r0")
+        assert GMapGet("votes", GCounterValue()).apply(state) == 2
+
+    def test_get_absent_key_returns_none(self):
+        assert GMapGet("nope", GCounterValue()).apply(GMap.initial()) is None
+
+    def test_merge_joins_nested_values(self):
+        a = GMapApply("c", GCounter.initial(), Increment(1)).apply(
+            GMap.initial(), "r0"
+        )
+        b = GMapApply("c", GCounter.initial(), Increment(2)).apply(
+            GMap.initial(), "r1"
+        )
+        merged = a.merge(b)
+        assert GMapGet("c", GCounterValue()).apply(merged) == 3
+
+    def test_heterogeneous_values(self):
+        state = GMapApply("counter", GCounter.initial(), Increment()).apply(
+            GMap.initial(), "r0"
+        )
+        state = GMapApply("set", GSet.initial(), GSetAdd("x")).apply(state, "r0")
+        assert GMapGet("set", Elements()).apply(state) == frozenset({"x"})
+        assert state.keys() == frozenset({"counter", "set"})
+
+    def test_compare_missing_key_is_bottom(self):
+        small = GMap.initial()
+        large = GMapApply("k", GCounter.initial(), Increment()).apply(
+            small, "r0"
+        )
+        assert small.compare(large)
+        assert not large.compare(small)
+
+    def test_contains(self):
+        state = GMapApply("k", GCounter.initial(), Increment()).apply(
+            GMap.initial(), "r0"
+        )
+        assert "k" in state
+        assert "other" not in state

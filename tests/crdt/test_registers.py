@@ -1,0 +1,112 @@
+"""Behavioural tests for LWW-Register, MV-Register and Max-Register."""
+
+from repro.crdt.lwwregister import LWWRegister, LWWSet, LWWValue
+from repro.crdt.maxregister import MaxRegister, MaxSet, MaxValue
+from repro.crdt.mvregister import MVRegister, MVValues, MVWrite
+from repro.crdt.vector_clock import VectorClock
+
+
+class TestLWWRegister:
+    def test_initial_value_none(self):
+        assert LWWValue().apply(LWWRegister.initial()) is None
+
+    def test_later_timestamp_wins(self):
+        state = LWWSet("old", 1.0).apply(LWWRegister.initial(), "r0")
+        state = LWWSet("new", 2.0).apply(state, "r1")
+        assert state.value == "new"
+
+    def test_stale_timestamp_loses(self):
+        state = LWWSet("current", 5.0).apply(LWWRegister.initial(), "r0")
+        after = LWWSet("late", 1.0).apply(state, "r1")
+        assert after.value == "current"
+        assert state.compare(after)  # still inflationary (no-op)
+
+    def test_same_timestamp_tie_broken_by_replica(self):
+        a = LWWSet("from-r0", 1.0).apply(LWWRegister.initial(), "r0")
+        b = LWWSet("from-r1", 1.0).apply(LWWRegister.initial(), "r1")
+        assert a.merge(b).value == "from-r1"
+        assert b.merge(a).value == "from-r1"
+
+    def test_merge_keeps_larger_stamp(self):
+        a = LWWSet("x", 3.0).apply(LWWRegister.initial(), "r0")
+        b = LWWSet("y", 4.0).apply(LWWRegister.initial(), "r0")
+        assert a.merge(b).value == "y"
+
+
+class TestMVRegister:
+    def test_initial_empty(self):
+        assert MVValues().apply(MVRegister.initial()) == frozenset()
+
+    def test_single_write_single_value(self):
+        state = MVWrite("a").apply(MVRegister.initial(), "r0")
+        assert state.values() == frozenset({"a"})
+
+    def test_concurrent_writes_both_kept(self):
+        base = MVRegister.initial()
+        at_r0 = MVWrite("a").apply(base, "r0")
+        at_r1 = MVWrite("b").apply(base, "r1")
+        merged = at_r0.merge(at_r1)
+        assert merged.values() == frozenset({"a", "b"})
+
+    def test_overwrite_supersedes_all_observed(self):
+        base = MVRegister.initial()
+        at_r0 = MVWrite("a").apply(base, "r0")
+        at_r1 = MVWrite("b").apply(base, "r1")
+        merged = at_r0.merge(at_r1)
+        resolved = MVWrite("winner").apply(merged, "r2")
+        assert resolved.values() == frozenset({"winner"})
+        assert merged.compare(resolved)
+
+    def test_sequential_writes_replace(self):
+        state = MVWrite("a").apply(MVRegister.initial(), "r0")
+        state = MVWrite("b").apply(state, "r0")
+        assert state.values() == frozenset({"b"})
+
+    def test_merge_prunes_dominated_entries(self):
+        state = MVWrite("a").apply(MVRegister.initial(), "r0")
+        newer = MVWrite("b").apply(state, "r0")
+        assert state.merge(newer).values() == frozenset({"b"})
+        assert len(state.merge(newer).entries) == 1
+
+
+class TestMaxRegister:
+    def test_merge_takes_max(self):
+        assert MaxRegister(3).merge(MaxRegister(7)).value == 7
+
+    def test_set_below_current_is_noop(self):
+        state = MaxSet(10).apply(MaxRegister.initial(), "r0")
+        assert MaxSet(5).apply(state, "r1").value == 10
+
+    def test_query(self):
+        assert MaxValue().apply(MaxRegister(42)) == 42
+
+    def test_total_order(self):
+        a, b = MaxRegister(1), MaxRegister(2)
+        assert a.compare(b) and not b.compare(a)
+
+
+class TestVectorClock:
+    def test_tick_advances_own_component(self):
+        clock = VectorClock().ticked("r0").ticked("r0").ticked("r1")
+        assert clock.get("r0") == 2
+        assert clock.get("r1") == 1
+        assert clock.get("r9") == 0
+
+    def test_dominates_and_concurrency(self):
+        a = VectorClock.of({"r0": 2, "r1": 1})
+        b = VectorClock.of({"r0": 1, "r1": 1})
+        c = VectorClock.of({"r0": 1, "r1": 2})
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert a.concurrent_with(c)
+
+    def test_merge_pointwise_max(self):
+        a = VectorClock.of({"r0": 2})
+        b = VectorClock.of({"r0": 1, "r1": 3})
+        assert a.merge(b).as_dict() == {"r0": 2, "r1": 3}
+
+    def test_merge_dominates_both(self):
+        a = VectorClock.of({"r0": 5})
+        b = VectorClock.of({"r1": 5})
+        joined = a.merge(b)
+        assert joined.dominates(a) and joined.dominates(b)

@@ -1,0 +1,43 @@
+"""Tests for the CRDT type registry."""
+
+import pytest
+
+from repro.crdt.base import StateCRDT
+from repro.crdt.registry import crdt_registry, initial_state
+
+
+def test_all_registered_types_have_working_factories():
+    for name, (cls, factory) in crdt_registry.items():
+        state = factory()
+        assert isinstance(state, cls)
+        assert isinstance(state, StateCRDT)
+        # every bottom element must be reflexively comparable
+        assert state.compare(state)
+
+
+def test_initial_state_by_name():
+    counter = initial_state("g-counter")
+    assert counter.value() == 0
+
+
+def test_unknown_name_raises_with_suggestions():
+    with pytest.raises(KeyError) as info:
+        initial_state("bogus")
+    assert "g-counter" in str(info.value)
+
+
+def test_registry_covers_documented_portfolio():
+    expected = {
+        "g-counter",
+        "pn-counter",
+        "max-register",
+        "g-set",
+        "2p-set",
+        "or-set",
+        "lww-register",
+        "mv-register",
+        "lww-map",
+        "g-map",
+        "2p2p-graph",
+    }
+    assert set(crdt_registry) == expected

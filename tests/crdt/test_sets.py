@@ -1,0 +1,129 @@
+"""Behavioural tests for G-Set, 2P-Set and OR-Set."""
+
+from repro.crdt.gset import Contains, Elements, GSet, GSetAdd
+from repro.crdt.orset import (
+    ORSet,
+    ORSetAdd,
+    ORSetContains,
+    ORSetElements,
+    ORSetRemove,
+)
+from repro.crdt.twophase_set import (
+    TwoPhaseAdd,
+    TwoPhaseContains,
+    TwoPhaseElements,
+    TwoPhaseRemove,
+    TwoPhaseSet,
+)
+
+
+class TestGSet:
+    def test_add_and_contains(self):
+        state = GSetAdd("x").apply(GSet.initial(), "r0")
+        assert "x" in state
+        assert "y" not in state
+        assert Contains("x").apply(state) is True
+
+    def test_add_idempotent_object_reuse(self):
+        state = GSetAdd("x").apply(GSet.initial(), "r0")
+        again = GSetAdd("x").apply(state, "r1")
+        assert again is state  # no copy when nothing changes
+
+    def test_merge_is_union(self):
+        a = GSet.of(1, 2)
+        b = GSet.of(2, 3)
+        assert a.merge(b).elements == frozenset({1, 2, 3})
+
+    def test_elements_query(self):
+        assert Elements().apply(GSet.of("a", "b")) == frozenset({"a", "b"})
+
+    def test_len(self):
+        assert len(GSet.of(1, 2, 3)) == 3
+
+
+class TestTwoPhaseSet:
+    def test_remove_wins_permanently(self):
+        state = TwoPhaseAdd("x").apply(TwoPhaseSet.initial(), "r0")
+        state = TwoPhaseRemove("x").apply(state, "r0")
+        assert "x" not in state
+        # Re-adding cannot resurrect the element.
+        state = TwoPhaseAdd("x").apply(state, "r1")
+        assert "x" not in state
+        assert TwoPhaseContains("x").apply(state) is False
+
+    def test_remove_before_add_blocks_future_add(self):
+        state = TwoPhaseRemove("x").apply(TwoPhaseSet.initial(), "r0")
+        state = TwoPhaseAdd("x").apply(state, "r1")
+        assert "x" not in state
+
+    def test_concurrent_add_remove_merge(self):
+        base = TwoPhaseAdd("x").apply(TwoPhaseSet.initial(), "r0")
+        removed = TwoPhaseRemove("x").apply(base, "r1")
+        readded = TwoPhaseAdd("y").apply(base, "r2")
+        merged = removed.merge(readded)
+        assert "x" not in merged
+        assert "y" in merged
+
+    def test_live_elements(self):
+        state = TwoPhaseSet(frozenset({"a", "b"}), frozenset({"b"}))
+        assert TwoPhaseElements().apply(state) == frozenset({"a"})
+
+
+class TestORSet:
+    def test_add_then_remove(self):
+        state = ORSetAdd("x").apply(ORSet.initial(), "r0")
+        assert "x" in state
+        state = ORSetRemove("x").apply(state, "r0")
+        assert "x" not in state
+
+    def test_readd_after_remove_works(self):
+        """Unlike a 2P-Set, an OR-Set element can come back."""
+        state = ORSetAdd("x").apply(ORSet.initial(), "r0")
+        state = ORSetRemove("x").apply(state, "r0")
+        state = ORSetAdd("x").apply(state, "r0")
+        assert "x" in state
+
+    def test_add_wins_over_concurrent_remove(self):
+        base = ORSetAdd("x").apply(ORSet.initial(), "r0")
+        # r1 removes the observed tag while r2 adds a new one concurrently.
+        removed = ORSetRemove("x").apply(base, "r1")
+        added = ORSetAdd("x").apply(base, "r2")
+        merged = removed.merge(added)
+        assert "x" in merged  # r2's unobserved tag survives
+
+    def test_remove_only_tombstones_observed_tags(self):
+        base = ORSetAdd("x").apply(ORSet.initial(), "r0")
+        removed = ORSetRemove("x").apply(base, "r1")
+        assert removed.live_tags("x") == frozenset()
+        later = ORSetAdd("x").apply(ORSet.initial(), "r2").merge(removed)
+        assert "x" in later
+
+    def test_remove_of_absent_element_is_noop(self):
+        state = ORSet.initial()
+        assert ORSetRemove("ghost").apply(state, "r0") is state
+
+    def test_tags_unique_per_replica_sequence(self):
+        state = ORSet.initial()
+        state = ORSetAdd("x").apply(state, "r0")
+        state = ORSetAdd("x").apply(state, "r0")
+        tags = {tag for (_, tag) in state.entries}
+        assert tags == {("r0", 1), ("r0", 2)}
+
+    def test_next_sequence_accounts_for_tombstones(self):
+        state = ORSetAdd("x").apply(ORSet.initial(), "r0")
+        state = ORSetRemove("x").apply(state, "r0")
+        # The tombstoned tag ("r0", 1) must not be reused.
+        assert state.next_sequence("r0") == 2
+
+    def test_elements_query(self):
+        state = ORSetAdd("a").apply(ORSet.initial(), "r0")
+        state = ORSetAdd("b").apply(state, "r1")
+        state = ORSetRemove("a").apply(state, "r0")
+        assert ORSetElements().apply(state) == frozenset({"b"})
+        assert ORSetContains("b").apply(state) is True
+
+    def test_merge_unions_entries_and_tombstones(self):
+        a = ORSetAdd("x").apply(ORSet.initial(), "r0")
+        b = ORSetAdd("y").apply(ORSet.initial(), "r1")
+        merged = a.merge(b)
+        assert merged.live_elements() == frozenset({"x", "y"})

@@ -1,0 +1,118 @@
+"""Unit tests for the adversarial network."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.adversary import AdversarialNetwork
+from repro.net.sim_transport import CallbackEndpoint
+from repro.sim.kernel import Simulator
+
+
+def test_messages_pool_until_delivered():
+    sim = Simulator(seed=1)
+    network = AdversarialNetwork(sim)
+    received = []
+    network.register("b", CallbackEndpoint(received.append))
+    network.send("a", "b", "x")
+    network.send("a", "b", "y")
+    assert network.pending == 2
+    assert received == []
+    assert network.deliver_random()
+    assert network.deliver_random()
+    assert not network.deliver_random()
+    assert {env.payload for env in received} == {"x", "y"}
+
+
+def test_delivery_order_is_seed_dependent_permutation():
+    def order(seed: int) -> list[int]:
+        sim = Simulator(seed=seed)
+        network = AdversarialNetwork(sim)
+        received = []
+        network.register("b", CallbackEndpoint(lambda e: received.append(e.payload)))
+        for i in range(20):
+            network.send("a", "b", i)
+        network.drain()
+        return received
+
+    assert order(1) == order(1)  # deterministic
+    assert sorted(order(1)) == list(range(20))  # a permutation
+    assert any(order(1) != order(s) for s in (2, 3, 4))  # seed matters
+
+
+def test_drop_probability():
+    sim = Simulator(seed=2)
+    network = AdversarialNetwork(sim)
+    received = []
+    network.register("b", CallbackEndpoint(received.append))
+    for i in range(300):
+        network.send("a", "b", i)
+    while network.deliver_random(drop_probability=0.5):
+        pass
+    assert 75 < len(received) < 225
+
+
+def test_duplicate_returns_message_to_pool():
+    sim = Simulator(seed=3)
+    network = AdversarialNetwork(sim)
+    received = []
+    network.register("b", CallbackEndpoint(received.append))
+    network.send("a", "b", "x")
+    network.deliver_random(duplicate_probability=1.0)
+    assert network.pending == 1  # copy waiting
+    network.deliver_random()  # duplicated copy can still duplicate again
+    assert len(received) >= 1
+
+
+def test_duplicable_predicate_respected():
+    sim = Simulator(seed=4)
+    network = AdversarialNetwork(sim)
+    network.duplicable = lambda env: False
+    received = []
+    network.register("b", CallbackEndpoint(received.append))
+    network.send("a", "b", "x")
+    network.deliver_random(duplicate_probability=1.0)
+    assert network.pending == 0
+    assert len(received) == 1
+
+
+def test_time_strictly_increases_per_delivery():
+    sim = Simulator(seed=5)
+    network = AdversarialNetwork(sim)
+    times = []
+    network.register("b", CallbackEndpoint(lambda e: times.append(sim.now)))
+    for i in range(5):
+        network.send("a", "b", i)
+    network.drain()
+    assert times == sorted(times)
+    assert len(set(times)) == len(times)
+
+
+def test_unknown_destination_counts_as_drop():
+    sim = Simulator(seed=6)
+    network = AdversarialNetwork(sim)
+    network.send("a", "ghost", "x")
+    network.deliver_random()
+    assert network.stats.messages_dropped == 1
+
+
+def test_duplicate_registration_rejected():
+    sim = Simulator(seed=7)
+    network = AdversarialNetwork(sim)
+    network.register("a", CallbackEndpoint(lambda e: None))
+    with pytest.raises(TransportError):
+        network.register("a", CallbackEndpoint(lambda e: None))
+
+
+def test_drain_handles_cascading_sends():
+    sim = Simulator(seed=8)
+    network = AdversarialNetwork(sim)
+
+    class Echo:
+        def deliver(self, envelope):
+            if envelope.payload > 0:
+                network.send("echo", "echo", envelope.payload - 1)
+
+    network.register("echo", Echo())
+    network.send("start", "echo", 5)
+    delivered = network.drain()
+    assert delivered == 6

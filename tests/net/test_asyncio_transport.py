@@ -1,0 +1,142 @@
+"""Unit tests for the asyncio network and node runtime."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.asyncio_transport import AsyncioNetwork, AsyncioNodeRuntime
+from repro.net.latency import ConstantLatency
+from repro.net.node import Effects, ProtocolNode
+
+
+class Recorder(ProtocolNode):
+    def __init__(self, node_id="n1"):
+        super().__init__(node_id)
+        self.messages = []
+        self.timers = []
+        self.starts = 0
+
+    def on_start(self, now):
+        self.starts += 1
+        effects = Effects()
+        effects.set_timer("boot", 0.01)
+        return effects
+
+    def on_message(self, src, message, now):
+        self.messages.append((src, message))
+        effects = Effects()
+        effects.send(src, ("ack", message))
+        return effects
+
+    def on_timer(self, key, now):
+        self.timers.append(key)
+        return Effects()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_send_and_receive():
+    async def scenario():
+        network = AsyncioNetwork()
+        node = Recorder()
+        runtime = AsyncioNodeRuntime(network, node)
+        runtime.start()
+        received = []
+        network.register("client", lambda env: received.append(env.payload))
+        network.send("client", "n1", "ping")
+        await asyncio.sleep(0.05)
+        assert node.messages == [("client", "ping")]
+        assert received == [("ack", "ping")]
+
+    run(scenario())
+
+
+def test_boot_timer_fires():
+    async def scenario():
+        network = AsyncioNetwork()
+        node = Recorder()
+        AsyncioNodeRuntime(network, node).start()
+        await asyncio.sleep(0.05)
+        assert node.timers == ["boot"]
+
+    run(scenario())
+
+
+def test_crash_blocks_delivery_and_cancels_timers():
+    async def scenario():
+        network = AsyncioNetwork()
+        node = Recorder()
+        runtime = AsyncioNodeRuntime(network, node)
+        runtime.start()
+        runtime.crash()
+        network.send("x", "n1", "lost")
+        await asyncio.sleep(0.05)
+        assert node.messages == []
+        assert node.timers == []
+
+    run(scenario())
+
+
+def test_recover_reruns_start():
+    async def scenario():
+        network = AsyncioNetwork()
+        node = Recorder()
+        runtime = AsyncioNodeRuntime(network, node)
+        runtime.start()
+        runtime.crash()
+        runtime.recover()
+        await asyncio.sleep(0.05)
+        assert node.starts == 2
+        assert node.timers == ["boot"]
+
+    run(scenario())
+
+
+def test_unknown_destination_dropped():
+    async def scenario():
+        network = AsyncioNetwork()
+        network.send("a", "ghost", "x")
+        await asyncio.sleep(0.01)
+        assert network.stats.messages_dropped == 1
+
+    run(scenario())
+
+
+def test_duplicate_registration_rejected():
+    async def scenario():
+        network = AsyncioNetwork()
+        network.register("a", lambda env: None)
+        with pytest.raises(TransportError):
+            network.register("a", lambda env: None)
+
+    run(scenario())
+
+
+def test_latency_delays_delivery():
+    async def scenario():
+        network = AsyncioNetwork(latency=ConstantLatency(delay=0.05))
+        received_at = []
+        loop = asyncio.get_running_loop()
+        network.register("b", lambda env: received_at.append(loop.time()))
+        start = loop.time()
+        network.send("a", "b", "x")
+        await asyncio.sleep(0.1)
+        assert received_at and received_at[0] - start >= 0.045
+
+    run(scenario())
+
+
+def test_traffic_stats_by_type():
+    async def scenario():
+        network = AsyncioNetwork()
+        network.register("b", lambda env: None)
+        network.send("a", "b", 42)
+        network.send("a", "b", "text")
+        await asyncio.sleep(0.01)
+        assert network.stats.count_by_type["int"] == 1
+        assert network.stats.count_by_type["str"] == 1
+
+    run(scenario())

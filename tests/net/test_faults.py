@@ -1,0 +1,65 @@
+"""Unit tests for fault plans and partitions."""
+
+import random
+
+import pytest
+
+from repro.net.faults import FaultPlan, Partition
+
+
+def test_default_plan_is_reliable():
+    plan = FaultPlan()
+    rng = random.Random(0)
+    assert not any(plan.should_drop(rng, "a", "b", t) for t in range(100))
+    assert not any(plan.should_duplicate(rng) for _ in range(100))
+
+
+def test_loss_probability_applied():
+    plan = FaultPlan(loss_probability=0.5)
+    rng = random.Random(1)
+    drops = sum(plan.should_drop(rng, "a", "b", 0.0) for _ in range(1000))
+    assert 400 < drops < 600
+
+
+def test_duplicate_probability_applied():
+    plan = FaultPlan(duplicate_probability=0.3)
+    rng = random.Random(2)
+    dups = sum(plan.should_duplicate(rng) for _ in range(1000))
+    assert 200 < dups < 400
+
+
+def test_invalid_probabilities_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan(loss_probability=1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(duplicate_probability=-0.1)
+
+
+def test_partition_blocks_cross_traffic_during_window():
+    partition = Partition(
+        group_a=frozenset({"r0"}),
+        group_b=frozenset({"r1", "r2"}),
+        start=10.0,
+        until=20.0,
+    )
+    assert not partition.blocks("r0", "r1", 5.0)
+    assert partition.blocks("r0", "r1", 10.0)
+    assert partition.blocks("r1", "r0", 15.0)  # symmetric
+    assert not partition.blocks("r1", "r2", 15.0)  # intra-group ok
+    assert not partition.blocks("r0", "r1", 20.0)  # healed
+
+
+def test_partition_without_heal_time():
+    partition = Partition(frozenset({"a"}), frozenset({"b"}), start=0.0)
+    assert partition.blocks("a", "b", 1e9)
+
+
+def test_fault_plan_consults_partitions():
+    plan = FaultPlan()
+    plan.add_partition(
+        Partition(frozenset({"r0"}), frozenset({"r1"}), start=0.0, until=1.0)
+    )
+    rng = random.Random(3)
+    assert plan.should_drop(rng, "r0", "r1", 0.5)
+    assert not plan.should_drop(rng, "r0", "r1", 1.5)
+    assert not plan.should_drop(rng, "r0", "r2", 0.5)

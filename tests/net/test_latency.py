@@ -1,0 +1,67 @@
+"""Unit tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatency, LogNormalLatency, UniformLatency
+
+
+def test_constant_latency():
+    model = ConstantLatency(delay=0.001, per_byte=1e-6)
+    rng = random.Random(0)
+    assert model.sample(rng, 0) == pytest.approx(0.001)
+    assert model.sample(rng, 1000) == pytest.approx(0.002)
+
+
+def test_uniform_latency_bounds():
+    model = UniformLatency(low=0.001, high=0.002)
+    rng = random.Random(1)
+    samples = [model.sample(rng, 0) for _ in range(200)]
+    assert all(0.001 <= s <= 0.002 for s in samples)
+    assert max(samples) > 0.0015  # spread actually used
+
+
+def test_uniform_latency_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        UniformLatency(low=0.002, high=0.001)
+
+
+def test_lognormal_median_roughly_respected():
+    model = LogNormalLatency(median=0.001, sigma=0.3, per_byte=0.0)
+    rng = random.Random(2)
+    samples = sorted(model.sample(rng, 0) for _ in range(2001))
+    median = samples[len(samples) // 2]
+    assert 0.0008 < median < 0.0012
+
+
+def test_lognormal_all_positive():
+    model = LogNormalLatency(median=0.0005, sigma=0.5)
+    rng = random.Random(3)
+    assert all(model.sample(rng, 100) > 0 for _ in range(500))
+
+
+def test_lognormal_per_byte_additive():
+    model = LogNormalLatency(median=0.001, sigma=0.0, per_byte=1e-9)
+    rng = random.Random(4)
+    small = model.sample(rng, 0)
+    large = model.sample(rng, 10**6)
+    assert large - small == pytest.approx(1e-3, rel=1e-6)
+
+
+def test_lognormal_rejects_nonpositive_median():
+    with pytest.raises(ValueError):
+        LogNormalLatency(median=0.0)
+
+
+def test_latency_reordering_emerges():
+    """Two back-to-back sends can arrive out of order — the §2.1 model."""
+    model = LogNormalLatency(median=0.001, sigma=0.5)
+    rng = random.Random(5)
+    reordered = 0
+    for _ in range(500):
+        first = model.sample(rng, 0)
+        second = model.sample(rng, 0)
+        if second < first:
+            reordered += 1
+    assert reordered > 50

@@ -1,0 +1,48 @@
+"""Unit tests for envelopes and wire-size accounting."""
+
+from dataclasses import dataclass
+
+from repro.net.message import ENVELOPE_OVERHEAD_BYTES, Envelope, wire_size
+
+
+class _Sized:
+    def wire_size(self):
+        return 123
+
+
+def test_wire_size_prefers_object_method():
+    assert wire_size(_Sized()) == 123
+
+
+def test_wire_size_primitives():
+    assert wire_size(None) == 1
+    assert wire_size(True) == 1
+    assert wire_size(7) == 8
+    assert wire_size(3.14) == 8
+    assert wire_size("abcd") == 4
+    assert wire_size(b"abc") == 3
+
+
+def test_wire_size_containers():
+    assert wire_size([1, 2]) == 8 + 16
+    assert wire_size((1, 2, 3)) == 8 + 24
+    assert wire_size({"a": 1}) == 8 + 1 + 8
+    assert wire_size(frozenset({"xy"})) == 8 + 2
+
+
+def test_wire_size_dataclass():
+    @dataclass
+    class Point:
+        x: int
+        y: int
+
+    assert wire_size(Point(1, 2)) == 8 + 16
+
+
+def test_wire_size_unknown_object_fallback():
+    assert wire_size(object()) == 16
+
+
+def test_envelope_size_includes_overhead():
+    envelope = Envelope(src="a", dst="b", payload=7)
+    assert envelope.size_bytes() == ENVELOPE_OVERHEAD_BYTES + 8

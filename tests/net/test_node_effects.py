@@ -1,0 +1,52 @@
+"""Unit tests for the sans-io Effects container."""
+
+from repro.net.node import Effects, ProtocolNode
+
+
+def test_effects_collect_sends():
+    effects = Effects()
+    effects.send("a", 1)
+    effects.broadcast(["b", "c"], 2)
+    assert effects.sends == [("a", 1), ("b", 2), ("c", 2)]
+
+
+def test_effects_timers_and_cancels():
+    effects = Effects()
+    effects.set_timer("t1", 0.5)
+    effects.cancel_timer("t2")
+    assert effects.timers == [("t1", 0.5)]
+    assert effects.cancels == ["t2"]
+
+
+def test_effects_merge_preserves_order():
+    first = Effects()
+    first.send("a", 1)
+    second = Effects()
+    second.send("b", 2)
+    second.set_timer("t", 1.0)
+    first.merge(second)
+    assert first.sends == [("a", 1), ("b", 2)]
+    assert first.timers == [("t", 1.0)]
+
+
+def test_effects_empty_flag():
+    effects = Effects()
+    assert effects.empty
+    effects.cancel_timer("x")
+    assert not effects.empty
+
+
+def test_default_on_timer_and_recover():
+    class Node(ProtocolNode):
+        def on_start(self, now):
+            effects = Effects()
+            effects.set_timer("boot", 1.0)
+            return effects
+
+        def on_message(self, src, message, now):
+            return Effects()
+
+    node = Node("n1")
+    assert node.on_timer("boot", 0.0).empty
+    # Default recovery re-runs on_start so periodic duties resume.
+    assert node.on_recover(5.0).timers == [("boot", 1.0)]

@@ -1,0 +1,123 @@
+"""Tests for quorum systems (§2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuorumError
+from repro.quorum.system import (
+    GridQuorum,
+    MajorityQuorum,
+    QuorumSystem,
+    WeightedMajorityQuorum,
+)
+
+
+class TestMajorityQuorum:
+    def test_three_of_three_threshold_two(self):
+        quorum = MajorityQuorum(["r0", "r1", "r2"])
+        assert quorum.threshold == 2
+        assert quorum.is_quorum({"r0", "r1"})
+        assert quorum.is_quorum({"r0", "r1", "r2"})
+        assert not quorum.is_quorum({"r0"})
+        assert not quorum.is_quorum(set())
+
+    def test_single_node_group(self):
+        quorum = MajorityQuorum(["solo"])
+        assert quorum.is_quorum({"solo"})
+
+    def test_even_group_needs_strict_majority(self):
+        quorum = MajorityQuorum(["a", "b", "c", "d"])
+        assert not quorum.is_quorum({"a", "b"})
+        assert quorum.is_quorum({"a", "b", "c"})
+
+    def test_unknown_processes_ignored(self):
+        quorum = MajorityQuorum(["a", "b", "c"])
+        assert not quorum.is_quorum({"x", "y", "z"})
+        assert quorum.is_quorum({"a", "b", "x"})
+
+    def test_validate_membership(self):
+        quorum = MajorityQuorum(["a", "b"])
+        quorum.validate_membership({"a"})
+        with pytest.raises(QuorumError):
+            quorum.validate_membership({"ghost"})
+
+    def test_empty_process_set_rejected(self):
+        with pytest.raises(QuorumError):
+            MajorityQuorum([])
+
+    def test_minimal_quorums_and_intersection(self):
+        quorum = MajorityQuorum(["a", "b", "c"])
+        minimal = quorum.minimal_quorums()
+        assert all(len(q) == 2 for q in minimal)
+        assert len(minimal) == 3
+        assert quorum.verify_intersection()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(1, 7),
+        responders=st.sets(st.integers(0, 6)),
+    )
+    def test_majority_intersection_property(self, n, responders):
+        processes = [f"p{i}" for i in range(n)]
+        quorum = MajorityQuorum(processes)
+        members = {f"p{i}" for i in responders if i < n}
+        if quorum.is_quorum(members):
+            # any two majorities intersect: the complement cannot be one
+            complement = set(processes) - members
+            assert not quorum.is_quorum(complement)
+
+
+class TestGridQuorum:
+    def test_row_plus_column(self):
+        # grid: p0 p1 p2 / p3 p4 p5 / p6 p7 p8
+        processes = [f"p{i}" for i in range(9)]
+        quorum = GridQuorum(processes, cols=3)
+        row_and_column = {"p3", "p4", "p5", "p1", "p7"}  # row 1 + column 1
+        assert quorum.is_quorum(row_and_column)
+
+    def test_row_alone_is_not_enough(self):
+        processes = [f"p{i}" for i in range(9)]
+        quorum = GridQuorum(processes, cols=3)
+        assert not quorum.is_quorum({"p0", "p1", "p2"})
+
+    def test_column_alone_is_not_enough(self):
+        processes = [f"p{i}" for i in range(9)]
+        quorum = GridQuorum(processes, cols=3)
+        assert not quorum.is_quorum({"p0", "p3", "p6"})
+
+    def test_intersection_verified_exhaustively(self):
+        processes = [f"p{i}" for i in range(4)]
+        quorum = GridQuorum(processes, cols=2)
+        assert quorum.verify_intersection()
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(QuorumError):
+            GridQuorum(["a", "b", "c"], cols=2)
+        with pytest.raises(QuorumError):
+            GridQuorum(["a", "b"], cols=0)
+
+
+class TestWeightedMajorityQuorum:
+    def test_weight_majority(self):
+        quorum = WeightedMajorityQuorum({"big": 3.0, "s1": 1.0, "s2": 1.0})
+        assert quorum.is_quorum({"big"})  # 3 > 5/2
+        assert not quorum.is_quorum({"s1", "s2"})  # 2 < 5/2
+
+    def test_exactly_half_is_not_a_quorum(self):
+        quorum = WeightedMajorityQuorum({"a": 1.0, "b": 1.0})
+        assert not quorum.is_quorum({"a"})
+        assert quorum.is_quorum({"a", "b"})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(QuorumError):
+            WeightedMajorityQuorum({"a": 0.0})
+
+    def test_intersection_holds(self):
+        quorum = WeightedMajorityQuorum({"a": 2.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        assert quorum.verify_intersection()
+
+
+def test_quorum_system_is_abstract():
+    with pytest.raises(TypeError):
+        QuorumSystem(["a"])  # type: ignore[abstract]

@@ -1,0 +1,175 @@
+"""Tests for the asyncio transport and cluster runtime.
+
+The same sans-io nodes that run under the simulator must run unchanged on
+asyncio — these tests exercise that second driver end to end.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import ClientQuery, ClientUpdate, CrdtPaxosReplica
+from repro.crdt import GCounter, GCounterValue, Increment
+from repro.errors import RequestTimeout
+from repro.net.latency import ConstantLatency
+from repro.runtime.asyncio_cluster import AsyncioCluster
+
+
+def make_cluster(n_replicas=3, latency=None):
+    return AsyncioCluster(
+        lambda nid, peers: CrdtPaxosReplica(nid, peers, GCounter.initial()),
+        n_replicas=n_replicas,
+        latency=latency,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_update_and_read_round_trip():
+    async def scenario():
+        async with make_cluster() as cluster:
+            client = cluster.client("t1")
+            done = await client.request(
+                "r0", ClientUpdate(request_id="u1", op=Increment(4))
+            )
+            assert done.request_id == "u1"
+            reply = await client.request(
+                "r1", ClientQuery(request_id="q1", op=GCounterValue())
+            )
+            assert reply.result == 4
+
+    run(scenario())
+
+
+def test_concurrent_clients():
+    async def scenario():
+        async with make_cluster() as cluster:
+            async def one_client(index):
+                client = cluster.client(f"w{index}")
+                for i in range(5):
+                    await client.request(
+                        cluster.addresses[index % 3],
+                        ClientUpdate(request_id=f"w{index}-u{i}", op=Increment()),
+                    )
+
+            await asyncio.gather(*(one_client(i) for i in range(4)))
+            client = cluster.client("reader")
+            reply = await client.request(
+                "r2", ClientQuery(request_id="q", op=GCounterValue())
+            )
+            assert reply.result == 20
+
+    run(scenario())
+
+
+def test_reads_linearize_across_replicas():
+    async def scenario():
+        async with make_cluster() as cluster:
+            client = cluster.client("t")
+            last = 0
+            for i in range(6):
+                await client.request(
+                    "r0", ClientUpdate(request_id=f"u{i}", op=Increment())
+                )
+                reply = await client.request(
+                    cluster.addresses[i % 3],
+                    ClientQuery(request_id=f"q{i}", op=GCounterValue()),
+                )
+                assert reply.result >= last
+                assert reply.result >= i + 1  # update visibility
+                last = reply.result
+
+    run(scenario())
+
+
+def test_crash_minority_keeps_service():
+    async def scenario():
+        async with make_cluster() as cluster:
+            cluster.crash("r2")
+            client = cluster.client("t")
+            await client.request(
+                "r0", ClientUpdate(request_id="u1", op=Increment())
+            )
+            reply = await client.request(
+                "r1", ClientQuery(request_id="q1", op=GCounterValue())
+            )
+            assert reply.result == 1
+
+    run(scenario())
+
+
+def test_crashed_target_times_out():
+    async def scenario():
+        async with make_cluster() as cluster:
+            cluster.crash("r0")
+            client = cluster.client("t")
+            with pytest.raises(RequestTimeout):
+                await client.request(
+                    "r0",
+                    ClientUpdate(request_id="u1", op=Increment()),
+                    timeout=0.2,
+                )
+
+    run(scenario())
+
+
+def test_recovery_resumes_service():
+    async def scenario():
+        async with make_cluster() as cluster:
+            cluster.crash("r0")
+            cluster.recover("r0")
+            client = cluster.client("t")
+            reply = await client.request(
+                "r0", ClientQuery(request_id="q", op=GCounterValue())
+            )
+            assert reply.result == 0
+
+    run(scenario())
+
+
+def test_artificial_latency_applied():
+    async def scenario():
+        latency = ConstantLatency(delay=0.05)
+        async with make_cluster(latency=latency) as cluster:
+            client = cluster.client("t")
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            await client.request(
+                "r0", ClientUpdate(request_id="u1", op=Increment())
+            )
+            elapsed = loop.time() - start
+            # client leg + merge round trip + reply leg ≥ 4 × 50 ms.
+            assert elapsed >= 0.19
+
+    run(scenario())
+
+
+def test_raft_runs_on_asyncio_too():
+    """The asyncio driver is protocol-agnostic."""
+    from repro.baselines.common import IntCounter, RsmQuery, RsmUpdate
+    from repro.baselines.raft import RaftConfig, RaftNode
+
+    async def scenario():
+        config = RaftConfig(
+            election_timeout_min=0.05,
+            election_timeout_max=0.1,
+            heartbeat_interval=0.02,
+        )
+        cluster = AsyncioCluster(
+            lambda nid, peers: RaftNode(nid, peers, IntCounter(), config),
+            n_replicas=3,
+        )
+        async with cluster:
+            await asyncio.sleep(0.3)  # let a leader emerge
+            client = cluster.client("t")
+            await client.request(
+                "r0", RsmUpdate(request_id="u1", command=("incr", 3))
+            )
+            reply = await client.request(
+                "r1", RsmQuery(request_id="q1", command=("read",))
+            )
+            assert reply.result == 3
+
+    run(scenario())

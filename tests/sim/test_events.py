@@ -1,0 +1,60 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import EventQueue
+
+
+def test_pop_orders_by_time():
+    queue = EventQueue()
+    order = []
+    queue.push(3.0, order.append, ("c",))
+    queue.push(1.0, order.append, ("a",))
+    queue.push(2.0, order.append, ("b",))
+    while (event := queue.pop()) is not None:
+        event.callback(*event.args)
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    order = []
+    for tag in ("first", "second", "third"):
+        queue.push(5.0, order.append, (tag,))
+    while (event := queue.pop()) is not None:
+        event.callback(*event.args)
+    assert order == ["first", "second", "third"]
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    order = []
+    keep = queue.push(1.0, order.append, ("keep",))
+    drop = queue.push(0.5, order.append, ("drop",))
+    drop.cancel()
+    while (event := queue.pop()) is not None:
+        event.callback(*event.args)
+    assert order == ["keep"]
+    assert keep.cancelled is False
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.peek_time() == 1.0
+    first.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_peek_time_empty_queue():
+    queue = EventQueue()
+    assert queue.peek_time() is None
+    assert queue.pop() is None
+
+
+def test_len_counts_entries():
+    queue = EventQueue()
+    assert len(queue) == 0
+    assert not queue
+    queue.push(1.0, lambda: None)
+    assert len(queue) == 1
+    assert queue

@@ -1,0 +1,110 @@
+"""Unit tests for the simulator kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+
+def test_time_advances_with_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.schedule(0.5, lambda: seen.append(sim.now))
+    executed = sim.run()
+    assert executed == 2
+    assert seen == [0.5, 1.5]
+    assert sim.now == 1.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append("early"))
+    sim.schedule(5.0, lambda: seen.append("late"))
+    sim.run(until=2.0)
+    assert seen == ["early"]
+    assert sim.now == 2.0  # clock advanced to the horizon
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(1.0, lambda: None)
+    executed = sim.run(max_events=4)
+    assert executed == 4
+    assert sim.pending_events == 6
+
+
+def test_events_scheduled_during_execution_run():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth: int) -> None:
+        seen.append((sim.now, depth))
+        if depth < 3:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+
+
+def test_cancelled_event_not_executed():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(1.0, lambda: seen.append("x"))
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    sim.schedule(0.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(0.1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_determinism_across_instances():
+    def trace(seed: int) -> list[float]:
+        sim = Simulator(seed=seed)
+        rng = sim.rng.stream("test")
+        values = []
+        for _ in range(5):
+            sim.schedule(rng.random(), lambda: values.append(sim.now))
+        sim.run()
+        return values
+
+    assert trace(7) == trace(7)
+    assert trace(7) != trace(8)

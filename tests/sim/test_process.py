@@ -1,0 +1,131 @@
+"""Unit tests for the serial-server process model."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import SerialProcess, ServiceModel
+
+
+def make(sim, base=0.01, per_byte=0.0, per_send=0.0):
+    handled = []
+    process = SerialProcess(
+        sim, handled.append, ServiceModel(base=base, per_byte=per_byte, per_send=per_send)
+    )
+    return process, handled
+
+
+def test_items_processed_in_fifo_order_with_service_delay():
+    sim = Simulator()
+    process, handled = make(sim, base=0.01)
+    completion_times = []
+    process = SerialProcess(
+        sim,
+        lambda item: completion_times.append((item, sim.now)),
+        ServiceModel(base=0.01),
+    )
+    process.submit("a")
+    process.submit("b")
+    process.submit("c")
+    sim.run()
+    assert [item for item, _ in completion_times] == ["a", "b", "c"]
+    times = [t for _, t in completion_times]
+    assert times == pytest.approx([0.01, 0.02, 0.03])
+
+
+def test_queueing_delay_accumulates():
+    sim = Simulator()
+    done = []
+    process = SerialProcess(sim, lambda i: done.append(sim.now), ServiceModel(base=0.1))
+    for _ in range(5):
+        process.submit(object())
+    sim.run()
+    assert done[-1] == pytest.approx(0.5)
+    assert process.busy_time == pytest.approx(0.5)
+
+
+def test_per_byte_cost():
+    sim = Simulator()
+    done = []
+    process = SerialProcess(
+        sim, lambda i: done.append(sim.now), ServiceModel(base=0.0, per_byte=0.001)
+    )
+    process.submit("x", size_bytes=100)
+    sim.run()
+    assert done == [pytest.approx(0.1)]
+
+
+def test_pause_drops_backlog_and_new_arrivals():
+    sim = Simulator()
+    process, handled = make(sim, base=0.01)
+    process.submit("a")
+    process.submit("b")
+    process.pause()
+    process.submit("c")
+    sim.run()
+    # "a" was in service at pause time and completes, but its handler is
+    # suppressed; "b" and "c" are dropped.
+    assert handled == []
+    assert process.items_dropped == 2
+
+
+def test_resume_accepts_new_work():
+    sim = Simulator()
+    process, handled = make(sim, base=0.01)
+    process.pause()
+    process.submit("lost")
+    process.resume()
+    process.submit("kept")
+    sim.run()
+    assert handled == ["kept"]
+
+
+def test_extend_busy_delays_next_item():
+    sim = Simulator()
+    done = []
+    process = SerialProcess(sim, lambda i: done.append(sim.now), ServiceModel(base=0.01))
+
+    original_handler = process._handler
+
+    def handler(item):
+        original_handler(item)
+        if item == "first":
+            process.extend_busy(0.05)
+
+    process._handler = handler
+    process.submit("first")
+    process.submit("second")
+    sim.run()
+    assert done[0] == pytest.approx(0.01)
+    assert done[1] == pytest.approx(0.07)  # 0.01 + 0.05 extra + 0.01
+
+
+def test_extend_busy_outside_service_is_ignored():
+    sim = Simulator()
+    process, handled = make(sim)
+    process.extend_busy(1.0)  # nothing in service; must be a no-op
+    process.submit("a")
+    sim.run()
+    assert handled == ["a"]
+    assert sim.now == pytest.approx(0.01)
+
+
+def test_extend_busy_rejects_negative():
+    sim = Simulator()
+    process, _ = make(sim)
+    with pytest.raises(ValueError):
+        process.extend_busy(-1.0)
+
+
+def test_send_time_model():
+    model = ServiceModel(base=1e-6, per_send=2e-6)
+    assert model.send_time(3) == pytest.approx(6e-6)
+    assert model.send_time(0) == 0.0
+
+
+def test_queue_depth_visible():
+    sim = Simulator()
+    process, _ = make(sim, base=1.0)
+    process.submit("a")
+    process.submit("b")
+    process.submit("c")
+    assert process.queue_depth == 2  # "a" is in service

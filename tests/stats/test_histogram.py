@@ -1,0 +1,81 @@
+"""Tests for the log-bucketed latency histogram."""
+
+import random
+
+import pytest
+
+from repro.stats.histogram import LatencyHistogram
+
+
+def test_basic_accounting():
+    histogram = LatencyHistogram()
+    for value in (0.001, 0.002, 0.003):
+        histogram.add(value)
+    assert histogram.count == 3
+    assert histogram.mean == pytest.approx(0.002)
+    assert histogram.min == 0.001
+    assert histogram.max == 0.003
+
+
+def test_percentile_bounded_relative_error():
+    histogram = LatencyHistogram(growth=1.05)
+    rng = random.Random(0)
+    values = sorted(rng.uniform(1e-4, 1e-1) for _ in range(5000))
+    for value in values:
+        histogram.add(value)
+    for p in (50, 90, 95, 99):
+        exact = values[int(p / 100 * (len(values) - 1))]
+        estimate = histogram.percentile(p)
+        assert abs(estimate - exact) / exact < 0.06
+
+
+def test_percentile_clamped_to_observed_range():
+    histogram = LatencyHistogram()
+    histogram.add(0.005)
+    assert histogram.percentile(0) == 0.005
+    assert histogram.percentile(100) == 0.005
+
+
+def test_merge_combines_histograms():
+    a = LatencyHistogram()
+    b = LatencyHistogram()
+    for value in (0.001, 0.002):
+        a.add(value)
+    for value in (0.003, 0.004):
+        b.add(value)
+    a.merge(b)
+    assert a.count == 4
+    assert a.min == 0.001
+    assert a.max == 0.004
+
+
+def test_merge_requires_same_geometry():
+    a = LatencyHistogram(growth=1.05)
+    b = LatencyHistogram(growth=1.1)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_empty_percentile_rejected():
+    with pytest.raises(ValueError):
+        LatencyHistogram().percentile(50)
+
+
+def test_negative_value_rejected():
+    with pytest.raises(ValueError):
+        LatencyHistogram().add(-1.0)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        LatencyHistogram(min_value=0.0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(growth=1.0)
+
+
+def test_zero_and_tiny_values_share_bottom_bucket():
+    histogram = LatencyHistogram(min_value=1e-6)
+    histogram.add(0.0)
+    histogram.add(1e-9)
+    assert histogram.count == 2
+    assert histogram.percentile(50) <= 1e-6

@@ -1,0 +1,94 @@
+"""Tests for percentiles and median confidence intervals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.summary import median_with_ci, percentile
+
+
+class TestPercentile:
+    def test_simple_cases(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 50) == 3.0
+        assert percentile(data, 100) == 5.0
+
+    def test_interpolation(self):
+        assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+        assert percentile([0.0, 10.0], 95) == pytest.approx(9.5)
+
+    def test_unsorted_input_handled(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == 3.0
+
+    def test_single_element(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.lists(st.floats(0, 1e6), min_size=1, max_size=200))
+    def test_matches_numpy(self, data):
+        import numpy
+
+        for p in (0, 25, 50, 95, 99, 100):
+            assert percentile(data, p) == pytest.approx(
+                float(numpy.percentile(data, p)), rel=1e-9, abs=1e-9
+            )
+
+
+class TestMedianCI:
+    def test_interval_contains_median(self):
+        data = list(range(100))
+        ci = median_with_ci([float(x) for x in data])
+        assert ci.low <= ci.median <= ci.high
+
+    def test_tight_for_constant_data(self):
+        ci = median_with_ci([5.0] * 50)
+        assert ci.low == ci.median == ci.high == 5.0
+        assert ci.half_width_fraction == 0.0
+
+    def test_small_samples_degenerate_to_range(self):
+        ci = median_with_ci([1.0, 9.0])
+        assert ci.low == 1.0 and ci.high == 9.0
+
+    def test_confidence_levels(self):
+        data = [float(x) for x in range(200)]
+        narrow = median_with_ci(data, confidence=0.90)
+        wide = median_with_ci(data, confidence=0.99)
+        assert wide.high - wide.low >= narrow.high - narrow.low
+
+    def test_unknown_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            median_with_ci([1.0], confidence=0.42)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median_with_ci([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.lists(st.floats(0, 1e3), min_size=3, max_size=500))
+    def test_interval_is_ordered_and_within_range(self, data):
+        ci = median_with_ci(data)
+        assert min(data) <= ci.low <= ci.median <= ci.high <= max(data)
+
+    def test_coverage_simulation(self):
+        """~99 % of intervals should contain the true median."""
+        import random
+
+        rng = random.Random(0)
+        true_median = 0.0  # standard normal
+        covered = 0
+        trials = 200
+        for _ in range(trials):
+            sample = [rng.gauss(0, 1) for _ in range(101)]
+            ci = median_with_ci(sample, confidence=0.99)
+            if ci.low <= true_median <= ci.high:
+                covered += 1
+        assert covered >= 0.95 * trials

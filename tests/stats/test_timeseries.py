@@ -1,0 +1,66 @@
+"""Tests for windowed throughput and percentile time series."""
+
+import pytest
+
+from repro.stats.timeseries import WindowedPercentile, WindowedThroughput
+
+
+class TestWindowedThroughput:
+    def test_counts_per_window(self):
+        series = WindowedThroughput(window=1.0)
+        for t in (0.1, 0.5, 1.2, 2.9):
+            series.add(t)
+        assert series.rates(start=0.0, end=3.0) == [2.0, 1.0, 1.0]
+
+    def test_idle_windows_reported_as_zero(self):
+        series = WindowedThroughput(window=1.0)
+        series.add(0.5)
+        series.add(3.5)
+        assert series.rates(start=0.0, end=4.0) == [1.0, 0.0, 0.0, 1.0]
+
+    def test_rate_scales_with_window(self):
+        series = WindowedThroughput(window=0.5)
+        series.add(0.1)
+        series.add(0.2)
+        assert series.rates(start=0.0, end=0.5) == [4.0]
+
+    def test_start_offset_excludes_warmup(self):
+        series = WindowedThroughput(window=1.0)
+        series.add(0.5)  # warmup
+        series.add(1.5)
+        assert series.rates(start=1.0, end=2.0) == [1.0]
+
+    def test_empty(self):
+        assert WindowedThroughput().rates() == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedThroughput(window=0.0)
+
+
+class TestWindowedPercentile:
+    def test_series_per_window(self):
+        series = WindowedPercentile(window=10.0)
+        for t, v in ((1.0, 0.1), (2.0, 0.3), (11.0, 0.5)):
+            series.add(t, v)
+        result = series.series(50, start=0.0, end=20.0)
+        assert result == [(0.0, pytest.approx(0.2)), (10.0, 0.5)]
+
+    def test_idle_window_is_none(self):
+        series = WindowedPercentile(window=10.0)
+        series.add(1.0, 0.1)
+        series.add(25.0, 0.2)
+        result = series.series(95, start=0.0, end=30.0)
+        assert result[1] == (10.0, None)
+
+    def test_p95_of_window(self):
+        series = WindowedPercentile(window=1.0)
+        for i in range(100):
+            series.add(0.5, float(i))
+        (window_start, value), = series.series(95, start=0.0, end=1.0)
+        assert window_start == 0.0
+        assert value == pytest.approx(94.05)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedPercentile(window=-1.0)

