@@ -4,11 +4,18 @@ These are classic pytest-benchmark measurements (many iterations of a
 small operation) covering the inner loops every experiment leans on:
 merge/compare of the counter used in all figures, the bigger OR-Set
 payloads, and one full protocol step of the acceptor.
+
+The ``TestHotPathSpeedup`` class additionally *asserts* the digest/join
+short-circuits deliver ≥2× over the naive two-pass implementations on the
+query fast path's dominant shape: a 5-ack quorum of structurally equal
+1000-element OR-Set payloads.
 """
 
+from repro.bench.perf_gate import build_quorum_acks, best_of_seconds
 from repro.core.acceptor import Acceptor
 from repro.core.messages import Merge, Prepare
 from repro.core.rounds import Round, RoundIdGenerator
+from repro.crdt.base import join_all
 from repro.crdt.gcounter import GCounter, Increment
 from repro.crdt.orset import ORSet, ORSetAdd
 
@@ -56,6 +63,61 @@ def test_orset_add(benchmark):
     op = ORSetAdd("new-item")
     result = benchmark(op.apply, state, "r2")
     assert "new-item" in result
+
+
+def test_orset_join_all_quorum(benchmark):
+    acks = build_quorum_acks()
+    lub = benchmark(join_all, acks)
+    assert lub is acks[0]  # copy-on-write: first ack adopted untouched
+
+
+def test_orset_equivalent_vs_lub(benchmark):
+    acks = build_quorum_acks()
+    lub = join_all(acks)
+
+    def fast_path_check():
+        return all(state.equivalent(lub) for state in acks)
+
+    assert benchmark(fast_path_check)
+
+
+def _naive_join_all(states):
+    iterator = iter(states)
+    result = next(iterator)
+    for state in iterator:
+        result = result.merge(state)
+    return result
+
+
+def _best_of(fn):
+    return best_of_seconds(fn, repeats=5, iters=20)
+
+
+class TestHotPathSpeedup:
+    """Acceptance gates for the digest/join short-circuits (this PR)."""
+
+    def test_join_all_at_least_2x_over_naive_fold(self):
+        acks = build_quorum_acks()
+        fast = _best_of(lambda: join_all(acks))
+        naive = _best_of(lambda: _naive_join_all(acks))
+        assert join_all(acks).equivalent(_naive_join_all(acks))
+        assert naive / fast >= 2.0, f"join_all speedup only {naive / fast:.1f}x"
+
+    def test_equivalent_vs_lub_at_least_2x_over_two_pass(self):
+        acks = build_quorum_acks()
+        lub = join_all(acks)
+
+        def fast():
+            return all(state.equivalent(lub) for state in acks)
+
+        def naive():
+            return all(
+                state.compare(lub) and lub.compare(state) for state in acks
+            )
+
+        assert fast() and naive()
+        speedup = _best_of(naive) / _best_of(fast)
+        assert speedup >= 2.0, f"equivalent-vs-LUB speedup only {speedup:.1f}x"
 
 
 def test_acceptor_merge_step(benchmark):

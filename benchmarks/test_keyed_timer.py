@@ -1,0 +1,56 @@
+"""Keyed-replica timer routing must be O(1) in the number of keys.
+
+Before this PR, :meth:`KeyedCrdtReplica.on_timer` resolved its namespace
+by scanning ``repr(key)`` over every hosted key — at 10k keys that put an
+O(#keys) string-formatting loop on every batch-flush tick.  The namespace
+index makes it a dict lookup; this benchmark asserts the per-call cost no
+longer grows with the keyspace.
+"""
+
+import time
+
+from repro.core.keyspace import KeyedCrdtReplica
+from repro.crdt.gcounter import GCounter
+
+PEERS = ["r0", "r1", "r2"]
+
+
+def build_replica(n_keys: int) -> KeyedCrdtReplica:
+    replica = KeyedCrdtReplica(
+        "r0", list(PEERS), lambda key: GCounter.initial()
+    )
+    for i in range(n_keys):
+        replica.instance(f"key-{i}")
+    return replica
+
+
+def per_call_seconds(replica: KeyedCrdtReplica, key: str, iters: int = 2000) -> float:
+    timer_key = f"{key!r}|flush"
+    best = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        for _ in range(iters):
+            replica.on_timer(timer_key, 0.0)
+        best = min(best, (time.perf_counter() - started) / iters)
+    return best
+
+
+def test_timer_routing_is_o1_in_keys():
+    small = build_replica(100)
+    large = build_replica(10_000)
+    # Route for the *last* key — the worst case of the old linear scan.
+    cost_small = per_call_seconds(small, "key-99")
+    cost_large = per_call_seconds(large, "key-9999")
+    # O(1): a 100× larger keyspace must not make routing meaningfully
+    # slower.  5× leaves generous headroom for cache effects and noise;
+    # the old scan measured >50× here.
+    assert cost_large <= cost_small * 5, (
+        f"timer routing scales with keys: {cost_small * 1e6:.2f}µs @100 vs "
+        f"{cost_large * 1e6:.2f}µs @10k"
+    )
+
+
+def test_timer_routing_throughput_at_10k_keys(benchmark):
+    replica = build_replica(10_000)
+    timer_key = f"{'key-9999'!r}|flush"
+    benchmark(replica.on_timer, timer_key, 0.0)

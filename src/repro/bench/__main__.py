@@ -7,6 +7,11 @@ experiments) and prints the result table, e.g.::
     python -m repro.bench fig1 --scale full    # the paper's grid
     python -m repro.bench overhead ablations   # several at once
     python -m repro.bench all --seed 7
+    python -m repro.bench perf-gate --quick    # hot-path regression gate
+
+``perf-gate`` is special: it writes ``BENCH_PR1.json`` at the repository
+root and exits non-zero when a gated hot-path metric regresses more than
+20 % against ``benchmarks/perf_gate_baseline.json``.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro.bench import fig2 as _fig2
 from repro.bench import fig3 as _fig3
 from repro.bench import fig4 as _fig4
 from repro.bench import overhead as _overhead
+from repro.bench import perf_gate as _perf_gate
 
 Runner = Callable[[str | None, int], str]
 
@@ -74,7 +80,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=sorted(EXPERIMENTS) + ["all", "perf-gate"],
         help="which experiment(s) to run",
     )
     parser.add_argument(
@@ -83,8 +89,21 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="grid size (default: REPRO_BENCH_SCALE or 'quick')",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="perf-gate only: short end-to-end runs (finishes well under 60s)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     args = parser.parse_args(argv)
+
+    exit_code = 0
+    if "perf-gate" in args.experiments:
+        # The gate controls the exit code; --scale full lengthens its
+        # end-to-end runs, --quick (the documented mode) keeps them short.
+        quick = args.quick or args.scale != "full"
+        exit_code = _perf_gate.main(quick=quick, seed=args.seed)
+        args.experiments = [e for e in args.experiments if e != "perf-gate"]
 
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in names:
@@ -93,7 +112,7 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.time() - started
         print(table)
         print(f"[{name}: {elapsed:.1f}s wall]\n")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

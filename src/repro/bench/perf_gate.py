@@ -1,0 +1,258 @@
+"""Perf gate: quick hot-path benchmarks with a regression gate.
+
+``python -m repro.bench perf-gate --quick`` measures the inner loops this
+repository's throughput hangs on and compares them against a checked-in
+baseline snapshot:
+
+* **micro** — OR-Set ``equivalent``-vs-LUB and ``join_all`` over a 5-ack
+  quorum of 1000-element payloads (the query fast path's dominant shape),
+  and keyed-replica timer routing at 10k keys (ops/s and events/s);
+* **end-to-end** — a short simulated CRDT-Paxos run (32 closed-loop
+  clients, 90 % reads) reporting ops/s plus p50/p99 read latency, and the
+  same run with 5 ms batching and a pipelined proposer.
+
+Results are written to ``BENCH_PR1.json`` at the repository root so every
+later perf PR has a trajectory to compare against.  The gate **fails**
+(non-zero exit) when any gated throughput metric drops more than
+``TOLERANCE`` (20 %) below the baseline in
+``benchmarks/perf_gate_baseline.json``.  Baseline values are recorded
+conservatively (well under the measured numbers on the reference machine)
+so the gate flags real regressions, not scheduler noise; latencies are
+recorded for the trajectory but not gated — they are far too jittery on
+shared CI hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import replace
+from typing import Callable
+
+from repro.bench.calibration import (
+    crdt_paxos_config,
+    paper_latency,
+    service_model_for,
+)
+from repro.core.keyspace import KeyedCrdtReplica
+from repro.crdt.base import join_all
+from repro.crdt.gcounter import GCounter
+from repro.crdt.orset import ORSet
+from repro.workload.runner import run_workload
+from repro.workload.spec import WorkloadSpec
+
+#: Allowed fractional drop below a baseline value before the gate fails.
+TOLERANCE = 0.20
+
+#: Metrics the gate enforces (all higher-is-better rates).
+GATED_METRICS = (
+    "orset_equivalent_vs_lub_ops_s",
+    "orset_join_all_ops_s",
+    "keyed_timer_events_s",
+    "e2e_read_heavy_ops_s",
+    "e2e_pipelined_ops_s",
+)
+
+
+def repo_root() -> pathlib.Path:
+    override = os.environ.get("REPRO_BENCH_ROOT")
+    if override:
+        return pathlib.Path(override)
+    # src/repro/bench/perf_gate.py → repository root three levels up.
+    return pathlib.Path(__file__).resolve().parents[3]
+
+
+def baseline_path() -> pathlib.Path:
+    return repo_root() / "benchmarks" / "perf_gate_baseline.json"
+
+
+def output_path() -> pathlib.Path:
+    return repo_root() / "BENCH_PR1.json"
+
+
+# ----------------------------------------------------------------------
+# Micro benchmarks
+# ----------------------------------------------------------------------
+def best_of_seconds(
+    fn: Callable[[], object], repeats: int = 5, iters: int = 50
+) -> float:
+    """Best-of-``repeats`` mean seconds per call of ``fn`` over ``iters``
+    loops.  Shared with ``benchmarks/test_crdt_micro.py`` so the pytest
+    speedup gates and this harness time the exact same way."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, (time.perf_counter() - started) / iters)
+    return best
+
+
+def _rate(fn: Callable[[], object], repeats: int = 5, iters: int = 50) -> float:
+    """Best-of-``repeats`` calls/second of ``fn`` over ``iters`` loops."""
+    return 1.0 / best_of_seconds(fn, repeats=repeats, iters=iters)
+
+
+def build_quorum_acks(elements: int = 1000, acks: int = 5) -> list[ORSet]:
+    """The query fast path's dominant shape: ``acks`` structurally equal
+    but fully distinct OR-Set payloads (distinct frozensets too, as if
+    each came off the wire from a different acceptor).  Shared with the
+    pytest speedup gates in ``benchmarks/test_crdt_micro.py``."""
+    state = ORSet.initial()
+    for i in range(elements):
+        state = state.with_add(f"item-{i}", f"r{i % 3}")
+    return [
+        ORSet(frozenset(set(state.entries)), frozenset(set(state.tombstones)))
+        for _ in range(acks)
+    ]
+
+
+def run_micro() -> dict[str, float]:
+    acks = build_quorum_acks()
+    lub = join_all(acks)
+    metrics = {
+        "orset_join_all_ops_s": _rate(lambda: join_all(acks)),
+        "orset_equivalent_vs_lub_ops_s": _rate(
+            lambda: all(state.equivalent(lub) for state in acks)
+        ),
+    }
+
+    replica = KeyedCrdtReplica("r0", ["r0", "r1", "r2"], lambda key: GCounter.initial())
+    for i in range(10_000):
+        replica.instance(f"key-{i}")
+    timer_key = f"{'key-9999'!r}|flush"
+    metrics["keyed_timer_events_s"] = _rate(
+        lambda: replica.on_timer(timer_key, 0.0), iters=2000
+    )
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# End-to-end benchmarks
+# ----------------------------------------------------------------------
+def run_e2e(quick: bool = True, seed: int = 0) -> dict[str, float]:
+    spec = WorkloadSpec(
+        n_clients=32,
+        read_ratio=0.9,
+        duration=1.2 if quick else 4.0,
+        warmup=0.4 if quick else 1.0,
+        client_timeout=2.0,
+    )
+    metrics: dict[str, float] = {}
+
+    base = run_workload(
+        "crdt-paxos",
+        spec,
+        seed=seed,
+        latency=paper_latency(),
+        service_model=service_model_for("crdt-paxos"),
+        crdt_config=crdt_paxos_config(),
+    )
+    metrics["e2e_read_heavy_ops_s"] = base.throughput().median
+    for kind in ("read", "update"):
+        for p, label in ((50.0, "p50"), (99.0, "p99")):
+            value = base.latency_percentile(kind, p)
+            if value is not None:
+                metrics[f"e2e_{kind}_{label}_s"] = value
+
+    pipelined = run_workload(
+        "crdt-paxos",
+        spec,
+        seed=seed,
+        latency=paper_latency(),
+        service_model=service_model_for("crdt-paxos-batching"),
+        crdt_config=replace(crdt_paxos_config(batching=True), update_pipeline=4),
+    )
+    metrics["e2e_pipelined_ops_s"] = pipelined.throughput().median
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Gate
+# ----------------------------------------------------------------------
+def run_perf_gate(quick: bool = True, seed: int = 0) -> dict[str, float]:
+    metrics = run_micro()
+    metrics.update(run_e2e(quick=quick, seed=seed))
+    return metrics
+
+
+def load_baseline() -> tuple[dict[str, float], list[str]]:
+    """The checked-in baseline metrics, or a gate failure describing why
+    they could not be loaded.
+
+    A gate that cannot find its baseline must fail loudly — silently
+    passing would disable regression detection whenever the root is
+    misconfigured (e.g. a non-editable install or a wrong
+    ``REPRO_BENCH_ROOT``).
+    """
+    try:
+        return json.loads(baseline_path().read_text())["metrics"], []
+    except (FileNotFoundError, KeyError, json.JSONDecodeError) as exc:
+        return {}, [
+            f"baseline snapshot unusable at {baseline_path()} ({exc!r}); "
+            "fix the checked-in benchmarks/perf_gate_baseline.json or "
+            "REPRO_BENCH_ROOT"
+        ]
+
+
+def evaluate_gate(
+    metrics: dict[str, float], baseline: dict[str, float]
+) -> list[str]:
+    """Return human-readable failures for gated metrics below tolerance."""
+    failures = []
+    for name in GATED_METRICS:
+        reference = baseline.get(name)
+        if reference is None or name not in metrics:
+            continue
+        floor = reference * (1.0 - TOLERANCE)
+        if metrics[name] < floor:
+            failures.append(
+                f"{name}: {metrics[name]:,.0f}/s is below the gate floor "
+                f"{floor:,.0f}/s (baseline {reference:,.0f}/s − {TOLERANCE:.0%})"
+            )
+    return failures
+
+
+def render_report(metrics: dict[str, float], failures: list[str]) -> str:
+    lines = ["perf-gate results"]
+    for name in sorted(metrics):
+        value = metrics[name]
+        unit = "s" if name.endswith("_s") and "ops_s" not in name and "events_s" not in name else "/s"
+        if unit == "s":
+            lines.append(f"  {name:<34} {value * 1e3:10.3f} ms")
+        else:
+            lines.append(f"  {name:<34} {value:12,.0f}{unit}")
+    if failures:
+        lines.append("FAILURES:")
+        lines.extend(f"  {failure}" for failure in failures)
+    else:
+        lines.append(f"gate OK (all gated metrics within {TOLERANCE:.0%} of baseline)")
+    return "\n".join(lines)
+
+
+def main(quick: bool = True, seed: int = 0) -> int:
+    """Run the gate, write ``BENCH_PR1.json``, return a process exit code."""
+    started = time.time()
+    metrics = run_perf_gate(quick=quick, seed=seed)
+    elapsed = time.time() - started
+
+    baseline, failures = load_baseline()
+    failures.extend(evaluate_gate(metrics, baseline))
+
+    payload = {
+        "benchmark": "perf-gate",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "wall_seconds": round(elapsed, 2),
+        "tolerance": TOLERANCE,
+        "gated_metrics": list(GATED_METRICS),
+        "metrics": metrics,
+        "gate_failures": failures,
+    }
+    output_path().write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print(render_report(metrics, failures))
+    print(f"[perf-gate: {elapsed:.1f}s wall; wrote {output_path()}]")
+    return 1 if failures else 0

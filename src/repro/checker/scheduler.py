@@ -7,11 +7,17 @@ and replica crash/recovery.  Every run is deterministic under its seed and
 produces a :class:`~repro.checker.history.History` that the §3.1 checkers
 validate.
 
-Timer-driven behaviour (request re-drive, batching cadence) is disabled
-here on purpose — the adversary already controls scheduling, and timers
-would let the protocol paper over orderings we want to expose.  The
-explorer therefore forces ``request_timeout=None`` and ``batching=False``
-on the supplied configuration.
+Timeout-driven re-drives are disabled here on purpose — the adversary
+already controls scheduling, and timeouts would let the protocol paper
+over orderings we want to expose.  The explorer therefore forces
+``request_timeout=None`` on the supplied configuration.
+
+Batching (and with it the pipelined update path) *is* explorable: when
+the supplied config enables ``batching``, flush timers are not discarded
+but pooled per replica and fired by the adversary in uniformly random
+order relative to message deliveries — a far more hostile cadence than
+any real clock.  Timers on crashed replicas are simply withheld until
+recovery (internal state survives a crash in the paper's model).
 """
 
 from __future__ import annotations
@@ -38,25 +44,52 @@ _STEP_EPSILON = 1e-9
 class _DirectRuntime:
     """Zero-latency runtime: handles a delivery synchronously.
 
-    Timer effects are intentionally discarded (see module docstring);
-    sends feed back into the adversarial pool.
+    Sends feed back into the adversarial pool.  Timer effects are
+    discarded unless ``collect_timers`` is set, in which case armed keys
+    sit in :attr:`pending_timers` (delays ignored — the adversary decides
+    when, and whether, a timer fires).
     """
 
-    def __init__(self, sim: Simulator, network: AdversarialNetwork, node: ProtocolNode):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: AdversarialNetwork,
+        node: ProtocolNode,
+        collect_timers: bool = False,
+    ):
         self._sim = sim
         self._network = network
         self.node = node
         self.crashed = False
+        self.collect_timers = collect_timers
+        #: Ordered set of armed timer keys (insertion-ordered for
+        #: deterministic random picks).
+        self.pending_timers: dict[str, None] = {}
         network.register(node.node_id, self)
+
+    def _apply(self, effects) -> None:
+        for dst, message in effects.sends:
+            self._network.send(self.node.node_id, dst, message)
+        if self.collect_timers:
+            for key, _delay in effects.timers:
+                self.pending_timers[key] = None
+            for key in effects.cancels:
+                self.pending_timers.pop(key, None)
 
     def deliver(self, envelope: Envelope) -> None:
         if self.crashed:
             return
-        effects = self.node.on_message(
-            envelope.src, envelope.payload, self._sim.now
+        self._apply(
+            self.node.on_message(envelope.src, envelope.payload, self._sim.now)
         )
-        for dst, message in effects.sends:
-            self._network.send(self.node.node_id, dst, message)
+
+    def fire_timer(self, key: str) -> None:
+        """Adversarially expire one armed timer (no-op while crashed)."""
+        if self.crashed:
+            return
+        self.pending_timers.pop(key, None)
+        self._sim.now += _STEP_EPSILON
+        self._apply(self.node.on_timer(key, self._sim.now))
 
 
 class _RecordingClient:
@@ -127,6 +160,9 @@ class ExplorationReport:
     injections: int
     crashes: int
     recoveries: int
+    timer_fires: int = 0
+    #: Deepest update pipeline any replica reached (1 = stop-and-wait).
+    max_update_pipeline: int = 0
 
     @property
     def all_complete(self) -> bool:
@@ -149,10 +185,12 @@ class InterleavingExplorer:
         self.n_replicas = n_replicas
         self.n_clients = n_clients
         base = config or CrdtPaxosConfig()
+        # Batching is preserved: with it on, flush timers become
+        # adversarially scheduled events (see module docstring), which is
+        # how the pipelined update path gets explored.
         self.config = replace(
             base,
             request_timeout=None,
-            batching=False,
             inclusion_tagger=lambda state, replica: (replica, state.slot(replica)),
         )
 
@@ -183,7 +221,9 @@ class InterleavingExplorer:
             node = CrdtPaxosReplica(
                 replica_id, list(replica_ids), GCounter.initial(), self.config
             )
-            runtimes[replica_id] = _DirectRuntime(sim, network, node)
+            runtimes[replica_id] = _DirectRuntime(
+                sim, network, node, collect_timers=self.config.batching
+            )
         clients = [
             _RecordingClient(sim, network, f"c{i}", history)
             for i in range(self.n_clients)
@@ -196,8 +236,16 @@ class InterleavingExplorer:
         max_crashed = (self.n_replicas - 1) // 2
         crashed: set[str] = set()
         steps = deliveries = injections = crashes = recoveries = 0
+        timer_fires = 0
 
-        while steps < max_steps and (plan or network.pending):
+        def timer_targets() -> list[_DirectRuntime]:
+            return [
+                runtime
+                for runtime in runtimes.values()
+                if runtime.pending_timers and not runtime.crashed
+            ]
+
+        while steps < max_steps and (plan or network.pending or timer_targets()):
             steps += 1
             inject_now = bool(plan) and (
                 network.pending == 0 or rng.random() < 0.25
@@ -229,14 +277,35 @@ class InterleavingExplorer:
                     crashes += 1
                     continue
 
+            targets = timer_targets()
+            if targets and (network.pending == 0 or rng.random() < 0.15):
+                runtime = rng.choice(targets)
+                key = rng.choice(list(runtime.pending_timers))
+                runtime.fire_timer(key)
+                timer_fires += 1
+                continue
+
             if network.deliver_random(drop_probability, duplicate_probability):
                 deliveries += 1
 
         # Heal everything and let the system quiesce so that as many
-        # operations as possible complete before checking.
+        # operations as possible complete before checking.  With batching,
+        # quiescence needs flush timers: alternate firing every armed
+        # timer with a full drain until a fixpoint (the flush timer stops
+        # re-arming once buffers and pipelines are empty).
         for replica_id in crashed:
             runtimes[replica_id].crashed = False
         network.drain(max_deliveries=max_steps)
+        for _ in range(200):
+            fired = False
+            for runtime in runtimes.values():
+                for key in list(runtime.pending_timers):
+                    runtime.fire_timer(key)
+                    fired = True
+                    timer_fires += 1
+            network.drain(max_deliveries=max_steps)
+            if not fired and not network.pending:
+                break
 
         return ExplorationReport(
             history=history,
@@ -245,4 +314,9 @@ class InterleavingExplorer:
             injections=injections,
             crashes=crashes,
             recoveries=recoveries,
+            timer_fires=timer_fires,
+            max_update_pipeline=max(
+                runtime.node.proposer.stats.max_update_pipeline
+                for runtime in runtimes.values()
+            ),
         )

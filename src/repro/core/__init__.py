@@ -29,6 +29,7 @@ from repro.core.messages import (
 )
 from repro.core.replica import CrdtPaxosReplica
 from repro.core.rounds import Round
+from repro.core.router import dispatch_peer_message
 
 __all__ = [
     "ClientQuery",
@@ -38,4 +39,5 @@ __all__ = [
     "QueryDone",
     "Round",
     "UpdateDone",
+    "dispatch_peer_message",
 ]

@@ -51,8 +51,13 @@ class Acceptor:
         return self.state
 
     def handle_merge(self, msg: Merge) -> Merged:
-        """Fold a remote payload into ours by LUB (lines 32–35)."""
-        self.state = self.state.merge(msg.state)
+        """Fold a remote payload into ours by LUB (lines 32–35).
+
+        ``join`` skips the copy when the incoming payload is already
+        subsumed; the round's write marker is bumped regardless, exactly
+        as in the paper's algorithm.
+        """
+        self.state = self.state.join(msg.state)
         self.round = self.round.with_write_id()
         self.merges_handled += 1
         return Merged(request_id=msg.request_id)
@@ -69,7 +74,7 @@ class Acceptor:
         round number.
         """
         if msg.state is not None:
-            self.state = self.state.merge(msg.state)
+            self.state = self.state.join(msg.state)
 
         proposed = msg.round
         if proposed.is_incremental:
@@ -100,7 +105,7 @@ class Acceptor:
         interleaved update or competing prepare has changed it (invariant
         I4 / the ``write`` marker), in which case the proposer must retry.
         """
-        self.state = self.state.merge(msg.state)
+        self.state = self.state.join(msg.state)
         if msg.round == self.round:
             self.votes_granted += 1
             return Voted(request_id=msg.request_id, attempt=msg.attempt)

@@ -37,6 +37,16 @@ class CrdtPaxosConfig:
         Per-proposer update and query batches (§3.6).  Buffered commands
         are applied locally; message count and size are independent of the
         batch size.
+    ``update_pipeline``
+        How many *update* batches one proposer may have in flight at once
+        when batching.  CRDT merges commute and are idempotent, so update
+        batches need no ordering between them — a new batch may be
+        broadcast while earlier ones still await their quorum of MERGED
+        acks, hiding the round-trip latency.  Queries stay single-flight
+        per proposer: interleaving prepare rounds from one proposer would
+        reintroduce the dueling-proposer hazard of the §3.5 liveness
+        argument.  ``1`` (the default) reproduces the paper's
+        stop-and-wait behaviour.
     ``gla_stability``
         §3.4: proposers remember their largest learned state so states
         learned at the same proposer increase monotonically even across
@@ -61,6 +71,7 @@ class CrdtPaxosConfig:
 
     batching: bool = False
     batch_window: float = 0.005
+    update_pipeline: int = 1
     initial_prepare: str = "incremental"
     retry_prepare: str = "incremental"
     retry_backoff: float = 0.0
@@ -80,6 +91,10 @@ class CrdtPaxosConfig:
                 )
         if self.batch_window <= 0:
             raise ConfigurationError("batch_window must be positive")
+        if self.update_pipeline < 1:
+            raise ConfigurationError(
+                f"update_pipeline must be >= 1, got {self.update_pipeline}"
+            )
         if self.retry_backoff < 0:
             raise ConfigurationError("retry_backoff must be non-negative")
         if self.request_timeout is not None and self.request_timeout <= 0:

@@ -11,9 +11,16 @@ not per store.
 
 Wire format: client messages and the inter-replica protocol messages are
 wrapped in :class:`Keyed` envelopes carrying the key; unwrapped handling
-is delegated to the per-key :class:`~repro.core.replica.CrdtPaxosReplica`
-machinery.  Memory overhead per key is the CRDT payload plus one round —
-the paper's logless claim, multiplied by keys, with no log anywhere.
+is delegated to the shared peer-message router
+(:mod:`repro.core.router`) against the per-key acceptor/proposer pair.
+Memory overhead per key is the CRDT payload plus one round — the paper's
+logless claim, multiplied by keys, with no log anywhere.
+
+Scale notes: timer routing is O(1) in the number of keys (a
+namespace→key index, maintained on first touch, replaces any scan over
+the keyspace), and :meth:`Keyed.wire_size` memoizes like
+:class:`~repro.net.message.Envelope` does, so broadcasting one keyed
+payload to many peers sizes the inner CRDT once.
 """
 
 from __future__ import annotations
@@ -25,13 +32,16 @@ from repro.core.acceptor import Acceptor
 from repro.core.config import CrdtPaxosConfig
 from repro.core.messages import ClientQuery, ClientUpdate
 from repro.core.proposer import Proposer
+from repro.core.router import dispatch_peer_message
 from repro.crdt.base import StateCRDT
 from repro.net.message import wire_size as _wire_size
 from repro.net.node import Effects, ProtocolNode
 from repro.quorum.system import MajorityQuorum, QuorumSystem
 
 
-@dataclass(frozen=True, slots=True)
+# No ``slots=True``: the memoized wire size lives in the instance dict
+# (same pattern as Envelope.size_bytes).
+@dataclass(frozen=True)
 class Keyed:
     """Wrapper routing any protocol or client message to one key."""
 
@@ -45,7 +55,14 @@ class Keyed:
         return getattr(self.message, "request_id", None)
 
     def wire_size(self) -> int:
-        return _wire_size(self.key) + _wire_size(self.message)
+        """Total size of key + inner message; memoized — one Keyed object
+        is broadcast to every peer, and sizing a large CRDT payload per
+        envelope was a top profile entry at 10k-key scale."""
+        cached = self.__dict__.get("_size")
+        if cached is None:
+            cached = _wire_size(self.key) + _wire_size(self.message)
+            object.__setattr__(self, "_size", cached)
+        return cached
 
 
 class _KeyInstance:
@@ -101,6 +118,9 @@ class KeyedCrdtReplica(ProtocolNode):
         self._initial_state_for = initial_state_for
         self._proposer_index = sorted(peers).index(node_id)
         self._instances: dict[Hashable, _KeyInstance] = {}
+        #: Timer-namespace index: ``repr(key)`` → key.  Keeps
+        #: :meth:`on_timer` O(1) in the number of keys.
+        self._namespaces: dict[str, Hashable] = {}
 
     # ------------------------------------------------------------------
     def instance(self, key: Hashable) -> _KeyInstance:
@@ -118,6 +138,9 @@ class KeyedCrdtReplica(ProtocolNode):
             config=self.config,
         )
         self._instances[key] = created
+        # First registration wins, matching the old first-match scan for
+        # (pathological) distinct keys sharing a repr.
+        self._namespaces.setdefault(repr(key), key)
         return created
 
     def keys(self) -> list[Hashable]:
@@ -152,61 +175,39 @@ class KeyedCrdtReplica(ProtocolNode):
     def _on_peer_message(
         self, instance: _KeyInstance, src: str, inner: Any, now: float
     ) -> Effects:
-        from repro.core.messages import (
-            Merge,
-            Merged,
-            Prepare,
-            PrepareAck,
-            PrepareNack,
-            Vote,
-            Voted,
-            VoteNack,
+        effects = dispatch_peer_message(
+            instance.acceptor, instance.proposer, src, inner, now
         )
-
-        if isinstance(inner, Merge):
-            effects = Effects()
-            effects.send(src, instance.acceptor.handle_merge(inner))
-            return effects
-        if isinstance(inner, Prepare):
-            effects = Effects()
-            effects.send(src, instance.acceptor.handle_prepare(inner))
-            return effects
-        if isinstance(inner, Vote):
-            effects = Effects()
-            effects.send(src, instance.acceptor.handle_vote(inner))
-            return effects
-        if isinstance(inner, Merged):
-            return instance.proposer.on_merged(src, inner, now)
-        if isinstance(inner, PrepareAck):
-            return instance.proposer.on_prepare_ack(src, inner, now)
-        if isinstance(inner, PrepareNack):
-            return instance.proposer.on_prepare_nack(src, inner, now)
-        if isinstance(inner, Voted):
-            return instance.proposer.on_voted(src, inner, now)
-        if isinstance(inner, VoteNack):
-            return instance.proposer.on_vote_nack(src, inner, now)
-        return Effects()
+        return effects if effects is not None else Effects()
 
     def on_timer(self, key: str, now: float) -> Effects:
-        # Timer keys are namespaced "<repr(key)>|<proposer key>".
+        # Timer keys are namespaced "<repr(key)>|<proposer key>"; the
+        # namespace index resolves them in O(1) regardless of keyspace size.
         namespace, _, proposer_key = key.partition("|")
-        for candidate, instance in self._instances.items():
-            if repr(candidate) == namespace:
-                return self._wrap(
-                    candidate, instance.proposer.on_timer(proposer_key, now)
-                )
-        return Effects()
+        candidate = self._namespaces.get(namespace)
+        if candidate is None:
+            return Effects()
+        instance = self._instances[candidate]
+        return self._wrap(candidate, instance.proposer.on_timer(proposer_key, now))
 
     # ------------------------------------------------------------------
     def _wrap(self, key: Hashable, effects: Effects) -> Effects:
         """Wrap outgoing sends in Keyed envelopes and namespace timers.
 
         Replies to clients are wrapped too, so client code can route by
-        key; adapters unwrap transparently.
+        key; adapters unwrap transparently.  A broadcast lists the same
+        inner message once per destination; sharing one ``Keyed`` wrapper
+        across those sends is what makes its ``wire_size`` memo pay — the
+        payload is sized once per broadcast instead of once per envelope.
         """
         wrapped = Effects()
+        shared: dict[int, Keyed] = {}
         for dst, message in effects.sends:
-            wrapped.send(dst, Keyed(key=key, message=message))
+            keyed = shared.get(id(message))
+            if keyed is None:
+                keyed = Keyed(key=key, message=message)
+                shared[id(message)] = keyed
+            wrapped.send(dst, keyed)
         for timer_key, delay in effects.timers:
             wrapped.set_timer(f"{key!r}|{timer_key}", delay)
         for timer_key in effects.cancels:

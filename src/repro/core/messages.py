@@ -16,11 +16,14 @@ from typing import Any
 
 from repro.core.rounds import Round
 from repro.crdt.base import QueryOp, StateCRDT, UpdateOp
+from repro.net.message import cached_wire_size as _cached_wire_size
 from repro.net.message import wire_size as _wire_size
 
 
 def _state_size(state: StateCRDT | None) -> int:
-    return 0 if state is None else state.wire_size()
+    # Memoized: one MERGE/PREPARE payload is broadcast to every peer and
+    # its envelope sized per destination.
+    return 0 if state is None else _cached_wire_size(state)
 
 
 # ----------------------------------------------------------------------

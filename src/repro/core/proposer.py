@@ -19,6 +19,21 @@ message count and size are independent of batch size.
 Commands are grouped into batches even when batching is off (a batch of
 one); this gives a single code path and matches the paper's observation
 that the batched and unbatched protocols are the same machine.
+
+**Update pipelining** (``config.update_pipeline``): because CRDT merges
+commute and are idempotent, update batches from one proposer need no
+ordering between themselves — the proposer may broadcast a new MERGE batch
+while up to ``update_pipeline - 1`` earlier batches still await their
+quorum of acks, hiding the merge round trip instead of stalling a full
+batch window per in-flight batch.  Queries remain single-flight per
+proposer (the §3.5 liveness argument relies on one prepare front per
+proposer).  ``ProposerStats`` exposes the observed pipeline depth.
+
+**Hot-path accumulation**: quorum folds use
+:class:`~repro.crdt.base.MergeAccumulator` and the payloads' digest/join
+short-circuits, so a quorum acking with equal payloads is folded without
+copying and compared against the LUB in O(1) instead of two full lattice
+passes per ack.
 """
 
 from __future__ import annotations
@@ -41,7 +56,13 @@ from repro.core.messages import (
     VoteNack,
 )
 from repro.core.rounds import Round, RoundIdGenerator
-from repro.crdt.base import QueryOp, StateCRDT, UpdateOp, join_all
+from repro.crdt.base import (
+    MergeAccumulator,
+    QueryOp,
+    StateCRDT,
+    UpdateOp,
+    join_all,
+)
 from repro.net.node import Effects
 from repro.quorum.system import QuorumSystem
 
@@ -73,7 +94,7 @@ class _UpdateBatch:
 class _QueryBatch:
     batch_id: str
     items: list[_QueryItem]
-    accumulated: StateCRDT
+    accumulator: MergeAccumulator
     attempt: int = 0
     phase: str = "prepare"  # prepare | vote | backoff
     sent_round: Round | None = None
@@ -83,6 +104,11 @@ class _QueryBatch:
     max_round_number: int = 0
     round_trips: int = 0
     retry_kind: str = "incremental"
+
+    @property
+    def accumulated(self) -> StateCRDT:
+        """The LUB of everything this batch has observed so far."""
+        return self.accumulator.value
 
 
 class ProposerStats:
@@ -96,6 +122,10 @@ class ProposerStats:
         self.prepare_retries = 0
         self.vote_retries = 0
         self.timeouts = 0
+        #: Deepest concurrent-update-batch pipeline observed.
+        self.max_update_pipeline = 0
+        #: Flush ticks where a full pipeline window held a batch back.
+        self.pipeline_stalls = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(vars(self))
@@ -126,7 +156,7 @@ class Proposer:
         self._query_batches: dict[str, _QueryBatch] = {}
         self._update_buffer: list[_UpdateItem] = []
         self._query_buffer: list[_QueryItem] = []
-        self._update_in_flight = False
+        self._updates_in_flight = 0
         self._query_in_flight = False
         self._flush_armed = False
         self._flush_ever_armed = False
@@ -186,16 +216,19 @@ class Proposer:
     def on_flush_timer(self, now: float) -> Effects:
         self._flush_armed = False
         effects = Effects()
-        if self._update_buffer and not self._update_in_flight:
-            items, self._update_buffer = self._update_buffer, []
-            effects.merge(self._start_update_batch(items))
+        if self._update_buffer:
+            if self._updates_in_flight < self._config.update_pipeline:
+                items, self._update_buffer = self._update_buffer, []
+                effects.merge(self._start_update_batch(items))
+            else:
+                self.stats.pipeline_stalls += 1
         if self._query_buffer and not self._query_in_flight:
             items, self._query_buffer = self._query_buffer, []
             effects.merge(self._start_query_batch(items))
         if (
             self._update_buffer
             or self._query_buffer
-            or self._update_in_flight
+            or self._updates_in_flight
             or self._query_in_flight
         ):
             self._ensure_flush_timer(effects)
@@ -209,7 +242,7 @@ class Proposer:
         batch_id = f"{self.node_id}/u{self._batch_counter}"
         effects = Effects()
 
-        delta: StateCRDT | None = None
+        deltas = MergeAccumulator()
         tags: list[Any] = []
         for item in items:
             before = self._acceptor.state
@@ -219,14 +252,16 @@ class Proposer:
             else:
                 tags.append(None)
             if self._config.delta_merge:
-                piece = item.op.delta(before, after, self.node_id)
-                delta = piece if delta is None else delta.merge(piece)
+                deltas.add(item.op.delta(before, after, self.node_id))
 
-        payload = delta if self._config.delta_merge else self._acceptor.state
+        payload = deltas.value if self._config.delta_merge else self._acceptor.state
         assert payload is not None
         batch = _UpdateBatch(batch_id, items, payload, tags, acked={self.node_id})
         self._update_batches[batch_id] = batch
-        self._update_in_flight = True
+        self._updates_in_flight += 1
+        self.stats.max_update_pipeline = max(
+            self.stats.max_update_pipeline, self._updates_in_flight
+        )
 
         if self._quorum.is_quorum(batch.acked):
             # Degenerate single-replica group: already durable.
@@ -258,7 +293,7 @@ class Proposer:
                 UpdateDone(request_id=item.request_id, inclusion_tag=tag),
             )
             self.stats.updates_completed += 1
-        self._update_in_flight = False
+        self._updates_in_flight -= 1
         return effects
 
     # ------------------------------------------------------------------
@@ -270,7 +305,7 @@ class Proposer:
         batch = _QueryBatch(
             batch_id=batch_id,
             items=items,
-            accumulated=self._acceptor.state,
+            accumulator=MergeAccumulator(self._acceptor.state),
         )
         self._query_batches[batch_id] = batch
         self._query_in_flight = True
@@ -328,7 +363,7 @@ class Proposer:
         if batch is None or batch.phase != "prepare":
             return Effects()
         batch.acks[src] = (msg.round, msg.state)
-        batch.accumulated = batch.accumulated.merge(msg.state)
+        batch.accumulator.add(msg.state)
         batch.max_round_number = max(batch.max_round_number, msg.round.number)
         if not self._quorum.is_quorum(batch.acks.keys()):
             return Effects()
@@ -338,7 +373,7 @@ class Proposer:
         """Lines 11–21: act on the first quorum of ACKs."""
         states = [state for _, state in batch.acks.values()]
         rounds = [round_ for round_, _ in batch.acks.values()]
-        lub = join_all(states)
+        lub = join_all(states, source="prepare-quorum ack states")
 
         if self._config.fast_path and all(s.equivalent(lub) for s in states):
             # (a) learned by consistent quorum — the second phase is skipped.
@@ -374,7 +409,7 @@ class Proposer:
         batch = self._current(msg.request_id, msg.attempt)
         if batch is None or batch.phase != "prepare":
             return Effects()
-        batch.accumulated = batch.accumulated.merge(msg.state)
+        batch.accumulator.add(msg.state)
         batch.max_round_number = max(batch.max_round_number, msg.round.number)
         self.stats.prepare_retries += 1
         return self._retry(batch, self._config.retry_prepare)
@@ -393,7 +428,7 @@ class Proposer:
         batch = self._current(msg.request_id, msg.attempt)
         if batch is None or batch.phase != "vote":
             return Effects()
-        batch.accumulated = batch.accumulated.merge(msg.state)
+        batch.accumulator.add(msg.state)
         batch.max_round_number = max(batch.max_round_number, msg.round.number)
         self.stats.vote_retries += 1
         return self._retry(batch, self._config.retry_prepare)

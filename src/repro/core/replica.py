@@ -14,19 +14,9 @@ from typing import Any
 
 from repro.core.acceptor import Acceptor
 from repro.core.config import CrdtPaxosConfig
-from repro.core.messages import (
-    ClientQuery,
-    ClientUpdate,
-    Merge,
-    Merged,
-    Prepare,
-    PrepareAck,
-    PrepareNack,
-    Vote,
-    Voted,
-    VoteNack,
-)
+from repro.core.messages import ClientQuery, ClientUpdate
 from repro.core.proposer import Proposer
+from repro.core.router import dispatch_peer_message
 from repro.crdt.base import StateCRDT
 from repro.net.node import Effects, ProtocolNode
 from repro.quorum.system import MajorityQuorum, QuorumSystem
@@ -90,31 +80,11 @@ class CrdtPaxosReplica(ProtocolNode):
         if isinstance(message, ClientQuery):
             return self.proposer.client_query(src, message.request_id, message.op, now)
 
-        # Peer requests → acceptor; its reply goes straight back to src.
-        if isinstance(message, Merge):
-            effects = Effects()
-            effects.send(src, self.acceptor.handle_merge(message))
+        # Peer traffic → the shared router (acceptor requests are answered
+        # straight back to src; replies feed the proposer's bookkeeping).
+        effects = dispatch_peer_message(self.acceptor, self.proposer, src, message, now)
+        if effects is not None:
             return effects
-        if isinstance(message, Prepare):
-            effects = Effects()
-            effects.send(src, self.acceptor.handle_prepare(message))
-            return effects
-        if isinstance(message, Vote):
-            effects = Effects()
-            effects.send(src, self.acceptor.handle_vote(message))
-            return effects
-
-        # Peer replies → proposer.
-        if isinstance(message, Merged):
-            return self.proposer.on_merged(src, message, now)
-        if isinstance(message, PrepareAck):
-            return self.proposer.on_prepare_ack(src, message, now)
-        if isinstance(message, PrepareNack):
-            return self.proposer.on_prepare_nack(src, message, now)
-        if isinstance(message, Voted):
-            return self.proposer.on_voted(src, message, now)
-        if isinstance(message, VoteNack):
-            return self.proposer.on_vote_nack(src, message, now)
 
         # Unknown messages are dropped, like any unreliable channel would.
         return Effects()

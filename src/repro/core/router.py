@@ -1,0 +1,77 @@
+"""Shared peer-message dispatch for CRDT Paxos replicas.
+
+Both deployment shapes — the single-instance
+:class:`~repro.core.replica.CrdtPaxosReplica` and the per-key instances
+hosted by :class:`~repro.core.keyspace.KeyedCrdtReplica` — route the same
+eight peer message types to the same acceptor/proposer handlers.  This
+module is the one copy of that table, dispatched O(1) by message type:
+
+* acceptor *requests* (MERGE / PREPARE / VOTE) are handled by the acceptor
+  and the reply is sent straight back to the source;
+* proposer *replies* (MERGED / PREPARE-ACK / PREPARE-NACK / VOTED /
+  VOTE-NACK) feed the proposer's quorum bookkeeping.
+
+Unknown messages yield ``None`` so callers can drop them, like any
+unreliable channel would.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.acceptor import Acceptor
+from repro.core.messages import (
+    Merge,
+    Merged,
+    Prepare,
+    PrepareAck,
+    PrepareNack,
+    Vote,
+    Voted,
+    VoteNack,
+)
+from repro.core.proposer import Proposer
+from repro.net.node import Effects
+
+
+def _acceptor_request(handler_name: str):
+    def handle(
+        acceptor: Acceptor, proposer: Proposer, src: str, message: Any, now: float
+    ) -> Effects:
+        effects = Effects()
+        effects.send(src, getattr(acceptor, handler_name)(message))
+        return effects
+
+    return handle
+
+
+def _proposer_reply(handler_name: str):
+    def handle(
+        acceptor: Acceptor, proposer: Proposer, src: str, message: Any, now: float
+    ) -> Effects:
+        return getattr(proposer, handler_name)(src, message, now)
+
+    return handle
+
+
+#: message type → handler(acceptor, proposer, src, message, now) -> Effects
+PEER_DISPATCH = {
+    Merge: _acceptor_request("handle_merge"),
+    Prepare: _acceptor_request("handle_prepare"),
+    Vote: _acceptor_request("handle_vote"),
+    Merged: _proposer_reply("on_merged"),
+    PrepareAck: _proposer_reply("on_prepare_ack"),
+    PrepareNack: _proposer_reply("on_prepare_nack"),
+    Voted: _proposer_reply("on_voted"),
+    VoteNack: _proposer_reply("on_vote_nack"),
+}
+
+
+def dispatch_peer_message(
+    acceptor: Acceptor, proposer: Proposer, src: str, message: Any, now: float
+) -> Effects | None:
+    """Route one peer message; ``None`` means the type is not a peer message."""
+    handler = PEER_DISPATCH.get(type(message))
+    if handler is None:
+        return None
+    return handler(acceptor, proposer, src, message, now)

@@ -32,6 +32,7 @@ submit update *functions* ``f_u ∈ U`` and query *functions* ``f_q ∈ Q``.
 
 from repro.crdt.base import (
     IdentityQuery,
+    MergeAccumulator,
     QueryOp,
     StateCRDT,
     UpdateOp,
@@ -93,6 +94,7 @@ __all__ = [
     "LWWRegister",
     "LWWSet",
     "LWWValue",
+    "MergeAccumulator",
     "MaxRegister",
     "MaxSet",
     "MaxValue",

@@ -15,10 +15,14 @@ paper, which a G-Counter increment needs to pick its slot.
 
 from __future__ import annotations
 
+import itertools
 from abc import ABC, abstractmethod
 from typing import Any, Iterable, TypeVar
 
 S = TypeVar("S", bound="StateCRDT")
+
+#: Process-wide monotonic stamp source (see :meth:`StateCRDT.version_stamp`).
+_next_stamp = itertools.count(1).__next__
 
 
 class StateCRDT(ABC):
@@ -32,6 +36,19 @@ class StateCRDT(ABC):
       (the LUB is an upper bound);
     * ``merge(a, b)`` is the *least* upper bound: it is ``⊑`` any other
       common upper bound.
+
+    Payloads are immutable value objects, which makes two cheap identity
+    facts available to the hot paths (quorum evaluation, LUB folding):
+
+    * :meth:`digest` — a cached structural digest.  Equal payloads always
+      have equal digests, so an unequal digest proves two payloads differ
+      structurally in O(1) (after the first computation); an equal digest
+      plus ``==`` proves equivalence without two ``compare`` passes.
+    * :meth:`version_stamp` — a process-wide monotonic identity stamp.
+      Unlike ``id()`` it is never reused after garbage collection, so
+      accumulators may memoize "already folded this payload object" by
+      stamp.  (Named ``version_stamp`` rather than ``stamp`` so payloads
+      with a ``stamp`` field, e.g. the LWW register, do not shadow it.)
     """
 
     @abstractmethod
@@ -46,16 +63,126 @@ class StateCRDT(ABC):
     def wire_size(self) -> int:
         """Approximate serialized size in bytes, for traffic accounting."""
 
+    # ------------------------------------------------------------------
+    # Identity helpers (hot-path short-circuits)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Strip the identity caches when (de)serializing or deep-copying.
+
+        Digests are built on ``hash()`` (salted per process) and version
+        stamps are process-local counters; shipping either to another
+        process would poison its caches.  No transport serializes payloads
+        today — this keeps that future-safe.
+        """
+        state = super().__getstate__()
+        if isinstance(state, tuple) and state and isinstance(state[0], dict):
+            filtered = {
+                key: value
+                for key, value in state[0].items()
+                if not key.startswith("_crdt_")
+            }
+            return (filtered or None, *state[1:])
+        return state
+
+    def digest(self) -> int:
+        """A cached structural digest of this (immutable) payload.
+
+        Computed once per object; payloads that are ``==`` have equal
+        digests.  The converse does not hold (hashes collide), so digest
+        equality is always confirmed with ``==`` before it is trusted, and
+        digest *inequality* is never taken to mean non-equivalence — a
+        lattice may hold equivalent-but-unequal payloads (e.g. a zero
+        counter slot), for which :meth:`equivalent` still runs the full
+        two-pass ``compare``.
+        """
+        cached = self.__dict__.get("_crdt_digest")
+        if cached is None:
+            try:
+                cached = hash(self)
+            except TypeError:
+                # Unhashable payloads fall back to an identity digest:
+                # fast-path equality then only triggers on the same object.
+                cached = self.version_stamp()
+            object.__setattr__(self, "_crdt_digest", cached)
+        return cached
+
+    def version_stamp(self) -> int:
+        """A monotonic identity stamp, assigned lazily on first access.
+
+        Distinct payload objects always carry distinct stamps, and stamps
+        strictly increase in assignment order — a GC-safe substitute for
+        ``id()`` in memoization keys (:class:`MergeAccumulator`).
+        """
+        cached = self.__dict__.get("_crdt_stamp")
+        if cached is None:
+            cached = _next_stamp()
+            object.__setattr__(self, "_crdt_stamp", cached)
+        return cached
+
+    def same_payload(self: S, other: S) -> bool:
+        """True for the same object or structurally equal payloads.
+
+        The digest check makes the common negative case O(1) once both
+        digests are cached; a positive digest match is confirmed by ``==``.
+        Because payloads are immutable, a confirmed equality is memoized
+        under the partner's :meth:`version_stamp` (bounded per object), so
+        re-comparing the same pair — every ack of a read-heavy workload
+        against an unchanged acceptor state — is O(1) after the first hit.
+        """
+        if self is other:
+            return True
+        if type(self) is not type(other) or self.digest() != other.digest():
+            return False
+        known_equal = self.__dict__.get("_crdt_eq_stamps")
+        other_stamp = other.version_stamp()
+        if known_equal is not None and other_stamp in known_equal:
+            return True
+        if self != other:
+            return False
+        for payload, partner_stamp in (
+            (self, other_stamp),
+            (other, self.version_stamp()),
+        ):
+            cache = payload.__dict__.get("_crdt_eq_stamps")
+            if cache is None:
+                cache = set()
+                object.__setattr__(payload, "_crdt_eq_stamps", cache)
+            if len(cache) < 64:  # bound the memo on pathological churn
+                cache.add(partner_stamp)
+        return True
+
     def equivalent(self: S, other: S) -> bool:
         """Payload equivalence: ``self ⊑ other`` and ``other ⊑ self``.
 
         Two equivalent payloads answer every query identically (§2.2).
+        Identity and structural equality short-circuit the two ``compare``
+        passes — the dominant case on the query fast path, where a quorum
+        of acceptors acks with identical payloads.
         """
+        if self.same_payload(other):
+            return True
         return self.compare(other) and other.compare(self)
 
     def comparable(self: S, other: S) -> bool:
         """True iff the two payloads are ordered either way."""
         return self.compare(other) or other.compare(self)
+
+    def join(self: S, other: S) -> S:
+        """``merge`` with copy-avoiding short-circuits.
+
+        Returns ``self`` (or ``other``) unchanged whenever one side already
+        subsumes the other, so folding a quorum of equal payloads performs
+        no allocation at all.  Semantically identical to :meth:`merge`.
+        """
+        if other is self:
+            return self
+        if self.same_payload(other):
+            return self
+        if other.compare(self):
+            return self
+        if self.compare(other):
+            return other
+        return self.merge(other)
 
 
 def equivalent(a: StateCRDT, b: StateCRDT) -> bool:
@@ -63,16 +190,78 @@ def equivalent(a: StateCRDT, b: StateCRDT) -> bool:
     return a.equivalent(b)
 
 
-def join_all(states: Iterable[S]) -> S:
-    """Fold ``merge`` over a non-empty iterable of payloads."""
-    iterator = iter(states)
-    try:
-        result = next(iterator)
-    except StopIteration:
-        raise ValueError("join_all requires at least one state") from None
-    for state in iterator:
-        result = result.merge(state)
+def join_all(states: Iterable[S], *, source: str = "join_all") -> S:
+    """Fold the LUB over a non-empty iterable of payloads.
+
+    Uses :meth:`StateCRDT.join`, so already-subsumed payloads are skipped
+    instead of re-copied — a fold over n equal payloads returns the first
+    object untouched.  ``source`` names the caller's iterable in the error
+    raised for empty input.
+    """
+    result: S | None = None
+    for state in states:
+        result = state if result is None else result.join(state)
+    if result is None:
+        raise ValueError(
+            f"{source} requires at least one state, but the iterable was empty"
+        )
     return result
+
+
+class MergeAccumulator:
+    """Copy-on-write builder for the LUB of a stream of payloads.
+
+    Used on the query fast path (one fold per PREPARE ack) and for delta
+    folding in update batches.  Three properties make it cheaper than a
+    naive ``merge`` chain:
+
+    * the first payload is adopted as-is (no copy);
+    * each further payload is folded with :meth:`StateCRDT.join`, so a
+      payload the current value already subsumes costs one ``compare``
+      pass and zero allocations;
+    * payload objects already folded once (tracked by their GC-safe
+      :meth:`StateCRDT.version_stamp`) are skipped outright — duplicated acks are
+      free.  This is sound because the accumulated value only ever grows.
+    """
+
+    __slots__ = ("_value", "_folded")
+
+    def __init__(self, initial: StateCRDT | None = None) -> None:
+        self._value: StateCRDT | None = None
+        self._folded: set[int] = set()
+        if initial is not None:
+            self.add(initial)
+
+    @property
+    def value(self) -> StateCRDT:
+        if self._value is None:
+            raise ValueError("MergeAccumulator holds no payload yet")
+        return self._value
+
+    @property
+    def empty(self) -> bool:
+        return self._value is None
+
+    def add(self, state: StateCRDT) -> StateCRDT:
+        """Fold one payload in; returns the accumulated LUB so far."""
+        value = self._value
+        if value is None:
+            self._value = state
+            self._folded.add(state.version_stamp())
+            return state
+        if state is value:
+            return value
+        mark = state.version_stamp()
+        if mark in self._folded:
+            return value
+        self._folded.add(mark)
+        self._value = value.join(state)
+        return self._value
+
+    def add_all(self, states: Iterable[StateCRDT]) -> StateCRDT:
+        for state in states:
+            self.add(state)
+        return self.value
 
 
 class UpdateOp(ABC):

@@ -60,6 +60,8 @@ class GCounter(StateCRDT):
     # Lattice interface
     # ------------------------------------------------------------------
     def merge(self, other: "GCounter") -> "GCounter":
+        if other is self:
+            return self
         merged = self.as_dict()
         for replica, count in other.entries:
             if count > merged.get(replica, 0):
@@ -67,6 +69,8 @@ class GCounter(StateCRDT):
         return GCounter(tuple(sorted(merged.items())))
 
     def compare(self, other: "GCounter") -> bool:
+        if other is self:
+            return True
         theirs = other.as_dict()
         return all(count <= theirs.get(replica, 0) for replica, count in self.entries)
 

@@ -49,6 +49,8 @@ class GMap(StateCRDT):
 
     # ------------------------------------------------------------------
     def merge(self, other: "GMap") -> "GMap":
+        if other is self:
+            return self
         merged = self.as_dict()
         for key, value in other.entries:
             existing = merged.get(key)
@@ -56,6 +58,8 @@ class GMap(StateCRDT):
         return GMap(tuple(sorted(merged.items(), key=lambda kv: repr(kv[0]))))
 
     def compare(self, other: "GMap") -> bool:
+        if other is self:
+            return True
         theirs = other.as_dict()
         for key, value in self.entries:
             if key not in theirs or not value.compare(theirs[key]):

@@ -104,6 +104,8 @@ class TwoPhaseGraph(StateCRDT):
 
     # ------------------------------------------------------------------
     def merge(self, other: "TwoPhaseGraph") -> "TwoPhaseGraph":
+        if other is self:
+            return self
         return TwoPhaseGraph(
             self.vertices_added | other.vertices_added,
             self.vertices_removed | other.vertices_removed,
@@ -112,6 +114,8 @@ class TwoPhaseGraph(StateCRDT):
         )
 
     def compare(self, other: "TwoPhaseGraph") -> bool:
+        if other is self:
+            return True
         return (
             self.vertices_added <= other.vertices_added
             and self.vertices_removed <= other.vertices_removed

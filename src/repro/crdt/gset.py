@@ -41,9 +41,13 @@ class GSet(StateCRDT):
 
     # ------------------------------------------------------------------
     def merge(self, other: "GSet") -> "GSet":
+        if other is self:
+            return self
         return GSet(self.elements | other.elements)
 
     def compare(self, other: "GSet") -> bool:
+        if other is self:
+            return True
         return self.elements <= other.elements
 
     def wire_size(self) -> int:

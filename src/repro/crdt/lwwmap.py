@@ -78,6 +78,8 @@ class LWWMap(StateCRDT):
 
     # ------------------------------------------------------------------
     def merge(self, other: "LWWMap") -> "LWWMap":
+        if other is self:
+            return self
         merged = self.as_dict()
         for key, (value, stamp) in other.entries:
             if key not in merged or merged[key][1] < stamp:
@@ -85,6 +87,8 @@ class LWWMap(StateCRDT):
         return LWWMap(tuple(sorted(merged.items(), key=lambda kv: repr(kv[0]))))
 
     def compare(self, other: "LWWMap") -> bool:
+        if other is self:
+            return True
         theirs = other.as_dict()
         for key, (_, stamp) in self.entries:
             if key not in theirs or theirs[key][1] < stamp:

@@ -45,9 +45,13 @@ class LWWRegister(StateCRDT):
 
     # ------------------------------------------------------------------
     def merge(self, other: "LWWRegister") -> "LWWRegister":
+        if other is self:
+            return self
         return self if self.stamp >= other.stamp else other
 
     def compare(self, other: "LWWRegister") -> bool:
+        if other is self:
+            return True
         return self.stamp <= other.stamp
 
     def wire_size(self) -> int:

@@ -23,9 +23,13 @@ class MaxRegister(StateCRDT):
         return MaxRegister()
 
     def merge(self, other: "MaxRegister") -> "MaxRegister":
+        if other is self:
+            return self
         return self if self.value >= other.value else other
 
     def compare(self, other: "MaxRegister") -> bool:
+        if other is self:
+            return True
         return self.value <= other.value
 
     def wire_size(self) -> int:

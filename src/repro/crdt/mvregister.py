@@ -62,9 +62,13 @@ class MVRegister(StateCRDT):
 
     # ------------------------------------------------------------------
     def merge(self, other: "MVRegister") -> "MVRegister":
+        if other is self:
+            return self
         return MVRegister(_maximal_entries(self.entries | other.entries))
 
     def compare(self, other: "MVRegister") -> bool:
+        if other is self:
+            return True
         return all(
             any(clock.compare(other_clock) for _, other_clock in other.entries)
             for _, clock in self.entries

@@ -87,12 +87,16 @@ class ORSet(StateCRDT):
 
     # ------------------------------------------------------------------
     def merge(self, other: "ORSet") -> "ORSet":
+        if other is self:
+            return self
         return ORSet(
             self.entries | other.entries,
             self.tombstones | other.tombstones,
         )
 
     def compare(self, other: "ORSet") -> bool:
+        if other is self:
+            return True
         return (
             self.entries <= other.entries
             and self.tombstones <= other.tombstones

@@ -36,12 +36,16 @@ class PNCounter(StateCRDT):
 
     # ------------------------------------------------------------------
     def merge(self, other: "PNCounter") -> "PNCounter":
+        if other is self:
+            return self
         return PNCounter(
             self.positive.merge(other.positive),
             self.negative.merge(other.negative),
         )
 
     def compare(self, other: "PNCounter") -> bool:
+        if other is self:
+            return True
         return self.positive.compare(other.positive) and self.negative.compare(
             other.negative
         )

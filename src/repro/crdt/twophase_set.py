@@ -52,9 +52,13 @@ class TwoPhaseSet(StateCRDT):
 
     # ------------------------------------------------------------------
     def merge(self, other: "TwoPhaseSet") -> "TwoPhaseSet":
+        if other is self:
+            return self
         return TwoPhaseSet(self.added | other.added, self.removed | other.removed)
 
     def compare(self, other: "TwoPhaseSet") -> bool:
+        if other is self:
+            return True
         return self.added <= other.added and self.removed <= other.removed
 
     def wire_size(self) -> int:

@@ -54,6 +54,8 @@ class VectorClock(StateCRDT):
     # Lattice interface
     # ------------------------------------------------------------------
     def merge(self, other: "VectorClock") -> "VectorClock":
+        if other is self:
+            return self
         merged = self.as_dict()
         for replica, count in other.entries:
             if count > merged.get(replica, 0):
@@ -61,6 +63,8 @@ class VectorClock(StateCRDT):
         return VectorClock(tuple(sorted(merged.items())))
 
     def compare(self, other: "VectorClock") -> bool:
+        if other is self:
+            return True
         theirs = other.as_dict()
         return all(count <= theirs.get(replica, 0) for replica, count in self.entries)
 

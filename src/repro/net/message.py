@@ -47,6 +47,28 @@ def wire_size(obj: Any) -> int:
     return 16
 
 
+def cached_wire_size(obj: Any) -> int:
+    """:func:`wire_size` with per-object memoization.
+
+    For immutable objects that expose an instance dict (all CRDT payloads
+    do) the computed size is stored on the object, so broadcasting one
+    payload to N peers — or re-sending it on a timeout re-drive — sizes
+    it once instead of N times.  Wire sizes are structural (no hash
+    salting), so the memo is safe to keep across serialization.
+    """
+    d = getattr(obj, "__dict__", None)
+    if d is None:
+        return wire_size(obj)
+    cached = d.get("_cached_wire_size")
+    if cached is None:
+        cached = wire_size(obj)
+        try:
+            object.__setattr__(obj, "_cached_wire_size", cached)
+        except (AttributeError, TypeError):
+            pass  # slots-only or otherwise unwritable: just recompute
+    return cached
+
+
 @dataclass(frozen=True)
 class Envelope:
     """A routed message: source address, destination address, payload."""

@@ -1,0 +1,72 @@
+"""Unit tests for the perf-gate harness (logic, not timings)."""
+
+import json
+
+from repro.bench import perf_gate
+
+
+class TestGateLogic:
+    def test_within_tolerance_passes(self):
+        baseline = {"orset_join_all_ops_s": 100_000}
+        metrics = {"orset_join_all_ops_s": 81_000}  # -19% < 20% tolerance
+        assert perf_gate.evaluate_gate(metrics, baseline) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        baseline = {"orset_join_all_ops_s": 100_000}
+        metrics = {"orset_join_all_ops_s": 79_000}  # -21%
+        failures = perf_gate.evaluate_gate(metrics, baseline)
+        assert len(failures) == 1
+        assert "orset_join_all_ops_s" in failures[0]
+
+    def test_ungated_metrics_never_fail(self):
+        baseline = {"e2e_read_p99_s": 0.001}
+        metrics = {"e2e_read_p99_s": 10.0}  # terrible, but latency is not gated
+        assert perf_gate.evaluate_gate(metrics, baseline) == []
+
+    def test_missing_baseline_entries_are_skipped(self):
+        assert perf_gate.evaluate_gate({"orset_join_all_ops_s": 1.0}, {}) == []
+
+    def test_report_renders_failures(self):
+        report = perf_gate.render_report({"x_ops_s": 5.0}, ["x_ops_s: too slow"])
+        assert "FAILURES" in report and "too slow" in report
+
+
+class TestBaselineLoading:
+    def test_missing_baseline_is_a_gate_failure(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ROOT", str(tmp_path))
+        baseline, failures = perf_gate.load_baseline()
+        assert baseline == {}
+        assert failures and "baseline snapshot unusable" in failures[0]
+
+    def test_malformed_baseline_is_a_gate_failure(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ROOT", str(tmp_path))
+        (tmp_path / "benchmarks").mkdir()
+        (tmp_path / "benchmarks" / "perf_gate_baseline.json").write_text(
+            '{"no_metrics_key": true}'
+        )
+        baseline, failures = perf_gate.load_baseline()
+        assert baseline == {}
+        assert failures
+
+    def test_checked_in_baseline_loads_cleanly(self):
+        baseline, failures = perf_gate.load_baseline()
+        assert failures == []
+        assert baseline
+
+
+class TestBaselineSnapshot:
+    def test_checked_in_baseline_is_wellformed(self):
+        payload = json.loads(perf_gate.baseline_path().read_text())
+        metrics = payload["metrics"]
+        for name in perf_gate.GATED_METRICS:
+            assert name in metrics, f"baseline missing gated metric {name}"
+            assert metrics[name] > 0
+
+    def test_current_micro_metrics_clear_the_gate(self):
+        """The cheap micro metrics must beat the checked-in floors — if
+        this fails, either the hot path regressed or the baseline needs a
+        justified update."""
+        payload = json.loads(perf_gate.baseline_path().read_text())
+        micro = perf_gate.run_micro()
+        failures = perf_gate.evaluate_gate(micro, payload["metrics"])
+        assert failures == [], failures

@@ -1,0 +1,145 @@
+"""Pipelined update batches (``config.update_pipeline``).
+
+Sans-io unit tests drive flush timers by hand to pin down the window
+accounting; an integration test shows the pipeline actually overlapping
+merge round trips under latency, and that single-flight (the default)
+still behaves exactly like the paper's stop-and-wait proposer.
+"""
+
+import pytest
+
+from repro.core import CrdtPaxosConfig
+from repro.core.messages import ClientUpdate, Merge, Merged, UpdateDone
+from repro.core.replica import CrdtPaxosReplica
+from repro.crdt.gcounter import GCounter, Increment
+from repro.errors import ConfigurationError
+from repro.net.latency import ConstantLatency
+from tests.core.harness import ClusterHarness
+
+PEERS = ["r0", "r1", "r2"]
+
+
+def make_replica(**config_kwargs) -> CrdtPaxosReplica:
+    return CrdtPaxosReplica(
+        "r0", list(PEERS), GCounter.initial(), CrdtPaxosConfig(**config_kwargs)
+    )
+
+
+def sends_of(effects, message_type):
+    return [(dst, msg) for dst, msg in effects.sends if isinstance(msg, message_type)]
+
+
+class TestConfigValidation:
+    def test_zero_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="update_pipeline"):
+            CrdtPaxosConfig(update_pipeline=0)
+
+    def test_default_is_single_flight(self):
+        assert CrdtPaxosConfig().update_pipeline == 1
+
+
+class TestPipelineWindow:
+    def submit(self, replica, request_id):
+        return replica.on_message(
+            "client", ClientUpdate(request_id=request_id, op=Increment()), 0.0
+        )
+
+    def test_window_two_overlaps_batches(self):
+        replica = make_replica(
+            batching=True, batch_window=0.01, update_pipeline=2, request_timeout=None
+        )
+        self.submit(replica, "u1")
+        first = replica.on_timer("flush", 0.01)
+        (batch1,) = {msg.request_id for _, msg in sends_of(first, Merge)}
+        # First batch is still awaiting acks when the next window flushes.
+        self.submit(replica, "u2")
+        second = replica.on_timer("flush", 0.02)
+        (batch2,) = {msg.request_id for _, msg in sends_of(second, Merge)}
+        assert batch2 != batch1
+        assert replica.proposer.stats.max_update_pipeline == 2
+        # Acks complete both, in either order.
+        done2 = replica.on_message("r1", Merged(request_id=batch2), 0.03)
+        assert [msg.request_id for _, msg in sends_of(done2, UpdateDone)] == ["u2"]
+        done1 = replica.on_message("r2", Merged(request_id=batch1), 0.04)
+        assert [msg.request_id for _, msg in sends_of(done1, UpdateDone)] == ["u1"]
+
+    def test_single_flight_stalls_second_batch(self):
+        replica = make_replica(
+            batching=True, batch_window=0.01, update_pipeline=1, request_timeout=None
+        )
+        self.submit(replica, "u1")
+        first = replica.on_timer("flush", 0.01)
+        (batch1,) = {msg.request_id for _, msg in sends_of(first, Merge)}
+        self.submit(replica, "u2")
+        second = replica.on_timer("flush", 0.02)
+        assert not sends_of(second, Merge)  # window full: batch held back
+        assert replica.proposer.stats.pipeline_stalls == 1
+        # Completing the first batch lets the next flush drain the buffer.
+        replica.on_message("r1", Merged(request_id=batch1), 0.03)
+        third = replica.on_timer("flush", 0.03)
+        assert sends_of(third, Merge)
+        assert replica.proposer.stats.max_update_pipeline == 1
+
+    def test_full_window_still_flushes_queries(self):
+        replica = make_replica(
+            batching=True, batch_window=0.01, update_pipeline=1, request_timeout=None
+        )
+        self.submit(replica, "u1")
+        replica.on_timer("flush", 0.01)
+        self.submit(replica, "u2")  # will stall: window of 1 is full
+        from repro.core.messages import ClientQuery, Prepare
+        from repro.crdt.gcounter import GCounterValue
+
+        replica.on_message(
+            "client", ClientQuery(request_id="q1", op=GCounterValue()), 0.015
+        )
+        effects = replica.on_timer("flush", 0.02)
+        assert sends_of(effects, Prepare)  # queries are not starved
+
+
+class TestPipelineIntegration:
+    def run_cluster(self, update_pipeline: int, n_updates: int = 12):
+        # RTT (2 × 40 ms) spans several 10 ms windows, so only a pipeline
+        # window > 1 can keep more than one batch on the wire.
+        harness = ClusterHarness(
+            config=CrdtPaxosConfig(
+                batching=True, batch_window=0.01, update_pipeline=update_pipeline
+            ),
+            latency=ConstantLatency(delay=0.04),
+        )
+        rids = []
+        for i in range(n_updates):
+            rids.append(harness.update("r0"))
+            harness.run(0.012)  # trickle: one update per window
+        harness.run(3.0)
+        assert all(rid in harness.replies for rid in rids)
+        qid = harness.query("r0")
+        harness.run(3.0)
+        assert harness.reply(qid).result == n_updates
+        return harness.replica("r0").proposer.stats
+
+    def test_pipeline_depth_reached_and_correct(self):
+        stats = self.run_cluster(update_pipeline=4)
+        assert stats.max_update_pipeline > 1
+
+    def test_single_flight_never_exceeds_one(self):
+        stats = self.run_cluster(update_pipeline=1)
+        assert stats.max_update_pipeline == 1
+        assert stats.pipeline_stalls > 0
+
+    def test_pipelining_finishes_updates_sooner(self):
+        def completion_count(update_pipeline):
+            harness = ClusterHarness(
+                config=CrdtPaxosConfig(
+                    batching=True, batch_window=0.01, update_pipeline=update_pipeline
+                ),
+                latency=ConstantLatency(delay=0.04),
+            )
+            for i in range(20):
+                harness.update("r0")
+                harness.run(0.012)
+            # Short tail: count what completed without a long drain.
+            harness.run(0.05)
+            return len(harness.replies)
+
+        assert completion_count(8) > completion_count(1)

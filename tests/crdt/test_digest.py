@@ -1,0 +1,190 @@
+"""Digest cache, version stamps, join short-circuits, MergeAccumulator.
+
+The hot-path identity machinery must stay *semantically invisible*: every
+fast path has to agree with the naive two-pass lattice definitions for
+every CRDT type in the registry.  These tests pin that down with the
+reachable-state strategies, plus targeted unit tests for the cache
+discipline itself (determinism, memoization, and "invalidation" — derived
+payloads never inherit a stale digest).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crdt.base import MergeAccumulator, join_all
+from repro.crdt.gcounter import GCounter
+from repro.crdt.orset import ORSet
+from tests.crdt.strategies import (
+    CRDT_NAMES,
+    REPLICAS,
+    initial_of,
+    reachable_state,
+    update_op,
+)
+
+_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+@st.composite
+def state_of_each_type(draw):
+    name = draw(st.sampled_from(CRDT_NAMES))
+    return name, draw(reachable_state(name))
+
+
+@st.composite
+def state_pair_of_each_type(draw):
+    name = draw(st.sampled_from(CRDT_NAMES))
+    return draw(reachable_state(name)), draw(reachable_state(name))
+
+
+class TestDigestCache:
+    @_SETTINGS
+    @given(named=state_of_each_type())
+    def test_digest_is_deterministic_and_cached(self, named):
+        _, state = named
+        first = state.digest()
+        assert state.__dict__.get("_crdt_digest") == first
+        assert state.digest() == first
+
+    @_SETTINGS
+    @given(named=state_of_each_type())
+    def test_equal_payloads_have_equal_digests(self, named):
+        _, state = named
+        clone = dataclasses.replace(state)
+        assert clone is not state
+        assert clone.digest() == state.digest()
+        assert state.same_payload(clone)
+        assert state.equivalent(clone)
+
+    @_SETTINGS
+    @given(named=state_of_each_type(), data=st.data())
+    def test_derived_payload_does_not_inherit_the_cache(self, named, data):
+        """Digest-cache invalidation: an update that changes the payload
+        yields an object with its own (different) digest, never a stale
+        copy of the pre-update digest."""
+        name, before = named
+        before.digest()  # populate the cache on the original
+        op = data.draw(update_op(name))
+        replica = data.draw(st.sampled_from(REPLICAS))
+        after = op.apply(before, replica)
+        if after == before:
+            # No-op updates may return the same (or an equal) payload;
+            # digests must then agree.
+            assert after.digest() == before.digest()
+        else:
+            assert after.__dict__.get("_crdt_digest") is None or after is not before
+            assert after.digest() != before.digest()
+            assert not after.same_payload(before)
+
+    @_SETTINGS
+    @given(named=state_of_each_type())
+    def test_caches_are_stripped_on_serialization(self, named):
+        """Digests (salted hashes) and stamps (process-local counters)
+        must never travel: pickling or deep-copying drops them."""
+        import copy
+        import pickle
+
+        _, state = named
+        state.digest()
+        state.version_stamp()
+        for clone in (pickle.loads(pickle.dumps(state)), copy.deepcopy(state)):
+            assert clone == state
+            assert not any(k.startswith("_crdt_") for k in clone.__dict__)
+            assert clone.equivalent(state)
+
+    def test_version_stamps_are_unique_and_monotonic(self):
+        a = GCounter.of({"r0": 1})
+        b = GCounter.of({"r0": 1})
+        assert a.version_stamp() != b.version_stamp()
+        assert a.version_stamp() < b.version_stamp()
+        assert a.version_stamp() == a.version_stamp()  # stable per object
+
+
+class TestFastPathAgreement:
+    @_SETTINGS
+    @given(pair=state_pair_of_each_type())
+    def test_equivalent_agrees_with_two_pass_definition(self, pair):
+        a, b = pair
+        naive = a.compare(b) and b.compare(a)
+        assert a.equivalent(b) == naive
+
+    @_SETTINGS
+    @given(pair=state_pair_of_each_type())
+    def test_join_is_merge(self, pair):
+        a, b = pair
+        assert a.join(b).equivalent(a.merge(b))
+
+    @_SETTINGS
+    @given(pair=state_pair_of_each_type())
+    def test_join_returns_an_operand_when_ordered(self, pair):
+        a, b = pair
+        joined = a.join(b)
+        if b.compare(a):
+            assert joined is a
+        elif a.compare(b):
+            assert joined in (a, b)
+
+
+class TestJoinAll:
+    def test_empty_iterable_names_the_source(self):
+        with pytest.raises(ValueError, match="prepare acks"):
+            join_all([], source="prepare acks")
+
+    def test_equal_states_fold_to_the_first_object(self):
+        base = ORSet.initial().with_add("x", "r0")
+        copies = [base] + [dataclasses.replace(base) for _ in range(4)]
+        assert join_all(copies) is base
+
+    def test_subsumed_states_are_skipped(self):
+        big = GCounter.of({"r0": 5, "r1": 5})
+        small = GCounter.of({"r0": 1})
+        assert join_all([big, small]) is big
+        assert join_all([small, big]) is big
+
+    @_SETTINGS
+    @given(pair=state_pair_of_each_type())
+    def test_matches_naive_fold(self, pair):
+        a, b = pair
+        assert join_all([a, b]).equivalent(a.merge(b))
+
+
+class TestMergeAccumulator:
+    def test_empty_accumulator_raises(self):
+        acc = MergeAccumulator()
+        assert acc.empty
+        with pytest.raises(ValueError):
+            acc.value
+
+    def test_first_payload_is_adopted_without_copy(self):
+        state = GCounter.of({"r0": 3})
+        acc = MergeAccumulator(state)
+        assert acc.value is state
+
+    def test_duplicate_objects_fold_once(self):
+        state = GCounter.of({"r0": 3})
+        other = GCounter.of({"r1": 2})
+        acc = MergeAccumulator(state)
+        acc.add(other)
+        lub = acc.value
+        acc.add(other)  # duplicated ack: must be free and change nothing
+        assert acc.value is lub
+        assert acc.value.as_dict() == {"r0": 3, "r1": 2}
+
+    @_SETTINGS
+    @given(named=state_of_each_type(), data=st.data())
+    def test_accumulates_the_lub(self, named, data):
+        name, first = named
+        rest = data.draw(st.lists(reachable_state(name), max_size=4))
+        acc = MergeAccumulator(first)
+        for state in rest:
+            acc.add(state)
+        assert acc.value.equivalent(join_all([first, *rest]))
+
+    def test_add_all_over_quorum_of_equal_payloads(self):
+        base = initial_of("or-set").with_add("item", "r0")
+        acks = [base] + [dataclasses.replace(base) for _ in range(4)]
+        acc = MergeAccumulator()
+        assert acc.add_all(acks) is base
