@@ -1,0 +1,104 @@
+"""Keyed store at 100k–1M keys: memory density and timer-routing rails.
+
+The ROADMAP's north star is a store hosting millions of independent
+lattice registers.  Two things have to hold for that to be real:
+
+* **Resident bytes/key must be flyweight.**  Acceptor-only keys (the
+  common case: every key proposes at one home replica and is pure
+  acceptor state at the others) must cost a small multiple of the
+  payload itself — not a private copy of the whole replica machinery.
+  The benchmark compares the flyweight build against ``eager=True``,
+  which reconstructs the pre-flyweight shape (eager proposer, private
+  per-key context and stats, eager namespace entry), and asserts the
+  flyweight is at least 4× denser at 100k keys.
+* **Timer routing must not degrade with keyspace size.**  The 10k-key
+  events/s rail from PR 1 is re-measured at 100k keys; a 10× larger
+  keyspace must stay within 20% of the 10k rail (dict lookups, no
+  scans).
+
+A third, slower check (marked ``slow``) exercises the 1M-key shape so
+the store's big-O story is occasionally validated end to end; the
+asserted bounds live at 100k to keep the default run fast.
+"""
+
+import pytest
+
+from repro.bench.perf_gate import (
+    build_keyed_replica,
+    keyed_resident_bytes_per_key,
+    keyed_timer_rate,
+)
+
+#: The ISSUE-2 acceptance bound: flyweight acceptor-only keys must be at
+#: least this many times denser than eager full instances.
+DENSITY_FACTOR = 4.0
+
+#: Timer throughput at 100k keys must stay within this fraction of the
+#: 10k rail (O(1) routing: a 10× keyspace must not slow the hot tick).
+RAIL_TOLERANCE = 0.20
+
+
+def test_flyweight_density_vs_eager_at_100k_keys():
+    flyweight = keyed_resident_bytes_per_key(100_000, eager=False)
+    eager = keyed_resident_bytes_per_key(100_000, eager=True)
+    assert flyweight * DENSITY_FACTOR <= eager, (
+        f"flyweight acceptor-only keys are only {eager / flyweight:.2f}× denser "
+        f"than eager instances ({flyweight:.0f} vs {eager:.0f} B/key); "
+        f"need ≥{DENSITY_FACTOR}×"
+    )
+
+
+def test_acceptor_only_keys_have_no_proposers():
+    replica = build_keyed_replica(10_000)
+    assert all(
+        replica.instance(f"key-{i}").proposer is None for i in range(0, 10_000, 97)
+    )
+
+
+def test_timer_rail_holds_at_100k_keys():
+    rail_10k = keyed_timer_rate(10_000)
+    rate_100k = keyed_timer_rate(100_000)
+    floor = rail_10k * (1.0 - RAIL_TOLERANCE)
+    assert rate_100k >= floor, (
+        f"keyed timer routing degraded with keyspace size: "
+        f"{rate_100k:,.0f} events/s @100k vs {rail_10k:,.0f} @10k "
+        f"(floor {floor:,.0f})"
+    )
+
+
+def test_eviction_caps_resident_set_at_scale():
+    """With a cap, a long scan over 50k keys keeps the resident set near
+    the cap and every key remains readable (frozen peeks)."""
+    from repro.core.config import CrdtPaxosConfig
+    from repro.core.keyspace import Keyed, KeyedCrdtReplica
+    from repro.core.messages import Merge
+    from repro.crdt.gcounter import GCounter, Increment
+
+    replica = KeyedCrdtReplica(
+        "r0",
+        ["r0", "r1", "r2"],
+        lambda key: GCounter.initial(),
+        CrdtPaxosConfig(keyed_max_resident=1_000),
+    )
+    payload = Increment(1).apply(GCounter.initial(), "r1")
+    for i in range(50_000):
+        replica.on_message(
+            "r1",
+            Keyed(key=f"key-{i}", message=Merge(request_id=f"m{i}", state=payload)),
+            float(i),
+        )
+    assert replica.resident_count() <= 1_100  # cap + eviction hysteresis
+    assert replica.frozen_count() >= 48_000
+    assert replica.evictions >= 48_000
+    # Every key is still readable without rehydration churn.
+    assert replica.state_of("key-0").value() == 1
+    assert replica.state_of("key-49999").value() == 1
+
+
+@pytest.mark.slow
+def test_million_key_shape():
+    """1M acceptor-only keys materialize and route timers; density stays
+    in the same class as at 100k (no superlinear blow-up)."""
+    bytes_100k = keyed_resident_bytes_per_key(100_000)
+    bytes_1m = keyed_resident_bytes_per_key(1_000_000)
+    assert bytes_1m <= bytes_100k * 1.5

@@ -1,27 +1,24 @@
 """Keyed-replica timer routing must be O(1) in the number of keys.
 
-Before this PR, :meth:`KeyedCrdtReplica.on_timer` resolved its namespace
+Before PR 1, :meth:`KeyedCrdtReplica.on_timer` resolved its namespace
 by scanning ``repr(key)`` over every hosted key — at 10k keys that put an
 O(#keys) string-formatting loop on every batch-flush tick.  The namespace
 index makes it a dict lookup; this benchmark asserts the per-call cost no
 longer grows with the keyspace.
+
+Since PR 2 proposers are lazy, so the polled key's proposer is
+materialized explicitly — the timer must route through the real flush
+path, not the proposer-less short-circuit.
 """
 
 import time
 
+from repro.bench.perf_gate import build_keyed_replica
 from repro.core.keyspace import KeyedCrdtReplica
-from repro.crdt.gcounter import GCounter
-
-PEERS = ["r0", "r1", "r2"]
 
 
-def build_replica(n_keys: int) -> KeyedCrdtReplica:
-    replica = KeyedCrdtReplica(
-        "r0", list(PEERS), lambda key: GCounter.initial()
-    )
-    for i in range(n_keys):
-        replica.instance(f"key-{i}")
-    return replica
+def build_replica(n_keys: int, poll_key: str) -> KeyedCrdtReplica:
+    return build_keyed_replica(n_keys, poll_key=poll_key)
 
 
 def per_call_seconds(replica: KeyedCrdtReplica, key: str, iters: int = 2000) -> float:
@@ -36,8 +33,8 @@ def per_call_seconds(replica: KeyedCrdtReplica, key: str, iters: int = 2000) -> 
 
 
 def test_timer_routing_is_o1_in_keys():
-    small = build_replica(100)
-    large = build_replica(10_000)
+    small = build_replica(100, "key-99")
+    large = build_replica(10_000, "key-9999")
     # Route for the *last* key — the worst case of the old linear scan.
     cost_small = per_call_seconds(small, "key-99")
     cost_large = per_call_seconds(large, "key-9999")
@@ -51,6 +48,6 @@ def test_timer_routing_is_o1_in_keys():
 
 
 def test_timer_routing_throughput_at_10k_keys(benchmark):
-    replica = build_replica(10_000)
+    replica = build_replica(10_000, "key-9999")
     timer_key = f"{'key-9999'!r}|flush"
     benchmark(replica.on_timer, timer_key, 0.0)

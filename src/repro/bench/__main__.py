@@ -8,10 +8,12 @@ experiments) and prints the result table, e.g.::
     python -m repro.bench overhead ablations   # several at once
     python -m repro.bench all --seed 7
     python -m repro.bench perf-gate --quick    # hot-path regression gate
+    python -m repro.bench trend                # cross-PR metric deltas
 
-``perf-gate`` is special: it writes ``BENCH_PR1.json`` at the repository
-root and exits non-zero when a gated hot-path metric regresses more than
-20 % against ``benchmarks/perf_gate_baseline.json``.
+``perf-gate`` is special: it writes ``BENCH_PR<N>.json`` at the
+repository root and exits non-zero when a gated hot-path metric regresses
+more than 20 % against ``benchmarks/perf_gate_baseline.json``; ``trend``
+compares every ``BENCH_PR<N>.json`` recorded so far.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from repro.bench import fig3 as _fig3
 from repro.bench import fig4 as _fig4
 from repro.bench import overhead as _overhead
 from repro.bench import perf_gate as _perf_gate
+from repro.bench import trend as _trend
 
 Runner = Callable[[str | None, int], str]
 
@@ -80,7 +83,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        choices=sorted(EXPERIMENTS) + ["all", "perf-gate"],
+        choices=sorted(EXPERIMENTS) + ["all", "perf-gate", "trend"],
         help="which experiment(s) to run",
     )
     parser.add_argument(
@@ -104,6 +107,9 @@ def main(argv: list[str] | None = None) -> int:
         quick = args.quick or args.scale != "full"
         exit_code = _perf_gate.main(quick=quick, seed=args.seed)
         args.experiments = [e for e in args.experiments if e != "perf-gate"]
+    if "trend" in args.experiments:
+        _trend.main()
+        args.experiments = [e for e in args.experiments if e != "trend"]
 
     names = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for name in names:

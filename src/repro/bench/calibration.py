@@ -93,8 +93,16 @@ def paper_multipaxos_config() -> MultiPaxosConfig:
 
 
 def crdt_paxos_config(batching: bool = False) -> CrdtPaxosConfig:
+    # update_pipeline bounds a proposer's in-flight MERGE traffic in every
+    # mode (PR 2 admission control).  The paper's unbatched protocol runs
+    # one concurrent round trip per client command, so the calibrated
+    # unbatched window sits above the benches' per-replica client
+    # concurrency: admission control stays non-binding in calibrated runs
+    # while still capping pathological bursts.  Batched runs keep the
+    # paper's stop-and-wait window of one batch.
     return CrdtPaxosConfig(
         batching=batching,
         batch_window=BATCH_WINDOW,
+        update_pipeline=1 if batching else 32,
         request_timeout=1.0,
     )

@@ -7,14 +7,21 @@ baseline snapshot:
 * **micro** — OR-Set ``equivalent``-vs-LUB and ``join_all`` over a 5-ack
   quorum of 1000-element payloads (the query fast path's dominant shape),
   and keyed-replica timer routing at 10k keys (ops/s and events/s);
+* **keyed scale** — the flyweight keyed store at 100k keys: resident
+  density of acceptor-only keys (keys per MB, higher is better) and timer
+  routing throughput at 100k keys (the 10k rail must not degrade with a
+  10× larger keyspace);
 * **end-to-end** — a short simulated CRDT-Paxos run (32 closed-loop
-  clients, 90 % reads) reporting ops/s plus p50/p99 read latency, and the
-  same run with 5 ms batching and a pipelined proposer.
+  clients, 90 % reads) reporting ops/s plus p50/p99 read latency, the
+  same run with 5 ms batching and a pipelined proposer, and the Raft /
+  Multi-Paxos baselines under the same workload (gated too — a "CRDT
+  Paxos beats the log-based baselines" claim is only meaningful if the
+  baselines stay healthy).
 
-Results are written to ``BENCH_PR1.json`` at the repository root so every
-later perf PR has a trajectory to compare against.  The gate **fails**
-(non-zero exit) when any gated throughput metric drops more than
-``TOLERANCE`` (20 %) below the baseline in
+Results are written to ``BENCH_PR<N>.json`` at the repository root so
+every later perf PR has a trajectory to compare against (see ``python -m
+repro.bench trend``).  The gate **fails** (non-zero exit) when any gated
+metric drops more than ``TOLERANCE`` (20 %) below the baseline in
 ``benchmarks/perf_gate_baseline.json``.  Baseline values are recorded
 conservatively (well under the measured numbers on the reference machine)
 so the gate flags real regressions, not scheduler noise; latencies are
@@ -24,16 +31,20 @@ shared CI hardware.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import pathlib
 import time
+import tracemalloc
 from dataclasses import replace
 from typing import Callable
 
 from repro.bench.calibration import (
     crdt_paxos_config,
     paper_latency,
+    paper_multipaxos_config,
+    paper_raft_config,
     service_model_for,
 )
 from repro.core.keyspace import KeyedCrdtReplica
@@ -43,16 +54,23 @@ from repro.crdt.orset import ORSet
 from repro.workload.runner import run_workload
 from repro.workload.spec import WorkloadSpec
 
+#: This PR's trajectory snapshot (BENCH_PR<N>.json).
+CURRENT_PR = 2
+
 #: Allowed fractional drop below a baseline value before the gate fails.
 TOLERANCE = 0.20
 
-#: Metrics the gate enforces (all higher-is-better rates).
+#: Metrics the gate enforces (all higher-is-better rates/densities).
 GATED_METRICS = (
     "orset_equivalent_vs_lub_ops_s",
     "orset_join_all_ops_s",
     "keyed_timer_events_s",
+    "keyed_timer_100k_events_s",
+    "keyed_acceptor_keys_per_mb",
     "e2e_read_heavy_ops_s",
     "e2e_pipelined_ops_s",
+    "e2e_raft_ops_s",
+    "e2e_multipaxos_ops_s",
 )
 
 
@@ -69,7 +87,7 @@ def baseline_path() -> pathlib.Path:
 
 
 def output_path() -> pathlib.Path:
-    return repo_root() / "BENCH_PR1.json"
+    return repo_root() / f"BENCH_PR{CURRENT_PR}.json"
 
 
 # ----------------------------------------------------------------------
@@ -109,6 +127,47 @@ def build_quorum_acks(elements: int = 1000, acks: int = 5) -> list[ORSet]:
     ]
 
 
+def build_keyed_replica(
+    n_keys: int, eager: bool = False, poll_key: str | None = None
+) -> KeyedCrdtReplica:
+    """A keyed replica hosting ``n_keys`` acceptor-only keys.  With
+    ``poll_key``, that key's proposer is materialized so timer routing
+    exercises the real flush path.  Shared with
+    ``benchmarks/test_keyed_scale.py`` / ``test_keyed_timer.py``."""
+    replica = KeyedCrdtReplica(
+        "r0", ["r0", "r1", "r2"], lambda key: GCounter.initial(), eager=eager
+    )
+    for i in range(n_keys):
+        replica.instance(f"key-{i}")
+    if poll_key is not None:
+        replica.materialize_proposer(poll_key)
+    return replica
+
+
+def keyed_resident_bytes_per_key(n_keys: int, eager: bool = False) -> float:
+    """Traced bytes per key of a keyed replica holding ``n_keys`` keys
+    touched by acceptor traffic only.  ``eager=True`` measures the
+    pre-flyweight shape (full per-key instance, private context)."""
+    gc.collect()
+    tracemalloc.start()
+    try:
+        replica = build_keyed_replica(n_keys, eager=eager)
+        current, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    del replica
+    return current / n_keys
+
+
+def keyed_timer_rate(n_keys: int, iters: int = 2000) -> float:
+    """Timer-routing events/second on the *last* key of an ``n_keys``
+    store (worst case of any scan; the namespace index makes it O(1))."""
+    poll_key = f"key-{n_keys - 1}"
+    replica = build_keyed_replica(n_keys, poll_key=poll_key)
+    timer_key = f"{poll_key!r}|flush"
+    return _rate(lambda: replica.on_timer(timer_key, 0.0), iters=iters)
+
+
 def run_micro() -> dict[str, float]:
     acks = build_quorum_acks()
     lub = join_all(acks)
@@ -117,16 +176,19 @@ def run_micro() -> dict[str, float]:
         "orset_equivalent_vs_lub_ops_s": _rate(
             lambda: all(state.equivalent(lub) for state in acks)
         ),
+        "keyed_timer_events_s": keyed_timer_rate(10_000),
     }
-
-    replica = KeyedCrdtReplica("r0", ["r0", "r1", "r2"], lambda key: GCounter.initial())
-    for i in range(10_000):
-        replica.instance(f"key-{i}")
-    timer_key = f"{'key-9999'!r}|flush"
-    metrics["keyed_timer_events_s"] = _rate(
-        lambda: replica.on_timer(timer_key, 0.0), iters=2000
-    )
     return metrics
+
+
+def run_keyed_scale(n_keys: int = 100_000) -> dict[str, float]:
+    """Flyweight keyed store at scale: resident density + timer rail."""
+    bytes_per_key = keyed_resident_bytes_per_key(n_keys)
+    return {
+        "keyed_acceptor_keys_per_mb": (1 << 20) / bytes_per_key,
+        "keyed_resident_bytes_per_key": bytes_per_key,
+        "keyed_timer_100k_events_s": keyed_timer_rate(n_keys),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -166,6 +228,28 @@ def run_e2e(quick: bool = True, seed: int = 0) -> dict[str, float]:
         crdt_config=replace(crdt_paxos_config(batching=True), update_pipeline=4),
     )
     metrics["e2e_pipelined_ops_s"] = pipelined.throughput().median
+
+    # Log-based baselines under the identical workload: gating them keeps
+    # the cross-protocol comparisons (fig1–fig4) trustworthy.
+    raft = run_workload(
+        "raft",
+        spec,
+        seed=seed,
+        latency=paper_latency(),
+        service_model=service_model_for("raft"),
+        raft_config=paper_raft_config(),
+    )
+    metrics["e2e_raft_ops_s"] = raft.throughput().median
+
+    multipaxos = run_workload(
+        "multi-paxos",
+        spec,
+        seed=seed,
+        latency=paper_latency(),
+        service_model=service_model_for("multi-paxos"),
+        multipaxos_config=paper_multipaxos_config(),
+    )
+    metrics["e2e_multipaxos_ops_s"] = multipaxos.throughput().median
     return metrics
 
 
@@ -174,6 +258,7 @@ def run_e2e(quick: bool = True, seed: int = 0) -> dict[str, float]:
 # ----------------------------------------------------------------------
 def run_perf_gate(quick: bool = True, seed: int = 0) -> dict[str, float]:
     metrics = run_micro()
+    metrics.update(run_keyed_scale())
     metrics.update(run_e2e(quick=quick, seed=seed))
     return metrics
 
@@ -208,9 +293,11 @@ def evaluate_gate(
             continue
         floor = reference * (1.0 - TOLERANCE)
         if metrics[name] < floor:
+            # Unitless on purpose: gated metrics mix rates (/s) and
+            # densities (keys/MB).
             failures.append(
-                f"{name}: {metrics[name]:,.0f}/s is below the gate floor "
-                f"{floor:,.0f}/s (baseline {reference:,.0f}/s − {TOLERANCE:.0%})"
+                f"{name}: {metrics[name]:,.0f} is below the gate floor "
+                f"{floor:,.0f} (baseline {reference:,.0f} − {TOLERANCE:.0%})"
             )
     return failures
 
@@ -219,11 +306,12 @@ def render_report(metrics: dict[str, float], failures: list[str]) -> str:
     lines = ["perf-gate results"]
     for name in sorted(metrics):
         value = metrics[name]
-        unit = "s" if name.endswith("_s") and "ops_s" not in name and "events_s" not in name else "/s"
-        if unit == "s":
+        if name.endswith(("_ops_s", "_events_s")):
+            lines.append(f"  {name:<34} {value:12,.0f}/s")
+        elif name.endswith("_s"):
             lines.append(f"  {name:<34} {value * 1e3:10.3f} ms")
-        else:
-            lines.append(f"  {name:<34} {value:12,.0f}{unit}")
+        else:  # densities (keys/MB, bytes/key): plain numbers
+            lines.append(f"  {name:<34} {value:12,.1f}")
     if failures:
         lines.append("FAILURES:")
         lines.extend(f"  {failure}" for failure in failures)
@@ -233,7 +321,7 @@ def render_report(metrics: dict[str, float], failures: list[str]) -> str:
 
 
 def main(quick: bool = True, seed: int = 0) -> int:
-    """Run the gate, write ``BENCH_PR1.json``, return a process exit code."""
+    """Run the gate, write ``BENCH_PR<N>.json``, return an exit code."""
     started = time.time()
     metrics = run_perf_gate(quick=quick, seed=seed)
     elapsed = time.time() - started
@@ -243,6 +331,7 @@ def main(quick: bool = True, seed: int = 0) -> int:
 
     payload = {
         "benchmark": "perf-gate",
+        "pr": CURRENT_PR,
         "mode": "quick" if quick else "full",
         "seed": seed,
         "wall_seconds": round(elapsed, 2),

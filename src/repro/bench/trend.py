@@ -1,0 +1,84 @@
+"""Cross-PR benchmark trajectory: ``python -m repro.bench trend``.
+
+Every perf-gate run writes a ``BENCH_PR<N>.json`` snapshot at the
+repository root.  This subcommand lines those snapshots up by PR number
+and prints each metric's value per PR plus the delta from the previous
+snapshot that recorded it — the quickest way to see whether a hot path
+has been drifting across PRs rather than regressing in one step.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+
+from repro.bench.perf_gate import repo_root
+
+_BENCH_FILE = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def discover_bench_files(root: pathlib.Path | None = None) -> list[tuple[int, pathlib.Path]]:
+    """``(pr_number, path)`` pairs for every trajectory snapshot, sorted."""
+    root = root or repo_root()
+    found = []
+    for path in root.glob("BENCH_PR*.json"):
+        match = _BENCH_FILE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def load_trajectory(
+    root: pathlib.Path | None = None,
+) -> list[tuple[int, dict[str, float]]]:
+    """Per-PR metric dicts; snapshots that fail to parse are skipped
+    (a broken old file should not take down the comparison)."""
+    trajectory = []
+    for pr, path in discover_bench_files(root):
+        try:
+            payload = json.loads(path.read_text())
+            metrics = payload["metrics"]
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            continue
+        if isinstance(metrics, dict):
+            trajectory.append((pr, metrics))
+    return trajectory
+
+
+def render_trend(trajectory: list[tuple[int, dict[str, float]]]) -> str:
+    if not trajectory:
+        return (
+            "no BENCH_PR<N>.json snapshots found; run "
+            "`python -m repro.bench perf-gate --quick` first"
+        )
+    if len(trajectory) == 1:
+        pr, _ = trajectory[0]
+        header = f"benchmark trajectory (only PR {pr} recorded — no deltas yet)"
+    else:
+        prs = ", ".join(str(pr) for pr, _ in trajectory)
+        header = f"benchmark trajectory across PRs {prs}"
+
+    names = sorted({name for _, metrics in trajectory for name in metrics})
+    lines = [header]
+    for name in names:
+        lines.append(f"  {name}")
+        previous: float | None = None
+        previous_pr: int | None = None
+        for pr, metrics in trajectory:
+            value = metrics.get(name)
+            if value is None:
+                continue
+            if previous is None or previous == 0:
+                delta = ""
+            else:
+                change = (value - previous) / previous
+                delta = f"  ({change:+.1%} vs PR {previous_pr})"
+            lines.append(f"    PR {pr:<3} {value:16,.2f}{delta}")
+            previous, previous_pr = value, pr
+    return "\n".join(lines)
+
+
+def main() -> int:
+    print(render_trend(load_trajectory()))
+    return 0

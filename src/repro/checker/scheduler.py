@@ -16,18 +16,30 @@ Batching (and with it the pipelined update path) *is* explorable: when
 the supplied config enables ``batching``, flush timers are not discarded
 but pooled per replica and fired by the adversary in uniformly random
 order relative to message deliveries — a far more hostile cadence than
-any real clock.  Timers on crashed replicas are simply withheld until
-recovery (internal state survives a crash in the paper's model).
+any real clock.  The same holds for ``retry_backoff`` timers: with a
+positive backoff, a failed query attempt parks until its retry timer
+fires, and the adversary fires those timers in arbitrary order too —
+interleaving parked retries with fresh traffic instead of the repo's old
+immediate-retry-only schedule.  Timers on crashed replicas are simply
+withheld until recovery (internal state survives a crash in the paper's
+model).
+
+:class:`KeyedInterleavingExplorer` runs the same adversary against the
+keyed deployment (:class:`~repro.core.keyspace.KeyedCrdtReplica`) with a
+small ``keyed_max_resident`` cap, so cold-key eviction and rehydration
+churn *under* adversarial traffic; per-key histories are validated
+independently (keys never synchronize with each other).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
-from typing import Any
+from dataclasses import dataclass, field, replace
+from typing import Any, Hashable
 
 from repro.checker.history import History
 from repro.core.config import CrdtPaxosConfig
+from repro.core.keyspace import Keyed, KeyedCrdtReplica
 from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
 from repro.core.replica import CrdtPaxosReplica
 from repro.crdt.base import IdentityQuery
@@ -92,6 +104,27 @@ class _DirectRuntime:
         self._apply(self.node.on_timer(key, self._sim.now))
 
 
+def _stamp_completion(open_requests: dict[str, Any], message: Any, now: float) -> None:
+    """Stamp a completed operation's record from its Done message.
+
+    Shared by the unkeyed and keyed recording clients so the record shape
+    has exactly one source of truth."""
+    if isinstance(message, UpdateDone):
+        record = open_requests.pop(message.request_id, None)
+        if record is not None:
+            record.completed_at = now
+            record.inclusion_tag = message.inclusion_tag
+    elif isinstance(message, QueryDone):
+        record = open_requests.pop(message.request_id, None)
+        if record is not None:
+            record.completed_at = now
+            record.state = message.result
+            record.proposer = message.proposer
+            record.learn_seq = message.learn_seq
+            record.round_trips = message.round_trips
+            record.learned_via = message.learned_via
+
+
 class _RecordingClient:
     """Injects operations and stamps the history on completion."""
 
@@ -133,21 +166,7 @@ class _RecordingClient:
         )
 
     def deliver(self, envelope: Envelope) -> None:
-        message = envelope.payload
-        if isinstance(message, UpdateDone):
-            record = self._open.pop(message.request_id, None)
-            if record is not None:
-                record.completed_at = self._sim.now
-                record.inclusion_tag = message.inclusion_tag
-        elif isinstance(message, QueryDone):
-            record = self._open.pop(message.request_id, None)
-            if record is not None:
-                record.completed_at = self._sim.now
-                record.state = message.result
-                record.proposer = message.proposer
-                record.learn_seq = message.learn_seq
-                record.round_trips = message.round_trips
-                record.learned_via = message.learned_via
+        _stamp_completion(self._open, envelope.payload, self._sim.now)
 
 
 @dataclass
@@ -185,14 +204,16 @@ class InterleavingExplorer:
         self.n_replicas = n_replicas
         self.n_clients = n_clients
         base = config or CrdtPaxosConfig()
-        # Batching is preserved: with it on, flush timers become
-        # adversarially scheduled events (see module docstring), which is
-        # how the pipelined update path gets explored.
+        # Batching and retry backoff are preserved: with either on, the
+        # flush/retry timers become adversarially scheduled events (see
+        # module docstring) — this is how the pipelined update path and
+        # the parked-retry path get explored.
         self.config = replace(
             base,
             request_timeout=None,
             inclusion_tagger=lambda state, replica: (replica, state.slot(replica)),
         )
+        self._collect_timers = base.batching or base.retry_backoff > 0
 
     def run(
         self,
@@ -222,7 +243,7 @@ class InterleavingExplorer:
                 replica_id, list(replica_ids), GCounter.initial(), self.config
             )
             runtimes[replica_id] = _DirectRuntime(
-                sim, network, node, collect_timers=self.config.batching
+                sim, network, node, collect_timers=self._collect_timers
             )
         clients = [
             _RecordingClient(sim, network, f"c{i}", history)
@@ -320,3 +341,216 @@ class InterleavingExplorer:
                 for runtime in runtimes.values()
             ),
         )
+
+
+class _KeyedRecordingClient:
+    """Injects per-key operations (Keyed envelopes), stamps per-key
+    histories on completion."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: AdversarialNetwork,
+        address: str,
+        histories: dict[Hashable, History],
+    ) -> None:
+        self._sim = sim
+        self._network = network
+        self.address = address
+        self._histories = histories
+        self._open: dict[str, Any] = {}
+        self._counter = 0
+        network.register(address, self)
+
+    def _history(self, key: Hashable) -> History:
+        history = self._histories.get(key)
+        if history is None:
+            history = self._histories[key] = History()
+        return history
+
+    def inject_update(self, replica: str, key: Hashable) -> None:
+        self._counter += 1
+        op_id = f"{self.address}/u{self._counter}"
+        self._sim.now += _STEP_EPSILON
+        self._open[op_id] = self._history(key).begin_update(
+            op_id, replica, self._sim.now
+        )
+        self._network.send(
+            self.address,
+            replica,
+            Keyed(key=key, message=ClientUpdate(request_id=op_id, op=Increment())),
+        )
+
+    def inject_query(self, replica: str, key: Hashable) -> None:
+        self._counter += 1
+        op_id = f"{self.address}/q{self._counter}"
+        self._sim.now += _STEP_EPSILON
+        self._open[op_id] = self._history(key).begin_query(
+            op_id, replica, self._sim.now
+        )
+        self._network.send(
+            self.address,
+            replica,
+            Keyed(key=key, message=ClientQuery(request_id=op_id, op=IdentityQuery())),
+        )
+
+    def deliver(self, envelope: Envelope) -> None:
+        message = envelope.payload
+        if isinstance(message, Keyed):
+            _stamp_completion(self._open, message.message, self._sim.now)
+
+
+@dataclass
+class KeyedExplorationReport:
+    """Outcome of one adversarial run against the keyed deployment."""
+
+    histories: dict[Hashable, History] = field(default_factory=dict)
+    steps: int = 0
+    deliveries: int = 0
+    injections: int = 0
+    timer_fires: int = 0
+    #: Cold-key demotions / rehydrations summed over all replicas.
+    evictions: int = 0
+    rehydrations: int = 0
+
+    @property
+    def all_complete(self) -> bool:
+        return all(
+            all(u.complete for u in history.updates)
+            and all(q.complete for q in history.queries)
+            for history in self.histories.values()
+        )
+
+
+class KeyedInterleavingExplorer:
+    """Adversarial runs against :class:`KeyedCrdtReplica` with eviction.
+
+    ``keyed_max_resident`` defaults to fewer instances than ``n_keys``,
+    so admission of a fresh key routinely demotes a quiescent one and a
+    later touch rehydrates it — linearizability per key must survive the
+    freeze/rehydrate cycle under adversarial delivery order.  Eviction
+    only demotes idle instances, so the interesting interleavings are the
+    ones where a key quiesces, freezes, and is then hit again while other
+    keys' protocol traffic is still in flight.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        n_replicas: int = 3,
+        n_clients: int = 3,
+        n_keys: int = 4,
+        config: CrdtPaxosConfig | None = None,
+    ) -> None:
+        self.seed = seed
+        self.n_replicas = n_replicas
+        self.n_clients = n_clients
+        self.keys = [f"k{i}" for i in range(n_keys)]
+        base = config or CrdtPaxosConfig()
+        if base.keyed_max_resident is None:
+            base = replace(base, keyed_max_resident=max(1, n_keys // 2))
+        # Idle eviction is forced off: the explorer's virtual clock only
+        # advances by epsilon steps and its runtime never calls on_start,
+        # so a sweep timer would never arm — a campaign relying on
+        # keyed_idle_evict_s here would be vacuous.  Capacity eviction
+        # (keyed_max_resident) is the mechanism this explorer churns.
+        self.config = replace(
+            base,
+            request_timeout=None,
+            keyed_idle_evict_s=None,
+            inclusion_tagger=lambda state, replica: (replica, state.slot(replica)),
+        )
+        self._collect_timers = base.batching or base.retry_backoff > 0
+
+    def run(
+        self,
+        n_ops: int = 40,
+        read_fraction: float = 0.5,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        max_steps: int = 200_000,
+    ) -> KeyedExplorationReport:
+        sim = Simulator(seed=self.seed)
+        network = AdversarialNetwork(sim)
+        rng = sim.rng.stream("keyed-explorer")
+        report = KeyedExplorationReport()
+
+        runtimes = {}
+        replica_ids = [f"r{i}" for i in range(self.n_replicas)]
+        replica_set = set(replica_ids)
+        network.duplicable = (
+            lambda envelope: envelope.src in replica_set
+            and envelope.dst in replica_set
+        )
+        for replica_id in replica_ids:
+            node = KeyedCrdtReplica(
+                replica_id,
+                list(replica_ids),
+                lambda key: GCounter.initial(),
+                self.config,
+            )
+            runtimes[replica_id] = _DirectRuntime(
+                sim, network, node, collect_timers=self._collect_timers
+            )
+        clients = [
+            _KeyedRecordingClient(sim, network, f"c{i}", report.histories)
+            for i in range(self.n_clients)
+        ]
+
+        plan: list[str] = [
+            "read" if rng.random() < read_fraction else "update"
+            for _ in range(n_ops)
+        ]
+
+        def timer_targets() -> list[_DirectRuntime]:
+            return [r for r in runtimes.values() if r.pending_timers]
+
+        while report.steps < max_steps and (
+            plan or network.pending or timer_targets()
+        ):
+            report.steps += 1
+            inject_now = bool(plan) and (
+                network.pending == 0 or rng.random() < 0.25
+            )
+            if inject_now:
+                kind = plan.pop()
+                client = rng.choice(clients)
+                replica = rng.choice(replica_ids)
+                key = rng.choice(self.keys)
+                if kind == "update":
+                    client.inject_update(replica, key)
+                else:
+                    client.inject_query(replica, key)
+                report.injections += 1
+                continue
+
+            targets = timer_targets()
+            if targets and (network.pending == 0 or rng.random() < 0.15):
+                runtime = rng.choice(targets)
+                timer_key = rng.choice(list(runtime.pending_timers))
+                runtime.fire_timer(timer_key)
+                report.timer_fires += 1
+                continue
+
+            if network.deliver_random(drop_probability, duplicate_probability):
+                report.deliveries += 1
+
+        # Quiesce: drain, then alternate firing armed timers with full
+        # drains until a fixpoint (flush/retry timers stop re-arming once
+        # buffers, pipelines and parked retries are empty).
+        network.drain(max_deliveries=max_steps)
+        for _ in range(200):
+            fired = False
+            for runtime in runtimes.values():
+                for timer_key in list(runtime.pending_timers):
+                    runtime.fire_timer(timer_key)
+                    fired = True
+                    report.timer_fires += 1
+            network.drain(max_deliveries=max_steps)
+            if not fired and not network.pending:
+                break
+
+        for runtime in runtimes.values():
+            report.evictions += runtime.node.evictions
+            report.rehydrations += runtime.node.rehydrations
+        return report

@@ -24,18 +24,56 @@ from repro.core.rounds import Round
 from repro.crdt.base import StateCRDT, UpdateOp
 
 
-class Acceptor:
-    """Replicated storage for one CRDT: payload state + highest round."""
+class AcceptorStats:
+    """Observability counters; not part of protocol state.
 
-    def __init__(self, initial_state: StateCRDT) -> None:
-        self.state = initial_state
-        self.round = Round.initial()
-        # Counters for observability; not part of protocol state.
+    A standalone object so a keyed replica can share one sink across all
+    per-key acceptors (the counters aggregate per node) while the
+    single-instance replica keeps a private 1:1 sink — the same flyweight
+    pattern as :class:`~repro.core.proposer.ProposerStats`.
+    """
+
+    __slots__ = (
+        "merges_handled",
+        "prepares_accepted",
+        "prepares_rejected",
+        "votes_granted",
+        "votes_denied",
+    )
+
+    def __init__(self) -> None:
         self.merges_handled = 0
         self.prepares_accepted = 0
         self.prepares_rejected = 0
         self.votes_granted = 0
         self.votes_denied = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class Acceptor:
+    """Replicated storage for one CRDT: payload state + highest round.
+
+    Slotted: a keyed replica hosts one acceptor per resident key, so the
+    per-instance footprint is the scaling floor of the whole store.  The
+    *durable* protocol state is exactly ``(state, round)`` — the keyed
+    store's cold-key eviction freezes those two fields and discards the
+    rest (the stats sink is observability, shared per node in keyed
+    deployments).
+    """
+
+    __slots__ = ("state", "round", "stats")
+
+    def __init__(
+        self,
+        initial_state: StateCRDT,
+        round: Round | None = None,
+        stats: AcceptorStats | None = None,
+    ) -> None:
+        self.state = initial_state
+        self.round = round if round is not None else Round.initial()
+        self.stats = stats if stats is not None else AcceptorStats()
 
     # ------------------------------------------------------------------
     # Update commands
@@ -59,7 +97,7 @@ class Acceptor:
         """
         self.state = self.state.join(msg.state)
         self.round = self.round.with_write_id()
-        self.merges_handled += 1
+        self.stats.merges_handled += 1
         return Merged(request_id=msg.request_id)
 
     # ------------------------------------------------------------------
@@ -82,14 +120,14 @@ class Acceptor:
 
         if proposed.number > self.round.number:
             self.round = proposed
-            self.prepares_accepted += 1
+            self.stats.prepares_accepted += 1
             return PrepareAck(
                 request_id=msg.request_id,
                 attempt=msg.attempt,
                 round=self.round,
                 state=self.state,
             )
-        self.prepares_rejected += 1
+        self.stats.prepares_rejected += 1
         return PrepareNack(
             request_id=msg.request_id,
             attempt=msg.attempt,
@@ -107,9 +145,9 @@ class Acceptor:
         """
         self.state = self.state.join(msg.state)
         if msg.round == self.round:
-            self.votes_granted += 1
+            self.stats.votes_granted += 1
             return Voted(request_id=msg.request_id, attempt=msg.attempt)
-        self.votes_denied += 1
+        self.stats.votes_denied += 1
         return VoteNack(
             request_id=msg.request_id,
             attempt=msg.attempt,

@@ -67,6 +67,19 @@ class CrdtPaxosConfig:
     ``inclusion_tagger``
         Optional extractor of inclusion tokens for the correctness checker
         (see :class:`~repro.core.messages.UpdateDone`).
+    ``keyed_max_resident``
+        Keyed deployments only: soft cap on fully materialized per-key
+        instances one :class:`~repro.core.keyspace.KeyedCrdtReplica`
+        keeps resident.  Past the cap, the least-recently-touched
+        *quiescent* keys are demoted to a compact frozen record (payload +
+        round watermark) and rehydrated on the next touch.  Safe without a
+        log because the acceptor's durable state is exactly those two
+        fields (§3.3); keys with open requests are never evicted.  ``None``
+        (default) disables capacity eviction.
+    ``keyed_idle_evict_s``
+        Keyed deployments only: demote a quiescent key after this many
+        seconds without a touch, swept periodically.  ``None`` (default)
+        disables idle eviction.
     """
 
     batching: bool = False
@@ -81,6 +94,8 @@ class CrdtPaxosConfig:
     include_state_in_prepare: bool = True
     delta_merge: bool = False
     inclusion_tagger: InclusionTagger | None = None
+    keyed_max_resident: int | None = None
+    keyed_idle_evict_s: float | None = None
 
     def __post_init__(self) -> None:
         for field_name in ("initial_prepare", "retry_prepare"):
@@ -99,3 +114,9 @@ class CrdtPaxosConfig:
             raise ConfigurationError("retry_backoff must be non-negative")
         if self.request_timeout is not None and self.request_timeout <= 0:
             raise ConfigurationError("request_timeout must be positive or None")
+        if self.keyed_max_resident is not None and self.keyed_max_resident < 1:
+            raise ConfigurationError(
+                f"keyed_max_resident must be >= 1 or None, got {self.keyed_max_resident}"
+            )
+        if self.keyed_idle_evict_s is not None and self.keyed_idle_evict_s <= 0:
+            raise ConfigurationError("keyed_idle_evict_s must be positive or None")

@@ -3,8 +3,8 @@
 The paper's implementation lives inside the Scalaris key-value store —
 "linearizable access on CRDT data on a fine-granular scale" (§1).  This
 module provides that deployment shape: a :class:`KeyedCrdtReplica` hosts
-one acceptor/proposer pair *per key*, created on first touch from a
-per-key initial state.  Keys are completely independent — an update to
+one protocol instance *per key*, created on first touch from a per-key
+initial state.  Keys are completely independent — an update to
 ``"cart:42"`` never synchronizes with a read of ``"views:7"`` — which is
 exactly why the fine-granular deployment scales: contention is per key,
 not per store.
@@ -13,12 +13,39 @@ Wire format: client messages and the inter-replica protocol messages are
 wrapped in :class:`Keyed` envelopes carrying the key; unwrapped handling
 is delegated to the shared peer-message router
 (:mod:`repro.core.router`) against the per-key acceptor/proposer pair.
-Memory overhead per key is the CRDT payload plus one round — the paper's
-logless claim, multiplied by keys, with no log anywhere.
 
-Scale notes: timer routing is O(1) in the number of keys (a
-namespace→key index, maintained on first touch, replaces any scan over
-the keyspace), and :meth:`Keyed.wire_size` memoizes like
+Million-key scaling rests on three mechanisms:
+
+* **Flyweight sharing** — all per-key-identical state (config, peer
+  list, quorum system, round-id source, batching phase, stats sink)
+  lives in one :class:`~repro.core.proposer.ProposerShared` per replica;
+  a key's own footprint is its acceptor (payload + round + counters) and,
+  only if it ever proposes, slim open-request bookkeeping.
+* **Lazy proposers** — a key materializes its proposer on the first
+  *local* client command.  Keys this replica only ever serves acceptor
+  traffic for (every key has exactly one such replica per client in the
+  common single-home pattern, and N-1 such replicas in general) stay
+  proposer-free forever.
+* **Cold-key eviction** — past ``config.keyed_max_resident`` (or after
+  ``config.keyed_idle_evict_s`` without a touch) the least-recently
+  touched *quiescent* keys are demoted to a compact frozen record and
+  rehydrated on the next touch.
+
+**Why eviction needs no log (safety argument).**  The paper's acceptor
+is logless: its entire durable state is the lattice payload ``s`` and
+the highest observed round ``r`` (§3.3, "memory overhead of a single
+counter per replica").  A frozen key preserves exactly that pair, so
+rehydration is indistinguishable from an acceptor that simply received
+no messages in between — there is no log suffix to lose and no applied
+index to corrupt.  Proposer state is bookkeeping for *open* requests
+only; eviction requires :attr:`~repro.core.proposer.Proposer.idle`
+(no open batches, buffers or armed flush), and the one cross-request
+proposer field, the §3.4 learned maximum, only strengthens overlapping
+queries — which would themselves be open batches and block eviction.
+
+Timer routing stays O(1) in the number of keys (a namespace→key index,
+maintained on proposer materialization, replaces any scan), and
+:meth:`Keyed.wire_size` memoizes like
 :class:`~repro.net.message.Envelope` does, so broadcasting one keyed
 payload to many peers sizes the inner CRDT once.
 """
@@ -28,15 +55,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
-from repro.core.acceptor import Acceptor
+from repro.core.acceptor import Acceptor, AcceptorStats
 from repro.core.config import CrdtPaxosConfig
 from repro.core.messages import ClientQuery, ClientUpdate
-from repro.core.proposer import Proposer
+from repro.core.proposer import Proposer, ProposerShared, ProposerStats
 from repro.core.router import dispatch_peer_message
 from repro.crdt.base import StateCRDT
 from repro.net.message import wire_size as _wire_size
 from repro.net.node import Effects, ProtocolNode
 from repro.quorum.system import MajorityQuorum, QuorumSystem
+
+#: Reserved timer key for the idle-eviction sweep.  Cannot collide with
+#: per-key timers, which are always namespaced ``<repr(key)>|<timer>``
+#: (a repr never equals this bare token).
+_SWEEP_TIMER = "keyspace-sweep"
 
 
 # No ``slots=True``: the memoized wire size lives in the instance dict
@@ -65,29 +97,35 @@ class Keyed:
         return cached
 
 
-class _KeyInstance:
-    """One key's acceptor + proposer pair."""
+class _FrozenKey:
+    """A demoted quiescent key: the acceptor's entire durable state.
 
-    def __init__(
-        self,
-        key: Hashable,
-        node_id: str,
-        proposer_index: int,
-        peers: list[str],
-        initial_state: StateCRDT,
-        quorum: QuorumSystem,
-        config: CrdtPaxosConfig,
-    ) -> None:
-        self.acceptor = Acceptor(initial_state)
-        self.proposer = Proposer(
-            node_id=node_id,
-            proposer_index=proposer_index,
-            peers=peers,
-            acceptor=self.acceptor,
-            quorum=quorum,
-            config=config,
-            initial_state=initial_state,
-        )
+    Payload plus round watermark — the paper's logless acceptor state,
+    bit for bit.  Everything else about the instance is reconstructed on
+    rehydration (observability counters restart at zero).
+    """
+
+    __slots__ = ("state", "round")
+
+    def __init__(self, state: StateCRDT, round: Any) -> None:
+        self.state = state
+        self.round = round
+
+
+class _KeyInstance:
+    """One resident key's machinery: acceptor always, proposer lazily."""
+
+    __slots__ = ("acceptor", "proposer", "touch_seq", "touched_at")
+
+    def __init__(self, acceptor: Acceptor) -> None:
+        self.acceptor = acceptor
+        self.proposer: Proposer | None = None
+        #: Monotonic recency stamp (LRU order for capacity eviction).
+        self.touch_seq = 0
+        #: Driver time of the last message/timer touch (idle eviction).
+        #: None until the first clocked touch — admissions via bare
+        #: instance()/materialize_proposer() carry no clock.
+        self.touched_at: float | None = None
 
 
 class KeyedCrdtReplica(ProtocolNode):
@@ -99,6 +137,14 @@ class KeyedCrdtReplica(ProtocolNode):
         ``key → bottom payload`` factory; called once per key on first
         touch and must be deterministic across replicas (all members must
         agree on a key's type).
+    eager:
+        Ablation/benchmark baseline: materialize the full pre-flyweight
+        instance on first touch — a private
+        :class:`~repro.core.proposer.ProposerShared` (config, peer list,
+        round-id source and stats copied per key), an eagerly built
+        proposer and an eager timer-namespace registration.  This is the
+        shape the seed design gave every key; the keyed-scale benchmark
+        measures the flyweight's resident bytes/key against it.
     """
 
     def __init__(
@@ -108,6 +154,7 @@ class KeyedCrdtReplica(ProtocolNode):
         initial_state_for: Callable[[Hashable], StateCRDT],
         config: CrdtPaxosConfig | None = None,
         quorum: QuorumSystem | None = None,
+        eager: bool = False,
     ) -> None:
         super().__init__(node_id)
         if node_id not in peers:
@@ -116,61 +163,183 @@ class KeyedCrdtReplica(ProtocolNode):
         self.config = config or CrdtPaxosConfig()
         self.quorum = quorum or MajorityQuorum(peers)
         self._initial_state_for = initial_state_for
-        self._proposer_index = sorted(peers).index(node_id)
-        self._instances: dict[Hashable, _KeyInstance] = {}
+        self._eager = eager
+        #: Flyweight context shared by every per-key proposer (stats too:
+        #: the counters aggregate across keys, one sink per replica).
+        self._shared = ProposerShared(
+            node_id, self.peers, self.quorum, self.config, stats=ProposerStats()
+        )
+        #: One acceptor-stats sink per replica too (counters aggregate).
+        self._acceptor_stats = AcceptorStats()
+        self._resident: dict[Hashable, _KeyInstance] = {}
+        self._frozen: dict[Hashable, _FrozenKey] = {}
         #: Timer-namespace index: ``repr(key)`` → key.  Keeps
-        #: :meth:`on_timer` O(1) in the number of keys.
+        #: :meth:`on_timer` O(1) in the number of keys.  Registered only
+        #: when a key materializes a proposer — acceptor-only keys never
+        #: arm timers, so they never pay the repr-string entry.
         self._namespaces: dict[str, Hashable] = {}
+        self._touch_seq = 0
+        #: Eviction observability.
+        self.evictions = 0
+        self.rehydrations = 0
 
     # ------------------------------------------------------------------
-    def instance(self, key: Hashable) -> _KeyInstance:
-        """The per-key machinery, created on first touch."""
-        existing = self._instances.get(key)
-        if existing is not None:
-            return existing
-        created = _KeyInstance(
-            key=key,
-            node_id=self.node_id,
-            proposer_index=self._proposer_index,
-            peers=self.peers,
-            initial_state=self._initial_state_for(key),
-            quorum=self.quorum,
-            config=self.config,
-        )
-        self._instances[key] = created
-        # First registration wins, matching the old first-match scan for
-        # (pathological) distinct keys sharing a repr.
-        self._namespaces.setdefault(repr(key), key)
-        return created
+    @property
+    def stats(self) -> ProposerStats:
+        """Aggregate proposer counters across every key (flyweight sink)."""
+        return self._shared.stats
+
+    def instance(self, key: Hashable, now: float | None = None) -> _KeyInstance:
+        """The per-key machinery, created (or rehydrated) on first touch.
+
+        Capacity eviction deliberately does NOT run here: the caller may
+        be mid-delivery, about to open protocol state on this instance,
+        and evicting it (or a key the caller also holds) under its feet
+        would orphan that state.  :meth:`on_message`/:meth:`on_timer`
+        evict *after* the handling step, when open requests are visible
+        to the quiescence check.
+        """
+        inst = self._resident.get(key)
+        if inst is None:
+            inst = self._admit(key)
+        self._touch_seq += 1
+        inst.touch_seq = self._touch_seq
+        if now is not None:
+            inst.touched_at = now
+        return inst
+
+    def _admit(self, key: Hashable) -> _KeyInstance:
+        # Eager (pre-flyweight) instances carry private stats sinks, like
+        # the seed design; flyweight instances share the replica's.
+        stats = AcceptorStats() if self._eager else self._acceptor_stats
+        frozen = self._frozen.pop(key, None)
+        if frozen is not None:
+            acceptor = Acceptor(frozen.state, round=frozen.round, stats=stats)
+            self.rehydrations += 1
+        else:
+            acceptor = Acceptor(self._initial_state_for(key), stats=stats)
+        inst = _KeyInstance(acceptor)
+        self._resident[key] = inst
+        if self._eager:
+            self._materialize(key, inst)
+        return inst
+
+    def _materialize(self, key: Hashable, inst: _KeyInstance) -> Proposer:
+        """Build the key's proposer on its first local client command."""
+        if inst.proposer is None:
+            if self._eager:
+                # Pre-flyweight shape: nothing hoisted, every key carries
+                # its own context (and its own stats sink).
+                shared = ProposerShared(
+                    self.node_id, self.peers, self.quorum, self.config
+                )
+            else:
+                shared = self._shared
+            inst.proposer = Proposer(
+                shared, inst.acceptor, self._initial_state_for(key)
+            )
+            # First registration wins, matching the old first-match scan
+            # for (pathological) distinct keys sharing a repr.
+            self._namespaces.setdefault(repr(key), key)
+        return inst.proposer
+
+    def materialize_proposer(self, key: Hashable) -> Proposer:
+        """Public hook (benchmarks, warm-up): force a key's proposer."""
+        return self._materialize(key, self.instance(key))
 
     def keys(self) -> list[Hashable]:
-        return list(self._instances)
+        return list(self._resident) + list(self._frozen)
+
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    def frozen_count(self) -> int:
+        return len(self._frozen)
 
     def state_of(self, key: Hashable) -> StateCRDT:
+        frozen = self._frozen.get(key)
+        if frozen is not None:  # diagnostic peek: no rehydration churn
+            return frozen.state
         return self.instance(key).acceptor.state
 
     # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _freeze(self, key: Hashable, inst: _KeyInstance) -> bool:
+        """Demote one quiescent key to its frozen record; False if busy."""
+        proposer = inst.proposer
+        if proposer is not None and not proposer.idle:
+            return False
+        self._frozen[key] = _FrozenKey(inst.acceptor.state, inst.acceptor.round)
+        del self._resident[key]
+        namespace = repr(key)
+        if self._namespaces.get(namespace) == key:
+            del self._namespaces[namespace]
+        self.evictions += 1
+        return True
+
+    def _evict_excess(self) -> None:
+        cap = self.config.keyed_max_resident
+        if cap is None or len(self._resident) <= cap:
+            return
+        # Demote ~10% below the cap (at least one extra) so a store
+        # sitting at capacity does not re-sort the resident set on every
+        # admission (amortized O(log n) per admission).  Busy keys are
+        # skipped — the cap is soft by design; open protocol requests pin
+        # their instances (and if everything is pinned, the sort repeats
+        # until some key quiesces).
+        target = (len(self._resident) - cap) + max(1, cap // 10)
+        by_age = sorted(self._resident.items(), key=lambda kv: kv[1].touch_seq)
+        for key, inst in by_age:
+            if target <= 0:
+                break
+            if self._freeze(key, inst):
+                target -= 1
+
+    def _sweep(self, now: float) -> Effects:
+        effects = Effects()
+        idle_s = self.config.keyed_idle_evict_s
+        if idle_s is None:
+            return effects
+        cutoff = now - idle_s
+        for key, inst in list(self._resident.items()):
+            if inst.touched_at is None:
+                # Admitted without a clock (warm-up via instance() or
+                # materialize_proposer()): start its idle window at this
+                # sweep instead of freezing the just-warmed key.
+                inst.touched_at = now
+            elif inst.touched_at <= cutoff:
+                self._freeze(key, inst)
+        effects.set_timer(_SWEEP_TIMER, idle_s)
+        return effects
+
+    # ------------------------------------------------------------------
     def on_start(self, now: float) -> Effects:
-        return Effects()
+        effects = Effects()
+        if self.config.keyed_idle_evict_s is not None:
+            effects.set_timer(_SWEEP_TIMER, self.config.keyed_idle_evict_s)
+        return effects
 
     def on_message(self, src: str, message: Any, now: float) -> Effects:
         if not isinstance(message, Keyed):
             return Effects()  # unkeyed traffic is not ours
         key = message.key
         inner = message.message
-        instance = self.instance(key)
+        instance = self.instance(key, now)
 
         if isinstance(inner, ClientUpdate):
-            effects = instance.proposer.client_update(
+            effects = self._materialize(key, instance).client_update(
                 src, inner.request_id, inner.op, now
             )
         elif isinstance(inner, ClientQuery):
-            effects = instance.proposer.client_query(
+            effects = self._materialize(key, instance).client_query(
                 src, inner.request_id, inner.op, now
             )
         else:
             effects = self._on_peer_message(instance, src, inner, now)
-        return self._wrap(key, effects)
+        wrapped = self._wrap(key, effects)
+        self._evict_excess()
+        return wrapped
 
     def _on_peer_message(
         self, instance: _KeyInstance, src: str, inner: Any, now: float
@@ -181,14 +350,28 @@ class KeyedCrdtReplica(ProtocolNode):
         return effects if effects is not None else Effects()
 
     def on_timer(self, key: str, now: float) -> Effects:
+        if key == _SWEEP_TIMER:
+            return self._sweep(now)
         # Timer keys are namespaced "<repr(key)>|<proposer key>"; the
-        # namespace index resolves them in O(1) regardless of keyspace size.
-        namespace, _, proposer_key = key.partition("|")
+        # namespace index resolves them in O(1) regardless of keyspace
+        # size.  Split at the LAST '|' — proposer timer keys never
+        # contain one, but a key's repr may.  A timer for an evicted (or
+        # never-proposing) key is stale by construction — eviction
+        # requires an idle proposer, whose timers have all fired or been
+        # cancelled — and is dropped.
+        namespace, _, proposer_key = key.rpartition("|")
         candidate = self._namespaces.get(namespace)
         if candidate is None:
             return Effects()
-        instance = self._instances[candidate]
-        return self._wrap(candidate, instance.proposer.on_timer(proposer_key, now))
+        instance = self._resident.get(candidate)
+        if instance is None or instance.proposer is None:
+            return Effects()
+        self._touch_seq += 1
+        instance.touch_seq = self._touch_seq
+        instance.touched_at = now
+        wrapped = self._wrap(candidate, instance.proposer.on_timer(proposer_key, now))
+        self._evict_excess()
+        return wrapped
 
     # ------------------------------------------------------------------
     def _wrap(self, key: Hashable, effects: Effects) -> Effects:

@@ -7,11 +7,17 @@ originating request (or batch); acceptors echo them verbatim.
 
 VOTED deliberately carries **no payload** (§3.6): the proposer already
 knows the state it proposed.
+
+Sizing is interned at both layers: the CRDT payload's size is memoized on
+the payload object (next to its digest cache, via ``cached_wire_size``),
+and the payload-carrying messages additionally memoize their *total* size
+in a ``_size`` slot — a MERGE/PREPARE broadcast to N peers is sized once
+on the protocol message, not once per envelope.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.rounds import Round
@@ -24,6 +30,23 @@ def _state_size(state: StateCRDT | None) -> int:
     # Memoized: one MERGE/PREPARE payload is broadcast to every peer and
     # its envelope sized per destination.
     return 0 if state is None else _cached_wire_size(state)
+
+
+#: Memo slot for a message's total wire size (init=False keeps it out of
+#: the constructor, compare=False out of equality and hashing).
+def _size_slot():
+    return field(default=None, init=False, repr=False, compare=False)
+
+
+def _intern_size(message, total: int) -> int:
+    """Store a message's computed total size in its ``_size`` slot.
+
+    One shared helper so the six payload-carrying messages do not each
+    carry a private copy of the memoization logic.  ``total`` is computed
+    by the caller only on a miss (``wire_size`` checks the slot first).
+    """
+    object.__setattr__(message, "_size", total)
+    return total
 
 
 # ----------------------------------------------------------------------
@@ -100,9 +123,12 @@ class Merge:
 
     request_id: str
     state: StateCRDT
+    _size: int | None = _size_slot()
 
     def wire_size(self) -> int:
-        return 8 + _state_size(self.state)
+        if self._size is None:
+            return _intern_size(self, 8 + _state_size(self.state))
+        return self._size
 
 
 @dataclass(frozen=True, slots=True)
@@ -127,9 +153,14 @@ class Prepare:
     attempt: int
     round: Round
     state: StateCRDT | None = None
+    _size: int | None = _size_slot()
 
     def wire_size(self) -> int:
-        return 12 + self.round.wire_size() + _state_size(self.state)
+        if self._size is None:
+            return _intern_size(
+                self, 12 + self.round.wire_size() + _state_size(self.state)
+            )
+        return self._size
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,9 +171,14 @@ class PrepareAck:
     attempt: int
     round: Round
     state: StateCRDT
+    _size: int | None = _size_slot()
 
     def wire_size(self) -> int:
-        return 12 + self.round.wire_size() + _state_size(self.state)
+        if self._size is None:
+            return _intern_size(
+                self, 12 + self.round.wire_size() + _state_size(self.state)
+            )
+        return self._size
 
 
 @dataclass(frozen=True, slots=True)
@@ -158,9 +194,14 @@ class PrepareNack:
     attempt: int
     round: Round
     state: StateCRDT
+    _size: int | None = _size_slot()
 
     def wire_size(self) -> int:
-        return 12 + self.round.wire_size() + _state_size(self.state)
+        if self._size is None:
+            return _intern_size(
+                self, 12 + self.round.wire_size() + _state_size(self.state)
+            )
+        return self._size
 
 
 @dataclass(frozen=True, slots=True)
@@ -171,9 +212,14 @@ class Vote:
     attempt: int
     round: Round
     state: StateCRDT
+    _size: int | None = _size_slot()
 
     def wire_size(self) -> int:
-        return 12 + self.round.wire_size() + _state_size(self.state)
+        if self._size is None:
+            return _intern_size(
+                self, 12 + self.round.wire_size() + _state_size(self.state)
+            )
+        return self._size
 
 
 @dataclass(frozen=True, slots=True)
@@ -195,6 +241,11 @@ class VoteNack:
     attempt: int
     round: Round
     state: StateCRDT
+    _size: int | None = _size_slot()
 
     def wire_size(self) -> int:
-        return 12 + self.round.wire_size() + _state_size(self.state)
+        if self._size is None:
+            return _intern_size(
+                self, 12 + self.round.wire_size() + _state_size(self.state)
+            )
+        return self._size

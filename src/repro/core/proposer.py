@@ -20,20 +20,46 @@ Commands are grouped into batches even when batching is off (a batch of
 one); this gives a single code path and matches the paper's observation
 that the batched and unbatched protocols are the same machine.
 
-**Update pipelining** (``config.update_pipeline``): because CRDT merges
+**Flyweight sharing** (:class:`ProposerShared`): everything that is
+identical for every proposer one replica hosts — node identity, peer
+list, quorum system, config, batching phase, backoff factor, the round-id
+source and the stats sink — lives in one shared context object.  A keyed
+deployment (:class:`~repro.core.keyspace.KeyedCrdtReplica`) hosts one
+proposer *per key*; hoisting the shared state means a hot key costs a
+handful of machine words of bookkeeping, not a private copy of the whole
+replica configuration.  The single-instance replica simply owns a 1:1
+context.  Sharing the :class:`~repro.core.rounds.RoundIdGenerator` is
+safe: round ids only need to be unique, and a node-wide counter is
+strictly more unique than a per-key one.
+
+**Admission control** (``config.update_pipeline``): because CRDT merges
 commute and are idempotent, update batches from one proposer need no
 ordering between themselves — the proposer may broadcast a new MERGE batch
 while up to ``update_pipeline - 1`` earlier batches still await their
 quorum of acks, hiding the merge round trip instead of stalling a full
-batch window per in-flight batch.  Queries remain single-flight per
-proposer (the §3.5 liveness argument relies on one prepare front per
-proposer).  ``ProposerStats`` exposes the observed pipeline depth.
+batch window per in-flight batch.  The window bounds in-flight MERGE
+traffic in *every* mode: batched proposals wait for the next flush tick,
+and unbatched commands past the window queue and are admitted (one
+batch-of-one per completion) as earlier round trips finish.  Queries
+remain single-flight per batched proposer (the §3.5 liveness argument
+relies on one prepare front per proposer).  ``ProposerStats`` exposes the
+observed pipeline depth.
 
 **Hot-path accumulation**: quorum folds use
 :class:`~repro.crdt.base.MergeAccumulator` and the payloads' digest/join
 short-circuits, so a quorum acking with equal payloads is folded without
 copying and compared against the LUB in O(1) instead of two full lattice
 passes per ack.
+
+**Re-drive freshness**: an update-timeout re-drive does not resend the
+original batch payload.  Without ``delta_merge`` it sends the acceptor's
+*current* state (which subsumes the batch and disseminates everything
+learned since); with ``delta_merge`` it sends the batch's accumulated
+delta — the original delta joined with the deltas of every update batch
+started since — still far smaller than the full payload but fresher than
+the original fragment.  Both are safe: a MERGED ack certifies the peer
+stores a superset of the batch's updates.  Peers that already acked are
+skipped.
 """
 
 from __future__ import annotations
@@ -88,6 +114,9 @@ class _UpdateBatch:
     payload: StateCRDT
     tags: list[Any]
     acked: set[str] = field(default_factory=set)
+    #: Delta-mode re-drive payload: the batch delta plus the deltas of
+    #: every update batch started while this one was in flight.
+    redrive: MergeAccumulator | None = None
 
 
 @dataclass
@@ -112,7 +141,24 @@ class _QueryBatch:
 
 
 class ProposerStats:
-    """Aggregate counters exposed for benchmarks and debugging."""
+    """Aggregate counters exposed for benchmarks and debugging.
+
+    Slotted: a keyed replica shares one instance across every per-key
+    proposer it hosts, but eager (per-key) instances still allocate one
+    each, so the footprint matters at scale.
+    """
+
+    __slots__ = (
+        "updates_completed",
+        "queries_completed",
+        "fast_path_learns",
+        "vote_learns",
+        "prepare_retries",
+        "vote_retries",
+        "timeouts",
+        "max_update_pipeline",
+        "pipeline_stalls",
+    )
 
     def __init__(self) -> None:
         self.updates_completed = 0
@@ -124,34 +170,117 @@ class ProposerStats:
         self.timeouts = 0
         #: Deepest concurrent-update-batch pipeline observed.
         self.max_update_pipeline = 0
-        #: Flush ticks where a full pipeline window held a batch back.
+        #: Ticks/commands where a full pipeline window held a batch back.
         self.pipeline_stalls = 0
 
     def snapshot(self) -> dict[str, int]:
-        return dict(vars(self))
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
-class Proposer:
-    """Sans-io proposer; all handlers return :class:`Effects`."""
+class ProposerShared:
+    """Flyweight context: per-replica state identical for every proposer.
+
+    One instance per replica (or per replica *group* membership).  The
+    single-instance :class:`~repro.core.replica.CrdtPaxosReplica` owns a
+    1:1 context; :class:`~repro.core.keyspace.KeyedCrdtReplica` shares one
+    across all per-key proposers, which is what makes a million-key store
+    affordable: config, peer lists, quorum system, the round-id source,
+    batching phase, backoff factor and the stats sink are stored once per
+    node instead of once per key.
+    """
+
+    __slots__ = (
+        "node_id",
+        "proposer_index",
+        "remotes",
+        "quorum",
+        "config",
+        "flush_phase",
+        "backoff_factor",
+        "rid_gen",
+        "stats",
+        "_batch_counter",
+        "_learn_counter",
+    )
 
     def __init__(
         self,
         node_id: str,
-        proposer_index: int,
         peers: list[str],
-        acceptor: Acceptor,
         quorum: QuorumSystem,
         config: CrdtPaxosConfig,
-        initial_state: StateCRDT,
+        stats: ProposerStats | None = None,
     ) -> None:
         self.node_id = node_id
-        self._remotes = [p for p in peers if p != node_id]
-        self._acceptor = acceptor
-        self._quorum = quorum
-        self._config = config
-        self._initial_state = initial_state
-        self._rid_gen = RoundIdGenerator(proposer_index)
+        self.proposer_index = sorted(peers).index(node_id)
+        self.remotes = tuple(p for p in peers if p != node_id)
+        self.quorum = quorum
+        self.config = config
+        members = max(len(peers), 1)
+        # Stagger the batching cadence across proposers (clock drift does
+        # this in any real deployment).  If every proposer flushed at the
+        # same instant, each read batch would systematically collide with
+        # the other proposers' merge fronts and retry — the opposite of
+        # what batching is for (§3.6).
+        self.flush_phase = config.batch_window * self.proposer_index / members
+        # Per-proposer backoff factor: identical retry delays re-align
+        # dueling proposers (the §3.5 liveness hazard); distinct periods
+        # let them drift apart, like randomized timeouts do in practice.
+        self.backoff_factor = 1.0 + self.proposer_index / members
+        self.rid_gen = RoundIdGenerator(self.proposer_index)
+        self.stats = stats if stats is not None else ProposerStats()
         self._batch_counter = 0
+        self._learn_counter = 0
+
+    def next_batch(self) -> int:
+        """Node-wide unique batch number.  Shared (not per-proposer) so a
+        key evicted and rehydrated — whose fresh proposer starts from
+        scratch — can never reuse a batch id a stale in-flight reply from
+        the previous proposer generation might still answer."""
+        self._batch_counter += 1
+        return self._batch_counter
+
+    def next_learn(self) -> int:
+        """Node-wide monotone learn sequence (see ``QueryDone.learn_seq``).
+        Shared for the same reason as :meth:`next_batch`: the GLA checker
+        orders a node's learns by this number, and a rehydrated proposer
+        restarting at 1 would collide with its previous generation."""
+        self._learn_counter += 1
+        return self._learn_counter
+
+
+class Proposer:
+    """Sans-io proposer; all handlers return :class:`Effects`.
+
+    Slotted and flyweight-backed: per-proposer state is only the open
+    request bookkeeping (plus two flags and the §3.4 learned maximum);
+    everything configuration-shaped lives in :class:`ProposerShared`.
+    """
+
+    __slots__ = (
+        "_shared",
+        "_acceptor",
+        "_initial_state",
+        "_update_batches",
+        "_query_batches",
+        "_update_buffer",
+        "_query_buffer",
+        "_updates_in_flight",
+        "_query_in_flight",
+        "_flush_armed",
+        "_flush_ever_armed",
+        "_learned_max",
+    )
+
+    def __init__(
+        self,
+        shared: ProposerShared,
+        acceptor: Acceptor,
+        initial_state: StateCRDT,
+    ) -> None:
+        self._shared = shared
+        self._acceptor = acceptor
+        self._initial_state = initial_state
         self._update_batches: dict[str, _UpdateBatch] = {}
         self._query_batches: dict[str, _QueryBatch] = {}
         self._update_buffer: list[_UpdateItem] = []
@@ -160,21 +289,49 @@ class Proposer:
         self._query_in_flight = False
         self._flush_armed = False
         self._flush_ever_armed = False
-        # Stagger the batching cadence across proposers (clock drift does
-        # this in any real deployment).  If every proposer flushed at the
-        # same instant, each read batch would systematically collide with
-        # the other proposers' merge fronts and retry — the opposite of
-        # what batching is for (§3.6).
-        self._flush_phase = (
-            self._config.batch_window * proposer_index / max(len(peers), 1)
-        )
-        # Per-proposer backoff factor: identical retry delays re-align
-        # dueling proposers (the §3.5 liveness hazard); distinct periods
-        # let them drift apart, like randomized timeouts do in practice.
-        self._backoff_factor = 1.0 + proposer_index / max(len(peers), 1)
         self._learned_max: StateCRDT | None = None
-        self._learn_seq = 0
-        self.stats = ProposerStats()
+
+    # ------------------------------------------------------------------
+    # Flyweight accessors
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> str:
+        return self._shared.node_id
+
+    @property
+    def stats(self) -> ProposerStats:
+        return self._shared.stats
+
+    @property
+    def _config(self) -> CrdtPaxosConfig:
+        return self._shared.config
+
+    @property
+    def _remotes(self) -> tuple[str, ...]:
+        return self._shared.remotes
+
+    @property
+    def _quorum(self) -> QuorumSystem:
+        return self._shared.quorum
+
+    @property
+    def idle(self) -> bool:
+        """No open requests, buffered commands or armed flush timer.
+
+        An idle proposer holds no state the protocol can lose: all its
+        remaining fields are either derivable (counters) or optimizations
+        whose guarantees only span open requests (``_learned_max``
+        matters only for *overlapping* queries, §3.4 — and an overlapping
+        query would be an open batch).  The keyed store's cold-key
+        eviction relies on this.
+        """
+        return not (
+            self._update_batches
+            or self._query_batches
+            or self._update_buffer
+            or self._query_buffer
+            or self._flush_armed
+        )
 
     # ------------------------------------------------------------------
     # Client entry points
@@ -184,7 +341,15 @@ class Proposer:
     ) -> Effects:
         item = _UpdateItem(client, request_id, op)
         if not self._config.batching:
-            return self._start_update_batch([item])
+            # Unbatched admission control: the pipeline window bounds
+            # in-flight MERGE traffic in every mode.  Commands past the
+            # window queue here and are admitted as their own batch of one
+            # when an earlier round trip completes.
+            if self._updates_in_flight < self._config.update_pipeline:
+                return self._start_update_batch([item])
+            self._update_buffer.append(item)
+            self.stats.pipeline_stalls += 1
+            return Effects()
         effects = Effects()
         self._update_buffer.append(item)
         self._ensure_flush_timer(effects)
@@ -210,7 +375,7 @@ class Proposer:
             delay = self._config.batch_window
             if not self._flush_ever_armed:
                 self._flush_ever_armed = True
-                delay += self._flush_phase
+                delay += self._shared.flush_phase
             effects.set_timer("flush", delay)
 
     def on_flush_timer(self, now: float) -> Effects:
@@ -238,8 +403,7 @@ class Proposer:
     # Update path (single round trip)
     # ------------------------------------------------------------------
     def _start_update_batch(self, items: list[_UpdateItem]) -> Effects:
-        self._batch_counter += 1
-        batch_id = f"{self.node_id}/u{self._batch_counter}"
+        batch_id = f"{self.node_id}/u{self._shared.next_batch()}"
         effects = Effects()
 
         deltas = MergeAccumulator()
@@ -254,9 +418,21 @@ class Proposer:
             if self._config.delta_merge:
                 deltas.add(item.op.delta(before, after, self.node_id))
 
-        payload = deltas.value if self._config.delta_merge else self._acceptor.state
+        if self._config.delta_merge:
+            payload = deltas.value
+            # Keep earlier in-flight batches' re-drive payloads fresh:
+            # their next re-send carries this batch's updates too.
+            for open_batch in self._update_batches.values():
+                if open_batch.redrive is not None:
+                    open_batch.redrive.add(payload)
+            redrive = MergeAccumulator(payload)
+        else:
+            payload = self._acceptor.state
+            redrive = None
         assert payload is not None
-        batch = _UpdateBatch(batch_id, items, payload, tags, acked={self.node_id})
+        batch = _UpdateBatch(
+            batch_id, items, payload, tags, acked={self.node_id}, redrive=redrive
+        )
         self._update_batches[batch_id] = batch
         self._updates_in_flight += 1
         self.stats.max_update_pipeline = max(
@@ -294,14 +470,21 @@ class Proposer:
             )
             self.stats.updates_completed += 1
         self._updates_in_flight -= 1
+        if (
+            not self._config.batching
+            and self._update_buffer
+            and self._updates_in_flight < self._config.update_pipeline
+        ):
+            # Unbatched admission: each completion admits one queued
+            # command as its own batch, preserving batch-of-one semantics.
+            effects.merge(self._start_update_batch([self._update_buffer.pop(0)]))
         return effects
 
     # ------------------------------------------------------------------
     # Query path (prepare / vote)
     # ------------------------------------------------------------------
     def _start_query_batch(self, items: list[_QueryItem]) -> Effects:
-        self._batch_counter += 1
-        batch_id = f"{self.node_id}/q{self._batch_counter}"
+        batch_id = f"{self.node_id}/q{self._shared.next_batch()}"
         batch = _QueryBatch(
             batch_id=batch_id,
             items=items,
@@ -323,7 +506,7 @@ class Proposer:
         batch.proposed = None
         batch.round_trips += 1
 
-        rid = self._rid_gen.fresh()
+        rid = self._shared.rid_gen.fresh()
         if kind == "incremental":
             round_ = Round.incremental(rid)
         else:
@@ -444,7 +627,7 @@ class Proposer:
             effects = Effects()
             effects.set_timer(
                 f"retry:{batch.batch_id}",
-                self._config.retry_backoff * self._backoff_factor,
+                self._config.retry_backoff * self._shared.backoff_factor,
             )
             return effects
         return self._start_attempt(batch, kind)
@@ -461,7 +644,7 @@ class Proposer:
         effects = Effects()
         del self._query_batches[batch.batch_id]
         effects.cancel_timer(f"qto:{batch.batch_id}")
-        self._learn_seq += 1
+        learn_seq = self._shared.next_learn()
         if via == "fast":
             self.stats.fast_path_learns += 1
         else:
@@ -477,7 +660,7 @@ class Proposer:
                     attempts=batch.attempt,
                     learned_via=via,
                     proposer=self.node_id,
-                    learn_seq=self._learn_seq,
+                    learn_seq=learn_seq,
                 ),
             )
             self.stats.queries_completed += 1
@@ -507,7 +690,15 @@ class Proposer:
             return Effects()
         self.stats.timeouts += 1
         effects = Effects()
-        message = Merge(request_id=batch.batch_id, state=batch.payload)
+        # Re-drive freshness: never resend the original (possibly stale)
+        # batch payload.  The current acceptor state — or, in delta mode,
+        # the accumulated delta — subsumes it, so a MERGED ack still
+        # certifies durability of this batch's updates.
+        if batch.redrive is not None:
+            payload = batch.redrive.value
+        else:
+            payload = self._acceptor.state
+        message = Merge(request_id=batch.batch_id, state=payload)
         for peer in self._remotes:
             if peer not in batch.acked:
                 effects.send(peer, message)

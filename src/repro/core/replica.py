@@ -15,7 +15,7 @@ from typing import Any
 from repro.core.acceptor import Acceptor
 from repro.core.config import CrdtPaxosConfig
 from repro.core.messages import ClientQuery, ClientUpdate
-from repro.core.proposer import Proposer
+from repro.core.proposer import Proposer, ProposerShared
 from repro.core.router import dispatch_peer_message
 from repro.crdt.base import StateCRDT
 from repro.net.node import Effects, ProtocolNode
@@ -54,14 +54,13 @@ class CrdtPaxosReplica(ProtocolNode):
         self.config = config or CrdtPaxosConfig()
         self.quorum = quorum or MajorityQuorum(peers)
         self.acceptor = Acceptor(initial_state)
+        # A single-instance replica owns its proposer context 1:1; the
+        # keyed deployment shares one context across every per-key
+        # proposer (see repro.core.keyspace).
         self.proposer = Proposer(
-            node_id=node_id,
-            proposer_index=sorted(peers).index(node_id),
-            peers=self.peers,
-            acceptor=self.acceptor,
-            quorum=self.quorum,
-            config=self.config,
-            initial_state=initial_state,
+            ProposerShared(node_id, self.peers, self.quorum, self.config),
+            self.acceptor,
+            initial_state,
         )
 
     # ------------------------------------------------------------------

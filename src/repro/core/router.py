@@ -11,6 +11,12 @@ module is the one copy of that table, dispatched O(1) by message type:
 * proposer *replies* (MERGED / PREPARE-ACK / PREPARE-NACK / VOTED /
   VOTE-NACK) feed the proposer's quorum bookkeeping.
 
+``proposer`` may be ``None`` — the keyed store materializes proposers
+lazily, so a key that only ever served acceptor traffic has none.  A
+proposer reply arriving for such a key is necessarily stale (this node
+never originated a request for it) and is dropped, exactly as the
+per-batch guards would drop it.
+
 Unknown messages yield ``None`` so callers can drop them, like any
 unreliable channel would.
 """
@@ -36,7 +42,11 @@ from repro.net.node import Effects
 
 def _acceptor_request(handler_name: str):
     def handle(
-        acceptor: Acceptor, proposer: Proposer, src: str, message: Any, now: float
+        acceptor: Acceptor,
+        proposer: Proposer | None,
+        src: str,
+        message: Any,
+        now: float,
     ) -> Effects:
         effects = Effects()
         effects.send(src, getattr(acceptor, handler_name)(message))
@@ -47,8 +57,14 @@ def _acceptor_request(handler_name: str):
 
 def _proposer_reply(handler_name: str):
     def handle(
-        acceptor: Acceptor, proposer: Proposer, src: str, message: Any, now: float
+        acceptor: Acceptor,
+        proposer: Proposer | None,
+        src: str,
+        message: Any,
+        now: float,
     ) -> Effects:
+        if proposer is None:
+            return Effects()
         return getattr(proposer, handler_name)(src, message, now)
 
     return handle
@@ -68,7 +84,11 @@ PEER_DISPATCH = {
 
 
 def dispatch_peer_message(
-    acceptor: Acceptor, proposer: Proposer, src: str, message: Any, now: float
+    acceptor: Acceptor,
+    proposer: Proposer | None,
+    src: str,
+    message: Any,
+    now: float,
 ) -> Effects | None:
     """Route one peer message; ``None`` means the type is not a peer message."""
     handler = PEER_DISPATCH.get(type(message))

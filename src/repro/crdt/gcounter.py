@@ -27,7 +27,10 @@ class GCounter(StateCRDT):
 
     @staticmethod
     def initial() -> "GCounter":
-        return GCounter()
+        """The bottom element — a shared singleton.  Payloads are
+        immutable, and a keyed store creates one bottom per key; sharing
+        it makes cold keys cost zero payload bytes until they diverge."""
+        return _BOTTOM
 
     @classmethod
     def of(cls, mapping: Mapping[str, int]) -> "GCounter":
@@ -77,6 +80,10 @@ class GCounter(StateCRDT):
     def wire_size(self) -> int:
         # One (replica id, 64-bit slot) pair per entry.
         return 4 + sum(len(replica) + 8 for replica, _ in self.entries)
+
+
+#: Shared bottom element returned by :meth:`GCounter.initial`.
+_BOTTOM = GCounter()
 
 
 class Increment(UpdateOp):

@@ -44,17 +44,50 @@ class GMap(StateCRDT):
     def with_entry(self, key: Hashable, value: StateCRDT) -> "GMap":
         entries = self.as_dict()
         existing = entries.get(key)
-        entries[key] = value if existing is None else existing.merge(value)
+        if existing is not None:
+            joined = existing.join(value)
+            if joined is existing:  # nested value already subsumed
+                return self
+            entries[key] = joined
+            # Key set unchanged: the existing order is already sorted.
+            return GMap(tuple((k, entries[k]) for k, _ in self.entries))
+        entries[key] = value
         return GMap(tuple(sorted(entries.items(), key=lambda kv: repr(kv[0]))))
 
     # ------------------------------------------------------------------
     def merge(self, other: "GMap") -> "GMap":
+        """Pointwise LUB with per-entry short-circuits.
+
+        Nested values fold with :meth:`~repro.crdt.base.StateCRDT.join`,
+        whose digest cache proves "already subsumed" in O(1) — so merging
+        a map that changes nothing returns ``self`` untouched (no re-sort,
+        no allocation), and a merge touching one entry re-sorts only when
+        the key *set* grew (otherwise the existing order is reused).
+        """
         if other is self:
             return self
+        if not self.entries:
+            return other
+        if not other.entries:
+            return self
         merged = self.as_dict()
+        changed = False
+        grew = False
         for key, value in other.entries:
             existing = merged.get(key)
-            merged[key] = value if existing is None else existing.merge(value)
+            if existing is None:
+                merged[key] = value
+                changed = grew = True
+            else:
+                joined = existing.join(value)
+                if joined is not existing:
+                    merged[key] = joined
+                    changed = True
+        if not changed:
+            return self
+        if not grew:
+            # Same key set: preserve the already-sorted entry order.
+            return GMap(tuple((k, merged[k]) for k, _ in self.entries))
         return GMap(tuple(sorted(merged.items(), key=lambda kv: repr(kv[0]))))
 
     def compare(self, other: "GMap") -> bool:

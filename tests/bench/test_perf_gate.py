@@ -1,8 +1,9 @@
-"""Unit tests for the perf-gate harness (logic, not timings)."""
+"""Unit tests for the perf-gate harness and trend comparer (logic, not
+timings)."""
 
 import json
 
-from repro.bench import perf_gate
+from repro.bench import perf_gate, trend
 
 
 class TestGateLogic:
@@ -70,3 +71,59 @@ class TestBaselineSnapshot:
         micro = perf_gate.run_micro()
         failures = perf_gate.evaluate_gate(micro, payload["metrics"])
         assert failures == [], failures
+
+    def test_keyed_scale_metrics_clear_the_gate(self):
+        """The flyweight keyed-store density and the 100k timer rail must
+        beat their checked-in floors too."""
+        payload = json.loads(perf_gate.baseline_path().read_text())
+        scale = perf_gate.run_keyed_scale()
+        failures = perf_gate.evaluate_gate(scale, payload["metrics"])
+        assert failures == [], failures
+
+    def test_output_path_tracks_current_pr(self):
+        assert perf_gate.output_path().name == f"BENCH_PR{perf_gate.CURRENT_PR}.json"
+
+
+class TestTrend:
+    def write_snapshot(self, root, pr, metrics):
+        (root / f"BENCH_PR{pr}.json").write_text(
+            json.dumps({"benchmark": "perf-gate", "metrics": metrics})
+        )
+
+    def test_discovery_sorts_by_pr_number(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ROOT", str(tmp_path))
+        self.write_snapshot(tmp_path, 10, {"x_ops_s": 1.0})
+        self.write_snapshot(tmp_path, 2, {"x_ops_s": 1.0})
+        assert [pr for pr, _ in trend.discover_bench_files()] == [2, 10]
+
+    def test_deltas_between_consecutive_snapshots(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ROOT", str(tmp_path))
+        self.write_snapshot(tmp_path, 1, {"x_ops_s": 100.0})
+        self.write_snapshot(tmp_path, 2, {"x_ops_s": 150.0})
+        report = trend.render_trend(trend.load_trajectory())
+        assert "+50.0% vs PR 1" in report
+
+    def test_metric_missing_in_middle_pr_compares_to_last_seen(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BENCH_ROOT", str(tmp_path))
+        self.write_snapshot(tmp_path, 1, {"x_ops_s": 100.0})
+        self.write_snapshot(tmp_path, 2, {"other_ops_s": 1.0})
+        self.write_snapshot(tmp_path, 3, {"x_ops_s": 80.0})
+        report = trend.render_trend(trend.load_trajectory())
+        assert "-20.0% vs PR 1" in report
+
+    def test_malformed_snapshot_is_skipped(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ROOT", str(tmp_path))
+        self.write_snapshot(tmp_path, 1, {"x_ops_s": 100.0})
+        (tmp_path / "BENCH_PR2.json").write_text("{not json")
+        trajectory = trend.load_trajectory()
+        assert [pr for pr, _ in trajectory] == [1]
+
+    def test_no_snapshots_message(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ROOT", str(tmp_path))
+        assert "no BENCH_PR" in trend.render_trend(trend.load_trajectory())
+
+    def test_checked_in_trajectory_renders(self):
+        report = trend.render_trend(trend.load_trajectory())
+        assert "benchmark trajectory" in report

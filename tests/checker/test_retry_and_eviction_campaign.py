@@ -1,0 +1,179 @@
+"""Adversarial campaigns: parked retries and keyed cold-key eviction.
+
+Two schedules the explorer previously could not produce:
+
+* ``retry_backoff > 0`` — a failed query attempt *parks* until its retry
+  timer fires; the adversary now pools those timers and fires them in
+  arbitrary order relative to deliveries, instead of the old
+  immediate-retry-only schedule.
+* cold-key eviction — the keyed replica demotes quiescent keys to frozen
+  records (payload + round watermark) under a small ``keyed_max_resident``
+  cap and rehydrates them on touch; per-key linearizability must survive
+  freeze/rehydrate cycles interleaved with live protocol traffic on other
+  keys.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checker.counter_linearizability import (
+    CounterHistory,
+    check_counter_linearizable,
+)
+from repro.checker.history import History
+from repro.checker.lattice_linearizability import check_all
+from repro.checker.scheduler import InterleavingExplorer, KeyedInterleavingExplorer
+from repro.core.config import CrdtPaxosConfig
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def as_counter_history(history: History) -> CounterHistory:
+    """Project the explorer's lattice history onto the counter checker."""
+    counter = CounterHistory()
+    for update in history.updates:
+        op = counter.begin_increment(update.op_id, 1, update.invoked_at)
+        op.completed_at = update.completed_at
+    for query in history.queries:
+        op = counter.begin_read(query.op_id, query.invoked_at)
+        if query.complete:
+            op.completed_at = query.completed_at
+            op.result = query.state.value()
+    return counter
+
+
+# ----------------------------------------------------------------------
+# Parked retries (retry_backoff > 0) under adversarial timer order
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_ops=st.integers(5, 30),
+    read_fraction=st.floats(0.1, 0.9),
+    retry_prepare=st.sampled_from(["incremental", "fixed"]),
+)
+def test_retry_backoff_clean_network_campaign(
+    seed, n_ops, read_fraction, retry_prepare
+):
+    config = CrdtPaxosConfig(retry_backoff=0.01, retry_prepare=retry_prepare)
+    explorer = InterleavingExplorer(seed=seed, config=config)
+    report = explorer.run(n_ops=n_ops, read_fraction=read_fraction)
+    check_all(report.history)
+    check_counter_linearizable(as_counter_history(report.history))
+    assert report.all_complete
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_ops=st.integers(5, 25),
+    duplicate=st.floats(0.0, 0.2),
+)
+def test_retry_backoff_duplicating_network_campaign(seed, n_ops, duplicate):
+    """Safety must survive duplication of traffic around parked retries."""
+    config = CrdtPaxosConfig(retry_backoff=0.02)
+    explorer = InterleavingExplorer(seed=seed, config=config)
+    report = explorer.run(
+        n_ops=n_ops, read_fraction=0.5, duplicate_probability=duplicate
+    )
+    check_all(report.history)
+    check_counter_linearizable(as_counter_history(report.history))
+
+
+def test_retry_timers_are_exercised():
+    """The campaign is only meaningful if parked retries actually occur
+    (timer_fires counts only collected timers — with batching off, those
+    are exactly the retry timers)."""
+    total_fires = 0
+    for seed in range(20):
+        explorer = InterleavingExplorer(
+            seed=seed, config=CrdtPaxosConfig(retry_backoff=0.01)
+        )
+        report = explorer.run(n_ops=30, read_fraction=0.5)
+        total_fires += report.timer_fires
+    assert total_fires > 0
+
+
+# ----------------------------------------------------------------------
+# Keyed replica: eviction + rehydration under adversarial traffic
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_ops=st.integers(10, 40),
+    read_fraction=st.floats(0.1, 0.9),
+)
+def test_keyed_eviction_campaign(seed, n_ops, read_fraction):
+    explorer = KeyedInterleavingExplorer(
+        seed=seed,
+        n_keys=4,
+        config=CrdtPaxosConfig(keyed_max_resident=2),
+    )
+    report = explorer.run(n_ops=n_ops, read_fraction=read_fraction)
+    for history in report.histories.values():
+        check_all(history)
+        check_counter_linearizable(as_counter_history(history))
+    assert report.all_complete
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_ops=st.integers(10, 30),
+    duplicate=st.floats(0.0, 0.2),
+)
+def test_keyed_eviction_duplicating_network_campaign(seed, n_ops, duplicate):
+    explorer = KeyedInterleavingExplorer(
+        seed=seed,
+        n_keys=4,
+        config=CrdtPaxosConfig(keyed_max_resident=2),
+    )
+    report = explorer.run(
+        n_ops=n_ops, read_fraction=0.5, duplicate_probability=duplicate
+    )
+    for history in report.histories.values():
+        check_all(history)
+        check_counter_linearizable(as_counter_history(history))
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_ops=st.integers(10, 30),
+    read_fraction=st.floats(0.2, 0.8),
+)
+def test_keyed_eviction_gla_stability_campaign(seed, n_ops, read_fraction):
+    """§3.4 monotonicity must hold across proposer generations: learn
+    sequence numbers come from the shared node-wide counter, so a
+    rehydrated key's fresh proposer cannot collide with (or order before)
+    learns from before its eviction."""
+    explorer = KeyedInterleavingExplorer(
+        seed=seed,
+        n_keys=4,
+        config=CrdtPaxosConfig(keyed_max_resident=2, gla_stability=True),
+    )
+    report = explorer.run(n_ops=n_ops, read_fraction=read_fraction)
+    for history in report.histories.values():
+        check_all(history, expect_gla_stability=True)
+        check_counter_linearizable(as_counter_history(history))
+    assert report.all_complete
+
+
+def test_eviction_and_rehydration_are_exercised():
+    """The campaign must actually churn keys through the frozen state."""
+    total_evictions = total_rehydrations = 0
+    for seed in range(10):
+        explorer = KeyedInterleavingExplorer(
+            seed=seed,
+            n_keys=4,
+            config=CrdtPaxosConfig(keyed_max_resident=2),
+        )
+        report = explorer.run(n_ops=30, read_fraction=0.4)
+        total_evictions += report.evictions
+        total_rehydrations += report.rehydrations
+    assert total_evictions > 0
+    assert total_rehydrations > 0

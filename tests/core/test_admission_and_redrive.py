@@ -1,0 +1,134 @@
+"""Unbatched admission control and update-re-drive payload freshness.
+
+PR-1 left the unbatched update path uncapped: one MERGE broadcast per
+client command, unbounded in-flight.  The pipeline window now bounds
+in-flight MERGE traffic in every mode — unbatched commands past the
+window queue and are admitted (as their own batch of one) when an
+earlier round trip completes.
+
+Timeout re-drives no longer resend the original (stale) batch payload:
+full-state mode sends the acceptor's *current* state, delta mode sends
+the batch's accumulated delta (its own delta joined with later batches'
+deltas), and peers that already acked are skipped.
+"""
+
+from repro.core.config import CrdtPaxosConfig
+from repro.core.messages import ClientUpdate, Merge, Merged, UpdateDone
+from repro.core.replica import CrdtPaxosReplica
+from repro.crdt.gcounter import GCounter, Increment
+
+PEERS = ["r0", "r1", "r2"]
+
+
+def make_replica(**config_kwargs) -> CrdtPaxosReplica:
+    return CrdtPaxosReplica(
+        "r0", list(PEERS), GCounter.initial(), CrdtPaxosConfig(**config_kwargs)
+    )
+
+
+def sends_of(effects, message_type):
+    return [(dst, msg) for dst, msg in effects.sends if isinstance(msg, message_type)]
+
+
+def submit(replica, request_id, amount=1, now=0.0):
+    return replica.on_message(
+        "client", ClientUpdate(request_id=request_id, op=Increment(amount)), now
+    )
+
+
+class TestUnbatchedAdmissionControl:
+    def test_window_of_one_serializes_unbatched_updates(self):
+        replica = make_replica(request_timeout=None)  # update_pipeline=1
+        first = submit(replica, "u1")
+        (batch1,) = {msg.request_id for _, msg in sends_of(first, Merge)}
+        second = submit(replica, "u2")
+        assert sends_of(second, Merge) == []  # window full: queued
+        assert replica.proposer.stats.pipeline_stalls == 1
+        # Completion admits the queued command as its own batch of one.
+        done = replica.on_message("r1", Merged(request_id=batch1), 0.0)
+        assert [m.request_id for _, m in sends_of(done, UpdateDone)] == ["u1"]
+        merges = sends_of(done, Merge)
+        assert {dst for dst, _ in merges} == {"r1", "r2"}
+        (batch2,) = {msg.request_id for _, msg in merges}
+        assert batch2 != batch1
+
+    def test_window_of_n_admits_n_then_queues(self):
+        replica = make_replica(request_timeout=None, update_pipeline=2)
+        b1 = submit(replica, "u1")
+        b2 = submit(replica, "u2")
+        b3 = submit(replica, "u3")
+        assert sends_of(b1, Merge) and sends_of(b2, Merge)
+        assert sends_of(b3, Merge) == []
+        assert replica.proposer.stats.max_update_pipeline == 2
+
+    def test_queued_updates_all_complete_in_order(self):
+        replica = make_replica(request_timeout=None)
+        effects = [submit(replica, f"u{i}") for i in range(4)]
+        completed = []
+        pending = [m.request_id for _, m in sends_of(effects[0], Merge)][:1]
+        for _ in range(4):
+            assert pending, "an admitted batch should be in flight"
+            done = replica.on_message("r1", Merged(request_id=pending.pop()), 0.0)
+            completed.extend(m.request_id for _, m in sends_of(done, UpdateDone))
+            pending.extend(
+                {m.request_id for _, m in sends_of(done, Merge)}
+            )
+        assert completed == ["u0", "u1", "u2", "u3"]
+
+    def test_local_state_applies_at_admission_not_submission(self):
+        """Queued commands are applied when admitted, so each batch's
+        payload reflects exactly the admitted prefix."""
+        replica = make_replica(request_timeout=None)
+        first = submit(replica, "u1", amount=1)
+        submit(replica, "u2", amount=10)
+        # The queued command has not touched the acceptor yet.
+        assert replica.acceptor.state.value() == 1
+        (batch1,) = {m.request_id for _, m in sends_of(first, Merge)}
+        replica.on_message("r1", Merged(request_id=batch1), 0.0)
+        assert replica.acceptor.state.value() == 11
+
+
+class TestRedrivePayloadFreshness:
+    def test_full_state_redrive_sends_current_acceptor_state(self):
+        replica = make_replica(request_timeout=1.0, update_pipeline=4)
+        first = submit(replica, "u1", amount=1)
+        (batch1,) = {m.request_id for _, m in sends_of(first, Merge)}
+        submit(replica, "u2", amount=10)  # grows the acceptor to 11
+        redrive = replica.on_timer(f"uto:{batch1}", 2.0)
+        merges = sends_of(redrive, Merge)
+        assert merges, "timeout must re-drive the open batch"
+        assert all(m.state.value() == 11 for _, m in merges)  # fresh, not 1
+
+    def test_delta_redrive_sends_accumulated_delta(self):
+        replica = make_replica(
+            request_timeout=1.0, update_pipeline=4, delta_merge=True
+        )
+        first = submit(replica, "u1", amount=1)
+        (batch1,) = {m.request_id for _, m in sends_of(first, Merge)}
+        assert all(m.state.value() == 1 for _, m in sends_of(first, Merge))
+        submit(replica, "u2", amount=10)
+        redrive = replica.on_timer(f"uto:{batch1}", 2.0)
+        merges = sends_of(redrive, Merge)
+        # The re-driven delta covers both in-flight batches' updates.
+        assert all(m.state.value() == 11 for _, m in merges)
+
+    def test_redrive_skips_peers_that_acked(self):
+        replica = make_replica(request_timeout=1.0)
+        first = submit(replica, "u1")
+        (batch1,) = {m.request_id for _, m in sends_of(first, Merge)}
+        # r1 acks → quorum met (self + r1) → batch completes; no re-drive.
+        replica.on_message("r1", Merged(request_id=batch1), 0.0)
+        assert sends_of(replica.on_timer(f"uto:{batch1}", 2.0), Merge) == []
+
+    def test_redrive_targets_only_silent_peers(self):
+        replica = CrdtPaxosReplica(
+            "r0",
+            ["r0", "r1", "r2", "r3", "r4"],
+            GCounter.initial(),
+            CrdtPaxosConfig(request_timeout=1.0),
+        )
+        first = submit(replica, "u1")
+        (batch1,) = {m.request_id for _, m in sends_of(first, Merge)}
+        replica.on_message("r1", Merged(request_id=batch1), 0.0)  # 2/5: no quorum
+        redrive = replica.on_timer(f"uto:{batch1}", 2.0)
+        assert {dst for dst, _ in sends_of(redrive, Merge)} == {"r2", "r3", "r4"}

@@ -2,8 +2,9 @@
 
 from typing import Any
 
+from repro.core.config import CrdtPaxosConfig
 from repro.core.keyspace import Keyed, KeyedCrdtReplica
-from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
+from repro.core.messages import ClientQuery, ClientUpdate, Merge, QueryDone, UpdateDone
 from repro.crdt.gcounter import GCounter, GCounterValue, Increment
 from repro.crdt.gset import Elements, GSet, GSetAdd
 from repro.net.latency import ConstantLatency
@@ -127,3 +128,139 @@ def test_unkeyed_messages_ignored():
     harness.client.send("r0", "stray string")
     harness.run(0.5)  # must not crash
     assert harness.replies == {}
+
+
+# ----------------------------------------------------------------------
+# Flyweight / lazy-proposer / eviction unit tests (sans-io)
+# ----------------------------------------------------------------------
+PEERS = ["r0", "r1", "r2"]
+
+
+def make_replica(**config_kwargs) -> KeyedCrdtReplica:
+    return KeyedCrdtReplica(
+        "r0",
+        list(PEERS),
+        lambda key: GCounter.initial(),
+        CrdtPaxosConfig(**config_kwargs),
+    )
+
+
+def payload(amount: int, replica: str = "r1") -> GCounter:
+    return Increment(amount).apply(GCounter.initial(), replica)
+
+
+def deliver_merge(replica, key, amount=1, rid="m1", now=0.0):
+    return replica.on_message(
+        "r1",
+        Keyed(key=key, message=Merge(request_id=rid, state=payload(amount))),
+        now,
+    )
+
+
+class TestLazyProposer:
+    def test_acceptor_traffic_stays_proposer_free(self):
+        replica = make_replica()
+        effects = deliver_merge(replica, "k", amount=5)
+        inst = replica.instance("k")
+        assert inst.proposer is None
+        assert replica.state_of("k").value() == 5
+        # The Merged ack still went back, wrapped.
+        assert any(dst == "r1" for dst, _ in effects.sends)
+
+    def test_client_command_materializes_proposer(self):
+        replica = make_replica()
+        replica.on_message(
+            "client",
+            Keyed(key="k", message=ClientUpdate(request_id="u1", op=Increment())),
+            0.0,
+        )
+        assert replica.instance("k").proposer is not None
+
+    def test_stale_proposer_reply_for_lazy_key_is_dropped(self):
+        from repro.core.messages import Merged
+
+        replica = make_replica()
+        effects = replica.on_message(
+            "r1", Keyed(key="k", message=Merged(request_id="r9/u9")), 0.0
+        )
+        assert effects.sends == []
+        assert replica.instance("k").proposer is None
+
+    def test_eager_mode_materializes_on_first_touch(self):
+        replica = KeyedCrdtReplica(
+            "r0", list(PEERS), lambda key: GCounter.initial(), eager=True
+        )
+        deliver_merge(replica, "k")
+        assert replica.instance("k").proposer is not None
+
+
+class TestColdKeyEviction:
+    def test_capacity_eviction_demotes_lru_quiescent_keys(self):
+        replica = make_replica(keyed_max_resident=2)
+        deliver_merge(replica, "k1", amount=1, rid="m1")
+        deliver_merge(replica, "k2", amount=2, rid="m2")
+        deliver_merge(replica, "k3", amount=3, rid="m3")
+        assert replica.evictions >= 1
+        assert replica.resident_count() <= 2
+        assert "k1" not in replica._resident  # least recently touched
+        assert set(replica.keys()) == {"k1", "k2", "k3"}  # frozen still listed
+        assert replica.state_of("k1").value() == 1  # frozen peek, no churn
+        assert replica.rehydrations == 0
+
+    def test_rehydration_preserves_payload_and_round(self):
+        replica = make_replica(keyed_max_resident=2)
+        deliver_merge(replica, "k1", amount=7, rid="m1")
+        round_before = replica.instance("k1").acceptor.round
+        deliver_merge(replica, "k2", rid="m2")
+        deliver_merge(replica, "k3", rid="m3")
+        assert "k1" in replica._frozen
+        inst = replica.instance("k1")  # touch → rehydrate
+        assert replica.rehydrations == 1
+        assert inst.acceptor.state.value() == 7
+        assert inst.acceptor.round == round_before
+
+    def test_busy_keys_are_never_evicted(self):
+        replica = make_replica(keyed_max_resident=1)
+        # Open an update batch on k1: quorum of 2 needed, only self acked.
+        replica.on_message(
+            "client",
+            Keyed(key="k1", message=ClientUpdate(request_id="u1", op=Increment())),
+            0.0,
+        )
+        deliver_merge(replica, "k2", rid="m2")
+        deliver_merge(replica, "k3", rid="m3")
+        assert "k1" in replica._resident  # pinned by the open batch
+        assert not replica.instance("k1").proposer.idle
+
+    def test_idle_sweep_demotes_untouched_keys(self):
+        replica = make_replica(keyed_idle_evict_s=1.0)
+        start = replica.on_start(0.0)
+        assert any(key == "keyspace-sweep" for key, _ in start.timers)
+        deliver_merge(replica, "k1", amount=4, rid="m1", now=0.0)
+        deliver_merge(replica, "k2", amount=9, rid="m2", now=5.0)
+        effects = replica.on_timer("keyspace-sweep", 5.5)
+        assert "k1" in replica._frozen  # idle > 1s
+        assert "k2" in replica._resident  # touched 0.5s ago
+        assert any(key == "keyspace-sweep" for key, _ in effects.timers)  # re-armed
+        assert replica.state_of("k1").value() == 4
+
+    def test_sweep_gives_clockless_keys_a_full_idle_window(self):
+        """Keys admitted without a clock (warm-up via instance() or
+        materialize_proposer) must not be frozen by the first sweep."""
+        replica = make_replica(keyed_idle_evict_s=1.0)
+        replica.materialize_proposer("warm")
+        replica.on_timer("keyspace-sweep", 100.0)
+        assert "warm" in replica._resident  # idle window starts now
+        replica.on_timer("keyspace-sweep", 101.0)
+        assert "warm" in replica._frozen
+
+    def test_stale_timer_for_frozen_key_is_dropped(self):
+        replica = make_replica(keyed_max_resident=1, batching=True)
+        # Materialize a proposer (and its namespace entry) on k1, let it
+        # complete nothing — buffer then flush nothing meaningful.
+        replica.materialize_proposer("k1")
+        deliver_merge(replica, "k2", rid="m2")
+        deliver_merge(replica, "k3", rid="m3")
+        assert "k1" in replica._frozen
+        effects = replica.on_timer(f"{'k1'!r}|flush", 1.0)
+        assert effects.sends == [] and effects.timers == []

@@ -108,3 +108,57 @@ class TestGMap:
         )
         assert "k" in state
         assert "other" not in state
+
+
+class TestGMapPointwiseFastPath:
+    """merge skips unchanged entries via per-entry digests and reuses the
+    existing tuple when nothing (or only values) changed."""
+
+    def build(self, n=8, amount=1, replica="r0"):
+        state = GMap.initial()
+        for i in range(n):
+            state = GMapApply(
+                f"k{i}", GCounter.initial(), Increment(amount)
+            ).apply(state, replica)
+        return state
+
+    def test_merge_with_subsumed_map_returns_self(self):
+        big = self.build(amount=5)
+        small = self.build(n=4, amount=5)  # strict subset, same values
+        assert big.merge(small) is big
+
+    def test_merge_with_structural_twin_returns_self(self):
+        a = self.build()
+        twin = GMap(tuple((k, v) for k, v in a.entries))
+        assert a.merge(twin) is a
+
+    def test_merge_with_empty_returns_self_or_other(self):
+        a = self.build()
+        assert a.merge(GMap.initial()) is a
+        assert GMap.initial().merge(a) is a
+
+    def test_value_only_change_preserves_entry_order_without_resort(self):
+        a = self.build(n=6, amount=1, replica="r0")
+        b = GMapApply("k3", GCounter.initial(), Increment(9)).apply(
+            GMap.initial(), "r1"
+        )
+        merged = a.merge(b)
+        assert [k for k, _ in merged.entries] == [k for k, _ in a.entries]
+        # Untouched entry objects are reused, not copied.
+        untouched = {k: v for k, v in a.entries if k != "k3"}
+        assert all(v is untouched[k] for k, v in merged.entries if k != "k3")
+        assert GMapGet("k3", GCounterValue()).apply(merged) == 10
+
+    def test_new_key_still_sorts(self):
+        a = self.build(n=3)
+        b = GMapApply("a-first", GCounter.initial(), Increment()).apply(
+            GMap.initial(), "r1"
+        )
+        merged = a.merge(b)
+        reprs = [repr(k) for k, _ in merged.entries]
+        assert reprs == sorted(reprs)
+
+    def test_with_entry_subsumed_value_returns_self(self):
+        a = self.build(n=3, amount=5)
+        nested = dict(a.entries)["k1"]
+        assert a.with_entry("k1", nested) is a
