@@ -7,24 +7,20 @@ contention is per key, not per store ("linearizable access on CRDT data
 on a fine-granular scale", §1).
 
 This example runs a 3-replica keyed store holding heterogeneous values —
-page-view G-Counters and a tag OR-Set — under concurrent writers, then
-takes linearizable per-key readings.
+page-view G-Counters, a tag OR-Set and a profile LWW-Map — under
+concurrent writers, then takes linearizable per-key readings.  The
+``repro.api`` Store is keyed-aware: it detects the keyed deployment and
+addresses every typed handle at one key (``store.counter("views:p0")``),
+no hand-rolled envelope plumbing required.
 
 Run:  python examples/keyed_store.py
 """
 
 import asyncio
 
-from repro.core.keyspace import Keyed, KeyedCrdtReplica
-from repro.core.messages import ClientQuery, ClientUpdate
-from repro.crdt import (
-    GCounter,
-    GCounterValue,
-    Increment,
-    ORSet,
-    ORSetAdd,
-    ORSetElements,
-)
+from repro.api import AsyncStore
+from repro.core.keyspace import KeyedCrdtReplica
+from repro.crdt import GCounter, LWWMap, ORSet
 from repro.runtime.asyncio_cluster import AsyncioCluster
 
 
@@ -32,39 +28,9 @@ def initial_state_for(key: str):
     """All replicas agree on each key's CRDT type by naming convention."""
     if key.startswith("tags:"):
         return ORSet.initial()
+    if key.startswith("profile:"):
+        return LWWMap.initial()
     return GCounter.initial()
-
-
-class KeyedClient:
-    """Thin wrapper translating per-key calls into Keyed envelopes."""
-
-    def __init__(self, cluster: AsyncioCluster, name: str) -> None:
-        self._client = cluster.client(name)
-        self._cluster = cluster
-        self._counter = 0
-
-    async def update(self, replica: str, key: str, op) -> None:
-        self._counter += 1
-        message = Keyed(
-            key=key,
-            message=ClientUpdate(request_id=f"{key}#{self._counter}", op=op),
-        )
-        reply = await self._request(replica, message)
-        assert reply.key == key
-
-    async def query(self, replica: str, key: str, op):
-        self._counter += 1
-        message = Keyed(
-            key=key,
-            message=ClientQuery(request_id=f"{key}#{self._counter}", op=op),
-        )
-        reply = await self._request(replica, message)
-        return reply.message.result
-
-    async def _request(self, replica: str, message: Keyed):
-        # Keyed delegates request_id to its inner message, so the asyncio
-        # client's request/reply correlation works unchanged.
-        return await self._client.request(replica, message)
 
 
 async def main() -> None:
@@ -73,31 +39,37 @@ async def main() -> None:
         n_replicas=3,
     )
     async with cluster:
-        writers = [KeyedClient(cluster, f"w{i}") for i in range(3)]
+        writers = [
+            AsyncStore(cluster, client=f"w{i}", home=cluster.addresses[i % 3])
+            for i in range(3)
+        ]
 
-        async def traffic(writer: KeyedClient, index: int) -> None:
-            replica = cluster.addresses[index % 3]
+        async def traffic(store: AsyncStore, index: int) -> None:
             for i in range(10):
-                await writer.update(replica, f"views:page{i % 3}", Increment())
-            await writer.update(replica, "tags:global", ORSetAdd(f"tag-{index}"))
+                await store.counter(f"views:page{i % 3}").incr()
+            await store.orset("tags:global").add(f"tag-{index}")
+            await store.lwwmap(f"profile:{index}").put(
+                "name", f"user-{index}", timestamp=float(index + 1)
+            )
 
         await asyncio.gather(
-            *(traffic(writer, index) for index, writer in enumerate(writers))
+            *(traffic(store, index) for index, store in enumerate(writers))
         )
 
-        reader = KeyedClient(cluster, "reader")
+        reader = AsyncStore(cluster, client="reader")
         total = 0
         for page in range(3):
-            count = await reader.query(
-                "r1", f"views:page{page}", GCounterValue()
-            )
+            count = await reader.counter(f"views:page{page}").value(via="r1")
             print(f"views:page{page} = {count}")
             total += count
-        tags = await reader.query("r2", "tags:global", ORSetElements())
+        tags = await reader.orset("tags:global").elements(via="r2")
         print(f"tags:global  = {sorted(tags)}")
+        name = await reader.lwwmap("profile:1").get("name")
+        print(f"profile:1    = {name!r}")
 
         assert total == 30
         assert sorted(tags) == ["tag-0", "tag-1", "tag-2"]
+        assert name == "user-1"
         print("\nall per-key reads linearizable; keys never synchronized "
               "with each other")
 

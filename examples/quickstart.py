@@ -1,18 +1,20 @@
 #!/usr/bin/env python3
 """Quickstart: a linearizable replicated G-Counter in ~40 lines.
 
-Three replicas run the CRDT Paxos protocol in-process on asyncio.  Updates
-complete in a single round trip without any leader; the read afterwards is
-linearizable — it is guaranteed to include every increment that completed
-before it was issued, no matter which replica serves it.
+Three replicas run the CRDT Paxos protocol in-process on asyncio.  The
+client surface is the ``repro.api`` Store: a typed handle per replicated
+object, ``incr()`` completing in a single leaderless round trip, and a
+linearizable read afterwards — guaranteed to include every increment
+that completed before it was issued, no matter which replica serves it.
 
 Run:  python examples/quickstart.py
 """
 
 import asyncio
 
-from repro.core import ClientQuery, ClientUpdate, CrdtPaxosReplica
-from repro.crdt import GCounter, GCounterValue, Increment
+from repro.api import AsyncStore
+from repro.core import CrdtPaxosReplica
+from repro.crdt import GCounter, GCounterValue
 from repro.runtime.asyncio_cluster import AsyncioCluster
 
 
@@ -22,27 +24,26 @@ async def main() -> None:
         n_replicas=3,
     )
     async with cluster:
-        client = cluster.client("quickstart")
+        store = AsyncStore(cluster, client="quickstart")
+        counter = store.counter()
 
         # Ten increments, spread over all three replicas — no leader, any
         # replica accepts updates directly.
         for i in range(10):
             replica = cluster.addresses[i % 3]
-            await client.request(
-                replica, ClientUpdate(request_id=f"u{i}", op=Increment())
-            )
+            await counter.incr(via=replica)
             print(f"increment #{i + 1} acknowledged by {replica}")
 
         # A linearizable read from yet another replica must see all ten.
-        reply = await client.request(
-            "r1", ClientQuery(request_id="q1", op=GCounterValue())
-        )
+        # The generic query() returns the full receipt with the
+        # protocol's diagnostics; counter.value() is the plain-int sugar.
+        receipt = await counter.query(GCounterValue(), via="r1")
         print(
-            f"\nlinearizable read: counter = {reply.result} "
-            f"(learned via {reply.learned_via!r} in {reply.round_trips} "
+            f"\nlinearizable read: counter = {receipt.value} "
+            f"(learned via {receipt.learned_via!r} in {receipt.round_trips} "
             f"round trip(s))"
         )
-        assert reply.result == 10
+        assert receipt.value == 10
 
         # Peek at the protocol's entire coordination state: one round per
         # replica.  No log anywhere.

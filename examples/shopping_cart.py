@@ -6,6 +6,9 @@ with the twist the paper enables: *checkout* needs a linearizable view
 (you must charge for exactly what the user sees), while edits stay cheap
 single-round-trip updates.
 
+Each device holds an ``repro.api`` Store pinned to its nearest replica;
+all of them address the same replicated OR-Set through typed handles.
+
 Semantics demonstrated:
 
 * adds from both devices merge without coordination,
@@ -19,8 +22,9 @@ Run:  python examples/shopping_cart.py
 
 import asyncio
 
-from repro.core import ClientQuery, ClientUpdate, CrdtPaxosReplica
-from repro.crdt import ORSet, ORSetAdd, ORSetElements, ORSetRemove
+from repro.api import AsyncStore
+from repro.core import CrdtPaxosReplica
+from repro.crdt import ORSet, ORSetElements
 from repro.runtime.asyncio_cluster import AsyncioCluster
 
 
@@ -30,46 +34,34 @@ async def main() -> None:
         n_replicas=3,
     )
     async with cluster:
-        phone = cluster.client("phone")  # talks to r0
-        laptop = cluster.client("laptop")  # talks to r1
-
-        async def phone_edit(i, op):
-            return await phone.request(
-                "r0", ClientUpdate(request_id=f"p{i}", op=op)
-            )
-
-        async def laptop_edit(i, op):
-            return await laptop.request(
-                "r1", ClientUpdate(request_id=f"l{i}", op=op)
-            )
+        phone = AsyncStore(cluster, client="phone", home="r0").orset()
+        laptop = AsyncStore(cluster, client="laptop", home="r1").orset()
 
         # Concurrent edits from both devices.
         await asyncio.gather(
-            phone_edit(1, ORSetAdd("espresso beans")),
-            laptop_edit(1, ORSetAdd("milk")),
-            phone_edit(2, ORSetAdd("filter papers")),
-            laptop_edit(2, ORSetAdd("espresso beans")),  # duplicate add
+            phone.add("espresso beans"),
+            laptop.add("milk"),
+            phone.add("filter papers"),
+            laptop.add("espresso beans"),  # duplicate add
         )
 
         # The user removes the beans on the phone...
-        await phone_edit(3, ORSetRemove("espresso beans"))
+        await phone.remove("espresso beans")
         # ...then re-adds them from the laptop (observed-remove semantics
         # make this unambiguous: the re-add wins).
-        await laptop_edit(3, ORSetAdd("espresso beans"))
+        await laptop.add("espresso beans")
 
         # Checkout happens at a third replica and must reflect every edit
         # that completed above — that is the linearizable read.
-        checkout = cluster.client("checkout")
-        reply = await checkout.request(
-            "r2", ClientQuery(request_id="checkout", op=ORSetElements())
-        )
-        cart = sorted(reply.result)
+        checkout = AsyncStore(cluster, client="checkout", home="r2").orset()
+        receipt = await checkout.query(ORSetElements())
+        cart = sorted(receipt.value)
         print("cart at checkout:")
         for item in cart:
             print(f"  - {item}")
         print(
-            f"(read took {reply.round_trips} round trip(s), "
-            f"via {reply.learned_via})"
+            f"(read took {receipt.round_trips} round trip(s), "
+            f"via {receipt.learned_via})"
         )
         assert cart == ["espresso beans", "filter papers", "milk"]
 

@@ -1,0 +1,118 @@
+"""repro.api — the client surface of the replicated CRDT store.
+
+One facade for every deployment shape: a :class:`Store` over a replica
+group (single-instance or keyed, simulated or asyncio) hands out typed
+:class:`~repro.api.handles.Handle` objects per key, and every handle
+method compiles down to the two commands of the paper's interface —
+submit an update function ``f_u ∈ U`` or a query function ``f_q ∈ Q``
+(§2.2) — via :mod:`repro.api.codec`.
+
+How each call maps onto the paper's protocol (§3.2–§3.5):
+
+``handle.update(op)`` (and the sugar ``counter.incr()``,
+``orset.add(x)``, ``lwwmap.put(...)``, ...)
+    The **update path** of §3.2: the receiving replica applies ``f_u``
+    at its local acceptor and broadcasts the resulting payload in a
+    single ``MERGE`` round trip; the call completes once a quorum has
+    durably stored it.  With batching (§3.6) the update joins the
+    proposer's current batch; message count is independent of batch
+    size.
+
+``handle.query(op)`` (and ``counter.value()``, ``orset.elements()``, ...)
+    The **query path** of §3.2: the replica *learns* a payload state via
+    PREPARE — one round trip when a consistent quorum answers with
+    equivalent payloads (case (a), the §3.6 fast path), a second VOTE
+    round trip when rounds agree (case (b)), retries under contention
+    (case (c), the §3.5 liveness argument) — then answers with
+    ``f_q(learned state)``.  The :class:`~repro.api.store.ReadReceipt`
+    reports which way the learn went (``learned_via``, ``round_trips``,
+    ``attempts``) and the node's learn sequence number used by the
+    §3.4 GLA-Stability checker.
+
+Request ids (``<client>#<n>``)
+    The correlation tokens acceptors echo verbatim; every client-side
+    retry uses a *fresh* id so stale replies are dropped (§3.2,
+    Retrying Requests).
+
+Client timeout / fail-over
+    Client-side supervision, as in the paper's evaluation clients: on
+    expiry the operation is re-issued to the next replica round-robin.
+    Any replica can serve any request — there is no leader to find.
+
+Keyed addressing (``store.counter("views:home")``)
+    The fine-granular key-value deployment of §1 (the paper's system
+    lives inside the Scalaris store): each key is an independent
+    protocol instance; the store wraps commands in ``Keyed`` envelopes
+    and the replica routes them to the per-key acceptor/proposer pair.
+
+Quickstart (asyncio)::
+
+    cluster = AsyncioCluster(
+        lambda nid, peers: KeyedCrdtReplica(nid, peers, lambda k: GCounter.initial()),
+        n_replicas=3,
+    )
+    async with cluster:
+        store = AsyncStore(cluster, client="app")
+        views = store.counter("views:home")
+        await views.incr()
+        print(await views.value())
+
+Quickstart (deterministic simulator)::
+
+    sim = Simulator(seed=7)
+    network = SimNetwork(sim)
+    cluster = SimCluster(
+        sim, network,
+        lambda nid, peers: CrdtPaxosReplica(nid, peers, ORSet.initial()),
+    )
+    store = SimStore(cluster, client="test")
+    cart = store.orset()
+    cart.add("milk")
+    assert "milk" in cart.elements()
+"""
+
+from repro.api.codec import (
+    UNKEYED,
+    Completion,
+    RequestIds,
+    compile_query,
+    compile_update,
+    parse_completion,
+)
+from repro.api.handles import (
+    CounterHandle,
+    GSetHandle,
+    Handle,
+    LWWMapHandle,
+    LWWRegisterHandle,
+    ORSetHandle,
+    PNCounterHandle,
+)
+from repro.api.store import (
+    AsyncStore,
+    ReadReceipt,
+    SimStore,
+    Store,
+    UpdateReceipt,
+)
+
+__all__ = [
+    "AsyncStore",
+    "Completion",
+    "CounterHandle",
+    "GSetHandle",
+    "Handle",
+    "LWWMapHandle",
+    "LWWRegisterHandle",
+    "ORSetHandle",
+    "PNCounterHandle",
+    "ReadReceipt",
+    "RequestIds",
+    "SimStore",
+    "Store",
+    "UNKEYED",
+    "UpdateReceipt",
+    "compile_query",
+    "compile_update",
+    "parse_completion",
+]

@@ -1,0 +1,138 @@
+"""Message compilation shared by every client surface.
+
+This module is the one place where a typed operation becomes a wire
+message and a wire reply becomes a typed completion:
+
+* :func:`compile_update` / :func:`compile_query` turn an
+  :class:`~repro.crdt.base.UpdateOp` / :class:`~repro.crdt.base.QueryOp`
+  into the protocol's :class:`~repro.core.messages.ClientUpdate` /
+  :class:`~repro.core.messages.ClientQuery` — wrapped in a
+  :class:`~repro.core.keyspace.Keyed` envelope when the target is one key
+  of a keyed replica;
+* :func:`parse_completion` normalizes the matching
+  :class:`~repro.core.messages.UpdateDone` / ``QueryDone`` replies
+  (unwrapping ``Keyed`` transparently) into a :class:`Completion`;
+* :class:`RequestIds` hands out the per-client unique request ids the
+  protocol uses to correlate replies with requests.
+
+The :class:`~repro.api.store.Store` frontends, the workload generator's
+protocol adapters, and the adversarial checker's keyed recording client
+all compile through these functions, so "what the client puts on the
+wire" has exactly one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.core.keyspace import Keyed
+from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
+from repro.crdt.base import QueryOp, UpdateOp
+
+
+class _Unkeyed:
+    """Sentinel for "no key": ``None`` stays usable as an actual key."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "UNKEYED"
+
+
+#: Pass as ``key`` to address a single-instance (unkeyed) replica.
+UNKEYED: Any = _Unkeyed()
+
+
+@dataclass(frozen=True, slots=True)
+class Completion:
+    """A normalized reply: which request finished, with what outcome.
+
+    ``kind`` is ``"update"`` or ``"read"``.  Query completions carry the
+    protocol's diagnostics (round trips, attempts, fast-path/vote learn,
+    the §3.4 learn sequence); update completions carry the inclusion tag
+    the correctness checker uses.  ``key`` is :data:`UNKEYED` unless the
+    reply arrived wrapped in a ``Keyed`` envelope.
+    """
+
+    request_id: str
+    kind: str
+    result: Any = None
+    inclusion_tag: Any = None
+    round_trips: int = 0
+    attempts: int = 0
+    learned_via: str = ""
+    proposer: str = ""
+    learn_seq: int = 0
+    key: Any = UNKEYED
+
+
+class RequestIds:
+    """Per-client request-id source: ``<client>#<n>``, strictly unique.
+
+    One instance per client address; uniqueness across clients comes from
+    the address prefix, uniqueness within a client from the counter.
+    """
+
+    __slots__ = ("_prefix", "_counter")
+
+    def __init__(self, client: str) -> None:
+        self._prefix = client
+        self._counter = 0
+
+    def next(self) -> str:
+        self._counter += 1
+        return f"{self._prefix}#{self._counter}"
+
+    @property
+    def issued(self) -> int:
+        return self._counter
+
+
+def compile_update(
+    request_id: str, op: UpdateOp, key: Hashable = UNKEYED
+) -> Any:
+    """An 'apply ``f_u`` (§3.2, update path)' request message."""
+    message = ClientUpdate(request_id=request_id, op=op)
+    if key is UNKEYED:
+        return message
+    return Keyed(key=key, message=message)
+
+
+def compile_query(
+    request_id: str, op: QueryOp, key: Hashable = UNKEYED
+) -> Any:
+    """A 'learn a state and apply ``f_q`` (§3.2, query path)' request."""
+    message = ClientQuery(request_id=request_id, op=op)
+    if key is UNKEYED:
+        return message
+    return Keyed(key=key, message=message)
+
+
+def parse_completion(message: Any) -> Completion | None:
+    """Normalize a reply message; ``None`` if it is not a completion."""
+    key: Any = UNKEYED
+    if isinstance(message, Keyed):
+        key = message.key
+        message = message.message
+    if isinstance(message, UpdateDone):
+        return Completion(
+            request_id=message.request_id,
+            kind="update",
+            inclusion_tag=message.inclusion_tag,
+            round_trips=1,
+            key=key,
+        )
+    if isinstance(message, QueryDone):
+        return Completion(
+            request_id=message.request_id,
+            kind="read",
+            result=message.result,
+            round_trips=message.round_trips,
+            attempts=message.attempts,
+            learned_via=message.learned_via,
+            proposer=message.proposer,
+            learn_seq=message.learn_seq,
+            key=key,
+        )
+    return None

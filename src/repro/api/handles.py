@@ -1,0 +1,166 @@
+"""Typed per-key handles: the objects application code actually holds.
+
+A :class:`Handle` binds one key of a :class:`~repro.api.store.Store` (or
+the single instance of an unkeyed deployment) and exposes the two
+operations of the paper's data model — submit an update function
+``f_u ∈ U`` or a query function ``f_q ∈ Q`` (§2.2).  The typed
+subclasses add the obvious sugar per CRDT (``incr``/``value`` on a
+counter, ``add``/``elements`` on an OR-Set, ...), each of which compiles
+to exactly those two generic calls.
+
+Handles are cheap value-like objects: creating one performs no IO, and
+any number of handles for the same key may coexist.  On an async store
+every method returns an awaitable; on the sync (simulator) store it
+returns the result directly — the handle just forwards to the store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Hashable, TypeVar
+
+from repro.api.codec import UNKEYED
+from repro.crdt.base import IdentityQuery, QueryOp, StateCRDT, UpdateOp
+from repro.crdt.gcounter import GCounterValue, Increment
+from repro.crdt.gset import Elements, GSetAdd
+from repro.crdt.lwwmap import LWWMapGet, LWWMapKeys, LWWMapPut, LWWMapRemove
+from repro.crdt.lwwregister import LWWSet, LWWValue
+from repro.crdt.orset import ORSetAdd, ORSetContains, ORSetElements, ORSetRemove
+from repro.crdt.pncounter import Decrement, PNCounterValue, PNIncrement
+
+C = TypeVar("C", bound=StateCRDT)
+
+
+class Handle(Generic[C]):
+    """One key's client surface: generic ``update(op)`` / ``query(op)``.
+
+    ``update`` completes after the single MERGE round trip of §3.2's
+    update path; ``query`` runs the prepare/vote learn of §3.2's query
+    path (one round trip on a consistent quorum, §3.6) and returns a
+    :class:`~repro.api.store.ReadReceipt` whose ``value`` is
+    ``f_q(learned state)``.
+    """
+
+    __slots__ = ("_store", "_key")
+
+    def __init__(self, store: Any, key: Hashable = UNKEYED) -> None:
+        self._store = store
+        self._key = key
+
+    @property
+    def key(self) -> Hashable:
+        """The bound key (:data:`~repro.api.codec.UNKEYED` if none)."""
+        return self._key
+
+    @property
+    def store(self) -> Any:
+        return self._store
+
+    def update(self, op: UpdateOp, *, via: str | None = None):
+        """Submit ``f_u``; returns (a coroutine of) an UpdateReceipt."""
+        return self._store.update(self._key, op, via=via)
+
+    def query(self, op: QueryOp, *, via: str | None = None):
+        """Submit ``f_q``; returns (a coroutine of) a ReadReceipt."""
+        return self._store.query(self._key, op, via=via)
+
+    def read(self, op: QueryOp | None = None, *, via: str | None = None):
+        """``f_q(learned state)`` directly (defaults to the full state)."""
+        return self._store.query_value(self._key, op or IdentityQuery(), via=via)
+
+    def __repr__(self) -> str:
+        key = "" if self._key is UNKEYED else repr(self._key)
+        return f"{type(self).__name__}({key})"
+
+
+class CounterHandle(Handle):
+    """A replicated G-Counter (Algorithm 1): the paper's atomic counter."""
+
+    __slots__ = ()
+
+    def incr(self, amount: int = 1, *, via: str | None = None):
+        return self.update(Increment(amount), via=via)
+
+    def value(self, *, via: str | None = None):
+        return self._store.query_value(self._key, GCounterValue(), via=via)
+
+
+class PNCounterHandle(Handle):
+    """An increment/decrement counter (two G-Counters)."""
+
+    __slots__ = ()
+
+    def incr(self, amount: int = 1, *, via: str | None = None):
+        return self.update(PNIncrement(amount), via=via)
+
+    def decr(self, amount: int = 1, *, via: str | None = None):
+        return self.update(Decrement(amount), via=via)
+
+    def value(self, *, via: str | None = None):
+        return self._store.query_value(self._key, PNCounterValue(), via=via)
+
+
+class ORSetHandle(Handle):
+    """An observed-remove (add-wins) set."""
+
+    __slots__ = ()
+
+    def add(self, element: Hashable, *, via: str | None = None):
+        return self.update(ORSetAdd(element), via=via)
+
+    def remove(self, element: Hashable, *, via: str | None = None):
+        return self.update(ORSetRemove(element), via=via)
+
+    def elements(self, *, via: str | None = None):
+        return self._store.query_value(self._key, ORSetElements(), via=via)
+
+    def contains(self, element: Hashable, *, via: str | None = None):
+        return self._store.query_value(self._key, ORSetContains(element), via=via)
+
+
+class GSetHandle(Handle):
+    """A grow-only set."""
+
+    __slots__ = ()
+
+    def add(self, element: Hashable, *, via: str | None = None):
+        return self.update(GSetAdd(element), via=via)
+
+    def elements(self, *, via: str | None = None):
+        return self._store.query_value(self._key, Elements(), via=via)
+
+
+class LWWMapHandle(Handle):
+    """A map with last-writer-wins entries and tombstones."""
+
+    __slots__ = ()
+
+    def put(
+        self,
+        field: Hashable,
+        value: Any,
+        timestamp: float,
+        *,
+        via: str | None = None,
+    ):
+        return self.update(LWWMapPut(field, value, timestamp), via=via)
+
+    def remove(self, field: Hashable, timestamp: float, *, via: str | None = None):
+        return self.update(LWWMapRemove(field, timestamp), via=via)
+
+    def get(self, field: Hashable, *, via: str | None = None):
+        return self._store.query_value(self._key, LWWMapGet(field), via=via)
+
+    def keys(self, *, via: str | None = None):
+        return self._store.query_value(self._key, LWWMapKeys(), via=via)
+
+
+class LWWRegisterHandle(Handle):
+    """A last-writer-wins register."""
+
+    __slots__ = ()
+
+    def set(self, value: Any, timestamp: float, *, via: str | None = None):
+        return self.update(LWWSet(value, timestamp), via=via)
+
+    def get(self, *, via: str | None = None):
+        return self._store.query_value(self._key, LWWValue(), via=via)

@@ -1,0 +1,415 @@
+"""The Store facade: one client surface for every deployment shape.
+
+A :class:`Store` speaks to a running replica group — simulated
+(:class:`~repro.runtime.cluster.SimCluster`) or wall-clock
+(:class:`~repro.runtime.asyncio_cluster.AsyncioCluster`) — and hides the
+wire protocol behind typed handles.  It is *keyed-aware*: pointed at a
+:class:`~repro.core.keyspace.KeyedCrdtReplica` group it wraps every
+command in a ``Keyed`` envelope, pointed at a single-instance
+:class:`~repro.core.replica.CrdtPaxosReplica` group it sends bare client
+messages; addressing mistakes (a key on an unkeyed store, no key on a
+keyed one) fail fast at handle creation.
+
+Client-side supervision mirrors the paper's evaluation clients: each
+request carries a fresh unique id, waits ``timeout`` seconds for its
+completion, and on expiry *fails over* — the operation is re-issued under
+a fresh id to the next replica, round-robin, up to ``max_attempts``
+attempts before :class:`~repro.errors.RequestTimeout` is raised.  Stale
+replies to superseded ids are dropped.  Updates are therefore
+at-least-once under fail-over, exactly like the Basho-Bench clients the
+evaluation used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.api.codec import (
+    UNKEYED,
+    Completion,
+    RequestIds,
+    compile_query,
+    compile_update,
+    parse_completion,
+)
+from repro.api.handles import (
+    CounterHandle,
+    GSetHandle,
+    Handle,
+    LWWMapHandle,
+    LWWRegisterHandle,
+    ORSetHandle,
+    PNCounterHandle,
+)
+from repro.core.keyspace import KeyedCrdtReplica
+from repro.crdt.base import QueryOp, UpdateOp
+from repro.errors import ConfigurationError, RequestTimeout
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateReceipt:
+    """A completed update: durable at a quorum (§3.2, update path)."""
+
+    request_id: str
+    replica: str
+    client_attempts: int
+    inclusion_tag: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class ReadReceipt:
+    """A completed linearizable read with the protocol's diagnostics.
+
+    ``round_trips``/``attempts``/``learned_via`` tell how the state was
+    learned (§3.2: one round trip via consistent quorum, two via vote,
+    more under contention); ``learn_seq`` orders this node's learns for
+    the §3.4 GLA-Stability checker.  ``client_attempts`` counts
+    client-side fail-overs, not protocol retries.
+    """
+
+    value: Any
+    request_id: str
+    replica: str
+    client_attempts: int
+    round_trips: int
+    attempts: int
+    learned_via: str
+    proposer: str
+    learn_seq: int
+
+
+def _detect_keyed(cluster: Any) -> bool:
+    """Is the replica group a keyed deployment?  Inspects one node."""
+    try:
+        node = cluster.node(cluster.addresses[0])
+    except (KeyError, IndexError) as exc:
+        raise ConfigurationError(
+            "cannot inspect the cluster's replicas (is it started?); "
+            "pass keyed=True/False explicitly"
+        ) from exc
+    return isinstance(node, KeyedCrdtReplica)
+
+
+class Store:
+    """Shared facade logic: handles, addressing, request-id plumbing.
+
+    Subclasses implement ``update``/``query``/``query_value`` over their
+    transport; everything key- and id-shaped lives here so the sync and
+    async frontends (and any future one) cannot drift apart.
+    """
+
+    def __init__(
+        self,
+        cluster: Any,
+        client: str = "store",
+        *,
+        home: str | None = None,
+        timeout: float = 5.0,
+        max_attempts: int | None = None,
+        keyed: bool | None = None,
+    ) -> None:
+        self.addresses: list[str] = list(cluster.addresses)
+        if not self.addresses:
+            raise ConfigurationError("cluster has no replicas")
+        self.client = client
+        self.keyed = _detect_keyed(cluster) if keyed is None else keyed
+        self.timeout = timeout
+        self.max_attempts = (
+            max_attempts if max_attempts is not None else 2 * len(self.addresses)
+        )
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if home is None:
+            self._home_index = 0
+        else:
+            if home not in self.addresses:
+                raise ConfigurationError(
+                    f"home replica {home!r} not in {self.addresses}"
+                )
+            self._home_index = self.addresses.index(home)
+        self._ids = RequestIds(client)
+
+    # ------------------------------------------------------------------
+    # Typed handles
+    # ------------------------------------------------------------------
+    def _resolve(self, key: Hashable) -> Hashable:
+        """Validate a key against the deployment shape, fail-fast."""
+        if self.keyed and key is UNKEYED:
+            raise ConfigurationError(
+                "this store addresses a keyed replica group; pass a key "
+                "(e.g. store.counter('views:home'))"
+            )
+        if not self.keyed and key is not UNKEYED:
+            raise ConfigurationError(
+                f"this store addresses a single-instance replica group; "
+                f"it has no key {key!r} — omit the key"
+            )
+        return key
+
+    def handle(self, key: Hashable = UNKEYED) -> Handle:
+        """A generic handle: raw ``update(op)`` / ``query(op)``."""
+        return Handle(self, self._resolve(key))
+
+    def counter(self, key: Hashable = UNKEYED) -> CounterHandle:
+        return CounterHandle(self, self._resolve(key))
+
+    def pncounter(self, key: Hashable = UNKEYED) -> PNCounterHandle:
+        return PNCounterHandle(self, self._resolve(key))
+
+    def orset(self, key: Hashable = UNKEYED) -> ORSetHandle:
+        return ORSetHandle(self, self._resolve(key))
+
+    def gset(self, key: Hashable = UNKEYED) -> GSetHandle:
+        return GSetHandle(self, self._resolve(key))
+
+    def lwwmap(self, key: Hashable = UNKEYED) -> LWWMapHandle:
+        return LWWMapHandle(self, self._resolve(key))
+
+    def lwwregister(self, key: Hashable = UNKEYED) -> LWWRegisterHandle:
+        return LWWRegisterHandle(self, self._resolve(key))
+
+    # ------------------------------------------------------------------
+    # Addressing / fail-over plumbing shared by the frontends
+    # ------------------------------------------------------------------
+    def _attempt_targets(self, via: str | None) -> list[str]:
+        """The replicas to try, in order: the pin (or home), then
+        round-robin fail-over up to ``max_attempts``."""
+        if via is not None:
+            if via not in self.addresses:
+                raise ConfigurationError(
+                    f"replica {via!r} not in {self.addresses}"
+                )
+            start = self.addresses.index(via)
+        else:
+            start = self._home_index
+        n = len(self.addresses)
+        return [
+            self.addresses[(start + offset) % n]
+            for offset in range(self.max_attempts)
+        ]
+
+    def _note_served(self, replica: str, client_attempts: int) -> None:
+        """Fail-over is sticky: after a timeout the replica that finally
+        answered becomes the new home.  A first-attempt success changes
+        nothing — in particular a one-off ``via=`` pin must not re-home
+        the store away from its configured ``home``."""
+        if client_attempts > 1:
+            self._home_index = self.addresses.index(replica)
+
+    def _timeout_error(self, kind: str, key: Hashable) -> RequestTimeout:
+        where = "" if key is UNKEYED else f" for key {key!r}"
+        return RequestTimeout(
+            f"{kind}{where} got no reply from any of "
+            f"{self.max_attempts} attempt(s) across {self.addresses} "
+            f"within {self.timeout}s each"
+        )
+
+    def _update_receipt(
+        self, completion: Completion, replica: str, client_attempts: int
+    ) -> UpdateReceipt:
+        return UpdateReceipt(
+            request_id=completion.request_id,
+            replica=replica,
+            client_attempts=client_attempts,
+            inclusion_tag=completion.inclusion_tag,
+        )
+
+    def _read_receipt(
+        self, completion: Completion, replica: str, client_attempts: int
+    ) -> ReadReceipt:
+        return ReadReceipt(
+            value=completion.result,
+            request_id=completion.request_id,
+            replica=replica,
+            client_attempts=client_attempts,
+            round_trips=completion.round_trips,
+            attempts=completion.attempts,
+            learned_via=completion.learned_via,
+            proposer=completion.proposer,
+            learn_seq=completion.learn_seq,
+        )
+
+    # ------------------------------------------------------------------
+    # Frontend contract
+    # ------------------------------------------------------------------
+    def update(self, key: Hashable, op: UpdateOp, *, via: str | None = None):
+        """Submit ``f_u`` to the bound key; completes when durable."""
+        raise NotImplementedError
+
+    def query(self, key: Hashable, op: QueryOp, *, via: str | None = None):
+        """Submit ``f_q``; completes with a :class:`ReadReceipt`."""
+        raise NotImplementedError
+
+    def query_value(self, key: Hashable, op: QueryOp, *, via: str | None = None):
+        """Like :meth:`query` but yields the bare result value."""
+        raise NotImplementedError
+
+
+class SimStore(Store):
+    """Synchronous frontend over the deterministic simulator.
+
+    Each call drives the simulator until its completion arrives (or the
+    virtual-time deadline passes and the store fails over) — handy for
+    tests, campaigns and notebooks that want straight-line code against
+    a :class:`~repro.runtime.cluster.SimCluster`.
+    """
+
+    def __init__(
+        self,
+        cluster: Any,
+        client: str = "store",
+        *,
+        home: str | None = None,
+        timeout: float = 1.0,
+        max_attempts: int | None = None,
+        keyed: bool | None = None,
+    ) -> None:
+        super().__init__(
+            cluster,
+            client,
+            home=home,
+            timeout=timeout,
+            max_attempts=max_attempts,
+            keyed=keyed,
+        )
+        # Deferred import keeps repro.api importable without the runtime.
+        from repro.runtime.cluster import ClientEndpoint
+
+        self._sim = cluster.sim
+        self._pending_id: str | None = None
+        self._arrived: Completion | None = None
+        self._endpoint = ClientEndpoint(
+            self._sim, cluster.network, f"store-{client}", self._on_reply
+        )
+
+    def _on_reply(self, src: str, message: Any) -> None:
+        completion = parse_completion(message)
+        if completion is None or completion.request_id != self._pending_id:
+            return  # stale reply to a superseded attempt
+        self._arrived = completion
+
+    def _submit(
+        self, compile_fn: Callable[[str], Any], via: str | None
+    ) -> tuple[Completion, str, int] | None:
+        for client_attempts, replica in enumerate(
+            self._attempt_targets(via), start=1
+        ):
+            request_id = self._ids.next()
+            self._pending_id = request_id
+            self._arrived = None
+            self._endpoint.send(replica, compile_fn(request_id))
+            deadline = self._sim.now + self.timeout
+            while self._arrived is None:
+                if self._sim.now >= deadline:
+                    break
+                if not self._sim.step():
+                    break  # event queue drained: no reply is coming
+            completion, self._arrived = self._arrived, None
+            self._pending_id = None
+            if completion is not None:
+                self._note_served(replica, client_attempts)
+                return completion, replica, client_attempts
+        return None
+
+    def update(
+        self, key: Hashable, op: UpdateOp, *, via: str | None = None
+    ) -> UpdateReceipt:
+        key = self._resolve(key)
+        outcome = self._submit(
+            lambda rid: compile_update(rid, op, key=key), via
+        )
+        if outcome is None:
+            raise self._timeout_error("update", key)
+        return self._update_receipt(*outcome)
+
+    def query(
+        self, key: Hashable, op: QueryOp, *, via: str | None = None
+    ) -> ReadReceipt:
+        key = self._resolve(key)
+        outcome = self._submit(
+            lambda rid: compile_query(rid, op, key=key), via
+        )
+        if outcome is None:
+            raise self._timeout_error("query", key)
+        return self._read_receipt(*outcome)
+
+    def query_value(
+        self, key: Hashable, op: QueryOp, *, via: str | None = None
+    ) -> Any:
+        return self.query(key, op, via=via).value
+
+
+class AsyncStore(Store):
+    """Awaitable frontend over the asyncio runtime.
+
+    Built on :class:`~repro.runtime.asyncio_cluster.AsyncioCluster`'s
+    request/reply client; every handle method returns a coroutine.
+    """
+
+    def __init__(
+        self,
+        cluster: Any,
+        client: str = "store",
+        *,
+        home: str | None = None,
+        timeout: float = 5.0,
+        max_attempts: int | None = None,
+        keyed: bool | None = None,
+    ) -> None:
+        super().__init__(
+            cluster,
+            client,
+            home=home,
+            timeout=timeout,
+            max_attempts=max_attempts,
+            keyed=keyed,
+        )
+        self._client = cluster.client(client)
+
+    async def _submit(
+        self, compile_fn: Callable[[str], Any], via: str | None
+    ) -> tuple[Completion, str, int] | None:
+        for client_attempts, replica in enumerate(
+            self._attempt_targets(via), start=1
+        ):
+            request_id = self._ids.next()
+            try:
+                reply = await self._client.request(
+                    replica, compile_fn(request_id), timeout=self.timeout
+                )
+            except RequestTimeout:
+                continue  # fail over to the next replica
+            completion = parse_completion(reply)
+            if completion is not None and completion.request_id == request_id:
+                self._note_served(replica, client_attempts)
+                return completion, replica, client_attempts
+        return None
+
+    async def update(
+        self, key: Hashable, op: UpdateOp, *, via: str | None = None
+    ) -> UpdateReceipt:
+        key = self._resolve(key)
+        outcome = await self._submit(
+            lambda rid: compile_update(rid, op, key=key), via
+        )
+        if outcome is None:
+            raise self._timeout_error("update", key)
+        return self._update_receipt(*outcome)
+
+    async def query(
+        self, key: Hashable, op: QueryOp, *, via: str | None = None
+    ) -> ReadReceipt:
+        key = self._resolve(key)
+        outcome = await self._submit(
+            lambda rid: compile_query(rid, op, key=key), via
+        )
+        if outcome is None:
+            raise self._timeout_error("query", key)
+        return self._read_receipt(*outcome)
+
+    async def query_value(
+        self, key: Hashable, op: QueryOp, *, via: str | None = None
+    ) -> Any:
+        receipt = await self.query(key, op, via=via)
+        return receipt.value

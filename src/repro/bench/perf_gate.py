@@ -16,7 +16,12 @@ baseline snapshot:
   same run with 5 ms batching and a pipelined proposer, and the Raft /
   Multi-Paxos baselines under the same workload (gated too — a "CRDT
   Paxos beats the log-based baselines" claim is only meaningful if the
-  baselines stay healthy).
+  baselines stay healthy);
+* **keyed end-to-end** — the same closed loop against the fine-granular
+  keyed deployment: Zipf-skewed key popularity over a keyspace capped by
+  ``keyed_max_resident`` (so cold keys freeze and rehydrate under load)
+  with cross-key envelope coalescing on — the deployment shape the keyed
+  store optimizes, finally covered by an ``e2e_*`` metric.
 
 Results are written to ``BENCH_PR<N>.json`` at the repository root so
 every later perf PR has a trajectory to compare against (see ``python -m
@@ -55,7 +60,7 @@ from repro.workload.runner import run_workload
 from repro.workload.spec import WorkloadSpec
 
 #: This PR's trajectory snapshot (BENCH_PR<N>.json).
-CURRENT_PR = 2
+CURRENT_PR = 3
 
 #: Allowed fractional drop below a baseline value before the gate fails.
 TOLERANCE = 0.20
@@ -69,6 +74,7 @@ GATED_METRICS = (
     "keyed_acceptor_keys_per_mb",
     "e2e_read_heavy_ops_s",
     "e2e_pipelined_ops_s",
+    "e2e_keyed_zipf_ops_s",
     "e2e_raft_ops_s",
     "e2e_multipaxos_ops_s",
 )
@@ -250,7 +256,52 @@ def run_e2e(quick: bool = True, seed: int = 0) -> dict[str, float]:
         multipaxos_config=paper_multipaxos_config(),
     )
     metrics["e2e_multipaxos_ops_s"] = multipaxos.throughput().median
+
+    metrics.update(run_e2e_keyed(quick=quick, seed=seed))
     return metrics
+
+
+def run_e2e_keyed(quick: bool = True, seed: int = 0) -> dict[str, float]:
+    """Closed-loop Zipf-keyed workload with eviction pressure.
+
+    The deployment shape the keyed store optimizes: a large keyspace
+    with skewed popularity, ``keyed_max_resident`` far below the key
+    count (so cold keys freeze and rehydrate *during* the run) and
+    cross-key envelope coalescing enabled.
+    """
+    spec = WorkloadSpec(
+        n_clients=32,
+        read_ratio=0.9,
+        duration=1.2 if quick else 4.0,
+        warmup=0.4 if quick else 1.0,
+        client_timeout=2.0,
+        n_keys=5_000,
+        key_skew=1.1,
+    )
+    config = crdt_paxos_config()
+    config.keyed_max_resident = 512
+    config.keyed_coalesce_window = 0.002
+    keyed = run_workload(
+        "crdt-paxos",
+        spec,
+        seed=seed,
+        latency=paper_latency(),
+        service_model=service_model_for("crdt-paxos"),
+        crdt_config=config,
+    )
+    evictions = sum(s["evictions"] for s in keyed.keyed_stats.values())
+    rehydrations = sum(s["rehydrations"] for s in keyed.keyed_stats.values())
+    batches = sum(
+        s["keyed_batches_packed"] for s in keyed.keyed_stats.values()
+    )
+    return {
+        "e2e_keyed_zipf_ops_s": keyed.throughput().median,
+        # Trajectory-only diagnostics (not gated): the churn and
+        # coalescing the run actually exercised.
+        "e2e_keyed_zipf_evictions": float(evictions),
+        "e2e_keyed_zipf_rehydrations": float(rehydrations),
+        "e2e_keyed_zipf_batches_packed": float(batches),
+    }
 
 
 # ----------------------------------------------------------------------

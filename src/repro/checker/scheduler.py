@@ -37,10 +37,10 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Hashable
 
+from repro.api.codec import compile_query, compile_update, parse_completion
 from repro.checker.history import History
 from repro.core.config import CrdtPaxosConfig
-from repro.core.keyspace import Keyed, KeyedCrdtReplica
-from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
+from repro.core.keyspace import KeyedCrdtReplica
 from repro.core.replica import CrdtPaxosReplica
 from repro.crdt.base import IdentityQuery
 from repro.crdt.gcounter import GCounter, Increment
@@ -108,21 +108,24 @@ def _stamp_completion(open_requests: dict[str, Any], message: Any, now: float) -
     """Stamp a completed operation's record from its Done message.
 
     Shared by the unkeyed and keyed recording clients so the record shape
-    has exactly one source of truth."""
-    if isinstance(message, UpdateDone):
-        record = open_requests.pop(message.request_id, None)
-        if record is not None:
-            record.completed_at = now
-            record.inclusion_tag = message.inclusion_tag
-    elif isinstance(message, QueryDone):
-        record = open_requests.pop(message.request_id, None)
-        if record is not None:
-            record.completed_at = now
-            record.state = message.result
-            record.proposer = message.proposer
-            record.learn_seq = message.learn_seq
-            record.round_trips = message.round_trips
-            record.learned_via = message.learned_via
+    has exactly one source of truth.  Replies are normalized through the
+    Store API's :func:`repro.api.codec.parse_completion` — the same
+    decoding every real client performs (Keyed unwrapping included)."""
+    completion = parse_completion(message)
+    if completion is None:
+        return
+    record = open_requests.pop(completion.request_id, None)
+    if record is None:
+        return
+    record.completed_at = now
+    if completion.kind == "update":
+        record.inclusion_tag = completion.inclusion_tag
+    else:
+        record.state = completion.result
+        record.proposer = completion.proposer
+        record.learn_seq = completion.learn_seq
+        record.round_trips = completion.round_trips
+        record.learned_via = completion.learned_via
 
 
 class _RecordingClient:
@@ -151,7 +154,7 @@ class _RecordingClient:
             op_id, replica, self._sim.now
         )
         self._network.send(
-            self.address, replica, ClientUpdate(request_id=op_id, op=Increment())
+            self.address, replica, compile_update(op_id, Increment())
         )
 
     def inject_query(self, replica: str) -> None:
@@ -162,7 +165,7 @@ class _RecordingClient:
             op_id, replica, self._sim.now
         )
         self._network.send(
-            self.address, replica, ClientQuery(request_id=op_id, op=IdentityQuery())
+            self.address, replica, compile_query(op_id, IdentityQuery())
         )
 
     def deliver(self, envelope: Envelope) -> None:
@@ -376,9 +379,7 @@ class _KeyedRecordingClient:
             op_id, replica, self._sim.now
         )
         self._network.send(
-            self.address,
-            replica,
-            Keyed(key=key, message=ClientUpdate(request_id=op_id, op=Increment())),
+            self.address, replica, compile_update(op_id, Increment(), key=key)
         )
 
     def inject_query(self, replica: str, key: Hashable) -> None:
@@ -389,15 +390,11 @@ class _KeyedRecordingClient:
             op_id, replica, self._sim.now
         )
         self._network.send(
-            self.address,
-            replica,
-            Keyed(key=key, message=ClientQuery(request_id=op_id, op=IdentityQuery())),
+            self.address, replica, compile_query(op_id, IdentityQuery(), key=key)
         )
 
     def deliver(self, envelope: Envelope) -> None:
-        message = envelope.payload
-        if isinstance(message, Keyed):
-            _stamp_completion(self._open, message.message, self._sim.now)
+        _stamp_completion(self._open, envelope.payload, self._sim.now)
 
 
 @dataclass
@@ -412,6 +409,9 @@ class KeyedExplorationReport:
     #: Cold-key demotions / rehydrations summed over all replicas.
     evictions: int = 0
     rehydrations: int = 0
+    #: Cross-key envelope coalescing totals (keyed_coalesce_window).
+    keyed_batches_packed: int = 0
+    keyed_batches_unpacked: int = 0
 
     @property
     def all_complete(self) -> bool:
@@ -460,7 +460,14 @@ class KeyedInterleavingExplorer:
             keyed_idle_evict_s=None,
             inclusion_tagger=lambda state, replica: (replica, state.slot(replica)),
         )
-        self._collect_timers = base.batching or base.retry_backoff > 0
+        # Coalescing parks peer traffic behind a flush timer, so with it
+        # on the adversary must control (and eventually fire) that timer
+        # too or the run would deadlock instead of quiescing.
+        self._collect_timers = (
+            base.batching
+            or base.retry_backoff > 0
+            or base.keyed_coalesce_window is not None
+        )
 
     def run(
         self,
@@ -553,4 +560,10 @@ class KeyedInterleavingExplorer:
         for runtime in runtimes.values():
             report.evictions += runtime.node.evictions
             report.rehydrations += runtime.node.rehydrations
+            report.keyed_batches_packed += (
+                runtime.node.acceptor_stats.keyed_batches_packed
+            )
+            report.keyed_batches_unpacked += (
+                runtime.node.acceptor_stats.keyed_batches_unpacked
+            )
         return report

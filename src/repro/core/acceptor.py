@@ -39,6 +39,10 @@ class AcceptorStats:
         "prepares_rejected",
         "votes_granted",
         "votes_denied",
+        "keyed_batches_packed",
+        "keyed_batch_messages",
+        "keyed_batches_unpacked",
+        "keyed_batch_bytes_saved",
     )
 
     def __init__(self) -> None:
@@ -47,6 +51,15 @@ class AcceptorStats:
         self.prepares_rejected = 0
         self.votes_granted = 0
         self.votes_denied = 0
+        #: Keyed-envelope coalescing (``keyed_coalesce_window``): framed
+        #: KeyedBatch envelopes sent, per-key messages they carried,
+        #: batches unpacked on arrival, and the per-envelope overhead
+        #: bytes the packing saved on the wire.  Kept here because this
+        #: object is already the keyed replica's one shared per-node sink.
+        self.keyed_batches_packed = 0
+        self.keyed_batch_messages = 0
+        self.keyed_batches_unpacked = 0
+        self.keyed_batch_bytes_saved = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}

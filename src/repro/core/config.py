@@ -80,6 +80,14 @@ class CrdtPaxosConfig:
         Keyed deployments only: demote a quiescent key after this many
         seconds without a touch, swept periodically.  ``None`` (default)
         disables idle eviction.
+    ``keyed_coalesce_window``
+        Keyed deployments only: buffer peer-bound :class:`Keyed` envelopes
+        for up to this many seconds and flush them as one framed
+        :class:`~repro.core.keyspace.KeyedBatch` per destination — at high
+        key counts one replica emits many small per-key messages to the
+        same peer per tick, and batching them amortizes the per-envelope
+        overhead.  Replies to clients are never delayed.  ``None``
+        (default) sends every envelope immediately.
     """
 
     batching: bool = False
@@ -96,6 +104,7 @@ class CrdtPaxosConfig:
     inclusion_tagger: InclusionTagger | None = None
     keyed_max_resident: int | None = None
     keyed_idle_evict_s: float | None = None
+    keyed_coalesce_window: float | None = None
 
     def __post_init__(self) -> None:
         for field_name in ("initial_prepare", "retry_prepare"):
@@ -120,3 +129,7 @@ class CrdtPaxosConfig:
             )
         if self.keyed_idle_evict_s is not None and self.keyed_idle_evict_s <= 0:
             raise ConfigurationError("keyed_idle_evict_s must be positive or None")
+        if self.keyed_coalesce_window is not None and self.keyed_coalesce_window <= 0:
+            raise ConfigurationError(
+                "keyed_coalesce_window must be positive or None"
+            )

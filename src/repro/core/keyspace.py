@@ -48,6 +48,21 @@ maintained on proposer materialization, replaces any scan), and
 :meth:`Keyed.wire_size` memoizes like
 :class:`~repro.net.message.Envelope` does, so broadcasting one keyed
 payload to many peers sizes the inner CRDT once.
+
+Two refinements ride on the frozen-record design:
+
+* **Cross-key envelope coalescing** — with
+  ``config.keyed_coalesce_window`` set, peer-bound ``Keyed`` envelopes
+  park in a per-destination outbox and leave as one framed
+  :class:`KeyedBatch` per peer per flush, amortizing per-envelope
+  overhead at high key counts.  Replies to clients are never delayed.
+  The savings are counted in the shared
+  :class:`~repro.core.acceptor.AcceptorStats` sink.
+* **GLA-Stability across eviction** — the §3.4 learned maximum is
+  persisted in the frozen record next to the acceptor pair and seeds
+  the rehydrated proposer, so states learned at this node for one key
+  stay monotone in learn order across freeze/thaw generations (learn
+  sequence numbers already come from a node-wide counter).
 """
 
 from __future__ import annotations
@@ -61,6 +76,7 @@ from repro.core.messages import ClientQuery, ClientUpdate
 from repro.core.proposer import Proposer, ProposerShared, ProposerStats
 from repro.core.router import dispatch_peer_message
 from repro.crdt.base import StateCRDT
+from repro.net.message import ENVELOPE_OVERHEAD_BYTES
 from repro.net.message import wire_size as _wire_size
 from repro.net.node import Effects, ProtocolNode
 from repro.quorum.system import MajorityQuorum, QuorumSystem
@@ -69,6 +85,9 @@ from repro.quorum.system import MajorityQuorum, QuorumSystem
 #: per-key timers, which are always namespaced ``<repr(key)>|<timer>``
 #: (a repr never equals this bare token).
 _SWEEP_TIMER = "keyspace-sweep"
+
+#: Reserved timer key for the cross-key envelope-coalescing flush.
+_COALESCE_TIMER = "keyspace-coalesce"
 
 
 # No ``slots=True``: the memoized wire size lives in the instance dict
@@ -97,25 +116,56 @@ class Keyed:
         return cached
 
 
+# No ``slots=True`` for the same memoized-size reason as Keyed.
+@dataclass(frozen=True)
+class KeyedBatch:
+    """One framed envelope carrying many per-key messages to one peer.
+
+    At high key counts a replica emits many small :class:`Keyed` messages
+    to the same destination per flush; packing them into one envelope
+    amortizes the per-message framing overhead
+    (``config.keyed_coalesce_window``).  The receiving replica unpacks
+    and routes each item through the ordinary keyed dispatch, so the
+    batch is pure transport framing — it carries no protocol meaning.
+    """
+
+    items: tuple[Keyed, ...]
+
+    def wire_size(self) -> int:
+        cached = self.__dict__.get("_size")
+        if cached is None:
+            cached = 8 + sum(item.wire_size() for item in self.items)
+            object.__setattr__(self, "_size", cached)
+        return cached
+
+
 class _FrozenKey:
     """A demoted quiescent key: the acceptor's entire durable state.
 
     Payload plus round watermark — the paper's logless acceptor state,
-    bit for bit.  Everything else about the instance is reconstructed on
-    rehydration (observability counters restart at zero).
+    bit for bit — plus the §3.4 learned maximum when GLA-Stability is on,
+    so the per-proposer monotonicity window survives freeze/thaw.
+    Everything else about the instance is reconstructed on rehydration
+    (observability counters restart at zero).
     """
 
-    __slots__ = ("state", "round")
+    __slots__ = ("state", "round", "learned_max")
 
-    def __init__(self, state: StateCRDT, round: Any) -> None:
+    def __init__(
+        self,
+        state: StateCRDT,
+        round: Any,
+        learned_max: StateCRDT | None = None,
+    ) -> None:
         self.state = state
         self.round = round
+        self.learned_max = learned_max
 
 
 class _KeyInstance:
     """One resident key's machinery: acceptor always, proposer lazily."""
 
-    __slots__ = ("acceptor", "proposer", "touch_seq", "touched_at")
+    __slots__ = ("acceptor", "proposer", "touch_seq", "touched_at", "learned_max")
 
     def __init__(self, acceptor: Acceptor) -> None:
         self.acceptor = acceptor
@@ -126,6 +176,9 @@ class _KeyInstance:
         #: None until the first clocked touch — admissions via bare
         #: instance()/materialize_proposer() carry no clock.
         self.touched_at: float | None = None
+        #: §3.4 learned maximum thawed from a frozen record, parked here
+        #: until (unless) the key materializes a proposer to adopt it.
+        self.learned_max: StateCRDT | None = None
 
 
 class KeyedCrdtReplica(ProtocolNode):
@@ -173,6 +226,11 @@ class KeyedCrdtReplica(ProtocolNode):
         self._acceptor_stats = AcceptorStats()
         self._resident: dict[Hashable, _KeyInstance] = {}
         self._frozen: dict[Hashable, _FrozenKey] = {}
+        #: Cross-key envelope coalescing: peer-bound Keyed envelopes wait
+        #: here until the coalesce flush packs one KeyedBatch per peer.
+        self._remote_peers = frozenset(peers) - {node_id}
+        self._outbox: dict[str, list[Keyed]] = {}
+        self._coalesce_armed = False
         #: Timer-namespace index: ``repr(key)`` → key.  Keeps
         #: :meth:`on_timer` O(1) in the number of keys.  Registered only
         #: when a key materializes a proposer — acceptor-only keys never
@@ -188,6 +246,12 @@ class KeyedCrdtReplica(ProtocolNode):
     def stats(self) -> ProposerStats:
         """Aggregate proposer counters across every key (flyweight sink)."""
         return self._shared.stats
+
+    @property
+    def acceptor_stats(self) -> AcceptorStats:
+        """Aggregate acceptor counters across every key — including the
+        KeyedBatch coalescing savings (packed/unpacked/bytes saved)."""
+        return self._acceptor_stats
 
     def instance(self, key: Hashable, now: float | None = None) -> _KeyInstance:
         """The per-key machinery, created (or rehydrated) on first touch.
@@ -219,6 +283,8 @@ class KeyedCrdtReplica(ProtocolNode):
         else:
             acceptor = Acceptor(self._initial_state_for(key), stats=stats)
         inst = _KeyInstance(acceptor)
+        if frozen is not None:
+            inst.learned_max = frozen.learned_max
         self._resident[key] = inst
         if self._eager:
             self._materialize(key, inst)
@@ -236,7 +302,10 @@ class KeyedCrdtReplica(ProtocolNode):
             else:
                 shared = self._shared
             inst.proposer = Proposer(
-                shared, inst.acceptor, self._initial_state_for(key)
+                shared,
+                inst.acceptor,
+                self._initial_state_for(key),
+                learned_max=inst.learned_max,
             )
             # First registration wins, matching the old first-match scan
             # for (pathological) distinct keys sharing a repr.
@@ -270,7 +339,15 @@ class KeyedCrdtReplica(ProtocolNode):
         proposer = inst.proposer
         if proposer is not None and not proposer.idle:
             return False
-        self._frozen[key] = _FrozenKey(inst.acceptor.state, inst.acceptor.round)
+        # Persist the §3.4 learned maximum alongside the acceptor pair —
+        # either the live proposer's or one thawed earlier that never got
+        # adopted (the key froze again before proposing locally).
+        learned_max = (
+            proposer.learned_max if proposer is not None else inst.learned_max
+        )
+        self._frozen[key] = _FrozenKey(
+            inst.acceptor.state, inst.acceptor.round, learned_max
+        )
         del self._resident[key]
         namespace = repr(key)
         if self._namespaces.get(namespace) == key:
@@ -318,9 +395,23 @@ class KeyedCrdtReplica(ProtocolNode):
         effects = Effects()
         if self.config.keyed_idle_evict_s is not None:
             effects.set_timer(_SWEEP_TIMER, self.config.keyed_idle_evict_s)
+        # Crash recovery loses timers but not internal state: envelopes
+        # parked in the outbox must get a fresh flush tick.
+        self._coalesce_armed = False
+        if self._outbox:
+            self._coalesce_armed = True
+            effects.set_timer(_COALESCE_TIMER, self.config.keyed_coalesce_window or 0.001)
         return effects
 
     def on_message(self, src: str, message: Any, now: float) -> Effects:
+        if isinstance(message, KeyedBatch):
+            # Transport framing only: route every item through the
+            # ordinary keyed dispatch, folding the effects in order.
+            self._acceptor_stats.keyed_batches_unpacked += 1
+            effects = Effects()
+            for item in message.items:
+                effects.merge(self.on_message(src, item, now))
+            return effects
         if not isinstance(message, Keyed):
             return Effects()  # unkeyed traffic is not ours
         key = message.key
@@ -352,6 +443,8 @@ class KeyedCrdtReplica(ProtocolNode):
     def on_timer(self, key: str, now: float) -> Effects:
         if key == _SWEEP_TIMER:
             return self._sweep(now)
+        if key == _COALESCE_TIMER:
+            return self._flush_outbox()
         # Timer keys are namespaced "<repr(key)>|<proposer key>"; the
         # namespace index resolves them in O(1) regardless of keyspace
         # size.  Split at the LAST '|' — proposer timer keys never
@@ -382,17 +475,49 @@ class KeyedCrdtReplica(ProtocolNode):
         inner message once per destination; sharing one ``Keyed`` wrapper
         across those sends is what makes its ``wire_size`` memo pay — the
         payload is sized once per broadcast instead of once per envelope.
+
+        With ``keyed_coalesce_window`` set, peer-bound envelopes detour
+        through the outbox and leave as one :class:`KeyedBatch` per peer
+        at the next coalesce flush; client-bound replies always go out
+        immediately (a reply delayed is a request slowed).
         """
         wrapped = Effects()
+        coalesce = self.config.keyed_coalesce_window
         shared: dict[int, Keyed] = {}
         for dst, message in effects.sends:
             keyed = shared.get(id(message))
             if keyed is None:
                 keyed = Keyed(key=key, message=message)
                 shared[id(message)] = keyed
-            wrapped.send(dst, keyed)
+            if coalesce is not None and dst in self._remote_peers:
+                self._outbox.setdefault(dst, []).append(keyed)
+                if not self._coalesce_armed:
+                    self._coalesce_armed = True
+                    wrapped.set_timer(_COALESCE_TIMER, coalesce)
+            else:
+                wrapped.send(dst, keyed)
         for timer_key, delay in effects.timers:
             wrapped.set_timer(f"{key!r}|{timer_key}", delay)
         for timer_key in effects.cancels:
             wrapped.cancel_timer(f"{key!r}|{timer_key}")
         return wrapped
+
+    def _flush_outbox(self) -> Effects:
+        """Coalesce flush: one framed envelope per peer with traffic."""
+        effects = Effects()
+        self._coalesce_armed = False
+        if not self._outbox:
+            return effects
+        outbox, self._outbox = self._outbox, {}
+        stats = self._acceptor_stats
+        for dst, items in outbox.items():
+            if len(items) == 1:  # nothing to amortize; skip the framing
+                effects.send(dst, items[0])
+                continue
+            effects.send(dst, KeyedBatch(items=tuple(items)))
+            stats.keyed_batches_packed += 1
+            stats.keyed_batch_messages += len(items)
+            stats.keyed_batch_bytes_saved += (
+                len(items) - 1
+            ) * ENVELOPE_OVERHEAD_BYTES
+        return effects

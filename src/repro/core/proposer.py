@@ -277,6 +277,7 @@ class Proposer:
         shared: ProposerShared,
         acceptor: Acceptor,
         initial_state: StateCRDT,
+        learned_max: StateCRDT | None = None,
     ) -> None:
         self._shared = shared
         self._acceptor = acceptor
@@ -289,7 +290,10 @@ class Proposer:
         self._query_in_flight = False
         self._flush_armed = False
         self._flush_ever_armed = False
-        self._learned_max: StateCRDT | None = None
+        # ``learned_max`` seeds the §3.4 monotone learned maximum — the
+        # keyed store passes the value persisted in a frozen record so the
+        # GLA-Stability window survives a freeze/thaw cycle.
+        self._learned_max: StateCRDT | None = learned_max
 
     # ------------------------------------------------------------------
     # Flyweight accessors
@@ -313,6 +317,15 @@ class Proposer:
     @property
     def _quorum(self) -> QuorumSystem:
         return self._shared.quorum
+
+    @property
+    def learned_max(self) -> StateCRDT | None:
+        """The §3.4 learned maximum (None unless ``gla_stability`` ran).
+
+        Exposed so the keyed store can persist it into a frozen record on
+        eviction and seed the rehydrated proposer with it.
+        """
+        return self._learned_max
 
     @property
     def idle(self) -> bool:

@@ -4,21 +4,52 @@ Closed-loop clients ("each client independently submits requests to one of
 the three replicas and then waits for a reply before submitting the next
 request"), read-ratio mixes, warm-up exclusion, and per-request records
 feeding the statistics layer.
+
+PR 3 rebuilt the layer on the :mod:`repro.api` surface: operations are
+typed CRDT ops from a per-type :class:`~repro.workload.profiles.OpProfile`,
+compiled per protocol by :class:`~repro.workload.adapters.OpAdapter`, and
+optionally addressed per key (Zipf popularity via
+:class:`~repro.workload.sampler.ZipfKeySampler`) against the keyed
+deployment.  The counter-only adapters remain as deprecation shims.
 """
 
-from repro.workload.adapters import CounterAdapter, CrdtPaxosAdapter, RsmAdapter
-from repro.workload.clients import ClosedLoopClient, OpRecord, Recorder
-from repro.workload.runner import RunResult, run_workload
+from repro.workload.adapters import (
+    CounterAdapter,
+    CrdtPaxosAdapter,
+    CrdtPaxosOpAdapter,
+    OpAdapter,
+    RsmAdapter,
+    RsmOpAdapter,
+)
+from repro.workload.clients import ClosedLoopClient, HistoryTap, OpRecord, Recorder
+from repro.workload.profiles import OpProfile, profile_for, profile_names
+from repro.workload.runner import (
+    PROTOCOLS,
+    RunResult,
+    canonical_protocol,
+    run_workload,
+)
+from repro.workload.sampler import ZipfKeySampler
 from repro.workload.spec import WorkloadSpec
 
 __all__ = [
     "ClosedLoopClient",
     "CounterAdapter",
     "CrdtPaxosAdapter",
+    "CrdtPaxosOpAdapter",
+    "HistoryTap",
+    "OpAdapter",
+    "OpProfile",
     "OpRecord",
+    "PROTOCOLS",
     "Recorder",
     "RsmAdapter",
+    "RsmOpAdapter",
     "RunResult",
     "WorkloadSpec",
+    "ZipfKeySampler",
+    "canonical_protocol",
+    "profile_for",
+    "profile_names",
     "run_workload",
 ]

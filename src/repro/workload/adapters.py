@@ -1,31 +1,132 @@
-"""Protocol adapters: one counter workload, many wire dialects.
+"""Protocol adapters: one op-level workload, many wire dialects.
 
-The paper benchmarks a replicated counter on every system — a G-Counter
-under CRDT Paxos, a plain replicated integer under Multi-Paxos/Raft.  An
-adapter translates the workload's two abstract operations (increment,
-read) into the protocol's client messages and parses the replies, so the
-load generator is protocol-agnostic.
+The load generator speaks typed CRDT operations
+(:class:`~repro.crdt.base.UpdateOp` / :class:`~repro.crdt.base.QueryOp`,
+produced by a :class:`~repro.workload.profiles.OpProfile`); an adapter
+compiles them into one protocol's client messages and normalizes the
+replies.  CRDT Paxos compiles through :mod:`repro.api.codec` — the same
+path the :class:`~repro.api.store.Store` frontends use — so the
+benchmarks measure exactly what the public API emits, keyed or not.
+The log-based RSM baselines (Multi-Paxos, Raft, GLA) only replicate an
+integer counter, so their adapter accepts the counter profile's ops and
+translates them to the shared RSM command tuples.
+
+The pre-PR-3 counter-only hierarchy (``CounterAdapter`` /
+``CrdtPaxosAdapter`` / ``RsmAdapter`` with ``update_message(request_id,
+amount)``) survives as deprecation shims at the bottom of this module.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Hashable
 
+from repro.api.codec import (
+    UNKEYED,
+    Completion,
+    compile_query,
+    compile_update,
+    parse_completion,
+)
 from repro.baselines.common import (
     RsmQuery,
     RsmQueryDone,
     RsmUpdate,
     RsmUpdateDone,
 )
-from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
+from repro.crdt.base import QueryOp, UpdateOp
 from repro.crdt.gcounter import GCounterValue, Increment
+from repro.errors import ConfigurationError
 
 
+class OpAdapter(ABC):
+    """Builds requests from typed ops and parses replies for one dialect."""
+
+    @abstractmethod
+    def update_message(
+        self, request_id: str, op: UpdateOp, key: Hashable = UNKEYED
+    ) -> Any:
+        """A 'submit update function' request (optionally key-addressed)."""
+
+    @abstractmethod
+    def query_message(
+        self, request_id: str, op: QueryOp, key: Hashable = UNKEYED
+    ) -> Any:
+        """A 'submit query function' request (optionally key-addressed)."""
+
+    @abstractmethod
+    def parse_reply(self, message: Any) -> Completion | None:
+        """Normalize a reply; None if the message is not a completion."""
+
+
+class CrdtPaxosOpAdapter(OpAdapter):
+    """CRDT Paxos dialect: the Store API's compilation path, verbatim."""
+
+    def update_message(
+        self, request_id: str, op: UpdateOp, key: Hashable = UNKEYED
+    ) -> Any:
+        return compile_update(request_id, op, key=key)
+
+    def query_message(
+        self, request_id: str, op: QueryOp, key: Hashable = UNKEYED
+    ) -> Any:
+        return compile_query(request_id, op, key=key)
+
+    def parse_reply(self, message: Any) -> Completion | None:
+        return parse_completion(message)
+
+
+class RsmOpAdapter(OpAdapter):
+    """Replicated-integer dialect for Multi-Paxos, Raft and GLA.
+
+    The baselines replicate one integer, so only the counter profile's
+    operations translate; anything else is a configuration error (the
+    runner rejects such combinations up front).
+    """
+
+    def update_message(
+        self, request_id: str, op: UpdateOp, key: Hashable = UNKEYED
+    ) -> Any:
+        if key is not UNKEYED:
+            raise ConfigurationError("RSM baselines have no keyed deployment")
+        if not isinstance(op, Increment):
+            raise ConfigurationError(
+                f"RSM baselines only replicate a counter; got {op!r}"
+            )
+        return RsmUpdate(request_id=request_id, command=("incr", op.amount))
+
+    def query_message(
+        self, request_id: str, op: QueryOp, key: Hashable = UNKEYED
+    ) -> Any:
+        if key is not UNKEYED:
+            raise ConfigurationError("RSM baselines have no keyed deployment")
+        if not isinstance(op, GCounterValue):
+            raise ConfigurationError(
+                f"RSM baselines only read a counter value; got {op!r}"
+            )
+        return RsmQuery(request_id=request_id, command=("read",))
+
+    def parse_reply(self, message: Any) -> Completion | None:
+        if isinstance(message, RsmUpdateDone):
+            return Completion(request_id=message.request_id, kind="update")
+        if isinstance(message, RsmQueryDone):
+            return Completion(
+                request_id=message.request_id,
+                kind="read",
+                result=message.result,
+                learned_via=message.via,
+            )
+        return None
+
+
+# ----------------------------------------------------------------------
+# Deprecated counter-only hierarchy (pre-PR-3 entry points)
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ParsedReply:
-    """Normalized completion: which request, what kind, diagnostics."""
+    """Normalized completion of the deprecated counter adapters."""
 
     request_id: str
     kind: str  # "update" | "read"
@@ -34,64 +135,78 @@ class ParsedReply:
     via: str = ""
 
 
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} (repro.workload.adapters)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class CounterAdapter(ABC):
-    """Builds requests and parses replies for one protocol dialect."""
+    """Deprecated: the counter-only adapter contract.
+
+    Superseded by :class:`OpAdapter`, which carries typed CRDT operations
+    (any profile, optionally keyed) instead of a hard-coded increment.
+    """
 
     @abstractmethod
-    def update_message(self, request_id: str, amount: int) -> Any:
-        """An 'increment the counter by amount' request."""
+    def update_message(self, request_id: str, amount: int) -> Any: ...
 
     @abstractmethod
-    def query_message(self, request_id: str) -> Any:
-        """A 'read the counter' request."""
+    def query_message(self, request_id: str) -> Any: ...
 
     @abstractmethod
-    def parse_reply(self, message: Any) -> ParsedReply | None:
-        """Normalize a reply; None if the message is not a completion."""
+    def parse_reply(self, message: Any) -> ParsedReply | None: ...
 
 
 class CrdtPaxosAdapter(CounterAdapter):
-    """G-Counter operations over the CRDT Paxos client messages."""
+    """Deprecated shim over :class:`CrdtPaxosOpAdapter` (counter ops)."""
+
+    def __init__(self) -> None:
+        _deprecated("CrdtPaxosAdapter", "CrdtPaxosOpAdapter")
+        self._inner = CrdtPaxosOpAdapter()
 
     def update_message(self, request_id: str, amount: int) -> Any:
-        return ClientUpdate(request_id=request_id, op=Increment(amount))
+        return self._inner.update_message(request_id, Increment(amount))
 
     def query_message(self, request_id: str) -> Any:
-        return ClientQuery(request_id=request_id, op=GCounterValue())
+        return self._inner.query_message(request_id, GCounterValue())
 
     def parse_reply(self, message: Any) -> ParsedReply | None:
-        if isinstance(message, UpdateDone):
-            return ParsedReply(
-                request_id=message.request_id, kind="update", round_trips=1
-            )
-        if isinstance(message, QueryDone):
-            return ParsedReply(
-                request_id=message.request_id,
-                kind="read",
-                result=message.result,
-                round_trips=message.round_trips,
-                via=message.learned_via,
-            )
-        return None
+        completion = self._inner.parse_reply(message)
+        if completion is None:
+            return None
+        return ParsedReply(
+            request_id=completion.request_id,
+            kind=completion.kind,
+            result=completion.result,
+            round_trips=completion.round_trips,
+            via=completion.learned_via,
+        )
 
 
 class RsmAdapter(CounterAdapter):
-    """Replicated-integer operations for Multi-Paxos, Raft and GLA."""
+    """Deprecated shim over :class:`RsmOpAdapter` (counter ops)."""
+
+    def __init__(self) -> None:
+        _deprecated("RsmAdapter", "RsmOpAdapter")
+        self._inner = RsmOpAdapter()
 
     def update_message(self, request_id: str, amount: int) -> Any:
-        return RsmUpdate(request_id=request_id, command=("incr", amount))
+        return self._inner.update_message(request_id, Increment(amount))
 
     def query_message(self, request_id: str) -> Any:
-        return RsmQuery(request_id=request_id, command=("read",))
+        return self._inner.query_message(request_id, GCounterValue())
 
     def parse_reply(self, message: Any) -> ParsedReply | None:
-        if isinstance(message, RsmUpdateDone):
-            return ParsedReply(request_id=message.request_id, kind="update")
-        if isinstance(message, RsmQueryDone):
-            return ParsedReply(
-                request_id=message.request_id,
-                kind="read",
-                result=message.result,
-                via=message.via,
-            )
-        return None
+        completion = self._inner.parse_reply(message)
+        if completion is None:
+            return None
+        return ParsedReply(
+            request_id=completion.request_id,
+            kind=completion.kind,
+            result=completion.result,
+            round_trips=completion.round_trips,
+            via=completion.learned_via,
+        )

@@ -4,12 +4,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Hashable
 
+from repro.api.codec import UNKEYED
+from repro.checker.history import History
 from repro.net.sim_transport import SimNetwork
 from repro.runtime.cluster import ClientEndpoint
 from repro.sim.kernel import Simulator
-from repro.workload.adapters import CounterAdapter
+from repro.workload.adapters import OpAdapter
+from repro.workload.profiles import OpProfile
+from repro.workload.sampler import ZipfKeySampler
 
 
 @dataclass(frozen=True, slots=True)
@@ -23,6 +27,7 @@ class OpRecord:
     via: str
     client: str
     retried: bool
+    key: Any = None
 
     @property
     def latency(self) -> float:
@@ -43,6 +48,46 @@ class Recorder:
         self.timeouts += 1
 
 
+class HistoryTap:
+    """Builds checker histories from a run — one per key (or one total).
+
+    Every *attempt* becomes an operation record (a client re-issue under
+    a fresh request id is a fresh submission, which is exactly what the
+    Validity condition counts); the attempt whose reply arrives gets
+    stamped complete, superseded attempts stay open.  Reads carry the
+    learned *state* (the clients switch to the profile's identity query
+    when a tap is installed), so the recorded histories feed
+    :mod:`repro.checker.lattice_linearizability` directly.
+    """
+
+    def __init__(self) -> None:
+        self.histories: dict[Any, History] = {}
+
+    def _history(self, key: Any) -> History:
+        history = self.histories.get(key)
+        if history is None:
+            history = self.histories[key] = History()
+        return history
+
+    def begin(self, key: Any, kind: str, op_id: str, replica: str, now: float):
+        history = self._history(key)
+        if kind == "read":
+            return history.begin_query(op_id, replica, now)
+        return history.begin_update(op_id, replica, now)
+
+    @staticmethod
+    def complete(record: Any, completion: Any, now: float) -> None:
+        record.completed_at = now
+        if completion.kind == "read":
+            record.state = completion.result
+            record.proposer = completion.proposer
+            record.learn_seq = completion.learn_seq
+            record.round_trips = completion.round_trips
+            record.learned_via = completion.learned_via
+        else:
+            record.inclusion_tag = completion.inclusion_tag
+
+
 class ClosedLoopClient:
     """One Basho-Bench-style worker.
 
@@ -52,6 +97,16 @@ class ClosedLoopClient:
     to the next replica (round-robin) — stale replies to superseded ids
     are dropped.  The latency of a retried operation spans from the first
     issue, like a real benchmark client's stopwatch.
+
+    Operations come from an :class:`~repro.workload.profiles.OpProfile`
+    (which CRDT, which update/read ops) and are compiled by an
+    :class:`~repro.workload.adapters.OpAdapter` (which protocol dialect).
+    With a ``key_sampler`` the client runs the keyed deployment: every
+    operation first draws a key from the sampler's popularity
+    distribution and the adapter wraps the command in a ``Keyed``
+    envelope.  With a ``history_tap`` the run records per-key checkable
+    histories (reads switch to the identity query so learned states are
+    captured).
     """
 
     def __init__(
@@ -61,13 +116,15 @@ class ClosedLoopClient:
         address: str,
         replicas: list[str],
         home_replica: int,
-        adapter: CounterAdapter,
+        adapter: OpAdapter,
+        profile: OpProfile,
         recorder: Recorder,
         rng: random.Random,
         read_ratio: float,
         stop_time: float,
         client_timeout: float,
-        increment_amount: int = 1,
+        key_sampler: ZipfKeySampler | None = None,
+        history_tap: HistoryTap | None = None,
     ) -> None:
         self._sim = sim
         self._endpoint = ClientEndpoint(sim, network, address, self._on_reply)
@@ -75,16 +132,21 @@ class ClosedLoopClient:
         self._replicas = replicas
         self._target_index = home_replica % len(replicas)
         self._adapter = adapter
+        self._profile = profile
         self._recorder = recorder
         self._rng = rng
         self._read_ratio = read_ratio
         self._stop_time = stop_time
         self._client_timeout = client_timeout
-        self._increment_amount = increment_amount
+        self._key_sampler = key_sampler
+        self._history_tap = history_tap
 
         self._sequence = 0
         self._outstanding_id: str | None = None
         self._current_kind = ""
+        self._current_key: Hashable = UNKEYED
+        self._current_op: Any = None
+        self._open_history_record: Any = None
         self._first_issued_at = 0.0
         self._retried = False
         self.operations_completed = 0
@@ -100,6 +162,18 @@ class ClosedLoopClient:
         self._current_kind = (
             "read" if self._rng.random() < self._read_ratio else "update"
         )
+        if self._key_sampler is not None:
+            self._current_key = self._key_sampler.sample(self._rng)
+        # The operation is drawn once per logical op: a timeout retry
+        # re-issues the *same* op (under a fresh id), it does not draw a
+        # new one from the profile's randomness.
+        if self._current_kind == "read":
+            if self._history_tap is not None:
+                self._current_op = self._profile.identity_query()
+            else:
+                self._current_op = self._profile.query_op()
+        else:
+            self._current_op = self._profile.update_op(self._rng, self._sim.now)
         self._first_issued_at = self._sim.now
         self._retried = False
         self._send_attempt()
@@ -108,13 +182,23 @@ class ClosedLoopClient:
         self._sequence += 1
         request_id = f"{self.address}#{self._sequence}"
         self._outstanding_id = request_id
+        target = self._replicas[self._target_index]
         if self._current_kind == "read":
-            message = self._adapter.query_message(request_id)
+            message = self._adapter.query_message(
+                request_id, self._current_op, key=self._current_key
+            )
         else:
             message = self._adapter.update_message(
-                request_id, self._increment_amount
+                request_id, self._current_op, key=self._current_key
             )
-        target = self._replicas[self._target_index]
+        if self._history_tap is not None:
+            self._open_history_record = self._history_tap.begin(
+                None if self._current_key is UNKEYED else self._current_key,
+                self._current_kind,
+                request_id,
+                target,
+                self._sim.now,
+            )
         self._endpoint.send(target, message)
         self._sim.schedule(self._client_timeout, self._check_timeout, request_id)
 
@@ -124,6 +208,7 @@ class ClosedLoopClient:
         # Give up on this attempt; fail over to the next replica.
         self._recorder.record_timeout()
         self._retried = True
+        self._open_history_record = None  # the attempt stays open forever
         self._target_index = (self._target_index + 1) % len(self._replicas)
         if self._sim.now >= self._stop_time:
             self._outstanding_id = None
@@ -136,15 +221,21 @@ class ClosedLoopClient:
             return  # stale reply to a superseded attempt
         self._outstanding_id = None
         self.operations_completed += 1
+        if self._history_tap is not None and self._open_history_record is not None:
+            self._history_tap.complete(
+                self._open_history_record, parsed, self._sim.now
+            )
+            self._open_history_record = None
         self._recorder.record(
             OpRecord(
                 kind=parsed.kind,
                 issued_at=self._first_issued_at,
                 completed_at=self._sim.now,
                 round_trips=parsed.round_trips,
-                via=parsed.via,
+                via=parsed.learned_via,
                 client=self.address,
                 retried=self._retried,
+                key=None if self._current_key is UNKEYED else self._current_key,
             )
         )
         self._issue_new()

@@ -1,0 +1,203 @@
+"""Per-CRDT operation profiles: what a workload's ops look like.
+
+The seed benchmark drove one hard-coded shape — increment a G-Counter,
+read its value.  A profile generalizes that: for a named CRDT type it
+provides the bottom element, a generator of update operations, the read
+operation, and (when the type supports it) the inclusion-tagging hooks
+the §3.1 correctness checker needs.  ``WorkloadSpec.crdt_type`` selects
+a profile by the registry name; keyed runs use it per key.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.crdt.base import IdentityQuery, QueryOp, StateCRDT, UpdateOp
+from repro.crdt.gcounter import GCounter, GCounterValue, Increment
+from repro.crdt.gset import Elements, GSet, GSetAdd
+from repro.crdt.lwwmap import LWWMap, LWWMapKeys, LWWMapPut
+from repro.crdt.lwwregister import LWWRegister, LWWSet, LWWValue
+from repro.crdt.orset import ORSet, ORSetAdd, ORSetElements, ORSetRemove
+from repro.crdt.pncounter import Decrement, PNCounter, PNCounterValue, PNIncrement
+from repro.errors import ConfigurationError
+
+#: (state after update, replica id) → opaque inclusion token, or None.
+InclusionTagger = Callable[[StateCRDT, str], Any]
+
+
+class OpProfile(ABC):
+    """One CRDT type's workload dialect."""
+
+    #: Registry name (matches :data:`repro.crdt.registry.crdt_registry`).
+    name: str = ""
+
+    @abstractmethod
+    def initial_state(self) -> StateCRDT:
+        """A fresh bottom element (``s0``)."""
+
+    @abstractmethod
+    def update_op(self, rng: random.Random, now: float) -> UpdateOp:
+        """The next update operation for one client."""
+
+    @abstractmethod
+    def query_op(self) -> QueryOp:
+        """The read operation of this profile."""
+
+    def identity_query(self) -> QueryOp:
+        """The read used when a run records checkable histories."""
+        return IdentityQuery()
+
+    def inclusion_tagger(self) -> InclusionTagger | None:
+        """Tag extractor for Update Visibility/Stability, if exact."""
+        return None
+
+    def supports_validity_check(self) -> bool:
+        """Whether the checker's Validity condition applies (G-Counter)."""
+        return False
+
+
+class CounterProfile(OpProfile):
+    """The paper's benchmark workload: a replicated G-Counter."""
+
+    name = "g-counter"
+
+    def __init__(self, increment_amount: int = 1) -> None:
+        self._amount = increment_amount
+
+    def initial_state(self) -> StateCRDT:
+        return GCounter.initial()
+
+    def update_op(self, rng: random.Random, now: float) -> UpdateOp:
+        return Increment(self._amount)
+
+    def query_op(self) -> QueryOp:
+        return GCounterValue()
+
+    def inclusion_tagger(self) -> InclusionTagger | None:
+        # Exact for G-Counters: the update that raised replica r's slot
+        # to k is included in any state whose slot r is >= k.
+        return lambda state, replica: (replica, state.slot(replica))
+
+    def supports_validity_check(self) -> bool:
+        return True
+
+
+class PNCounterProfile(OpProfile):
+    """Mixed increments and decrements on a PN-Counter."""
+
+    name = "pn-counter"
+
+    def __init__(self, increment_amount: int = 1) -> None:
+        self._amount = increment_amount
+
+    def initial_state(self) -> StateCRDT:
+        return PNCounter.initial()
+
+    def update_op(self, rng: random.Random, now: float) -> UpdateOp:
+        if rng.random() < 0.5:
+            return PNIncrement(self._amount)
+        return Decrement(self._amount)
+
+    def query_op(self) -> QueryOp:
+        return PNCounterValue()
+
+
+class ORSetProfile(OpProfile):
+    """Add-heavy OR-Set churn over a small element universe."""
+
+    name = "or-set"
+
+    def __init__(self, universe: int = 64, remove_ratio: float = 0.25) -> None:
+        self._universe = universe
+        self._remove_ratio = remove_ratio
+
+    def initial_state(self) -> StateCRDT:
+        return ORSet.initial()
+
+    def update_op(self, rng: random.Random, now: float) -> UpdateOp:
+        element = f"e{rng.randrange(self._universe)}"
+        if rng.random() < self._remove_ratio:
+            return ORSetRemove(element)
+        return ORSetAdd(element)
+
+    def query_op(self) -> QueryOp:
+        return ORSetElements()
+
+
+class GSetProfile(OpProfile):
+    """Grow-only set inserts."""
+
+    name = "g-set"
+
+    def __init__(self, universe: int = 256) -> None:
+        self._universe = universe
+
+    def initial_state(self) -> StateCRDT:
+        return GSet.initial()
+
+    def update_op(self, rng: random.Random, now: float) -> UpdateOp:
+        return GSetAdd(f"e{rng.randrange(self._universe)}")
+
+    def query_op(self) -> QueryOp:
+        return Elements()
+
+
+class LWWRegisterProfile(OpProfile):
+    """Last-writer-wins register writes stamped with the driver clock."""
+
+    name = "lww-register"
+
+    def initial_state(self) -> StateCRDT:
+        return LWWRegister.initial()
+
+    def update_op(self, rng: random.Random, now: float) -> UpdateOp:
+        return LWWSet(rng.randrange(1 << 16), now)
+
+    def query_op(self) -> QueryOp:
+        return LWWValue()
+
+
+class LWWMapProfile(OpProfile):
+    """Puts over a small field universe on an LWW-Map."""
+
+    name = "lww-map"
+
+    def __init__(self, fields: int = 16) -> None:
+        self._fields = fields
+
+    def initial_state(self) -> StateCRDT:
+        return LWWMap.initial()
+
+    def update_op(self, rng: random.Random, now: float) -> UpdateOp:
+        return LWWMapPut(f"f{rng.randrange(self._fields)}", rng.randrange(1 << 16), now)
+
+    def query_op(self) -> QueryOp:
+        return LWWMapKeys()
+
+
+#: name → profile factory (kwargs: increment_amount where it applies).
+_PROFILES: dict[str, Callable[..., OpProfile]] = {
+    CounterProfile.name: CounterProfile,
+    PNCounterProfile.name: PNCounterProfile,
+    ORSetProfile.name: lambda increment_amount=1: ORSetProfile(),
+    GSetProfile.name: lambda increment_amount=1: GSetProfile(),
+    LWWRegisterProfile.name: lambda increment_amount=1: LWWRegisterProfile(),
+    LWWMapProfile.name: lambda increment_amount=1: LWWMapProfile(),
+}
+
+
+def profile_names() -> list[str]:
+    return sorted(_PROFILES)
+
+
+def profile_for(crdt_type: str, increment_amount: int = 1) -> OpProfile:
+    """The :class:`OpProfile` for a registry CRDT name."""
+    factory = _PROFILES.get(crdt_type)
+    if factory is None:
+        raise ConfigurationError(
+            f"no workload profile for CRDT type {crdt_type!r}; "
+            f"known: {', '.join(profile_names())}"
+        )
+    return factory(increment_amount=increment_amount)

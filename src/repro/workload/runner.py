@@ -4,19 +4,29 @@
 and by integration tests.  It is deterministic for a given seed — the
 simulator, the network, the protocols' randomized timers and the clients'
 operation mixes all draw from seed-derived streams.
+
+PR 3 made the runner speak the same surface as :mod:`repro.api`: the
+workload is expressed as typed CRDT operations (selected by
+``spec.crdt_type``), compiled per protocol by the op adapters, and — when
+``spec.n_keys`` is set — addressed to the fine-granular keyed deployment
+(:class:`~repro.core.keyspace.KeyedCrdtReplica`) with Zipf key
+popularity, so the e2e metrics cover the shape the keyed store
+optimizes.  ``record_histories=True`` additionally captures per-key
+operation histories ready for the lattice-linearizability checker.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass, field, replace
+from typing import Any, Hashable
 
 from repro.baselines.common import IntCounter
 from repro.baselines.gla import GlaConfig, GlaNode
 from repro.baselines.multipaxos import MultiPaxosConfig, MultiPaxosNode
 from repro.baselines.raft import RaftConfig, RaftNode
+from repro.checker.history import History
 from repro.core import CrdtPaxosConfig, CrdtPaxosReplica
-from repro.crdt.gcounter import GCounter
+from repro.core.keyspace import KeyedCrdtReplica
 from repro.errors import ConfigurationError
 from repro.net.faults import FaultPlan
 from repro.net.latency import LatencyModel, LogNormalLatency
@@ -27,11 +37,13 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import ServiceModel
 from repro.stats.summary import MedianCI, median_with_ci, percentile
 from repro.stats.timeseries import WindowedPercentile, WindowedThroughput
-from repro.workload.adapters import CounterAdapter, CrdtPaxosAdapter, RsmAdapter
-from repro.workload.clients import ClosedLoopClient, OpRecord, Recorder
+from repro.workload.adapters import CrdtPaxosOpAdapter, OpAdapter, RsmOpAdapter
+from repro.workload.clients import ClosedLoopClient, HistoryTap, OpRecord, Recorder
+from repro.workload.profiles import OpProfile, profile_for
+from repro.workload.sampler import ZipfKeySampler
 from repro.workload.spec import WorkloadSpec
 
-#: Protocol names understood by :func:`run_workload`.
+#: Canonical protocol names understood by :func:`run_workload`.
 PROTOCOLS = (
     "crdt-paxos",
     "crdt-paxos-batching",
@@ -39,6 +51,21 @@ PROTOCOLS = (
     "raft",
     "gla",
 )
+
+#: Spelling variants accepted and normalized (``crdtpaxos``,
+#: ``crdt_paxos``, ... → ``crdt-paxos``): every canonical name with its
+#: dashes dropped or swapped for underscores.
+_ALIASES = {
+    canonical.replace("-", separator): canonical
+    for canonical in PROTOCOLS
+    for separator in ("", "_")
+}
+
+
+def canonical_protocol(protocol: str) -> str:
+    """Normalize a protocol spelling to its canonical dashed name."""
+    name = protocol.strip().lower()
+    return _ALIASES.get(name, name)
 
 
 @dataclass
@@ -52,6 +79,11 @@ class RunResult:
     bytes_by_type: dict[str, int]
     count_by_type: dict[str, int]
     proposer_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Keyed runs only: per-replica eviction/rehydration/residency counts.
+    keyed_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: ``record_histories=True`` runs only: checkable operation histories,
+    #: one per key (keyed runs) or a single entry keyed ``None``.
+    histories: dict[Hashable, History] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def _steady(self, kind: str | None = None) -> list[OpRecord]:
@@ -114,33 +146,57 @@ class RunResult:
     def completed_ops(self) -> int:
         return len(self._steady())
 
+    def distinct_keys_touched(self) -> int:
+        """How many distinct keys completed at least one operation."""
+        return len({r.key for r in self.records if r.key is not None})
+
 
 # ----------------------------------------------------------------------
 def _build_protocol(
     protocol: str,
+    spec: WorkloadSpec,
+    profile: OpProfile,
     sim: Simulator,
     crdt_config: CrdtPaxosConfig | None,
     raft_config: RaftConfig | None,
     multipaxos_config: MultiPaxosConfig | None,
     gla_config: GlaConfig | None,
-) -> tuple[Any, CounterAdapter]:
+) -> tuple[Any, OpAdapter]:
     """Return (replica factory, client adapter) for a protocol name."""
-    if protocol == "crdt-paxos":
+    if protocol in ("crdt-paxos", "crdt-paxos-batching"):
         config = crdt_config or CrdtPaxosConfig()
+        if protocol == "crdt-paxos-batching":
+            config.batching = True
 
-        def factory(node_id: str, peers: list[str]) -> CrdtPaxosReplica:
-            return CrdtPaxosReplica(node_id, peers, GCounter.initial(), config)
+        if spec.keyed:
 
-        return factory, CrdtPaxosAdapter()
+            def factory(node_id: str, peers: list[str]) -> KeyedCrdtReplica:
+                return KeyedCrdtReplica(
+                    node_id, peers, lambda key: profile.initial_state(), config
+                )
 
-    if protocol == "crdt-paxos-batching":
-        config = crdt_config or CrdtPaxosConfig()
-        config.batching = True
+        else:
 
-        def factory(node_id: str, peers: list[str]) -> CrdtPaxosReplica:
-            return CrdtPaxosReplica(node_id, peers, GCounter.initial(), config)
+            def factory(node_id: str, peers: list[str]) -> CrdtPaxosReplica:
+                return CrdtPaxosReplica(
+                    node_id, peers, profile.initial_state(), config
+                )
 
-        return factory, CrdtPaxosAdapter()
+        return factory, CrdtPaxosOpAdapter()
+
+    # The log-based baselines replicate one integer counter and have no
+    # keyed deployment; reject anything the dialect cannot express.
+    if protocol in ("raft", "multi-paxos", "gla"):
+        if spec.keyed:
+            raise ConfigurationError(
+                f"protocol {protocol!r} has no keyed deployment; "
+                "n_keys requires crdt-paxos"
+            )
+        if spec.crdt_type != "g-counter":
+            raise ConfigurationError(
+                f"protocol {protocol!r} only replicates a counter; "
+                f"crdt_type {spec.crdt_type!r} requires crdt-paxos"
+            )
 
     if protocol == "raft":
         config = raft_config or RaftConfig()
@@ -154,7 +210,7 @@ def _build_protocol(
                 rng=sim.rng.stream(f"raft:{node_id}"),
             )
 
-        return factory, RsmAdapter()
+        return factory, RsmOpAdapter()
 
     if protocol == "multi-paxos":
         config = multipaxos_config or MultiPaxosConfig()
@@ -168,7 +224,7 @@ def _build_protocol(
                 rng=sim.rng.stream(f"multipaxos:{node_id}"),
             )
 
-        return factory, RsmAdapter()
+        return factory, RsmOpAdapter()
 
     if protocol == "gla":
         config = gla_config or GlaConfig()
@@ -176,7 +232,7 @@ def _build_protocol(
         def factory(node_id: str, peers: list[str]) -> GlaNode:
             return GlaNode(node_id, peers, IntCounter, config)
 
-        return factory, RsmAdapter()
+        return factory, RsmOpAdapter()
 
     raise ConfigurationError(
         f"unknown protocol {protocol!r}; known: {', '.join(PROTOCOLS)}"
@@ -194,6 +250,7 @@ def run_workload(
     service_model: ServiceModel | None = None,
     failure_schedule: FailureSchedule | None = None,
     fifo_links: bool = True,
+    record_histories: bool = False,
     crdt_config: CrdtPaxosConfig | None = None,
     raft_config: RaftConfig | None = None,
     multipaxos_config: MultiPaxosConfig | None = None,
@@ -204,7 +261,28 @@ def run_workload(
     ``fifo_links`` defaults to True: the paper's test bed spoke Erlang
     distribution over TCP, which never reorders one link's messages.
     Protocol-correctness tests use reordering networks instead.
+
+    ``record_histories`` (CRDT Paxos only) switches reads to the
+    profile's identity query, installs the profile's inclusion tagger,
+    and returns per-key :class:`~repro.checker.history.History` objects
+    in ``RunResult.histories`` — ready for
+    :func:`repro.checker.lattice_linearizability.check_all`.
     """
+    protocol = canonical_protocol(protocol)
+    profile = profile_for(spec.crdt_type, increment_amount=spec.increment_amount)
+
+    history_tap: HistoryTap | None = None
+    if record_histories:
+        if protocol not in ("crdt-paxos", "crdt-paxos-batching"):
+            raise ConfigurationError(
+                "record_histories requires a CRDT Paxos protocol"
+            )
+        history_tap = HistoryTap()
+        tagger = profile.inclusion_tagger()
+        if tagger is not None:
+            base = crdt_config or CrdtPaxosConfig()
+            crdt_config = replace(base, inclusion_tagger=tagger)
+
     sim = Simulator(seed=seed)
     network = SimNetwork(
         sim,
@@ -213,13 +291,25 @@ def run_workload(
         fifo_links=fifo_links,
     )
     factory, adapter = _build_protocol(
-        protocol, sim, crdt_config, raft_config, multipaxos_config, gla_config
+        protocol,
+        spec,
+        profile,
+        sim,
+        crdt_config,
+        raft_config,
+        multipaxos_config,
+        gla_config,
     )
     cluster = SimCluster(
         sim, network, factory, n_replicas=n_replicas, service_model=service_model
     )
     if failure_schedule is not None:
         failure_schedule.install(cluster)
+
+    key_sampler = None
+    if spec.keyed:
+        assert spec.n_keys is not None
+        key_sampler = ZipfKeySampler(spec.n_keys, spec.key_skew, seed=seed)
 
     recorder = Recorder()
     clients = []
@@ -231,12 +321,14 @@ def run_workload(
             replicas=list(cluster.addresses),
             home_replica=index,
             adapter=adapter,
+            profile=profile,
             recorder=recorder,
             rng=sim.rng.stream(f"client:{index}"),
             read_ratio=spec.read_ratio,
             stop_time=spec.duration,
             client_timeout=spec.client_timeout,
-            increment_amount=spec.increment_amount,
+            key_sampler=key_sampler,
+            history_tap=history_tap,
         )
         clients.append(client)
         client.start()
@@ -244,10 +336,23 @@ def run_workload(
     sim.run(until=spec.duration)
 
     proposer_stats: dict[str, dict[str, int]] = {}
+    keyed_stats: dict[str, dict[str, int]] = {}
     for address in cluster.addresses:
         node = cluster.node(address)
         if isinstance(node, CrdtPaxosReplica):
             proposer_stats[address] = node.proposer.stats.snapshot()
+        elif isinstance(node, KeyedCrdtReplica):
+            proposer_stats[address] = node.stats.snapshot()
+            keyed_stats[address] = {
+                "resident": node.resident_count(),
+                "frozen": node.frozen_count(),
+                "evictions": node.evictions,
+                "rehydrations": node.rehydrations,
+                "keyed_batches_packed": node.acceptor_stats.keyed_batches_packed,
+                "keyed_batches_unpacked": node.acceptor_stats.keyed_batches_unpacked,
+                "keyed_batch_messages": node.acceptor_stats.keyed_batch_messages,
+                "keyed_batch_bytes_saved": node.acceptor_stats.keyed_batch_bytes_saved,
+            }
 
     return RunResult(
         protocol=protocol,
@@ -257,4 +362,6 @@ def run_workload(
         bytes_by_type=dict(network.stats.bytes_by_type),
         count_by_type=dict(network.stats.count_by_type),
         proposer_stats=proposer_stats,
+        keyed_stats=keyed_stats,
+        histories=history_tap.histories if history_tap is not None else {},
     )

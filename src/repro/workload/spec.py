@@ -18,6 +18,20 @@ class WorkloadSpec:
     is the client-side give-up-and-fail-over interval: on expiry the
     client re-issues the operation to the next replica (how Basho Bench
     behaves when a node dies mid-run).
+
+    ``crdt_type`` selects the operation profile
+    (:mod:`repro.workload.profiles`) — which CRDT the run replicates and
+    what its updates/reads look like.  The default reproduces the
+    paper's replicated G-Counter; the log-based RSM baselines only
+    implement that one.
+
+    The optional **keyed profile** switches CRDT Paxos runs to the
+    fine-granular deployment (§1: one protocol instance per key inside a
+    key-value store).  ``n_keys`` sizes the keyspace; every operation
+    draws its key from a Zipf(``key_skew``) popularity distribution
+    (0 = uniform, ~1 = classic hot-key skew).  Eviction pressure comes
+    from the protocol config (``keyed_max_resident`` /
+    ``keyed_idle_evict_s``), not the spec.
     """
 
     n_clients: int
@@ -26,6 +40,13 @@ class WorkloadSpec:
     warmup: float = 0.5
     client_timeout: float = 0.5
     increment_amount: int = 1
+    crdt_type: str = "g-counter"
+    n_keys: int | None = None
+    key_skew: float = 0.0
+
+    @property
+    def keyed(self) -> bool:
+        return self.n_keys is not None
 
     def __post_init__(self) -> None:
         if self.n_clients <= 0:
@@ -38,3 +59,9 @@ class WorkloadSpec:
             raise ConfigurationError("warmup must be within [0, duration)")
         if self.client_timeout <= 0:
             raise ConfigurationError("client_timeout must be positive")
+        if self.n_keys is not None and self.n_keys < 1:
+            raise ConfigurationError("n_keys must be >= 1 or None")
+        if self.key_skew < 0:
+            raise ConfigurationError("key_skew must be non-negative")
+        if self.key_skew > 0 and self.n_keys is None:
+            raise ConfigurationError("key_skew requires n_keys")

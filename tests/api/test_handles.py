@@ -1,0 +1,183 @@
+"""Unit tests for the repro.api surface: codec, handles, request ids."""
+
+import pytest
+
+from repro.api import (
+    UNKEYED,
+    CounterHandle,
+    GSetHandle,
+    Handle,
+    LWWMapHandle,
+    LWWRegisterHandle,
+    ORSetHandle,
+    PNCounterHandle,
+    RequestIds,
+    SimStore,
+    compile_query,
+    compile_update,
+    parse_completion,
+)
+from repro.core import CrdtPaxosReplica
+from repro.core.keyspace import Keyed, KeyedCrdtReplica
+from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
+from repro.crdt import GCounter, GCounterValue, Increment
+from repro.errors import ConfigurationError
+from repro.net.sim_transport import SimNetwork
+from repro.runtime.cluster import SimCluster
+from repro.sim.kernel import Simulator
+
+
+def make_store(keyed=False, seed=0, **kwargs):
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim)
+    if keyed:
+        factory = lambda nid, peers: KeyedCrdtReplica(  # noqa: E731
+            nid, peers, lambda key: GCounter.initial()
+        )
+    else:
+        factory = lambda nid, peers: CrdtPaxosReplica(  # noqa: E731
+            nid, peers, GCounter.initial()
+        )
+    cluster = SimCluster(sim, network, factory, n_replicas=3)
+    return SimStore(cluster, **kwargs), cluster
+
+
+class TestCodec:
+    def test_unkeyed_update_compiles_to_bare_client_update(self):
+        message = compile_update("u1", Increment(3))
+        assert isinstance(message, ClientUpdate)
+        assert message.request_id == "u1"
+        assert message.op.amount == 3
+
+    def test_keyed_update_wraps_in_keyed_envelope(self):
+        message = compile_update("u1", Increment(), key="views:home")
+        assert isinstance(message, Keyed)
+        assert message.key == "views:home"
+        assert isinstance(message.message, ClientUpdate)
+
+    def test_none_is_a_legal_key(self):
+        # UNKEYED is a dedicated sentinel precisely so None stays usable.
+        message = compile_query("q1", GCounterValue(), key=None)
+        assert isinstance(message, Keyed)
+        assert message.key is None
+
+    def test_parse_update_done(self):
+        completion = parse_completion(UpdateDone(request_id="u1", inclusion_tag=7))
+        assert completion.kind == "update"
+        assert completion.request_id == "u1"
+        assert completion.inclusion_tag == 7
+        assert completion.key is UNKEYED
+
+    def test_parse_keyed_query_done(self):
+        done = QueryDone(
+            request_id="q1",
+            result=5,
+            round_trips=2,
+            attempts=1,
+            learned_via="vote",
+            proposer="r0",
+            learn_seq=9,
+        )
+        completion = parse_completion(Keyed(key="k", message=done))
+        assert completion.kind == "read"
+        assert completion.result == 5
+        assert completion.key == "k"
+        assert completion.learned_via == "vote"
+        assert completion.learn_seq == 9
+
+    def test_non_completions_return_none(self):
+        assert parse_completion("noise") is None
+        assert parse_completion(ClientQuery(request_id="q", op=GCounterValue())) is None
+
+
+class TestRequestIds:
+    def test_ids_are_unique_and_prefixed(self):
+        ids = RequestIds("alice")
+        issued = [ids.next() for _ in range(100)]
+        assert len(set(issued)) == 100
+        assert all(rid.startswith("alice#") for rid in issued)
+        assert ids.issued == 100
+
+    def test_distinct_clients_never_collide(self):
+        a, b = RequestIds("a"), RequestIds("b")
+        assert {a.next() for _ in range(50)}.isdisjoint(
+            {b.next() for _ in range(50)}
+        )
+
+    def test_store_issues_unique_request_ids_across_handles(self):
+        store, _ = make_store()
+        counter = store.counter()
+        receipts = [counter.incr() for _ in range(5)]
+        receipts.append(counter.query(GCounterValue()))
+        ids = [r.request_id for r in receipts]
+        assert len(set(ids)) == len(ids)
+
+
+class TestHandleTyping:
+    def test_typed_constructors_return_typed_handles(self):
+        store, _ = make_store()
+        assert type(store.handle()) is Handle
+        assert type(store.counter()) is CounterHandle
+        assert type(store.pncounter()) is PNCounterHandle
+        assert type(store.orset()) is ORSetHandle
+        assert type(store.gset()) is GSetHandle
+        assert type(store.lwwmap()) is LWWMapHandle
+        assert type(store.lwwregister()) is LWWRegisterHandle
+
+    def test_handles_bind_their_key(self):
+        store, _ = make_store(keyed=True)
+        handle = store.counter("views:home")
+        assert handle.key == "views:home"
+        assert handle.store is store
+
+    def test_unkeyed_handle_reports_unkeyed(self):
+        store, _ = make_store()
+        assert store.counter().key is UNKEYED
+
+
+class TestKeyedAwareness:
+    def test_store_autodetects_keyed_deployment(self):
+        keyed_store, _ = make_store(keyed=True)
+        plain_store, _ = make_store()
+        assert keyed_store.keyed is True
+        assert plain_store.keyed is False
+
+    def test_key_on_unkeyed_store_rejected(self):
+        store, _ = make_store()
+        with pytest.raises(ConfigurationError):
+            store.counter("views:home")
+
+    def test_missing_key_on_keyed_store_rejected(self):
+        store, _ = make_store(keyed=True)
+        with pytest.raises(ConfigurationError):
+            store.counter()
+
+    def test_explicit_keyed_flag_overrides_detection(self):
+        # Explicit override: a keyed cluster addressed as unkeyed.
+        sim = Simulator(seed=1)
+        network = SimNetwork(sim)
+        cluster = SimCluster(
+            sim,
+            network,
+            lambda nid, peers: KeyedCrdtReplica(
+                nid, peers, lambda key: GCounter.initial()
+            ),
+        )
+        forced = SimStore(cluster, keyed=False)
+        assert forced.keyed is False
+
+    def test_unknown_home_replica_rejected(self):
+        sim = Simulator(seed=2)
+        network = SimNetwork(sim)
+        cluster = SimCluster(
+            sim,
+            network,
+            lambda nid, peers: CrdtPaxosReplica(nid, peers, GCounter.initial()),
+        )
+        with pytest.raises(ConfigurationError):
+            SimStore(cluster, home="r9")
+
+    def test_unknown_via_replica_rejected(self):
+        store, _ = make_store()
+        with pytest.raises(ConfigurationError):
+            store.counter().incr(via="r9")

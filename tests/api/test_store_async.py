@@ -1,0 +1,111 @@
+"""End-to-end tests of the awaitable Store frontend over asyncio."""
+
+import asyncio
+
+from repro.api import AsyncStore
+from repro.core import CrdtPaxosReplica
+from repro.core.keyspace import KeyedCrdtReplica
+from repro.crdt import GCounter, GCounterValue, ORSet
+from repro.net.latency import ConstantLatency
+from repro.runtime.asyncio_cluster import AsyncioCluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def plain_cluster():
+    return AsyncioCluster(
+        lambda nid, peers: CrdtPaxosReplica(nid, peers, GCounter.initial()),
+        n_replicas=3,
+        latency=ConstantLatency(0.001),
+    )
+
+
+def keyed_cluster():
+    return AsyncioCluster(
+        lambda nid, peers: KeyedCrdtReplica(
+            nid, peers, lambda key: GCounter.initial()
+        ),
+        n_replicas=3,
+        latency=ConstantLatency(0.001),
+    )
+
+
+def test_unkeyed_counter_round_trip():
+    async def scenario():
+        async with plain_cluster() as cluster:
+            store = AsyncStore(cluster, client="t")
+            counter = store.counter()
+            for _ in range(3):
+                await counter.incr()
+            assert await counter.value(via="r2") == 3
+            receipt = await counter.query(GCounterValue(), via="r1")
+            assert receipt.value == 3
+            assert receipt.learned_via in ("fast", "vote")
+
+    run(scenario())
+
+
+def test_keyed_store_autodetects_and_addresses_keys():
+    async def scenario():
+        async with keyed_cluster() as cluster:
+            store = AsyncStore(cluster, client="t")
+            assert store.keyed
+            await store.counter("a").incr(5)
+            await store.counter("b").incr(1)
+            assert await store.counter("a").value(via="r1") == 5
+            assert await store.counter("b").value(via="r2") == 1
+
+    run(scenario())
+
+
+def test_concurrent_stores_share_one_keyspace():
+    async def scenario():
+        async with keyed_cluster() as cluster:
+            stores = [
+                AsyncStore(cluster, client=f"w{i}", home=cluster.addresses[i % 3])
+                for i in range(3)
+            ]
+
+            async def writer(store):
+                for _ in range(4):
+                    await store.counter("hot").incr()
+
+            await asyncio.gather(*(writer(s) for s in stores))
+            reader = AsyncStore(cluster, client="reader")
+            assert await reader.counter("hot").value() == 12
+
+    run(scenario())
+
+
+def test_failover_after_crash():
+    async def scenario():
+        async with plain_cluster() as cluster:
+            store = AsyncStore(cluster, client="t", home="r0", timeout=0.3)
+            await store.counter().incr()
+            cluster.crash("r0")
+            receipt = await store.counter().query(GCounterValue())
+            assert receipt.replica != "r0"
+            assert receipt.client_attempts > 1
+            assert receipt.value == 1
+
+    run(scenario())
+
+
+def test_orset_handle_async():
+    async def scenario():
+        cluster = AsyncioCluster(
+            lambda nid, peers: CrdtPaxosReplica(nid, peers, ORSet.initial()),
+            n_replicas=3,
+            latency=ConstantLatency(0.001),
+        )
+        async with cluster:
+            cart = AsyncStore(cluster, client="t").orset()
+            await cart.add("milk")
+            await cart.remove("milk")
+            await cart.add("beans")
+            assert await cart.elements(via="r1") == frozenset({"beans"})
+            assert await cart.contains("beans", via="r2") is True
+
+    run(scenario())

@@ -1,0 +1,153 @@
+"""End-to-end tests of the synchronous Store frontend over the simulator."""
+
+import pytest
+
+from repro.api import SimStore
+from repro.core import CrdtPaxosReplica
+from repro.core.keyspace import KeyedCrdtReplica
+from repro.crdt import (
+    GCounter,
+    GCounterValue,
+    LWWMap,
+    ORSet,
+    ORSetElements,
+)
+from repro.errors import RequestTimeout
+from repro.net.sim_transport import SimNetwork
+from repro.runtime.cluster import SimCluster
+from repro.sim.kernel import Simulator
+
+
+def initial_state_for(key):
+    if str(key).startswith("tags:"):
+        return ORSet.initial()
+    if str(key).startswith("profile:"):
+        return LWWMap.initial()
+    return GCounter.initial()
+
+
+def keyed_cluster(seed=0):
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim)
+    cluster = SimCluster(
+        sim,
+        network,
+        lambda nid, peers: KeyedCrdtReplica(nid, peers, initial_state_for),
+        n_replicas=3,
+    )
+    return cluster
+
+
+def plain_cluster(seed=0, initial=None):
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim)
+    cluster = SimCluster(
+        sim,
+        network,
+        lambda nid, peers: CrdtPaxosReplica(
+            nid, peers, initial if initial is not None else GCounter.initial()
+        ),
+        n_replicas=3,
+    )
+    return cluster
+
+
+def test_counter_round_trip_unkeyed():
+    store = SimStore(plain_cluster(), client="t")
+    counter = store.counter()
+    for _ in range(4):
+        counter.incr()
+    counter.incr(6)
+    assert counter.value(via="r2") == 10
+
+
+def test_generic_query_returns_full_receipt():
+    store = SimStore(plain_cluster(seed=3), client="t")
+    counter = store.counter()
+    counter.incr()
+    receipt = counter.query(GCounterValue(), via="r1")
+    assert receipt.value == 1
+    assert receipt.round_trips >= 1
+    assert receipt.learned_via in ("fast", "vote")
+    assert receipt.proposer == "r1"
+    assert receipt.client_attempts == 1
+
+
+def test_keyed_store_heterogeneous_types():
+    store = SimStore(keyed_cluster(), client="t")
+    views = store.counter("views:home")
+    tags = store.orset("tags:p1")
+    profile = store.lwwmap("profile:1")
+
+    views.incr()
+    views.incr(2)
+    tags.add("new")
+    tags.add("sale")
+    tags.remove("new")
+    profile.put("name", "ada", timestamp=1.0)
+
+    assert views.value() == 3
+    assert tags.elements() == frozenset({"sale"})
+    assert profile.get("name") == "ada"
+    assert profile.keys() == frozenset({"name"})
+
+
+def test_keys_are_independent_instances():
+    store = SimStore(keyed_cluster(seed=5), client="t")
+    store.counter("views:a").incr(7)
+    assert store.counter("views:b").value() == 0
+    assert store.counter("views:a").value() == 7
+
+
+def test_read_method_defaults_to_identity_query():
+    store = SimStore(plain_cluster(seed=6), client="t")
+    counter = store.counter()
+    counter.incr(2)
+    state = counter.read()
+    assert isinstance(state, GCounter)
+    assert state.value() == 2
+
+
+def test_failover_after_home_replica_crash():
+    cluster = plain_cluster(seed=7)
+    store = SimStore(cluster, client="t", home="r0", timeout=0.5)
+    store.counter().incr()
+    cluster.crash("r0")
+    receipt = store.counter().query(GCounterValue())
+    # The store timed out on the dead home and failed over.
+    assert receipt.replica != "r0"
+    assert receipt.client_attempts > 1
+    assert receipt.value == 1
+    # Fail-over is sticky: the next operation goes straight to a live one.
+    second = store.counter().incr()
+    assert second.replica != "r0"
+    assert second.client_attempts == 1
+
+
+def test_one_off_via_pin_does_not_rehome_the_store():
+    cluster = plain_cluster(seed=11)
+    store = SimStore(cluster, client="t", home="r0")
+    store.counter().incr()
+    # A pinned diagnostic read elsewhere must not move the home replica.
+    store.counter().query(GCounterValue(), via="r2")
+    receipt = store.counter().incr()
+    assert receipt.replica == "r0"
+
+
+def test_request_timeout_when_no_quorum():
+    cluster = plain_cluster(seed=8)
+    cluster.crash("r1")
+    cluster.crash("r2")
+    store = SimStore(cluster, client="t", timeout=0.2, max_attempts=3)
+    with pytest.raises(RequestTimeout):
+        store.counter().incr()
+
+
+def test_orset_receipt_through_generic_handle():
+    store = SimStore(plain_cluster(seed=9, initial=ORSet.initial()), client="t")
+    cart = store.orset()
+    cart.add("milk")
+    cart.add("beans")
+    cart.remove("milk")
+    receipt = cart.query(ORSetElements(), via="r2")
+    assert receipt.value == frozenset({"beans"})
