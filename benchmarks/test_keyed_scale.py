@@ -95,6 +95,65 @@ def test_eviction_caps_resident_set_at_scale():
     assert replica.state_of("key-49999").value() == 1
 
 
+def test_million_key_zipf_spill_bounded_memory():
+    """ISSUE-4 acceptance: a 1M-key Zipf workload with
+    ``keyed_max_resident=512`` and the frozen-record spill tier enabled
+    completes with the RAM tiers bounded by their caps — resident
+    instances by the resident cap (plus the 10% eviction hysteresis),
+    RAM-frozen records by ``keyed_max_frozen`` — while the rest of the
+    touched keyspace lives in the spill store and every key stays
+    readable."""
+    from repro.core.config import CrdtPaxosConfig
+    from repro.storage import InMemorySpillStore
+    from repro.workload.runner import run_workload
+    from repro.workload.spec import WorkloadSpec
+
+    resident_cap, frozen_cap = 512, 1_024
+    config = CrdtPaxosConfig(
+        keyed_max_resident=resident_cap, keyed_max_frozen=frozen_cap
+    )
+    stores = {}
+
+    def spill_factory(node_id):
+        stores[node_id] = InMemorySpillStore()
+        return stores[node_id]
+
+    result = run_workload(
+        "crdt-paxos",
+        WorkloadSpec(
+            n_clients=32,
+            read_ratio=0.5,
+            duration=1.0,
+            warmup=0.2,
+            client_timeout=2.0,
+            n_keys=1_000_000,
+            key_skew=1.1,
+        ),
+        seed=0,
+        crdt_config=config,
+        spill_store_factory=spill_factory,
+    )
+    assert result.completed_ops() > 0
+    touched = result.distinct_keys_touched()
+    assert touched > resident_cap + frozen_cap, (
+        f"workload only touched {touched} distinct keys; the run cannot "
+        "exercise the spill tier below the combined RAM caps"
+    )
+    for address, stats in result.keyed_stats.items():
+        assert stats["resident"] <= resident_cap + resident_cap // 10 + 1, (
+            f"{address}: resident {stats['resident']} exceeds the cap"
+        )
+        assert stats["frozen"] <= frozen_cap, (
+            f"{address}: frozen {stats['frozen']} exceeds keyed_max_frozen"
+        )
+        assert stats["spills"] > 0, f"{address}: spill tier never engaged"
+        # RAM holds at most the two capped tiers; everything else it ever
+        # saw sits in the spill store.
+        assert stats["resident"] + stats["frozen"] <= (
+            resident_cap + resident_cap // 10 + 1 + frozen_cap
+        )
+
+
 @pytest.mark.slow
 def test_million_key_shape():
     """1M acceptor-only keys materialize and route timers; density stays

@@ -13,15 +13,28 @@ concurrent writers, then takes linearizable per-key readings.  The
 addresses every typed handle at one key (``store.counter("views:p0")``),
 no hand-rolled envelope plumbing required.
 
+It also demonstrates the **frozen-record spill tier**: each replica gets
+a :class:`~repro.storage.SegmentedSpillStore` and a tiny
+``keyed_max_resident`` / ``keyed_max_frozen`` budget, so cold keys leave
+RAM entirely during the run; ``Store.flush()`` then persists the full
+durable snapshot (the paper's (payload, round) pair per key — no log),
+and after the cluster is gone a replica is rebuilt *from the files
+alone* with ``KeyedCrdtReplica.recover`` and still answers for every
+key.
+
 Run:  python examples/keyed_store.py
 """
 
 import asyncio
+import shutil
+import tempfile
 
 from repro.api import AsyncStore
+from repro.core.config import CrdtPaxosConfig
 from repro.core.keyspace import KeyedCrdtReplica
 from repro.crdt import GCounter, LWWMap, ORSet
 from repro.runtime.asyncio_cluster import AsyncioCluster
+from repro.storage import SegmentedSpillStore
 
 
 def initial_state_for(key: str):
@@ -34,10 +47,31 @@ def initial_state_for(key: str):
 
 
 async def main() -> None:
-    cluster = AsyncioCluster(
-        lambda nid, peers: KeyedCrdtReplica(nid, peers, initial_state_for),
-        n_replicas=3,
-    )
+    spill_root = tempfile.mkdtemp(prefix="keyed-store-spill-")
+    spill_stores = {}
+
+    def replica(nid: str, peers: list[str]) -> KeyedCrdtReplica:
+        # A tiny RAM budget: at most 4 resident instances and 4 frozen
+        # records per replica; every colder key spills to segment files.
+        spill_stores[nid] = SegmentedSpillStore(f"{spill_root}/{nid}")
+        return KeyedCrdtReplica(
+            nid,
+            peers,
+            initial_state_for,
+            CrdtPaxosConfig(keyed_max_resident=4, keyed_max_frozen=4),
+            spill_store=spill_stores[nid],
+        )
+
+    cluster = AsyncioCluster(replica, n_replicas=3)
+    try:
+        await run_demo(cluster, spill_stores, spill_root)
+    finally:
+        for spill_store in spill_stores.values():
+            spill_store.close()
+        shutil.rmtree(spill_root, ignore_errors=True)
+
+
+async def run_demo(cluster, spill_stores, spill_root) -> None:
     async with cluster:
         writers = [
             AsyncStore(cluster, client=f"w{i}", home=cluster.addresses[i % 3])
@@ -72,6 +106,33 @@ async def main() -> None:
         assert name == "user-1"
         print("\nall per-key reads linearizable; keys never synchronized "
               "with each other")
+
+        # Shutdown hook: persist every replica's durable snapshot —
+        # each key's (payload, round, learned-max) triple, no log.
+        flushed = reader.flush()
+        print(f"spilled records per replica: {flushed}")
+
+    # The cluster is gone.  Rebuild one replica from its files alone:
+    # recovery reads nothing but the counter metadata (O(1)); keys
+    # rehydrate from the segment files on first touch.
+    spill_stores["r1"].close()  # release the old generation's handles
+    recovery_store = SegmentedSpillStore(f"{spill_root}/r1")
+    spill_stores["r1:recovered"] = recovery_store
+    recovered = KeyedCrdtReplica.recover(
+        recovery_store,
+        "r1",
+        ["r0", "r1", "r2"],
+        initial_state_for,
+    )
+    views = sum(
+        recovered.state_of(f"views:page{page}").value() for page in range(3)
+    )
+    assert views == 30
+    assert sorted(recovered.state_of("tags:global").live_elements()) == [
+        "tag-0", "tag-1", "tag-2",
+    ]
+    print(f"r1 recovered from disk: {views} page views, "
+          f"{recovered.spilled_count()} keys on file — no log replayed")
 
 
 if __name__ == "__main__":

@@ -112,6 +112,7 @@ class Store:
         self.addresses: list[str] = list(cluster.addresses)
         if not self.addresses:
             raise ConfigurationError("cluster has no replicas")
+        self._cluster = cluster
         self.client = client
         self.keyed = _detect_keyed(cluster) if keyed is None else keyed
         self.timeout = timeout
@@ -229,6 +230,38 @@ class Store:
             proposer=completion.proposer,
             learn_seq=completion.learn_seq,
         )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush(self) -> dict[str, int]:
+        """Flush every keyed replica: drain coalescing outboxes and, on
+        replicas with a spill store attached, persist the full durable
+        snapshot (:meth:`~repro.core.keyspace.KeyedCrdtReplica.spill_all`).
+
+        Returns each flushed replica's cumulative spill count (``0`` for
+        replicas without a spill tier).  A shutdown hook in miniature:
+        call it before tearing a cluster down so a later
+        :meth:`~repro.core.keyspace.KeyedCrdtReplica.recover` sees every
+        key.  Works on both frontends — the sim and asyncio runtimes
+        expose the same ``apply_effects`` hook for the drained envelopes.
+        """
+        runtimes = getattr(self._cluster, "runtimes", None)
+        if runtimes is None:
+            raise ConfigurationError(
+                "this cluster exposes no runtimes to flush; "
+                "Store.flush() needs a SimCluster or AsyncioCluster"
+            )
+        flushed: dict[str, int] = {}
+        for address in self.addresses:
+            runtime = runtimes.get(address)
+            if runtime is None:
+                continue
+            node = runtime.node
+            if isinstance(node, KeyedCrdtReplica):
+                runtime.apply_effects(node.flush())
+                flushed[address] = node.spills
+        return flushed
 
     # ------------------------------------------------------------------
     # Frontend contract

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 from repro.api.codec import compile_query, compile_update, parse_completion
 from repro.checker.history import History
@@ -48,6 +48,7 @@ from repro.net.adversary import AdversarialNetwork
 from repro.net.message import Envelope
 from repro.net.node import ProtocolNode
 from repro.sim.kernel import Simulator
+from repro.storage.base import SpillStore
 
 #: Virtual time consumed by an injection step (keeps "now" increasing).
 _STEP_EPSILON = 1e-9
@@ -409,9 +410,16 @@ class KeyedExplorationReport:
     #: Cold-key demotions / rehydrations summed over all replicas.
     evictions: int = 0
     rehydrations: int = 0
+    #: Spill tier: records written to / loaded from the spill stores.
+    spills: int = 0
+    spill_loads: int = 0
+    #: Kill/restart events (replica rebuilt via recover()).
+    restarts: int = 0
     #: Cross-key envelope coalescing totals (keyed_coalesce_window).
     keyed_batches_packed: int = 0
     keyed_batches_unpacked: int = 0
+    #: Parked envelopes superseded in place (coalescing-aware re-drives).
+    keyed_envelopes_superseded: int = 0
 
     @property
     def all_complete(self) -> bool:
@@ -441,22 +449,38 @@ class KeyedInterleavingExplorer:
         n_clients: int = 3,
         n_keys: int = 4,
         config: CrdtPaxosConfig | None = None,
+        spill_factory: Callable[[], SpillStore] | None = None,
+        keep_timeouts: bool = False,
     ) -> None:
         self.seed = seed
         self.n_replicas = n_replicas
         self.n_clients = n_clients
         self.keys = [f"k{i}" for i in range(n_keys)]
+        #: One spill store per replica, built lazily in :meth:`run` and
+        #: kept on the explorer so tests can inspect them afterwards.
+        self.spill_factory = spill_factory
+        self.spill_stores: dict[str, SpillStore] = {}
         base = config or CrdtPaxosConfig()
         if base.keyed_max_resident is None:
             base = replace(base, keyed_max_resident=max(1, n_keys // 2))
+        if spill_factory is not None and base.keyed_max_frozen is None:
+            # Default the frozen cap below the keyspace so the spill tier
+            # actually churns (frozen records leave RAM and reload).
+            base = replace(base, keyed_max_frozen=max(0, n_keys // 4))
         # Idle eviction is forced off: the explorer's virtual clock only
         # advances by epsilon steps and its runtime never calls on_start,
         # so a sweep timer would never arm — a campaign relying on
         # keyed_idle_evict_s here would be vacuous.  Capacity eviction
         # (keyed_max_resident) is the mechanism this explorer churns.
+        #
+        # ``keep_timeouts`` preserves the supplied request_timeout: the
+        # uto/qto supervision timers then pool with the other collected
+        # timers and the adversary fires re-drives in arbitrary order
+        # relative to deliveries and coalesce flushes — the schedule the
+        # coalescing-aware re-drive fix is exercised under.
         self.config = replace(
             base,
-            request_timeout=None,
+            request_timeout=base.request_timeout if keep_timeouts else None,
             keyed_idle_evict_s=None,
             inclusion_tagger=lambda state, replica: (replica, state.slot(replica)),
         )
@@ -467,7 +491,59 @@ class KeyedInterleavingExplorer:
             base.batching
             or base.retry_backoff > 0
             or base.keyed_coalesce_window is not None
+            or keep_timeouts
         )
+
+    @staticmethod
+    def _accumulate(report: KeyedExplorationReport, node: KeyedCrdtReplica) -> None:
+        """Fold one node generation's counters into the report (called
+        for the dying node at a restart and for the final nodes)."""
+        report.evictions += node.evictions
+        report.rehydrations += node.rehydrations
+        report.spills += node.spills
+        report.spill_loads += node.spill_loads
+        report.keyed_batches_packed += node.acceptor_stats.keyed_batches_packed
+        report.keyed_batches_unpacked += node.acceptor_stats.keyed_batches_unpacked
+        report.keyed_envelopes_superseded += (
+            node.acceptor_stats.keyed_envelopes_superseded
+        )
+
+    def _restart(
+        self,
+        runtime: _DirectRuntime,
+        replica_ids: list[str],
+        report: KeyedExplorationReport,
+    ) -> None:
+        """Kill one replica and rebuild it purely from its spill store.
+
+        The dying node first persists its durable snapshot
+        (:meth:`~repro.core.keyspace.KeyedCrdtReplica.spill_all` — the
+        shutdown hook; its final outbox flush is delivered, modelling
+        acks that made it out before the process died).  Everything else
+        — resident instances, open proposer bookkeeping, armed timers —
+        dies with the process.  The fresh node starts with *zero* keys
+        in RAM and rehydrates each from the store on first touch, while
+        messages that were in flight across the restart arrive at the
+        new generation.
+        """
+        old = runtime.node
+        runtime._apply(old.spill_all())
+        self._accumulate(report, old)
+        fresh = KeyedCrdtReplica.recover(
+            self.spill_stores[old.node_id],
+            old.node_id,
+            list(replica_ids),
+            lambda key: GCounter.initial(),
+            self.config,
+        )
+        runtime.node = fresh
+        runtime.pending_timers.clear()  # timers do not survive a restart
+        runtime._apply(fresh.on_start(self._sim_now(runtime)))
+        report.restarts += 1
+
+    @staticmethod
+    def _sim_now(runtime: _DirectRuntime) -> float:
+        return runtime._sim.now
 
     def run(
         self,
@@ -476,7 +552,17 @@ class KeyedInterleavingExplorer:
         drop_probability: float = 0.0,
         duplicate_probability: float = 0.0,
         max_steps: int = 200_000,
+        restart_at_injection: int | None = None,
     ) -> KeyedExplorationReport:
+        """One adversarial run; ``restart_at_injection`` kills and
+        recovers a random replica once that many operations have been
+        injected (requires a ``spill_factory``).  Operations that were
+        open at the victim when it died may never complete — their
+        clients crash-observed the restart — so restart campaigns check
+        the per-key histories without asserting ``all_complete``.
+        """
+        if restart_at_injection is not None and self.spill_factory is None:
+            raise ValueError("restart_at_injection requires a spill_factory")
         sim = Simulator(seed=self.seed)
         network = AdversarialNetwork(sim)
         rng = sim.rng.stream("keyed-explorer")
@@ -489,12 +575,17 @@ class KeyedInterleavingExplorer:
             lambda envelope: envelope.src in replica_set
             and envelope.dst in replica_set
         )
+        self.spill_stores = {}
         for replica_id in replica_ids:
+            spill_store = None
+            if self.spill_factory is not None:
+                spill_store = self.spill_stores[replica_id] = self.spill_factory()
             node = KeyedCrdtReplica(
                 replica_id,
                 list(replica_ids),
                 lambda key: GCounter.initial(),
                 self.config,
+                spill_store=spill_store,
             )
             runtimes[replica_id] = _DirectRuntime(
                 sim, network, node, collect_timers=self._collect_timers
@@ -516,6 +607,14 @@ class KeyedInterleavingExplorer:
             plan or network.pending or timer_targets()
         ):
             report.steps += 1
+            if (
+                restart_at_injection is not None
+                and report.restarts == 0
+                and report.injections >= restart_at_injection
+            ):
+                victim = rng.choice(replica_ids)
+                self._restart(runtimes[victim], replica_ids, report)
+                continue
             inject_now = bool(plan) and (
                 network.pending == 0 or rng.random() < 0.25
             )
@@ -558,12 +657,5 @@ class KeyedInterleavingExplorer:
                 break
 
         for runtime in runtimes.values():
-            report.evictions += runtime.node.evictions
-            report.rehydrations += runtime.node.rehydrations
-            report.keyed_batches_packed += (
-                runtime.node.acceptor_stats.keyed_batches_packed
-            )
-            report.keyed_batches_unpacked += (
-                runtime.node.acceptor_stats.keyed_batches_unpacked
-            )
+            self._accumulate(report, runtime.node)
         return report

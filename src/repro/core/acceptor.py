@@ -43,6 +43,7 @@ class AcceptorStats:
         "keyed_batch_messages",
         "keyed_batches_unpacked",
         "keyed_batch_bytes_saved",
+        "keyed_envelopes_superseded",
     )
 
     def __init__(self) -> None:
@@ -60,6 +61,10 @@ class AcceptorStats:
         self.keyed_batch_messages = 0
         self.keyed_batches_unpacked = 0
         self.keyed_batch_bytes_saved = 0
+        #: Parked envelopes replaced in place by a fresh one for the same
+        #: (key, type, request id, attempt) slot — e.g. a re-driven MERGE
+        #: superseding the still-parked original.
+        self.keyed_envelopes_superseded = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}

@@ -80,6 +80,17 @@ class CrdtPaxosConfig:
         Keyed deployments only: demote a quiescent key after this many
         seconds without a touch, swept periodically.  ``None`` (default)
         disables idle eviction.
+    ``keyed_max_frozen``
+        Keyed deployments only: soft cap on RAM-frozen records a
+        :class:`~repro.core.keyspace.KeyedCrdtReplica` keeps before the
+        oldest-frozen records are *spilled* — their ``(payload, round,
+        learned-max)`` triple serialized to the replica's
+        :class:`~repro.storage.base.SpillStore` and dropped from RAM,
+        rehydrating transparently on the next touch.  Extends the same
+        no-log safety argument to disk: the spilled triple is the
+        acceptor's entire durable state (§3.3).  Requires a spill store
+        to be attached; ``None`` (default) keeps every frozen record in
+        RAM.
     ``keyed_coalesce_window``
         Keyed deployments only: buffer peer-bound :class:`Keyed` envelopes
         for up to this many seconds and flush them as one framed
@@ -103,6 +114,7 @@ class CrdtPaxosConfig:
     delta_merge: bool = False
     inclusion_tagger: InclusionTagger | None = None
     keyed_max_resident: int | None = None
+    keyed_max_frozen: int | None = None
     keyed_idle_evict_s: float | None = None
     keyed_coalesce_window: float | None = None
 
@@ -126,6 +138,10 @@ class CrdtPaxosConfig:
         if self.keyed_max_resident is not None and self.keyed_max_resident < 1:
             raise ConfigurationError(
                 f"keyed_max_resident must be >= 1 or None, got {self.keyed_max_resident}"
+            )
+        if self.keyed_max_frozen is not None and self.keyed_max_frozen < 0:
+            raise ConfigurationError(
+                f"keyed_max_frozen must be >= 0 or None, got {self.keyed_max_frozen}"
             )
         if self.keyed_idle_evict_s is not None and self.keyed_idle_evict_s <= 0:
             raise ConfigurationError("keyed_idle_evict_s must be positive or None")

@@ -30,18 +30,44 @@ Million-key scaling rests on three mechanisms:
   ``config.keyed_idle_evict_s`` without a touch) the least-recently
   touched *quiescent* keys are demoted to a compact frozen record and
   rehydrated on the next touch.
+* **Frozen-record spill** — with a :class:`~repro.storage.base.SpillStore`
+  attached and ``config.keyed_max_frozen`` set, the oldest RAM-frozen
+  records past the cap serialize their ``(payload, round, learned-max)``
+  triple to the store and leave RAM entirely; a touch rehydrates them
+  transparently.  The keyspace is then bounded by storage, not RAM.
 
-**Why eviction needs no log (safety argument).**  The paper's acceptor
-is logless: its entire durable state is the lattice payload ``s`` and
-the highest observed round ``r`` (§3.3, "memory overhead of a single
-counter per replica").  A frozen key preserves exactly that pair, so
-rehydration is indistinguishable from an acceptor that simply received
-no messages in between — there is no log suffix to lose and no applied
-index to corrupt.  Proposer state is bookkeeping for *open* requests
-only; eviction requires :attr:`~repro.core.proposer.Proposer.idle`
-(no open batches, buffers or armed flush), and the one cross-request
-proposer field, the §3.4 learned maximum, only strengthens overlapping
-queries — which would themselves be open batches and block eviction.
+**Two-tier demotion** (every arrow is transparent to clients)::
+
+      resident instance  --freeze-->  RAM-frozen record  --spill-->  SpillStore
+      (acceptor [+ lazy      |        (payload, round,       |       (same triple,
+       proposer])            |         learned-max)          |        serialized)
+            ^                |              ^                |
+            +---- touch -----+              +---- touch -----+
+                (rehydrate)                   (load + decode)
+
+**Why eviction — and spill — needs no log (safety argument).**  The
+paper's acceptor is logless: its entire durable state is the lattice
+payload ``s`` and the highest observed round ``r`` (§3.3, "memory
+overhead of a single counter per replica").  A frozen key preserves
+exactly that pair, so rehydration is indistinguishable from an acceptor
+that simply received no messages in between — there is no log suffix to
+lose and no applied index to corrupt.  The same argument extends the
+pair to disk: a spilled record *is* the acceptor's durable state, so
+recovery (:meth:`KeyedCrdtReplica.recover`) needs no replay — attach
+the store and every key's state is already final (Zheng & Garg make the
+identical observation for lattice-agreement RSMs: join-semilattice
+state subsumes the log).  Proposer state is bookkeeping for *open*
+requests only; eviction requires
+:attr:`~repro.core.proposer.Proposer.idle` (no open batches, buffers or
+armed flush), and the one cross-request proposer field, the §3.4
+learned maximum, only strengthens overlapping queries — which would
+themselves be open batches and block eviction.  The only state that
+must *outlive* keys is the trio of node-wide monotone counters (batch
+ids, learn sequence, round ids); ``spill_all`` persists their snapshot
+as store metadata so a recovered node can never reuse an identifier a
+stale in-flight message might still answer.  Keys with envelopes parked
+in the coalescing outbox are pinned resident until the flush — demotion
+must never separate a key's record from its undelivered traffic.
 
 Timer routing stays O(1) in the number of keys (a namespace→key index,
 maintained on proposer materialization, replaces any scan), and
@@ -76,10 +102,12 @@ from repro.core.messages import ClientQuery, ClientUpdate
 from repro.core.proposer import Proposer, ProposerShared, ProposerStats
 from repro.core.router import dispatch_peer_message
 from repro.crdt.base import StateCRDT
+from repro.errors import ConfigurationError
 from repro.net.message import ENVELOPE_OVERHEAD_BYTES
 from repro.net.message import wire_size as _wire_size
 from repro.net.node import Effects, ProtocolNode
 from repro.quorum.system import MajorityQuorum, QuorumSystem
+from repro.storage.base import SpillRecord, SpillStore
 
 #: Reserved timer key for the idle-eviction sweep.  Cannot collide with
 #: per-key timers, which are always namespaced ``<repr(key)>|<timer>``
@@ -208,6 +236,7 @@ class KeyedCrdtReplica(ProtocolNode):
         config: CrdtPaxosConfig | None = None,
         quorum: QuorumSystem | None = None,
         eager: bool = False,
+        spill_store: SpillStore | None = None,
     ) -> None:
         super().__init__(node_id)
         if node_id not in peers:
@@ -217,6 +246,12 @@ class KeyedCrdtReplica(ProtocolNode):
         self.quorum = quorum or MajorityQuorum(peers)
         self._initial_state_for = initial_state_for
         self._eager = eager
+        if self.config.keyed_max_frozen is not None and spill_store is None:
+            raise ConfigurationError(
+                "keyed_max_frozen requires a spill_store (frozen records "
+                "past the cap must have somewhere to go)"
+            )
+        self._spill_store = spill_store
         #: Flyweight context shared by every per-key proposer (stats too:
         #: the counters aggregate across keys, one sink per replica).
         self._shared = ProposerShared(
@@ -228,8 +263,18 @@ class KeyedCrdtReplica(ProtocolNode):
         self._frozen: dict[Hashable, _FrozenKey] = {}
         #: Cross-key envelope coalescing: peer-bound Keyed envelopes wait
         #: here until the coalesce flush packs one KeyedBatch per peer.
+        #: Per destination, an insertion-ordered map whose slot key is
+        #: ``(key, message type, request id, attempt)`` — parking a fresh
+        #: envelope for an already-parked slot *supersedes* the old one in
+        #: place (same position, newer payload) instead of queueing a
+        #: duplicate; this is what makes update-timeout re-drives
+        #: coalescing-aware (the re-driven MERGE replaces the parked one).
         self._remote_peers = frozenset(peers) - {node_id}
-        self._outbox: dict[str, list[Keyed]] = {}
+        self._outbox: dict[str, dict[tuple, Keyed]] = {}
+        #: How many outbox envelopes reference each key; a parked key is
+        #: pinned resident (demotion must not separate a key's record
+        #: from its undelivered traffic).
+        self._parked_count: dict[Hashable, int] = {}
         self._coalesce_armed = False
         #: Timer-namespace index: ``repr(key)`` → key.  Keeps
         #: :meth:`on_timer` O(1) in the number of keys.  Registered only
@@ -240,8 +285,53 @@ class KeyedCrdtReplica(ProtocolNode):
         #: Eviction observability.
         self.evictions = 0
         self.rehydrations = 0
+        #: Spill-tier observability: records written to / loaded from the
+        #: spill store (spill_loads also count toward rehydrations).
+        self.spills = 0
+        self.spill_loads = 0
 
     # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        spill_store: SpillStore,
+        node_id: str,
+        peers: list[str],
+        initial_state_for: Callable[[Hashable], StateCRDT],
+        config: CrdtPaxosConfig | None = None,
+        quorum: QuorumSystem | None = None,
+    ) -> "KeyedCrdtReplica":
+        """Rebuild a replica purely from its spill store after a restart.
+
+        Recovery is O(1) in the number of keys: no record is replayed or
+        even read — every spilled ``(payload, round, learned-max)``
+        triple *is* its key's final durable state (§3.3; there is no
+        log), so keys stay in the store and rehydrate lazily on first
+        touch.  The only eagerly restored state is the store's metadata
+        snapshot of the node-wide monotone counters (batch ids, learn
+        sequence, round ids), which must survive the restart so the new
+        process generation cannot reuse an identifier a stale in-flight
+        message might still answer.
+
+        The snapshot is complete only if the previous generation called
+        :meth:`spill_all` before dying (the shutdown/kill hook); state
+        that never reached the store died with the process, exactly like
+        an acceptor that synced its pair before acking and crashed
+        before the next write.
+        """
+        replica = cls(
+            node_id,
+            peers,
+            initial_state_for,
+            config,
+            quorum,
+            spill_store=spill_store,
+        )
+        meta = spill_store.get_meta()
+        if meta is not None:
+            replica._shared.restore_counters(meta)
+        return replica
+
     @property
     def stats(self) -> ProposerStats:
         """Aggregate proposer counters across every key (flyweight sink)."""
@@ -277,6 +367,15 @@ class KeyedCrdtReplica(ProtocolNode):
         # the seed design; flyweight instances share the replica's.
         stats = AcceptorStats() if self._eager else self._acceptor_stats
         frozen = self._frozen.pop(key, None)
+        if frozen is None and self._spill_store is not None:
+            # Second demotion tier: the key may live in the spill store
+            # (either spilled by this generation or recovered from a
+            # previous one).  The loaded triple is bit-for-bit the frozen
+            # record, so rehydration is the same code path.
+            record = self._spill_store.get(key)
+            if record is not None:
+                frozen = _FrozenKey(record.state, record.round, record.learned_max)
+                self.spill_loads += 1
         if frozen is not None:
             acceptor = Acceptor(frozen.state, round=frozen.round, stats=stats)
             self.rehydrations += 1
@@ -317,7 +416,13 @@ class KeyedCrdtReplica(ProtocolNode):
         return self._materialize(key, self.instance(key))
 
     def keys(self) -> list[Hashable]:
-        return list(self._resident) + list(self._frozen)
+        known: dict[Hashable, None] = dict.fromkeys(self._resident)
+        known.update(dict.fromkeys(self._frozen))
+        if self._spill_store is not None:
+            # A rehydrated key may still hold a (stale) spilled record;
+            # the dict union dedupes it.
+            known.update(dict.fromkeys(self._spill_store.keys()))
+        return list(known)
 
     def resident_count(self) -> int:
         return len(self._resident)
@@ -325,19 +430,48 @@ class KeyedCrdtReplica(ProtocolNode):
     def frozen_count(self) -> int:
         return len(self._frozen)
 
+    def spilled_count(self) -> int:
+        """Records currently held by the spill store (may include stale
+        copies of keys that have since been rehydrated; refreshed on the
+        next spill of those keys)."""
+        return len(self._spill_store) if self._spill_store is not None else 0
+
     def state_of(self, key: Hashable) -> StateCRDT:
+        """Diagnostic peek at a key's payload — never admits or rehydrates.
+
+        Checks the three tiers in order (resident, RAM-frozen, spilled);
+        a key this replica has never seen answers with its bottom
+        element, exactly what a fresh admission would hold, without
+        creating one (a monitoring scan over a watchlist must not grow
+        the resident set past its cap).
+        """
+        resident = self._resident.get(key)
+        if resident is not None:
+            return resident.acceptor.state
         frozen = self._frozen.get(key)
-        if frozen is not None:  # diagnostic peek: no rehydration churn
+        if frozen is not None:  # no rehydration churn
             return frozen.state
-        return self.instance(key).acceptor.state
+        if self._spill_store is not None:
+            record = self._spill_store.get(key)
+            if record is not None:  # decode without admitting
+                return record.state
+        return self._initial_state_for(key)
 
     # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------
     def _freeze(self, key: Hashable, inst: _KeyInstance) -> bool:
-        """Demote one quiescent key to its frozen record; False if busy."""
+        """Demote one quiescent key to its frozen record; False if busy.
+
+        A key with envelopes parked in the coalescing outbox counts as
+        busy: demoting (and potentially spilling) it while its traffic
+        is undelivered could strand those envelopes across a shutdown —
+        the key stays pinned until the coalesce flush drains them.
+        """
         proposer = inst.proposer
         if proposer is not None and not proposer.idle:
+            return False
+        if self._parked_count.get(key):
             return False
         # Persist the §3.4 learned maximum alongside the acceptor pair —
         # either the live proposer's or one thawed earlier that never got
@@ -372,6 +506,90 @@ class KeyedCrdtReplica(ProtocolNode):
                 break
             if self._freeze(key, inst):
                 target -= 1
+        self._spill_excess()
+
+    def _spill_excess(self) -> None:
+        """Second demotion tier: oldest RAM-frozen records past
+        ``keyed_max_frozen`` serialize to the spill store and leave RAM.
+
+        Freeze order is dict insertion order, so iteration from the
+        front spills the records frozen longest ago — the coldest of the
+        cold.  Safe by the same §3.3 argument as freezing itself: the
+        serialized triple is the acceptor's entire durable state.
+        """
+        cap = self.config.keyed_max_frozen
+        if cap is None or len(self._frozen) <= cap:
+            return
+        store = self._spill_store
+        assert store is not None  # enforced at construction
+        overflow = len(self._frozen) - cap
+        for key in list(self._frozen)[:overflow]:
+            frozen = self._frozen.pop(key)
+            store.put(
+                key, SpillRecord(frozen.state, frozen.round, frozen.learned_max)
+            )
+            self.spills += 1
+
+    def spill_all(self) -> Effects:
+        """Persist a complete durable snapshot (shutdown/kill hook).
+
+        Flushes the coalescing outbox first (parked envelopes must not
+        be stranded by a shutdown), then writes *every* key's
+        ``(payload, round, learned-max)`` triple to the spill store:
+        frozen records are spilled and dropped from RAM, quiescent
+        resident keys are frozen, spilled and dropped, and busy resident
+        keys (open batches pin them) are snapshotted but stay resident —
+        their open client requests die with the process, exactly like a
+        crash, but their acceptor state is durable.  Finally the shared
+        monotone counters are persisted as store metadata and the store
+        is flushed.
+
+        Returns the outbox-flush effects; a driver shutting the node
+        down should still deliver them (they are acks and replies that
+        "made it out" before the process died).
+        """
+        store = self._spill_store
+        if store is None:
+            raise ConfigurationError(
+                "spill_all requires a spill_store attached to this replica"
+            )
+        effects = self._flush_outbox()
+        for key, frozen in list(self._frozen.items()):
+            store.put(
+                key, SpillRecord(frozen.state, frozen.round, frozen.learned_max)
+            )
+            del self._frozen[key]
+            self.spills += 1
+        for key, inst in list(self._resident.items()):
+            proposer = inst.proposer
+            learned_max = (
+                proposer.learned_max if proposer is not None else inst.learned_max
+            )
+            store.put(
+                key,
+                SpillRecord(inst.acceptor.state, inst.acceptor.round, learned_max),
+            )
+            self.spills += 1
+            if self._freeze(key, inst):
+                # Quiescent: _freeze moved it to the frozen dict (and
+                # cleaned up its namespace entry); it is already spilled,
+                # so drop the RAM record too.
+                del self._frozen[key]
+        store.put_meta(self._shared.counter_snapshot())
+        store.flush()
+        return effects
+
+    def flush(self) -> Effects:
+        """Operator-side maintenance flush (the api ``Store.flush()``).
+
+        Drains the coalescing outbox and, when a spill store is
+        attached, persists the full durable snapshot via
+        :meth:`spill_all`.  Returns the effects the driver must still
+        execute (the drained outbox envelopes).
+        """
+        if self._spill_store is not None:
+            return self.spill_all()
+        return self._flush_outbox()
 
     def _sweep(self, now: float) -> Effects:
         effects = Effects()
@@ -387,6 +605,7 @@ class KeyedCrdtReplica(ProtocolNode):
                 inst.touched_at = now
             elif inst.touched_at <= cutoff:
                 self._freeze(key, inst)
+        self._spill_excess()
         effects.set_timer(_SWEEP_TIMER, idle_s)
         return effects
 
@@ -479,7 +698,15 @@ class KeyedCrdtReplica(ProtocolNode):
         With ``keyed_coalesce_window`` set, peer-bound envelopes detour
         through the outbox and leave as one :class:`KeyedBatch` per peer
         at the next coalesce flush; client-bound replies always go out
-        immediately (a reply delayed is a request slowed).
+        immediately (a reply delayed is a request slowed).  Parking is
+        *superseding*: a fresh envelope whose (key, message type,
+        request id, attempt) slot is already parked for the destination
+        replaces the old envelope in place — same flush position, newer
+        payload.  This is what makes update-timeout re-drives
+        coalescing-aware: a re-driven MERGE for a batch whose original
+        MERGE still sits parked replaces it instead of queueing a
+        duplicate behind it (the re-drive payload subsumes the parked
+        one, so nothing is lost and nothing arrives out of date).
         """
         wrapped = Effects()
         coalesce = self.config.keyed_coalesce_window
@@ -490,7 +717,18 @@ class KeyedCrdtReplica(ProtocolNode):
                 keyed = Keyed(key=key, message=message)
                 shared[id(message)] = keyed
             if coalesce is not None and dst in self._remote_peers:
-                self._outbox.setdefault(dst, []).append(keyed)
+                bucket = self._outbox.setdefault(dst, {})
+                slot = (
+                    key,
+                    type(message).__name__,
+                    getattr(message, "request_id", None),
+                    getattr(message, "attempt", None),
+                )
+                if slot in bucket:
+                    self._acceptor_stats.keyed_envelopes_superseded += 1
+                else:
+                    self._parked_count[key] = self._parked_count.get(key, 0) + 1
+                bucket[slot] = keyed
                 if not self._coalesce_armed:
                     self._coalesce_armed = True
                     wrapped.set_timer(_COALESCE_TIMER, coalesce)
@@ -509,8 +747,10 @@ class KeyedCrdtReplica(ProtocolNode):
         if not self._outbox:
             return effects
         outbox, self._outbox = self._outbox, {}
+        self._parked_count.clear()
         stats = self._acceptor_stats
-        for dst, items in outbox.items():
+        for dst, bucket in outbox.items():
+            items = list(bucket.values())
             if len(items) == 1:  # nothing to amortize; skip the framing
                 effects.send(dst, items[0])
                 continue

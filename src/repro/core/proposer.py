@@ -248,6 +248,34 @@ class ProposerShared:
         self._learn_counter += 1
         return self._learn_counter
 
+    def counter_snapshot(self) -> dict[str, int]:
+        """The node-wide monotone counters, for durable spill metadata.
+
+        The uniqueness arguments for batch ids, learn sequence numbers
+        and round ids (:meth:`next_batch`, :meth:`next_learn`,
+        :class:`~repro.core.rounds.RoundIdGenerator`) span *process
+        generations* too: a replica recovered from a spill store must
+        resume these counters, or a stale in-flight reply from before the
+        restart could answer a fresh batch, and post-restart learns could
+        order before pre-restart ones.
+        """
+        return {
+            "batch_counter": self._batch_counter,
+            "learn_counter": self._learn_counter,
+            "round_id_counter": self.rid_gen.counter,
+        }
+
+    def restore_counters(self, snapshot: dict[str, int]) -> None:
+        """Fast-forward the monotone counters past a previous generation's
+        snapshot (restores only ever move forward)."""
+        self._batch_counter = max(
+            self._batch_counter, int(snapshot.get("batch_counter", 0))
+        )
+        self._learn_counter = max(
+            self._learn_counter, int(snapshot.get("learn_counter", 0))
+        )
+        self.rid_gen.restore(int(snapshot.get("round_id_counter", 0)))
+
 
 class Proposer:
     """Sans-io proposer; all handlers return :class:`Effects`.

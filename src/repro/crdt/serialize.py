@@ -1,0 +1,112 @@
+"""Durable encoding of the acceptor's logless state.
+
+The paper's acceptor keeps *all* durable state in the pair
+``(payload, round)`` (§3.3) — extended by the §3.4 learned maximum when
+GLA-Stability is on.  This module turns that triple into bytes and back,
+for the :mod:`repro.storage` spill tier and any future snapshot
+transport.
+
+Encoding is a framed pickle: payloads are arbitrary immutable Python
+value objects (set elements, map keys and register values are
+caller-chosen hashables), so a structural per-type codec would re-invent
+pickle badly.  What the frame adds on top is what pickle lacks:
+
+* a **magic + version prefix** so a foreign or future-format blob is
+  rejected before any unpickling happens;
+* strict **shape validation** after decoding — the result must be a
+  ``(StateCRDT, Round, StateCRDT | None)`` triple or
+  :class:`SerializationError` is raised (a spill store must never hand
+  the protocol a payload of the wrong type);
+* cache hygiene: the hot-path identity caches (``_crdt_digest``,
+  ``_crdt_stamp``, ``_crdt_eq_stamps``) are process-local and are
+  stripped by :meth:`repro.crdt.base.StateCRDT.__getstate__`, so a
+  decoded payload re-derives them lazily instead of trusting stale ones.
+
+Integrity (checksums, truncation detection) is deliberately *not* this
+module's job: the storage layer frames every record with a CRC over the
+encoded bytes, so corruption is caught before :func:`decode_frozen` ever
+runs — decoding only validates shape, not bit-rot.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Hashable
+
+from repro.core.rounds import Round
+from repro.crdt.base import StateCRDT
+from repro.errors import SerializationError
+
+#: Format prefix: magic (2 bytes) + version (1 byte).
+_MAGIC = b"Cf"
+_VERSION = 1
+_PREFIX = _MAGIC + bytes([_VERSION])
+
+
+def encode_frozen(
+    state: StateCRDT,
+    round_: Round,
+    learned_max: StateCRDT | None = None,
+) -> bytes:
+    """Encode a frozen record's ``(payload, round, learned_max)`` triple."""
+    if not isinstance(state, StateCRDT):
+        raise SerializationError(
+            f"frozen payload must be a StateCRDT, got {type(state).__name__}"
+        )
+    if not isinstance(round_, Round):
+        raise SerializationError(
+            f"frozen round must be a Round, got {type(round_).__name__}"
+        )
+    if learned_max is not None and not isinstance(learned_max, StateCRDT):
+        raise SerializationError(
+            "frozen learned_max must be a StateCRDT or None, got "
+            f"{type(learned_max).__name__}"
+        )
+    return _PREFIX + pickle.dumps(
+        (state, round_, learned_max), protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def decode_frozen(data: bytes) -> tuple[StateCRDT, Round, StateCRDT | None]:
+    """Decode :func:`encode_frozen` output; raises on any malformed blob."""
+    if len(data) < len(_PREFIX) or data[: len(_MAGIC)] != _MAGIC:
+        raise SerializationError("not a frozen-record blob (bad magic)")
+    version = data[len(_MAGIC)]
+    if version != _VERSION:
+        raise SerializationError(
+            f"unsupported frozen-record version {version} (expected {_VERSION})"
+        )
+    try:
+        decoded = pickle.loads(data[len(_PREFIX) :])
+    except Exception as exc:  # unpickling failures are data errors here
+        raise SerializationError(f"undecodable frozen record: {exc!r}") from exc
+    if not (isinstance(decoded, tuple) and len(decoded) == 3):
+        raise SerializationError(
+            f"frozen record must decode to a triple, got {type(decoded).__name__}"
+        )
+    state, round_, learned_max = decoded
+    if not isinstance(state, StateCRDT):
+        raise SerializationError(
+            f"decoded payload is not a StateCRDT: {type(state).__name__}"
+        )
+    if not isinstance(round_, Round):
+        raise SerializationError(
+            f"decoded round is not a Round: {type(round_).__name__}"
+        )
+    if learned_max is not None and not isinstance(learned_max, StateCRDT):
+        raise SerializationError(
+            f"decoded learned_max is not a StateCRDT: {type(learned_max).__name__}"
+        )
+    return state, round_, learned_max
+
+
+def encode_key(key: Hashable) -> bytes:
+    """Encode a store key (any hashable the keyed deployment accepts)."""
+    return pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_key(data: bytes) -> Any:
+    try:
+        return pickle.loads(data)
+    except Exception as exc:
+        raise SerializationError(f"undecodable spill key: {exc!r}") from exc

@@ -44,6 +44,22 @@ class NotLeader(ReproError):
     """A leader-based protocol rejected a request at a non-leader node."""
 
 
+class SerializationError(ReproError):
+    """A durable record could not be encoded or decoded.
+
+    Raised by :mod:`repro.crdt.serialize` for malformed blobs and by the
+    spill stores when a record's framing is unusable.
+    """
+
+
+class SpillCorruption(SerializationError):
+    """A spill-store segment failed its integrity checks.
+
+    Distinguished from plain :class:`SerializationError` so recovery code
+    can tell "this blob is not ours" from "our segment file is damaged".
+    """
+
+
 class HistoryViolation(ReproError):
     """A recorded operation history violates a correctness condition.
 

@@ -95,6 +95,11 @@ class AsyncioNodeRuntime:
         self._apply(self.node.on_recover(loop.time()))
 
     # ------------------------------------------------------------------
+    def apply_effects(self, effects: Effects) -> None:
+        """Execute effects produced outside the message/timer path (see
+        :meth:`repro.runtime.cluster.SimNodeRuntime.apply_effects`)."""
+        self._apply(effects)
+
     def _deliver(self, envelope: Envelope) -> None:
         if self.crashed:
             return

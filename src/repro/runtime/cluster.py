@@ -67,6 +67,16 @@ class SimNodeRuntime:
         self._apply(self.node.on_recover(self._sim.now))
 
     # ------------------------------------------------------------------
+    def apply_effects(self, effects: Effects) -> None:
+        """Execute effects produced outside the message/timer path.
+
+        Maintenance hooks (e.g. :meth:`KeyedCrdtReplica.spill_all`, which
+        returns a final outbox flush) are invoked directly on the node by
+        operator-side code; their effects still need this runtime to
+        reach the network and the timer wheel.
+        """
+        self._apply(effects)
+
     def _handle(self, envelope: Envelope) -> None:
         effects = self.node.on_message(envelope.src, envelope.payload, self._sim.now)
         self._apply(effects)

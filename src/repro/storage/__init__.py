@@ -1,0 +1,19 @@
+"""Durable spill tier for the keyed CRDT store.
+
+See :mod:`repro.storage.base` for the contract and the safety argument
+(the paper's logless acceptor pair is the *entire* durable state, so
+spilled records need no log and recovery needs no replay).
+"""
+
+from repro.storage.base import SpillRecord, SpillStore
+from repro.storage.latency import LatencySpillStore
+from repro.storage.memory import InMemorySpillStore
+from repro.storage.segmented import SegmentedSpillStore
+
+__all__ = [
+    "SpillRecord",
+    "SpillStore",
+    "InMemorySpillStore",
+    "SegmentedSpillStore",
+    "LatencySpillStore",
+]

@@ -1,0 +1,67 @@
+"""In-memory spill backend for tests and the adversarial explorer.
+
+Byte-faithful on purpose: records round-trip through the
+:mod:`repro.crdt.serialize` codec on every ``put``/``get`` even though a
+dict of live objects would do, so a payload that cannot survive
+encoding fails in the in-memory tests — not only once a file backend is
+attached.  It also means a rehydrated payload is never the *same
+object* the replica spilled, exactly like a disk read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.crdt.serialize import decode_frozen, encode_frozen
+from repro.storage.base import SpillRecord, SpillStore
+
+
+class InMemorySpillStore(SpillStore):
+    """Dict of encoded records; shares the file backend's observability."""
+
+    def __init__(self) -> None:
+        self._records: dict[Hashable, bytes] = {}
+        self._meta: dict[str, Any] | None = None
+        #: Observability (mirrors SegmentedSpillStore's counters).
+        self.puts = 0
+        self.gets = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    def put(self, key: Hashable, record: SpillRecord) -> None:
+        data = encode_frozen(record.state, record.round, record.learned_max)
+        self._records[key] = data
+        self.puts += 1
+        self.bytes_written += len(data)
+
+    def get(self, key: Hashable) -> SpillRecord | None:
+        data = self._records.get(key)
+        if data is None:
+            return None
+        self.gets += 1
+        state, round_, learned_max = decode_frozen(data)
+        return SpillRecord(state, round_, learned_max)
+
+    def delete(self, key: Hashable) -> bool:
+        return self._records.pop(key, None) is not None
+
+    def keys(self) -> list[Hashable]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._records
+
+    # ------------------------------------------------------------------
+    def put_meta(self, meta: dict[str, Any]) -> None:
+        self._meta = dict(meta)
+
+    def get_meta(self) -> dict[str, Any] | None:
+        return dict(self._meta) if self._meta is not None else None
+
+    # ------------------------------------------------------------------
+    def stored_bytes(self) -> int:
+        """Total encoded record bytes currently held (RSS accounting)."""
+        return sum(len(data) for data in self._records.values())

@@ -161,6 +161,7 @@ def _build_protocol(
     raft_config: RaftConfig | None,
     multipaxos_config: MultiPaxosConfig | None,
     gla_config: GlaConfig | None,
+    spill_store_factory: Any = None,
 ) -> tuple[Any, OpAdapter]:
     """Return (replica factory, client adapter) for a protocol name."""
     if protocol in ("crdt-paxos", "crdt-paxos-batching"):
@@ -171,8 +172,17 @@ def _build_protocol(
         if spec.keyed:
 
             def factory(node_id: str, peers: list[str]) -> KeyedCrdtReplica:
+                spill_store = (
+                    spill_store_factory(node_id)
+                    if spill_store_factory is not None
+                    else None
+                )
                 return KeyedCrdtReplica(
-                    node_id, peers, lambda key: profile.initial_state(), config
+                    node_id,
+                    peers,
+                    lambda key: profile.initial_state(),
+                    config,
+                    spill_store=spill_store,
                 )
 
         else:
@@ -255,6 +265,7 @@ def run_workload(
     raft_config: RaftConfig | None = None,
     multipaxos_config: MultiPaxosConfig | None = None,
     gla_config: GlaConfig | None = None,
+    spill_store_factory: Any = None,
 ) -> RunResult:
     """Run one benchmark configuration end to end and return its result.
 
@@ -267,9 +278,24 @@ def run_workload(
     and returns per-key :class:`~repro.checker.history.History` objects
     in ``RunResult.histories`` — ready for
     :func:`repro.checker.lattice_linearizability.check_all`.
+
+    ``spill_store_factory`` (keyed CRDT Paxos only): ``node_id →
+    SpillStore`` builder attaching a frozen-record spill tier to every
+    replica, enabling ``crdt_config.keyed_max_frozen`` — the deployment
+    shape where RAM holds only the hot keys and the rest of the keyspace
+    lives in storage.
     """
     protocol = canonical_protocol(protocol)
     profile = profile_for(spec.crdt_type, increment_amount=spec.increment_amount)
+
+    if spill_store_factory is not None and (
+        protocol not in ("crdt-paxos", "crdt-paxos-batching") or not spec.keyed
+    ):
+        raise ConfigurationError(
+            "spill_store_factory requires a keyed CRDT Paxos deployment "
+            "(crdt-paxos protocol with spec.n_keys set); it would be "
+            "silently ignored here"
+        )
 
     history_tap: HistoryTap | None = None
     if record_histories:
@@ -299,6 +325,7 @@ def run_workload(
         raft_config,
         multipaxos_config,
         gla_config,
+        spill_store_factory,
     )
     cluster = SimCluster(
         sim, network, factory, n_replicas=n_replicas, service_model=service_model
@@ -346,12 +373,18 @@ def run_workload(
             keyed_stats[address] = {
                 "resident": node.resident_count(),
                 "frozen": node.frozen_count(),
+                "spilled": node.spilled_count(),
                 "evictions": node.evictions,
                 "rehydrations": node.rehydrations,
+                "spills": node.spills,
+                "spill_loads": node.spill_loads,
                 "keyed_batches_packed": node.acceptor_stats.keyed_batches_packed,
                 "keyed_batches_unpacked": node.acceptor_stats.keyed_batches_unpacked,
                 "keyed_batch_messages": node.acceptor_stats.keyed_batch_messages,
                 "keyed_batch_bytes_saved": node.acceptor_stats.keyed_batch_bytes_saved,
+                "keyed_envelopes_superseded": (
+                    node.acceptor_stats.keyed_envelopes_superseded
+                ),
             }
 
     return RunResult(

@@ -49,8 +49,15 @@ class ZipfKeySampler:
         """One key, drawn with this sampler's popularity distribution."""
         if self._cumulative is None:
             return self._keys[rng.randrange(self.n_keys)]
+        # rng.random() < 1, but the product can round up to exactly
+        # self._total — and with pathological weight/total magnitudes FP
+        # rounding could nudge it past the last cumulative bucket, where
+        # bisect would index one past the end.  Clamp to the last rank.
         point = rng.random() * self._total
-        return self._keys[bisect_left(self._cumulative, point)]
+        index = bisect_left(self._cumulative, point)
+        if index >= self.n_keys:
+            index = self.n_keys - 1
+        return self._keys[index]
 
     def hottest(self, count: int = 1) -> list[str]:
         """The ``count`` most popular keys (diagnostics, warm-up)."""

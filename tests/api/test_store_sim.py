@@ -151,3 +151,74 @@ def test_orset_receipt_through_generic_handle():
     cart.remove("milk")
     receipt = cart.query(ORSetElements(), via="r2")
     assert receipt.value == frozenset({"beans"})
+
+
+def test_flush_persists_keyed_replicas_to_their_spill_stores():
+    """Store.flush() drives every keyed replica's spill_all: after the
+    flush a fresh replica recovered from any store serves the data."""
+    from repro.core.config import CrdtPaxosConfig
+    from repro.storage import InMemorySpillStore
+
+    stores = {}
+
+    def factory(nid, peers):
+        stores[nid] = InMemorySpillStore()
+        return KeyedCrdtReplica(
+            nid,
+            peers,
+            initial_state_for,
+            CrdtPaxosConfig(keyed_max_resident=8, keyed_max_frozen=8),
+            spill_store=stores[nid],
+        )
+
+    sim = Simulator(seed=5)
+    network = SimNetwork(sim)
+    cluster = SimCluster(sim, network, factory, n_replicas=3)
+    store = SimStore(cluster, client="t")
+    for page in range(4):
+        store.counter(f"views:p{page}").incr(page + 1)
+    store.orset("tags:all").add("crdt")
+
+    flushed = store.flush()
+    assert set(flushed) == {"r0", "r1", "r2"}
+    assert all(spills > 0 for spills in flushed.values())
+    for nid, spill_store in stores.items():
+        recovered = KeyedCrdtReplica.recover(
+            spill_store, nid, ["r0", "r1", "r2"], initial_state_for
+        )
+        assert recovered.state_of("views:p3").value() == 4
+        assert "crdt" in recovered.state_of("tags:all").live_elements()
+
+
+def test_flush_drains_coalescing_outboxes_without_a_spill_store():
+    """Without a spill tier, flush still pushes parked peer envelopes
+    out through the runtime so no ack sits in an outbox indefinitely."""
+    from repro.core.config import CrdtPaxosConfig
+
+    sim = Simulator(seed=6)
+    network = SimNetwork(sim)
+    cluster = SimCluster(
+        sim,
+        network,
+        lambda nid, peers: KeyedCrdtReplica(
+            nid,
+            peers,
+            initial_state_for,
+            CrdtPaxosConfig(keyed_coalesce_window=5.0),  # would park ~forever
+        ),
+        n_replicas=3,
+    )
+    store = SimStore(cluster, client="t", timeout=20.0)
+    receipt = store.counter("views:home").incr()
+    assert receipt is not None
+    flushed = store.flush()
+    assert set(flushed) == {"r0", "r1", "r2"}
+    assert all(spills == 0 for spills in flushed.values())
+    for address in cluster.addresses:
+        assert not cluster.node(address)._outbox
+
+
+def test_flush_is_a_noop_on_unkeyed_clusters():
+    store = SimStore(plain_cluster(seed=12), client="t")
+    store.counter().incr()
+    assert store.flush() == {}

@@ -1,0 +1,167 @@
+"""Two-tier demotion (resident → RAM-frozen → spilled) in the keyed
+replica, and the eviction-vs-outbox pinning rule (ISSUE-4 satellite)."""
+
+import pytest
+
+from repro.core.config import CrdtPaxosConfig
+from repro.core.keyspace import Keyed, KeyedCrdtReplica
+from repro.core.messages import ClientUpdate, Merge
+from repro.crdt.gcounter import GCounter, Increment
+from repro.errors import ConfigurationError
+from repro.storage import InMemorySpillStore
+
+PEERS = ["r0", "r1", "r2"]
+
+
+def replica_with_spill(
+    max_resident=4, max_frozen=4, coalesce=None, store=None
+):
+    store = store if store is not None else InMemorySpillStore()
+    replica = KeyedCrdtReplica(
+        "r0",
+        list(PEERS),
+        lambda key: GCounter.initial(),
+        CrdtPaxosConfig(
+            keyed_max_resident=max_resident,
+            keyed_max_frozen=max_frozen,
+            keyed_coalesce_window=coalesce,
+        ),
+        spill_store=store,
+    )
+    return replica, store
+
+
+def merge(replica, key, value=1, now=0.0):
+    payload = Increment(value).apply(GCounter.initial(), "r1")
+    return replica.on_message(
+        "r1",
+        Keyed(key=key, message=Merge(request_id=f"m-{key}-{value}", state=payload)),
+        now,
+    )
+
+
+class TestTwoTierDemotion:
+    def test_frozen_overflow_spills_oldest_first(self):
+        replica, store = replica_with_spill(max_resident=2, max_frozen=2)
+        for i in range(10):
+            merge(replica, f"k{i}", now=float(i))
+        assert replica.resident_count() <= 2
+        assert replica.frozen_count() <= 2
+        assert replica.spilled_count() == replica.spills > 0
+        # The earliest-frozen (coldest) keys are the spilled ones.
+        assert "k0" in store
+
+    def test_touch_rehydrates_transparently_from_spill(self):
+        replica, store = replica_with_spill(max_resident=2, max_frozen=1)
+        for i in range(8):
+            merge(replica, f"k{i}", now=float(i))
+        assert "k0" in store
+        before = replica.rehydrations
+        merge(replica, "k0", value=2, now=99.0)  # touch a spilled key
+        assert replica.spill_loads >= 1
+        assert replica.rehydrations > before
+        # The rehydrated acceptor merged on top of the spilled payload.
+        assert replica.state_of("k0").value() == 2
+
+    def test_state_of_peeks_every_tier_without_admitting(self):
+        replica, store = replica_with_spill(max_resident=2, max_frozen=1)
+        for i in range(8):
+            merge(replica, f"k{i}", now=float(i))
+        resident_before = replica.resident_count()
+        loads_before = replica.spill_loads
+        assert replica.state_of("k0").value() == 1  # spilled tier
+        assert replica.resident_count() == resident_before
+        assert replica.spill_loads == loads_before  # a peek, not a load
+        # A never-seen key answers bottom without being admitted — a
+        # monitoring scan must not grow the resident set past its cap.
+        assert replica.state_of("never-seen").value() == 0
+        assert replica.resident_count() == resident_before
+        assert "never-seen" not in replica.keys()
+        # keys() unions all three tiers without duplicates.
+        assert sorted(replica.keys()) == sorted(f"k{i}" for i in range(8))
+
+    def test_keyed_max_frozen_requires_a_store(self):
+        with pytest.raises(ConfigurationError):
+            KeyedCrdtReplica(
+                "r0",
+                list(PEERS),
+                lambda key: GCounter.initial(),
+                CrdtPaxosConfig(keyed_max_frozen=4),
+            )
+
+    def test_zero_frozen_cap_spills_immediately(self):
+        replica, store = replica_with_spill(max_resident=2, max_frozen=0)
+        for i in range(8):
+            merge(replica, f"k{i}", now=float(i))
+        assert replica.frozen_count() == 0
+        assert replica.spilled_count() >= 5
+
+    def test_rehydrated_key_refreshes_its_stale_spilled_record(self):
+        replica, store = replica_with_spill(max_resident=1, max_frozen=0)
+        merge(replica, "a", value=1, now=0.0)
+        merge(replica, "b", value=1, now=1.0)  # demotes "a" → spilled
+        assert store.get("a").state.value() == 1
+        merge(replica, "a", value=3, now=2.0)  # rehydrate + merge more
+        merge(replica, "b", value=2, now=3.0)  # demote "a" again
+        assert store.get("a").state.value() == 3  # record refreshed
+
+
+class TestEvictionVsOutbox:
+    """ISSUE-4 satellite: demoting/spilling a key must not strand its
+    parked coalesce envelopes.  Regression shape (failing before the
+    fix): an acceptor reply parks in the outbox, the key quiesces, and
+    capacity eviction demotes — and spill_all then dropped the key from
+    RAM while its envelopes were still parked (or, pre-fix, the freeze
+    simply raced the armed coalesce timer)."""
+
+    def test_parked_envelopes_pin_their_key_resident(self):
+        replica, store = replica_with_spill(
+            max_resident=1, max_frozen=4, coalesce=0.005
+        )
+        merge(replica, "pinned", now=0.0)  # its Merged ack parks
+        assert replica._parked_count.get("pinned") == 1
+        # Admissions far past the cap cannot demote the parked key.
+        for i in range(6):
+            inst = replica.instance(f"filler{i}", now=float(i + 1))
+            assert inst is not None
+            replica._evict_excess()
+        assert "pinned" in replica._resident
+        # Once the coalesce flush drains the outbox, the pin lifts: the
+        # next over-cap admission demotes the (oldest) formerly-pinned key.
+        effects = replica.on_timer("keyspace-coalesce", 1.0)
+        assert effects.sends
+        assert replica._parked_count == {}
+        replica.instance("one-more", now=50.0)
+        replica._evict_excess()
+        assert "pinned" not in replica._resident
+
+    def test_spill_all_flushes_parked_envelopes_instead_of_stranding(self):
+        replica, store = replica_with_spill(
+            max_resident=4, max_frozen=4, coalesce=0.005
+        )
+        merge(replica, "k1", now=0.0)
+        merge(replica, "k2", now=0.1)
+        assert any(replica._outbox.values())
+        effects = replica.spill_all()
+        # The parked acks ride out with the shutdown flush...
+        flushed = [dst for dst, _ in effects.sends]
+        assert "r1" in flushed
+        assert not replica._outbox
+        # ...and both keys are durable.
+        assert "k1" in store and "k2" in store
+
+    def test_eviction_under_armed_coalesce_timer_keeps_replies_intact(self):
+        """The adversarial-shaped variant: freeze attempts interleave
+        with an armed (un-fired) coalesce timer; when the flush finally
+        fires, every parked reply is still delivered exactly once."""
+        replica, store = replica_with_spill(
+            max_resident=1, max_frozen=1, coalesce=0.005
+        )
+        for i in range(5):
+            merge(replica, f"k{i}", now=float(i))  # each parks one ack
+        effects = replica.on_timer("keyspace-coalesce", 9.0)
+        delivered = []
+        for dst, message in effects.sends:
+            items = message.items if hasattr(message, "items") else [message]
+            delivered.extend(item.message.request_id for item in items)
+        assert sorted(delivered) == sorted(f"m-k{i}-1" for i in range(5))

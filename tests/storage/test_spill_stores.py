@@ -1,0 +1,269 @@
+"""Contract tests for every SpillStore backend, plus the segmented
+file backend's durability edges (rotation, compaction, reopen,
+torn-tail tolerance, corruption rejection)."""
+
+import pathlib
+
+import pytest
+
+from repro.core.rounds import Round
+from repro.crdt.gcounter import GCounter
+from repro.errors import SpillCorruption
+from repro.storage import (
+    InMemorySpillStore,
+    LatencySpillStore,
+    SegmentedSpillStore,
+    SpillRecord,
+)
+
+
+def record(value: int = 1) -> SpillRecord:
+    return SpillRecord(
+        GCounter.of({"r0": value}), Round.initial().with_write_id()
+    )
+
+
+@pytest.fixture(params=["memory", "segmented", "latency"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        yield InMemorySpillStore()
+    elif request.param == "segmented":
+        backend = SegmentedSpillStore(tmp_path / "spill")
+        yield backend
+        backend.close()
+    else:
+        yield LatencySpillStore(InMemorySpillStore())
+
+
+class TestContract:
+    def test_put_get_round_trip(self, store):
+        store.put("k", record(5))
+        loaded = store.get("k")
+        assert loaded.state.value() == 5
+        assert loaded.round == Round.initial().with_write_id()
+        assert loaded.learned_max is None
+
+    def test_get_returns_a_fresh_object_each_time(self, store):
+        store.put("k", record(5))
+        assert store.get("k").state is not store.get("k").state
+
+    def test_missing_key_is_none(self, store):
+        assert store.get("nope") is None
+        assert "nope" not in store
+
+    def test_last_put_wins(self, store):
+        store.put("k", record(1))
+        store.put("k", record(2))
+        assert store.get("k").state.value() == 2
+        assert len(store) == 1
+
+    def test_delete(self, store):
+        store.put("k", record())
+        assert store.delete("k")
+        assert store.get("k") is None
+        assert not store.delete("k")
+
+    def test_keys_and_len(self, store):
+        for i in range(5):
+            store.put(f"k{i}", record(i + 1))
+        assert sorted(store.keys()) == [f"k{i}" for i in range(5)]
+        assert len(store) == 5
+
+    def test_meta_round_trip(self, store):
+        assert store.get_meta() is None
+        store.put_meta({"batch_counter": 3, "learn_counter": 9})
+        assert store.get_meta() == {"batch_counter": 3, "learn_counter": 9}
+        store.put_meta({"batch_counter": 4})
+        assert store.get_meta() == {"batch_counter": 4}
+
+    def test_learned_max_persisted(self, store):
+        learned = GCounter.of({"r0": 1, "r2": 8})
+        store.put("k", SpillRecord(GCounter.of({"r0": 1}), Round.initial(), learned))
+        assert store.get("k").learned_max == learned
+
+    def test_hashable_non_string_keys(self, store):
+        store.put(("composite", 3), record(7))
+        assert store.get(("composite", 3)).state.value() == 7
+
+
+class TestSegmented:
+    def test_reopen_rebuilds_index_and_meta(self, tmp_path):
+        first = SegmentedSpillStore(tmp_path)
+        for i in range(200):
+            first.put(f"k{i}", record(i + 1))
+        first.put("k0", record(999))  # overwrite must win after reopen
+        first.delete("k1")  # tombstone must survive reopen
+        first.put_meta({"learn_counter": 5})
+        first.close()
+
+        reopened = SegmentedSpillStore(tmp_path)
+        assert len(reopened) == 199
+        assert reopened.get("k0").state.value() == 999
+        assert reopened.get("k1") is None
+        assert reopened.get("k150").state.value() == 151
+        assert reopened.get_meta() == {"learn_counter": 5}
+        reopened.close()
+
+    def test_segments_rotate(self, tmp_path):
+        store = SegmentedSpillStore(tmp_path, segment_bytes=4096)
+        for i in range(300):
+            store.put(f"k{i}", record(i + 1))
+        assert len(list(pathlib.Path(tmp_path).glob("seg-*.spill"))) > 1
+        assert store.get("k0").state.value() == 1
+        store.close()
+
+    def test_compaction_reclaims_dead_bytes(self, tmp_path):
+        def fat_record(value: int) -> SpillRecord:
+            # ~20 slots per payload keeps the live set above the
+            # compaction floor, so the dead-byte ratio bound is active.
+            entries = {f"replica-{j:02d}": value + j for j in range(20)}
+            return SpillRecord(GCounter.of(entries), Round.initial())
+
+        store = SegmentedSpillStore(tmp_path, segment_bytes=16384)
+        for round_ in range(20):
+            for i in range(200):  # overwrite the same 200 keys repeatedly
+                store.put(f"k{i}", fat_record(round_ * 200 + i + 1))
+        assert store.compactions > 0
+        # The last put may itself have tipped the ratio and compacted, or
+        # left the store just under it — either way dead bytes are
+        # bounded by the ratio (plus one frame of slack).
+        assert store.dead_bytes() <= store.total_bytes() * store.compact_ratio + 1024
+        assert len(store) == 200
+        assert store.get("k42").state.value() == sum(
+            19 * 200 + 43 + j for j in range(20)
+        )
+        store.close()
+        # Compacted store reopens cleanly with the same contents.
+        reopened = SegmentedSpillStore(tmp_path)
+        assert len(reopened) == 200
+        assert reopened.get("k42").state.value() == sum(
+            19 * 200 + 43 + j for j in range(20)
+        )
+        reopened.close()
+
+    def test_torn_tail_is_tolerated_and_truncated(self, tmp_path):
+        store = SegmentedSpillStore(tmp_path)
+        for i in range(50):
+            store.put(f"k{i}", record(i + 1))
+        store.close()
+        segment = sorted(pathlib.Path(tmp_path).glob("seg-*.spill"))[-1]
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-7])  # the process died mid-append
+
+        reopened = SegmentedSpillStore(tmp_path)
+        assert reopened.torn_tail_bytes > 0
+        assert len(reopened) == 49  # the torn record is rejected...
+        assert reopened.get("k48").state.value() == 49  # ...the rest served
+        assert reopened.get("k49") is None
+        # The tail was truncated, so new appends produce a clean segment.
+        reopened.put("k49", record(50))
+        reopened.close()
+        third = SegmentedSpillStore(tmp_path)
+        assert third.torn_tail_bytes == 0
+        assert third.get("k49").state.value() == 50
+        third.close()
+
+    def test_mid_segment_corruption_rejected(self, tmp_path):
+        store = SegmentedSpillStore(tmp_path)
+        for i in range(50):
+            store.put(f"k{i}", record(i + 1))
+        store.close()
+        segments = sorted(pathlib.Path(tmp_path).glob("seg-*.spill"))
+        assert len(segments) == 1
+        data = bytearray(segments[0].read_bytes())
+        data[len(data) // 2] ^= 0xFF  # bit-rot in the middle, not the tail
+        # Appending a fresh segment afterwards makes the damaged one
+        # non-last, so its corruption is NOT torn-write tolerable.
+        segments[0].write_bytes(bytes(data))
+        later = pathlib.Path(tmp_path) / "seg-00000001.spill"
+        later.write_bytes(b"")
+        with pytest.raises(SpillCorruption):
+            SegmentedSpillStore(tmp_path)
+
+    def test_corrupted_record_read_rejected(self, tmp_path):
+        """Bit-rot after open: the CRC check on the read path catches it."""
+        store = SegmentedSpillStore(tmp_path)
+        store.put("k", record(3))
+        store.flush()
+        segment = sorted(pathlib.Path(tmp_path).glob("seg-*.spill"))[0]
+        data = bytearray(segment.read_bytes())
+        data[-3] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        store._read_handles.clear()  # drop cached handles to see the rot
+        with pytest.raises(SpillCorruption):
+            store.get("k")
+        store.close()
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            SegmentedSpillStore(tmp_path, segment_bytes=16)
+        with pytest.raises(ValueError):
+            SegmentedSpillStore(tmp_path, compact_ratio=1.5)
+
+    def test_checkpoint_only_workload_still_compacts(self, tmp_path):
+        """A cron of spill_all()-style checkpoints writes only meta
+        frames; their dead bytes must trigger compaction like records'."""
+        store = SegmentedSpillStore(tmp_path, segment_bytes=8192)
+        meta = {"batch_counter": 0, "pad": "x" * 512}
+        for i in range(500):
+            store.put_meta({**meta, "batch_counter": i})
+        assert store.compactions > 0
+        assert store.total_bytes() < 500 * 512  # old frames reclaimed
+        assert store.get_meta()["batch_counter"] == 499
+        store.close()
+
+
+class TestLatencyModel:
+    def test_accounting_is_deterministic(self):
+        def run():
+            store = LatencySpillStore(
+                InMemorySpillStore(),
+                read_seconds=100e-6,
+                write_seconds=150e-6,
+            )
+            for i in range(10):
+                store.put(f"k{i}", record(i + 1))
+            for i in range(10):
+                store.get(f"k{i}")
+            store.get("missing")  # misses are free (nothing was read)
+            return store.reads, store.writes, store.accrued_seconds
+
+        assert run() == run()
+        reads, writes, accrued = run()
+        assert (reads, writes) == (10, 10)
+        assert accrued == pytest.approx(10 * 100e-6 + 10 * 150e-6)
+
+    def test_per_byte_cost_scales_with_record_size(self):
+        flat = LatencySpillStore(InMemorySpillStore(), per_byte_seconds=1e-9)
+        small = SpillRecord(GCounter.of({"r0": 1}), Round.initial())
+        big = SpillRecord(
+            GCounter.of({f"replica-{i}": i + 1 for i in range(200)}),
+            Round.initial(),
+        )
+        flat.put("small", small)
+        small_cost = flat.drain_accrued()
+        flat.put("big", big)
+        big_cost = flat.drain_accrued()
+        assert big_cost > small_cost
+
+    def test_drain_resets_the_meter(self):
+        store = LatencySpillStore(InMemorySpillStore())
+        store.put("k", record())
+        assert store.drain_accrued() > 0
+        assert store.drain_accrued() == 0.0
+
+    def test_delete_meta_and_flush_are_charged_too(self):
+        """Tombstones and meta frames are real writes on append-mostly
+        backends, and flush models the fsync — none of them is free."""
+        store = LatencySpillStore(
+            InMemorySpillStore(), write_seconds=1e-4, flush_seconds=5e-4
+        )
+        store.put("k", record())
+        store.drain_accrued()
+        store.delete("k")
+        assert store.drain_accrued() == pytest.approx(1e-4)
+        store.put_meta({"batch_counter": 1})
+        assert store.drain_accrued() == pytest.approx(1e-4)
+        store.flush()
+        assert store.drain_accrued() == pytest.approx(5e-4)
+        assert store.writes == 3  # put + tombstone + meta

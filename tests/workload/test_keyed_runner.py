@@ -221,3 +221,27 @@ class TestDeprecationShims:
     def test_profile_for_unknown_type(self):
         with pytest.raises(ConfigurationError):
             profile_for("no-such-crdt")
+
+
+def test_spill_factory_rejected_for_non_spill_capable_deployments():
+    """spill_store_factory must fail fast where it would be ignored."""
+    import pytest
+
+    from repro.errors import ConfigurationError
+    from repro.storage import InMemorySpillStore
+    from repro.workload.runner import run_workload
+    from repro.workload.spec import WorkloadSpec
+
+    unkeyed = WorkloadSpec(n_clients=1, read_ratio=0.5, duration=0.1, warmup=0.0)
+    with pytest.raises(ConfigurationError):
+        run_workload(
+            "crdt-paxos",
+            unkeyed,
+            spill_store_factory=lambda nid: InMemorySpillStore(),
+        )
+    with pytest.raises(ConfigurationError):
+        run_workload(
+            "raft",
+            unkeyed,
+            spill_store_factory=lambda nid: InMemorySpillStore(),
+        )

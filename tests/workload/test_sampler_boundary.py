@@ -1,0 +1,76 @@
+"""ISSUE-4 satellite: ``ZipfKeySampler.sample`` float-boundary edge.
+
+``rng.random() * total`` can round up to exactly ``total`` — and with
+adversarial FP magnitudes land past the final cumulative bucket — in
+which case an unclamped bisect indexes one past the end of the key
+list.  These tests drive the boundary through stub rngs (a real
+``random.Random`` cannot be forced onto the edge deterministically);
+before the clamp the overshoot case raised ``IndexError``.
+"""
+
+import random
+
+import pytest
+
+from repro.workload.sampler import ZipfKeySampler
+
+
+class _StubRng:
+    """Quacks like random.Random but returns a scripted variate."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def random(self) -> float:
+        return self.value
+
+    def randrange(self, n: int) -> int:  # uniform (skew 0) path
+        return min(int(self.value * n), n - 1)
+
+
+def test_point_exactly_on_total_returns_a_valid_key():
+    sampler = ZipfKeySampler(n_keys=10, skew=1.1, seed=3)
+    key = sampler.sample(_StubRng(1.0))  # point == self._total exactly
+    assert key in set(sampler._keys)
+    # The boundary point falls in the last (least popular) bucket.
+    assert key == sampler._keys[-1]
+
+
+def test_point_past_last_bucket_is_clamped_not_index_error():
+    sampler = ZipfKeySampler(n_keys=7, skew=0.99, seed=1)
+    # Simulates the FP overshoot: the product exceeds every cumulative
+    # bucket.  Unclamped, bisect_left returns n_keys → IndexError.
+    overshoot = 1.0 + 1e-9
+    key = sampler.sample(_StubRng(overshoot))
+    assert key == sampler._keys[-1]
+
+
+def test_boundary_with_tiny_tail_weights():
+    """Huge skew makes the tail buckets FP-indistinguishable; boundary
+    draws must still land on a real key."""
+    sampler = ZipfKeySampler(n_keys=1000, skew=8.0, seed=0)
+    for value in (0.0, 0.5, 1.0 - 2**-53, 1.0):
+        assert sampler.sample(_StubRng(value)) in set(sampler._keys)
+
+
+def test_real_rng_distribution_untouched_by_the_clamp():
+    sampler = ZipfKeySampler(n_keys=50, skew=1.0, seed=4)
+    rng = random.Random(11)
+    draws = [sampler.sample(rng) for _ in range(5000)]
+    assert set(draws) <= set(sampler._keys)
+    hottest = sampler.hottest(1)[0]
+    counts = {key: draws.count(key) for key in set(draws)}
+    assert counts[hottest] == max(counts.values())
+
+
+def test_uniform_path_has_no_cumulative_table():
+    sampler = ZipfKeySampler(n_keys=5, skew=0.0, seed=0)
+    assert sampler._cumulative is None
+    assert sampler.sample(_StubRng(0.999)) in set(sampler._keys)
+
+
+def test_invalid_arguments_still_rejected():
+    with pytest.raises(ValueError):
+        ZipfKeySampler(n_keys=0)
+    with pytest.raises(ValueError):
+        ZipfKeySampler(n_keys=5, skew=-0.1)
