@@ -154,6 +154,65 @@ def test_million_key_zipf_spill_bounded_memory():
         )
 
 
+def test_idle_sweep_cost_is_o_evicted_not_o_resident():
+    """The heap-backed idle sweep pays per *evicted* key, not per
+    resident key.  The pre-heap implementation sorted the whole resident
+    set by last touch on every sweep — O(resident·log resident) even
+    when nothing was idle.  Now a sweep peeks the heap front and stops
+    at the first young entry: a no-op sweep costs O(1) regardless of
+    keyspace size, and a sweep evicting K keys pays ~K heap pops."""
+    from repro.core.config import CrdtPaxosConfig
+    from repro.core.keyspace import Keyed, KeyedCrdtReplica
+    from repro.core.messages import Merge
+    from repro.crdt.gcounter import GCounter, Increment
+
+    idle_s = 10.0
+
+    def touched_replica(n_keys):
+        replica = KeyedCrdtReplica(
+            "r0",
+            ["r0", "r1", "r2"],
+            lambda key: GCounter.initial(),
+            CrdtPaxosConfig(keyed_idle_evict_s=idle_s),
+        )
+        payload = Increment(1).apply(GCounter.initial(), "r1")
+        for i in range(n_keys):
+            replica.on_message(
+                "r1",
+                Keyed(key=f"key-{i}", message=Merge(request_id=f"m{i}", state=payload)),
+                float(i) * 1e-3,
+            )
+        return replica
+
+    # Nothing idle: the sweep must look at O(1) heap entries no matter
+    # how many keys are resident.
+    noop_costs = []
+    for n_keys in (1_000, 10_000):
+        replica = touched_replica(n_keys)
+        before = replica.evict_scan_ops
+        replica.on_timer("keyspace-sweep", (n_keys - 1) * 1e-3 + 1e-4)
+        noop_costs.append(replica.evict_scan_ops - before)
+    assert all(cost <= 4 for cost in noop_costs), (
+        f"a no-op sweep scanned {noop_costs} heap entries; the heap front "
+        "peek should stop at the first young key"
+    )
+    assert noop_costs[1] <= noop_costs[0] + 4, (
+        f"no-op sweep cost grew with keyspace size: {noop_costs}"
+    )
+
+    # K idle keys: the sweep pays ~K pops and freezes exactly those K.
+    n_keys, k = 10_000, 250
+    replica = touched_replica(n_keys)  # key i last touched at i·1ms
+    before_ops = replica.evict_scan_ops
+    before_frozen = replica.frozen_count()
+    replica.on_timer("keyspace-sweep", (k - 1) * 1e-3 + idle_s + 5e-4)
+    assert replica.frozen_count() - before_frozen == k
+    assert replica.evict_scan_ops - before_ops <= k + 8, (
+        f"evicting {k} keys cost {replica.evict_scan_ops - before_ops} "
+        "scan ops; the sweep should not look past the idle prefix"
+    )
+
+
 @pytest.mark.slow
 def test_million_key_shape():
     """1M acceptor-only keys materialize and route timers; density stays

@@ -22,6 +22,15 @@ and after the cluster is gone a replica is rebuilt *from the files
 alone* with ``KeyedCrdtReplica.recover`` and still answers for every
 key.
 
+A second act runs on the deterministic simulator with
+``durability="write_through"`` and **kill -9**'s a replica mid-service:
+no flush, no shutdown hook, the segment directory is reopened cold.
+Because write-through persists each key's triple *before* the acceptor's
+ack escapes, the files are trustworthy — but the pair may still be
+*stale* (peers moved on while the node was dead), so recovery comes back
+with ``rejoin=True`` and every recovered key refreshes its (payload,
+round) pair from a read quorum (a §3.3 prepare) before serving again.
+
 Run:  python examples/keyed_store.py
 """
 
@@ -135,5 +144,78 @@ async def run_demo(cluster, spill_stores, spill_root) -> None:
           f"{recovered.spilled_count()} keys on file — no log replayed")
 
 
+def survive_kill_minus_nine() -> None:
+    """Act two: write-through durability, a hard kill, a quorum re-join."""
+    from repro.api import SimStore
+    from repro.net.latency import ConstantLatency
+    from repro.net.sim_transport import SimNetwork
+    from repro.runtime.cluster import SimCluster
+    from repro.sim.kernel import Simulator
+
+    spill_root = tempfile.mkdtemp(prefix="keyed-store-kill9-")
+    spill_stores = {}
+    config = CrdtPaxosConfig(durability="write_through")
+
+    def replica(nid: str, peers: list[str]) -> KeyedCrdtReplica:
+        spill_stores[nid] = SegmentedSpillStore(f"{spill_root}/{nid}")
+        return KeyedCrdtReplica(
+            nid, peers, initial_state_for, config, spill_store=spill_stores[nid]
+        )
+
+    sim = Simulator(seed=7)
+    network = SimNetwork(sim, latency=ConstantLatency(delay=0.001))
+    cluster = SimCluster(sim, network, replica, n_replicas=3)
+    store = SimStore(cluster, client="app")
+    try:
+        for i in range(12):
+            store.counter(f"views:page{i % 3}").incr()
+
+        # kill -9 r1: the process dies mid-service.  No spill_all, no
+        # close, no clean-shutdown marker — only what write-through
+        # already put on disk before each ack escaped.
+        cluster.crash("r1")
+        dead = spill_stores["r1"]
+        print(f"\nr1 hard-killed; {dead.puts} write-through puts on disk")
+
+        # The survivors keep serving — quorum 2-of-3 is intact.
+        store.counter("views:page0").incr()
+
+        # A new process reopens the dead replica's directory cold.  The
+        # files are trustworthy (persist-before-ack) but may be *stale*:
+        # r0+r2 accepted writes while r1 was dead.  So recovery gates
+        # every key behind a quorum refresh of its (payload, round) pair.
+        reopened = SegmentedSpillStore(f"{spill_root}/r1")
+        spill_stores["r1"] = reopened
+        rejoined = KeyedCrdtReplica.recover(
+            reopened,
+            "r1",
+            cluster.addresses,
+            initial_state_for,
+            config,
+            rejoin=True,
+        )
+        print(f"r1 reopened its files: {rejoined.rejoin_pending_count()} keys "
+              "gated behind a quorum refresh")
+        runtime = cluster.runtimes["r1"]
+        runtime.node = rejoined
+        cluster.recover("r1")  # on_recover re-arms the node's timers
+        runtime.apply_effects(rejoined.rejoin())
+        sim.run(until=sim.now + 1.0)
+        assert rejoined.rejoin_pending_count() == 0
+        assert rejoined.rejoin_refreshes > 0
+
+        # r1 serves linearizable reads again — including the increment it
+        # missed while dead.
+        count = store.counter("views:page0").value(via="r1")
+        assert count == 5
+        print(f"r1 re-joined via {rejoined.rejoin_refreshes} quorum "
+              f"refreshes; linearizable read via r1: views:page0 = {count}")
+    finally:
+        for spill_store in spill_stores.values():
+            spill_store.close()
+        shutil.rmtree(spill_root, ignore_errors=True)
+
+
 if __name__ == "__main__":
     asyncio.run(main())
+    survive_kill_minus_nine()

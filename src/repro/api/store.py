@@ -263,6 +263,35 @@ class Store:
                 flushed[address] = node.spills
         return flushed
 
+    def rejoin(self) -> dict[str, int]:
+        """Open the quorum refresh on every keyed replica recovered with
+        ``rejoin=True`` (:meth:`~repro.core.keyspace.KeyedCrdtReplica.rejoin`):
+        each recovered key's ``(payload, round)`` pair is refreshed from a
+        read quorum — a §3.3 prepare — before it serves traffic, because
+        a hard-killed replica's own spilled pair may be stale.
+
+        Returns each keyed replica's count of keys still awaiting their
+        quorum (``0`` once fully rejoined).  Broadcasting is a no-op on
+        replicas with nothing pending, so calling this after a clean
+        recovery is safe.
+        """
+        runtimes = getattr(self._cluster, "runtimes", None)
+        if runtimes is None:
+            raise ConfigurationError(
+                "this cluster exposes no runtimes to rejoin; "
+                "Store.rejoin() needs a SimCluster or AsyncioCluster"
+            )
+        pending: dict[str, int] = {}
+        for address in self.addresses:
+            runtime = runtimes.get(address)
+            if runtime is None:
+                continue
+            node = runtime.node
+            if isinstance(node, KeyedCrdtReplica):
+                runtime.apply_effects(node.rejoin())
+                pending[address] = node.rejoin_pending_count()
+        return pending
+
     # ------------------------------------------------------------------
     # Frontend contract
     # ------------------------------------------------------------------

@@ -22,6 +22,11 @@ baseline snapshot:
   ``keyed_max_resident`` (so cold keys freeze and rehydrate under load)
   with cross-key envelope coalescing on — the deployment shape the keyed
   store optimizes, finally covered by an ``e2e_*`` metric;
+* **durable end-to-end** — the keyed Zipf loop again with
+  ``durability="group_sync"`` and a latency-modelled disk whose virtual
+  IO time is charged to the replicas' CPUs: absolute durable ops/s, the
+  retention ratio against the no-durability run (floored at 25 %) and
+  the group-commit batching factor (persists per fsync);
 * **spill tier** — the frozen-record spill store: keys/second rehydrated
   from a cold segmented file store (index lookup + frame read + CRC +
   decode + admission) and the bounded-RAM churn density (keys per traced
@@ -66,12 +71,12 @@ from repro.core.messages import Merge
 from repro.crdt.base import join_all
 from repro.crdt.gcounter import GCounter, Increment
 from repro.crdt.orset import ORSet
-from repro.storage import SegmentedSpillStore
+from repro.storage import InMemorySpillStore, LatencySpillStore, SegmentedSpillStore
 from repro.workload.runner import run_workload
 from repro.workload.spec import WorkloadSpec
 
 #: This PR's trajectory snapshot (BENCH_PR<N>.json).
-CURRENT_PR = 4
+CURRENT_PR = 6
 
 #: Allowed fractional drop below a baseline value before the gate fails.
 TOLERANCE = 0.20
@@ -90,6 +95,9 @@ GATED_METRICS = (
     "e2e_multipaxos_ops_s",
     "spill_rehydrate_ops_s",
     "spill_churn_keys_per_mb",
+    "e2e_write_through_ops_s",
+    "e2e_write_through_retention",
+    "spill_group_commit_batching",
 )
 
 
@@ -382,7 +390,15 @@ def run_e2e(quick: bool = True, seed: int = 0) -> dict[str, float]:
     )
     metrics["e2e_multipaxos_ops_s"] = multipaxos.throughput().median
 
-    metrics.update(run_e2e_keyed(quick=quick, seed=seed))
+    keyed_metrics = run_e2e_keyed(quick=quick, seed=seed)
+    metrics.update(keyed_metrics)
+    metrics.update(
+        run_e2e_write_through(
+            quick=quick,
+            seed=seed,
+            zipf_ops_s=keyed_metrics["e2e_keyed_zipf_ops_s"],
+        )
+    )
     return metrics
 
 
@@ -427,6 +443,82 @@ def run_e2e_keyed(quick: bool = True, seed: int = 0) -> dict[str, float]:
         "e2e_keyed_zipf_rehydrations": float(rehydrations),
         "e2e_keyed_zipf_batches_packed": float(batches),
     }
+
+
+def run_e2e_write_through(
+    quick: bool = True, seed: int = 0, zipf_ops_s: float | None = None
+) -> dict[str, float]:
+    """The keyed Zipf closed loop with durable acks and a modelled disk.
+
+    Identical workload and caps to :func:`run_e2e_keyed`, plus
+    ``durability="group_sync"``: every mutating step's triple is put to a
+    :class:`LatencySpillStore` (SSD-ish costs: tens of µs per buffered
+    append, ~150 µs per fsync) and certifying acks park until the
+    group-commit window's flush — with every accrued virtual IO second
+    charged to the replica's serial CPU, so durability is paid for, not
+    free.  Three gated metrics come out:
+
+    * ``e2e_write_through_ops_s`` — absolute durable throughput;
+    * ``e2e_write_through_retention`` — durable / no-durability ops/s;
+      the baseline floors this at 0.25, the ISSUE-6 acceptance bound
+      (group commit must amortize fsyncs well enough to keep ≥ 25 % of
+      the zipf throughput) in machine-independent form;
+    * ``spill_group_commit_batching`` — persists per group commit; the
+      whole point of the window is that one fsync covers many puts.
+    """
+    spec = WorkloadSpec(
+        n_clients=32,
+        read_ratio=0.9,
+        duration=1.2 if quick else 4.0,
+        warmup=0.4 if quick else 1.0,
+        client_timeout=2.0,
+        n_keys=5_000,
+        key_skew=1.1,
+    )
+    config = crdt_paxos_config()
+    config.keyed_max_resident = 512
+    config.keyed_coalesce_window = 0.002
+    config.durability = "group_sync"
+    config.durability_sync_window = 0.002
+    stores: dict[str, LatencySpillStore] = {}
+
+    def spill_factory(node_id: str) -> LatencySpillStore:
+        stores[node_id] = LatencySpillStore(
+            InMemorySpillStore(),
+            read_seconds=100e-6,
+            write_seconds=20e-6,
+            flush_seconds=150e-6,
+        )
+        return stores[node_id]
+
+    durable = run_workload(
+        "crdt-paxos",
+        spec,
+        seed=seed,
+        latency=paper_latency(),
+        service_model=service_model_for("crdt-paxos"),
+        crdt_config=config,
+        spill_store_factory=spill_factory,
+    )
+    persists = sum(
+        s["write_through_persists"] for s in durable.keyed_stats.values()
+    )
+    commits = sum(s["group_commits"] for s in durable.keyed_stats.values())
+    assert persists > 0 and commits > 0, (
+        "the durable run never exercised the write-through path; "
+        "its throughput figure would be meaningless"
+    )
+    ops_s = durable.throughput().median
+    metrics = {
+        "e2e_write_through_ops_s": ops_s,
+        "spill_group_commit_batching": persists / commits,
+        # Trajectory-only diagnostics.
+        "e2e_write_through_persists": float(persists),
+        "e2e_write_through_group_commits": float(commits),
+    }
+    if zipf_ops_s:
+        metrics["e2e_write_through_retention"] = ops_s / zipf_ops_s
+    return metrics
 
 
 # ----------------------------------------------------------------------

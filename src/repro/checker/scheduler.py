@@ -415,6 +415,14 @@ class KeyedExplorationReport:
     spill_loads: int = 0
     #: Kill/restart events (replica rebuilt via recover()).
     restarts: int = 0
+    #: Hard kills: no spill_all — only what durability already persisted
+    #: survives, and the fresh node rejoins from a read quorum.
+    hard_kills: int = 0
+    #: Keys refreshed from a read quorum before first post-kill use.
+    rejoin_refreshes: int = 0
+    #: Durability-path writes/flushes summed over all node generations.
+    write_through_persists: int = 0
+    group_commits: int = 0
     #: Cross-key envelope coalescing totals (keyed_coalesce_window).
     keyed_batches_packed: int = 0
     keyed_batches_unpacked: int = 0
@@ -451,6 +459,7 @@ class KeyedInterleavingExplorer:
         config: CrdtPaxosConfig | None = None,
         spill_factory: Callable[[], SpillStore] | None = None,
         keep_timeouts: bool = False,
+        spill_reopen: Callable[[str, SpillStore], SpillStore] | None = None,
     ) -> None:
         self.seed = seed
         self.n_replicas = n_replicas
@@ -460,6 +469,13 @@ class KeyedInterleavingExplorer:
         #: kept on the explorer so tests can inspect them afterwards.
         self.spill_factory = spill_factory
         self.spill_stores: dict[str, SpillStore] = {}
+        #: Hard kills only: ``(replica_id, dead_store) -> reopened store``.
+        #: Models reopening the on-disk state the way a restarted process
+        #: would (e.g. a fresh SegmentedSpillStore over the same
+        #: directory).  Without it, a store exposing ``crash()`` (the
+        #: VolatileSpillStore power-loss model) has its volatile buffer
+        #: dropped instead.
+        self.spill_reopen = spill_reopen
         base = config or CrdtPaxosConfig()
         if base.keyed_max_resident is None:
             base = replace(base, keyed_max_resident=max(1, n_keys // 2))
@@ -491,6 +507,7 @@ class KeyedInterleavingExplorer:
             base.batching
             or base.retry_backoff > 0
             or base.keyed_coalesce_window is not None
+            or base.durability == "group_sync"
             or keep_timeouts
         )
 
@@ -507,6 +524,9 @@ class KeyedInterleavingExplorer:
         report.keyed_envelopes_superseded += (
             node.acceptor_stats.keyed_envelopes_superseded
         )
+        report.rejoin_refreshes += node.rejoin_refreshes
+        report.write_through_persists += node.write_through_persists
+        report.group_commits += node.group_commits
 
     def _restart(
         self,
@@ -541,6 +561,51 @@ class KeyedInterleavingExplorer:
         runtime._apply(fresh.on_start(self._sim_now(runtime)))
         report.restarts += 1
 
+    def _hard_restart(
+        self,
+        runtime: _DirectRuntime,
+        replica_ids: list[str],
+        report: KeyedExplorationReport,
+    ) -> None:
+        """kill -9 one replica and rebuild it from whatever is durable.
+
+        Unlike :meth:`_restart` there is NO ``spill_all`` — the process
+        gets no shutdown hook, so only what the durability policy already
+        persisted survives.  The store itself crashes too: with a
+        ``spill_reopen`` hook the dead store is reopened the way a fresh
+        process would (a SegmentedSpillStore directory mid-compaction,
+        say); otherwise a store exposing ``crash()`` drops its volatile
+        buffer (the power-loss model).  The fresh node then *rejoins*:
+        every recovered key is refreshed from a read quorum (a §3.3
+        prepare) before it serves traffic, because its own pair may be
+        stale.
+        """
+        old = runtime.node
+        self._accumulate(report, old)
+        store = self.spill_stores[old.node_id]
+        if self.spill_reopen is not None:
+            store = self.spill_reopen(old.node_id, store)
+            self.spill_stores[old.node_id] = store
+        else:
+            crash = getattr(store, "crash", None)
+            if crash is not None:
+                crash()
+        fresh = KeyedCrdtReplica.recover(
+            store,
+            old.node_id,
+            list(replica_ids),
+            lambda key: GCounter.initial(),
+            self.config,
+            rejoin=True,
+        )
+        runtime.node = fresh
+        runtime.pending_timers.clear()  # timers do not survive a kill
+        runtime._apply(fresh.on_start(self._sim_now(runtime)))
+        # Open the quorum refresh for every recovered key up front; the
+        # prepares enter the adversarial pool like any other traffic.
+        runtime._apply(fresh.rejoin())
+        report.hard_kills += 1
+
     @staticmethod
     def _sim_now(runtime: _DirectRuntime) -> float:
         return runtime._sim.now
@@ -553,6 +618,7 @@ class KeyedInterleavingExplorer:
         duplicate_probability: float = 0.0,
         max_steps: int = 200_000,
         restart_at_injection: int | None = None,
+        hard_kill_at_injection: int | None = None,
     ) -> KeyedExplorationReport:
         """One adversarial run; ``restart_at_injection`` kills and
         recovers a random replica once that many operations have been
@@ -560,9 +626,16 @@ class KeyedInterleavingExplorer:
         open at the victim when it died may never complete — their
         clients crash-observed the restart — so restart campaigns check
         the per-key histories without asserting ``all_complete``.
+
+        ``hard_kill_at_injection`` instead kills a random replica with
+        *no* shutdown hook (see :meth:`_hard_restart`): only what the
+        durability policy persisted survives, and the fresh node rejoins
+        its recovered keys from a read quorum before serving them.
         """
         if restart_at_injection is not None and self.spill_factory is None:
             raise ValueError("restart_at_injection requires a spill_factory")
+        if hard_kill_at_injection is not None and self.spill_factory is None:
+            raise ValueError("hard_kill_at_injection requires a spill_factory")
         sim = Simulator(seed=self.seed)
         network = AdversarialNetwork(sim)
         rng = sim.rng.stream("keyed-explorer")
@@ -614,6 +687,14 @@ class KeyedInterleavingExplorer:
             ):
                 victim = rng.choice(replica_ids)
                 self._restart(runtimes[victim], replica_ids, report)
+                continue
+            if (
+                hard_kill_at_injection is not None
+                and report.hard_kills == 0
+                and report.injections >= hard_kill_at_injection
+            ):
+                victim = rng.choice(replica_ids)
+                self._hard_restart(runtimes[victim], replica_ids, report)
                 continue
             inject_now = bool(plan) and (
                 network.pending == 0 or rng.random() < 0.25

@@ -99,6 +99,22 @@ class CrdtPaxosConfig:
         same peer per tick, and batching them amortizes the per-envelope
         overhead.  Replies to clients are never delayed.  ``None``
         (default) sends every envelope immediately.
+    ``durability``
+        Keyed deployments only: when a spill store is attached, how the
+        §3.3 ``(payload, round)`` pair is persisted relative to the acks
+        the replica emits.  ``"none"`` (default) persists only on
+        demotion/``spill_all`` — a hard kill may lose promises.
+        ``"write_through"`` persists and flushes a key's ``(payload,
+        round, learned-max)`` triple *before* any effect of the handling
+        step escapes — the log-less analogue of an acceptor fsync; every
+        ack a peer or client sees rests on durable state.
+        ``"group_sync"`` writes through but defers the flush: certifying
+        acks (MERGED / PREPARE-ACK / VOTED / the client's done messages)
+        are parked until a group-commit tick covers them, amortizing the
+        fsync across a window while keeping the same guarantee.
+    ``durability_sync_window``
+        ``group_sync`` only: how many seconds acks may park before the
+        batched flush releases them.
     """
 
     batching: bool = False
@@ -117,6 +133,8 @@ class CrdtPaxosConfig:
     keyed_max_frozen: int | None = None
     keyed_idle_evict_s: float | None = None
     keyed_coalesce_window: float | None = None
+    durability: str = "none"
+    durability_sync_window: float = 0.002
 
     def __post_init__(self) -> None:
         for field_name in ("initial_prepare", "retry_prepare"):
@@ -149,3 +167,10 @@ class CrdtPaxosConfig:
             raise ConfigurationError(
                 "keyed_coalesce_window must be positive or None"
             )
+        if self.durability not in ("none", "write_through", "group_sync"):
+            raise ConfigurationError(
+                "durability must be 'none', 'write_through' or 'group_sync', "
+                f"got {self.durability!r}"
+            )
+        if self.durability_sync_window <= 0:
+            raise ConfigurationError("durability_sync_window must be positive")

@@ -89,20 +89,43 @@ Two refinements ride on the frozen-record design:
   the rehydrated proposer, so states learned at this node for one key
   stay monotone in learn order across freeze/thaw generations (learn
   sequence numbers already come from a node-wide counter).
+
+**Surviving kill -9.**  ``config.durability`` turns the spill store into
+the acceptor's fsync target: ``write_through`` persists a key's triple
+inside the handling step, before any ack escapes (see
+:mod:`repro.storage` for the mode semantics), and ``group_sync`` batches
+the flush behind a group-commit tick while parking the certifying acks.
+A replica recovered from a store *without* those guarantees (no
+clean-shutdown marker, dead generation ran ``durability="none"``) must
+pass ``rejoin=True`` to :meth:`KeyedCrdtReplica.recover`: every stored
+key is then refreshed from a read quorum — one §3.3 prepare, no log
+shipping — before it serves traffic again (:meth:`rejoin`).
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
 from repro.core.acceptor import Acceptor, AcceptorStats
 from repro.core.config import CrdtPaxosConfig
-from repro.core.messages import ClientQuery, ClientUpdate
+from repro.core.messages import (
+    ClientQuery,
+    ClientUpdate,
+    Merged,
+    Prepare,
+    PrepareAck,
+    PrepareNack,
+    QueryDone,
+    UpdateDone,
+    Voted,
+)
 from repro.core.proposer import Proposer, ProposerShared, ProposerStats
+from repro.core.rounds import Round
 from repro.core.router import dispatch_peer_message
 from repro.crdt.base import StateCRDT
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StaleRecoveryError
 from repro.net.message import ENVELOPE_OVERHEAD_BYTES
 from repro.net.message import wire_size as _wire_size
 from repro.net.node import Effects, ProtocolNode
@@ -116,6 +139,27 @@ _SWEEP_TIMER = "keyspace-sweep"
 
 #: Reserved timer key for the cross-key envelope-coalescing flush.
 _COALESCE_TIMER = "keyspace-coalesce"
+
+#: Reserved timer key for the group-commit flush (``durability="group_sync"``).
+_SYNC_TIMER = "keyspace-sync"
+
+#: Per-key timer token for re-driving an open quorum-rejoin refresh.
+#: Namespaced like proposer timers (``<repr(key)>|rejoin``); proposer
+#: timer keys are ``flush``/``retry:*``/``uto:*``/``qto:*``, so no clash.
+_REJOIN_TIMER = "rejoin"
+
+#: How far ahead of the persisted watermark the node-wide monotone
+#: counters are reserved.  Persisting every bump would double the write
+#: rate; instead the meta snapshot leases a margin and a recovered node
+#: skips to the end of it (ids may be skipped, never reused).
+_COUNTER_LEASE = 256
+
+#: Message types whose receipt certifies durable state at this replica —
+#: the protocol acks a learn certificate can rest on (MERGED /
+#: PREPARE-ACK / VOTED) plus the client-visible completions.  Under
+#: ``group_sync`` these park until a flush covers the state they attest;
+#: requests and nacks leak nothing a certificate can use, so they flow.
+_CERTIFYING = (Merged, PrepareAck, Voted, UpdateDone, QueryDone)
 
 
 # No ``slots=True``: the memoized wire size lives in the instance dict
@@ -193,7 +237,13 @@ class _FrozenKey:
 class _KeyInstance:
     """One resident key's machinery: acceptor always, proposer lazily."""
 
-    __slots__ = ("acceptor", "proposer", "touch_seq", "touched_at", "learned_max")
+    __slots__ = (
+        "acceptor",
+        "proposer",
+        "touch_seq",
+        "touched_at",
+        "learned_max",
+    )
 
     def __init__(self, acceptor: Acceptor) -> None:
         self.acceptor = acceptor
@@ -207,6 +257,23 @@ class _KeyInstance:
         #: §3.4 learned maximum thawed from a frozen record, parked here
         #: until (unless) the key materializes a proposer to adopt it.
         self.learned_max: StateCRDT | None = None
+
+
+class _RejoinState:
+    """One key's open quorum refresh on a rejoining replica.
+
+    Client commands arriving before the quorum answers are buffered and
+    replayed through the normal path once the refreshed pair is in
+    place; peer protocol requests are dropped (loss-tolerant by design)
+    until then — a possibly-stale pair must not grant promises or votes.
+    """
+
+    __slots__ = ("request_id", "replied", "buffered")
+
+    def __init__(self, request_id: str) -> None:
+        self.request_id = request_id
+        self.replied: set[str] = set()
+        self.buffered: list[tuple[str, Any]] = []
 
 
 class KeyedCrdtReplica(ProtocolNode):
@@ -251,7 +318,13 @@ class KeyedCrdtReplica(ProtocolNode):
                 "keyed_max_frozen requires a spill_store (frozen records "
                 "past the cap must have somewhere to go)"
             )
+        if self.config.durability != "none" and spill_store is None:
+            raise ConfigurationError(
+                f"durability={self.config.durability!r} requires a spill_store "
+                "(write-through persistence must have somewhere to write)"
+            )
         self._spill_store = spill_store
+        self._durability = self.config.durability
         #: Flyweight context shared by every per-key proposer (stats too:
         #: the counters aggregate across keys, one sink per replica).
         self._shared = ProposerShared(
@@ -282,13 +355,50 @@ class KeyedCrdtReplica(ProtocolNode):
         #: arm timers, so they never pay the repr-string entry.
         self._namespaces: dict[str, Hashable] = {}
         self._touch_seq = 0
+        #: Lazy min-heap over (touch_seq, key): capacity eviction and the
+        #: idle sweep pop the genuinely oldest entries instead of sorting
+        #: the whole resident set.  Entries whose key was re-touched are
+        #: stale (the instance's touch_seq moved on) and discarded on pop.
+        self._evict_heap: list[tuple[int, Hashable]] = []
+        #: Write-through durability stamps, kept beside the instances
+        #: rather than on them: the last (payload, round, learned-max)
+        #: triple persisted per key, so the per-step persist hook is a
+        #: no-op when the step changed nothing.  A side table because
+        #: only durable builds pay for it — the flyweight density rail
+        #: covers ``durability="none"``, where this stays empty.
+        self._durable_stamps: dict[Hashable, tuple] = {}
+        #: Group commit (``durability="group_sync"``): certifying acks
+        #: wait here until a flush covers the state they attest.
+        self._sync_parked: list[tuple[str, Keyed]] = []
+        self._sync_dirty = False
+        self._sync_armed = False
+        #: Durable-generation bookkeeping: bumped on every recover and
+        #: stamped into spill meta, so artifacts of a dead generation
+        #: (rejoin request ids, stale stores) are distinguishable.
+        self._node_epoch = 0
+        self._dirty_marked = False
+        self._counter_watermarks: dict[str, int] = {}
+        #: Quorum re-join: keys recovered from a possibly-stale store that
+        #: must refresh their pair from a read quorum before first use.
+        self._rejoin_pending: set[Hashable] = set()
+        self._rejoin_active: dict[Hashable, _RejoinState] = {}
+        self._rejoin_seq = 0
         #: Eviction observability.
         self.evictions = 0
         self.rehydrations = 0
+        #: Heap pops performed by eviction/sweep passes — the O(evicted)
+        #: bound on sweep work is asserted against this.
+        self.evict_scan_ops = 0
         #: Spill-tier observability: records written to / loaded from the
         #: spill store (spill_loads also count toward rehydrations).
         self.spills = 0
         self.spill_loads = 0
+        #: Durability observability: in-step persists of a key's triple,
+        #: batched flushes that released parked acks, and per-key quorum
+        #: refreshes completed by a rejoining replica.
+        self.write_through_persists = 0
+        self.group_commits = 0
+        self.rejoin_refreshes = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -300,6 +410,7 @@ class KeyedCrdtReplica(ProtocolNode):
         initial_state_for: Callable[[Hashable], StateCRDT],
         config: CrdtPaxosConfig | None = None,
         quorum: QuorumSystem | None = None,
+        rejoin: bool = False,
     ) -> "KeyedCrdtReplica":
         """Rebuild a replica purely from its spill store after a restart.
 
@@ -313,11 +424,16 @@ class KeyedCrdtReplica(ProtocolNode):
         process generation cannot reuse an identifier a stale in-flight
         message might still answer.
 
-        The snapshot is complete only if the previous generation called
-        :meth:`spill_all` before dying (the shutdown/kill hook); state
-        that never reached the store died with the process, exactly like
-        an acceptor that synced its pair before acking and crashed
-        before the next write.
+        Whether the store is *trustworthy* depends on how the previous
+        generation died.  A clean-shutdown marker (written by
+        :meth:`spill_all`) or a generation that ran write-through
+        durability means every externally visible promise is in the
+        store; otherwise the records may predate promises the dead
+        process made after its last write, and serving them directly
+        could break linearizability — :class:`StaleRecoveryError` is
+        raised unless ``rejoin=True``, which instead marks every stored
+        key pending a read-quorum refresh (a §3.3 prepare) before it is
+        served (see :meth:`rejoin`).
         """
         replica = cls(
             node_id,
@@ -330,6 +446,35 @@ class KeyedCrdtReplica(ProtocolNode):
         meta = spill_store.get_meta()
         if meta is not None:
             replica._shared.restore_counters(meta)
+        clean = (
+            meta.get("clean_shutdown") is True
+            if meta is not None
+            else len(spill_store) == 0
+        )
+        dead_mode = meta.get("durability", "none") if meta is not None else "none"
+        if not clean and not rejoin and dead_mode == "none":
+            raise StaleRecoveryError(
+                f"spill store for {node_id!r} has no clean-shutdown marker and "
+                "the dead generation did not run write-through durability; its "
+                "records may predate promises that escaped before the crash — "
+                "recover with rejoin=True to refresh each key from a read "
+                "quorum before serving it"
+            )
+        replica._node_epoch = (
+            int(meta.get("node_epoch", 0)) if meta is not None else 0
+        ) + 1
+        if rejoin and not replica.quorum.is_quorum({node_id}):
+            # When this node alone is a read quorum (single-member
+            # group) there is no peer to refresh from — and none whose
+            # certificate could outrun the local pair — so rejoin
+            # degenerates to a plain recovery.
+            replica._rejoin_pending = set(spill_store.keys())
+        if not clean or replica._durability != "none":
+            # This generation is live (and may itself die hard): persist
+            # the bumped epoch and an opened-dirty marker up front.
+            replica._write_meta(clean=False)
+            if replica._durability == "write_through":
+                spill_store.flush()
         return replica
 
     @property
@@ -356,11 +501,29 @@ class KeyedCrdtReplica(ProtocolNode):
         inst = self._resident.get(key)
         if inst is None:
             inst = self._admit(key)
+        self._note_touch(key, inst, now)
+        return inst
+
+    def _note_touch(self, key: Hashable, inst: _KeyInstance, now: float | None) -> None:
+        """Bump a key's recency and record it in the eviction heap.
+
+        The heap is lazy: a re-touched key's older entries stay behind
+        and are discarded when popped (the stamp no longer matches).
+        When stale entries outnumber residents ~4:1 the heap is rebuilt
+        from the resident set, keeping its size O(resident) amortized.
+        """
         self._touch_seq += 1
         inst.touch_seq = self._touch_seq
         if now is not None:
             inst.touched_at = now
-        return inst
+        heap = self._evict_heap
+        heapq.heappush(heap, (self._touch_seq, key))
+        if len(heap) > 4 * len(self._resident) + 64:
+            self._evict_heap = [
+                (resident.touch_seq, resident_key)
+                for resident_key, resident in self._resident.items()
+            ]
+            heapq.heapify(self._evict_heap)
 
     def _admit(self, key: Hashable) -> _KeyInstance:
         # Eager (pre-flyweight) instances carry private stats sinks, like
@@ -384,6 +547,16 @@ class KeyedCrdtReplica(ProtocolNode):
         inst = _KeyInstance(acceptor)
         if frozen is not None:
             inst.learned_max = frozen.learned_max
+        # The admitted snapshot counts as durable: a thawed/loaded triple
+        # equals the last persisted one (the write-through hook persists
+        # every mutating step, so demotion never outruns the store), and
+        # a fresh bottom is reconstructible from initial_state_for alone.
+        if self._durability != "none":
+            self._durable_stamps[key] = (
+                acceptor.state,
+                acceptor.round,
+                inst.learned_max,
+            )
         self._resident[key] = inst
         if self._eager:
             self._materialize(key, inst)
@@ -483,6 +656,7 @@ class KeyedCrdtReplica(ProtocolNode):
             inst.acceptor.state, inst.acceptor.round, learned_max
         )
         del self._resident[key]
+        self._durable_stamps.pop(key, None)
         namespace = repr(key)
         if self._namespaces.get(namespace) == key:
             del self._namespaces[namespace]
@@ -494,18 +668,27 @@ class KeyedCrdtReplica(ProtocolNode):
         if cap is None or len(self._resident) <= cap:
             return
         # Demote ~10% below the cap (at least one extra) so a store
-        # sitting at capacity does not re-sort the resident set on every
-        # admission (amortized O(log n) per admission).  Busy keys are
-        # skipped — the cap is soft by design; open protocol requests pin
-        # their instances (and if everything is pinned, the sort repeats
-        # until some key quiesces).
+        # sitting at capacity does not rework the heap on every admission.
+        # The heap pops the genuinely least-recently-touched keys — cost
+        # O(evicted · log n) plus stale entries (amortized against their
+        # pushes) instead of the old full O(n log n) sort.  Busy keys are
+        # deferred back onto the heap — the cap is soft by design; open
+        # protocol requests pin their instances until they quiesce.
         target = (len(self._resident) - cap) + max(1, cap // 10)
-        by_age = sorted(self._resident.items(), key=lambda kv: kv[1].touch_seq)
-        for key, inst in by_age:
-            if target <= 0:
-                break
+        heap = self._evict_heap
+        deferred: list[tuple[int, Hashable]] = []
+        while target > 0 and heap:
+            seq, key = heapq.heappop(heap)
+            self.evict_scan_ops += 1
+            inst = self._resident.get(key)
+            if inst is None or inst.touch_seq != seq:
+                continue  # stale: evicted already or re-touched since
             if self._freeze(key, inst):
                 target -= 1
+            else:
+                deferred.append((seq, key))
+        for entry in deferred:
+            heapq.heappush(heap, entry)
         self._spill_excess()
 
     def _spill_excess(self) -> None:
@@ -554,6 +737,13 @@ class KeyedCrdtReplica(ProtocolNode):
                 "spill_all requires a spill_store attached to this replica"
             )
         effects = self._flush_outbox()
+        # Release group-commit-parked acks too: the store is flushed
+        # below, *before* the driver executes these effects, so every
+        # released ack still rests on durable state.
+        for dst, keyed in self._sync_parked:
+            effects.send(dst, keyed)
+        self._sync_parked = []
+        self._sync_dirty = False
         for key, frozen in list(self._frozen.items()):
             store.put(
                 key, SpillRecord(frozen.state, frozen.round, frozen.learned_max)
@@ -575,7 +765,7 @@ class KeyedCrdtReplica(ProtocolNode):
                 # cleaned up its namespace entry); it is already spilled,
                 # so drop the RAM record too.
                 del self._frozen[key]
-        store.put_meta(self._shared.counter_snapshot())
+        self._write_meta(clean=True)
         store.flush()
         return effects
 
@@ -592,19 +782,49 @@ class KeyedCrdtReplica(ProtocolNode):
         return self._flush_outbox()
 
     def _sweep(self, now: float) -> Effects:
+        """Idle eviction, O(evicted) per sweep instead of O(resident).
+
+        Touch sequence order and clock order agree (driver time is
+        monotone and every clocked touch bumps the sequence), so the
+        heap's front is the oldest-touched resident: the sweep pops until
+        it meets an entry younger than the cutoff and stops — untouched
+        younger keys are never even looked at.  Keys that cannot freeze
+        (busy, or admitted without a clock) are re-stamped and deferred
+        behind current traffic.
+        """
         effects = Effects()
         idle_s = self.config.keyed_idle_evict_s
         if idle_s is None:
             return effects
         cutoff = now - idle_s
-        for key, inst in list(self._resident.items()):
+        heap = self._evict_heap
+        deferred: list[tuple[int, Hashable]] = []
+        while heap:
+            seq, key = heap[0]
+            inst = self._resident.get(key)
+            if inst is None or inst.touch_seq != seq:
+                heapq.heappop(heap)
+                self.evict_scan_ops += 1
+                continue
+            if inst.touched_at is not None and inst.touched_at > cutoff:
+                break  # everything behind it is younger still
+            heapq.heappop(heap)
+            self.evict_scan_ops += 1
             if inst.touched_at is None:
                 # Admitted without a clock (warm-up via instance() or
                 # materialize_proposer()): start its idle window at this
                 # sweep instead of freezing the just-warmed key.
                 inst.touched_at = now
-            elif inst.touched_at <= cutoff:
-                self._freeze(key, inst)
+                self._touch_seq += 1
+                inst.touch_seq = self._touch_seq
+                deferred.append((inst.touch_seq, key))
+            elif not self._freeze(key, inst):
+                # Busy: re-sort behind current traffic and retry later.
+                self._touch_seq += 1
+                inst.touch_seq = self._touch_seq
+                deferred.append((inst.touch_seq, key))
+        for entry in deferred:
+            heapq.heappush(heap, entry)
         self._spill_excess()
         effects.set_timer(_SWEEP_TIMER, idle_s)
         return effects
@@ -620,6 +840,10 @@ class KeyedCrdtReplica(ProtocolNode):
         if self._outbox:
             self._coalesce_armed = True
             effects.set_timer(_COALESCE_TIMER, self.config.keyed_coalesce_window or 0.001)
+        self._sync_armed = False
+        if self._durability == "group_sync" and (self._sync_dirty or self._sync_parked):
+            self._sync_armed = True
+            effects.set_timer(_SYNC_TIMER, self.config.durability_sync_window)
         return effects
 
     def on_message(self, src: str, message: Any, now: float) -> Effects:
@@ -637,19 +861,31 @@ class KeyedCrdtReplica(ProtocolNode):
         inner = message.message
         instance = self.instance(key, now)
 
-        if isinstance(inner, ClientUpdate):
-            effects = self._materialize(key, instance).client_update(
-                src, inner.request_id, inner.op, now
-            )
-        elif isinstance(inner, ClientQuery):
-            effects = self._materialize(key, instance).client_query(
-                src, inner.request_id, inner.op, now
-            )
+        if self._rejoin_pending and key in self._rejoin_pending:
+            effects = self._rejoin_gate(key, instance, src, inner, now)
+        elif isinstance(inner, (ClientUpdate, ClientQuery)):
+            effects = self._handle_client(key, instance, src, inner, now)
         else:
             effects = self._on_peer_message(instance, src, inner, now)
+        # Persist-before-ack: the handling step's effects have not left
+        # this method yet (sans-io — the driver executes them after we
+        # return), so writing the key's triple here is the log-less
+        # analogue of an acceptor fsyncing before its reply escapes.
+        self._persist_step(key, instance)
         wrapped = self._wrap(key, effects)
         self._evict_excess()
         return wrapped
+
+    def _handle_client(
+        self, key: Hashable, instance: _KeyInstance, src: str, inner: Any, now: float
+    ) -> Effects:
+        if isinstance(inner, ClientUpdate):
+            return self._materialize(key, instance).client_update(
+                src, inner.request_id, inner.op, now
+            )
+        return self._materialize(key, instance).client_query(
+            src, inner.request_id, inner.op, now
+        )
 
     def _on_peer_message(
         self, instance: _KeyInstance, src: str, inner: Any, now: float
@@ -664,6 +900,8 @@ class KeyedCrdtReplica(ProtocolNode):
             return self._sweep(now)
         if key == _COALESCE_TIMER:
             return self._flush_outbox()
+        if key == _SYNC_TIMER:
+            return self._sync_commit()
         # Timer keys are namespaced "<repr(key)>|<proposer key>"; the
         # namespace index resolves them in O(1) regardless of keyspace
         # size.  Split at the LAST '|' — proposer timer keys never
@@ -675,13 +913,24 @@ class KeyedCrdtReplica(ProtocolNode):
         candidate = self._namespaces.get(namespace)
         if candidate is None:
             return Effects()
+        if proposer_key == _REJOIN_TIMER:
+            state = self._rejoin_active.get(candidate)
+            if state is None:
+                return Effects()  # refresh completed; stale re-drive
+            instance = self.instance(candidate, now)
+            effects = Effects()
+            self._rejoin_broadcast(instance, state, effects)
+            self._persist_step(candidate, instance)
+            wrapped = self._wrap(candidate, effects)
+            self._evict_excess()
+            return wrapped
         instance = self._resident.get(candidate)
         if instance is None or instance.proposer is None:
             return Effects()
-        self._touch_seq += 1
-        instance.touch_seq = self._touch_seq
-        instance.touched_at = now
-        wrapped = self._wrap(candidate, instance.proposer.on_timer(proposer_key, now))
+        self._note_touch(candidate, instance, now)
+        effects = instance.proposer.on_timer(proposer_key, now)
+        self._persist_step(candidate, instance)
+        wrapped = self._wrap(candidate, effects)
         self._evict_excess()
         return wrapped
 
@@ -710,12 +959,21 @@ class KeyedCrdtReplica(ProtocolNode):
         """
         wrapped = Effects()
         coalesce = self.config.keyed_coalesce_window
+        group_sync = self._durability == "group_sync"
         shared: dict[int, Keyed] = {}
         for dst, message in effects.sends:
             keyed = shared.get(id(message))
             if keyed is None:
                 keyed = Keyed(key=key, message=message)
                 shared[id(message)] = keyed
+            if group_sync and self._sync_dirty and isinstance(message, _CERTIFYING):
+                # Group commit: this ack attests state the store has not
+                # flushed yet — park it until the sync tick fsyncs.  Any
+                # key's dirtiness holds the window (the unflushed batch
+                # is store-wide, not per key).  Requests and nacks flow:
+                # no learn certificate can rest on them.
+                self._sync_parked.append((dst, keyed))
+                continue
             if coalesce is not None and dst in self._remote_peers:
                 bucket = self._outbox.setdefault(dst, {})
                 slot = (
@@ -738,6 +996,13 @@ class KeyedCrdtReplica(ProtocolNode):
             wrapped.set_timer(f"{key!r}|{timer_key}", delay)
         for timer_key in effects.cancels:
             wrapped.cancel_timer(f"{key!r}|{timer_key}")
+        if (
+            group_sync
+            and not self._sync_armed
+            and (self._sync_dirty or self._sync_parked)
+        ):
+            self._sync_armed = True
+            wrapped.set_timer(_SYNC_TIMER, self.config.durability_sync_window)
         return wrapped
 
     def _flush_outbox(self) -> Effects:
@@ -760,4 +1025,238 @@ class KeyedCrdtReplica(ProtocolNode):
             stats.keyed_batch_bytes_saved += (
                 len(items) - 1
             ) * ENVELOPE_OVERHEAD_BYTES
+        return effects
+
+    # ------------------------------------------------------------------
+    # Write-through durability
+    # ------------------------------------------------------------------
+    def _persist_step(self, key: Hashable, inst: _KeyInstance) -> None:
+        """Persist the key's triple after a handling step, before its
+        effects escape (called between the handler and :meth:`_wrap`).
+
+        ``write_through`` flushes immediately; ``group_sync`` leaves the
+        put unflushed and marks the window dirty, which makes
+        :meth:`_wrap` park the step's certifying acks until the
+        group-commit tick.  The node-wide monotone counters ride along
+        via leased meta snapshots (:meth:`_lease_counters`), so a learn
+        sequence number in an escaped QUERY-DONE can never be reissued
+        by the next generation.
+        """
+        if self._durability == "none":
+            if self._dirty_marked:
+                # A rejoin generation on an unclean store still leases
+                # its counters — identifiers must not be reused even if
+                # record persistence stays demotion-driven.
+                self._lease_counters()
+            return
+        store = self._spill_store
+        acceptor = inst.acceptor
+        proposer = inst.proposer
+        learned_max = (
+            proposer.learned_max if proposer is not None else inst.learned_max
+        )
+        stamp = self._durable_stamps.get(key)
+        dirty = stamp is None or not (
+            acceptor.state is stamp[0]
+            and acceptor.round == stamp[1]
+            and learned_max is stamp[2]
+        )
+        if dirty:
+            store.put(key, SpillRecord(acceptor.state, acceptor.round, learned_max))
+            self._durable_stamps[key] = (acceptor.state, acceptor.round, learned_max)
+            self.write_through_persists += 1
+        leased = self._lease_counters()
+        if not (dirty or leased):
+            return
+        if self._durability == "write_through":
+            store.flush()
+        else:
+            self._sync_dirty = True
+
+    def _lease_counters(self) -> bool:
+        """Persist counter watermarks with a lease margin when exceeded."""
+        snapshot = self._shared.counter_snapshot()
+        for name, value in snapshot.items():
+            if value >= self._counter_watermarks.get(name, 0):
+                self._write_meta(clean=False)
+                return True
+        return False
+
+    def _write_meta(self, clean: bool) -> None:
+        """Write the store meta: counters, markers, epoch, durability.
+
+        Dirty snapshots lease the counters ahead (:data:`_COUNTER_LEASE`)
+        so one meta write covers many bumps; a recovering node skips to
+        the lease end (identifiers may be skipped, never reused).
+        Watermarks only move forward — a clean shutdown's exact snapshot
+        must not regress a previously persisted reservation.
+        """
+        store = self._spill_store
+        if store is None:
+            return
+        snapshot = self._shared.counter_snapshot()
+        if not clean:
+            snapshot = {
+                name: value + _COUNTER_LEASE for name, value in snapshot.items()
+            }
+        for name, value in snapshot.items():
+            previous = self._counter_watermarks.get(name, 0)
+            if value < previous:
+                snapshot[name] = previous
+        meta: dict[str, Any] = dict(snapshot)
+        meta["clean_shutdown"] = clean
+        meta["node_epoch"] = self._node_epoch
+        meta["durability"] = self._durability
+        store.put_meta(meta)
+        self._counter_watermarks = snapshot
+        self._dirty_marked = not clean
+
+    def _sync_commit(self) -> Effects:
+        """Group-commit tick: one flush covers the window, then every
+        parked certifying ack is released (it now attests durable state)."""
+        self._sync_armed = False
+        effects = Effects()
+        if self._sync_dirty:
+            self._spill_store.flush()
+            self._sync_dirty = False
+            self.group_commits += 1
+        parked, self._sync_parked = self._sync_parked, []
+        for dst, keyed in parked:
+            effects.send(dst, keyed)
+        return effects
+
+    def drain_spill_accrued(self) -> float:
+        """Virtual IO seconds accrued by the spill store since the last
+        drain (0.0 for stores without a latency model) — the driver
+        charges them against this node's busy time."""
+        store = self._spill_store
+        drain = getattr(store, "drain_accrued", None)
+        return drain() if drain is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Quorum re-join
+    # ------------------------------------------------------------------
+    def rejoin_pending_count(self) -> int:
+        """Keys still awaiting their read-quorum refresh."""
+        return len(self._rejoin_pending)
+
+    def rejoin(self) -> Effects:
+        """Proactively start the read-quorum refresh for every pending key.
+
+        Recovery with ``rejoin=True`` marks each stored key pending and
+        refreshes lazily on first touch; this hook (surfaced as the api
+        ``Store.rejoin()``) instead opens all refreshes at once so a
+        rejoining replica converges while idle.  Returns the broadcast
+        effects the driver must execute.
+        """
+        effects = Effects()
+        for key in list(self._rejoin_pending):
+            if key in self._rejoin_active:
+                continue
+            instance = self.instance(key)
+            opened = Effects()
+            self._start_rejoin(key, instance, opened)
+            effects.merge(self._wrap(key, opened))
+        self._evict_excess()
+        return effects
+
+    def _rejoin_gate(
+        self, key: Hashable, inst: _KeyInstance, src: str, inner: Any, now: float
+    ) -> Effects:
+        """Traffic filter for a key whose pair is possibly stale.
+
+        Client commands buffer behind the refresh and replay once it
+        completes.  Peer protocol requests are *dropped* (and trigger the
+        refresh): a §3.3 prepare answered from a stale pair could grant
+        a promise the dead generation already gave away, and message
+        loss is tolerated by design — peers re-drive.  Only the
+        refresh's own quorum replies are folded in.
+        """
+        state = self._rejoin_active.get(key)
+        if isinstance(inner, (ClientUpdate, ClientQuery)):
+            effects = Effects()
+            if state is None:
+                state = self._start_rejoin(key, inst, effects)
+            state.buffered.append((src, inner))
+            return effects
+        if (
+            state is not None
+            and isinstance(inner, (PrepareAck, PrepareNack))
+            and getattr(inner, "request_id", None) == state.request_id
+        ):
+            return self._on_rejoin_reply(key, inst, state, src, inner, now)
+        effects = Effects()
+        if state is None:
+            self._start_rejoin(key, inst, effects)
+        return effects
+
+    def _start_rejoin(
+        self, key: Hashable, inst: _KeyInstance, effects: Effects
+    ) -> _RejoinState:
+        self._rejoin_seq += 1
+        # The epoch distinguishes this generation's refreshes from any
+        # stale rejoin traffic still in flight from a previous life.
+        request_id = f"rejoin:{self._node_epoch}:{self._rejoin_seq}"
+        state = _RejoinState(request_id)
+        self._rejoin_active[key] = state
+        # Acceptor-only keys never registered a timer namespace; the
+        # rejoin re-drive timer needs one.
+        self._namespaces.setdefault(repr(key), key)
+        self._rejoin_broadcast(inst, state, effects)
+        return state
+
+    def _rejoin_broadcast(
+        self, inst: _KeyInstance, state: _RejoinState, effects: Effects
+    ) -> None:
+        """One §3.3 prepare round refreshes the pair — no log shipping.
+
+        Incremental round: always accepted, and every PREPARE-ACK (or
+        NACK — both carry ``(round, state)``) returns the peer's pair to
+        fold in.  The locally stored payload is shipped when configured:
+        it was durable, so disseminating it can only help convergence.
+        """
+        prepare = Prepare(
+            request_id=state.request_id,
+            attempt=0,
+            round=Round.incremental(self._shared.rid_gen.fresh()),
+            state=(
+                inst.acceptor.state
+                if self.config.include_state_in_prepare
+                else None
+            ),
+        )
+        for dst in self._remote_peers:
+            effects.send(dst, prepare)
+        if self.config.request_timeout is not None:
+            effects.set_timer(_REJOIN_TIMER, self.config.request_timeout)
+
+    def _on_rejoin_reply(
+        self,
+        key: Hashable,
+        inst: _KeyInstance,
+        state: _RejoinState,
+        src: str,
+        inner: Any,
+        now: float,
+    ) -> Effects:
+        acceptor = inst.acceptor
+        acceptor.state = acceptor.state.join(inner.state)
+        if inner.round.number > acceptor.round.number:
+            acceptor.round = inner.round
+        state.replied.add(src)
+        effects = Effects()
+        if not self.quorum.is_quorum(state.replied | {self.node_id}):
+            return effects
+        # Quorum reached: the pair now subsumes every certificate this
+        # replica may have contributed to (quorum intersection), so the
+        # key can serve again.  Replay what the refresh held back.
+        del self._rejoin_active[key]
+        self._rejoin_pending.discard(key)
+        self.rejoin_refreshes += 1
+        if self.config.request_timeout is not None:
+            effects.cancel_timer(_REJOIN_TIMER)
+        for buffered_src, buffered_inner in state.buffered:
+            effects.merge(
+                self._handle_client(key, inst, buffered_src, buffered_inner, now)
+            )
         return effects

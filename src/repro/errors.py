@@ -60,6 +60,17 @@ class SpillCorruption(SerializationError):
     """
 
 
+class StaleRecoveryError(ReproError):
+    """A spill store was opened for recovery without a clean-shutdown marker.
+
+    The store's records may predate promises the dead process made after
+    its last durable write (a hard kill), so serving them directly could
+    break linearizability.  Recover with ``rejoin=True`` (refreshing each
+    key from a read quorum before first use) or run under
+    ``durability="write_through"`` where every ack is persisted first.
+    """
+
+
 class HistoryViolation(ReproError):
     """A recorded operation history violates a correctness condition.
 

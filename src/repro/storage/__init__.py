@@ -3,12 +3,52 @@
 See :mod:`repro.storage.base` for the contract and the safety argument
 (the paper's logless acceptor pair is the *entire* durable state, so
 spilled records need no log and recovery needs no replay).
+
+Durability modes
+================
+
+How much of that pair survives a hard kill is governed by
+``CrdtPaxosConfig.durability``, which decides *when* the keyed replica
+writes to its spill store relative to the acks it emits:
+
+``"none"`` (default)
+    Records reach the store only on demotion (frozen-tier overflow) and
+    on the planned ``spill_all()`` shutdown hook.  Cheapest, and exactly
+    as safe as the paper's in-memory acceptor: a kill -9 loses promises
+    made since the last spill, so a recovered replica must not serve its
+    stale pairs directly — ``KeyedCrdtReplica.recover`` refuses a store
+    without a clean-shutdown marker unless ``rejoin=True`` refreshes
+    each key from a read quorum (a §3.3 prepare) before first use.
+
+``"write_through"``
+    The log-less analogue of an acceptor fsync: after every handling
+    step that changed a key's ``(payload, round, learned-max)`` triple,
+    the triple is ``put`` and the store flushed *before* the step's
+    effects (the MERGED / PREPARE-ACK / VOTED acks, the client's done
+    messages) escape the replica.  Any promise a peer has seen is
+    durable, so recovery is sound without a rejoin.
+
+``"group_sync"``
+    Write-through with an amortized fsync: puts still happen in-step,
+    but the flush is deferred to a group-commit tick
+    (``durability_sync_window`` seconds) and the *certifying* acks park
+    until the tick covers them.  Non-certifying traffic (requests,
+    nacks) flows immediately — a learn certificate can only rest on
+    ack-type messages, so leaking unflushed state via a nack is safe.
+
+:class:`VolatileSpillStore` models the volatile-cache half of a real
+disk for crash campaigns: it buffers writes until ``flush()`` and its
+``crash()`` drops the buffer, so a hard kill under ``group_sync``
+genuinely loses whatever the group commit had not yet covered.
+Reopening a :class:`SegmentedSpillStore` directory instead models a
+*process* kill (the OS page cache survives).
 """
 
 from repro.storage.base import SpillRecord, SpillStore
 from repro.storage.latency import LatencySpillStore
 from repro.storage.memory import InMemorySpillStore
 from repro.storage.segmented import SegmentedSpillStore
+from repro.storage.volatile import VolatileSpillStore
 
 __all__ = [
     "SpillRecord",
@@ -16,4 +56,5 @@ __all__ = [
     "InMemorySpillStore",
     "SegmentedSpillStore",
     "LatencySpillStore",
+    "VolatileSpillStore",
 ]

@@ -5,10 +5,21 @@ Every ``put`` appends one framed record to the active segment and
 updates an in-memory index (``key → (segment, offset, length)``); the
 active segment rotates past ``segment_bytes``.  Overwrites and deletes
 never touch old bytes — they only grow the *dead* byte count, and when
-dead bytes exceed ``compact_ratio`` of the total the store compacts:
-live records are rewritten into fresh segments and the old files are
-removed.  This is the classic Bitcask/LSM-lite shape: sequential writes,
-one seek per read, bounded garbage.
+dead bytes exceed ``compact_ratio`` of the total the store compacts.
+This is the classic Bitcask/LSM-lite shape: sequential writes, one seek
+per read, bounded garbage.
+
+Compaction is *incremental*: one victim segment (always the oldest
+sealed one) is drained at most ``compaction_step_bytes`` of input per
+store operation, its still-live frames re-appended to the active
+segment, and the victim unlinked only after the copies are flushed and
+fsynced.  No operation ever pays a stop-the-world rewrite, and the
+protocol is crash-safe at every point: until the unlink both the
+original and the copies are on disk, and the recovery replay resolves
+the duplicates because copies live in strictly higher segment ids
+(last frame per key wins).  Tombstones in the victim are dropped — the
+oldest segment shadows nothing older.  :meth:`compact` runs the same
+step loop to completion over every sealed segment.
 
 Frame format (all integers little-endian)::
 
@@ -82,30 +93,51 @@ class SegmentedSpillStore(SpillStore):
         directory: str | os.PathLike,
         segment_bytes: int = 1 << 20,
         compact_ratio: float = 0.5,
+        compaction_step_bytes: int = 1 << 16,
+        compact_floor_bytes: int = _COMPACT_FLOOR_BYTES,
     ) -> None:
         if segment_bytes < 4096:
             raise ValueError(f"segment_bytes must be >= 4096, got {segment_bytes}")
         if not 0.0 < compact_ratio < 1.0:
             raise ValueError(f"compact_ratio must be in (0, 1), got {compact_ratio}")
+        if compaction_step_bytes < 1024:
+            raise ValueError(
+                f"compaction_step_bytes must be >= 1024, got {compaction_step_bytes}"
+            )
+        if compact_floor_bytes < 0:
+            raise ValueError(
+                f"compact_floor_bytes must be >= 0, got {compact_floor_bytes}"
+            )
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.segment_bytes = segment_bytes
         self.compact_ratio = compact_ratio
+        self.compaction_step_bytes = compaction_step_bytes
+        self.compact_floor_bytes = compact_floor_bytes
 
         #: key → (segment id, frame offset, frame length)
         self._index: dict[Hashable, tuple[int, int, int]] = {}
         self._segments: dict[int, _Segment] = {}
         self._meta: dict[str, Any] | None = None
+        self._meta_address: tuple[int, int] | None = None
         self._active_id = 0
         self._active_file = None
         self._read_handles: dict[int, Any] = {}
         self._closed = False
+        #: In-progress incremental compaction: victim segment id, a
+        #: snapshot of its bytes (sealed segments never change, so the
+        #: snapshot stays valid across interleaved puts) and the replay
+        #: cursor into it.
+        self._compact_victim: int | None = None
+        self._compact_data: bytes = b""
+        self._compact_offset = 0
 
         #: Observability.
         self.puts = 0
         self.gets = 0
         self.bytes_written = 0
         self.compactions = 0
+        self.compaction_steps = 0
         self.torn_tail_bytes = 0
 
         self._recover_scan()
@@ -192,6 +224,7 @@ class SegmentedSpillStore(SpillStore):
                 self._meta = pickle.loads(body)
             except Exception as exc:
                 raise SpillCorruption(f"undecodable meta frame in {path}") from exc
+            self._meta_address = (segment_id, offset)
             return
         if kind == _KIND_DELETE:
             key = decode_key(body)
@@ -267,7 +300,10 @@ class SegmentedSpillStore(SpillStore):
 
     def put_meta(self, meta: dict[str, Any]) -> None:
         self._meta = dict(meta)
-        self._append(_KIND_META, pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL))
+        segment_id, offset, _ = self._append(
+            _KIND_META, pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self._meta_address = (segment_id, offset)
         # Meta frames are never live (only the last one matters and it is
         # rewritten by compaction), so a checkpoint-only workload of
         # periodic spill_all() calls accumulates dead bytes here too —
@@ -331,65 +367,126 @@ class SegmentedSpillStore(SpillStore):
 
     def _maybe_compact(self) -> None:
         # O(1): the running totals make this affordable on every put.
+        # An in-progress victim is always advanced (leaving it half-drained
+        # forever would strand its duplicate copies); a new one is only
+        # started when the dead-byte ratio is exceeded.
+        if self._compact_victim is not None:
+            self._compact_step()
+            return
         total = self._total_bytes
-        if total < _COMPACT_FLOOR_BYTES:
+        if total < self.compact_floor_bytes:
             return
         if self.dead_bytes() > self.compact_ratio * total:
-            self.compact()
+            if self._start_victim():
+                self._compact_step()
+
+    def _start_victim(self) -> bool:
+        """Select the oldest sealed segment as the compaction victim."""
+        sealed = [sid for sid in self._segments if sid != self._active_id]
+        if not sealed:
+            # Only the active segment exists: seal it so its dead bytes
+            # become reclaimable, then pick it up as the victim.
+            if self._segments[self._active_id].size == 0:
+                return False
+            self._active_file.close()
+            cached = self._read_handles.pop(self._active_id, None)
+            if cached is not None:
+                cached.close()
+            self._active_id += 1
+            self._open_active()
+            sealed = [sid for sid in self._segments if sid != self._active_id]
+        victim_id = min(sealed)
+        self._compact_victim = victim_id
+        # Sealed segments are immutable, so one read snapshots the victim.
+        self._compact_data = self._segments[victim_id].path.read_bytes()
+        self._compact_offset = 0
+        return True
+
+    def _compact_step(self) -> None:
+        """Drain up to ``compaction_step_bytes`` of the victim.
+
+        Live record frames (the index still points at their victim
+        address) are re-appended to the active segment; dead records,
+        tombstones and stale meta frames are dropped.  When the cursor
+        reaches the victim's end, the active segment is flushed and
+        fsynced *before* the victim is unlinked — a crash at any earlier
+        point leaves both original and copies on disk, and replay picks
+        the copies (higher segment id, last-wins).
+        """
+        victim_id = self._compact_victim
+        assert victim_id is not None
+        data = self._compact_data
+        budget = self.compaction_step_bytes
+        victim = self._segments[victim_id]
+        while budget > 0 and self._compact_offset < len(data):
+            offset = self._compact_offset
+            frame = self._parse_frame(data, offset)
+            if frame is None:
+                raise SpillCorruption(
+                    f"frame failed integrity checks during compaction "
+                    f"({victim.path} at offset {offset})"
+                )
+            kind, body, frame_len = frame
+            self._compact_offset += frame_len
+            budget -= frame_len
+            if kind == _KIND_RECORD:
+                (key_len,) = struct.unpack_from("<I", body, 0)
+                key = decode_key(body[4 : 4 + key_len])
+                if self._index.get(key) == (victim_id, offset, frame_len):
+                    victim.live -= frame_len
+                    self._live_bytes -= frame_len
+                    new_id, new_offset, new_len = self._append(_KIND_RECORD, body)
+                    self._index[key] = (new_id, new_offset, new_len)
+                    self._segments[new_id].live += new_len
+                    self._live_bytes += new_len
+            elif kind == _KIND_META:
+                if self._meta_address == (victim_id, offset):
+                    new_id, new_offset, _ = self._append(_KIND_META, body)
+                    self._meta_address = (new_id, new_offset)
+            # Tombstones are dropped: the victim is the oldest segment,
+            # so its deletes shadow nothing that will survive it.
+        self.compaction_steps += 1
+        if self._compact_offset >= len(data):
+            self._finish_victim(victim_id)
+
+    def _finish_victim(self, victim_id: int) -> None:
+        self.flush()  # copies durable before the originals vanish
+        cached = self._read_handles.pop(victim_id, None)
+        if cached is not None:
+            cached.close()
+        victim = self._segments.pop(victim_id)
+        self._total_bytes -= victim.size
+        try:
+            victim.path.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        self._compact_victim = None
+        self._compact_data = b""
+        self._compact_offset = 0
+        self.compactions += 1
 
     def compact(self) -> None:
-        """Rewrite live records into fresh segments; drop the old files."""
-        old_segments = dict(self._segments)
-        old_index = dict(self._index)
-
-        for handle in self._read_handles.values():
-            handle.close()
-        self._read_handles.clear()
-        self._active_file.close()
-
-        self._active_id = (max(old_segments) + 1) if old_segments else 0
-        self._segments = {}
-        self._index = {}
-        self._total_bytes = 0
-        self._live_bytes = 0
-        self._open_active()
-        # One handle per old segment, records read in (segment, offset)
-        # order — sequential IO instead of an open/seek/close per record.
-        old_handles: dict[int, Any] = {}
-        try:
-            for key, (segment_id, offset, length) in sorted(
-                old_index.items(), key=lambda kv: kv[1]
-            ):
-                handle = old_handles.get(segment_id)
-                if handle is None:
-                    handle = old_handles[segment_id] = open(
-                        old_segments[segment_id].path, "rb"
-                    )
-                handle.seek(offset)
-                frame = handle.read(length)
-                parsed = self._parse_frame(frame, 0)
-                if parsed is None:
-                    raise SpillCorruption(
-                        f"live frame failed integrity checks during compaction "
-                        f"({old_segments[segment_id].path} at offset {offset})"
-                    )
-                new_id, new_offset, new_len = self._append(_KIND_RECORD, parsed[1])
-                self._index[key] = (new_id, new_offset, new_len)
-                self._segments[new_id].live += new_len
-                self._live_bytes += new_len
-        finally:
-            for handle in old_handles.values():
-                handle.close()
-        if self._meta is not None:
-            self._append(
-                _KIND_META, pickle.dumps(self._meta, protocol=pickle.HIGHEST_PROTOCOL)
-            )
-        for segment in old_segments.values():
-            try:
-                segment.path.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-        self.compactions += 1
+        """Run the incremental machinery over every segment present at
+        entry — one full pass.  Copies land in freshly rotated segments,
+        which hold only live frames and are *not* re-drained: a live set
+        larger than ``segment_bytes`` would otherwise be re-copied
+        forever and the call would never return.
+        """
+        entry_max = self._active_id
+        while True:
+            if self._compact_victim is not None:
+                self._compact_step()
+                continue
+            sealed = [sid for sid in self._segments if sid != self._active_id]
+            if not sealed:
+                # Only the active remains; if it is the entry-era one,
+                # seal and drain it once so its dead bytes go too.
+                if self._active_id > entry_max or not self._start_victim():
+                    break
+                continue
+            if min(sealed) > entry_max:
+                break
+            self._start_victim()
 
     # ------------------------------------------------------------------
     def flush(self) -> None:

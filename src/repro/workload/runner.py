@@ -385,6 +385,10 @@ def run_workload(
                 "keyed_envelopes_superseded": (
                     node.acceptor_stats.keyed_envelopes_superseded
                 ),
+                "write_through_persists": node.write_through_persists,
+                "group_commits": node.group_commits,
+                "rejoin_refreshes": node.rejoin_refreshes,
+                "evict_scan_ops": node.evict_scan_ops,
             }
 
     return RunResult(

@@ -1,0 +1,294 @@
+"""Write-through durability edges: persist-before-ack, torn frames,
+stale-recovery refusal and the group-commit window.
+
+The §3.3 safety argument for logless recovery assumes every promise a
+peer has *seen* rests on durable state.  ``durability="write_through"``
+enforces that ordering — the key's triple is put and flushed before the
+handling step's effects escape — so the interesting failures are the
+ones between those two points: a torn frame mid-put (the ack must never
+have escaped), bit-rot discovered at reopen (recovery must refuse, not
+serve garbage), and a store with no clean-shutdown marker from a
+generation that ran *without* write-through (recovery must refuse or
+force a rejoin; serving the stale pairs directly could re-grant
+promises the dead process already gave away).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.config import CrdtPaxosConfig
+from repro.core.keyspace import Keyed, KeyedCrdtReplica
+from repro.core.messages import ClientUpdate, Merge, UpdateDone
+from repro.crdt.gcounter import GCounter, Increment
+from repro.errors import SpillCorruption, StaleRecoveryError
+from repro.storage import InMemorySpillStore, SegmentedSpillStore, VolatileSpillStore
+
+
+def write_through_replica(store, peers=("r0",), **config_kw):
+    return KeyedCrdtReplica(
+        "r0",
+        list(peers),
+        lambda key: GCounter.initial(),
+        CrdtPaxosConfig(durability="write_through", **config_kw),
+        spill_store=store,
+    )
+
+
+def update(replica, key, rid, amount=1):
+    return replica.on_message(
+        "c", Keyed(key=key, message=ClientUpdate(rid, Increment(amount))), 0.0
+    )
+
+
+class _TornStore(SegmentedSpillStore):
+    """Tears the Nth frame append: half the bytes reach the file, then
+    the write "fails" — the moment a kill -9 lands mid-write."""
+
+    def __init__(self, directory, tear_at: int = 10**9, **kwargs):
+        self.tear_at = tear_at
+        self.appends = 0
+        super().__init__(directory, **kwargs)
+
+    def _append(self, kind, body):
+        self.appends += 1
+        if self.appends >= self.tear_at:
+            from repro.storage.segmented import _frame
+
+            frame = _frame(kind, body)
+            self._active_file.write(frame[: max(1, len(frame) // 2)])
+            self._active_file.flush()
+            raise OSError("simulated torn write")
+        return super()._append(kind, body)
+
+
+class TestPersistBeforeAck:
+    def test_ack_escapes_only_after_the_flush(self, tmp_path):
+        """Every send of a write-through handling step happens after the
+        put+flush: the driver executes effects only when the handler
+        returns, and the handler has already flushed by then."""
+        store = SegmentedSpillStore(tmp_path)
+        replica = write_through_replica(store)
+        effects = update(replica, "k", "u1", amount=5)
+        # The ack is in the returned (not yet executed) effects...
+        assert any(
+            isinstance(m.message, UpdateDone) for _, m in effects.sends
+        )
+        # ...and the promise it certifies is already durable on disk.
+        fresh = SegmentedSpillStore(tmp_path)
+        assert fresh.get("k").state.value() == 5
+        fresh.close()
+        store.close()
+
+    def test_torn_put_means_no_ack_escaped(self, tmp_path):
+        """The write tears mid-frame: the handler raises, so its effects
+        — the acceptor's ack included — never reach the driver.  No peer
+        saw a promise the disk does not hold, which is exactly why the
+        reopen below is safe."""
+        store = _TornStore(tmp_path, tear_at=10**9)
+        replica = write_through_replica(store)
+        update(replica, "k", "u1", amount=5)
+        store.tear_at = store.appends + 1  # tear the very next frame
+        with pytest.raises(OSError, match="torn write"):
+            update(replica, "k", "u2", amount=3)
+
+        # A new process opens the directory: the half-written frame is
+        # torn-tail garbage, truncated on replay; the durable state is
+        # exactly what was acked.
+        reopened = SegmentedSpillStore(tmp_path)
+        assert reopened.torn_tail_bytes > 0
+        assert reopened.get("k").state.value() == 5
+        recovered = KeyedCrdtReplica.recover(
+            reopened,
+            "r0",
+            ["r0"],
+            lambda key: GCounter.initial(),
+            CrdtPaxosConfig(durability="write_through"),
+        )
+        assert recovered.state_of("k").value() == 5
+        reopened.close()
+
+    def test_bit_rot_refused_at_recovery(self, tmp_path):
+        """CRC rot in a non-last segment is not torn-write-tolerable:
+        reopening for recovery must raise, never serve a garbled pair."""
+        store = SegmentedSpillStore(tmp_path)
+        replica = write_through_replica(store)
+        for i in range(40):
+            update(replica, f"k{i}", f"u{i}", amount=i + 1)
+        store.close()
+        segments = sorted(pathlib.Path(tmp_path).glob("seg-*.spill"))
+        data = bytearray(segments[0].read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        segments[0].write_bytes(bytes(data))
+        # A later (even empty) segment makes the rotted one non-last.
+        (pathlib.Path(tmp_path) / "seg-99999999.spill").write_bytes(b"")
+        with pytest.raises(SpillCorruption):
+            SegmentedSpillStore(tmp_path)
+
+    def test_write_through_survives_recovery_without_clean_marker(self, tmp_path):
+        """A write-through generation needs no clean shutdown: the store
+        is trustworthy by construction, so recover() must accept it."""
+        store = SegmentedSpillStore(tmp_path)
+        replica = write_through_replica(store)
+        update(replica, "k", "u1", amount=7)
+        # kill -9: no spill_all, no close.
+        reopened = SegmentedSpillStore(tmp_path)
+        meta = reopened.get_meta()
+        assert meta is not None and meta.get("clean_shutdown") is not True
+        recovered = KeyedCrdtReplica.recover(
+            reopened,
+            "r0",
+            ["r0"],
+            lambda key: GCounter.initial(),
+            CrdtPaxosConfig(durability="write_through"),
+        )
+        assert recovered.state_of("k").value() == 7
+        reopened.close()
+        store.close()
+
+
+class TestStaleRecoveryRefusal:
+    def _unclean_store_from_none_generation(self):
+        """A durability='none' generation that spilled records (frozen
+        overflow) and then died without spill_all.  Acceptor-only merge
+        traffic quiesces instantly, so cold keys demote and spill."""
+        store = InMemorySpillStore()
+        replica = KeyedCrdtReplica(
+            "r0",
+            ["r0", "r1", "r2"],
+            lambda key: GCounter.initial(),
+            CrdtPaxosConfig(keyed_max_resident=1, keyed_max_frozen=0),
+            spill_store=store,
+        )
+        for i in range(4):
+            payload = Increment(i + 1).apply(GCounter.initial(), "r1")
+            replica.on_message(
+                "r1",
+                Keyed(key=f"k{i}", message=Merge(request_id=f"m{i}", state=payload)),
+                0.0,
+            )
+        assert len(store) > 0  # eviction really spilled records
+        return store
+
+    def test_unclean_none_durability_store_is_refused(self):
+        """Regression: this store's records may predate promises the
+        dead generation acked after its last spill.  Serving them
+        directly used to be possible; now it raises."""
+        store = self._unclean_store_from_none_generation()
+        with pytest.raises(StaleRecoveryError):
+            KeyedCrdtReplica.recover(
+                store, "r0", ["r0", "r1", "r2"], lambda key: GCounter.initial()
+            )
+
+    def test_rejoin_accepts_and_gates_the_stale_keys(self):
+        store = self._unclean_store_from_none_generation()
+        recovered = KeyedCrdtReplica.recover(
+            store,
+            "r0",
+            ["r0", "r1", "r2"],
+            lambda key: GCounter.initial(),
+            rejoin=True,
+        )
+        assert recovered.rejoin_pending_count() == len(store)
+        # Every recovered key opens a quorum refresh, not normal service.
+        effects = recovered.rejoin()
+        assert len(effects.sends) > 0
+
+    def test_clean_shutdown_recovers_without_rejoin(self):
+        store = InMemorySpillStore()
+        replica = KeyedCrdtReplica(
+            "r0",
+            ["r0", "r1", "r2"],
+            lambda key: GCounter.initial(),
+            CrdtPaxosConfig(keyed_max_resident=1, keyed_max_frozen=0),
+            spill_store=store,
+        )
+        update(replica, "k", "u1")
+        replica.spill_all()
+        recovered = KeyedCrdtReplica.recover(
+            store, "r0", ["r0", "r1", "r2"], lambda key: GCounter.initial()
+        )
+        assert recovered.rejoin_pending_count() == 0
+
+    def test_single_member_rejoin_degenerates_to_plain_recovery(self):
+        """A 1-member group IS its own read quorum: there is no peer to
+        refresh from, so rejoin=True must not strand keys pending."""
+        store = InMemorySpillStore()
+        replica = KeyedCrdtReplica(
+            "r0",
+            ["r0"],
+            lambda key: GCounter.initial(),
+            CrdtPaxosConfig(keyed_max_resident=1, keyed_max_frozen=0),
+            spill_store=store,
+        )
+        update(replica, "a", "u1", amount=2)
+        update(replica, "b", "u2", amount=3)  # demotes + spills "a"
+        recovered = KeyedCrdtReplica.recover(
+            store, "r0", ["r0"], lambda key: GCounter.initial(), rejoin=True
+        )
+        assert recovered.rejoin_pending_count() == 0
+        assert recovered.state_of("a").value() == 2
+
+
+class TestGroupSync:
+    def test_certifying_acks_park_until_the_flush(self):
+        """Under group_sync the put happens in-step but the client's
+        done message waits for the group-commit tick — nothing a learn
+        certificate could rest on escapes before the fsync."""
+        volatile = VolatileSpillStore(InMemorySpillStore())
+        replica = KeyedCrdtReplica(
+            "r0",
+            ["r0"],
+            lambda key: GCounter.initial(),
+            CrdtPaxosConfig(durability="group_sync", durability_sync_window=0.002),
+            spill_store=volatile,
+        )
+        effects = update(replica, "k", "u1", amount=4)
+        assert not any(
+            isinstance(m.message, UpdateDone)
+            for _, m in effects.sends
+            if isinstance(m, Keyed)
+        )
+        assert volatile.delegate.get("k") is None  # not yet fsynced
+        # The sync timer fires: one flush covers the window, the parked
+        # ack is released.
+        released = replica.on_timer("keyspace-sync", 0.002)
+        assert any(
+            isinstance(m.message, UpdateDone) for _, m in released.sends
+        )
+        assert volatile.delegate.get("k").state.value() == 4
+        assert replica.group_commits == 1
+
+    def test_kill_before_the_flush_loses_state_but_leaked_no_ack(self):
+        volatile = VolatileSpillStore(InMemorySpillStore())
+        replica = KeyedCrdtReplica(
+            "r0",
+            ["r0"],
+            lambda key: GCounter.initial(),
+            CrdtPaxosConfig(durability="group_sync"),
+            spill_store=volatile,
+        )
+        update(replica, "k", "u1", amount=4)
+        volatile.crash()  # kill -9 before the sync window closed
+        recovered = KeyedCrdtReplica.recover(
+            volatile,
+            "r0",
+            ["r0"],
+            lambda key: GCounter.initial(),
+            CrdtPaxosConfig(durability="group_sync"),
+            rejoin=True,
+        )
+        # The update is gone — and that is safe, because its UpdateDone
+        # was parked behind the flush and died with the process.
+        assert recovered.state_of("k").value() == 0
+
+    def test_durability_requires_a_spill_store(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            KeyedCrdtReplica(
+                "r0",
+                ["r0"],
+                lambda key: GCounter.initial(),
+                CrdtPaxosConfig(durability="write_through"),
+            )

@@ -14,6 +14,7 @@ from repro.storage import (
     LatencySpillStore,
     SegmentedSpillStore,
     SpillRecord,
+    VolatileSpillStore,
 )
 
 
@@ -23,7 +24,7 @@ def record(value: int = 1) -> SpillRecord:
     )
 
 
-@pytest.fixture(params=["memory", "segmented", "latency"])
+@pytest.fixture(params=["memory", "segmented", "latency", "volatile"])
 def store(request, tmp_path):
     if request.param == "memory":
         yield InMemorySpillStore()
@@ -31,8 +32,10 @@ def store(request, tmp_path):
         backend = SegmentedSpillStore(tmp_path / "spill")
         yield backend
         backend.close()
-    else:
+    elif request.param == "latency":
         yield LatencySpillStore(InMemorySpillStore())
+    else:
+        yield VolatileSpillStore(InMemorySpillStore())
 
 
 class TestContract:
@@ -199,6 +202,10 @@ class TestSegmented:
             SegmentedSpillStore(tmp_path, segment_bytes=16)
         with pytest.raises(ValueError):
             SegmentedSpillStore(tmp_path, compact_ratio=1.5)
+        with pytest.raises(ValueError):
+            SegmentedSpillStore(tmp_path, compaction_step_bytes=100)
+        with pytest.raises(ValueError):
+            SegmentedSpillStore(tmp_path, compact_floor_bytes=-1)
 
     def test_checkpoint_only_workload_still_compacts(self, tmp_path):
         """A cron of spill_all()-style checkpoints writes only meta
@@ -211,6 +218,119 @@ class TestSegmented:
         assert store.total_bytes() < 500 * 512  # old frames reclaimed
         assert store.get_meta()["batch_counter"] == 499
         store.close()
+
+
+class TestIncrementalCompaction:
+    #: Small enough that a modest overwrite workload compacts, with a
+    #: step budget far below the segment size so one compaction takes
+    #: several calls — the window a kill must be able to land in.
+    KW = dict(
+        segment_bytes=4096, compaction_step_bytes=1024, compact_floor_bytes=4096
+    )
+
+    def _churn_until_mid_compaction(self, store) -> None:
+        for i in range(5000):
+            store.put(f"k{i % 40}", record(i + 1))
+            if store._compact_victim is not None and store._compact_offset > 0:
+                return
+        raise AssertionError("workload never caught a compaction mid-victim")
+
+    def test_per_call_work_is_bounded(self, tmp_path):
+        """No put ever pays for a whole segment: a compaction drains its
+        victim across multiple bounded steps instead of one big stall."""
+        store = SegmentedSpillStore(tmp_path, **self.KW)
+        for i in range(3000):
+            store.put(f"k{i % 40}", record(i + 1))
+        assert store.compactions > 0
+        assert store.compaction_steps > store.compactions
+        store.close()
+
+    def test_kill_mid_compaction_reopens_consistently(self, tmp_path):
+        """kill -9 with a victim half-drained: the directory holds the
+        still-present victim AND duplicate copies of some of its frames
+        in a higher segment.  The reopen scan resolves them last-wins, so
+        every key reads back its latest value and the interrupted
+        compaction simply restarts from scratch."""
+        store = SegmentedSpillStore(tmp_path, **self.KW)
+        self._churn_until_mid_compaction(store)
+        expect = {key: store.get(key).state.value() for key in store.keys()}
+        meta = store.get_meta()
+        # The kill: no close, no finishing the victim — a new process
+        # just opens the same directory.
+        reopened = SegmentedSpillStore(tmp_path, **self.KW)
+        assert reopened._compact_victim is None  # cursor died with the process
+        assert {k: reopened.get(k).state.value() for k in reopened.keys()} == expect
+        assert reopened.get_meta() == meta
+        # The survivor keeps compacting and stays fully readable.
+        reopened.compact()
+        assert {k: reopened.get(k).state.value() for k in reopened.keys()} == expect
+        reopened.close()
+        store.close()
+
+    def test_compact_runs_to_completion(self, tmp_path):
+        store = SegmentedSpillStore(tmp_path, **self.KW)
+        for i in range(2000):
+            store.put(f"k{i % 40}", record(i + 1))
+        store.put_meta({"learn_counter": 7})
+        entry_segments = set(store._segments)
+        store.compact()
+        # Every entry-time segment was drained and dropped; what remains
+        # is freshly written copies, so almost nothing is dead (a meta
+        # frame superseded during the pass at most).
+        assert not entry_segments & set(store._segments)
+        assert store.dead_bytes() <= 1024
+        assert len(store) == 40
+        assert store.get("k7").state.value() > 0
+        assert store.get_meta() == {"learn_counter": 7}
+        store.close()
+
+
+class TestVolatile:
+    def test_reads_see_the_unflushed_overlay(self):
+        store = VolatileSpillStore(InMemorySpillStore())
+        store.put("k", record(3))
+        store.put_meta({"learn_counter": 2})
+        assert store.get("k").state.value() == 3
+        assert store.get_meta() == {"learn_counter": 2}
+        assert len(store.delegate) == 0  # nothing durable yet
+        assert store.pending_writes() == 2
+
+    def test_flush_is_the_fsync_point(self):
+        store = VolatileSpillStore(InMemorySpillStore())
+        store.put("a", record(1))
+        store.put("b", record(2))
+        store.delete("a")
+        store.put_meta({"learn_counter": 5})
+        store.flush()
+        assert store.pending_writes() == 0
+        assert store.delegate.get("a") is None
+        assert store.delegate.get("b").state.value() == 2
+        assert store.delegate.get_meta() == {"learn_counter": 5}
+
+    def test_crash_drops_everything_since_the_last_flush(self):
+        store = VolatileSpillStore(InMemorySpillStore())
+        store.put("a", record(1))
+        store.flush()
+        store.put("a", record(99))
+        store.put("b", record(2))
+        store.put_meta({"learn_counter": 9})
+        store.crash()
+        assert store.get("a").state.value() == 1  # pre-flush value survives
+        assert store.get("b") is None
+        assert store.get_meta() is None
+        assert store.crashes == 1
+
+    def test_buffered_delete_shadows_durable_record(self):
+        store = VolatileSpillStore(InMemorySpillStore())
+        store.put("k", record(4))
+        store.flush()
+        assert store.delete("k")
+        assert store.get("k") is None
+        assert "k" not in store
+        assert "k" not in store.keys()
+        # ...but the plug pulled before the flush resurrects it.
+        store.crash()
+        assert store.get("k").state.value() == 4
 
 
 class TestLatencyModel:

@@ -48,6 +48,8 @@ def test_keyed_store():
     out = run_example("keyed_store.py")
     assert "tags:global" in out
     assert "linearizable" in out
+    assert "hard-killed" in out
+    assert "quorum refresh" in out
 
 
 @pytest.mark.slow
