@@ -27,7 +27,13 @@ from dataclasses import dataclass
 from typing import Any, Hashable
 
 from repro.core.keyspace import Keyed
-from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
+from repro.core.messages import (
+    ClientQuery,
+    ClientUpdate,
+    QueryDone,
+    Refused,
+    UpdateDone,
+)
 from repro.crdt.base import QueryOp, UpdateOp
 
 
@@ -48,11 +54,14 @@ UNKEYED: Any = _Unkeyed()
 class Completion:
     """A normalized reply: which request finished, with what outcome.
 
-    ``kind`` is ``"update"`` or ``"read"``.  Query completions carry the
-    protocol's diagnostics (round trips, attempts, fast-path/vote learn,
-    the §3.4 learn sequence); update completions carry the inclusion tag
-    the correctness checker uses.  ``key`` is :data:`UNKEYED` unless the
-    reply arrived wrapped in a ``Keyed`` envelope.
+    ``kind`` is ``"update"``, ``"read"`` or ``"refused"``.  Query
+    completions carry the protocol's diagnostics (round trips, attempts,
+    fast-path/vote learn, the §3.4 learn sequence); update completions
+    carry the inclusion tag the correctness checker uses.  A ``"refused"``
+    completion means the replica gave up gracefully — ``code`` names the
+    obstacle (``"quorum"`` / ``"storage"``) and the operation was *not*
+    performed.  ``key`` is :data:`UNKEYED` unless the reply arrived
+    wrapped in a ``Keyed`` envelope.
     """
 
     request_id: str
@@ -65,6 +74,7 @@ class Completion:
     proposer: str = ""
     learn_seq: int = 0
     key: Any = UNKEYED
+    code: str = ""
 
 
 class RequestIds:
@@ -134,5 +144,13 @@ def parse_completion(message: Any) -> Completion | None:
             proposer=message.proposer,
             learn_seq=message.learn_seq,
             key=key,
+        )
+    if isinstance(message, Refused):
+        return Completion(
+            request_id=message.request_id,
+            kind="refused",
+            learned_via=message.detail,
+            key=key,
+            code=message.code,
         )
     return None

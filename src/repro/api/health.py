@@ -1,0 +1,85 @@
+"""Client-side replica suspicion tracking.
+
+The :class:`~repro.api.store.Store` frontends keep one
+:class:`ReplicaHealth` each and feed it attempt outcomes: a timeout or a
+``Refused`` reply is a *strike*, a completion clears the slate.  Each
+strike suspects the replica for an exponentially growing window (capped),
+so a replica that flaps under a nemesis is probed with rapidly decreasing
+frequency while a genuinely recovered one is re-admitted after a single
+successful probe.
+
+Suspicion is advisory, never exclusionary: suspected replicas sort to
+the *back* of the fail-over rotation (and may get hedged, shortened
+attempt timeouts) but are still tried when nothing healthier answers —
+a client must not partition itself away from the only live replica.
+
+The clock is injected so the same tracker serves the virtual-time
+simulator and the wall-clock asyncio frontend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class ReplicaHealth:
+    """Per-replica strike counter with exponential suspicion windows."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        base_window: float = 0.5,
+        multiplier: float = 2.0,
+        cap: float = 30.0,
+    ) -> None:
+        if base_window <= 0.0:
+            raise ValueError("base_window must be > 0")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+        if cap <= 0.0:
+            raise ValueError("cap must be > 0")
+        self._clock = clock
+        self.base_window = base_window
+        self.multiplier = multiplier
+        self.cap = cap
+        self._suspect_until: dict[str, float] = {}
+        self._strikes: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def record_failure(self, replica: str) -> float:
+        """One strike: (re)suspect with the next exponential window.
+
+        Returns the window length applied.
+        """
+        strikes = self._strikes.get(replica, 0)
+        window = min(self.base_window * self.multiplier**strikes, self.cap)
+        self._strikes[replica] = strikes + 1
+        self._suspect_until[replica] = self._clock() + window
+        return window
+
+    def record_success(self, replica: str) -> None:
+        """A completed request clears suspicion *and* the strike count."""
+        self._suspect_until.pop(replica, None)
+        self._strikes.pop(replica, None)
+
+    # ------------------------------------------------------------------
+    def suspected(self, replica: str) -> bool:
+        """Is the replica inside a suspicion window right now?
+
+        An expired window stops suspecting (the replica gets a probe) but
+        keeps the strike count — a failed probe re-suspects for double.
+        """
+        until = self._suspect_until.get(replica)
+        if until is None:
+            return False
+        if self._clock() >= until:
+            del self._suspect_until[replica]
+            return False
+        return True
+
+    def strikes(self, replica: str) -> int:
+        return self._strikes.get(replica, 0)
+
+    def suspected_replicas(self) -> list[str]:
+        """Currently suspected replicas (sorted, for determinism)."""
+        return sorted(r for r in list(self._suspect_until) if self.suspected(r))

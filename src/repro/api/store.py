@@ -18,10 +18,25 @@ attempts before :class:`~repro.errors.RequestTimeout` is raised.  Stale
 replies to superseded ids are dropped.  Updates are therefore
 at-least-once under fail-over, exactly like the Basho-Bench clients the
 evaluation used.
+
+Fail-over is health-aware: a :class:`~repro.api.health.ReplicaHealth`
+tracker strikes replicas that time out or refuse, suspected replicas
+sort to the back of the rotation (and get hedged, shortened attempt
+timeouts when ``hedge_factor < 1``), and the sticky post-fail-over home
+expires the moment the configured home's suspicion clears — the store
+returns to its configured replica instead of camping on the fail-over
+target forever.  A replica that *refuses* a request (``Refused``, sent
+when its re-drives exhausted without a quorum or a durable write kept
+failing) triggers immediate fail-over; if every attempt is refused the
+store raises the typed, fail-fast
+:class:`~repro.errors.QuorumUnavailable` /
+:class:`~repro.errors.StorageUnavailable` (both ``RequestTimeout``
+subclasses) instead of a generic timeout.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
@@ -42,9 +57,15 @@ from repro.api.handles import (
     ORSetHandle,
     PNCounterHandle,
 )
+from repro.api.health import ReplicaHealth
 from repro.core.keyspace import KeyedCrdtReplica
 from repro.crdt.base import QueryOp, UpdateOp
-from repro.errors import ConfigurationError, RequestTimeout
+from repro.errors import (
+    ConfigurationError,
+    QuorumUnavailable,
+    RequestTimeout,
+    StorageUnavailable,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,6 +129,7 @@ class Store:
         timeout: float = 5.0,
         max_attempts: int | None = None,
         keyed: bool | None = None,
+        hedge_factor: float = 1.0,
     ) -> None:
         self.addresses: list[str] = list(cluster.addresses)
         if not self.addresses:
@@ -121,15 +143,33 @@ class Store:
         )
         if self.max_attempts < 1:
             raise ConfigurationError("max_attempts must be >= 1")
+        if not 0.0 < hedge_factor <= 1.0:
+            raise ConfigurationError("hedge_factor must be in (0, 1]")
+        #: Attempt-timeout multiplier for *suspected* replicas.  Below
+        #: 1.0 the store hedges: it gives a suspect a brief chance and
+        #: moves on, instead of burning the full timeout on a replica
+        #: that failed recently.
+        self.hedge_factor = hedge_factor
         if home is None:
-            self._home_index = 0
+            self._configured_home_index = 0
         else:
             if home not in self.addresses:
                 raise ConfigurationError(
                     f"home replica {home!r} not in {self.addresses}"
                 )
-            self._home_index = self.addresses.index(home)
+            self._configured_home_index = self.addresses.index(home)
+        #: Sticky fail-over target; expires once the configured home's
+        #: suspicion clears (see :meth:`_effective_home_index`).
+        self._sticky_index: int | None = None
+        self.health = ReplicaHealth(self._now)
         self._ids = RequestIds(client)
+        #: ``(replica, code)`` refusals collected by the last ``_submit``.
+        self._last_refusals: list[tuple[str, str]] = []
+
+    def _now(self) -> float:
+        """Clock feeding the health tracker; SimStore overrides with
+        virtual time."""
+        return time.monotonic()
 
     # ------------------------------------------------------------------
     # Typed handles
@@ -173,33 +213,87 @@ class Store:
     # ------------------------------------------------------------------
     # Addressing / fail-over plumbing shared by the frontends
     # ------------------------------------------------------------------
+    def _effective_home_index(self) -> int:
+        """Where the rotation starts: sticky fail-over target while the
+        configured home is suspected, the configured home otherwise.
+
+        This is the stickiness-expiry fix: the old behaviour re-homed the
+        store permanently on fail-over and never returned to the
+        configured replica after it recovered.  Now stickiness lives
+        exactly as long as the home's suspicion window — once the health
+        tracker clears it, the next request goes home first.
+        """
+        if self._sticky_index is not None:
+            home = self.addresses[self._configured_home_index]
+            if self.health.suspected(home):
+                return self._sticky_index
+            self._sticky_index = None  # home recovered: go home again
+        return self._configured_home_index
+
     def _attempt_targets(self, via: str | None) -> list[str]:
-        """The replicas to try, in order: the pin (or home), then
-        round-robin fail-over up to ``max_attempts``."""
+        """The replicas to try, in order: the pin (or effective home),
+        then round-robin fail-over up to ``max_attempts`` — with
+        suspected replicas stably sorted to the back of the rotation.
+
+        An explicit ``via=`` pin is honored verbatim (no reordering):
+        diagnostics must be able to target a suspect on purpose.
+        """
+        n = len(self.addresses)
         if via is not None:
             if via not in self.addresses:
                 raise ConfigurationError(
                     f"replica {via!r} not in {self.addresses}"
                 )
             start = self.addresses.index(via)
-        else:
-            start = self._home_index
-        n = len(self.addresses)
-        return [
+            return [
+                self.addresses[(start + offset) % n]
+                for offset in range(self.max_attempts)
+            ]
+        start = self._effective_home_index()
+        rotation = [
             self.addresses[(start + offset) % n]
             for offset in range(self.max_attempts)
         ]
+        healthy = [r for r in rotation if not self.health.suspected(r)]
+        suspected = [r for r in rotation if self.health.suspected(r)]
+        return healthy + suspected
+
+    def _attempt_timeout(self, replica: str) -> float:
+        """Per-attempt budget: hedged (shortened) on suspected replicas."""
+        if self.hedge_factor < 1.0 and self.health.suspected(replica):
+            return self.timeout * self.hedge_factor
+        return self.timeout
 
     def _note_served(self, replica: str, client_attempts: int) -> None:
-        """Fail-over is sticky: after a timeout the replica that finally
-        answered becomes the new home.  A first-attempt success changes
-        nothing — in particular a one-off ``via=`` pin must not re-home
-        the store away from its configured ``home``."""
+        """Record the success and, after a fail-over, stick to the
+        replica that answered.  A first-attempt success changes nothing —
+        in particular a one-off ``via=`` pin must not re-home the store
+        away from its configured ``home``."""
+        self.health.record_success(replica)
         if client_attempts > 1:
-            self._home_index = self.addresses.index(replica)
+            self._sticky_index = self.addresses.index(replica)
 
-    def _timeout_error(self, kind: str, key: Hashable) -> RequestTimeout:
+    def _note_failed(self, replica: str) -> None:
+        """A timed-out or refused attempt: strike the replica."""
+        self.health.record_failure(replica)
+
+    def _request_failed(self, kind: str, key: Hashable) -> RequestTimeout:
+        """The error for an attempt-exhausted request: typed and
+        fail-fast when replicas *refused* (they proved the condition in
+        bounded time), a plain timeout when they were merely silent."""
         where = "" if key is UNKEYED else f" for key {key!r}"
+        refusals = self._last_refusals
+        if refusals:
+            summary = "; ".join(f"{r}: {code}" for r, code in refusals)
+            if any(code == "quorum" for _, code in refusals):
+                return QuorumUnavailable(
+                    f"{kind}{where} refused — no quorum reachable "
+                    f"({summary})"
+                )
+            return StorageUnavailable(
+                f"{kind}{where} refused — durable writes failing "
+                f"({summary})"
+            )
         return RequestTimeout(
             f"{kind}{where} got no reply from any of "
             f"{self.max_attempts} attempt(s) across {self.addresses} "
@@ -326,6 +420,7 @@ class SimStore(Store):
         timeout: float = 1.0,
         max_attempts: int | None = None,
         keyed: bool | None = None,
+        hedge_factor: float = 1.0,
     ) -> None:
         super().__init__(
             cluster,
@@ -334,6 +429,7 @@ class SimStore(Store):
             timeout=timeout,
             max_attempts=max_attempts,
             keyed=keyed,
+            hedge_factor=hedge_factor,
         )
         # Deferred import keeps repro.api importable without the runtime.
         from repro.runtime.cluster import ClientEndpoint
@@ -345,6 +441,9 @@ class SimStore(Store):
             self._sim, cluster.network, f"store-{client}", self._on_reply
         )
 
+    def _now(self) -> float:
+        return self._sim.now
+
     def _on_reply(self, src: str, message: Any) -> None:
         completion = parse_completion(message)
         if completion is None or completion.request_id != self._pending_id:
@@ -354,6 +453,7 @@ class SimStore(Store):
     def _submit(
         self, compile_fn: Callable[[str], Any], via: str | None
     ) -> tuple[Completion, str, int] | None:
+        self._last_refusals = []
         for client_attempts, replica in enumerate(
             self._attempt_targets(via), start=1
         ):
@@ -361,7 +461,7 @@ class SimStore(Store):
             self._pending_id = request_id
             self._arrived = None
             self._endpoint.send(replica, compile_fn(request_id))
-            deadline = self._sim.now + self.timeout
+            deadline = self._sim.now + self._attempt_timeout(replica)
             while self._arrived is None:
                 if self._sim.now >= deadline:
                     break
@@ -369,9 +469,17 @@ class SimStore(Store):
                     break  # event queue drained: no reply is coming
             completion, self._arrived = self._arrived, None
             self._pending_id = None
-            if completion is not None:
-                self._note_served(replica, client_attempts)
-                return completion, replica, client_attempts
+            if completion is None:
+                self._note_failed(replica)
+                continue
+            if completion.kind == "refused":
+                # The replica gave up in bounded time (quorum or storage)
+                # — fail over immediately, remember why.
+                self._last_refusals.append((replica, completion.code))
+                self._note_failed(replica)
+                continue
+            self._note_served(replica, client_attempts)
+            return completion, replica, client_attempts
         return None
 
     def update(
@@ -382,7 +490,7 @@ class SimStore(Store):
             lambda rid: compile_update(rid, op, key=key), via
         )
         if outcome is None:
-            raise self._timeout_error("update", key)
+            raise self._request_failed("update", key)
         return self._update_receipt(*outcome)
 
     def query(
@@ -393,7 +501,7 @@ class SimStore(Store):
             lambda rid: compile_query(rid, op, key=key), via
         )
         if outcome is None:
-            raise self._timeout_error("query", key)
+            raise self._request_failed("query", key)
         return self._read_receipt(*outcome)
 
     def query_value(
@@ -418,6 +526,7 @@ class AsyncStore(Store):
         timeout: float = 5.0,
         max_attempts: int | None = None,
         keyed: bool | None = None,
+        hedge_factor: float = 1.0,
     ) -> None:
         super().__init__(
             cluster,
@@ -426,26 +535,36 @@ class AsyncStore(Store):
             timeout=timeout,
             max_attempts=max_attempts,
             keyed=keyed,
+            hedge_factor=hedge_factor,
         )
         self._client = cluster.client(client)
 
     async def _submit(
         self, compile_fn: Callable[[str], Any], via: str | None
     ) -> tuple[Completion, str, int] | None:
+        self._last_refusals = []
         for client_attempts, replica in enumerate(
             self._attempt_targets(via), start=1
         ):
             request_id = self._ids.next()
             try:
                 reply = await self._client.request(
-                    replica, compile_fn(request_id), timeout=self.timeout
+                    replica,
+                    compile_fn(request_id),
+                    timeout=self._attempt_timeout(replica),
                 )
             except RequestTimeout:
+                self._note_failed(replica)
                 continue  # fail over to the next replica
             completion = parse_completion(reply)
-            if completion is not None and completion.request_id == request_id:
-                self._note_served(replica, client_attempts)
-                return completion, replica, client_attempts
+            if completion is None or completion.request_id != request_id:
+                continue
+            if completion.kind == "refused":
+                self._last_refusals.append((replica, completion.code))
+                self._note_failed(replica)
+                continue
+            self._note_served(replica, client_attempts)
+            return completion, replica, client_attempts
         return None
 
     async def update(
@@ -456,7 +575,7 @@ class AsyncStore(Store):
             lambda rid: compile_update(rid, op, key=key), via
         )
         if outcome is None:
-            raise self._timeout_error("update", key)
+            raise self._request_failed("update", key)
         return self._update_receipt(*outcome)
 
     async def query(
@@ -467,7 +586,7 @@ class AsyncStore(Store):
             lambda rid: compile_query(rid, op, key=key), via
         )
         if outcome is None:
-            raise self._timeout_error("query", key)
+            raise self._request_failed("query", key)
         return self._read_receipt(*outcome)
 
     async def query_value(

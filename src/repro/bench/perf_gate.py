@@ -27,6 +27,15 @@ baseline snapshot:
   IO time is charged to the replicas' CPUs: absolute durable ops/s, the
   retention ratio against the no-durability run (floored at 25 %) and
   the group-commit batching factor (persists per fsync);
+* **partitioned end-to-end** — the read-heavy closed loop run twice with
+  identical config, once fault-free and once under a
+  :class:`~repro.nemesis.NemesisSchedule` partition cutting one replica
+  away from the majority for the middle half of the steady state:
+  ``e2e_partition_retention`` (partitioned / fault-free ops/s, gated —
+  the majority side plus refusal-driven client fail-over must keep the
+  service well above a quarter of its fault-free throughput) and
+  ``nemesis_recovery_s`` (virtual seconds from the heal to the first
+  completed post-heal operation, trajectory-only);
 * **spill tier** — the frozen-record spill store: keys/second rehydrated
   from a cold segmented file store (index lookup + frame read + CRC +
   decode + admission) and the bounded-RAM churn density (keys per traced
@@ -71,12 +80,14 @@ from repro.core.messages import Merge
 from repro.crdt.base import join_all
 from repro.crdt.gcounter import GCounter, Increment
 from repro.crdt.orset import ORSet
+from repro.nemesis import NemesisSchedule, Partition
+from repro.net.faults import FaultPlan
 from repro.storage import InMemorySpillStore, LatencySpillStore, SegmentedSpillStore
 from repro.workload.runner import run_workload
 from repro.workload.spec import WorkloadSpec
 
 #: This PR's trajectory snapshot (BENCH_PR<N>.json).
-CURRENT_PR = 6
+CURRENT_PR = 7
 
 #: Allowed fractional drop below a baseline value before the gate fails.
 TOLERANCE = 0.20
@@ -98,6 +109,7 @@ GATED_METRICS = (
     "e2e_write_through_ops_s",
     "e2e_write_through_retention",
     "spill_group_commit_batching",
+    "e2e_partition_retention",
 )
 
 
@@ -399,6 +411,7 @@ def run_e2e(quick: bool = True, seed: int = 0) -> dict[str, float]:
             zipf_ops_s=keyed_metrics["e2e_keyed_zipf_ops_s"],
         )
     )
+    metrics.update(run_e2e_partition(quick=quick, seed=seed))
     return metrics
 
 
@@ -519,6 +532,88 @@ def run_e2e_write_through(
     if zipf_ops_s:
         metrics["e2e_write_through_retention"] = ops_s / zipf_ops_s
     return metrics
+
+
+def run_e2e_partition(quick: bool = True, seed: int = 0) -> dict[str, float]:
+    """Graceful degradation under a majority partition (nemesis gate).
+
+    The read-heavy closed loop runs twice with *identical* config — once
+    fault-free, once with a :class:`~repro.nemesis.NemesisSchedule`
+    cutting ``r0`` away from ``{r1, r2}`` for the middle half of the
+    steady state (installed onto the workload runner's
+    :class:`FaultPlan` via ``install_sim``, the same wiring every
+    nemesis scenario uses).  The config arms the resilience machinery
+    the partition exercises: a short ``request_timeout`` plus
+    ``redrive_limit`` so the minority replica answers
+    ``Refused(code="quorum")`` after its bounded re-drive budget, and
+    the closed-loop clients fail over on the refusal instead of burning
+    ``client_timeout`` on silence.  Two metrics come out:
+
+    * ``e2e_partition_retention`` — partitioned / fault-free ops/s,
+      **gated**; the baseline floors this at 0.25 (the ISSUE-7
+      acceptance bound: a third of the clients losing their home for
+      half the run must not halve throughput twice over) in
+      machine-independent form;
+    * ``nemesis_recovery_s`` — virtual seconds from the heal to the
+      first completed post-heal operation, trajectory-only: automatic
+      resumption, measured rather than hoped for.
+    """
+    spec = WorkloadSpec(
+        n_clients=32,
+        read_ratio=0.9,
+        duration=1.2 if quick else 4.0,
+        warmup=0.4 if quick else 1.0,
+        client_timeout=2.0,
+    )
+    # Fail-fast knobs: the refusal (~request_timeout · 2^redrive_limit
+    # rounds ≈ 0.14 s) must land well inside the partition window so
+    # minority-homed clients actually fail over during the fault.
+    config = replace(
+        crdt_paxos_config(), request_timeout=0.02, redrive_limit=2
+    )
+    common = dict(
+        seed=seed,
+        latency=paper_latency(),
+        service_model=service_model_for("crdt-paxos"),
+        crdt_config=config,
+    )
+    fault_free = run_workload("crdt-paxos", spec, **common)
+
+    steady = spec.duration - spec.warmup
+    heal = spec.warmup + 0.75 * steady
+    schedule = NemesisSchedule(
+        "perf_partition_majority",
+        [
+            Partition(
+                start=spec.warmup + 0.25 * steady,
+                until=heal,
+                side_a=frozenset({"r0"}),
+                side_b=frozenset({"r1", "r2"}),
+            )
+        ],
+    )
+    plan = FaultPlan()
+    schedule.install_sim(plan)  # link-only: the runner builds the cluster
+    partitioned = run_workload("crdt-paxos", spec, faults=plan, **common)
+    assert partitioned.client_timeouts > 0, (
+        "the partition never bit (no refusal/timeout fail-overs); "
+        "the retention figure would be meaningless"
+    )
+    post_heal = [
+        record.completed_at
+        for record in partitioned.records
+        if record.completed_at >= heal
+    ]
+    assert post_heal, "no operation completed after the heal"
+    return {
+        "e2e_partition_retention": (
+            partitioned.throughput().median / fault_free.throughput().median
+        ),
+        "nemesis_recovery_s": min(post_heal) - heal,
+        # Trajectory-only diagnostics.
+        "e2e_partition_ops_s": partitioned.throughput().median,
+        "e2e_partition_failovers": float(partitioned.client_timeouts),
+    }
 
 
 # ----------------------------------------------------------------------

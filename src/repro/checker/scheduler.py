@@ -115,6 +115,14 @@ def _stamp_completion(open_requests: dict[str, Any], message: Any, now: float) -
     completion = parse_completion(message)
     if completion is None:
         return
+    if completion.kind == "refused":
+        # A refusal is NOT a completion: the replica gave up (no quorum,
+        # or a failed write-through persist) and the client may retry the
+        # same request verbatim.  The record stays open, so the checkers
+        # treat the operation like any other incomplete one — stamping it
+        # here would fabricate a query "result" of None and fail the
+        # history well-formedness check for a behaviour that is correct.
+        return
     record = open_requests.pop(completion.request_id, None)
     if record is None:
         return
@@ -423,6 +431,8 @@ class KeyedExplorationReport:
     #: Durability-path writes/flushes summed over all node generations.
     write_through_persists: int = 0
     group_commits: int = 0
+    #: Steps refused (acks suppressed) because a persist failed.
+    persist_refusals: int = 0
     #: Cross-key envelope coalescing totals (keyed_coalesce_window).
     keyed_batches_packed: int = 0
     keyed_batches_unpacked: int = 0
@@ -436,6 +446,44 @@ class KeyedExplorationReport:
             and all(q.complete for q in history.queries)
             for history in self.histories.values()
         )
+
+
+@dataclass
+class KeyedNemesisContext:
+    """Handle a nemesis driver uses to act on a keyed adversarial run.
+
+    Passed to the ``begin`` / ``step`` / ``finish`` hooks of the object
+    given to :meth:`KeyedInterleavingExplorer.run` as ``nemesis=``.  The
+    driver mutates the run through it: block links on
+    :attr:`network` (``network.blocked`` / ``network.link_loss``), kill
+    replicas via :meth:`hard_kill` (several calls in one ``step`` model
+    simultaneous kills), or poke spill stores via
+    ``explorer.spill_stores``.  See :mod:`repro.nemesis.campaign` for the
+    schedule-driven driver built on this.
+    """
+
+    explorer: "KeyedInterleavingExplorer"
+    sim: Simulator
+    network: AdversarialNetwork
+    rng: random.Random
+    runtimes: dict[str, "_DirectRuntime"]
+    replica_ids: list[str]
+    report: KeyedExplorationReport
+
+    def hard_kill(self, victim: str) -> None:
+        """kill -9 ``victim`` now (no shutdown hook; rejoin on restart)."""
+        self.explorer._hard_restart(
+            self.runtimes[victim], self.replica_ids, self.report
+        )
+
+    def rejoining(self) -> list[str]:
+        """Replicas with a rejoin in progress (keys not yet refreshed)."""
+        rejoining = []
+        for replica_id, runtime in self.runtimes.items():
+            pending = getattr(runtime.node, "rejoin_pending_count", None)
+            if pending is not None and pending() > 0:
+                rejoining.append(replica_id)
+        return rejoining
 
 
 class KeyedInterleavingExplorer:
@@ -527,6 +575,7 @@ class KeyedInterleavingExplorer:
         report.rejoin_refreshes += node.rejoin_refreshes
         report.write_through_persists += node.write_through_persists
         report.group_commits += node.group_commits
+        report.persist_refusals += node.persist_refusals
 
     def _restart(
         self,
@@ -619,6 +668,7 @@ class KeyedInterleavingExplorer:
         max_steps: int = 200_000,
         restart_at_injection: int | None = None,
         hard_kill_at_injection: int | None = None,
+        nemesis: Any | None = None,
     ) -> KeyedExplorationReport:
         """One adversarial run; ``restart_at_injection`` kills and
         recovers a random replica once that many operations have been
@@ -631,6 +681,15 @@ class KeyedInterleavingExplorer:
         *no* shutdown hook (see :meth:`_hard_restart`): only what the
         durability policy persisted survives, and the fresh node rejoins
         its recovered keys from a read quorum before serving them.
+
+        ``nemesis`` installs a fault driver with ``begin(ctx)`` /
+        ``step(ctx) -> bool`` / ``finish(ctx)`` hooks over a
+        :class:`KeyedNemesisContext`.  ``step`` runs once per scheduler
+        iteration before anything else; returning ``True`` consumes the
+        step (the driver acted).  ``finish`` runs after the main loop and
+        must heal whatever it broke — the explorer then releases any
+        envelopes parked on blocked links and quiesces, so every run ends
+        with a healed network regardless of the schedule's shape.
         """
         if restart_at_injection is not None and self.spill_factory is None:
             raise ValueError("restart_at_injection requires a spill_factory")
@@ -676,10 +735,25 @@ class KeyedInterleavingExplorer:
         def timer_targets() -> list[_DirectRuntime]:
             return [r for r in runtimes.values() if r.pending_timers]
 
+        nemesis_ctx = None
+        if nemesis is not None:
+            nemesis_ctx = KeyedNemesisContext(
+                explorer=self,
+                sim=sim,
+                network=network,
+                rng=rng,
+                runtimes=runtimes,
+                replica_ids=replica_ids,
+                report=report,
+            )
+            nemesis.begin(nemesis_ctx)
+
         while report.steps < max_steps and (
             plan or network.pending or timer_targets()
         ):
             report.steps += 1
+            if nemesis_ctx is not None and nemesis.step(nemesis_ctx):
+                continue
             if (
                 restart_at_injection is not None
                 and report.restarts == 0
@@ -722,9 +796,17 @@ class KeyedInterleavingExplorer:
             if network.deliver_random(drop_probability, duplicate_probability):
                 report.deliveries += 1
 
-        # Quiesce: drain, then alternate firing armed timers with full
-        # drains until a fixpoint (flush/retry timers stop re-arming once
-        # buffers, pipelines and parked retries are empty).
+        # Quiesce: heal the nemesis, then drain, then alternate firing
+        # armed timers with full drains until a fixpoint (flush/retry
+        # timers stop re-arming once buffers, pipelines and parked
+        # retries are empty).  Envelopes parked on blocked links are
+        # released *into* the pool rather than dropped — delivering the
+        # pre-partition traffic after the heal is strictly more hostile.
+        if nemesis_ctx is not None:
+            nemesis.finish(nemesis_ctx)
+        network.blocked = None
+        network.link_loss = None
+        network.release_held()
         network.drain(max_deliveries=max_steps)
         for _ in range(200):
             fired = False

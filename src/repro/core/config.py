@@ -64,6 +64,24 @@ class CrdtPaxosConfig:
     ``retry_backoff``
         Delay before a failed query attempt is retried.  0 retries
         immediately, which matches the evaluation's behaviour.
+    ``backoff_multiplier`` / ``backoff_cap`` / ``backoff_jitter``
+        Adaptive supervision: each fruitless re-drive round (an update
+        timeout with no new MERGED ack, a query timeout, a contended query
+        retry, a rejoin re-broadcast that learned nothing) multiplies the
+        next delay by ``backoff_multiplier``, capped at ``backoff_cap``
+        seconds, with a deterministic per-request jitter of up to
+        ``backoff_jitter`` (fraction of the delay) to de-synchronize
+        duelling proposers (§3.5 observes growing timeouts restore
+        liveness).  Progress — a new ack from a previously silent peer —
+        resets the round counter.  ``backoff_multiplier=1.0`` reproduces
+        the old fixed timers.
+    ``redrive_limit``
+        Give up gracefully: after this many consecutive fruitless re-drive
+        rounds the proposer abandons the request and answers the client
+        with ``Refused(code="quorum")`` instead of re-driving forever —
+        the fail-fast half of partition tolerance.  ``None`` (default)
+        keeps the retry-forever behaviour (correct, but a client behind a
+        durable partition only ever observes its own timeout).
     ``inclusion_tagger``
         Optional extractor of inclusion tokens for the correctness checker
         (see :class:`~repro.core.messages.UpdateDone`).
@@ -124,6 +142,10 @@ class CrdtPaxosConfig:
     retry_prepare: str = "incremental"
     retry_backoff: float = 0.0
     request_timeout: float | None = 1.0
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 30.0
+    backoff_jitter: float = 0.1
+    redrive_limit: int | None = None
     gla_stability: bool = False
     fast_path: bool = True
     include_state_in_prepare: bool = True
@@ -151,6 +173,20 @@ class CrdtPaxosConfig:
             )
         if self.retry_backoff < 0:
             raise ConfigurationError("retry_backoff must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1.0, got {self.backoff_multiplier}"
+            )
+        if self.backoff_cap <= 0:
+            raise ConfigurationError("backoff_cap must be positive")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigurationError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
+        if self.redrive_limit is not None and self.redrive_limit < 1:
+            raise ConfigurationError(
+                f"redrive_limit must be >= 1 or None, got {self.redrive_limit}"
+            )
         if self.request_timeout is not None and self.request_timeout <= 0:
             raise ConfigurationError("request_timeout must be positive or None")
         if self.keyed_max_resident is not None and self.keyed_max_resident < 1:

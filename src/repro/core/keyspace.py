@@ -105,6 +105,7 @@ shipping — before it serves traffic again (:meth:`rejoin`).
 from __future__ import annotations
 
 import heapq
+import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
@@ -118,6 +119,7 @@ from repro.core.messages import (
     PrepareAck,
     PrepareNack,
     QueryDone,
+    Refused,
     UpdateDone,
     Voted,
 )
@@ -125,7 +127,7 @@ from repro.core.proposer import Proposer, ProposerShared, ProposerStats
 from repro.core.rounds import Round
 from repro.core.router import dispatch_peer_message
 from repro.crdt.base import StateCRDT
-from repro.errors import ConfigurationError, StaleRecoveryError
+from repro.errors import ConfigurationError, StaleRecoveryError, StorageUnavailable
 from repro.net.message import ENVELOPE_OVERHEAD_BYTES
 from repro.net.message import wire_size as _wire_size
 from repro.net.node import Effects, ProtocolNode
@@ -268,12 +270,16 @@ class _RejoinState:
     until then — a possibly-stale pair must not grant promises or votes.
     """
 
-    __slots__ = ("request_id", "replied", "buffered")
+    __slots__ = ("request_id", "replied", "buffered", "rounds")
 
     def __init__(self, request_id: str) -> None:
         self.request_id = request_id
         self.replied: set[str] = set()
         self.buffered: list[tuple[str, Any]] = []
+        #: Consecutive fruitless re-broadcast rounds (no new peer replied
+        #: since the last one) — drives the jittered exponential backoff
+        #: on the re-drive timer; reset whenever a new peer answers.
+        self.rounds = 0
 
 
 class KeyedCrdtReplica(ProtocolNode):
@@ -399,6 +405,10 @@ class KeyedCrdtReplica(ProtocolNode):
         self.write_through_persists = 0
         self.group_commits = 0
         self.rejoin_refreshes = 0
+        #: Handling steps whose persist failed: certifying acks were
+        #: suppressed and client completions answered with
+        #: ``Refused(code="storage")`` instead of escaping un-durable.
+        self.persist_refusals = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -708,9 +718,17 @@ class KeyedCrdtReplica(ProtocolNode):
         overflow = len(self._frozen) - cap
         for key in list(self._frozen)[:overflow]:
             frozen = self._frozen.pop(key)
-            store.put(
-                key, SpillRecord(frozen.state, frozen.round, frozen.learned_max)
-            )
+            try:
+                store.put(
+                    key, SpillRecord(frozen.state, frozen.round, frozen.learned_max)
+                )
+            except (StorageUnavailable, OSError):
+                # Disk brownout: keep the record in RAM (the frozen cap
+                # is soft, like the resident one) and stop demoting —
+                # the store is sick, later pressure retries.
+                self._frozen[key] = frozen
+                self.persist_refusals += 1
+                return
             self.spills += 1
 
     def spill_all(self) -> Effects:
@@ -871,7 +889,8 @@ class KeyedCrdtReplica(ProtocolNode):
         # this method yet (sans-io — the driver executes them after we
         # return), so writing the key's triple here is the log-less
         # analogue of an acceptor fsyncing before its reply escapes.
-        self._persist_step(key, instance)
+        if not self._persist_step(key, instance):
+            effects = self._suppress_unpersisted(effects)
         wrapped = self._wrap(key, effects)
         self._evict_excess()
         return wrapped
@@ -919,8 +938,11 @@ class KeyedCrdtReplica(ProtocolNode):
                 return Effects()  # refresh completed; stale re-drive
             instance = self.instance(candidate, now)
             effects = Effects()
+            # The previous round expired with no quorum: back off.
+            state.rounds += 1
             self._rejoin_broadcast(instance, state, effects)
-            self._persist_step(candidate, instance)
+            if not self._persist_step(candidate, instance):
+                effects = self._suppress_unpersisted(effects)
             wrapped = self._wrap(candidate, effects)
             self._evict_excess()
             return wrapped
@@ -929,7 +951,8 @@ class KeyedCrdtReplica(ProtocolNode):
             return Effects()
         self._note_touch(candidate, instance, now)
         effects = instance.proposer.on_timer(proposer_key, now)
-        self._persist_step(candidate, instance)
+        if not self._persist_step(candidate, instance):
+            effects = self._suppress_unpersisted(effects)
         wrapped = self._wrap(candidate, effects)
         self._evict_excess()
         return wrapped
@@ -1030,7 +1053,7 @@ class KeyedCrdtReplica(ProtocolNode):
     # ------------------------------------------------------------------
     # Write-through durability
     # ------------------------------------------------------------------
-    def _persist_step(self, key: Hashable, inst: _KeyInstance) -> None:
+    def _persist_step(self, key: Hashable, inst: _KeyInstance) -> bool:
         """Persist the key's triple after a handling step, before its
         effects escape (called between the handler and :meth:`_wrap`).
 
@@ -1041,14 +1064,27 @@ class KeyedCrdtReplica(ProtocolNode):
         via leased meta snapshots (:meth:`_lease_counters`), so a learn
         sequence number in an escaped QUERY-DONE can never be reissued
         by the next generation.
+
+        Returns False when the persist (put or flush) *failed*: the
+        durable stamp is dropped — the next step re-persists from scratch
+        once the store heals — and the caller must run the step's effects
+        through :meth:`_suppress_unpersisted` so no ack escapes resting
+        on state that never reached disk.  An IO fault degrades the
+        replica, it never crashes it.
         """
         if self._durability == "none":
             if self._dirty_marked:
                 # A rejoin generation on an unclean store still leases
                 # its counters — identifiers must not be reused even if
-                # record persistence stays demotion-driven.
-                self._lease_counters()
-            return
+                # record persistence stays demotion-driven.  A lease
+                # failure here is retried on the next step (no ack rests
+                # on the lease; only identifier uniqueness does, and the
+                # watermark is unchanged on failure).
+                try:
+                    self._lease_counters()
+                except (StorageUnavailable, OSError):
+                    pass
+            return True
         store = self._spill_store
         acceptor = inst.acceptor
         proposer = inst.proposer
@@ -1061,17 +1097,67 @@ class KeyedCrdtReplica(ProtocolNode):
             and acceptor.round == stamp[1]
             and learned_max is stamp[2]
         )
-        if dirty:
-            store.put(key, SpillRecord(acceptor.state, acceptor.round, learned_max))
-            self._durable_stamps[key] = (acceptor.state, acceptor.round, learned_max)
-            self.write_through_persists += 1
-        leased = self._lease_counters()
-        if not (dirty or leased):
-            return
-        if self._durability == "write_through":
-            store.flush()
-        else:
-            self._sync_dirty = True
+        try:
+            if dirty:
+                store.put(
+                    key, SpillRecord(acceptor.state, acceptor.round, learned_max)
+                )
+                self._durable_stamps[key] = (
+                    acceptor.state,
+                    acceptor.round,
+                    learned_max,
+                )
+                self.write_through_persists += 1
+            leased = self._lease_counters()
+            if not (dirty or leased):
+                return True
+            if self._durability == "write_through":
+                store.flush()
+            else:
+                self._sync_dirty = True
+            return True
+        except (StorageUnavailable, OSError):
+            # The put may have half-landed or the flush may have been
+            # lost; either way nothing durable is certain past the last
+            # *successful* flush.  Dropping the stamp forces the next
+            # step on this key to re-put and re-flush the full triple.
+            self._durable_stamps.pop(key, None)
+            self.persist_refusals += 1
+            return False
+
+    def _suppress_unpersisted(self, effects: Effects) -> Effects:
+        """Strip a failed-persist step's effects of everything that would
+        promise durability.
+
+        Certifying peer acks (MERGED / PREPARE-ACK / VOTED) are dropped —
+        indistinguishable from message loss, which peers already tolerate
+        by re-driving.  Client completions become ``Refused(code=
+        "storage")``: the operation may have applied in RAM, but its
+        durability was never certified, so the client must not be told
+        it completed (it may retry verbatim — merges are idempotent).
+        Requests, nacks and timers flow: re-drives are exactly how the
+        replica resumes service once the store heals.
+        """
+        safe = Effects()
+        for dst, message in effects.sends:
+            if isinstance(message, (UpdateDone, QueryDone)):
+                safe.send(
+                    dst,
+                    Refused(
+                        request_id=message.request_id,
+                        code="storage",
+                        detail="write-through persist failed",
+                    ),
+                )
+            elif isinstance(message, _CERTIFYING):
+                continue  # dropped: peers re-drive (loss-tolerant)
+            else:
+                safe.send(dst, message)
+        for timer_key, delay in effects.timers:
+            safe.set_timer(timer_key, delay)
+        for timer_key in effects.cancels:
+            safe.cancel_timer(timer_key)
+        return safe
 
     def _lease_counters(self) -> bool:
         """Persist counter watermarks with a lease margin when exceeded."""
@@ -1113,11 +1199,23 @@ class KeyedCrdtReplica(ProtocolNode):
 
     def _sync_commit(self) -> Effects:
         """Group-commit tick: one flush covers the window, then every
-        parked certifying ack is released (it now attests durable state)."""
+        parked certifying ack is released (it now attests durable state).
+
+        A failed flush releases *nothing*: the parked acks stay parked
+        and the tick re-arms — the replica keeps retrying on the sync
+        cadence and the acks go out on the first flush that succeeds
+        after the store heals.
+        """
         self._sync_armed = False
         effects = Effects()
         if self._sync_dirty:
-            self._spill_store.flush()
+            try:
+                self._spill_store.flush()
+            except (StorageUnavailable, OSError):
+                self.persist_refusals += 1
+                self._sync_armed = True
+                effects.set_timer(_SYNC_TIMER, self.config.durability_sync_window)
+                return effects
             self._sync_dirty = False
             self.group_commits += 1
         parked, self._sync_parked = self._sync_parked, []
@@ -1214,6 +1312,13 @@ class KeyedCrdtReplica(ProtocolNode):
         NACK — both carry ``(round, state)``) returns the peer's pair to
         fold in.  The locally stored payload is shipped when configured:
         it was durable, so disseminating it can only help convergence.
+
+        The re-drive timer backs off exponentially with each fruitless
+        round (``config.backoff_multiplier`` / ``backoff_cap`` /
+        ``backoff_jitter``) so a rejoin pinned behind sustained loss or
+        a partition re-broadcasts a handful of times, not once per fixed
+        timeout forever; a new peer reply resets the cadence
+        (:meth:`_on_rejoin_reply`).
         """
         prepare = Prepare(
             request_id=state.request_id,
@@ -1228,7 +1333,19 @@ class KeyedCrdtReplica(ProtocolNode):
         for dst in self._remote_peers:
             effects.send(dst, prepare)
         if self.config.request_timeout is not None:
-            effects.set_timer(_REJOIN_TIMER, self.config.request_timeout)
+            config = self.config
+            delay = min(
+                config.request_timeout * config.backoff_multiplier**state.rounds,
+                config.backoff_cap,
+            )
+            if config.backoff_jitter > 0.0:
+                # Deterministic per-(refresh, round) jitter: hash() is
+                # salted per process, so a CRC keeps seeded runs
+                # bit-identical while de-synchronizing replicas.
+                token = f"{state.request_id}:{state.rounds}"
+                frac = (zlib.crc32(token.encode()) % 1000) / 999.0
+                delay *= 1.0 + config.backoff_jitter * frac
+            effects.set_timer(_REJOIN_TIMER, delay)
 
     def _on_rejoin_reply(
         self,
@@ -1243,7 +1360,11 @@ class KeyedCrdtReplica(ProtocolNode):
         acceptor.state = acceptor.state.join(inner.state)
         if inner.round.number > acceptor.round.number:
             acceptor.round = inner.round
-        state.replied.add(src)
+        if src not in state.replied:
+            state.replied.add(src)
+            # Progress: a previously silent peer answered — re-broadcasts
+            # (if still needed) return to the base cadence.
+            state.rounds = 0
         effects = Effects()
         if not self.quorum.is_quorum(state.replied | {self.node_id}):
             return effects

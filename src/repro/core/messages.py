@@ -114,6 +114,27 @@ class QueryDone:
         return 8 + _wire_size(self.result) + 20
 
 
+@dataclass(frozen=True, slots=True)
+class Refused:
+    """The replica gave up on a request and says so instead of going dark.
+
+    ``code`` names the provable obstacle: ``"quorum"`` (the proposer's
+    bounded re-drive budget expired without assembling a quorum — §2.1
+    liveness needs a majority, and none is answering) or ``"storage"``
+    (a ``write_through`` persist failed, so the ack that would promise
+    durability is withheld).  A refusal is *not* a completion: the
+    operation may be retried verbatim once the fault heals, and nothing
+    about it has been promised to the client.
+    """
+
+    request_id: str
+    code: str
+    detail: str = ""
+
+    def wire_size(self) -> int:
+        return 8 + len(self.code) + len(self.detail)
+
+
 # ----------------------------------------------------------------------
 # Proposer → acceptor (and replies)
 # ----------------------------------------------------------------------

@@ -64,6 +64,7 @@ skipped.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -76,6 +77,7 @@ from repro.core.messages import (
     PrepareAck,
     PrepareNack,
     QueryDone,
+    Refused,
     UpdateDone,
     Vote,
     Voted,
@@ -117,6 +119,9 @@ class _UpdateBatch:
     #: Delta-mode re-drive payload: the batch delta plus the deltas of
     #: every update batch started while this one was in flight.
     redrive: MergeAccumulator | None = None
+    #: Consecutive fruitless re-drive rounds (no new MERGED ack since the
+    #: last timeout); drives the exponential backoff and the give-up limit.
+    redrive_rounds: int = 0
 
 
 @dataclass
@@ -133,6 +138,9 @@ class _QueryBatch:
     max_round_number: int = 0
     round_trips: int = 0
     retry_kind: str = "incremental"
+    #: Consecutive fruitless supervision rounds (query timeouts with no
+    #: intervening PREPARE-ACK); see ``_UpdateBatch.redrive_rounds``.
+    redrive_rounds: int = 0
 
     @property
     def accumulated(self) -> StateCRDT:
@@ -156,6 +164,7 @@ class ProposerStats:
         "prepare_retries",
         "vote_retries",
         "timeouts",
+        "quorum_refusals",
         "max_update_pipeline",
         "pipeline_stalls",
     )
@@ -168,6 +177,9 @@ class ProposerStats:
         self.prepare_retries = 0
         self.vote_retries = 0
         self.timeouts = 0
+        #: Requests abandoned with ``Refused(code="quorum")`` after the
+        #: ``redrive_limit`` was exhausted without reaching a quorum.
+        self.quorum_refusals = 0
         #: Deepest concurrent-update-batch pipeline observed.
         self.max_update_pipeline = 0
         #: Ticks/commands where a full pipeline window held a batch back.
@@ -495,7 +507,11 @@ class Proposer:
         batch = self._update_batches.get(msg.request_id)
         if batch is None:
             return Effects()
-        batch.acked.add(src)
+        if src not in batch.acked:
+            batch.acked.add(src)
+            # Progress: a previously silent peer answered — reset the
+            # supervision backoff so re-drives stay snappy.
+            batch.redrive_rounds = 0
         if self._quorum.is_quorum(batch.acked):
             return self._complete_update(batch)
         return Effects()
@@ -586,6 +602,13 @@ class Proposer:
         batch = self._current(msg.request_id, msg.attempt)
         if batch is None or batch.phase != "prepare":
             return Effects()
+        if src != self.node_id and src not in batch.acks:
+            # Progress means a *peer* answered.  The co-located acceptor
+            # acks synchronously on every fresh attempt, so counting it
+            # would reset the supervision backoff each re-drive and a
+            # partitioned minority proposer would re-prepare forever
+            # instead of refusing at ``redrive_limit``.
+            batch.redrive_rounds = 0  # see on_merged
         batch.acks[src] = (msg.round, msg.state)
         batch.accumulator.add(msg.state)
         batch.max_round_number = max(batch.max_round_number, msg.round.number)
@@ -657,10 +680,29 @@ class Proposer:
         self.stats.vote_retries += 1
         return self._retry(batch, self._config.retry_prepare)
 
+    def _backoff_delay(self, base: float, rounds: int, token: str) -> float:
+        """Jittered exponential backoff: ``base · multiplier^rounds``.
+
+        Capped at ``backoff_cap``; the jitter fraction is derived from a
+        CRC over ``token`` so it de-synchronizes duelling proposers (every
+        token embeds the node id) while staying bit-identical across
+        seeded runs (``hash()`` is salted per process, so it cannot be
+        used here).
+        """
+        config = self._config
+        delay = min(base * config.backoff_multiplier**rounds, config.backoff_cap)
+        if config.backoff_jitter > 0.0:
+            frac = (zlib.crc32(token.encode()) % 1000) / 999.0
+            delay *= 1.0 + config.backoff_jitter * frac
+        return delay
+
     def _retry(self, batch: _QueryBatch, kind: str) -> Effects:
         if self._config.retry_backoff > 0:
             # Park the batch; replies from the aborted attempt are ignored
-            # by the phase guards until the retry timer fires.
+            # by the phase guards until the retry timer fires.  The delay
+            # grows exponentially with the attempt count (§3.5: growing
+            # periods let duelling proposers drift apart) — the first
+            # retry keeps the classic ``retry_backoff · backoff_factor``.
             batch.phase = "backoff"
             batch.proposed = None
             batch.sent_round = None
@@ -668,7 +710,11 @@ class Proposer:
             effects = Effects()
             effects.set_timer(
                 f"retry:{batch.batch_id}",
-                self._config.retry_backoff * self._shared.backoff_factor,
+                self._backoff_delay(
+                    self._config.retry_backoff * self._shared.backoff_factor,
+                    max(batch.attempt - 1, 0),
+                    f"{batch.batch_id}:r{batch.attempt}",
+                ),
             )
             return effects
         return self._start_attempt(batch, kind)
@@ -730,6 +776,10 @@ class Proposer:
         if batch is None:
             return Effects()
         self.stats.timeouts += 1
+        limit = self._config.redrive_limit
+        if limit is not None and batch.redrive_rounds >= limit:
+            return self._refuse_update(batch)
+        batch.redrive_rounds += 1
         effects = Effects()
         # Re-drive freshness: never resend the original (possibly stale)
         # batch payload.  The current acceptor state — or, in delta mode,
@@ -743,7 +793,14 @@ class Proposer:
         for peer in self._remotes:
             if peer not in batch.acked:
                 effects.send(peer, message)
-        effects.set_timer(f"uto:{batch_id}", self._config.request_timeout or 1.0)
+        effects.set_timer(
+            f"uto:{batch_id}",
+            self._backoff_delay(
+                self._config.request_timeout or 1.0,
+                batch.redrive_rounds,
+                f"{batch_id}:u{batch.redrive_rounds}",
+            ),
+        )
         return effects
 
     def _on_query_timeout(self, batch_id: str) -> Effects:
@@ -751,7 +808,74 @@ class Proposer:
         if batch is None:
             return Effects()
         self.stats.timeouts += 1
+        limit = self._config.redrive_limit
+        if limit is not None and batch.redrive_rounds >= limit:
+            return self._refuse_query(batch)
+        batch.redrive_rounds += 1
         effects = self._start_attempt(batch, self._config.retry_prepare)
         if batch_id in self._query_batches:
-            effects.set_timer(f"qto:{batch_id}", self._config.request_timeout or 1.0)
+            effects.set_timer(
+                f"qto:{batch_id}",
+                self._backoff_delay(
+                    self._config.request_timeout or 1.0,
+                    batch.redrive_rounds,
+                    f"{batch_id}:q{batch.redrive_rounds}",
+                ),
+            )
+        return effects
+
+    # ------------------------------------------------------------------
+    # Graceful refusal (redrive_limit exhausted without a quorum)
+    # ------------------------------------------------------------------
+    def _refuse_update(self, batch: _UpdateBatch) -> Effects:
+        """Give up on an update batch: tell every waiting client *why*.
+
+        Safe at any point: the updates are already applied at the local
+        acceptor and may yet reach a quorum through later merges — the
+        refusal only says "not promised durable"; no completion is
+        fabricated and the client may retry verbatim (CRDT merges are
+        idempotent, so a duplicate apply is harmless).
+        """
+        effects = Effects()
+        del self._update_batches[batch.batch_id]
+        effects.cancel_timer(f"uto:{batch.batch_id}")
+        missing = len(self._remotes) + 1 - len(batch.acked)
+        for item in batch.items:
+            effects.send(
+                item.client,
+                Refused(
+                    request_id=item.request_id,
+                    code="quorum",
+                    detail=f"no quorum after {batch.redrive_rounds} re-drives "
+                    f"({missing} peers silent)",
+                ),
+            )
+            self.stats.quorum_refusals += 1
+        self._updates_in_flight -= 1
+        if (
+            not self._config.batching
+            and self._update_buffer
+            and self._updates_in_flight < self._config.update_pipeline
+        ):
+            effects.merge(self._start_update_batch([self._update_buffer.pop(0)]))
+        return effects
+
+    def _refuse_query(self, batch: _QueryBatch) -> Effects:
+        """Give up on a query batch — nothing was learned, nothing is lost."""
+        effects = Effects()
+        del self._query_batches[batch.batch_id]
+        effects.cancel_timer(f"qto:{batch.batch_id}")
+        effects.cancel_timer(f"retry:{batch.batch_id}")
+        for item in batch.items:
+            effects.send(
+                item.client,
+                Refused(
+                    request_id=item.request_id,
+                    code="quorum",
+                    detail=f"no prepare quorum after {batch.redrive_rounds} "
+                    f"supervision rounds",
+                ),
+            )
+            self.stats.quorum_refusals += 1
+        self._query_in_flight = False
         return effects

@@ -44,6 +44,28 @@ class NotLeader(ReproError):
     """A leader-based protocol rejected a request at a non-leader node."""
 
 
+class QuorumUnavailable(RequestTimeout):
+    """A replica gave up on a request because no quorum is reachable.
+
+    Raised by the :class:`~repro.api.store.Store` frontends when a replica
+    answers with a ``Refused(code="quorum")`` — the proposer exhausted its
+    bounded re-drive budget without assembling a quorum, so failing over to
+    another replica of the *same* group is pointless.  Subclasses
+    :class:`RequestTimeout` so existing "the request did not complete"
+    handlers keep working; new code can catch it for the sharper diagnosis.
+    """
+
+
+class StorageUnavailable(RequestTimeout):
+    """A durable write could not be persisted, so its ack was withheld.
+
+    Raised by the spill-store layer when a ``write_through`` persist fails
+    (injected or real IO fault) and surfaced by the ``Store`` frontends
+    when every attempted replica answered ``Refused(code="storage")``.
+    The protocol state itself is fine — retry once the store heals.
+    """
+
+
 class SerializationError(ReproError):
     """A durable record could not be encoded or decoded.
 

@@ -1,0 +1,95 @@
+"""Fault model & nemesis.
+
+This package is the repo's fault-injection surface: declarative,
+seed-deterministic fault schedules that compose into named scenarios and
+install onto both execution stacks — the latency-model simulator
+(:class:`~repro.runtime.cluster.SimCluster` over a
+:class:`~repro.net.faults.FaultPlan`) and the checker's adversarial
+explorer (:class:`~repro.checker.scheduler.KeyedInterleavingExplorer`).
+
+Fault model
+===========
+
+The faults the nemesis can inject, and what each is allowed to break:
+
+**Network** — symmetric and one-way :class:`Partition` windows,
+:class:`LossBurst` / :class:`DuplicationBurst` probabilities, and
+per-link :class:`DelaySpike` jitter.  These only exercise the paper's
+§2.1 asynchrony assumptions: messages may be delayed, reordered,
+duplicated or lost, but never corrupted.  A healed partition delivers
+its parked backlog (strictly more hostile than dropping it).
+
+**Process** — :class:`Crash` pauses a replica with state intact (the
+crash-recovery model: timers are lost, RAM survives); :class:`HardKill`
+is kill -9: RAM dies, the process restarts from whatever its durability
+policy persisted and *rejoins* — every recovered key is refreshed from
+a read quorum (a §3.3 prepare) before it serves traffic.
+
+**Storage** — :class:`IoFault` brownout windows during which a
+replica's :class:`~repro.storage.faulty.FaultySpillStore` fails every
+put/fsync (optionally as torn partial writes).  The replica must uphold
+persist-before-ack: a failed ``write_through`` persist refuses the
+step's acks — peers see silence and re-drive, clients see
+``Refused(code="storage")`` — and never lets an unpersisted promise
+escape.
+
+Degradation contract
+====================
+
+Under any schedule the system degrades *gracefully* and recovers
+*automatically*:
+
+* Proposer re-drives and rejoin re-broadcasts back off exponentially
+  with deterministic jitter (``backoff_multiplier`` / ``backoff_cap`` /
+  ``backoff_jitter`` on the config), resetting on first progress — no
+  retry storms into a dead link, no sulking through a healed one.
+* With ``redrive_limit`` set, a replica that cannot assemble a quorum
+  refuses in bounded time: clients get
+  :class:`~repro.errors.QuorumUnavailable` (via ``Refused``) rather
+  than hanging forever.  Storage faults surface as
+  :class:`~repro.errors.StorageUnavailable` the same way.
+* The :class:`~repro.api.store.Store` client tracks per-replica
+  suspicion and fails over away from refusing/silent replicas,
+  returning home once suspicion clears.
+* After :meth:`NemesisSchedule.heal_time` every scenario must serve
+  fresh client requests with no manual intervention — the scenario
+  campaigns assert it, under the per-key lattice-linearizability and
+  §3.4 GLA-monotonicity oracles.
+
+Use :func:`scenario`/:data:`SCENARIOS` for the named schedules,
+:meth:`NemesisSchedule.install_sim` for the latency path, and
+:class:`KeyedNemesis` (or :class:`KillDuringRejoin`) for the explorer
+path.
+"""
+
+from repro.nemesis.campaign import KeyedNemesis, KillDuringRejoin
+from repro.nemesis.schedule import (
+    Crash,
+    DelaySpike,
+    DuplicationBurst,
+    HardKill,
+    IoFault,
+    LossBurst,
+    NemesisEvent,
+    NemesisSchedule,
+    Partition,
+)
+from repro.nemesis.scenarios import SCENARIOS, scenario
+from repro.storage.faulty import FaultySpillStore
+
+__all__ = [
+    "Partition",
+    "LossBurst",
+    "DuplicationBurst",
+    "DelaySpike",
+    "Crash",
+    "HardKill",
+    "IoFault",
+    "NemesisEvent",
+    "NemesisSchedule",
+    "SCENARIOS",
+    "scenario",
+    "KeyedNemesis",
+    "KillDuringRejoin",
+    "FaultySpillStore",
+]

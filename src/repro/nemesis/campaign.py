@@ -1,0 +1,244 @@
+"""Nemesis drivers for the checker's adversarial explorer.
+
+:class:`KeyedNemesis` replays a :class:`~repro.nemesis.schedule.\
+NemesisSchedule` against a :class:`~repro.checker.scheduler.\
+KeyedInterleavingExplorer` run (via its ``nemesis=`` hook), rescaling
+the schedule's timeline to scheduler steps — the explorer has no
+meaningful clock, so "one schedule unit" becomes ``steps_per_unit``
+adversarial steps.
+
+Translation onto the adversarial network:
+
+* :class:`Partition` → the network's ``blocked`` predicate.  Blocked
+  picks are *held* and released the moment the window closes — a healed
+  partition delivering its backlog mid-run, racing fresh traffic.
+* :class:`LossBurst` → the per-link ``link_loss`` probability hook.
+* :class:`Crash` / :class:`HardKill` / :class:`IoFault` → discrete
+  actions fired when their step arrives (several due in the same step
+  run in the same step: simultaneous kills).
+* :class:`DelaySpike` and :class:`DuplicationBurst` are no-ops here by
+  design: uniform pick-next delivery already reorders arbitrarily
+  (strictly subsuming any delay distribution), and duplication is the
+  run's global ``duplicate_probability``.  They only shape the
+  latency-model path.
+
+``finish`` fires whatever the run was too short to reach and heals
+everything, so a campaign's exercised-ness assertions can rely on every
+scheduled fault having actually happened.
+
+:class:`KillDuringRejoin` is the predicate-triggered driver the
+kill-during-rejoin campaigns use: instead of trusting timing, it kills
+the second victim at the first step where the first victim's rejoin is
+observably in progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.nemesis.schedule import (
+    Crash,
+    HardKill,
+    IoFault,
+    LossBurst,
+    NemesisSchedule,
+    Partition,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checker.scheduler import KeyedNemesisContext
+
+
+def _matches(src: str, dst: str, side_a, side_b, symmetric: bool) -> bool:
+    if (side_a is None or src in side_a) and (side_b is None or dst in side_b):
+        return True
+    return symmetric and (
+        (side_b is None or src in side_b) and (side_a is None or dst in side_a)
+    )
+
+
+@dataclass
+class _Action:
+    step: int
+    kind: str  # "crash" | "recover" | "kill" | "io_break" | "io_heal" | "release"
+    replica: str | None = None
+    done: bool = False
+
+
+class KeyedNemesis:
+    """Schedule-driven nemesis for :meth:`KeyedInterleavingExplorer.run`."""
+
+    def __init__(self, schedule: NemesisSchedule, steps_per_unit: int = 40) -> None:
+        self.schedule = schedule
+        self.steps_per_unit = steps_per_unit
+        self._step = 0
+        self._partitions: list[tuple[int, int, Partition]] = []
+        self._losses: list[tuple[int, int, LossBurst]] = []
+        self._actions: list[_Action] = []
+        #: Exercised-ness counters — campaigns assert on these.
+        self.kills = 0
+        self.crashes = 0
+        self.recoveries = 0
+        self.io_breaks = 0
+        self.io_heals = 0
+        self.releases = 0
+
+    def _scale(self, t: float) -> int:
+        return int(round(t * self.steps_per_unit))
+
+    # ------------------------------------------------------------------
+    def begin(self, ctx: "KeyedNemesisContext") -> None:
+        actions = self._actions
+        for event in self.schedule.events:
+            if isinstance(event, Partition):
+                lo, hi = self._scale(event.start), self._scale(event.until)
+                self._partitions.append((lo, hi, event))
+                # Healed partitions deliver their parked backlog.
+                actions.append(_Action(step=hi, kind="release"))
+            elif isinstance(event, LossBurst):
+                self._losses.append(
+                    (self._scale(event.start), self._scale(event.until), event)
+                )
+            elif isinstance(event, Crash):
+                actions.append(
+                    _Action(self._scale(event.at), "crash", event.replica)
+                )
+                actions.append(
+                    _Action(self._scale(event.recover_at), "recover", event.replica)
+                )
+            elif isinstance(event, HardKill):
+                actions.append(_Action(self._scale(event.at), "kill", event.replica))
+            elif isinstance(event, IoFault):
+                targets = (
+                    [event.replica]
+                    if event.replica is not None
+                    else list(ctx.replica_ids)
+                )
+                for target in targets:
+                    actions.append(
+                        _Action(self._scale(event.start), "io_break", target)
+                    )
+                    actions.append(
+                        _Action(self._scale(event.until), "io_heal", target)
+                    )
+        actions.sort(key=lambda a: a.step)
+
+        def blocked(src: str, dst: str) -> bool:
+            for lo, hi, p in self._partitions:
+                if lo <= self._step < hi and _matches(
+                    src, dst, p.side_a, p.side_b, p.symmetric
+                ):
+                    return True
+            return False
+
+        def link_loss(src: str, dst: str) -> float:
+            loss = 0.0
+            for lo, hi, burst in self._losses:
+                if lo <= self._step < hi and _matches(
+                    src, dst, burst.src, burst.dst, burst.symmetric
+                ):
+                    loss = max(loss, burst.probability)
+            return loss
+
+        if self._partitions:
+            ctx.network.blocked = blocked
+        if self._losses:
+            ctx.network.link_loss = link_loss
+
+    # ------------------------------------------------------------------
+    def _fire(self, ctx: "KeyedNemesisContext", action: _Action) -> None:
+        action.done = True
+        if action.kind == "crash":
+            ctx.runtimes[action.replica].crashed = True
+            self.crashes += 1
+        elif action.kind == "recover":
+            ctx.runtimes[action.replica].crashed = False
+            self.recoveries += 1
+        elif action.kind == "kill":
+            ctx.hard_kill(action.replica)
+            self.kills += 1
+        elif action.kind == "io_break":
+            store = ctx.explorer.spill_stores[action.replica]
+            store.break_io()
+            self.io_breaks += 1
+        elif action.kind == "io_heal":
+            store = ctx.explorer.spill_stores[action.replica]
+            store.heal_io()
+            self.io_heals += 1
+        elif action.kind == "release":
+            self.releases += ctx.network.release_held()
+
+    def step(self, ctx: "KeyedNemesisContext") -> bool:
+        self._step += 1
+        fired = False
+        for action in self._actions:
+            if action.done or action.step > self._step:
+                continue
+            self._fire(ctx, action)
+            # Releases and recoveries are bookkeeping, not a consumed
+            # adversarial step; discrete faults are.
+            fired = fired or action.kind in ("crash", "kill", "io_break")
+        return fired
+
+    def finish(self, ctx: "KeyedNemesisContext") -> None:
+        # Fire anything the run was too short to reach (in step order) so
+        # exercised-ness holds for every scheduled event, then heal.
+        for action in self._actions:
+            if not action.done:
+                self._fire(ctx, action)
+        self._step = max(self._step, self._scale(self.schedule.heal_time()) + 1)
+        for runtime in ctx.runtimes.values():
+            runtime.crashed = False
+        for store in ctx.explorer.spill_stores.values():
+            heal = getattr(store, "heal_io", None)
+            if heal is not None:
+                heal()
+
+
+@dataclass
+class KillDuringRejoin:
+    """Hard-kill ``second`` at the first step ``first``'s rejoin is live.
+
+    Kills ``first`` once ``kill_at`` steps have elapsed; from then on
+    watches :meth:`KeyedNemesisContext.rejoining` and kills ``second``
+    the moment ``first`` shows keys still awaiting their read-quorum
+    refresh.  If the rejoin completes before the watcher ever observes
+    it (nothing durable to refresh, or instant quorum), ``second`` is
+    killed at ``finish`` so the run still exercises a second kill.
+    """
+
+    first: str
+    second: str
+    kill_at: int = 40
+    _step: int = field(default=0, repr=False)
+    first_killed: bool = field(default=False, repr=False)
+    second_killed: bool = field(default=False, repr=False)
+    #: True when the second kill landed while the first was rejoining.
+    overlapped: bool = field(default=False, repr=False)
+
+    def begin(self, ctx: "KeyedNemesisContext") -> None:  # noqa: D102
+        pass
+
+    def step(self, ctx: "KeyedNemesisContext") -> bool:
+        self._step += 1
+        if not self.first_killed:
+            if self._step >= self.kill_at:
+                ctx.hard_kill(self.first)
+                self.first_killed = True
+                return True
+            return False
+        if not self.second_killed and self.first in ctx.rejoining():
+            ctx.hard_kill(self.second)
+            self.second_killed = True
+            self.overlapped = True
+            return True
+        return False
+
+    def finish(self, ctx: "KeyedNemesisContext") -> None:
+        if not self.first_killed:
+            ctx.hard_kill(self.first)
+            self.first_killed = True
+        if not self.second_killed:
+            ctx.hard_kill(self.second)
+            self.second_killed = True

@@ -1,0 +1,264 @@
+"""Declarative fault schedules: events, windows, and installation.
+
+A :class:`NemesisSchedule` is a named list of fault events on a virtual
+timeline starting at 0.  Events are plain frozen dataclasses — a
+schedule is data, so the same one drives both execution paths:
+
+* :meth:`NemesisSchedule.install_sim` translates it onto the
+  latency-model stack — link events become
+  :class:`~repro.net.faults.LinkDisruption` entries on a
+  :class:`~repro.net.faults.FaultPlan`, process events become
+  ``crash_at`` / ``recover_at`` / ``hard_kill_at`` calls on a
+  :class:`~repro.runtime.cluster.SimCluster`, and IO events toggle
+  :meth:`~repro.storage.faulty.FaultySpillStore.break_io` windows via
+  simulator callbacks.
+* :class:`~repro.nemesis.campaign.KeyedNemesis` replays the same events
+  against the checker's :class:`~repro.checker.scheduler.\
+KeyedInterleavingExplorer`, scaling the timeline to scheduler steps.
+
+Times are in the schedule's own units (seconds on the sim path); pass
+``at=`` to :meth:`install_sim` to shift the whole schedule.  Every event
+window eventually closes — :meth:`NemesisSchedule.heal_time` is the
+instant the last fault lifts, after which the system must recover on its
+own (the acceptance bar for every named scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.faults import FaultPlan, LinkDisruption
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.net.node import ProtocolNode
+    from repro.runtime.cluster import SimCluster
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Cut links between two replica sets for a window.
+
+    ``symmetric=False`` makes it one-way: ``side_a → side_b`` traffic is
+    cut while replies still flow — the asymmetric-reachability case that
+    defeats naive "I can hear you so you can hear me" failure detectors.
+    """
+
+    start: float
+    until: float
+    side_a: frozenset[str]
+    side_b: frozenset[str]
+    symmetric: bool = True
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Probabilistic packet loss on matching links for a window."""
+
+    start: float
+    until: float
+    probability: float
+    src: frozenset[str] | None = None
+    dst: frozenset[str] | None = None
+    symmetric: bool = True
+
+
+@dataclass(frozen=True)
+class DuplicationBurst:
+    """Probabilistic packet duplication on matching links for a window."""
+
+    start: float
+    until: float
+    probability: float
+    src: frozenset[str] | None = None
+    dst: frozenset[str] | None = None
+    symmetric: bool = True
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """Extra per-message delay (plus uniform jitter) for a window."""
+
+    start: float
+    until: float
+    extra_delay: float
+    jitter: float = 0.0
+    src: frozenset[str] | None = None
+    dst: frozenset[str] | None = None
+    symmetric: bool = True
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Pause a replica (state intact) and recover it later."""
+
+    at: float
+    replica: str
+    recover_at: float
+
+
+@dataclass(frozen=True)
+class HardKill:
+    """kill -9 a replica: RAM lost, rebuilt from durable state + rejoin."""
+
+    at: float
+    replica: str
+
+
+@dataclass(frozen=True)
+class IoFault:
+    """Spill-store brownout window: every put/fsync fails until it ends.
+
+    Requires the replica's spill store to be (or wrap) a
+    :class:`~repro.storage.faulty.FaultySpillStore`.  ``replica=None``
+    browns out every replica's store at once.
+    """
+
+    start: float
+    until: float
+    replica: str | None = None
+
+
+#: Any schedulable fault.
+NemesisEvent = (
+    Partition | LossBurst | DuplicationBurst | DelaySpike | Crash | HardKill | IoFault
+)
+
+_LINK_EVENTS = (Partition, LossBurst, DuplicationBurst, DelaySpike)
+
+
+@dataclass
+class NemesisSchedule:
+    """A named, ordered collection of fault events."""
+
+    name: str
+    events: list[NemesisEvent] = field(default_factory=list)
+
+    def add(self, event: NemesisEvent) -> "NemesisSchedule":
+        self.events.append(event)
+        return self
+
+    # ------------------------------------------------------------------
+    def heal_time(self) -> float:
+        """Instant the last fault lifts (0.0 for an empty schedule)."""
+        latest = 0.0
+        for event in self.events:
+            if isinstance(event, Crash):
+                latest = max(latest, event.recover_at)
+            elif isinstance(event, HardKill):
+                latest = max(latest, event.at)
+            else:
+                latest = max(latest, event.until)
+        return latest
+
+    def link_events(self) -> list[NemesisEvent]:
+        return [e for e in self.events if isinstance(e, _LINK_EVENTS)]
+
+    # ------------------------------------------------------------------
+    def install_sim(
+        self,
+        plan: FaultPlan,
+        cluster: "SimCluster | None" = None,
+        at: float = 0.0,
+        rebuild: Callable[[str], "ProtocolNode"] | None = None,
+        stores: dict[str, object] | None = None,
+    ) -> None:
+        """Install the schedule onto the latency-model stack.
+
+        ``plan`` must be the :class:`FaultPlan` the cluster's network was
+        built with.  ``cluster`` is required for node-level events
+        (:class:`Crash`, :class:`HardKill`, :class:`IoFault`); link-only
+        schedules install onto a bare plan — useful when the cluster is
+        built later from the same plan (e.g. the workload runner).
+        ``rebuild`` is required if the schedule contains
+        :class:`HardKill` events (it builds the replacement node, see
+        :meth:`SimCluster.hard_kill`); ``stores`` maps replica id →
+        faulty spill store and is required for :class:`IoFault` events.
+        """
+        for event in self.events:
+            if isinstance(event, Partition):
+                plan.add_disruption(
+                    LinkDisruption(
+                        start=at + event.start,
+                        until=at + event.until,
+                        src=event.side_a,
+                        dst=event.side_b,
+                        symmetric=event.symmetric,
+                        loss_probability=1.0,
+                    )
+                )
+            elif isinstance(event, LossBurst):
+                plan.add_disruption(
+                    LinkDisruption(
+                        start=at + event.start,
+                        until=at + event.until,
+                        src=event.src,
+                        dst=event.dst,
+                        symmetric=event.symmetric,
+                        loss_probability=event.probability,
+                    )
+                )
+            elif isinstance(event, DuplicationBurst):
+                plan.add_disruption(
+                    LinkDisruption(
+                        start=at + event.start,
+                        until=at + event.until,
+                        src=event.src,
+                        dst=event.dst,
+                        symmetric=event.symmetric,
+                        duplicate_probability=event.probability,
+                    )
+                )
+            elif isinstance(event, DelaySpike):
+                plan.add_disruption(
+                    LinkDisruption(
+                        start=at + event.start,
+                        until=at + event.until,
+                        src=event.src,
+                        dst=event.dst,
+                        symmetric=event.symmetric,
+                        extra_delay=event.extra_delay,
+                        delay_jitter=event.jitter,
+                    )
+                )
+            elif isinstance(event, Crash):
+                if cluster is None:
+                    raise ValueError(
+                        f"schedule {self.name!r} contains node-level "
+                        "events; install_sim needs a cluster="
+                    )
+                cluster.crash_at(at + event.at, event.replica)
+                cluster.recover_at(at + event.recover_at, event.replica)
+            elif isinstance(event, HardKill):
+                if cluster is None:
+                    raise ValueError(
+                        f"schedule {self.name!r} contains node-level "
+                        "events; install_sim needs a cluster="
+                    )
+                if rebuild is None:
+                    raise ValueError(
+                        f"schedule {self.name!r} contains a HardKill; "
+                        "install_sim needs a rebuild= callback"
+                    )
+                cluster.hard_kill_at(at + event.at, event.replica, rebuild)
+            elif isinstance(event, IoFault):
+                if cluster is None:
+                    raise ValueError(
+                        f"schedule {self.name!r} contains node-level "
+                        "events; install_sim needs a cluster="
+                    )
+                targets = (
+                    [event.replica]
+                    if event.replica is not None
+                    else list(stores or {})
+                )
+                if stores is None or any(t not in stores for t in targets):
+                    raise ValueError(
+                        f"schedule {self.name!r} contains an IoFault; "
+                        "install_sim needs stores= with a faulty store "
+                        "per affected replica"
+                    )
+                for target in targets:
+                    store = stores[target]
+                    cluster.sim.at(at + event.start, store.break_io)
+                    cluster.sim.at(at + event.until, store.heal_io)

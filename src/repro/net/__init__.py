@@ -21,7 +21,7 @@ delayed arbitrarily, or reordered.  This package provides that channel:
   random interleavings" the authors used to test their implementation).
 """
 
-from repro.net.faults import FaultPlan, Partition
+from repro.net.faults import FaultPlan, LinkDisruption, Partition
 from repro.net.latency import (
     ConstantLatency,
     LatencyModel,
@@ -38,6 +38,7 @@ __all__ = [
     "Envelope",
     "FaultPlan",
     "LatencyModel",
+    "LinkDisruption",
     "LogNormalLatency",
     "Partition",
     "ProtocolNode",

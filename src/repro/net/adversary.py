@@ -40,6 +40,16 @@ class AdversarialNetwork:
         #: duplication to replica↔replica links; the protocol itself makes
         #: no at-most-once assumption there.
         self.duplicable: Callable[[Envelope], bool] = lambda envelope: True
+        #: Nemesis link-block predicate ``(src, dst) -> bool``.  A blocked
+        #: pick is *held* (parked until :meth:`release_held`), not dropped:
+        #: a healed partition may deliver long-delayed traffic, which is
+        #: strictly more hostile than silently losing it.
+        self.blocked: Callable[[str, str], bool] | None = None
+        #: Nemesis per-link loss ``(src, dst) -> probability``, applied at
+        #: pick time on top of the explorer's global drop probability.
+        self.link_loss: Callable[[str, str], float] | None = None
+        self._held: list[Envelope] = []
+        self.messages_held = 0
 
     # ------------------------------------------------------------------
     def register(self, address: str, endpoint: Endpoint) -> None:
@@ -63,6 +73,22 @@ class AdversarialNetwork:
     def pending(self) -> int:
         return len(self._pool)
 
+    @property
+    def held(self) -> int:
+        return len(self._held)
+
+    def release_held(self) -> int:
+        """Return every held (link-blocked) envelope to the delivery pool.
+
+        Call when the nemesis heals a partition; the envelopes then race
+        with fresh traffic under the usual uniform pick-next schedule.
+        Returns how many were released.
+        """
+        released = len(self._held)
+        self._pool.extend(self._held)
+        self._held.clear()
+        return released
+
     def deliver_random(self, drop_probability: float = 0.0, duplicate_probability: float = 0.0) -> bool:
         """Deliver (or drop) one uniformly chosen pending message.
 
@@ -74,6 +100,15 @@ class AdversarialNetwork:
             return False
         index = self._rng.randrange(len(self._pool))
         envelope = self._pool.pop(index)
+        if self.blocked is not None and self.blocked(envelope.src, envelope.dst):
+            self._held.append(envelope)
+            self.messages_held += 1
+            return True
+        if self.link_loss is not None:
+            loss = self.link_loss(envelope.src, envelope.dst)
+            if loss > 0.0 and self._rng.random() < loss:
+                self.stats.messages_dropped += 1
+                return True
         if drop_probability > 0.0 and self._rng.random() < drop_probability:
             self.stats.messages_dropped += 1
             return True

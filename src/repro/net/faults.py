@@ -36,6 +36,48 @@ class Partition:
         return crosses
 
 
+@dataclass(frozen=True)
+class LinkDisruption:
+    """Per-link fault window: one-way or symmetric loss/dup/delay bursts.
+
+    Where :class:`Partition` blocks whole groups symmetrically and
+    completely, a disruption targets a set of directed links for a time
+    window with *partial* badness: ``loss_probability < 1`` models a lossy
+    burst, ``extra_delay > 0`` a congestion spike (added on top of the
+    latency model, optionally jittered uniformly up to ``delay_jitter``),
+    ``duplicate_probability`` a retransmit storm.  ``src``/``dst`` of
+    ``None`` match any endpoint; with ``symmetric=True`` the reverse
+    direction is disrupted too — leave it ``False`` for the one-way link
+    faults the paper's §2.1 channel model permits and TCP-era tools rarely
+    exercise.
+    """
+
+    start: float = 0.0
+    until: float | None = None
+    src: frozenset[str] | None = None
+    dst: frozenset[str] | None = None
+    symmetric: bool = False
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    extra_delay: float = 0.0
+    delay_jitter: float = 0.0
+
+    def active(self, now: float) -> bool:
+        if now < self.start:
+            return False
+        return self.until is None or now < self.until
+
+    def matches(self, src: str, dst: str) -> bool:
+        if self._matches_directed(src, dst):
+            return True
+        return self.symmetric and self._matches_directed(dst, src)
+
+    def _matches_directed(self, src: str, dst: str) -> bool:
+        if self.src is not None and src not in self.src:
+            return False
+        return self.dst is None or dst in self.dst
+
+
 @dataclass
 class FaultPlan:
     """Aggregate fault configuration consulted for every send.
@@ -54,6 +96,7 @@ class FaultPlan:
     duplicate_probability: float = 0.0
     partitions: list[Partition] = field(default_factory=list)
     scope: frozenset[str] | None = None
+    disruptions: list[LinkDisruption] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability < 1.0:
@@ -64,12 +107,36 @@ class FaultPlan:
     def add_partition(self, partition: Partition) -> None:
         self.partitions.append(partition)
 
+    def add_disruption(self, disruption: LinkDisruption) -> None:
+        self.disruptions.append(disruption)
+
     def _in_scope(self, src: str, dst: str) -> bool:
         return self.scope is None or (src in self.scope and dst in self.scope)
+
+    def _active_disruptions(self, src: str, dst: str, now: float):
+        for disruption in self.disruptions:
+            if disruption.active(now) and disruption.matches(src, dst):
+                yield disruption
+
+    def is_blocked(self, src: str, dst: str, now: float) -> bool:
+        """Deterministically blocked (partition, or a loss-1.0 disruption)."""
+        for partition in self.partitions:
+            if partition.blocks(src, dst, now):
+                return True
+        for disruption in self._active_disruptions(src, dst, now):
+            if disruption.loss_probability >= 1.0:
+                return True
+        return False
 
     def should_drop(self, rng: random.Random, src: str, dst: str, now: float) -> bool:
         for partition in self.partitions:
             if partition.blocks(src, dst, now):
+                return True
+        for disruption in self._active_disruptions(src, dst, now):
+            if (
+                disruption.loss_probability > 0.0
+                and rng.random() < disruption.loss_probability
+            ):
                 return True
         if (
             self.loss_probability > 0.0
@@ -80,10 +147,28 @@ class FaultPlan:
         return False
 
     def should_duplicate(
-        self, rng: random.Random, src: str = "", dst: str = ""
+        self, rng: random.Random, src: str = "", dst: str = "", now: float = 0.0
     ) -> bool:
+        for disruption in self._active_disruptions(src, dst, now):
+            if (
+                disruption.duplicate_probability > 0.0
+                and rng.random() < disruption.duplicate_probability
+            ):
+                return True
         return (
             self.duplicate_probability > 0.0
             and self._in_scope(src, dst)
             and rng.random() < self.duplicate_probability
         )
+
+    def extra_delay(self, rng: random.Random, src: str, dst: str, now: float) -> float:
+        """Sum of active delay spikes on the link (0.0 on the fast path)."""
+        if not self.disruptions:
+            return 0.0
+        total = 0.0
+        for disruption in self._active_disruptions(src, dst, now):
+            if disruption.extra_delay > 0.0 or disruption.delay_jitter > 0.0:
+                total += disruption.extra_delay
+                if disruption.delay_jitter > 0.0:
+                    total += rng.random() * disruption.delay_jitter
+        return total

@@ -117,11 +117,12 @@ class SimNetwork:
             self.stats.messages_dropped += 1
             return
 
-        copies = 2 if self.faults.should_duplicate(self._rng, src, dst) else 1
+        copies = 2 if self.faults.should_duplicate(self._rng, src, dst, self._sim.now) else 1
         if copies == 2:
             self.stats.messages_duplicated += 1
+        spike = self.faults.extra_delay(self._rng, src, dst, self._sim.now)
         for _ in range(copies):
-            delay = self._latency.sample(self._rng, size)
+            delay = self._latency.sample(self._rng, size) + spike
             arrival = self._sim.now + delay
             if self.fifo_links:
                 link = (src, dst)

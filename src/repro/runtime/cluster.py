@@ -185,5 +185,33 @@ class SimCluster:
     def recover_at(self, time: float, address: str) -> None:
         self.sim.at(time, self.recover, address)
 
+    def hard_kill(
+        self, address: str, rebuild: Callable[[str], ProtocolNode]
+    ) -> None:
+        """kill -9 one replica and bring up a *rebuilt* process in place.
+
+        Unlike :meth:`crash`/:meth:`recover` (which models a pause with
+        internal state intact), a hard kill loses everything in RAM: the
+        queued work and timers are dropped and the node object itself is
+        replaced by whatever ``rebuild(address)`` returns — typically
+        ``KeyedCrdtReplica.recover(spill_store, ..., rejoin=True)``
+        against the dead generation's store.  If the fresh node exposes a
+        ``rejoin()`` hook its effects are applied, so the replica starts
+        its read-quorum refreshes immediately.
+        """
+        runtime = self.runtimes[address]
+        runtime.crash()
+        fresh = rebuild(address)
+        runtime.node = fresh
+        runtime.recover()  # resumes the CPU; on_recover == on_start here
+        rejoin = getattr(fresh, "rejoin", None)
+        if rejoin is not None:
+            runtime.apply_effects(rejoin())
+
+    def hard_kill_at(
+        self, time: float, address: str, rebuild: Callable[[str], ProtocolNode]
+    ) -> None:
+        self.sim.at(time, self.hard_kill, address, rebuild)
+
     def alive(self) -> list[str]:
         return [a for a in self.addresses if not self.runtimes[a].crashed]

@@ -42,9 +42,16 @@ disk for crash campaigns: it buffers writes until ``flush()`` and its
 genuinely loses whatever the group commit had not yet covered.
 Reopening a :class:`SegmentedSpillStore` directory instead models a
 *process* kill (the OS page cache survives).
+
+:class:`FaultySpillStore` injects put/fsync failures and torn partial
+writes into any of the above (raising
+:class:`~repro.errors.StorageUnavailable`), for nemesis campaigns that
+check the persist-before-ack contract: a ``write_through`` replica whose
+persist fails must refuse the step's acks, never emit them.
 """
 
 from repro.storage.base import SpillRecord, SpillStore
+from repro.storage.faulty import FaultySpillStore
 from repro.storage.latency import LatencySpillStore
 from repro.storage.memory import InMemorySpillStore
 from repro.storage.segmented import SegmentedSpillStore
@@ -56,5 +63,6 @@ __all__ = [
     "InMemorySpillStore",
     "SegmentedSpillStore",
     "LatencySpillStore",
+    "FaultySpillStore",
     "VolatileSpillStore",
 ]

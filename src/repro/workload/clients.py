@@ -219,6 +219,18 @@ class ClosedLoopClient:
         parsed = self._adapter.parse_reply(message)
         if parsed is None or parsed.request_id != self._outstanding_id:
             return  # stale reply to a superseded attempt
+        if parsed.kind == "refused":
+            # The replica gave up gracefully (no quorum / storage fault).
+            # Nothing was performed; fail over like a timeout, but without
+            # waiting the full client timeout first.
+            self._outstanding_id = None
+            self._recorder.record_timeout()
+            self._retried = True
+            self._open_history_record = None  # the attempt stays open
+            self._target_index = (self._target_index + 1) % len(self._replicas)
+            if self._sim.now < self._stop_time:
+                self._send_attempt()
+            return
         self._outstanding_id = None
         self.operations_completed += 1
         if self._history_tap is not None and self._open_history_record is not None:

@@ -222,3 +222,133 @@ def test_flush_is_a_noop_on_unkeyed_clusters():
     store = SimStore(plain_cluster(seed=12), client="t")
     store.counter().incr()
     assert store.flush() == {}
+
+
+# ----------------------------------------------------------------------
+# Health-aware fail-over (nemesis satellite): sticky expiry, hedging,
+# typed fail-fast errors
+# ----------------------------------------------------------------------
+def test_failover_stickiness_expires_when_home_recovers():
+    """Regression (failing before the fix): fail-over used to re-home the
+    store permanently — after the configured home recovered, traffic
+    kept going to the fail-over target forever.  Stickiness must expire
+    with the home's suspicion window."""
+    cluster = plain_cluster(seed=21)
+    store = SimStore(cluster, client="t", home="r0", timeout=0.5)
+    store.counter().incr()
+    cluster.crash("r0")
+    receipt = store.counter().query(GCounterValue())
+    assert receipt.replica != "r0"  # failed over...
+    sticky = receipt.replica
+    assert store.counter().incr().replica == sticky  # ...and sticky
+    cluster.recover("r0")
+    # While r0 is still suspected the store stays on the sticky target.
+    assert store.counter().incr().replica == sticky
+    # Let every strike's suspicion window expire in virtual time.
+    cluster.sim.run(until=cluster.sim.now + 60.0)
+    receipt = store.counter().incr()
+    assert receipt.replica == "r0"  # went home again
+    assert receipt.client_attempts == 1
+
+
+def test_suspected_replicas_sort_to_the_back_of_the_rotation():
+    cluster = plain_cluster(seed=22)
+    store = SimStore(cluster, client="t", home="r0", timeout=0.5)
+    cluster.crash("r0")
+    store.counter().incr()  # strikes r0, serves via fail-over
+    assert store.health.suspected("r0")
+    targets = store._attempt_targets(None)
+    assert targets[-1] == "r0"  # suspect last, still tried eventually
+    # An explicit via= pin is honored verbatim, suspicion or not.
+    assert store._attempt_targets("r0")[0] == "r0"
+
+
+def test_hedged_attempt_timeout_on_suspects():
+    cluster = plain_cluster(seed=23)
+    store = SimStore(
+        cluster, client="t", home="r0", timeout=1.0, hedge_factor=0.25
+    )
+    assert store._attempt_timeout("r0") == 1.0
+    store.health.record_failure("r0")
+    assert store._attempt_timeout("r0") == 0.25  # hedged while suspected
+    store.health.record_success("r0")
+    assert store._attempt_timeout("r0") == 1.0
+
+
+def test_quorum_unavailable_is_typed_and_bounded():
+    """With the majority dead and ``redrive_limit`` set, every replica
+    refuses in bounded time and the store surfaces the typed
+    ``QuorumUnavailable`` (a ``RequestTimeout`` subclass) instead of
+    burning the full timeout budget on silence."""
+    from repro.core.config import CrdtPaxosConfig
+    from repro.errors import QuorumUnavailable
+
+    sim = Simulator(seed=24)
+    network = SimNetwork(sim)
+    cluster = SimCluster(
+        sim,
+        network,
+        lambda nid, peers: CrdtPaxosReplica(
+            nid,
+            peers,
+            GCounter.initial(),
+            CrdtPaxosConfig(request_timeout=0.05, redrive_limit=2),
+        ),
+        n_replicas=3,
+    )
+    cluster.crash("r1")
+    cluster.crash("r2")
+    store = SimStore(cluster, client="t", timeout=5.0, max_attempts=2)
+    with pytest.raises(QuorumUnavailable) as excinfo:
+        store.counter().incr()
+    assert "quorum" in str(excinfo.value)
+    # Bounded: the refusal came from the replica's re-drive budget
+    # (~0.05 · 2^k seconds), far under the 5s-per-attempt silence path.
+    assert sim.now < 2.0
+    # QuorumUnavailable still satisfies legacy RequestTimeout handlers.
+    assert isinstance(excinfo.value, RequestTimeout)
+
+
+def test_storage_unavailable_and_failover_around_a_broken_disk():
+    """A write-through proposer with a browned-out disk refuses with
+    ``code="storage"``: pinned to it the store raises the typed
+    :class:`StorageUnavailable`; free to fail over it completes the
+    update through a healthy proposer (the sick disk's own Merged ack is
+    withheld, but the other two replicas form the quorum)."""
+    from repro.core.config import CrdtPaxosConfig
+    from repro.errors import StorageUnavailable
+    from repro.storage import FaultySpillStore, InMemorySpillStore
+
+    stores = {}
+
+    def factory(nid, peers):
+        stores[nid] = FaultySpillStore(InMemorySpillStore())
+        return KeyedCrdtReplica(
+            nid,
+            peers,
+            initial_state_for,
+            CrdtPaxosConfig(durability="write_through"),
+            spill_store=stores[nid],
+        )
+
+    sim = Simulator(seed=25)
+    network = SimNetwork(sim)
+    cluster = SimCluster(sim, network, factory, n_replicas=3)
+    pinned = SimStore(
+        cluster, client="t", home="r0", timeout=2.0, max_attempts=1
+    )
+    pinned.counter("k").incr()  # healthy first: baseline works
+    stores["r0"].break_io()
+    with pytest.raises(StorageUnavailable):
+        pinned.counter("k").incr()
+    assert cluster.node("r0").persist_refusals > 0
+    # Free to fail over, the same update completes elsewhere.
+    roaming = SimStore(
+        cluster, client="t2", home="r0", timeout=2.0, max_attempts=3
+    )
+    receipt = roaming.counter("k").incr()
+    assert receipt.replica != "r0"
+    assert receipt.client_attempts > 1
+    # Heal: the pinned store resumes at its home, no intervention.
+    stores["r0"].heal_io()
+    assert pinned.counter("k").incr().replica == "r0"

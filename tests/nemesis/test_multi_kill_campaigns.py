@@ -1,0 +1,141 @@
+"""Multi-node hard-kill campaigns: simultaneous and overlapping kills.
+
+Satellite to the nemesis tentpole: the single-victim kill campaigns
+(``tests/checker/test_hard_kill_campaign.py``) leave three harder shapes
+uncovered — a *minority* of replicas killed in the same scheduler step,
+a *majority* killed at once (no write quorum survives in RAM; only
+write-through durability can be safe), and a kill landing while another
+replica's rejoin is still refreshing keys from its read quorum (the
+read quorums of the two generations must still intersect on durable
+state).
+
+Kill campaigns never assert ``all_complete`` — operations open at a
+victim when it died may never complete; their clients crash-observed the
+kill.  Linearizability of what *did* complete is the whole bar.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.checker.lattice_linearizability import check_all
+from repro.checker.scheduler import KeyedInterleavingExplorer
+from repro.core.config import CrdtPaxosConfig
+from repro.nemesis import HardKill, KeyedNemesis, KillDuringRejoin, NemesisSchedule
+from repro.storage import FaultySpillStore, InMemorySpillStore
+
+_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_CONFIG_KW = dict(
+    keyed_max_resident=2, keyed_max_frozen=1, durability="write_through"
+)
+
+
+def _explorer(seed, n_replicas=3, **config_kw):
+    return KeyedInterleavingExplorer(
+        seed=seed,
+        n_replicas=n_replicas,
+        n_keys=4,
+        config=CrdtPaxosConfig(**{**_CONFIG_KW, **config_kw}),
+        spill_factory=lambda: FaultySpillStore(InMemorySpillStore()),
+    )
+
+
+def _simultaneous(victims, at=1.0):
+    return NemesisSchedule(
+        "simultaneous", [HardKill(at=at, replica=v) for v in victims]
+    )
+
+
+# ----------------------------------------------------------------------
+# Minority simultaneous: 2 of 5 die in the same step
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(seed=st.integers(0, 2**32 - 1), n_ops=st.integers(20, 40))
+def test_minority_simultaneous_kill_campaign(seed, n_ops):
+    explorer = _explorer(seed, n_replicas=5)
+    nemesis = KeyedNemesis(_simultaneous(["r1", "r3"]))
+    report = explorer.run(n_ops=n_ops, read_fraction=0.4, nemesis=nemesis)
+    assert nemesis.kills == 2
+    assert report.hard_kills == 2
+    for history in report.histories.values():
+        check_all(history)
+
+
+# ----------------------------------------------------------------------
+# Majority simultaneous: 2 of 3 die in the same step — safe ONLY because
+# write_through means every certifying ack either victim ever sent rests
+# on state their reopened stores still hold.
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(seed=st.integers(0, 2**32 - 1), n_ops=st.integers(20, 40))
+def test_majority_simultaneous_kill_campaign(seed, n_ops):
+    explorer = _explorer(seed, n_replicas=3)
+    nemesis = KeyedNemesis(_simultaneous(["r0", "r2"]))
+    report = explorer.run(n_ops=n_ops, read_fraction=0.4, nemesis=nemesis)
+    assert nemesis.kills == 2
+    assert report.hard_kills == 2
+    for history in report.histories.values():
+        check_all(history)
+
+
+def test_majority_simultaneous_gla_stability():
+    """§3.4 with both killed generations' learned maxima durable: the
+    rejoined pair's learns stay monotone with their previous lives."""
+    for seed in range(6):
+        explorer = _explorer(seed, n_replicas=3, gla_stability=True)
+        nemesis = KeyedNemesis(_simultaneous(["r0", "r2"]))
+        report = explorer.run(n_ops=30, read_fraction=0.4, nemesis=nemesis)
+        assert report.hard_kills == 2
+        for history in report.histories.values():
+            check_all(history, expect_gla_stability=True)
+
+
+# ----------------------------------------------------------------------
+# Kill during rejoin: predicate-triggered, not timing-trusted
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(seed=st.integers(0, 2**32 - 1))
+def test_kill_during_rejoin_campaign(seed):
+    explorer = _explorer(seed)
+    nemesis = KillDuringRejoin(first="r1", second="r2", kill_at=40)
+    report = explorer.run(n_ops=35, read_fraction=0.4, nemesis=nemesis)
+    assert nemesis.first_killed and nemesis.second_killed
+    assert report.hard_kills == 2
+    for history in report.histories.values():
+        check_all(history)
+
+
+def test_kill_during_rejoin_really_overlaps():
+    """Vacuity guard: the second kill demonstrably lands while the first
+    victim still has keys awaiting their read-quorum refresh — the
+    driver watches rejoin state instead of trusting timing, so the
+    overlap must be observed, not hoped for."""
+    overlaps = 0
+    for seed in range(8):
+        explorer = _explorer(seed)
+        nemesis = KillDuringRejoin(first="r1", second="r2", kill_at=40)
+        report = explorer.run(n_ops=35, read_fraction=0.4, nemesis=nemesis)
+        overlaps += nemesis.overlapped
+        assert report.rejoin_refreshes > 0
+        for history in report.histories.values():
+            check_all(history)
+    assert overlaps >= 4  # the interesting interleaving dominates
+
+
+def test_simultaneous_kills_share_one_step():
+    """Both victims die before either rejoin effect is applied: the
+    schedule fires same-step actions in one ``step()`` call."""
+    explorer = _explorer(seed=11)
+    schedule = _simultaneous(["r0", "r1"], at=0.5)
+    nemesis = KeyedNemesis(schedule, steps_per_unit=10)
+    report = explorer.run(n_ops=25, read_fraction=0.4, nemesis=nemesis)
+    assert nemesis.kills == 2
+    # One consumed adversarial step covered both kills.
+    assert report.hard_kills == 2
+    for history in report.histories.values():
+        check_all(history)

@@ -1,0 +1,268 @@
+"""NemesisSchedule: events, heal_time, registry, and sim installation.
+
+The schedule is *data* — these tests pin its window arithmetic and the
+``install_sim`` translation onto the latency-model stack, including the
+acceptance bar that matters: after ``heal_time`` the cluster resumes
+serving client requests with no manual intervention.
+"""
+
+import pytest
+
+from repro.api import SimStore
+from repro.core.config import CrdtPaxosConfig
+from repro.core.keyspace import KeyedCrdtReplica
+from repro.crdt import GCounter
+from repro.net.faults import FaultPlan
+from repro.net.sim_transport import SimNetwork
+from repro.nemesis import (
+    Crash,
+    DelaySpike,
+    HardKill,
+    IoFault,
+    LossBurst,
+    NemesisSchedule,
+    Partition,
+    SCENARIOS,
+    scenario,
+)
+from repro.runtime.cluster import SimCluster
+from repro.sim.kernel import Simulator
+from repro.storage import FaultySpillStore, InMemorySpillStore
+
+REPLICAS = ["r0", "r1", "r2"]
+
+
+class TestScheduleData:
+    def test_heal_time_covers_every_event_shape(self):
+        schedule = NemesisSchedule("mix")
+        assert schedule.heal_time() == 0.0
+        schedule.add(
+            Partition(start=1.0, until=3.0, side_a=frozenset("a"), side_b=frozenset("b"))
+        )
+        schedule.add(Crash(at=0.5, replica="r0", recover_at=4.0))
+        schedule.add(HardKill(at=3.5, replica="r1"))
+        assert schedule.heal_time() == 4.0
+        schedule.add(IoFault(start=2.0, until=5.5))
+        assert schedule.heal_time() == 5.5
+
+    def test_link_events_filter(self):
+        schedule = scenario("flapping_link", REPLICAS)
+        assert len(schedule.link_events()) == 5
+        assert scenario("rolling_hard_kill", REPLICAS).link_events() == []
+
+    def test_registry_builds_every_scenario(self):
+        for name, builder in SCENARIOS.items():
+            schedule = builder(REPLICAS)
+            assert schedule.name == name
+            assert schedule.events, name
+            assert schedule.heal_time() > 0.0, name
+
+    def test_unknown_scenario_lists_known_names(self):
+        with pytest.raises(KeyError, match="partition_majority"):
+            scenario("does_not_exist", REPLICAS)
+
+
+class TestInstallSim:
+    def _stack(self, seed=0, plan=None):
+        sim = Simulator(seed=seed)
+        plan = plan if plan is not None else FaultPlan()
+        network = SimNetwork(sim, faults=plan)
+        return sim, network, plan
+
+    def test_partition_translates_to_blocking_disruption(self):
+        sim, network, plan = self._stack()
+        cluster = SimCluster(
+            sim,
+            network,
+            lambda nid, peers: KeyedCrdtReplica(
+                nid, peers, lambda key: GCounter.initial()
+            ),
+            n_replicas=3,
+        )
+        schedule = NemesisSchedule(
+            "p",
+            [
+                Partition(
+                    start=1.0,
+                    until=2.0,
+                    side_a=frozenset({"r0"}),
+                    side_b=frozenset({"r1", "r2"}),
+                )
+            ],
+        )
+        schedule.install_sim(plan, cluster)
+        assert not plan.is_blocked("r0", "r1", 0.5)
+        assert plan.is_blocked("r0", "r1", 1.5)
+        assert plan.is_blocked("r1", "r0", 1.5)  # symmetric
+        assert not plan.is_blocked("r1", "r2", 1.5)  # same side
+        assert not plan.is_blocked("r0", "r1", 2.5)  # healed
+
+    def test_one_way_partition_blocks_one_direction(self):
+        sim, network, plan = self._stack()
+        cluster = SimCluster(
+            sim,
+            network,
+            lambda nid, peers: KeyedCrdtReplica(
+                nid, peers, lambda key: GCounter.initial()
+            ),
+            n_replicas=2,
+        )
+        schedule = NemesisSchedule(
+            "oneway",
+            [
+                Partition(
+                    start=0.0,
+                    until=1.0,
+                    side_a=frozenset({"r0"}),
+                    side_b=frozenset({"r1"}),
+                    symmetric=False,
+                )
+            ],
+        )
+        schedule.install_sim(plan, cluster)
+        assert plan.is_blocked("r0", "r1", 0.5)
+        assert not plan.is_blocked("r1", "r0", 0.5)
+
+    def test_loss_and_delay_become_disruptions_with_at_offset(self):
+        sim, network, plan = self._stack()
+        cluster = SimCluster(
+            sim,
+            network,
+            lambda nid, peers: KeyedCrdtReplica(
+                nid, peers, lambda key: GCounter.initial()
+            ),
+            n_replicas=2,
+        )
+        schedule = NemesisSchedule(
+            "lossy",
+            [
+                LossBurst(start=0.0, until=1.0, probability=0.3),
+                DelaySpike(start=0.0, until=1.0, extra_delay=0.05),
+            ],
+        )
+        schedule.install_sim(plan, cluster, at=10.0)
+        assert len(plan.disruptions) == 2
+        assert all(d.start == 10.0 and d.until == 11.0 for d in plan.disruptions)
+
+    def test_hard_kill_requires_rebuild(self):
+        sim, network, plan = self._stack()
+        cluster = SimCluster(
+            sim,
+            network,
+            lambda nid, peers: KeyedCrdtReplica(
+                nid, peers, lambda key: GCounter.initial()
+            ),
+            n_replicas=3,
+        )
+        schedule = NemesisSchedule("k", [HardKill(at=1.0, replica="r0")])
+        with pytest.raises(ValueError, match="rebuild"):
+            schedule.install_sim(plan, cluster)
+
+    def test_link_only_schedule_installs_without_a_cluster(self):
+        """A partition/loss-only schedule can install onto a bare plan —
+        the perf gate does this before the workload runner builds its
+        own cluster from the same plan."""
+        plan = FaultPlan()
+        schedule = NemesisSchedule(
+            "p",
+            [
+                Partition(
+                    start=1.0,
+                    until=2.0,
+                    side_a=frozenset({"r0"}),
+                    side_b=frozenset({"r1", "r2"}),
+                )
+            ],
+        )
+        schedule.install_sim(plan)
+        assert plan.is_blocked("r0", "r1", 1.5)
+
+    def test_node_level_events_require_a_cluster(self):
+        schedule = NemesisSchedule(
+            "c", [Crash(at=1.0, recover_at=2.0, replica="r0")]
+        )
+        with pytest.raises(ValueError, match="cluster"):
+            schedule.install_sim(FaultPlan())
+
+    def test_io_fault_requires_stores(self):
+        sim, network, plan = self._stack()
+        cluster = SimCluster(
+            sim,
+            network,
+            lambda nid, peers: KeyedCrdtReplica(
+                nid, peers, lambda key: GCounter.initial()
+            ),
+            n_replicas=3,
+        )
+        schedule = NemesisSchedule("io", [IoFault(start=1.0, until=2.0)])
+        with pytest.raises(ValueError, match="stores"):
+            schedule.install_sim(plan, cluster)
+
+    def test_io_fault_windows_toggle_break_and_heal(self):
+        sim, network, plan = self._stack()
+        stores = {}
+
+        def factory(nid, peers):
+            stores[nid] = FaultySpillStore(InMemorySpillStore())
+            return KeyedCrdtReplica(
+                nid,
+                peers,
+                lambda key: GCounter.initial(),
+                CrdtPaxosConfig(durability="write_through"),
+                spill_store=stores[nid],
+            )
+
+        cluster = SimCluster(sim, network, factory, n_replicas=3)
+        schedule = NemesisSchedule(
+            "io", [IoFault(start=1.0, until=2.0, replica="r1")]
+        )
+        schedule.install_sim(plan, cluster, stores=stores)
+        sim.run(until=1.5)
+        assert stores["r1"].broken and not stores["r0"].broken
+        sim.run(until=2.5)
+        assert not stores["r1"].broken
+
+
+class TestAutomaticResumption:
+    """The acceptance bar: client ops complete after heal_time with no
+    manual intervention, for a partition and for a crash schedule."""
+
+    def _keyed_cluster(self, seed, plan):
+        sim = Simulator(seed=seed)
+        network = SimNetwork(sim, faults=plan)
+        cluster = SimCluster(
+            sim,
+            network,
+            lambda nid, peers: KeyedCrdtReplica(
+                nid, peers, lambda key: GCounter.initial()
+            ),
+            n_replicas=3,
+        )
+        return cluster
+
+    def test_partition_majority_heals_and_ops_complete(self):
+        plan = FaultPlan()
+        cluster = self._keyed_cluster(seed=2, plan=plan)
+        schedule = scenario("partition_majority", list(cluster.addresses))
+        schedule.install_sim(plan, cluster)
+        store = SimStore(cluster, client="c", home="r1", timeout=0.5)
+        counter = store.counter("hits")
+        counter.incr(3)  # before the fault window
+        cluster.sim.run(until=schedule.heal_time() + 0.5)
+        # Post-heal: ops complete, and the previously-partitioned
+        # minority replica serves reads — nobody restarted anything.
+        counter.incr(2)
+        assert counter.value(via="r0") == 5
+
+    def test_crash_quorum_edge_heals_and_ops_complete(self):
+        plan = FaultPlan()
+        cluster = self._keyed_cluster(seed=3, plan=plan)
+        schedule = scenario("crash_quorum_edge", list(cluster.addresses))
+        schedule.install_sim(plan, cluster)
+        store = SimStore(cluster, client="c", home="r1", timeout=0.5)
+        counter = store.counter("hits")
+        counter.incr()
+        cluster.sim.run(until=schedule.heal_time() + 0.5)
+        assert cluster.alive() == ["r0", "r1", "r2"]
+        counter.incr()
+        assert counter.value(via="r0") == 2

@@ -19,7 +19,7 @@ import pytest
 
 from repro.core.config import CrdtPaxosConfig
 from repro.core.keyspace import Keyed, KeyedCrdtReplica
-from repro.core.messages import ClientUpdate, Merge, UpdateDone
+from repro.core.messages import ClientUpdate, Merge, Refused, UpdateDone
 from repro.crdt.gcounter import GCounter, Increment
 from repro.errors import SpillCorruption, StaleRecoveryError
 from repro.storage import InMemorySpillStore, SegmentedSpillStore, VolatileSpillStore
@@ -81,16 +81,22 @@ class TestPersistBeforeAck:
         store.close()
 
     def test_torn_put_means_no_ack_escaped(self, tmp_path):
-        """The write tears mid-frame: the handler raises, so its effects
-        — the acceptor's ack included — never reach the driver.  No peer
-        saw a promise the disk does not hold, which is exactly why the
-        reopen below is safe."""
+        """The write tears mid-frame: the replica *refuses* the step —
+        the client gets ``Refused(code="storage")`` instead of its done
+        message and no certifying ack escapes.  No peer saw a promise
+        the disk does not hold, which is exactly why the reopen below
+        is safe."""
         store = _TornStore(tmp_path, tear_at=10**9)
         replica = write_through_replica(store)
         update(replica, "k", "u1", amount=5)
         store.tear_at = store.appends + 1  # tear the very next frame
-        with pytest.raises(OSError, match="torn write"):
-            update(replica, "k", "u2", amount=3)
+        effects = update(replica, "k", "u2", amount=3)
+        payloads = [m.message for _, m in effects.sends]
+        assert not any(isinstance(m, UpdateDone) for m in payloads)
+        assert any(
+            isinstance(m, Refused) and m.code == "storage" for m in payloads
+        )
+        assert replica.persist_refusals == 1
 
         # A new process opens the directory: the half-written frame is
         # torn-tail garbage, truncated on replay; the durable state is

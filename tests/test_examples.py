@@ -62,3 +62,11 @@ def test_atomic_counter_service():
 def test_failure_resilience():
     out = run_example("failure_resilience.py", timeout=600.0)
     assert "no failover gap" in out
+
+
+def test_nemesis_demo():
+    out = run_example("nemesis_demo.py")
+    assert "majority side still commits" in out
+    assert "QuorumUnavailable" in out
+    assert "nemesis healed" in out
+    assert "automatic resumption: OK" in out
