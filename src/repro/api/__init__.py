@@ -88,15 +88,19 @@ from repro.api.handles import (
     ORSetHandle,
     PNCounterHandle,
 )
+from repro.api.sharded import ShardedStore
 from repro.api.store import (
+    AsyncPipeline,
     AsyncStore,
     ReadReceipt,
+    SimPipeline,
     SimStore,
     Store,
     UpdateReceipt,
 )
 
 __all__ = [
+    "AsyncPipeline",
     "AsyncStore",
     "Completion",
     "CounterHandle",
@@ -108,6 +112,8 @@ __all__ = [
     "PNCounterHandle",
     "ReadReceipt",
     "RequestIds",
+    "ShardedStore",
+    "SimPipeline",
     "SimStore",
     "Store",
     "UNKEYED",

@@ -33,6 +33,7 @@ from repro.core.messages import (
     QueryDone,
     Refused,
     UpdateDone,
+    WrongGroup,
 )
 from repro.crdt.base import QueryOp, UpdateOp
 
@@ -54,14 +55,18 @@ UNKEYED: Any = _Unkeyed()
 class Completion:
     """A normalized reply: which request finished, with what outcome.
 
-    ``kind`` is ``"update"``, ``"read"`` or ``"refused"``.  Query
-    completions carry the protocol's diagnostics (round trips, attempts,
-    fast-path/vote learn, the §3.4 learn sequence); update completions
-    carry the inclusion tag the correctness checker uses.  A ``"refused"``
-    completion means the replica gave up gracefully — ``code`` names the
-    obstacle (``"quorum"`` / ``"storage"``) and the operation was *not*
-    performed.  ``key`` is :data:`UNKEYED` unless the reply arrived
-    wrapped in a ``Keyed`` envelope.
+    ``kind`` is ``"update"``, ``"read"``, ``"refused"`` or
+    ``"wrong_group"``.  Query completions carry the protocol's
+    diagnostics (round trips, attempts, fast-path/vote learn, the §3.4
+    learn sequence); update completions carry the inclusion tag the
+    correctness checker uses.  A ``"refused"`` completion means the
+    replica gave up gracefully — ``code`` names the obstacle
+    (``"quorum"`` / ``"storage"``) and the operation was *not*
+    performed.  A ``"wrong_group"`` completion is a sharded routing
+    refusal: ``epoch``/``group`` carry the forwarding hint and the
+    operation must be retried at the hinted group.  ``key`` is
+    :data:`UNKEYED` unless the reply arrived wrapped in a ``Keyed``
+    envelope.
     """
 
     request_id: str
@@ -75,6 +80,8 @@ class Completion:
     learn_seq: int = 0
     key: Any = UNKEYED
     code: str = ""
+    epoch: int = 0
+    group: str = ""
 
 
 class RequestIds:
@@ -152,5 +159,14 @@ def parse_completion(message: Any) -> Completion | None:
             learned_via=message.detail,
             key=key,
             code=message.code,
+        )
+    if isinstance(message, WrongGroup):
+        return Completion(
+            request_id=message.request_id,
+            kind="wrong_group",
+            key=key,
+            code="wrong_group",
+            epoch=message.epoch,
+            group=message.group,
         )
     return None

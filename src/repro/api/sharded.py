@@ -1,0 +1,272 @@
+"""ShardedStore: one client surface over many CRDT-Paxos groups.
+
+Routes every command to the group its key lives in (per the client's
+:class:`~repro.sharding.routing.RoutingService` snapshot), fans
+multi-key work out per group, and converges on stale routing by folding
+the epoch-stamped forwarding hints out of
+:class:`~repro.errors.WrongGroupError` refusals — a client whose table
+predates a migration bounces at most a handful of times before its
+override map catches up (replicas always attest the *highest* epoch
+they know, so each bounce strictly advances the client's view of the
+key unless the move is still in flight, in which case the bounce loop
+retries until commit lands).
+
+Safety never rests on the routing snapshot: a replica serves only keys
+its group owns (birth table + committed migration marks), so the worst
+a stale client can do is take extra hops.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, Mapping
+
+from repro.api.codec import UNKEYED
+from repro.api.handles import (
+    CounterHandle,
+    GSetHandle,
+    Handle,
+    LWWMapHandle,
+    LWWRegisterHandle,
+    ORSetHandle,
+    PNCounterHandle,
+)
+from repro.api.store import ReadReceipt, Store, UpdateReceipt
+from repro.crdt.base import QueryOp, UpdateOp
+from repro.errors import ConfigurationError, WrongGroupError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sharding.routing import RoutingService
+
+
+class ShardedStore:
+    """Routing facade over per-group :class:`~repro.api.store.Store`\\ s.
+
+    Parameters
+    ----------
+    group_stores:
+        ``group name → Store`` — one (keyed) store frontend per group.
+    routing:
+        The client's routing view; shared with the migration
+        coordinator in simulated deployments so committed moves are
+        visible immediately, or private (converging via WrongGroup
+        hints) for a genuinely remote client.
+    max_bounces:
+        How many WrongGroup re-routes one operation may take before the
+        store gives up (covers the install→commit window, where source
+        and destination both refuse and the client ping-pongs).
+    store_factory:
+        Optional ``group name → Store`` builder consulted when routing
+        points at a group with no attached store — how a long-lived
+        client follows ring growth without reconstruction.
+    """
+
+    def __init__(
+        self,
+        group_stores: Mapping[str, Store],
+        routing: RoutingService,
+        *,
+        max_bounces: int = 16,
+        store_factory: Any = None,
+    ) -> None:
+        if not group_stores:
+            raise ConfigurationError("a sharded store needs at least one group")
+        self.stores: dict[str, Store] = dict(group_stores)
+        self.routing = routing
+        self._store_factory = store_factory
+        if max_bounces < 1:
+            raise ConfigurationError("max_bounces must be >= 1")
+        self.max_bounces = max_bounces
+        self.keyed = True
+        #: Observability: operations re-routed by WrongGroup refusals,
+        #: and operations served per group.
+        self.reroutes = 0
+        self.ops_by_group: dict[str, int] = {name: 0 for name in self.stores}
+
+    # ------------------------------------------------------------------
+    def add_group(self, name: str, store: Store) -> None:
+        """Attach a group added to the ring after construction."""
+        if name in self.stores:
+            raise ConfigurationError(f"group {name!r} already attached")
+        self.stores[name] = store
+        self.ops_by_group.setdefault(name, 0)
+
+    def group_for(self, key: Hashable) -> str:
+        """The group this client would currently route ``key`` to."""
+        return self.routing.owner(key)
+
+    def _store_for(self, group: str) -> Store:
+        store = self.stores.get(group)
+        if store is None and self._store_factory is not None:
+            store = self._store_factory(group)
+            self.stores[group] = store
+            self.ops_by_group.setdefault(group, 0)
+        if store is None:
+            raise ConfigurationError(
+                f"routing points at group {group!r} but no store is "
+                f"attached for it (known: {sorted(self.stores)})"
+            )
+        return store
+
+    # ------------------------------------------------------------------
+    # Single-key operations: route, bounce on WrongGroup, converge.
+    # ------------------------------------------------------------------
+    def _routed(self, kind: str, key: Hashable, op: Any) -> Any:
+        last: WrongGroupError | None = None
+        for _ in range(self.max_bounces + 1):
+            group = self.routing.owner(key)
+            store = self._store_for(group)
+            try:
+                if kind == "update":
+                    receipt = store.update(key, op)
+                else:
+                    receipt = store.query(key, op)
+            except WrongGroupError as exc:
+                last = exc
+                self.reroutes += 1
+                if exc.group:
+                    self.routing.note(key, exc.epoch, exc.group)
+                continue
+            self.ops_by_group[group] = self.ops_by_group.get(group, 0) + 1
+            return receipt
+        raise WrongGroupError(
+            f"{kind} for key {key!r} still bouncing after "
+            f"{self.max_bounces} re-routes (last hint: group "
+            f"{last.group!r} @ epoch {last.epoch})"
+            if last is not None
+            else f"{kind} for key {key!r} exhausted its re-route budget",
+            epoch=last.epoch if last is not None else 0,
+            group=last.group if last is not None else "",
+        )
+
+    def update(
+        self, key: Hashable, op: UpdateOp, *, via: str | None = None
+    ) -> UpdateReceipt:
+        if via is not None:
+            raise ConfigurationError(
+                "via= pins a replica within one group; a sharded store "
+                "routes by key — pin on the group's own store instead"
+            )
+        return self._routed("update", key, op)
+
+    def query(
+        self, key: Hashable, op: QueryOp, *, via: str | None = None
+    ) -> ReadReceipt:
+        if via is not None:
+            raise ConfigurationError(
+                "via= pins a replica within one group; a sharded store "
+                "routes by key — pin on the group's own store instead"
+            )
+        return self._routed("query", key, op)
+
+    def query_value(
+        self, key: Hashable, op: QueryOp, *, via: str | None = None
+    ) -> Any:
+        return self.query(key, op, via=via).value
+
+    # ------------------------------------------------------------------
+    # Multi-key fan-out
+    # ------------------------------------------------------------------
+    def update_many(
+        self, items: Iterable[tuple[Hashable, UpdateOp]]
+    ) -> list[UpdateReceipt]:
+        """Apply many updates, fanned out per owning group.
+
+        Keys are grouped by their routed owner and each group's slice
+        goes through that store's :meth:`~repro.api.store.Store.pipeline`
+        (one burst per group, feeding the §3.6 proposer batches).  A
+        slice that hits a mid-migration WrongGroup falls back to per-key
+        routed submission — at-least-once, like every update path here.
+        Receipts come back in input order.
+        """
+        ordered = list(items)
+        by_group: dict[str, list[int]] = {}
+        for index, (key, _) in enumerate(ordered):
+            by_group.setdefault(self.routing.owner(key), []).append(index)
+        receipts: list[UpdateReceipt | None] = [None] * len(ordered)
+        for group, indexes in by_group.items():
+            store = self._store_for(group)
+            try:
+                pipeline = store.pipeline()
+                for index in indexes:
+                    key, op = ordered[index]
+                    pipeline.update(key, op)
+                flushed = pipeline.flush()
+            except (WrongGroupError, NotImplementedError):
+                # Routing moved under the batch (or the frontend has no
+                # pipeline): re-route each key individually.
+                for index in indexes:
+                    key, op = ordered[index]
+                    receipts[index] = self._routed("update", key, op)
+                continue
+            for index, receipt in zip(indexes, flushed):
+                receipts[index] = receipt
+            self.ops_by_group[group] = (
+                self.ops_by_group.get(group, 0) + len(indexes)
+            )
+        return receipts  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Typed handles (duck-typed against Handle's store contract)
+    # ------------------------------------------------------------------
+    def _resolve(self, key: Hashable) -> Hashable:
+        if key is UNKEYED:
+            raise ConfigurationError(
+                "a sharded store routes by key; pass one "
+                "(e.g. store.counter('views:home'))"
+            )
+        return key
+
+    def handle(self, key: Hashable) -> Handle:
+        return Handle(self, self._resolve(key))
+
+    def counter(self, key: Hashable) -> CounterHandle:
+        return CounterHandle(self, self._resolve(key))
+
+    def pncounter(self, key: Hashable) -> PNCounterHandle:
+        return PNCounterHandle(self, self._resolve(key))
+
+    def orset(self, key: Hashable) -> ORSetHandle:
+        return ORSetHandle(self, self._resolve(key))
+
+    def gset(self, key: Hashable) -> GSetHandle:
+        return GSetHandle(self, self._resolve(key))
+
+    def lwwmap(self, key: Hashable) -> LWWMapHandle:
+        return LWWMapHandle(self, self._resolve(key))
+
+    def lwwregister(self, key: Hashable) -> LWWRegisterHandle:
+        return LWWRegisterHandle(self, self._resolve(key))
+
+    # ------------------------------------------------------------------
+    # Maintenance / observability fan-out
+    # ------------------------------------------------------------------
+    def flush(self) -> dict[str, int]:
+        """Flush every group's replicas; keys are ``group/replica``."""
+        flushed: dict[str, int] = {}
+        for group, store in self.stores.items():
+            for address, spills in store.flush().items():
+                flushed[f"{group}/{address}"] = spills
+        return flushed
+
+    def rejoin(self) -> dict[str, int]:
+        """Open quorum refreshes on every group; keys ``group/replica``."""
+        pending: dict[str, int] = {}
+        for group, store in self.stores.items():
+            for address, count in store.rejoin().items():
+                pending[f"{group}/{address}"] = count
+        return pending
+
+    def health_report(self) -> dict[str, dict[str, Any]]:
+        """Per-group client-side health: replica suspicion + op counts."""
+        report: dict[str, dict[str, Any]] = {}
+        for group, store in self.stores.items():
+            report[group] = {
+                "replicas": list(store.addresses),
+                "suspected": [
+                    address
+                    for address in store.addresses
+                    if store.health.suspected(address)
+                ],
+                "ops": self.ops_by_group.get(group, 0),
+            }
+        return report

@@ -65,6 +65,7 @@ from repro.errors import (
     QuorumUnavailable,
     RequestTimeout,
     StorageUnavailable,
+    WrongGroupError,
 )
 
 
@@ -387,10 +388,36 @@ class Store:
         return pending
 
     # ------------------------------------------------------------------
+    # Shared completion triage
+    # ------------------------------------------------------------------
+    def _wrong_group(self, replica: str, completion: Completion) -> WrongGroupError:
+        """A sharded replica's routing refusal — typed, with the hint.
+
+        Raised instead of failing over: the *whole group* refuses the
+        key (ownership is a group property), so trying the next member
+        burns attempts to learn the same answer.  The caller —
+        :class:`~repro.api.sharded.ShardedStore`, or application code —
+        folds ``epoch``/``group`` into its routing view and retries at
+        the hinted group.
+        """
+        return WrongGroupError(
+            f"replica {replica} does not own key {completion.key!r}; "
+            f"owner is group {completion.group!r} as of epoch "
+            f"{completion.epoch}",
+            epoch=completion.epoch,
+            group=completion.group,
+        )
+
+    # ------------------------------------------------------------------
     # Frontend contract
     # ------------------------------------------------------------------
     def update(self, key: Hashable, op: UpdateOp, *, via: str | None = None):
         """Submit ``f_u`` to the bound key; completes when durable."""
+        raise NotImplementedError
+
+    def pipeline(self):
+        """A batched handle: queue many operations, flush them in one
+        burst so the proposer's §3.6 update batching can pack them."""
         raise NotImplementedError
 
     def query(self, key: Hashable, op: QueryOp, *, via: str | None = None):
@@ -437,6 +464,9 @@ class SimStore(Store):
         self._sim = cluster.sim
         self._pending_id: str | None = None
         self._arrived: Completion | None = None
+        #: Pipeline multiplexing: request ids a flush is waiting on,
+        #: filled in by :meth:`_on_reply` as completions arrive.
+        self._multi_pending: dict[str, Completion | None] = {}
         self._endpoint = ClientEndpoint(
             self._sim, cluster.network, f"store-{client}", self._on_reply
         )
@@ -446,9 +476,15 @@ class SimStore(Store):
 
     def _on_reply(self, src: str, message: Any) -> None:
         completion = parse_completion(message)
-        if completion is None or completion.request_id != self._pending_id:
-            return  # stale reply to a superseded attempt
-        self._arrived = completion
+        if completion is None:
+            return
+        if completion.request_id == self._pending_id:
+            self._arrived = completion
+            return
+        if completion.request_id in self._multi_pending:
+            self._multi_pending[completion.request_id] = completion
+            return
+        # Stale reply to a superseded attempt: dropped.
 
     def _submit(
         self, compile_fn: Callable[[str], Any], via: str | None
@@ -472,6 +508,8 @@ class SimStore(Store):
             if completion is None:
                 self._note_failed(replica)
                 continue
+            if completion.kind == "wrong_group":
+                raise self._wrong_group(replica, completion)
             if completion.kind == "refused":
                 # The replica gave up in bounded time (quorum or storage)
                 # — fail over immediately, remember why.
@@ -481,6 +519,9 @@ class SimStore(Store):
             self._note_served(replica, client_attempts)
             return completion, replica, client_attempts
         return None
+
+    def pipeline(self) -> "SimPipeline":
+        return SimPipeline(self)
 
     def update(
         self, key: Hashable, op: UpdateOp, *, via: str | None = None
@@ -559,6 +600,8 @@ class AsyncStore(Store):
             completion = parse_completion(reply)
             if completion is None or completion.request_id != request_id:
                 continue
+            if completion.kind == "wrong_group":
+                raise self._wrong_group(replica, completion)
             if completion.kind == "refused":
                 self._last_refusals.append((replica, completion.code))
                 self._note_failed(replica)
@@ -566,6 +609,9 @@ class AsyncStore(Store):
             self._note_served(replica, client_attempts)
             return completion, replica, client_attempts
         return None
+
+    def pipeline(self) -> "AsyncPipeline":
+        return AsyncPipeline(self)
 
     async def update(
         self, key: Hashable, op: UpdateOp, *, via: str | None = None
@@ -594,3 +640,163 @@ class AsyncStore(Store):
     ) -> Any:
         receipt = await self.query(key, op, via=via)
         return receipt.value
+
+
+class _PipelineBase:
+    """Shared queueing for the batched client handles.
+
+    A pipeline queues typed operations and submits them in one burst on
+    :meth:`flush` — many requests in flight from one client, exactly the
+    shape the proposer's §3.6 update batching packs into shared MERGE
+    rounds (message count independent of batch size).  Updates stay
+    at-least-once under fail-over, as with individual calls.
+    """
+
+    def __init__(self, store: Store) -> None:
+        self._store = store
+        self._ops: list[tuple[str, Hashable, Any]] = []
+
+    def update(self, key: Hashable, op: UpdateOp) -> "_PipelineBase":
+        """Queue ``f_u`` for the key; returns self for chaining."""
+        self._ops.append(("update", self._store._resolve(key), op))
+        return self
+
+    def query(self, key: Hashable, op: QueryOp) -> "_PipelineBase":
+        """Queue ``f_q`` for the key; returns self for chaining."""
+        self._ops.append(("query", self._store._resolve(key), op))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+
+class SimPipeline(_PipelineBase):
+    """Batched frontend over :class:`SimStore`: all queued operations go
+    on the wire back-to-back, then one drive of the simulator collects
+    every completion (with per-operation fail-over, like ``_submit``).
+    """
+
+    def flush(self) -> list[UpdateReceipt | ReadReceipt]:
+        """Submit everything queued; receipts in queue order.
+
+        Raises on the first operation that exhausts its attempts (or is
+        refused with ``wrong_group``); operations that completed before
+        the failure are still durable — the pipeline is at-least-once,
+        not atomic.
+        """
+        store = self._store
+        ops, self._ops = self._ops, []
+        if not ops:
+            return []
+        n = len(ops)
+        results: list[Any] = [None] * n
+        errors: list[Exception | None] = [None] * n
+        targets = [store._attempt_targets(None) for _ in range(n)]
+        attempt: list[int] = [0] * n
+        served_by: list[str] = [""] * n
+        deadline: list[float] = [0.0] * n
+        rid_to_op: dict[str, int] = {}
+        open_ops = set(range(n))
+
+        def send(i: int) -> None:
+            replica = targets[i][attempt[i]]
+            served_by[i] = replica
+            request_id = store._ids.next()
+            rid_to_op[request_id] = i
+            store._multi_pending[request_id] = None
+            kind, key, op = ops[i]
+            message = (
+                compile_update(request_id, op, key=key)
+                if kind == "update"
+                else compile_query(request_id, op, key=key)
+            )
+            store._endpoint.send(replica, message)
+            deadline[i] = store._sim.now + store._attempt_timeout(replica)
+
+        def fail_over(i: int, error: Exception | None) -> None:
+            store._note_failed(served_by[i])
+            attempt[i] += 1
+            if attempt[i] < len(targets[i]):
+                send(i)
+                return
+            kind, key, _ = ops[i]
+            errors[i] = error if error is not None else store._request_failed(
+                kind, key
+            )
+            open_ops.discard(i)
+
+        for i in range(n):
+            send(i)
+        try:
+            while open_ops:
+                for request_id, completion in list(store._multi_pending.items()):
+                    if completion is None:
+                        continue
+                    del store._multi_pending[request_id]
+                    i = rid_to_op.pop(request_id)
+                    if i not in open_ops:
+                        continue  # superseded attempt answered late
+                    if completion.kind == "wrong_group":
+                        errors[i] = store._wrong_group(served_by[i], completion)
+                        open_ops.discard(i)
+                        continue
+                    if completion.kind == "refused":
+                        store._last_refusals.append(
+                            (served_by[i], completion.code)
+                        )
+                        fail_over(i, None)
+                        continue
+                    store._note_served(served_by[i], attempt[i] + 1)
+                    kind = ops[i][0]
+                    results[i] = (
+                        store._update_receipt(completion, served_by[i], attempt[i] + 1)
+                        if kind == "update"
+                        else store._read_receipt(completion, served_by[i], attempt[i] + 1)
+                    )
+                    open_ops.discard(i)
+                if not open_ops:
+                    break
+                now = store._sim.now
+                expired = [i for i in open_ops if now >= deadline[i]]
+                for i in expired:
+                    fail_over(i, None)
+                if not open_ops:
+                    break
+                if not store._sim.step():
+                    # Event queue drained: nothing further is coming.
+                    for i in list(open_ops):
+                        kind, key, _ = ops[i]
+                        errors[i] = store._request_failed(kind, key)
+                        open_ops.discard(i)
+        finally:
+            for request_id in rid_to_op:
+                store._multi_pending.pop(request_id, None)
+        for error in errors:
+            if error is not None:
+                raise error
+        return results
+
+
+class AsyncPipeline(_PipelineBase):
+    """Batched frontend over :class:`AsyncStore`: the queued operations
+    run as concurrent coroutines (one event-loop turn fires them all, so
+    the replica sees the same back-to-back burst the sim pipeline sends).
+    """
+
+    async def flush(self) -> list[UpdateReceipt | ReadReceipt]:
+        import asyncio
+
+        store = self._store
+        ops, self._ops = self._ops, []
+        if not ops:
+            return []
+
+        async def run(kind: str, key: Hashable, op: Any) -> Any:
+            if kind == "update":
+                return await store.update(key, op)
+            return await store.query(key, op)
+
+        results = await asyncio.gather(
+            *(run(kind, key, op) for kind, key, op in ops)
+        )
+        return list(results)

@@ -27,11 +27,19 @@ from repro.checker.lattice_linearizability import (
     gcounter_includes,
 )
 from repro.checker.scheduler import ExplorationReport, InterleavingExplorer
+from repro.checker.sharded import (
+    ShardedExplorationReport,
+    ShardedMigrationExplorer,
+    ShardedNemesisContext,
+)
 
 __all__ = [
     "ExplorationReport",
     "History",
     "InterleavingExplorer",
+    "ShardedExplorationReport",
+    "ShardedMigrationExplorer",
+    "ShardedNemesisContext",
     "QueryRecord",
     "UpdateRecord",
     "check_all",

@@ -115,6 +115,12 @@ from repro.core.messages import (
     ClientQuery,
     ClientUpdate,
     Merged,
+    MigrateCommit,
+    MigrateCommitAck,
+    MigrateFreeze,
+    MigrateFrozen,
+    MigrateInstall,
+    MigrateInstalled,
     Prepare,
     PrepareAck,
     PrepareNack,
@@ -122,6 +128,7 @@ from repro.core.messages import (
     Refused,
     UpdateDone,
     Voted,
+    WrongGroup,
 )
 from repro.core.proposer import Proposer, ProposerShared, ProposerStats
 from repro.core.rounds import Round
@@ -158,10 +165,26 @@ _COUNTER_LEASE = 256
 
 #: Message types whose receipt certifies durable state at this replica —
 #: the protocol acks a learn certificate can rest on (MERGED /
-#: PREPARE-ACK / VOTED) plus the client-visible completions.  Under
+#: PREPARE-ACK / VOTED) plus the client-visible completions.  The
+#: migration replies belong here too: a MIGRATE-FROZEN snapshot, an
+#: installed triple and a commit ack are promises the coordinator builds
+#: the move on, so they must rest on persisted state.  Under
 #: ``group_sync`` these park until a flush covers the state they attest;
 #: requests and nacks leak nothing a certificate can use, so they flow.
-_CERTIFYING = (Merged, PrepareAck, Voted, UpdateDone, QueryDone)
+_CERTIFYING = (
+    Merged,
+    PrepareAck,
+    Voted,
+    UpdateDone,
+    QueryDone,
+    MigrateFrozen,
+    MigrateInstalled,
+    MigrateCommitAck,
+)
+
+#: Migration commands a replica handles from a coordinator (the replies
+#: above are the coordinator's side of the conversation).
+_MIGRATION_COMMANDS = (MigrateFreeze, MigrateInstall, MigrateCommit)
 
 
 # No ``slots=True``: the memoized wire size lives in the instance dict
@@ -282,6 +305,149 @@ class _RejoinState:
         self.rounds = 0
 
 
+class _OutboundMigration:
+    """A key frozen at this (source) replica, awaiting commit."""
+
+    __slots__ = ("request_id", "epoch", "target")
+
+    def __init__(self, request_id: str, epoch: int, target: str) -> None:
+        self.request_id = request_id
+        self.epoch = epoch
+        self.target = target
+
+
+class _InboundMigration:
+    """A key installed at this (destination) replica, awaiting commit.
+
+    Client commands arriving between install and commit buffer here:
+    serving them early would let a destination read quorum form before
+    the installed triple is replicated widely enough to be learned.
+    """
+
+    __slots__ = ("request_id", "epoch", "buffered")
+
+    def __init__(
+        self,
+        request_id: str,
+        epoch: int,
+        buffered: list[tuple[str, Any]] | None = None,
+    ) -> None:
+        self.request_id = request_id
+        self.epoch = epoch
+        self.buffered: list[tuple[str, Any]] = buffered if buffered is not None else []
+
+
+class GroupOwnership:
+    """Which keys this replica's group serves — table plus migration marks.
+
+    ``table`` is the routing table the replica was born under (duck-typed:
+    ``.epoch`` and ``.owner(key)`` — see
+    :class:`repro.sharding.routing.RoutingTable`); it never changes in
+    place.  Every later change of ownership arrives as an explicit,
+    epoch-stamped migration and leaves a per-key mark:
+
+    * ``moved_out[key] = (epoch, target)`` — committed away; refuse with
+      a forwarding :class:`~repro.core.messages.WrongGroup`.
+    * ``moved_in[key] = epoch`` — committed here; serve even though the
+      birth table says another group owns it (this is also how a group
+      added *after* the ring was born acquires its keys: its replicas
+      own nothing by default and accrue keys move by move).
+    * ``freezing[key]`` — freeze received, commit pending: refuse
+      clients with the forwarding hint, drop peer protocol traffic (a
+      frozen replica must never ack again — that is what makes the
+      coordinator's snapshot quorum intersect every completed update's
+      write quorum).
+    * ``incoming[key]`` — install received, commit pending: buffer
+      client commands, drop peer traffic.
+
+    ``max_epoch`` tracks the highest routing epoch this replica has
+    attested; it is persisted in the spill meta (with the moved marks)
+    so ownership survives recovery and only ever moves forward.
+    """
+
+    __slots__ = (
+        "group",
+        "table",
+        "max_epoch",
+        "moved_out",
+        "moved_in",
+        "freezing",
+        "incoming",
+    )
+
+    def __init__(self, group: str, table: Any) -> None:
+        self.group = group
+        self.table = table
+        self.max_epoch = int(table.epoch)
+        self.moved_out: dict[Hashable, tuple[int, str]] = {}
+        self.moved_in: dict[Hashable, int] = {}
+        self.freezing: dict[Hashable, _OutboundMigration] = {}
+        self.incoming: dict[Hashable, _InboundMigration] = {}
+
+    def note_epoch(self, epoch: int) -> None:
+        if epoch > self.max_epoch:
+            self.max_epoch = epoch
+
+    def owns(self, key: Hashable) -> bool:
+        """Does this group serve the key (ignoring in-flight freezes)?"""
+        if key in self.moved_in:
+            return True
+        return self.table.owner(key) == self.group
+
+    def forward_hint(self, key: Hashable) -> tuple[int, str] | None:
+        """The ``(epoch, owner)`` to refuse with, or None when served."""
+        mark = self.moved_out.get(key)
+        if mark is not None:
+            return mark
+        out = self.freezing.get(key)
+        if out is not None:
+            return (out.epoch, out.target)
+        if not self.owns(key):
+            return (self.table.epoch, self.table.owner(key))
+        return None
+
+    # -- spill-meta persistence -------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Ownership fields for the spill meta (see ``_write_meta``)."""
+        return {
+            "routing_epoch": self.max_epoch,
+            "moved_out": [
+                [key, epoch, target]
+                for key, (epoch, target) in self.moved_out.items()
+            ],
+            "moved_in": [[key, epoch] for key, epoch in self.moved_in.items()],
+            "migrating_out": [
+                [key, out.request_id, out.epoch, out.target]
+                for key, out in self.freezing.items()
+            ],
+        }
+
+    def restore(self, meta: dict[str, Any]) -> None:
+        """Fold a recovered meta snapshot in (forward-only epochs).
+
+        Freeze marks are restored as freezes: a source replica that
+        snapshotted, died and recovered must stay frozen — serving (or
+        acking) again could complete an update the coordinator's already
+        collected snapshot quorum never saw.  Inbound installs need no
+        mark: the installed triple lives in the key's own spill record,
+        and the re-driven commit re-marks moved-in.
+        """
+        self.note_epoch(int(meta.get("routing_epoch", 0)))
+        for key, epoch, target in meta.get("moved_out", ()):  # type: ignore[misc]
+            current = self.moved_out.get(key)
+            if current is None or current[0] < epoch:
+                self.moved_out[key] = (int(epoch), target)
+        for key, epoch in meta.get("moved_in", ()):  # type: ignore[misc]
+            if self.moved_in.get(key, -1) < epoch:
+                self.moved_in[key] = int(epoch)
+        for key, request_id, epoch, target in meta.get("migrating_out", ()):  # type: ignore[misc]
+            out = self.freezing.get(key)
+            if out is None or out.epoch < epoch:
+                self.freezing[key] = _OutboundMigration(
+                    request_id, int(epoch), target
+                )
+
+
 class KeyedCrdtReplica(ProtocolNode):
     """A replica hosting an independent CRDT Paxos instance per key.
 
@@ -310,6 +476,7 @@ class KeyedCrdtReplica(ProtocolNode):
         quorum: QuorumSystem | None = None,
         eager: bool = False,
         spill_store: SpillStore | None = None,
+        ownership: GroupOwnership | None = None,
     ) -> None:
         super().__init__(node_id)
         if node_id not in peers:
@@ -331,6 +498,9 @@ class KeyedCrdtReplica(ProtocolNode):
             )
         self._spill_store = spill_store
         self._durability = self.config.durability
+        #: Sharded deployments: which keys this replica's group serves
+        #: (None = unsharded, every key is ours — today's behaviour).
+        self._ownership = ownership
         #: Flyweight context shared by every per-key proposer (stats too:
         #: the counters aggregate across keys, one sink per replica).
         self._shared = ProposerShared(
@@ -389,6 +559,12 @@ class KeyedCrdtReplica(ProtocolNode):
         self._rejoin_pending: set[Hashable] = set()
         self._rejoin_active: dict[Hashable, _RejoinState] = {}
         self._rejoin_seq = 0
+        #: Sharding observability: client commands refused with a
+        #: forwarding WrongGroup, and migrations committed out of / into
+        #: this replica's group at this replica.
+        self.wrong_group_refusals = 0
+        self.migrations_out = 0
+        self.migrations_in = 0
         #: Eviction observability.
         self.evictions = 0
         self.rehydrations = 0
@@ -421,6 +597,7 @@ class KeyedCrdtReplica(ProtocolNode):
         config: CrdtPaxosConfig | None = None,
         quorum: QuorumSystem | None = None,
         rejoin: bool = False,
+        ownership: GroupOwnership | None = None,
     ) -> "KeyedCrdtReplica":
         """Rebuild a replica purely from its spill store after a restart.
 
@@ -452,10 +629,17 @@ class KeyedCrdtReplica(ProtocolNode):
             config,
             quorum,
             spill_store=spill_store,
+            ownership=ownership,
         )
         meta = spill_store.get_meta()
         if meta is not None:
             replica._shared.restore_counters(meta)
+            if ownership is not None:
+                # Routing epochs and moved-out/frozen marks are part of
+                # the durable state: a recovered source replica must keep
+                # refusing (and must stay frozen) for keys that migrated
+                # away while it was alive — or mid-kill.
+                ownership.restore(meta)
         clean = (
             meta.get("clean_shutdown") is True
             if meta is not None
@@ -877,6 +1061,12 @@ class KeyedCrdtReplica(ProtocolNode):
             return Effects()  # unkeyed traffic is not ours
         key = message.key
         inner = message.message
+        if self._ownership is not None:
+            if isinstance(inner, _MIGRATION_COMMANDS):
+                return self._on_migration_message(key, src, inner, now)
+            gated = self._ownership_gate(key, src, inner)
+            if gated is not None:
+                return gated
         instance = self.instance(key, now)
 
         if self._rejoin_pending and key in self._rejoin_pending:
@@ -913,6 +1103,298 @@ class KeyedCrdtReplica(ProtocolNode):
             instance.acceptor, instance.proposer, src, inner, now
         )
         return effects if effects is not None else Effects()
+
+    # ------------------------------------------------------------------
+    # Sharded ownership (repro.sharding)
+    # ------------------------------------------------------------------
+    def _client_command(
+        self, key: Hashable, inst: _KeyInstance, src: str, inner: Any, now: float
+    ) -> Effects:
+        """Serve, buffer or refuse one client command, ownership-aware.
+
+        The replay paths (rejoin refresh, migration commit) must come
+        back through this check too: ownership may have changed while a
+        command sat buffered — a key can finish its quorum refresh only
+        to discover an install landed meanwhile.
+        """
+        own = self._ownership
+        if own is not None:
+            hint = own.forward_hint(key)
+            if hint is not None:
+                self.wrong_group_refusals += 1
+                effects = Effects()
+                effects.send(
+                    src,
+                    WrongGroup(
+                        request_id=inner.request_id, epoch=hint[0], group=hint[1]
+                    ),
+                )
+                return effects
+            incoming = own.incoming.get(key)
+            if incoming is not None:
+                incoming.buffered.append((src, inner))
+                return Effects()
+        return self._handle_client(key, inst, src, inner, now)
+
+    def _ownership_gate(
+        self, key: Hashable, src: str, inner: Any
+    ) -> Effects | None:
+        """Consume traffic for keys this group does not serve.
+
+        Returns wrapped effects when the gate handled the message, None
+        when the key is owned and the normal path should run.  Client
+        commands for unowned keys refuse with a forwarding
+        :class:`WrongGroup` *without admitting the key* (a moved-out key
+        must not be resurrected as a fresh bottom instance by stray
+        traffic); peer protocol messages for frozen or moved-out keys
+        are dropped — a frozen replica that granted one more promise or
+        ack would break the snapshot-quorum intersection argument.
+        """
+        own = self._ownership
+        is_client = isinstance(inner, (ClientUpdate, ClientQuery))
+        hint = own.forward_hint(key)
+        if hint is not None:
+            if is_client:
+                self.wrong_group_refusals += 1
+                effects = Effects()
+                effects.send(
+                    src,
+                    WrongGroup(
+                        request_id=inner.request_id, epoch=hint[0], group=hint[1]
+                    ),
+                )
+                return self._wrap(key, effects)
+            return Effects()  # peer traffic for a key we no longer serve
+        incoming = own.incoming.get(key)
+        if incoming is not None:
+            if is_client:
+                incoming.buffered.append((src, inner))
+            return Effects()  # buffered until commit; peer traffic drops
+        return None
+
+    def _on_migration_message(
+        self, key: Hashable, src: str, inner: Any, now: float
+    ) -> Effects:
+        """Handle one coordinator command (freeze / install / commit).
+
+        Every reply here is certifying (the coordinator builds the move
+        on it), so the persist-before-ack discipline applies: the key's
+        triple *and* the ownership marks go to the store before the
+        reply escapes, and a failed persist suppresses it — the
+        coordinator re-drives, exactly like a lost message.
+        """
+        own = self._ownership
+        own.note_epoch(inner.epoch)
+        if isinstance(inner, MigrateFreeze):
+            return self._on_migrate_freeze(key, src, inner, now)
+        if isinstance(inner, MigrateInstall):
+            return self._on_migrate_install(key, src, inner, now)
+        return self._on_migrate_commit(key, src, inner, now)
+
+    def _on_migrate_freeze(
+        self, key: Hashable, src: str, inner: MigrateFreeze, now: float
+    ) -> Effects:
+        own = self._ownership
+        mark = own.moved_out.get(key)
+        if mark is not None and mark[0] >= inner.epoch:
+            # The move already committed here; nothing left to snapshot.
+            # The coordinator is past freeze (it sent the commit), so
+            # this is a stale re-drive — drop it.
+            return Effects()
+        if self._rejoin_pending and key in self._rejoin_pending:
+            # A possibly-stale pair must not be snapshotted: its record
+            # may predate acks the dead generation gave away.  Kick the
+            # quorum refresh and let the coordinator re-drive the freeze
+            # (it only needs a quorum of source snapshots, which the
+            # still-live peers provide meanwhile).
+            inst = self.instance(key, now)
+            effects = Effects()
+            if key not in self._rejoin_active:
+                self._start_rejoin(key, inst, effects)
+            return self._wrap(key, effects)
+        out = own.freezing.get(key)
+        if out is None or out.epoch < inner.epoch:
+            out = _OutboundMigration(inner.request_id, inner.epoch, inner.target)
+            own.freezing[key] = out
+        inst = self.instance(key, now)
+        proposer = inst.proposer
+        learned_max = (
+            proposer.learned_max if proposer is not None else inst.learned_max
+        )
+        effects = Effects()
+        effects.send(
+            src,
+            MigrateFrozen(
+                request_id=out.request_id,
+                epoch=out.epoch,
+                round=inst.acceptor.round,
+                state=inst.acceptor.state,
+                learned_max=learned_max,
+            ),
+        )
+        if not (self._persist_step(key, inst) and self._persist_marks()):
+            effects = self._suppress_unpersisted(effects)
+        wrapped = self._wrap(key, effects)
+        self._evict_excess()
+        return wrapped
+
+    def _on_migrate_install(
+        self, key: Hashable, src: str, inner: MigrateInstall, now: float
+    ) -> Effects:
+        own = self._ownership
+        effects = Effects()
+        if own.moved_in.get(key, -1) >= inner.epoch:
+            # Commit already landed here; the re-driven install only
+            # needs its (idempotent) ack.
+            effects.send(
+                src,
+                MigrateInstalled(request_id=inner.request_id, epoch=inner.epoch),
+            )
+            return self._wrap(key, effects)
+        mark = own.moved_out.get(key)
+        if mark is not None and mark[0] < inner.epoch:
+            del own.moved_out[key]  # the key is migrating back to us
+        incoming = own.incoming.get(key)
+        if incoming is None or incoming.epoch < inner.epoch:
+            buffered = incoming.buffered if incoming is not None else None
+            incoming = _InboundMigration(inner.request_id, inner.epoch, buffered)
+            own.incoming[key] = incoming
+        # Rejoin-style refresh, pointed at another group's quorum: fold
+        # the joined snapshot into the local pair (join / max).  Joining
+        # is monotone, so this is safe even on a rejoin-pending pair.
+        inst = self.instance(key, now)
+        acceptor = inst.acceptor
+        acceptor.state = acceptor.state.join(inner.state)
+        if inner.round.number > acceptor.round.number:
+            acceptor.round = inner.round
+        if inner.learned_max is not None and inst.proposer is None:
+            inst.learned_max = (
+                inner.learned_max
+                if inst.learned_max is None
+                else inst.learned_max.join(inner.learned_max)
+            )
+        effects.send(
+            src,
+            MigrateInstalled(request_id=incoming.request_id, epoch=incoming.epoch),
+        )
+        if not (self._persist_step(key, inst) and self._persist_marks()):
+            effects = self._suppress_unpersisted(effects)
+        wrapped = self._wrap(key, effects)
+        self._evict_excess()
+        return wrapped
+
+    def _on_migrate_commit(
+        self, key: Hashable, src: str, inner: MigrateCommit, now: float
+    ) -> Effects:
+        own = self._ownership
+        effects = Effects()
+        out = own.freezing.get(key)
+        if out is not None and out.epoch <= inner.epoch:
+            del own.freezing[key]
+        incoming = own.incoming.get(key)
+        persist_inst: _KeyInstance | None = None
+        if inner.target == own.group:
+            # Destination side: the key is ours from this epoch on.
+            if own.moved_in.get(key, -1) < inner.epoch:
+                own.moved_in[key] = inner.epoch
+                self.migrations_in += 1
+            moved_out = own.moved_out.get(key)
+            if moved_out is not None and moved_out[0] < inner.epoch:
+                del own.moved_out[key]
+            if incoming is not None and incoming.epoch <= inner.epoch:
+                del own.incoming[key]
+                persist_inst = self.instance(key, now)
+                for held_src, held_inner in incoming.buffered:
+                    effects.merge(
+                        self._client_command(
+                            key, persist_inst, held_src, held_inner, now
+                        )
+                    )
+        else:
+            # Source (or returning-stale) side: drop the record, keep a
+            # durable forwarding mark, and refuse everything any gate
+            # was holding for the key — those clients re-route.
+            mark = own.moved_out.get(key)
+            if mark is None or mark[0] < inner.epoch:
+                own.moved_out[key] = (inner.epoch, inner.target)
+                self.migrations_out += 1
+            if own.moved_in.get(key, -1) <= inner.epoch:
+                own.moved_in.pop(key, None)
+            held: list[tuple[str, Any]] = []
+            rejoin_state = self._rejoin_active.pop(key, None)
+            if rejoin_state is not None:
+                held.extend(rejoin_state.buffered)
+                effects.cancel_timer(_REJOIN_TIMER)
+            self._rejoin_pending.discard(key)
+            if incoming is not None:
+                del own.incoming[key]
+                held.extend(incoming.buffered)
+            for held_src, held_inner in held:
+                self.wrong_group_refusals += 1
+                effects.send(
+                    held_src,
+                    WrongGroup(
+                        request_id=held_inner.request_id,
+                        epoch=inner.epoch,
+                        group=inner.target,
+                    ),
+                )
+            self._drop_key(key)
+        effects.send(
+            src, MigrateCommitAck(request_id=inner.request_id, epoch=inner.epoch)
+        )
+        persisted = self._persist_marks()
+        if persist_inst is not None:
+            persisted = self._persist_step(key, persist_inst) and persisted
+        if not persisted:
+            effects = self._suppress_unpersisted(effects)
+        wrapped = self._wrap(key, effects)
+        self._evict_excess()
+        return wrapped
+
+    def _drop_key(self, key: Hashable) -> None:
+        """Forget a moved-out key entirely (RAM tiers + spill record).
+
+        The moved-out mark is the only thing that must survive; a stale
+        spill record would be harmless (the mark gates every read of it)
+        but wastes the store, so the delete is best-effort.
+        """
+        inst = self._resident.pop(key, None)
+        if inst is not None:
+            namespace = repr(key)
+            if self._namespaces.get(namespace) == key:
+                del self._namespaces[namespace]
+        self._frozen.pop(key, None)
+        self._durable_stamps.pop(key, None)
+        if self._spill_store is not None:
+            try:
+                self._spill_store.delete(key)
+            except (StorageUnavailable, OSError):
+                pass
+
+    def _persist_marks(self) -> bool:
+        """Persist the ownership marks before a migration reply escapes.
+
+        Same discipline as :meth:`_persist_step`, for the meta record:
+        a frozen mark that failed to reach the store must suppress the
+        MIGRATE-FROZEN reply — otherwise a hard-killed source replica
+        could recover unfrozen and ack an update the coordinator's
+        snapshot never saw.  Under ``durability="none"`` nothing durable
+        is promised anyway, so a failed write only costs recovery
+        fidelity (and hard kills are out of model there).
+        """
+        if self._ownership is None or self._spill_store is None:
+            return True
+        try:
+            self._write_meta(clean=False)
+            if self._durability == "write_through":
+                self._spill_store.flush()
+            elif self._durability == "group_sync":
+                self._sync_dirty = True
+        except (StorageUnavailable, OSError):
+            self.persist_refusals += 1
+            return self._durability == "none"
+        return True
 
     def on_timer(self, key: str, now: float) -> Effects:
         if key == _SWEEP_TIMER:
@@ -1193,6 +1675,12 @@ class KeyedCrdtReplica(ProtocolNode):
         meta["clean_shutdown"] = clean
         meta["node_epoch"] = self._node_epoch
         meta["durability"] = self._durability
+        if self._ownership is not None:
+            # Ownership marks ride in the same meta record: moved-out
+            # forwarding, moved-in grants and open freezes must survive
+            # a hard kill (a recovered source replica that forgot its
+            # freeze could ack an update the migration snapshot missed).
+            meta.update(self._ownership.snapshot())
         store.put_meta(meta)
         self._counter_watermarks = snapshot
         self._dirty_marked = not clean
@@ -1377,7 +1865,10 @@ class KeyedCrdtReplica(ProtocolNode):
         if self.config.request_timeout is not None:
             effects.cancel_timer(_REJOIN_TIMER)
         for buffered_src, buffered_inner in state.buffered:
+            # Ownership-aware replay: an install may have landed for the
+            # key while it sat behind the refresh — the command must
+            # buffer (or refuse) there, not bypass the migration gate.
             effects.merge(
-                self._handle_client(key, inst, buffered_src, buffered_inner, now)
+                self._client_command(key, inst, buffered_src, buffered_inner, now)
             )
         return effects

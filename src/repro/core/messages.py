@@ -136,6 +136,147 @@ class Refused:
 
 
 # ----------------------------------------------------------------------
+# Sharded routing / key migration (repro.sharding)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class WrongGroup:
+    """Refusal: this replica's group does not (or no longer does) own
+    the key the command addressed.
+
+    ``epoch`` is the highest routing epoch the refusing replica can
+    attest for the key and ``group`` the owner it forwards to — a frozen
+    or moved-out key answers with its migration's target, an
+    unowned-by-table key with the ring owner.  Stale clients converge by
+    folding ``(epoch, group)`` into their routing snapshot and retrying
+    at the hint; like :class:`Refused`, nothing about the operation has
+    been performed or promised.
+    """
+
+    request_id: str
+    epoch: int
+    group: str
+
+    def wire_size(self) -> int:
+        return 16 + len(self.group)
+
+
+@dataclass(frozen=True, slots=True)
+class MigrateFreeze:
+    """Coordinator → source replicas: freeze one key for migration.
+
+    On receipt the replica stops serving the key (clients get
+    :class:`WrongGroup` forwarding to ``target`` at ``epoch``, peer
+    protocol traffic for the key is dropped) and snapshots its §3.3
+    ``(payload, round, learned-max)`` triple in a :class:`MigrateFrozen`
+    reply.  The freeze is what makes the coordinator's quorum read
+    sound: a frozen replica can never again ack a merge or vote, so any
+    update that ever completes has pre-freeze acks at a quorum — which
+    intersects the snapshot quorum.
+    """
+
+    request_id: str
+    epoch: int
+    target: str
+
+    def wire_size(self) -> int:
+        return 16 + len(self.target)
+
+
+@dataclass(frozen=True, slots=True)
+class MigrateFrozen:
+    """Source replica → coordinator: the frozen key's durable triple."""
+
+    request_id: str
+    epoch: int
+    round: Round
+    state: StateCRDT
+    learned_max: StateCRDT | None = None
+    _size: int | None = _size_slot()
+
+    def wire_size(self) -> int:
+        if self._size is None:
+            return _intern_size(
+                self,
+                16
+                + self.round.wire_size()
+                + _state_size(self.state)
+                + _state_size(self.learned_max),
+            )
+        return self._size
+
+
+@dataclass(frozen=True, slots=True)
+class MigrateInstall:
+    """Coordinator → destination replicas: install the joined triple.
+
+    ``state`` is the join over a source read quorum of frozen snapshots,
+    ``round`` their maximum — exactly the rejoin-style refresh a
+    hard-killed replica performs, pointed at a different group.  The
+    destination folds the triple into its local pair (join / max) and
+    buffers client commands for the key until :class:`MigrateCommit`.
+    """
+
+    request_id: str
+    epoch: int
+    round: Round
+    state: StateCRDT
+    learned_max: StateCRDT | None = None
+    _size: int | None = _size_slot()
+
+    def wire_size(self) -> int:
+        if self._size is None:
+            return _intern_size(
+                self,
+                16
+                + self.round.wire_size()
+                + _state_size(self.state)
+                + _state_size(self.learned_max),
+            )
+        return self._size
+
+
+@dataclass(frozen=True, slots=True)
+class MigrateInstalled:
+    """Destination replica → coordinator: the triple is durable here."""
+
+    request_id: str
+    epoch: int
+
+    def wire_size(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True, slots=True)
+class MigrateCommit:
+    """Coordinator → source *and* destination replicas: the move is law.
+
+    Sent once a write quorum of the destination group holds the
+    installed triple.  Source replicas drop the key's record and keep a
+    durable moved-out mark (``epoch``/``target``) so late traffic gets a
+    forwarding :class:`WrongGroup`; destination replicas mark the key
+    moved-in and replay the client commands they buffered since install.
+    """
+
+    request_id: str
+    epoch: int
+    target: str
+
+    def wire_size(self) -> int:
+        return 16 + len(self.target)
+
+
+@dataclass(frozen=True, slots=True)
+class MigrateCommitAck:
+    """Replica → coordinator: commit applied (idempotent re-ack)."""
+
+    request_id: str
+    epoch: int
+
+    def wire_size(self) -> int:
+        return 16
+
+
+# ----------------------------------------------------------------------
 # Proposer → acceptor (and replies)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)

@@ -66,6 +66,23 @@ class StorageUnavailable(RequestTimeout):
     """
 
 
+class WrongGroupError(ReproError):
+    """A sharded replica refused a command: its group does not own the key.
+
+    Carries the refusing replica's forwarding hint — the highest routing
+    ``epoch`` it can attest for the key and the ``group`` it believes
+    owns it — so a stale client can fold the hint into its routing
+    snapshot and retry at the right group.  Deliberately *not* a
+    :class:`RequestTimeout`: the operation was answered promptly and was
+    never attempted, it just knocked on the wrong door.
+    """
+
+    def __init__(self, message: str, *, epoch: int = 0, group: str = "") -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.group = group
+
+
 class SerializationError(ReproError):
     """A durable record could not be encoded or decoded.
 

@@ -75,6 +75,7 @@ from repro.nemesis.schedule import (
     Partition,
 )
 from repro.nemesis.scenarios import SCENARIOS, scenario
+from repro.nemesis.sharded import ShardedMigrationNemesis
 from repro.storage.faulty import FaultySpillStore
 
 __all__ = [
@@ -91,5 +92,6 @@ __all__ = [
     "scenario",
     "KeyedNemesis",
     "KillDuringRejoin",
+    "ShardedMigrationNemesis",
     "FaultySpillStore",
 ]

@@ -1,0 +1,106 @@
+"""Fault driver striking mid-migration in sharded adversarial runs.
+
+:class:`ShardedMigrationNemesis` plugs into
+:meth:`~repro.checker.sharded.ShardedMigrationExplorer.run` and arms
+itself on the first key move the coordinator opens.  Relative to that
+move it can:
+
+* **hard-kill a source-group member** a few scheduler steps in —
+  typically mid-freeze, so the kill lands between the persist of the
+  freeze mark and the delivery of the snapshot reply.  The rebuilt
+  member recovers still frozen and rejoins; the migration completes on
+  the surviving quorum.
+* **partition the coordinator from the destination group** — the
+  install cannot reach a quorum, the move stalls with the source
+  frozen (clients bounce to the destination and buffer there), and
+  nothing unfreezes by timeout: the move completes only after the heal,
+  via the coordinator's re-drives.
+
+Both act once per run by default; ``finish`` always heals, so the
+explorer's quiesce sees a connected network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checker.sharded import ShardedNemesisContext
+
+
+@dataclass
+class ShardedMigrationNemesis:
+    """Strikes relative to the first migration a run opens.
+
+    Parameters
+    ----------
+    kill_source_member:
+        Hard-kill one random member of the move's source group
+        ``kill_after_steps`` scheduler steps after the move opens
+        (requires the explorer to have a ``spill_factory``).
+    partition_coordinator_from_target:
+        Cut coordinator↔destination both ways ``partition_after_steps``
+        steps after the move opens, for ``partition_steps`` steps.
+    """
+
+    kill_source_member: bool = False
+    partition_coordinator_from_target: bool = False
+    kill_after_steps: int = 6
+    partition_after_steps: int = 2
+    partition_steps: int = 40
+    max_kills: int = 1
+
+    _seen_moves: int = field(default=0, init=False)
+    _since_move: int | None = field(default=None, init=False)
+    _move: tuple | None = field(default=None, init=False)
+    _kills: int = field(default=0, init=False)
+    _partitions: int = field(default=0, init=False)
+    _partition_left: int = field(default=0, init=False)
+    _partition_on: bool = field(default=False, init=False)
+
+    # ------------------------------------------------------------------
+    def begin(self, ctx: ShardedNemesisContext) -> None:
+        self._seen_moves = len(ctx.moves)
+
+    def step(self, ctx: ShardedNemesisContext) -> bool:
+        if self._since_move is None:
+            if len(ctx.moves) > self._seen_moves:
+                self._seen_moves = len(ctx.moves)
+                self._move = ctx.moves[-1]
+                self._since_move = 0
+            else:
+                return False
+        self._since_move += 1
+        assert self._move is not None
+        _key, source, target = self._move
+        if self._partition_on:
+            self._partition_left -= 1
+            if self._partition_left <= 0:
+                ctx.heal()
+                self._partition_on = False
+                return True
+        elif (
+            self.partition_coordinator_from_target
+            and self._partitions == 0
+            and self._since_move >= self.partition_after_steps
+        ):
+            ctx.partition(
+                {ctx.coordinator_id}, set(ctx.members[target])
+            )
+            self._partition_on = True
+            self._partitions += 1
+            self._partition_left = self.partition_steps
+            return True
+        if (
+            self.kill_source_member
+            and self._kills < self.max_kills
+            and self._since_move >= self.kill_after_steps
+        ):
+            ctx.hard_kill(ctx.rng.choice(ctx.members[source]))
+            self._kills += 1
+            return True
+        return False
+
+    def finish(self, ctx: ShardedNemesisContext) -> None:
+        if self._partition_on:
+            ctx.heal()
+            self._partition_on = False

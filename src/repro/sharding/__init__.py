@@ -1,0 +1,102 @@
+"""Sharded multi-group keyspace: routing, log-less migration, membership.
+
+One CRDT-Paxos group caps the system at a single protocol instance per
+node; this package is the first layer above the group.  A versioned
+:class:`~repro.sharding.routing.RoutingTable` (consistent-hash ring
+with virtual nodes, plus explicit pins) partitions the keyspace across
+N independent groups — each its own
+:class:`~repro.core.keyspace.KeyedCrdtReplica` set with its own spill
+store — and a :class:`~repro.sharding.migration.MigrationCoordinator`
+moves keys between groups live, under traffic, **without logs**: the
+paper's §3.3 observation that a key's entire durable state is the
+``(payload, round, learned-max)`` triple makes a migration a quorum
+read + install, the same log-less reconfiguration family CASPaxos uses
+per key.
+
+Routing epochs
+==============
+Every change of ownership is stamped with a strictly increasing
+*routing epoch* issued by the client-side
+:class:`~repro.sharding.routing.RoutingService`.  Replicas are born
+with a :class:`~repro.core.keyspace.GroupOwnership` over an immutable
+**birth table** and accrue every later change as an explicit per-key,
+epoch-stamped mark (``moved_out`` / ``moved_in`` / in-flight freeze),
+persisted in the spill meta so ownership survives ``kill -9``.  A
+replica refuses commands for keys it does not serve with a
+:class:`~repro.core.messages.WrongGroup` carrying the highest
+``(epoch, owner)`` hint it can attest; clients fold hints into their
+routing snapshot (newest epoch wins), so a stale client converges in a
+bounded number of bounces and *safety never rests on client routing* —
+the worst a stale table costs is extra hops.
+
+Migration protocol (freeze → install → commit)
+==============================================
+1. **Freeze.**  The coordinator broadcasts ``MigrateFreeze(epoch,
+   target)`` to the source group.  A frozen replica stops serving the
+   key (clients get the forwarding hint; peer protocol traffic for the
+   key is *dropped*) and snapshots its triple in ``MigrateFrozen``.
+   Freezing is what makes the read sound: a frozen replica never acks
+   again, so any update that ever completes has a write quorum of acks
+   *before* each member's freeze point — the coordinator's snapshot
+   read quorum intersects that write quorum, and the join of the
+   snapshots subsumes every certified state.  Freeze marks persist
+   before the snapshot reply escapes (persist-before-ack), so a source
+   replica that dies and recovers stays frozen.
+2. **Install.**  The joined triple (state join, round max, learned-max
+   join) goes to the destination group, which folds it in exactly like
+   a rejoin-style quorum refresh — joining is monotone, so re-driven
+   installs are idempotent.  Destinations buffer client commands for
+   the key from install until commit: serving early could let a
+   destination read quorum form before the installed triple is
+   replicated widely enough.
+3. **Commit.**  Once a write quorum of destinations acked the install,
+   the move is law: routing records the override, sources drop the
+   key's record behind a durable ``moved_out`` mark (late traffic gets
+   the forwarding hint forever), destinations mark ``moved_in`` and
+   replay their buffer through the normal client path.  Commit
+   re-drives until every member acks (or a bounded budget expires — an
+   unreachable member's durable freeze mark keeps it safe meanwhile).
+
+Ring growth/shrink generalizes this to bulk rebalancing: only keys
+whose arc the new group's virtual nodes capture move (bounded
+movement), each via the same per-key protocol with its own epoch.
+
+Failure matrix
+==============
+=============================  ==================================================
+Fault                          Why the migration stays safe
+=============================  ==================================================
+Source member hard-killed      Freeze mark persisted before the snapshot reply
+mid-freeze                     escaped; recovery restores it as a freeze, so the
+                               dead generation can never ack an update the
+                               coordinator's snapshot missed.  The coordinator
+                               only needs a *quorum* of snapshots.
+Destination member killed      Installs are idempotent joins; the re-driven
+mid-install                    install refreshes the recovered member.  Commit
+                               waits for a write quorum of installs.
+Coordinator↔destination        Install re-drives on jittered exponential
+partition                      backoff; sources stay frozen (clients bounce to
+                               the target and buffer there or retry) until the
+                               partition heals.  No timeout-based unfreeze
+                               exists — safety never depends on timing.
+Stale client                   Bounces off refusing replicas, folding
+                               epoch-stamped hints; converges monotonically.
+Duplicate/reordered commands   Every phase message is idempotent (epoch
+                               comparisons per key); re-drives are
+                               indistinguishable from duplicates.
+Key migrated back (A→B→A)      Per-key marks compare epochs: the newer commit
+                               clears the older direction's marks.
+=============================  ==================================================
+"""
+
+from repro.sharding.deployment import ShardedSimDeployment
+from repro.sharding.migration import MigrationCoordinator
+from repro.sharding.routing import RoutingService, RoutingTable, stable_hash
+
+__all__ = [
+    "MigrationCoordinator",
+    "RoutingService",
+    "RoutingTable",
+    "ShardedSimDeployment",
+    "stable_hash",
+]

@@ -1,0 +1,242 @@
+"""Simulated sharded deployments: N groups, one fabric, one coordinator.
+
+:class:`ShardedSimDeployment` builds the whole multi-group shape on one
+simulator/network pair: per group a
+:class:`~repro.runtime.cluster.SimCluster` of
+:class:`~repro.core.keyspace.KeyedCrdtReplica` replicas (addresses
+``<group>-r0``, ``<group>-r1``, ...), each born with a
+:class:`~repro.core.keyspace.GroupOwnership` over the deployment's
+**birth table**, plus one :class:`~repro.sharding.migration
+.MigrationCoordinator` runtime driving key moves.
+
+The birth-table rule: *every* replica — including replicas of groups
+added to the ring later — anchors its ownership to the same immutable
+birth table.  A group created by :meth:`grow` therefore owns nothing at
+birth and accrues keys strictly through committed migrations
+(``moved_in`` marks); only the client-side
+:class:`~repro.sharding.routing.RoutingService` ever sees grown tables.
+This keeps replica-side ownership monotone and migration-driven — no
+replica ever changes its mind about a key without an epoch-stamped
+commit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.api.sharded import ShardedStore
+from repro.api.store import SimStore
+from repro.core.config import CrdtPaxosConfig
+from repro.core.keyspace import GroupOwnership, KeyedCrdtReplica
+from repro.crdt.base import StateCRDT
+from repro.net.sim_transport import SimNetwork
+from repro.runtime.cluster import SimCluster, SimNodeRuntime
+from repro.sharding.migration import MigrationCoordinator
+from repro.sharding.routing import RoutingService, RoutingTable
+from repro.sim.kernel import Simulator
+from repro.sim.process import ServiceModel
+from repro.storage.base import SpillStore
+
+
+class ShardedSimDeployment:
+    """N independent CRDT-Paxos groups plus a migration coordinator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: SimNetwork,
+        groups: Iterable[str],
+        initial_state_for: Callable[[Hashable], StateCRDT],
+        *,
+        n_replicas: int = 3,
+        config: CrdtPaxosConfig | None = None,
+        vnodes: int = 64,
+        pins: dict[Hashable, str] | None = None,
+        service_model: ServiceModel | None = None,
+        spill_store_factory: Callable[[str], SpillStore] | None = None,
+        coordinator_id: str = "shard-coordinator",
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self._initial_state_for = initial_state_for
+        self._config = config
+        self._n_replicas = n_replicas
+        self._service_model = service_model
+        self._spill_store_factory = spill_store_factory
+        #: The immutable birth table every replica's ownership anchors to.
+        self.birth_table = RoutingTable(groups, vnodes=vnodes, pins=pins)
+        self.routing = RoutingService(self.birth_table)
+        self.clusters: dict[str, SimCluster] = {}
+        for name in self.birth_table.groups:
+            self.clusters[name] = self._build_cluster(name, n_replicas)
+        self.coordinator = MigrationCoordinator(
+            coordinator_id,
+            {
+                name: list(cluster.addresses)
+                for name, cluster in self.clusters.items()
+            },
+            self.routing,
+            config=config,
+        )
+        self.coordinator_runtime = SimNodeRuntime(
+            sim, network, self.coordinator, service_model
+        )
+        self.coordinator_runtime.start()
+
+    # ------------------------------------------------------------------
+    def _build_cluster(self, group: str, n_replicas: int) -> SimCluster:
+        def factory(node_id: str, peers: list[str]) -> KeyedCrdtReplica:
+            spill_store = (
+                self._spill_store_factory(node_id)
+                if self._spill_store_factory is not None
+                else None
+            )
+            return KeyedCrdtReplica(
+                node_id,
+                peers,
+                self._initial_state_for,
+                self._config,
+                spill_store=spill_store,
+                ownership=GroupOwnership(group, self.birth_table),
+            )
+
+        return SimCluster(
+            self.sim,
+            self.network,
+            factory,
+            n_replicas=n_replicas,
+            name_prefix=f"{group}-r",
+            service_model=self._service_model,
+        )
+
+    def replicas(self, group: str) -> list[KeyedCrdtReplica]:
+        cluster = self.clusters[group]
+        return [cluster.node(address) for address in cluster.addresses]  # type: ignore[misc]
+
+    def all_replicas(self) -> list[KeyedCrdtReplica]:
+        return [r for group in self.clusters for r in self.replicas(group)]
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def store(
+        self,
+        client: str = "sharded",
+        *,
+        timeout: float = 1.0,
+        max_attempts: int | None = None,
+        max_bounces: int = 16,
+    ) -> ShardedStore:
+        """A :class:`~repro.api.sharded.ShardedStore` over every group,
+        sharing this deployment's routing service (committed moves are
+        visible to it immediately; WrongGroup hints cover the rest)."""
+        def build(name: str) -> SimStore:
+            return SimStore(
+                self.clusters[name],
+                client=f"{client}-{name}",
+                timeout=timeout,
+                max_attempts=max_attempts,
+                keyed=True,
+            )
+
+        stores = {name: build(name) for name in self.clusters}
+        # store_factory lets an already-issued client follow ring growth:
+        # the first route to a grown group builds its frontend lazily.
+        return ShardedStore(
+            stores, self.routing, max_bounces=max_bounces, store_factory=build
+        )
+
+    # ------------------------------------------------------------------
+    # Migration / membership change
+    # ------------------------------------------------------------------
+    def migrate(self, key: Hashable, target: str) -> None:
+        """Start one live key move (freeze → install → commit)."""
+        self.coordinator_runtime.apply_effects(
+            self.coordinator.migrate(key, target, self.sim.now)
+        )
+
+    def grow(
+        self,
+        name: str,
+        *,
+        n_replicas: int | None = None,
+        rebalance_keys: Iterable[Hashable] = (),
+    ) -> list[tuple[Hashable, str]]:
+        """Add a group to the ring and start the bounded rebalance.
+
+        Builds the new group's cluster (born owning nothing — see the
+        birth-table rule above), grows the client-side table, plans the
+        bounded key movement for ``rebalance_keys`` (only keys whose arc
+        the new group captures move) and starts those migrations.
+        Returns the plan so callers can assert its bound.
+        """
+        cluster = self._build_cluster(
+            name, n_replicas if n_replicas is not None else self._n_replicas
+        )
+        self.clusters[name] = cluster
+        self.coordinator.add_group(name, list(cluster.addresses))
+        # The grown table is a *planning* artifact: replica ownership
+        # anchors to the birth table, and the client view converges per
+        # key as each migration commits its override (epochs reserved
+        # after the grown table's, so they always win).  Swapping the
+        # client table wholesale would route keys at the new group
+        # before it owns anything.
+        grown = self.routing.grow(name)
+        plan = self.routing.plan_rebalance(rebalance_keys, grown)
+        self.coordinator_runtime.apply_effects(
+            self.coordinator.rebalance(plan, self.sim.now)
+        )
+        return plan
+
+    def shrink(
+        self, name: str, keys: Iterable[Hashable]
+    ) -> list[tuple[Hashable, str]]:
+        """Drain a group: migrate its ``keys`` to the shrunk ring's
+        owners.  The group's cluster stays up until the moves commit
+        (its replicas must answer freezes); retire it afterwards."""
+        shrunk = self.routing.shrink(name)
+        plan = [
+            (key, shrunk.owner(key))
+            for key in keys
+            if self.routing.owner(key) == name
+        ]
+        self.coordinator_runtime.apply_effects(
+            self.coordinator.rebalance(plan, self.sim.now)
+        )
+        return plan
+
+    def settle(self, max_steps: int = 200_000) -> bool:
+        """Drive the simulator until every migration retires (or the
+        event queue drains / the step budget expires).  True when the
+        coordinator is idle."""
+        steps = 0
+        while not self.coordinator.idle and steps < max_steps:
+            if not self.sim.step():
+                break
+            steps += 1
+        return self.coordinator.idle
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def group_stats(self) -> dict[str, dict[str, Any]]:
+        """Per-group aggregates: ops, migrations, refusals, residency."""
+        stats: dict[str, dict[str, Any]] = {}
+        for name, cluster in self.clusters.items():
+            replicas = self.replicas(name)
+            stats[name] = {
+                "replicas": list(cluster.addresses),
+                "updates_completed": sum(
+                    r.stats.updates_completed for r in replicas
+                ),
+                "queries_completed": sum(
+                    r.stats.queries_completed for r in replicas
+                ),
+                "wrong_group_refusals": sum(
+                    r.wrong_group_refusals for r in replicas
+                ),
+                "migrations_out": sum(r.migrations_out for r in replicas),
+                "migrations_in": sum(r.migrations_in for r in replicas),
+                "resident": sum(r.resident_count() for r in replicas),
+            }
+        return stats

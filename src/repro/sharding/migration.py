@@ -1,0 +1,341 @@
+"""Log-less key migration between CRDT-Paxos groups.
+
+The §3.3 observation that makes this cheap: a key's entire durable
+state is the ``(payload, round, learned-max)`` triple, so moving it is
+a quorum read + install — freeze the source group, join a read quorum
+of frozen snapshots, install the joined triple at a write quorum of the
+destination, commit.  No log shipping, no leader hand-off (the groups
+are leaderless).
+
+Phases driven by :class:`MigrationCoordinator` (one sans-io node):
+
+1. **freeze** — broadcast :class:`~repro.core.messages.MigrateFreeze` to
+   the source group.  A frozen replica stops acking the key forever
+   (until commit), so any update that ever completed has its write
+   quorum of acks *before* each member's freeze point — the snapshot
+   read quorum intersects it and the fold below subsumes every
+   certified state.
+2. **install** — once a read quorum of source snapshots is folded
+   (state join, round max, learned-max join), broadcast
+   :class:`~repro.core.messages.MigrateInstall` to the destination
+   group; destinations fold the triple in (the same monotone refresh a
+   rejoining replica performs) and buffer client commands for the key.
+3. **commit** — once a write quorum of destinations acked the install,
+   the move is law: routing commits the override, and
+   :class:`~repro.core.messages.MigrateCommit` tells sources to drop
+   the key behind a durable forwarding mark and destinations to serve
+   (replaying what they buffered).
+
+Each phase re-drives on a jittered exponential backoff until its quorum
+answers; commit re-drives until every member acked or the re-drive
+budget expires (a member that never hears the commit stays frozen, which
+is safe — its forwarding hint already points at the target).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Hashable, Mapping
+
+from repro.core.config import CrdtPaxosConfig
+from repro.core.keyspace import Keyed
+from repro.core.messages import (
+    MigrateCommit,
+    MigrateCommitAck,
+    MigrateFreeze,
+    MigrateFrozen,
+    MigrateInstall,
+    MigrateInstalled,
+)
+from repro.errors import ConfigurationError
+from repro.net.node import Effects, ProtocolNode
+from repro.quorum.system import MajorityQuorum
+from repro.sharding.routing import RoutingService
+
+#: Per-migration re-drive timer prefix (namespaced by request id).
+_MIG_TIMER = "mig|"
+
+#: Commit re-drives after which a migration retires even with members
+#: unacked: the move is already law (routing committed at install
+#: quorum), and a permanently dead member's durable freeze mark keeps it
+#: safe — it forwards clients to the target forever.
+_COMMIT_REDRIVE_LIMIT = 25
+
+
+class _Migration:
+    """One in-flight key move."""
+
+    __slots__ = (
+        "request_id",
+        "key",
+        "source",
+        "target",
+        "epoch",
+        "phase",
+        "replied",
+        "acked",
+        "state",
+        "round",
+        "learned_max",
+        "rounds",
+        "commit_redrives",
+    )
+
+    def __init__(
+        self, request_id: str, key: Hashable, source: str, target: str, epoch: int
+    ) -> None:
+        self.request_id = request_id
+        self.key = key
+        self.source = source
+        self.target = target
+        self.epoch = epoch
+        self.phase = "freeze"
+        #: Members that answered the current phase (reset per phase).
+        self.replied: set[str] = set()
+        #: Members (source ∪ target) that acked the commit.
+        self.acked: set[str] = set()
+        self.state: Any = None
+        self.round: Any = None
+        self.learned_max: Any = None
+        #: Fruitless re-drive rounds in the current phase (backoff).
+        self.rounds = 0
+        self.commit_redrives = 0
+
+
+class MigrationCoordinator(ProtocolNode):
+    """Sans-io coordinator driving key moves between groups.
+
+    Parameters
+    ----------
+    groups:
+        ``group name → member addresses`` for every group it may touch.
+    routing:
+        The :class:`~repro.sharding.routing.RoutingService` that issues
+        migration epochs and records committed moves.
+    config:
+        Backoff law for re-drives (``request_timeout`` as base cadence,
+        ``backoff_multiplier``/``backoff_cap``/``backoff_jitter``).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        groups: Mapping[str, list[str]],
+        routing: RoutingService,
+        config: CrdtPaxosConfig | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        if not groups:
+            raise ConfigurationError("coordinator needs at least one group")
+        self.groups = {name: list(members) for name, members in groups.items()}
+        self.quorums = {
+            name: MajorityQuorum(members) for name, members in self.groups.items()
+        }
+        self.routing = routing
+        self.config = config or CrdtPaxosConfig()
+        self._open: dict[str, _Migration] = {}
+        self._by_key: dict[Hashable, str] = {}
+        self._seq = 0
+        #: Observability.
+        self.migrations_started = 0
+        self.migrations_completed = 0
+        self.migrations_retired = 0
+        self.redrives = 0
+
+    # ------------------------------------------------------------------
+    def add_group(self, name: str, members: list[str]) -> None:
+        """Register a group added to the ring after construction."""
+        if name in self.groups:
+            raise ConfigurationError(f"group {name!r} already registered")
+        self.groups[name] = list(members)
+        self.quorums[name] = MajorityQuorum(members)
+
+    @property
+    def idle(self) -> bool:
+        return not self._open
+
+    def open_count(self) -> int:
+        return len(self._open)
+
+    def on_start(self, now: float) -> Effects:
+        return Effects()
+
+    # ------------------------------------------------------------------
+    def migrate(self, key: Hashable, target: str, now: float) -> Effects:
+        """Start moving ``key`` to ``target``; returns the freeze burst.
+
+        A no-op (empty effects) when the key already lives at ``target``
+        or a move for it is in flight — per-key moves are serialized,
+        while moves of *different* keys run concurrently (each owns a
+        reserved epoch, and the per-key marks compare epochs per key, so
+        out-of-order commits across keys are harmless).
+        """
+        if target not in self.groups:
+            raise ConfigurationError(f"unknown target group {target!r}")
+        if key in self._by_key:
+            return Effects()
+        source = self.routing.owner(key)
+        if source == target:
+            return Effects()
+        if source not in self.groups:
+            raise ConfigurationError(f"unknown source group {source!r}")
+        self._seq += 1
+        request_id = f"mig:{self.node_id}:{self._seq}"
+        migration = _Migration(
+            request_id, key, source, target, self.routing.reserve_epoch()
+        )
+        self._open[request_id] = migration
+        self._by_key[key] = request_id
+        self.migrations_started += 1
+        effects = Effects()
+        self._drive(migration, effects)
+        return effects
+
+    def rebalance(
+        self, plan: list[tuple[Hashable, str]], now: float
+    ) -> Effects:
+        """Start every move in a :meth:`RoutingService.plan_rebalance` plan."""
+        effects = Effects()
+        for key, target in plan:
+            effects.merge(self.migrate(key, target, now))
+        return effects
+
+    # ------------------------------------------------------------------
+    def _drive(self, migration: _Migration, effects: Effects) -> None:
+        """(Re-)broadcast the current phase and arm its re-drive timer."""
+        if migration.phase == "freeze":
+            message: Any = MigrateFreeze(
+                request_id=migration.request_id,
+                epoch=migration.epoch,
+                target=migration.target,
+            )
+            members = self.groups[migration.source]
+        elif migration.phase == "install":
+            message = MigrateInstall(
+                request_id=migration.request_id,
+                epoch=migration.epoch,
+                round=migration.round,
+                state=migration.state,
+                learned_max=migration.learned_max,
+            )
+            members = self.groups[migration.target]
+        else:  # commit: source ∪ target, minus members that already acked
+            message = MigrateCommit(
+                request_id=migration.request_id,
+                epoch=migration.epoch,
+                target=migration.target,
+            )
+            members = [
+                m
+                for m in (
+                    *self.groups[migration.source],
+                    *self.groups[migration.target],
+                )
+                if m not in migration.acked
+            ]
+        keyed = Keyed(key=migration.key, message=message)
+        for dst in members:
+            effects.send(dst, keyed)
+        effects.set_timer(
+            _MIG_TIMER + migration.request_id, self._delay(migration)
+        )
+
+    def _delay(self, migration: _Migration) -> float:
+        config = self.config
+        base = config.request_timeout if config.request_timeout is not None else 0.05
+        delay = min(
+            base * config.backoff_multiplier**migration.rounds,
+            config.backoff_cap,
+        )
+        if config.backoff_jitter > 0.0:
+            # Deterministic jitter (seeded runs stay bit-identical).
+            token = f"{migration.request_id}:{migration.phase}:{migration.rounds}"
+            frac = (zlib.crc32(token.encode()) % 1000) / 999.0
+            delay *= 1.0 + config.backoff_jitter * frac
+        return delay
+
+    def _retire(self, migration: _Migration, effects: Effects) -> None:
+        del self._open[migration.request_id]
+        if self._by_key.get(migration.key) == migration.request_id:
+            del self._by_key[migration.key]
+        effects.cancel_timer(_MIG_TIMER + migration.request_id)
+        self.migrations_retired += 1
+
+    # ------------------------------------------------------------------
+    def on_message(self, src: str, message: Any, now: float) -> Effects:
+        if isinstance(message, Keyed):
+            message = message.message
+        request_id = getattr(message, "request_id", None)
+        migration = self._open.get(request_id) if request_id is not None else None
+        if migration is None:
+            return Effects()  # retired or not ours
+        effects = Effects()
+        if isinstance(message, MigrateFrozen) and migration.phase == "freeze":
+            if src in migration.replied:
+                return effects
+            migration.replied.add(src)
+            migration.rounds = 0
+            # Fold the snapshot: join is the lattice's least upper bound,
+            # so the quorum fold subsumes every state any completed
+            # update certified (quorum intersection).
+            migration.state = (
+                message.state
+                if migration.state is None
+                else migration.state.join(message.state)
+            )
+            if (
+                migration.round is None
+                or message.round.number > migration.round.number
+            ):
+                migration.round = message.round
+            if message.learned_max is not None:
+                migration.learned_max = (
+                    message.learned_max
+                    if migration.learned_max is None
+                    else migration.learned_max.join(message.learned_max)
+                )
+            if self.quorums[migration.source].is_quorum(migration.replied):
+                migration.phase = "install"
+                migration.replied = set()
+                migration.rounds = 0
+                self._drive(migration, effects)
+        elif isinstance(message, MigrateInstalled) and migration.phase == "install":
+            if src in migration.replied:
+                return effects
+            migration.replied.add(src)
+            migration.rounds = 0
+            if self.quorums[migration.target].is_quorum(migration.replied):
+                # The installed triple is durable at a write quorum of
+                # the destination: the move is law.
+                self.routing.commit_move(
+                    migration.key, migration.target, migration.epoch
+                )
+                migration.phase = "commit"
+                migration.rounds = 0
+                self.migrations_completed += 1
+                self._drive(migration, effects)
+        elif isinstance(message, MigrateCommitAck):
+            migration.acked.add(src)
+            everyone = set(self.groups[migration.source]) | set(
+                self.groups[migration.target]
+            )
+            if migration.acked >= everyone:
+                self._retire(migration, effects)
+        return effects
+
+    def on_timer(self, key: str, now: float) -> Effects:
+        if not key.startswith(_MIG_TIMER):
+            return Effects()
+        migration = self._open.get(key[len(_MIG_TIMER):])
+        if migration is None:
+            return Effects()
+        effects = Effects()
+        migration.rounds += 1
+        self.redrives += 1
+        if migration.phase == "commit":
+            migration.commit_redrives += 1
+            if migration.commit_redrives > _COMMIT_REDRIVE_LIMIT:
+                self._retire(migration, effects)
+                return effects
+        self._drive(migration, effects)
+        return effects

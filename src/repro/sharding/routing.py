@@ -1,0 +1,219 @@
+"""Versioned key→group routing: consistent-hash ring plus pin overrides.
+
+A :class:`RoutingTable` is an immutable, epoch-stamped assignment of the
+keyspace to named groups.  Ownership is decided by a consistent-hash
+ring with ``vnodes`` virtual points per group (bounded key movement when
+the ring grows or shrinks: only keys whose arc the new group's points
+capture move) unless an explicit ``pins`` override names the key's
+group directly — the range/pin escape hatch for keys that must live
+somewhere specific (hot keys split away from their arc, tenant
+placement, migration testing).
+
+A :class:`RoutingService` holds the *client-side* view: the current
+table, a monotone epoch source for migrations, and the per-key
+``(epoch, group)`` overrides committed moves produce.  Replicas never
+consult it — each replica is born with a
+:class:`~repro.core.keyspace.GroupOwnership` over its **birth table**
+and accrues every later change as an explicit epoch-stamped migration
+mark, so a stale client can never make a replica serve a key it does
+not own (the replica refuses with its own attested hint).
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Any, Hashable, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+
+def stable_hash(value: Any) -> int:
+    """Process-independent hash for ring placement.
+
+    ``hash()`` is salted per process; CRC32 over the repr keeps seeded
+    simulations and recovered replicas bit-identical to each other.
+    """
+    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
+
+
+class RoutingTable:
+    """Immutable epoch-stamped key→group assignment.
+
+    Parameters
+    ----------
+    groups:
+        Ordered group names (≥1, unique, non-empty).
+    vnodes:
+        Virtual points per group on the ring; more points smooth the
+        arc distribution at the cost of a larger (still tiny) ring.
+    pins:
+        ``key → group`` overrides consulted before the ring.
+    epoch:
+        The routing epoch this table was born at.
+    """
+
+    __slots__ = ("groups", "vnodes", "pins", "epoch", "_points", "_owners")
+
+    def __init__(
+        self,
+        groups: Iterable[str],
+        vnodes: int = 64,
+        pins: Mapping[Hashable, str] | None = None,
+        epoch: int = 0,
+    ) -> None:
+        names = list(groups)
+        if not names:
+            raise ConfigurationError("a routing table needs at least one group")
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate group names in {names!r}")
+        if any(not name for name in names):
+            raise ConfigurationError("group names must be non-empty strings")
+        if vnodes < 1:
+            raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
+        self.groups: tuple[str, ...] = tuple(names)
+        self.vnodes = vnodes
+        self.pins: dict[Hashable, str] = dict(pins or {})
+        for key, group in self.pins.items():
+            if group not in self.groups:
+                raise ConfigurationError(
+                    f"pin {key!r} -> {group!r} names an unknown group"
+                )
+        self.epoch = int(epoch)
+        ring: list[tuple[int, str]] = []
+        for name in self.groups:
+            for i in range(vnodes):
+                ring.append((stable_hash(f"{name}#vnode:{i}"), name))
+        # Ties (CRC collisions between groups) resolve by name so the
+        # ring is deterministic regardless of insertion order.
+        ring.sort()
+        self._points = [point for point, _ in ring]
+        self._owners = [owner for _, owner in ring]
+
+    def owner(self, key: Hashable) -> str:
+        """The group serving ``key`` under this table."""
+        pinned = self.pins.get(key)
+        if pinned is not None:
+            return pinned
+        index = bisect.bisect_right(self._points, stable_hash(key))
+        if index == len(self._owners):
+            index = 0  # wrap: past the last point means the first owner
+        return self._owners[index]
+
+    def with_group(self, name: str, epoch: int | None = None) -> "RoutingTable":
+        """A new table with ``name`` added (ring growth)."""
+        if name in self.groups:
+            raise ConfigurationError(f"group {name!r} already in the ring")
+        return RoutingTable(
+            (*self.groups, name),
+            vnodes=self.vnodes,
+            pins=self.pins,
+            epoch=self.epoch + 1 if epoch is None else epoch,
+        )
+
+    def without_group(self, name: str, epoch: int | None = None) -> "RoutingTable":
+        """A new table with ``name`` removed (ring shrink)."""
+        if name not in self.groups:
+            raise ConfigurationError(f"group {name!r} not in the ring")
+        remaining = tuple(g for g in self.groups if g != name)
+        if not remaining:
+            raise ConfigurationError("cannot remove the last group")
+        pins = {k: g for k, g in self.pins.items() if g != name}
+        return RoutingTable(
+            remaining,
+            vnodes=self.vnodes,
+            pins=pins,
+            epoch=self.epoch + 1 if epoch is None else epoch,
+        )
+
+
+class RoutingService:
+    """The client/coordinator-side routing view: table + move overrides.
+
+    The service answers :meth:`owner` from the per-key overrides that
+    committed migrations produce (epoch-stamped, newest wins) before
+    falling back to the table, reserves strictly increasing epochs for
+    in-flight migrations, and swaps tables on :meth:`grow`/:meth:`shrink`.
+    It is plain bookkeeping — safety never rests on it (replicas attest
+    their own ownership), only routing efficiency does.
+    """
+
+    __slots__ = ("table", "overrides", "_next_epoch")
+
+    def __init__(self, table: RoutingTable) -> None:
+        self.table = table
+        #: ``key → (epoch, group)`` — committed moves newer than the table.
+        self.overrides: dict[Hashable, tuple[int, str]] = {}
+        self._next_epoch = table.epoch
+
+    @property
+    def epoch(self) -> int:
+        """The highest routing epoch this service has issued or seen."""
+        return self._next_epoch
+
+    def owner(self, key: Hashable) -> str:
+        override = self.overrides.get(key)
+        if override is not None:
+            return override[1]
+        return self.table.owner(key)
+
+    def reserve_epoch(self) -> int:
+        """A fresh epoch for one migration (strictly increasing)."""
+        self._next_epoch += 1
+        return self._next_epoch
+
+    def note(self, key: Hashable, epoch: int, group: str) -> None:
+        """Fold a WrongGroup forwarding hint in (newest epoch wins)."""
+        current = self.overrides.get(key)
+        if current is None or current[0] < epoch:
+            self.overrides[key] = (int(epoch), group)
+        if epoch > self._next_epoch:
+            self._next_epoch = epoch
+
+    def commit_move(self, key: Hashable, target: str, epoch: int) -> None:
+        """Record one committed migration."""
+        self.note(key, epoch, target)
+
+    def set_table(self, table: RoutingTable) -> None:
+        """Swap in a grown/shrunk table; stale overrides are dropped."""
+        if table.epoch > self._next_epoch:
+            self._next_epoch = table.epoch
+        self.table = table
+        self.overrides = {
+            key: mark
+            for key, mark in self.overrides.items()
+            if mark[0] > table.epoch
+        }
+
+    def grow(self, name: str) -> RoutingTable:
+        """Add a group to the ring; returns the new table (not yet live
+        for replicas — keys still have to migrate, see
+        :meth:`plan_rebalance`)."""
+        table = self.table.with_group(name, epoch=self.reserve_epoch())
+        return table
+
+    def shrink(self, name: str) -> RoutingTable:
+        """Remove a group from the ring; returns the new table."""
+        table = self.table.without_group(name, epoch=self.reserve_epoch())
+        return table
+
+    def plan_rebalance(
+        self, keys: Iterable[Hashable], to_table: RoutingTable
+    ) -> list[tuple[Hashable, str]]:
+        """Which of ``keys`` must move to reach ``to_table``, and where.
+
+        Compares each key's *current* owner (overrides included) with the
+        target table's owner; unmoved keys are omitted — the bounded-
+        movement property of the consistent-hash ring shows up here as a
+        short plan.  Keys pinned off their ring arc by an earlier
+        migration are repatriated to wherever ``to_table`` places them:
+        after the plan executes, the table alone routes every key, which
+        is exactly what :meth:`set_table` assumes when it drops the
+        now-stale overrides.
+        """
+        plan: list[tuple[Hashable, str]] = []
+        for key in keys:
+            target = to_table.owner(key)
+            if self.owner(key) != target:
+                plan.append((key, target))
+        return plan

@@ -30,6 +30,11 @@ from repro.workload.runner import (
     run_workload,
 )
 from repro.workload.sampler import ZipfKeySampler
+from repro.workload.sharded import (
+    GroupRouter,
+    ShardedRunResult,
+    run_sharded_workload,
+)
 from repro.workload.spec import WorkloadSpec
 
 __all__ = [
@@ -37,6 +42,7 @@ __all__ = [
     "CounterAdapter",
     "CrdtPaxosAdapter",
     "CrdtPaxosOpAdapter",
+    "GroupRouter",
     "HistoryTap",
     "OpAdapter",
     "OpProfile",
@@ -46,10 +52,12 @@ __all__ = [
     "RsmAdapter",
     "RsmOpAdapter",
     "RunResult",
+    "ShardedRunResult",
     "WorkloadSpec",
     "ZipfKeySampler",
     "canonical_protocol",
     "profile_for",
     "profile_names",
+    "run_sharded_workload",
     "run_workload",
 ]

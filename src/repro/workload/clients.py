@@ -107,6 +107,15 @@ class ClosedLoopClient:
     envelope.  With a ``history_tap`` the run records per-key checkable
     histories (reads switch to the identity query so learned states are
     captured).
+
+    With a ``router`` (anything exposing ``replicas_for(key)`` and
+    ``note(key, epoch, group)`` — see :class:`~repro.workload.sharded
+    .GroupRouter`) the client runs the *sharded* deployment: each
+    operation targets a replica of the group its key routes to, and a
+    ``wrong_group`` refusal folds the replica's epoch-stamped forwarding
+    hint into the router and re-issues immediately at the new group —
+    the same bounce loop :class:`~repro.api.sharded.ShardedStore` runs,
+    driven open-loop under benchmark load.
     """
 
     def __init__(
@@ -125,6 +134,7 @@ class ClosedLoopClient:
         client_timeout: float,
         key_sampler: ZipfKeySampler | None = None,
         history_tap: HistoryTap | None = None,
+        router: Any = None,
     ) -> None:
         self._sim = sim
         self._endpoint = ClientEndpoint(sim, network, address, self._on_reply)
@@ -140,6 +150,7 @@ class ClosedLoopClient:
         self._client_timeout = client_timeout
         self._key_sampler = key_sampler
         self._history_tap = history_tap
+        self._router = router
 
         self._sequence = 0
         self._outstanding_id: str | None = None
@@ -150,6 +161,8 @@ class ClosedLoopClient:
         self._first_issued_at = 0.0
         self._retried = False
         self.operations_completed = 0
+        #: Operations re-routed by WrongGroup refusals (router runs).
+        self.reroutes = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -164,6 +177,8 @@ class ClosedLoopClient:
         )
         if self._key_sampler is not None:
             self._current_key = self._key_sampler.sample(self._rng)
+            if self._router is not None:
+                self._retarget()
         # The operation is drawn once per logical op: a timeout retry
         # re-issues the *same* op (under a fresh id), it does not draw a
         # new one from the profile's randomness.
@@ -177,6 +192,11 @@ class ClosedLoopClient:
         self._first_issued_at = self._sim.now
         self._retried = False
         self._send_attempt()
+
+    def _retarget(self) -> None:
+        """Point at the group the router currently owns the key to."""
+        self._replicas = self._router.replicas_for(self._current_key)
+        self._target_index %= len(self._replicas)
 
     def _send_attempt(self) -> None:
         self._sequence += 1
@@ -219,6 +239,28 @@ class ClosedLoopClient:
         parsed = self._adapter.parse_reply(message)
         if parsed is None or parsed.request_id != self._outstanding_id:
             return  # stale reply to a superseded attempt
+        if parsed.kind == "wrong_group":
+            # The key lives elsewhere (or is mid-migration).  Fold the
+            # replica's attested hint and re-issue at the group the
+            # router now points to — no timeout wait: the refusal is
+            # authoritative, not a silence.
+            self._outstanding_id = None
+            self._retried = True
+            self.reroutes += 1
+            self._open_history_record = None  # the attempt stays open
+            if self._router is not None:
+                if parsed.group:
+                    self._router.note(
+                        self._current_key, parsed.epoch, parsed.group
+                    )
+                self._retarget()
+            else:
+                self._target_index = (self._target_index + 1) % len(
+                    self._replicas
+                )
+            if self._sim.now < self._stop_time:
+                self._send_attempt()
+            return
         if parsed.kind == "refused":
             # The replica gave up gracefully (no quorum / storage fault).
             # Nothing was performed; fail over like a timeout, but without

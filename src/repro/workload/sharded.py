@@ -1,0 +1,227 @@
+"""Sharded benchmark workloads: router-aware clients over N groups.
+
+:func:`run_sharded_workload` is the sharded sibling of
+:func:`~repro.workload.runner.run_workload`: it builds a
+:class:`~repro.sharding.deployment.ShardedSimDeployment` (N independent
+CRDT-Paxos groups on one simulator), points closed-loop clients at it
+through a :class:`GroupRouter`, and drives the same spec-shaped Zipf
+workload — so single-group and sharded runs are directly comparable
+(same spec, same seed discipline, same metrics).
+
+Mid-run topology changes ride on the simulator timeline: ``migrations``
+schedules individual key moves, ``grow_at``/``grow_group`` adds a group
+to the ring under load and rebalances the bounded set of keys the new
+group's arcs capture.  Clients keep running throughout; their
+wrong-group bounces are counted in :attr:`ShardedRunResult.reroutes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Hashable, Iterable
+
+from repro.core.config import CrdtPaxosConfig
+from repro.errors import ConfigurationError
+from repro.net.latency import LatencyModel, LogNormalLatency
+from repro.net.sim_transport import SimNetwork
+from repro.sharding.deployment import ShardedSimDeployment
+from repro.sharding.routing import RoutingService
+from repro.sim.kernel import Simulator
+from repro.sim.process import ServiceModel
+from repro.workload.adapters import CrdtPaxosOpAdapter
+from repro.workload.clients import ClosedLoopClient, HistoryTap, Recorder
+from repro.workload.profiles import profile_for
+from repro.workload.runner import RunResult
+from repro.workload.sampler import ZipfKeySampler
+from repro.workload.spec import WorkloadSpec
+
+
+class GroupRouter:
+    """Client-side key→replicas resolution over a shared routing view.
+
+    The contract :class:`~repro.workload.clients.ClosedLoopClient`
+    expects: ``replicas_for(key)`` names the replicas of the group the
+    key currently routes to, ``note(key, epoch, group)`` folds a
+    WrongGroup forwarding hint (newest epoch wins).  Groups added to the
+    ring mid-run are attached with :meth:`register`.
+    """
+
+    def __init__(
+        self, routing: RoutingService, members: dict[str, list[str]]
+    ) -> None:
+        self._routing = routing
+        self._members = {name: list(addrs) for name, addrs in members.items()}
+
+    def replicas_for(self, key: Hashable) -> list[str]:
+        return self._members[self._routing.owner(key)]
+
+    def note(self, key: Hashable, epoch: int, group: str) -> None:
+        self._routing.note(key, int(epoch), group)
+
+    def register(self, group: str, members: list[str]) -> None:
+        self._members[group] = list(members)
+
+
+@dataclass
+class ShardedRunResult(RunResult):
+    """A :class:`~repro.workload.runner.RunResult` plus sharding metrics."""
+
+    #: Per-group aggregates (ops, migrations, refusals, residency).
+    group_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Client operations re-routed by WrongGroup refusals.
+    reroutes: int = 0
+    migrations_started: int = 0
+    migrations_completed: int = 0
+    #: The bounded-movement plan of the mid-run ``grow`` (empty without).
+    rebalance_plan: list[tuple[Hashable, str]] = field(default_factory=list)
+
+
+def run_sharded_workload(
+    spec: WorkloadSpec,
+    *,
+    seed: int = 0,
+    groups: tuple[str, ...] = ("g0", "g1"),
+    n_replicas: int = 3,
+    latency: LatencyModel | None = None,
+    fifo_links: bool = True,
+    service_model: ServiceModel | None = None,
+    crdt_config: CrdtPaxosConfig | None = None,
+    record_histories: bool = False,
+    vnodes: int = 64,
+    migrations: Iterable[tuple[float, Hashable, str]] = (),
+    grow_at: float | None = None,
+    grow_group: str | None = None,
+    grow_replicas: int | None = None,
+    spill_store_factory: Any = None,
+) -> ShardedRunResult:
+    """Run one sharded benchmark configuration end to end.
+
+    ``spec`` must be keyed (``n_keys`` set) — sharding routes by key.
+    ``migrations`` schedules ``(time, key, target_group)`` moves on the
+    simulator timeline; ``grow_at``/``grow_group`` adds a group under
+    load and starts the bounded rebalance over the whole keyspace.
+    """
+    if not spec.keyed:
+        raise ConfigurationError(
+            "run_sharded_workload requires a keyed spec (set n_keys); "
+            "sharding routes by key"
+        )
+    profile = profile_for(spec.crdt_type, increment_amount=spec.increment_amount)
+
+    history_tap: HistoryTap | None = None
+    if record_histories:
+        history_tap = HistoryTap()
+        tagger = profile.inclusion_tagger()
+        if tagger is not None:
+            base = crdt_config or CrdtPaxosConfig()
+            crdt_config = replace(base, inclusion_tagger=tagger)
+
+    sim = Simulator(seed=seed)
+    network = SimNetwork(
+        sim,
+        latency=latency or LogNormalLatency(),
+        fifo_links=fifo_links,
+    )
+    deployment = ShardedSimDeployment(
+        sim,
+        network,
+        groups,
+        lambda key: profile.initial_state(),
+        n_replicas=n_replicas,
+        config=crdt_config,
+        vnodes=vnodes,
+        service_model=service_model,
+        spill_store_factory=spill_store_factory,
+    )
+    router = GroupRouter(
+        deployment.routing,
+        {
+            name: list(cluster.addresses)
+            for name, cluster in deployment.clusters.items()
+        },
+    )
+
+    assert spec.n_keys is not None
+    key_sampler = ZipfKeySampler(spec.n_keys, spec.key_skew, seed=seed)
+    all_keys = [f"k{i}" for i in range(spec.n_keys)]
+
+    for at, key, target in migrations:
+        sim.at(
+            at,
+            lambda key=key, target=target: deployment.migrate(key, target),
+        )
+
+    rebalance_plan: list[tuple[Hashable, str]] = []
+    if grow_at is not None:
+        if grow_group is None:
+            raise ConfigurationError("grow_at requires grow_group")
+
+        def do_grow() -> None:
+            plan = deployment.grow(
+                grow_group,
+                n_replicas=grow_replicas,
+                rebalance_keys=all_keys,
+            )
+            router.register(
+                grow_group, list(deployment.clusters[grow_group].addresses)
+            )
+            rebalance_plan.extend(plan)
+
+        sim.at(grow_at, do_grow)
+
+    recorder = Recorder()
+    group_names = list(deployment.clusters)
+    clients = []
+    for index in range(spec.n_clients):
+        home_group = group_names[index % len(group_names)]
+        client = ClosedLoopClient(
+            sim=sim,
+            network=network,
+            address=f"c{index}",
+            replicas=list(deployment.clusters[home_group].addresses),
+            home_replica=index,
+            adapter=CrdtPaxosOpAdapter(),
+            profile=profile,
+            recorder=recorder,
+            rng=sim.rng.stream(f"client:{index}"),
+            read_ratio=spec.read_ratio,
+            stop_time=spec.duration,
+            client_timeout=spec.client_timeout,
+            key_sampler=key_sampler,
+            history_tap=history_tap,
+            router=router,
+        )
+        clients.append(client)
+        client.start()
+
+    sim.run(until=spec.duration)
+
+    proposer_stats: dict[str, dict[str, int]] = {}
+    keyed_stats: dict[str, dict[str, int]] = {}
+    for replica in deployment.all_replicas():
+        proposer_stats[replica.node_id] = replica.stats.snapshot()
+        keyed_stats[replica.node_id] = {
+            "resident": replica.resident_count(),
+            "evictions": replica.evictions,
+            "rehydrations": replica.rehydrations,
+            "wrong_group_refusals": replica.wrong_group_refusals,
+            "migrations_out": replica.migrations_out,
+            "migrations_in": replica.migrations_in,
+        }
+
+    return ShardedRunResult(
+        protocol="crdt-paxos-sharded",
+        spec=spec,
+        records=recorder.records,
+        client_timeouts=recorder.timeouts,
+        bytes_by_type=dict(network.stats.bytes_by_type),
+        count_by_type=dict(network.stats.count_by_type),
+        proposer_stats=proposer_stats,
+        keyed_stats=keyed_stats,
+        histories=history_tap.histories if history_tap is not None else {},
+        group_stats=deployment.group_stats(),
+        reroutes=sum(client.reroutes for client in clients),
+        migrations_started=deployment.coordinator.migrations_started,
+        migrations_completed=deployment.coordinator.migrations_completed,
+        rebalance_plan=rebalance_plan,
+    )

@@ -1,0 +1,169 @@
+"""The batched client handle: ``Store.pipeline()`` on both frontends.
+
+A pipeline queues many typed operations and flushes them in one burst —
+exactly the many-requests-in-flight shape the proposer's §3.6 update
+batching packs into shared MERGE rounds, making protocol message count
+independent of batch size.  The sequential client can never produce
+that shape (it waits for each completion), so the batching win is only
+observable through this handle; the first test pins it down by message
+count.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import AsyncStore, SimStore
+from repro.core.config import CrdtPaxosConfig
+from repro.core.keyspace import KeyedCrdtReplica
+from repro.crdt import GCounter, GCounterValue
+from repro.crdt.gcounter import Increment
+from repro.errors import WrongGroupError
+from repro.net.latency import ConstantLatency
+from repro.net.sim_transport import SimNetwork
+from repro.runtime.asyncio_cluster import AsyncioCluster
+from repro.runtime.cluster import SimCluster
+from repro.sharding.deployment import ShardedSimDeployment
+from repro.sim.kernel import Simulator
+
+BATCHING = CrdtPaxosConfig(batching=True, batch_window=0.005, update_pipeline=4)
+
+
+def sim_cluster(seed=0, config=None):
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim)
+    cluster = SimCluster(
+        sim,
+        network,
+        lambda nid, peers: KeyedCrdtReplica(
+            nid, peers, lambda key: GCounter.initial(), config
+        ),
+        n_replicas=3,
+    )
+    return network, cluster
+
+
+def test_pipeline_burst_feeds_update_batches():
+    """Twelve sequential updates cost twelve MERGE rounds; the same
+    twelve through one pipeline flush land inside the proposer's batch
+    window and share rounds — visibly fewer protocol messages."""
+    network_seq, cluster = sim_cluster(config=BATCHING)
+    store = SimStore(cluster, client="t", keyed=True)
+    for _ in range(12):
+        store.counter("hot").incr()
+    sequential_messages = sum(network_seq.stats.count_by_type.values())
+
+    network_pipe, cluster = sim_cluster(config=BATCHING)
+    store = SimStore(cluster, client="t", keyed=True)
+    pipeline = store.pipeline()
+    for _ in range(12):
+        pipeline.update("hot", Increment(1))
+    receipts = pipeline.flush()
+    pipelined_messages = sum(network_pipe.stats.count_by_type.values())
+
+    assert len(receipts) == 12
+    assert store.counter("hot").value() == 12
+    # The batching win: well under half the sequential message count
+    # (client request/reply pairs dominate; the MERGE rounds collapsed).
+    assert pipelined_messages < sequential_messages / 2
+
+
+def test_pipeline_receipts_come_back_in_queue_order():
+    _, cluster = sim_cluster()
+    store = SimStore(cluster, client="t", keyed=True)
+    store.counter("a").incr(5)
+    pipeline = store.pipeline()
+    pipeline.update("a", Increment(2))
+    pipeline.query("a", GCounterValue())
+    pipeline.update("b", Increment(1)).query("b", GCounterValue())
+    assert len(pipeline) == 4
+    receipts = pipeline.flush()
+    assert len(receipts) == 4
+    assert len(pipeline) == 0  # the queue drained
+    # Queue order, not completion order: update receipt, then the read
+    # (which, submitted in the same burst, may or may not see the
+    # concurrent update — both are linearizable; it must see the 5).
+    assert receipts[1].value >= 5
+    assert receipts[3].value >= 0
+    assert store.counter("a").value() == 7
+    assert store.counter("b").value() == 1
+
+
+def test_empty_flush_is_a_noop():
+    _, cluster = sim_cluster()
+    store = SimStore(cluster, client="t", keyed=True)
+    assert store.pipeline().flush() == []
+
+
+def test_pipeline_wrong_group_refusal_surfaces_typed():
+    """A group store's pipeline hits a migrated-away key: the flush
+    raises WrongGroupError with the replicas' attested forwarding hint
+    (the ShardedStore catches this and falls back to routed re-submit;
+    raw pipelines surface it)."""
+    sim = Simulator(seed=3)
+    deployment = ShardedSimDeployment(
+        sim, SimNetwork(sim), ["g0", "g1"], lambda key: GCounter.initial()
+    )
+    store = deployment.store()
+    key = "k0"
+    source = deployment.routing.owner(key)
+    target = next(g for g in deployment.clusters if g != source)
+    store.counter(key).incr()
+    deployment.migrate(key, target)
+    assert deployment.settle()
+
+    pipeline = store.stores[source].pipeline()
+    pipeline.update(key, Increment(1))
+    with pytest.raises(WrongGroupError) as excinfo:
+        pipeline.flush()
+    assert excinfo.value.group == target
+
+
+def test_sharded_update_many_survives_stale_routing():
+    """update_many's per-group pipeline slice falls back to routed
+    per-key submission when the batch hits a WrongGroup mid-flight."""
+    sim = Simulator(seed=4)
+    deployment = ShardedSimDeployment(
+        sim, SimNetwork(sim), ["g0", "g1"], lambda key: GCounter.initial()
+    )
+    store = deployment.store()
+    key = "k0"
+    target = next(
+        g for g in deployment.clusters if g != deployment.routing.owner(key)
+    )
+    deployment.migrate(key, target)
+    assert deployment.settle()
+    # Stale the client's view back to the birth table: the slice for
+    # the old owner refuses, the fallback re-routes.
+    from repro.sharding.routing import RoutingService
+
+    store.routing = RoutingService(deployment.birth_table)
+    receipts = store.update_many([(key, Increment(1)), ("k1", Increment(1))])
+    assert len(receipts) == 2
+    assert store.counter(key).value() == 1
+    assert store.reroutes >= 1
+
+
+def test_async_pipeline_round_trip():
+    async def scenario():
+        cluster = AsyncioCluster(
+            lambda nid, peers: KeyedCrdtReplica(
+                nid, peers, lambda key: GCounter.initial(), BATCHING
+            ),
+            n_replicas=3,
+            latency=ConstantLatency(0.001),
+        )
+        async with cluster:
+            store = AsyncStore(cluster, client="t")
+            pipeline = store.pipeline()
+            for _ in range(8):
+                pipeline.update("hot", Increment(1))
+            pipeline.query("hot", GCounterValue())
+            receipts = await pipeline.flush()
+            assert len(receipts) == 9
+            # The read ran concurrently with the updates: any value in
+            # [0, 8] is linearizable; the final read must see all 8.
+            assert 0 <= receipts[8].value <= 8
+            assert await store.counter("hot").value() == 8
+
+    asyncio.run(scenario())

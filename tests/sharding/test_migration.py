@@ -1,0 +1,213 @@
+"""Log-less key migration at the deployment level.
+
+A migration ships the key's entire durable protocol state — the §3.3
+``(payload, round, learned-max)`` triple — from a source read quorum to
+a destination write quorum; there is no log to transfer, which is the
+whole point of the paper's design.  These tests drive the engine on the
+simulated multi-group deployment: single moves under live traffic,
+move-back (A→B→A), ring growth and drain, and convergence of clients
+whose routing view predates the moves.
+"""
+
+import pytest
+
+from repro.crdt import GCounter, ORSet
+from repro.errors import WrongGroupError
+from repro.net.sim_transport import SimNetwork
+from repro.sharding.deployment import ShardedSimDeployment
+from repro.sharding.routing import RoutingService
+from repro.sim.kernel import Simulator
+
+
+def initial_state_for(key):
+    if str(key).startswith("tags:"):
+        return ORSet.initial()
+    return GCounter.initial()
+
+
+def deployment_pair(seed=0, groups=("g0", "g1"), **kw):
+    sim = Simulator(seed=seed)
+    network = SimNetwork(sim)
+    deployment = ShardedSimDeployment(
+        sim, network, groups, initial_state_for, **kw
+    )
+    return deployment, deployment.store()
+
+
+def test_migrated_key_keeps_its_state_and_routes_to_the_target():
+    deployment, store = deployment_pair(seed=1)
+    key = "k0"
+    source = deployment.routing.owner(key)
+    target = next(g for g in deployment.clusters if g != source)
+
+    counter = store.counter(key)
+    for _ in range(5):
+        counter.incr()
+    deployment.migrate(key, target)
+    assert deployment.settle()
+    assert deployment.routing.owner(key) == target
+
+    # The value survived the move and new traffic lands at the target.
+    assert counter.value() == 5
+    counter.incr(3)
+    assert counter.value() == 8
+    stats = deployment.group_stats()
+    assert stats[target]["migrations_in"] >= 1
+    assert stats[source]["migrations_out"] >= 1
+    # The key's record left the source replicas entirely (moved-out
+    # marks remain, resident state does not).
+    for replica in deployment.replicas(source):
+        assert replica._ownership.moved_out[key][1] == target
+
+
+def test_move_back_round_trip_is_monotone():
+    """A→B→A: the second move's install joins over states that already
+    include the first move's — nothing is lost, epochs only advance."""
+    deployment, store = deployment_pair(seed=2)
+    key = "k3"
+    home = deployment.routing.owner(key)
+    away = next(g for g in deployment.clusters if g != home)
+
+    store.counter(key).incr(2)
+    deployment.migrate(key, away)
+    assert deployment.settle()
+    epoch_away = deployment.routing.overrides[key][0]
+    store.counter(key).incr(4)
+
+    deployment.migrate(key, home)
+    assert deployment.settle()
+    epoch_home = deployment.routing.overrides[key][0]
+    assert epoch_home > epoch_away
+    assert deployment.routing.owner(key) == home
+    assert store.counter(key).value() == 6
+    store.counter(key).incr()
+    assert store.counter(key).value() == 7
+
+
+def test_migration_moves_nontrivial_payloads():
+    deployment, store = deployment_pair(seed=3)
+    key = "tags:post9"
+    target = next(
+        g for g in deployment.clusters if g != deployment.routing.owner(key)
+    )
+    tags = store.orset(key)
+    tags.add("paxos")
+    tags.add("crdt")
+    deployment.migrate(key, target)
+    assert deployment.settle()
+    assert set(tags.elements()) == {"paxos", "crdt"}
+    tags.remove("paxos")
+    tags.add("logless")
+    assert set(tags.elements()) == {"crdt", "logless"}
+
+
+def test_grow_rebalances_only_the_captured_arc():
+    """Ring growth on a fresh deployment: the plan targets the new
+    group exclusively, the moves commit, and every key still reads its
+    full value afterwards."""
+    deployment, store = deployment_pair(seed=4)
+    keys = [f"k{i}" for i in range(24)]
+    for key in keys:
+        store.counter(key).incr()
+
+    plan = deployment.grow("g2", rebalance_keys=keys)
+    assert plan  # the new arcs captured something
+    assert all(target == "g2" for _, target in plan)
+    assert deployment.settle()
+
+    for key, target in plan:
+        assert deployment.routing.owner(key) == "g2"
+    assert all(store.counter(key).value() == 1 for key in keys)
+    # The grown group serves its keys now.
+    store.counter(plan[0][0]).incr()
+    assert deployment.group_stats()["g2"]["updates_completed"] >= 1
+
+
+def test_shrink_drains_the_group_before_retirement():
+    deployment, store = deployment_pair(seed=5, groups=("g0", "g1", "g2"))
+    keys = [f"k{i}" for i in range(24)]
+    for key in keys:
+        store.counter(key).incr()
+    drained = [key for key in keys if deployment.routing.owner(key) == "g2"]
+    assert drained  # g2 owned part of the keyspace
+
+    plan = deployment.shrink("g2", keys)
+    assert sorted(key for key, _ in plan) == sorted(drained)
+    assert deployment.settle()
+    for key in keys:
+        assert deployment.routing.owner(key) != "g2"
+        assert store.counter(key).value() == 1
+
+
+def test_stale_client_converges_through_wrong_group_bounces():
+    """A client whose private routing view predates the migrations
+    bounces once per stale key, folds the attested hints, and stops
+    bouncing — safety held by the replicas, efficiency recovered."""
+    deployment, store = deployment_pair(seed=6)
+    keys = ["k0", "k1", "k2"]
+    for key in keys:
+        store.counter(key).incr()
+    moves = {
+        key: next(
+            g
+            for g in deployment.clusters
+            if g != deployment.routing.owner(key)
+        )
+        for key in keys
+    }
+    for key, target in moves.items():
+        deployment.migrate(key, target)
+        assert deployment.settle()
+
+    # A second client with a *birth-table* view (no overrides).
+    stale = deployment.store(client="stale")
+    stale.routing = RoutingService(deployment.birth_table)
+    for key in keys:
+        assert stale.counter(key).value() == 1
+    assert stale.reroutes == len(keys)  # exactly one bounce per key
+    before = stale.reroutes
+    for key in keys:
+        stale.counter(key).incr()
+    assert stale.reroutes == before  # converged: no further bounces
+
+
+def test_bounce_budget_exhaustion_is_a_typed_error():
+    deployment, store = deployment_pair(seed=7)
+    key = "k0"
+    source = deployment.routing.owner(key)
+    target = next(g for g in deployment.clusters if g != source)
+    store.counter(key).incr()
+    deployment.migrate(key, target)
+    assert deployment.settle()
+
+    # A malicious/broken router that always re-points at the old owner.
+    class Stuck:
+        def __init__(self, inner):
+            self._inner = inner
+            self.table = inner.table
+
+        def owner(self, _key):
+            return source
+
+        def note(self, *_args):
+            pass
+
+    lost = deployment.store(client="lost", max_bounces=2)
+    lost.routing = Stuck(deployment.routing)
+    with pytest.raises(WrongGroupError) as excinfo:
+        lost.counter(key).incr()
+    assert excinfo.value.group == target
+    assert excinfo.value.epoch > 0
+
+
+def test_update_many_fans_out_per_group():
+    deployment, store = deployment_pair(seed=8)
+    from repro.crdt.gcounter import Increment
+
+    items = [(f"k{i}", Increment(1)) for i in range(10)]
+    receipts = store.update_many(items)
+    assert len(receipts) == 10
+    assert all(receipt is not None for receipt in receipts)
+    assert all(store.counter(f"k{i}").value() == 1 for i in range(10))
+    groups = {deployment.routing.owner(f"k{i}") for i in range(10)}
+    assert len(groups) == 2  # the batch genuinely spanned both groups

@@ -1,0 +1,285 @@
+"""Routing-table edge cases: degeneration, rejection, bounded movement.
+
+The sharded subsystem must *disappear* when it is not needed: a one-group
+ring is the plain keyed deployment, byte for byte.  And it must stay
+cheap when it is needed: growing the ring moves only the keys whose arc
+the new group captures, and every routing epoch a replica ever attests
+survives recovery and only moves forward.
+"""
+
+import pytest
+
+from repro.api import SimStore
+from repro.api.codec import compile_update
+from repro.api.sharded import ShardedStore
+from repro.core.config import CrdtPaxosConfig
+from repro.core.keyspace import GroupOwnership, Keyed, KeyedCrdtReplica
+from repro.core.messages import MigrateCommit, MigrateFreeze, WrongGroup
+from repro.crdt import GCounter
+from repro.crdt.gcounter import Increment
+from repro.errors import ConfigurationError
+from repro.net.sim_transport import SimNetwork
+from repro.runtime.cluster import SimCluster
+from repro.sharding.deployment import ShardedSimDeployment
+from repro.sharding.routing import RoutingService, RoutingTable, stable_hash
+from repro.sim.kernel import Simulator
+from repro.storage import InMemorySpillStore
+
+KEYS = [f"k{i}" for i in range(12)]
+
+
+def _drive(store, keys):
+    for key in keys:
+        store.counter(key).incr()
+        store.counter(key).incr(2)
+    return [store.counter(key).value() for key in keys]
+
+
+# ----------------------------------------------------------------------
+# Degeneration: one group == the plain keyed deployment
+# ----------------------------------------------------------------------
+def test_single_group_ring_degenerates_byte_for_byte():
+    # Plain keyed cluster, addressed exactly like the sharded group's.
+    sim_a = Simulator(seed=11)
+    net_a = SimNetwork(sim_a)
+    cluster = SimCluster(
+        sim_a,
+        net_a,
+        lambda nid, peers: KeyedCrdtReplica(
+            nid, peers, lambda key: GCounter.initial()
+        ),
+        n_replicas=3,
+        name_prefix="g0-r",
+    )
+    plain = SimStore(cluster, client="app-g0", keyed=True)
+    values_plain = _drive(plain, KEYS)
+
+    # One-group sharded deployment on an identically seeded simulator.
+    sim_b = Simulator(seed=11)
+    net_b = SimNetwork(sim_b)
+    deployment = ShardedSimDeployment(
+        sim_b, net_b, ["g0"], lambda key: GCounter.initial()
+    )
+    sharded = deployment.store(client="app")
+    values_sharded = _drive(sharded, KEYS)
+
+    assert values_plain == values_sharded == [3] * len(KEYS)
+    assert sharded.reroutes == 0  # one group: nothing to bounce to
+    # Byte-for-byte: same message mix, same sizes — the routing layer
+    # adds no traffic when the ring has a single group (the idle
+    # coordinator sends nothing).
+    assert dict(net_a.stats.count_by_type) == dict(net_b.stats.count_by_type)
+    assert dict(net_a.stats.bytes_by_type) == dict(net_b.stats.bytes_by_type)
+
+
+# ----------------------------------------------------------------------
+# Config-time rejection
+# ----------------------------------------------------------------------
+def test_empty_ring_rejected():
+    with pytest.raises(ConfigurationError):
+        RoutingTable([])
+
+
+def test_duplicate_group_names_rejected():
+    with pytest.raises(ConfigurationError):
+        RoutingTable(["g0", "g0"])
+
+
+def test_empty_group_name_rejected():
+    with pytest.raises(ConfigurationError):
+        RoutingTable(["g0", ""])
+
+
+def test_nonpositive_vnodes_rejected():
+    with pytest.raises(ConfigurationError):
+        RoutingTable(["g0"], vnodes=0)
+
+
+def test_pin_to_unknown_group_rejected():
+    with pytest.raises(ConfigurationError):
+        RoutingTable(["g0"], pins={"hot": "g9"})
+
+
+def test_growing_an_existing_group_rejected():
+    with pytest.raises(ConfigurationError):
+        RoutingTable(["g0", "g1"]).with_group("g1")
+
+
+def test_removing_unknown_group_rejected():
+    with pytest.raises(ConfigurationError):
+        RoutingTable(["g0"]).without_group("g9")
+
+
+def test_removing_last_group_rejected():
+    with pytest.raises(ConfigurationError):
+        RoutingTable(["g0"]).without_group("g0")
+
+
+def test_sharded_store_needs_a_group():
+    with pytest.raises(ConfigurationError):
+        ShardedStore({}, RoutingService(RoutingTable(["g0"])))
+
+
+def test_sharded_store_bounce_budget_positive():
+    sim = Simulator(seed=0)
+    deployment = ShardedSimDeployment(
+        sim, SimNetwork(sim), ["g0"], lambda key: GCounter.initial()
+    )
+    with pytest.raises(ConfigurationError):
+        deployment.store(max_bounces=0)
+
+
+# ----------------------------------------------------------------------
+# Ring behavior: pins, determinism, bounded movement
+# ----------------------------------------------------------------------
+def test_pins_override_the_ring():
+    table = RoutingTable(["g0", "g1"], pins={"hot": "g1"})
+    assert table.owner("hot") == "g1"
+    unpinned = RoutingTable(["g0", "g1"])
+    for key in KEYS:
+        assert table.owner(key) == unpinned.owner(key)
+
+
+def test_ring_placement_is_process_independent():
+    # CRC32 over repr: the same table built twice (or on a recovered
+    # replica) routes identically — no per-process hash salt.
+    a = RoutingTable(["g0", "g1", "g2"], vnodes=8)
+    b = RoutingTable(["g0", "g1", "g2"], vnodes=8)
+    assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+    assert stable_hash("k0") == stable_hash("k0")
+
+
+def test_ring_growth_moves_a_bounded_set_of_keys():
+    """Consistent hashing: only keys captured by the new group's arcs
+    move, every move targets the new group, all other keys stay put."""
+    keys = [f"k{i}" for i in range(400)]
+    service = RoutingService(RoutingTable(["g0", "g1"]))
+    before = {key: service.owner(key) for key in keys}
+    grown = service.grow("g2")
+    plan = service.plan_rebalance(keys, grown)
+
+    assert 0 < len(plan) < len(keys)  # some movement, never a reshuffle
+    assert all(target == "g2" for _, target in plan)
+    moved = {key for key, _ in plan}
+    for key in keys:
+        if key not in moved:
+            assert grown.owner(key) == before[key]
+    # Roughly its fair share of the keyspace (1/3), with slack for the
+    # arc variance a 64-vnode ring still has.
+    assert len(plan) < len(keys) * 0.6
+
+
+def test_ring_growth_repatriates_pinned_keys_to_their_arc():
+    """A key pinned off its ring arc by an earlier migration is folded
+    back to wherever the grown table places it: after the plan runs,
+    every override that survives ``set_table`` *agrees* with the table,
+    so the ring alone describes where every key lives."""
+    keys = [f"k{i}" for i in range(40)]
+    service = RoutingService(RoutingTable(["g0", "g1"]))
+    pinned = next(key for key in keys if service.owner(key) == "g0")
+    service.commit_move(pinned, "g1", service.reserve_epoch())
+    assert service.owner(pinned) == "g1"
+
+    grown = service.grow("g2")
+    plan = dict(service.plan_rebalance(keys, grown))
+    assert plan[pinned] == grown.owner(pinned)  # back to its arc
+    assert set(plan.values()) <= {"g2", grown.owner(pinned)}
+    for key, target in plan.items():
+        service.commit_move(key, target, service.reserve_epoch())
+    service.set_table(grown)
+    # Post-grow the ring alone is authoritative: the pin is gone and
+    # every surviving override agrees with the table's placement.
+    assert service.owner(pinned) == grown.owner(pinned)
+    for key in keys:
+        assert service.owner(key) == grown.owner(key)
+
+
+def test_ring_shrink_returns_only_the_drained_groups_keys():
+    keys = [f"k{i}" for i in range(400)]
+    table = RoutingTable(["g0", "g1", "g2"])
+    service = RoutingService(table)
+    shrunk = service.shrink("g2")
+    plan = service.plan_rebalance(keys, shrunk)
+    assert plan  # g2 owned something
+    for key, target in plan:
+        assert table.owner(key) == "g2"  # only g2's keys move
+        assert target == shrunk.owner(key) != "g2"
+
+
+# ----------------------------------------------------------------------
+# Epoch monotonicity
+# ----------------------------------------------------------------------
+def test_service_epochs_are_monotone():
+    service = RoutingService(RoutingTable(["g0", "g1"]))
+    first = service.reserve_epoch()
+    second = service.reserve_epoch()
+    assert second > first
+    service.note("k0", second, "g1")
+    # A stale (lower-epoch) hint can never roll the override back.
+    service.note("k0", first, "g0")
+    assert service.overrides["k0"] == (second, "g1")
+    assert service.owner("k0") == "g1"
+    # Folding a newer epoch advances the reservation floor too.
+    service.note("k1", 99, "g0")
+    assert service.reserve_epoch() == 100
+
+
+def test_set_table_keeps_newer_overrides():
+    service = RoutingService(RoutingTable(["g0", "g1"]))
+    grown = service.grow("g2")  # epoch 1
+    service.commit_move("k0", "g2", service.reserve_epoch())  # epoch 2 > 1
+    service.set_table(grown)
+    assert service.owner("k0") == "g2"  # the committed move survives
+    assert service.table is grown
+
+
+def test_replica_routing_epoch_survives_recover_and_rejoin():
+    """The epoch a replica attested is durable: recovery (clean or
+    rejoin-style) restores the moved-out mark and ``max_epoch`` from the
+    spill meta, and a stale client still gets the same WrongGroup hint
+    from the fresh process."""
+    table = RoutingTable(["g0", "g1"])
+    store = InMemorySpillStore()
+    config = CrdtPaxosConfig(durability="write_through")
+    replica = KeyedCrdtReplica(
+        "g0-r0",
+        ["g0-r0"],
+        lambda key: GCounter.initial(),
+        config,
+        spill_store=store,
+        ownership=GroupOwnership("g0", table),
+    )
+    epoch = 7
+    replica.on_message(
+        "coord", Keyed(key="k0", message=MigrateFreeze("m1", epoch, "g1")), 0.0
+    )
+    replica.on_message(
+        "coord", Keyed(key="k0", message=MigrateCommit("m1", epoch, "g1")), 0.0
+    )
+    assert replica._ownership.moved_out["k0"] == (epoch, "g1")
+    assert replica._ownership.max_epoch >= epoch
+
+    for rejoin in (False, True):
+        recovered = KeyedCrdtReplica.recover(
+            store,
+            "g0-r0",
+            ["g0-r0"],
+            lambda key: GCounter.initial(),
+            config,
+            rejoin=rejoin,
+            ownership=GroupOwnership("g0", table),
+        )
+        assert recovered._ownership.max_epoch >= epoch
+        assert recovered._ownership.moved_out["k0"] == (epoch, "g1")
+        effects = recovered.on_message(
+            "store-c", compile_update("u1", Increment(1), key="k0"), 0.0
+        )
+        refusals = [
+            message.message
+            for _, message in effects.sends
+            if isinstance(message, Keyed)
+            and isinstance(message.message, WrongGroup)
+        ]
+        assert len(refusals) == 1
+        assert refusals[0].epoch >= epoch
+        assert refusals[0].group == "g1"

@@ -64,6 +64,14 @@ def test_failure_resilience():
     assert "no failover gap" in out
 
 
+def test_sharded_store():
+    out = run_example("sharded_store.py")
+    assert "linearizable read of migrated key" in out
+    assert "bounded rebalance" in out
+    assert "grown group g2" in out
+    assert "sharded store: OK" in out
+
+
 def test_nemesis_demo():
     out = run_example("nemesis_demo.py")
     assert "majority side still commits" in out
