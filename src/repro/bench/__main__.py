@@ -7,6 +7,7 @@ experiments) and prints the result table, e.g.::
     python -m repro.bench fig1 --scale full    # the paper's grid
     python -m repro.bench overhead ablations   # several at once
     python -m repro.bench all --seed 7
+    python -m repro.bench net                  # multi-process socket rig
     python -m repro.bench perf-gate --quick    # hot-path regression gate
     python -m repro.bench trend                # cross-PR metric deltas
 
@@ -28,6 +29,7 @@ from repro.bench import fig1 as _fig1
 from repro.bench import fig2 as _fig2
 from repro.bench import fig3 as _fig3
 from repro.bench import fig4 as _fig4
+from repro.bench import netbench as _netbench
 from repro.bench import overhead as _overhead
 from repro.bench import perf_gate as _perf_gate
 from repro.bench import trend as _trend
@@ -58,6 +60,12 @@ def _run_overhead(scale: str | None, seed: int) -> str:
     )
 
 
+def _run_net(scale: str | None, seed: int) -> str:
+    return _netbench.render_net(
+        _netbench.run_net(quick=scale != "full", seed=seed)
+    )
+
+
 def _run_ablations(scale: str | None, seed: int) -> str:
     duration = 4.0 if scale == "full" else 1.5
     return _ablations.render_ablations(
@@ -72,6 +80,7 @@ EXPERIMENTS: dict[str, Runner] = {
     "fig4": _run_fig4,
     "overhead": _run_overhead,
     "ablations": _run_ablations,
+    "net": _run_net,
 }
 
 

@@ -1,0 +1,300 @@
+"""Multi-process socket benchmark: ``python -m repro.bench net``.
+
+Every other number in this harness comes from the simulator; this one
+does not.  The rig spawns one OS process per replica, each running a
+:class:`~repro.net.stream.StreamNodeServer` around a
+:class:`~repro.core.keyspace.KeyedCrdtReplica`, and drives a closed loop
+of updates from the parent process through a
+:class:`~repro.net.stream.StreamClient` — real serialization through
+:mod:`repro.wire`, real sockets, real scheduling.  uvloop is used when
+the container ships it (:func:`~repro.net.stream.uvloop_installed`).
+
+The workload is GSet adds against a small hot keyspace, chosen because a
+grow-only set makes the paper's delta-state story *measurable*: without
+``delta_merge`` every MERGE broadcast re-ships the key's whole
+accumulated set, with it each MERGE carries the single element just
+added.  The rig runs both modes and reports:
+
+* ``net_wire_ops_s`` — closed-loop ops/s with delta replication on (the
+  default wire payload), **gated**;
+* ``net_bytes_per_op`` — replica-outbound socket bytes per completed
+  op, delta mode, **gated lower-is-better**;
+* ``net_delta_bytes_ratio`` — delta / full-state bytes per op
+  (trajectory; the acceptance check that deltas actually shrink the
+  wire);
+* ``net_full_*`` twins and ``net_uvloop`` — trajectory diagnostics.
+
+Sandboxed environments may forbid sockets or process spawning; the rig
+probes first (:func:`sockets_available`) and returns an empty metric
+dict rather than failing, and the perf gate skips metrics that were
+never measured.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import socket
+import time
+from typing import Any
+
+from repro.core.config import CrdtPaxosConfig
+from repro.core.keyspace import Keyed
+from repro.core.messages import ClientUpdate, UpdateDone
+from repro.errors import RequestTimeout
+
+_HOST = "127.0.0.1"
+#: Seconds the parent waits for every replica process to signal ready.
+_STARTUP_TIMEOUT = 30.0
+
+
+def sockets_available() -> bool:
+    """Probe whether loopback TCP actually works here.
+
+    Sandboxes block sockets in creative ways (creation, bind, listen,
+    or connect); a full listen+connect round trip is the only probe that
+    catches them all.
+    """
+    try:
+        with socket.socket() as listener:
+            listener.bind((_HOST, 0))
+            listener.listen(1)
+            port = listener.getsockname()[1]
+            with socket.create_connection((_HOST, port), timeout=2.0):
+                pass
+        return True
+    except OSError:
+        return False
+
+
+def reserve_ports(count: int) -> list[int]:
+    """``count`` distinct ephemeral ports, reserved by bind-and-release.
+
+    The tiny race between release and the server process's bind is
+    acceptable for a benchmark; SO_REUSEADDR keeps the kernel from
+    holding the port in TIME_WAIT against us.
+    """
+    sockets, ports = [], []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((_HOST, 0))
+            sockets.append(sock)
+            ports.append(sock.getsockname()[1])
+    finally:
+        for sock in sockets:
+            sock.close()
+    return ports
+
+
+# ----------------------------------------------------------------------
+# Replica process
+# ----------------------------------------------------------------------
+def _replica_main(
+    node_id: str,
+    ports: dict[str, int],
+    config: CrdtPaxosConfig,
+    ready: Any,
+    stop: Any,
+) -> None:
+    """Entry point of one replica process (must be module-level for the
+    spawn start method to import it)."""
+    from repro.net.stream import uvloop_installed
+
+    uvloop_installed()
+    asyncio.run(_serve(node_id, ports, config, ready, stop))
+
+
+async def _serve(
+    node_id: str,
+    ports: dict[str, int],
+    config: CrdtPaxosConfig,
+    ready: Any,
+    stop: Any,
+) -> None:
+    from repro.core.keyspace import KeyedCrdtReplica
+    from repro.crdt.gset import GSet
+    from repro.net.stream import StreamNodeServer
+
+    replica = KeyedCrdtReplica(
+        node_id, sorted(ports), lambda key: GSet.initial(), config
+    )
+    server = StreamNodeServer(
+        replica,
+        _HOST,
+        ports[node_id],
+        peers={nid: (_HOST, p) for nid, p in ports.items() if nid != node_id},
+    )
+    await server.start()
+    ready.set()
+    # The stop event is a cross-process primitive; polling it beats
+    # burning a thread on a blocking wait.
+    while not stop.is_set():
+        await asyncio.sleep(0.05)
+    await server.close()
+
+
+# ----------------------------------------------------------------------
+# Client drive (parent process)
+# ----------------------------------------------------------------------
+async def _drive(
+    ports: dict[str, int],
+    n_clients: int,
+    ops_per_client: int,
+    n_keys: int,
+    timeout: float,
+) -> dict[str, float]:
+    from repro.net.stream import StreamClient
+
+    replicas = sorted(ports)
+    placements = {nid: (_HOST, ports[nid]) for nid in replicas}
+    clients = [
+        StreamClient(f"bench-c{i}", placements) for i in range(n_clients)
+    ]
+    completed = 0
+
+    async def closed_loop(index: int, client: StreamClient) -> int:
+        # Each worker homes on one replica and walks the shared hot
+        # keyspace; distinct elements per (worker, op) keep the GSets
+        # growing for the full run.
+        home = replicas[index % len(replicas)]
+        done = 0
+        for op in range(ops_per_client):
+            key = f"k{op % n_keys}"
+            message = Keyed(
+                key=key,
+                message=ClientUpdate(
+                    request_id=f"c{index}/u{op}", op=_add(f"c{index}-{op}")
+                ),
+            )
+            try:
+                reply = await client.request(home, message, timeout=timeout)
+            except RequestTimeout:
+                continue  # counted by omission; the rate only sums acks
+            inner = getattr(reply, "message", reply)
+            if isinstance(inner, UpdateDone):
+                done += 1
+        return done
+
+    started = time.perf_counter()
+    results = await asyncio.gather(
+        *(closed_loop(i, c) for i, c in enumerate(clients))
+    )
+    elapsed = time.perf_counter() - started
+    completed = sum(results)
+
+    # Replica-outbound socket bytes: every MERGE broadcast, MERGED ack
+    # and client reply the run generated, measured at the transport.
+    bytes_sent = 0
+    for nid in replicas:
+        stats = await clients[0].transport_stats(nid, timeout=timeout)
+        bytes_sent += stats.bytes_sent
+    for client in clients:
+        await client.close()
+    if completed == 0:
+        raise RequestTimeout("no operation completed; the rig is broken")
+    return {
+        "ops_s": completed / elapsed,
+        "bytes_per_op": bytes_sent / completed,
+        "completed": float(completed),
+    }
+
+
+def _add(element: str) -> Any:
+    from repro.crdt.gset import GSetAdd
+
+    return GSetAdd(element)
+
+
+# ----------------------------------------------------------------------
+# One full rig run
+# ----------------------------------------------------------------------
+def run_cluster(
+    delta_merge: bool,
+    n_replicas: int = 3,
+    n_clients: int = 4,
+    ops_per_client: int = 75,
+    n_keys: int = 4,
+    timeout: float = 10.0,
+) -> dict[str, float]:
+    """Spawn a replica cluster, drive the closed loop, tear down."""
+    ctx = multiprocessing.get_context("spawn")
+    ports = {
+        f"r{i}": port for i, port in enumerate(reserve_ports(n_replicas))
+    }
+    config = CrdtPaxosConfig(delta_merge=delta_merge)
+    stop = ctx.Event()
+    processes, readies = [], []
+    try:
+        for nid in sorted(ports):
+            ready = ctx.Event()
+            process = ctx.Process(
+                target=_replica_main,
+                args=(nid, ports, config, ready, stop),
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+            readies.append(ready)
+        deadline = time.monotonic() + _STARTUP_TIMEOUT
+        for ready in readies:
+            if not ready.wait(timeout=max(0.0, deadline - time.monotonic())):
+                raise TimeoutError("replica process failed to start")
+        return asyncio.run(
+            _drive(ports, n_clients, ops_per_client, n_keys, timeout)
+        )
+    finally:
+        stop.set()
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+
+def run_net(quick: bool = True, seed: int = 0) -> dict[str, float]:
+    """The full net benchmark: delta and full-state runs plus the ratio.
+
+    Returns ``{}`` (and the gate skips the ``net_*`` metrics) where
+    sockets or process spawning are unavailable.  ``seed`` is accepted
+    for CLI symmetry; the workload is deterministic by construction.
+    """
+    del seed
+    if not sockets_available():
+        return {}
+    from repro.net.stream import uvloop_installed
+
+    ops_per_client = 75 if quick else 300
+    try:
+        delta = run_cluster(delta_merge=True, ops_per_client=ops_per_client)
+        full = run_cluster(delta_merge=False, ops_per_client=ops_per_client)
+    except (OSError, PermissionError, TimeoutError, RequestTimeout):
+        # Spawning blocked, ports vanished, or the sandbox interfered
+        # mid-run: no number beats a wrong number.
+        return {}
+    return {
+        "net_wire_ops_s": delta["ops_s"],
+        "net_bytes_per_op": delta["bytes_per_op"],
+        "net_delta_bytes_ratio": delta["bytes_per_op"] / full["bytes_per_op"],
+        "net_full_ops_s": full["ops_s"],
+        "net_full_bytes_per_op": full["bytes_per_op"],
+        "net_completed_ops": delta["completed"],
+        "net_uvloop": 1.0 if uvloop_installed() else 0.0,
+    }
+
+
+def render_net(metrics: dict[str, float]) -> str:
+    if not metrics:
+        return (
+            "net benchmark skipped: sockets or process spawning "
+            "unavailable in this environment"
+        )
+    lines = ["net benchmark (multi-process, real sockets)"]
+    lines.append(f"  ops/s (delta replication)   {metrics['net_wire_ops_s']:12,.0f}")
+    lines.append(f"  ops/s (full-state)          {metrics['net_full_ops_s']:12,.0f}")
+    lines.append(f"  bytes/op (delta)            {metrics['net_bytes_per_op']:12,.1f}")
+    lines.append(f"  bytes/op (full-state)       {metrics['net_full_bytes_per_op']:12,.1f}")
+    lines.append(f"  delta/full bytes ratio      {metrics['net_delta_bytes_ratio']:12.3f}")
+    lines.append(f"  uvloop                      {'yes' if metrics['net_uvloop'] else 'no':>12}")
+    return "\n".join(lines)

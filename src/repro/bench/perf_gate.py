@@ -6,7 +6,9 @@ baseline snapshot:
 
 * **micro** — OR-Set ``equivalent``-vs-LUB and ``join_all`` over a 5-ack
   quorum of 1000-element payloads (the query fast path's dominant shape),
-  and keyed-replica timer routing at 10k keys (ops/s and events/s);
+  keyed-replica timer routing at 10k keys (ops/s and events/s), and the
+  binary codec's frame encode rate for a 16-envelope KeyedBatch
+  (``wire_encode_ops_s``, gated — the codec sits on every socket write);
 * **keyed scale** — the flyweight keyed store at 100k keys: resident
   density of acceptor-only keys (keys per MB, higher is better) and timer
   routing throughput at 100k keys (the 10k rail must not degrade with a
@@ -36,6 +38,12 @@ baseline snapshot:
   service well above a quarter of its fault-free throughput) and
   ``nemesis_recovery_s`` (virtual seconds from the heal to the first
   completed post-heal operation, trajectory-only);
+* **net** — the multi-process socket rig (:mod:`repro.bench.netbench`):
+  one OS process per replica over real loopback sockets, closed-loop
+  GSet adds in delta and full-state modes — ``net_wire_ops_s`` (gated),
+  ``net_bytes_per_op`` (gated, *lower* is better) and the delta/full
+  byte ratio (trajectory); skipped cleanly where sandboxes forbid
+  sockets or process spawning;
 * **spill tier** — the frozen-record spill store: keys/second rehydrated
   from a cold segmented file store (index lookup + frame read + CRC +
   decode + admission) and the bounded-RAM churn density (keys per traced
@@ -88,7 +96,7 @@ from repro.workload.sharded import run_sharded_workload
 from repro.workload.spec import WorkloadSpec
 
 #: This PR's trajectory snapshot (BENCH_PR<N>.json).
-CURRENT_PR = 8
+CURRENT_PR = 9
 
 #: Allowed fractional drop below a baseline value before the gate fails.
 TOLERANCE = 0.20
@@ -113,7 +121,15 @@ GATED_METRICS = (
     "e2e_partition_retention",
     "e2e_sharded_zipf_ops_s",
     "e2e_sharded_speedup",
+    "wire_encode_ops_s",
+    "net_wire_ops_s",
 )
+
+#: Gated metrics where *lower* is better (byte costs): the gate fails
+#: when the measured value rises more than ``TOLERANCE`` *above* the
+#: baseline.  ``net_*`` metrics are skipped automatically where the
+#: multi-process rig cannot run (sandboxes without sockets).
+GATED_METRICS_LOWER = ("net_bytes_per_op",)
 
 
 def repo_root() -> pathlib.Path:
@@ -210,15 +226,38 @@ def keyed_timer_rate(n_keys: int, iters: int = 2000) -> float:
     return _rate(lambda: replica.on_timer(timer_key, 0.0), iters=iters)
 
 
+def build_wire_batch(n_items: int = 16) -> "object":
+    """A representative coalesced frame: one KeyedBatch of Keyed MERGE
+    envelopes — the shape the keyed outbox actually puts on a socket."""
+    from repro.core.keyspace import KeyedBatch
+
+    payload = GCounter((("r0", 3), ("r1", 1), ("r2", 7)))
+    return KeyedBatch(
+        tuple(
+            Keyed(key=f"key-{i}", message=Merge(request_id=f"r0/u{i}", state=payload))
+            for i in range(n_items)
+        )
+    )
+
+
 def run_micro() -> dict[str, float]:
+    from repro.wire import decode_frame, encode_frame
+
     acks = build_quorum_acks()
     lub = join_all(acks)
+    batch = build_wire_batch()
+    frame = encode_frame(batch)
     metrics = {
         "orset_join_all_ops_s": _rate(lambda: join_all(acks)),
         "orset_equivalent_vs_lub_ops_s": _rate(
             lambda: all(state.equivalent(lub) for state in acks)
         ),
         "keyed_timer_events_s": keyed_timer_rate(10_000),
+        # Codec hot path: frames/second through the binary codec for a
+        # 16-envelope KeyedBatch (encode gated; decode trajectory-only).
+        "wire_encode_ops_s": _rate(lambda: encode_frame(batch), iters=200),
+        "wire_decode_ops_s": _rate(lambda: decode_frame(frame), iters=200),
+        "wire_frame_bytes": float(len(frame)),
     }
     return metrics
 
@@ -720,10 +759,15 @@ def run_e2e_sharded(quick: bool = True, seed: int = 0) -> dict[str, float]:
 # Gate
 # ----------------------------------------------------------------------
 def run_perf_gate(quick: bool = True, seed: int = 0) -> dict[str, float]:
+    from repro.bench.netbench import run_net
+
     metrics = run_micro()
     metrics.update(run_keyed_scale())
     metrics.update(run_spill(quick=quick))
     metrics.update(run_e2e(quick=quick, seed=seed))
+    # Empty where the sandbox forbids sockets/spawning; the gate then
+    # skips the net_* metrics rather than failing.
+    metrics.update(run_net(quick=quick, seed=seed))
     return metrics
 
 
@@ -763,6 +807,16 @@ def evaluate_gate(
                 f"{name}: {metrics[name]:,.0f} is below the gate floor "
                 f"{floor:,.0f} (baseline {reference:,.0f} − {TOLERANCE:.0%})"
             )
+    for name in GATED_METRICS_LOWER:
+        reference = baseline.get(name)
+        if reference is None or name not in metrics:
+            continue
+        ceiling = reference * (1.0 + TOLERANCE)
+        if metrics[name] > ceiling:
+            failures.append(
+                f"{name}: {metrics[name]:,.1f} is above the gate ceiling "
+                f"{ceiling:,.1f} (baseline {reference:,.1f} + {TOLERANCE:.0%})"
+            )
     return failures
 
 
@@ -800,7 +854,7 @@ def main(quick: bool = True, seed: int = 0) -> int:
         "seed": seed,
         "wall_seconds": round(elapsed, 2),
         "tolerance": TOLERANCE,
-        "gated_metrics": list(GATED_METRICS),
+        "gated_metrics": list(GATED_METRICS) + list(GATED_METRICS_LOWER),
         "metrics": metrics,
         "gate_failures": failures,
     }

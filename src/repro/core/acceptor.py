@@ -44,6 +44,7 @@ class AcceptorStats:
         "keyed_batches_unpacked",
         "keyed_batch_bytes_saved",
         "keyed_envelopes_superseded",
+        "keyed_budget_flushes",
     )
 
     def __init__(self) -> None:
@@ -65,6 +66,8 @@ class AcceptorStats:
         #: (key, type, request id, attempt) slot — e.g. a re-driven MERGE
         #: superseding the still-parked original.
         self.keyed_envelopes_superseded = 0
+        #: Early per-peer flushes forced by ``keyed_outbox_byte_budget``.
+        self.keyed_budget_flushes = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -112,11 +115,23 @@ class Acceptor:
         ``join`` skips the copy when the incoming payload is already
         subsumed; the round's write marker is bumped regardless, exactly
         as in the paper's algorithm.
+
+        When the Merge carries an anti-entropy ``digest`` (the sender's
+        full-state digest, delta mode), the ack reports whether this
+        acceptor's post-join state hashes differently — the one-integer
+        probe the proposer's anti-entropy repair loop watches.
         """
         self.state = self.state.join(msg.state)
         self.round = self.round.with_write_id()
         self.stats.merges_handled += 1
-        return Merged(request_id=msg.request_id)
+        if msg.digest is None:
+            return Merged(request_id=msg.request_id)
+        from repro.wire.digest import stable_digest
+
+        return Merged(
+            request_id=msg.request_id,
+            diverged=stable_digest(self.state) != msg.digest,
+        )
 
     # ------------------------------------------------------------------
     # Query commands

@@ -57,6 +57,18 @@ class CrdtPaxosConfig:
         quorum still durably stores every completed update, so the §3.1
         conditions are preserved; payload convergence then relies on the
         query path.
+    ``anti_entropy`` / ``anti_entropy_threshold`` / ``anti_entropy_interval``
+        Delta-mode repair loop (requires ``delta_merge``).  Every MERGE
+        carries the proposer's full-state digest; each MERGED ack says
+        whether the acceptor's post-join state hashed differently.  A peer
+        answering ``diverged`` ``anti_entropy_threshold`` consecutive
+        times gets one full-state MERGE push (request id prefixed
+        ``ae:``), rate-limited to one push per peer per
+        ``anti_entropy_interval`` seconds.  This closes the delta-mode
+        dissemination gap: a peer that missed a delta (dropped MERGE whose
+        batch reached quorum without it) would otherwise stay divergent
+        until the next query touches it.  Off by default — the probe costs
+        a full-state digest per MERGE on both sides.
     ``request_timeout``
         Client-request supervision: how long a proposer waits before
         re-driving an open request (resending MERGEs / starting a fresh
@@ -117,6 +129,21 @@ class CrdtPaxosConfig:
         same peer per tick, and batching them amortizes the per-envelope
         overhead.  Replies to clients are never delayed.  ``None``
         (default) sends every envelope immediately.
+    ``keyed_coalesce_adaptive`` / ``keyed_coalesce_min_window``
+        Adapt the coalesce window to the observed per-peer traffic rate:
+        an EWMA of the enqueue interval per destination sizes the next
+        window at roughly eight envelopes' worth of arrivals, clamped to
+        ``[keyed_coalesce_min_window, keyed_coalesce_window]`` — a hot
+        peer flushes near the floor (latency), a trickling peer waits the
+        full window (batching).  ``keyed_coalesce_min_window=None``
+        defaults the floor to an eighth of the window.  Requires
+        ``keyed_coalesce_window``.
+    ``keyed_outbox_byte_budget``
+        Flush a destination's parked envelopes early once their summed
+        wire size exceeds this many bytes, regardless of the window —
+        bounds both the burst one KeyedBatch frame puts on the wire and
+        the staleness a byte-heavy peer accumulates.  ``None`` (default)
+        leaves flushing purely time-driven.
     ``durability``
         Keyed deployments only: when a spill store is attached, how the
         §3.3 ``(payload, round)`` pair is persisted relative to the acks
@@ -150,11 +177,17 @@ class CrdtPaxosConfig:
     fast_path: bool = True
     include_state_in_prepare: bool = True
     delta_merge: bool = False
+    anti_entropy: bool = False
+    anti_entropy_threshold: int = 3
+    anti_entropy_interval: float = 1.0
     inclusion_tagger: InclusionTagger | None = None
     keyed_max_resident: int | None = None
     keyed_max_frozen: int | None = None
     keyed_idle_evict_s: float | None = None
     keyed_coalesce_window: float | None = None
+    keyed_coalesce_adaptive: bool = False
+    keyed_coalesce_min_window: float | None = None
+    keyed_outbox_byte_budget: int | None = None
     durability: str = "none"
     durability_sync_window: float = 0.002
 
@@ -202,6 +235,39 @@ class CrdtPaxosConfig:
         if self.keyed_coalesce_window is not None and self.keyed_coalesce_window <= 0:
             raise ConfigurationError(
                 "keyed_coalesce_window must be positive or None"
+            )
+        if self.anti_entropy and not self.delta_merge:
+            raise ConfigurationError(
+                "anti_entropy requires delta_merge (full-state MERGEs are "
+                "their own anti-entropy)"
+            )
+        if self.anti_entropy_threshold < 1:
+            raise ConfigurationError(
+                f"anti_entropy_threshold must be >= 1, got {self.anti_entropy_threshold}"
+            )
+        if self.anti_entropy_interval <= 0:
+            raise ConfigurationError("anti_entropy_interval must be positive")
+        if self.keyed_coalesce_adaptive and self.keyed_coalesce_window is None:
+            raise ConfigurationError(
+                "keyed_coalesce_adaptive requires keyed_coalesce_window (the "
+                "adaptive window's ceiling)"
+            )
+        if self.keyed_coalesce_min_window is not None:
+            if self.keyed_coalesce_min_window <= 0:
+                raise ConfigurationError(
+                    "keyed_coalesce_min_window must be positive or None"
+                )
+            if (
+                self.keyed_coalesce_window is not None
+                and self.keyed_coalesce_min_window > self.keyed_coalesce_window
+            ):
+                raise ConfigurationError(
+                    "keyed_coalesce_min_window must not exceed keyed_coalesce_window"
+                )
+        if self.keyed_outbox_byte_budget is not None and self.keyed_outbox_byte_budget < 1:
+            raise ConfigurationError(
+                f"keyed_outbox_byte_budget must be >= 1 or None, got "
+                f"{self.keyed_outbox_byte_budget}"
             )
         if self.durability not in ("none", "write_through", "group_sync"):
             raise ConfigurationError(

@@ -149,6 +149,14 @@ _SWEEP_TIMER = "keyspace-sweep"
 #: Reserved timer key for the cross-key envelope-coalescing flush.
 _COALESCE_TIMER = "keyspace-coalesce"
 
+#: Adaptive coalescing aims for about this many parked envelopes per
+#: flush window: small enough to keep added latency near one batch's
+#: worth of arrivals, large enough to amortize the per-envelope overhead.
+_COALESCE_TARGET_BATCH = 8
+
+#: EWMA smoothing for the per-peer enqueue-interval estimate.
+_COALESCE_EWMA_ALPHA = 0.2
+
 #: Reserved timer key for the group-commit flush (``durability="group_sync"``).
 _SYNC_TIMER = "keyspace-sync"
 
@@ -525,6 +533,20 @@ class KeyedCrdtReplica(ProtocolNode):
         #: from its undelivered traffic).
         self._parked_count: dict[Hashable, int] = {}
         self._coalesce_armed = False
+        #: Adaptive coalescing (``keyed_coalesce_adaptive``): per-peer
+        #: EWMA of the interval between parked envelopes and the last
+        #: park instant feeding it; the flush window tracks the observed
+        #: traffic rate instead of a fixed figure.
+        self._coalesce_ewma: dict[str, float] = {}
+        self._coalesce_last: dict[str, float] = {}
+        #: Parked wire bytes per destination (``keyed_outbox_byte_budget``
+        #: or adaptive mode): crossing the budget flushes that peer early.
+        self._parked_bytes: dict[str, int] = {}
+        #: The current handling step's timestamp — captured at the
+        #: :meth:`on_message`/:meth:`on_timer` entry points so inner
+        #: plumbing (:meth:`_wrap`) can sample time without threading
+        #: ``now`` through every call chain.
+        self._now = 0.0
         #: Timer-namespace index: ``repr(key)`` → key.  Keeps
         #: :meth:`on_timer` O(1) in the number of keys.  Registered only
         #: when a key materializes a proposer — acceptor-only keys never
@@ -1049,6 +1071,7 @@ class KeyedCrdtReplica(ProtocolNode):
         return effects
 
     def on_message(self, src: str, message: Any, now: float) -> Effects:
+        self._now = now
         if isinstance(message, KeyedBatch):
             # Transport framing only: route every item through the
             # ordinary keyed dispatch, folding the effects in order.
@@ -1397,6 +1420,7 @@ class KeyedCrdtReplica(ProtocolNode):
         return True
 
     def on_timer(self, key: str, now: float) -> Effects:
+        self._now = now
         if key == _SWEEP_TIMER:
             return self._sweep(now)
         if key == _COALESCE_TIMER:
@@ -1487,14 +1511,35 @@ class KeyedCrdtReplica(ProtocolNode):
                     getattr(message, "request_id", None),
                     getattr(message, "attempt", None),
                 )
-                if slot in bucket:
+                old = bucket.get(slot)
+                if old is not None:
                     self._acceptor_stats.keyed_envelopes_superseded += 1
                 else:
                     self._parked_count[key] = self._parked_count.get(key, 0) + 1
                 bucket[slot] = keyed
-                if not self._coalesce_armed:
+                budget = self.config.keyed_outbox_byte_budget
+                adaptive = self.config.keyed_coalesce_adaptive
+                if budget is not None or adaptive:
+                    parked = self._parked_bytes.get(dst, 0) + keyed.wire_size()
+                    if old is not None:
+                        parked -= old.wire_size()
+                    self._parked_bytes[dst] = parked
+                if adaptive:
+                    last = self._coalesce_last.get(dst)
+                    self._coalesce_last[dst] = self._now
+                    if last is not None:
+                        interval = max(self._now - last, 1e-9)
+                        prev = self._coalesce_ewma.get(dst)
+                        self._coalesce_ewma[dst] = (
+                            interval
+                            if prev is None
+                            else prev + _COALESCE_EWMA_ALPHA * (interval - prev)
+                        )
+                if budget is not None and self._parked_bytes.get(dst, 0) >= budget:
+                    self._flush_peer(dst, wrapped)
+                elif not self._coalesce_armed:
                     self._coalesce_armed = True
-                    wrapped.set_timer(_COALESCE_TIMER, coalesce)
+                    wrapped.set_timer(_COALESCE_TIMER, self._coalesce_delay(dst))
             else:
                 wrapped.send(dst, keyed)
         for timer_key, delay in effects.timers:
@@ -1510,6 +1555,59 @@ class KeyedCrdtReplica(ProtocolNode):
             wrapped.set_timer(_SYNC_TIMER, self.config.durability_sync_window)
         return wrapped
 
+    def _coalesce_delay(self, dst: str) -> float:
+        """The next flush window, sized to the arming peer's traffic.
+
+        Fixed mode returns ``keyed_coalesce_window`` unchanged.  Adaptive
+        mode targets roughly :data:`_COALESCE_TARGET_BATCH` arrivals per
+        window from the EWMA enqueue interval, clamped between the floor
+        (``keyed_coalesce_min_window``, default window/8) and the window:
+        a hot peer flushes near the floor, a trickle waits the full
+        window.
+        """
+        # Only reachable from the parking branch, so the window is set;
+        # 0.0 (flush on the next tick, i.e. batching off) must survive —
+        # coercing it to a real window silently changes every deployment
+        # that disables coalescing this way.
+        window = self.config.keyed_coalesce_window
+        if not self.config.keyed_coalesce_adaptive:
+            return window
+        ewma = self._coalesce_ewma.get(dst)
+        if ewma is None:
+            return window
+        floor = self.config.keyed_coalesce_min_window or window / 8.0
+        return min(max(ewma * _COALESCE_TARGET_BATCH, floor), window)
+
+    def _flush_peer(self, dst: str, effects: Effects) -> None:
+        """Byte-budget early flush: ship one peer's parked envelopes now.
+
+        The coalesce timer (if armed) keeps running for the other peers;
+        re-arming is unnecessary because this peer's bucket is empty
+        until its next park.
+        """
+        bucket = self._outbox.pop(dst, None)
+        self._parked_bytes.pop(dst, None)
+        if not bucket:
+            return
+        for slot in bucket:
+            slot_key = slot[0]
+            count = self._parked_count.get(slot_key)
+            if count is not None:
+                if count <= 1:
+                    del self._parked_count[slot_key]
+                else:
+                    self._parked_count[slot_key] = count - 1
+        stats = self._acceptor_stats
+        stats.keyed_budget_flushes += 1
+        items = list(bucket.values())
+        if len(items) == 1:
+            effects.send(dst, items[0])
+            return
+        effects.send(dst, KeyedBatch(items=tuple(items)))
+        stats.keyed_batches_packed += 1
+        stats.keyed_batch_messages += len(items)
+        stats.keyed_batch_bytes_saved += (len(items) - 1) * ENVELOPE_OVERHEAD_BYTES
+
     def _flush_outbox(self) -> Effects:
         """Coalesce flush: one framed envelope per peer with traffic."""
         effects = Effects()
@@ -1518,6 +1616,7 @@ class KeyedCrdtReplica(ProtocolNode):
             return effects
         outbox, self._outbox = self._outbox, {}
         self._parked_count.clear()
+        self._parked_bytes.clear()
         stats = self._acceptor_stats
         for dst, bucket in outbox.items():
             items = list(bucket.values())

@@ -281,26 +281,44 @@ class MigrateCommitAck:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
 class Merge:
-    """Update path: merge this payload into the acceptor's state."""
+    """Update path: merge this payload into the acceptor's state.
+
+    ``digest`` is the anti-entropy probe (delta mode only, see
+    ``config.anti_entropy``): the proposer's *full-state* stable digest
+    at send time.  The acceptor compares it against its own post-join
+    digest and flags divergence in the MERGED ack — the cost on the wire
+    is one integer, the paper's "single counter per message" discipline.
+    ``None`` (the default, and always in full-state mode) disables the
+    comparison.
+    """
 
     request_id: str
     state: StateCRDT
+    digest: int | None = None
     _size: int | None = _size_slot()
 
     def wire_size(self) -> int:
         if self._size is None:
-            return _intern_size(self, 8 + _state_size(self.state))
+            extra = 0 if self.digest is None else 5
+            return _intern_size(self, 8 + _state_size(self.state) + extra)
         return self._size
 
 
 @dataclass(frozen=True, slots=True)
 class Merged:
-    """Acceptor acknowledgement of a Merge."""
+    """Acceptor acknowledgement of a Merge.
+
+    ``diverged`` answers the Merge's anti-entropy probe: the acceptor's
+    post-join full state hashed differently from the sender's digest —
+    the two replicas hold different payloads (either may hold updates
+    the other lacks).  Always ``False`` when the Merge carried no digest.
+    """
 
     request_id: str
+    diverged: bool = False
 
     def wire_size(self) -> int:
-        return 8
+        return 9 if self.diverged else 8
 
 
 @dataclass(frozen=True, slots=True)

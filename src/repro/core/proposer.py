@@ -167,6 +167,7 @@ class ProposerStats:
         "quorum_refusals",
         "max_update_pipeline",
         "pipeline_stalls",
+        "anti_entropy_pushes",
     )
 
     def __init__(self) -> None:
@@ -184,6 +185,9 @@ class ProposerStats:
         self.max_update_pipeline = 0
         #: Ticks/commands where a full pipeline window held a batch back.
         self.pipeline_stalls = 0
+        #: Full-state catch-up MERGEs sent to persistently divergent peers
+        #: (``config.anti_entropy``).
+        self.anti_entropy_pushes = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -310,6 +314,8 @@ class Proposer:
         "_flush_armed",
         "_flush_ever_armed",
         "_learned_max",
+        "_ae_divergent",
+        "_ae_last_push",
     )
 
     def __init__(
@@ -334,6 +340,11 @@ class Proposer:
         # keyed store passes the value persisted in a frozen record so the
         # GLA-Stability window survives a freeze/thaw cycle.
         self._learned_max: StateCRDT | None = learned_max
+        # Anti-entropy bookkeeping, allocated on first use only — keyed
+        # deployments host one proposer per key and the flyweight design
+        # keeps idle per-key footprint at a handful of words.
+        self._ae_divergent: dict[str, int] | None = None
+        self._ae_last_push: dict[str, float] | None = None
 
     # ------------------------------------------------------------------
     # Flyweight accessors
@@ -476,8 +487,23 @@ class Proposer:
             # Keep earlier in-flight batches' re-drive payloads fresh:
             # their next re-send carries this batch's updates too.
             for open_batch in self._update_batches.values():
-                if open_batch.redrive is not None:
-                    open_batch.redrive.add(payload)
+                if open_batch.redrive is None:
+                    continue
+                open_batch.redrive.add(payload)
+                if open_batch.redrive_rounds > 0:
+                    # That batch's latest re-driven MERGE may still be
+                    # parked in a coalesce outbox, materialized with the
+                    # pre-fold accumulator value.  Re-send so the parked
+                    # slot is superseded with a payload that carries this
+                    # batch's updates too — otherwise the flush ships the
+                    # stale fragment and the fold above never reaches
+                    # peers until the *next* timeout.
+                    refreshed = self._merge_message(
+                        open_batch.batch_id, open_batch.redrive.value
+                    )
+                    for peer in self._remotes:
+                        if peer not in open_batch.acked:
+                            effects.send(peer, refreshed)
             redrive = MergeAccumulator(payload)
         else:
             payload = self._acceptor.state
@@ -497,24 +523,80 @@ class Proposer:
             effects.merge(self._complete_update(batch))
             return effects
 
-        message = Merge(request_id=batch_id, state=payload)
+        message = self._merge_message(batch_id, payload)
         effects.broadcast(self._remotes, message)
         if self._config.request_timeout is not None:
             effects.set_timer(f"uto:{batch_id}", self._config.request_timeout)
         return effects
 
+    def _merge_message(self, request_id: str, state: StateCRDT) -> Merge:
+        """A MERGE, digest-stamped when the anti-entropy probe is on."""
+        if not self._config.anti_entropy:
+            return Merge(request_id=request_id, state=state)
+        from repro.wire.digest import stable_digest
+
+        return Merge(
+            request_id=request_id,
+            state=state,
+            digest=stable_digest(self._acceptor.state),
+        )
+
     def on_merged(self, src: str, msg: Merged, now: float) -> Effects:
+        effects = Effects()
+        if self._config.anti_entropy:
+            effects.merge(self._note_divergence(src, msg.diverged, now))
         batch = self._update_batches.get(msg.request_id)
         if batch is None:
-            return Effects()
+            return effects
         if src not in batch.acked:
             batch.acked.add(src)
             # Progress: a previously silent peer answered — reset the
             # supervision backoff so re-drives stay snappy.
             batch.redrive_rounds = 0
         if self._quorum.is_quorum(batch.acked):
-            return self._complete_update(batch)
-        return Effects()
+            effects.merge(self._complete_update(batch))
+        return effects
+
+    def _note_divergence(self, src: str, diverged: bool, now: float) -> Effects:
+        """Anti-entropy repair loop (``config.anti_entropy``).
+
+        Counts *consecutive* divergent MERGED acks per peer; at the
+        threshold the peer gets one full-state MERGE (request id prefixed
+        ``ae:`` — never a live batch id, so its ack certifies nothing and
+        is dropped by the batch lookup), rate-limited per peer.  Any
+        non-divergent ack resets the count: transient divergence is
+        normal in delta mode (the peer may simply hold updates we lack;
+        the query path heals *our* side).
+        """
+        if self._ae_divergent is None:
+            self._ae_divergent = {}
+            self._ae_last_push = {}
+        if not diverged:
+            self._ae_divergent[src] = 0
+            return Effects()
+        count = self._ae_divergent.get(src, 0) + 1
+        self._ae_divergent[src] = count
+        if count < self._config.anti_entropy_threshold:
+            return Effects()
+        assert self._ae_last_push is not None
+        last = self._ae_last_push.get(src)
+        if last is not None and now - last < self._config.anti_entropy_interval:
+            return Effects()
+        self._ae_last_push[src] = now
+        self._ae_divergent[src] = 0
+        self.stats.anti_entropy_pushes += 1
+        effects = Effects()
+        effects.send(
+            src,
+            # Full state, no digest: after the join the peer's state is a
+            # superset of ours, so probing it against *our* digest would
+            # read any extra updates it holds as divergence again.
+            Merge(
+                request_id=f"ae:{self.node_id}/{self._shared.next_batch()}",
+                state=self._acceptor.state,
+            ),
+        )
+        return effects
 
     def _complete_update(self, batch: _UpdateBatch) -> Effects:
         effects = Effects()
@@ -789,7 +871,7 @@ class Proposer:
             payload = batch.redrive.value
         else:
             payload = self._acceptor.state
-        message = Merge(request_id=batch.batch_id, state=payload)
+        message = self._merge_message(batch.batch_id, payload)
         for peer in self._remotes:
             if peer not in batch.acked:
                 effects.send(peer, message)

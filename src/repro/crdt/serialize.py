@@ -101,12 +101,22 @@ def decode_frozen(data: bytes) -> tuple[StateCRDT, Round, StateCRDT | None]:
 
 
 def encode_key(key: Hashable) -> bytes:
-    """Encode a store key (any hashable the keyed deployment accepts)."""
-    return pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+    """Encode a store key (any hashable the keyed deployment accepts).
+
+    Delegates to the wire codec's canonical key encoding
+    (:mod:`repro.wire.keys`): the same bytes the router hashes for ring
+    placement index spill records, so a recovered process looks keys up
+    by exactly what it persisted regardless of hash seed.  Imported
+    lazily — this module sits inside the protocol-package init chain the
+    wire registry closes over, so the binding resolves at first use,
+    after every package is fully loaded.
+    """
+    from repro.wire.keys import encode_key as wire_encode_key
+
+    return wire_encode_key(key)
 
 
 def decode_key(data: bytes) -> Any:
-    try:
-        return pickle.loads(data)
-    except Exception as exc:
-        raise SerializationError(f"undecodable spill key: {exc!r}") from exc
+    from repro.wire.keys import decode_key as wire_decode_key
+
+    return wire_decode_key(data)

@@ -17,7 +17,7 @@ from typing import Any, Callable
 
 from repro.errors import TransportError
 from repro.net.message import Envelope
-from repro.net.sim_transport import Endpoint, NetworkStats
+from repro.net.sim_transport import Endpoint, NetworkStats, _load_wire
 from repro.sim.kernel import Simulator
 
 #: Virtual time consumed by one adversarial delivery.  Non-zero so that
@@ -29,12 +29,26 @@ class AdversarialNetwork:
     """Drop-in replacement for :class:`~repro.net.sim_transport.SimNetwork`
     whose delivery order is controlled by an explorer, not by latencies."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, wire_fidelity: bool = True) -> None:
+        _load_wire()
         self._sim = sim
         self._rng = sim.rng.stream("adversary")
         self.stats = NetworkStats()
         self._endpoints: dict[str, Endpoint] = {}
         self._pool: list[Envelope] = []
+        #: With ``wire_fidelity`` every registered protocol message is
+        #: encoded to its binary wire body at send time and decoded at
+        #: delivery, so campaigns exercise the real codec on every hop:
+        #: what the handler sees is what crossed the (virtual) wire, and
+        #: a codec bug fails the campaign's invariants, not just a
+        #: round-trip unit test.  Unregistered payloads (raw test probes)
+        #: pass through unchanged.
+        self.wire_fidelity = wire_fidelity
+        from repro.wire import decode_body, encode_body, spec_for
+
+        self._encode_body = encode_body
+        self._decode_body = decode_body
+        self._spec_for = spec_for
         #: Which envelopes the channel may duplicate.  Client sessions are
         #: usually dedup'd (TCP/request ids), so explorers restrict
         #: duplication to replica↔replica links; the protocol itself makes
@@ -67,6 +81,10 @@ class AdversarialNetwork:
     def send(self, src: str, dst: str, payload: Any) -> None:
         envelope = Envelope(src=src, dst=dst, payload=payload)
         self.stats.record_send(type(payload).__name__, envelope.size_bytes())
+        if self.wire_fidelity and self._spec_for(type(payload)) is not None:
+            # Freeze the payload to wire bytes *now* (send semantics);
+            # each delivery decodes a fresh object from these bytes.
+            object.__setattr__(envelope, "_wire_body", self._encode_body(payload))
         self._pool.append(envelope)
 
     @property
@@ -142,4 +160,11 @@ class AdversarialNetwork:
             return
         self._sim.now += DELIVERY_EPSILON
         self.stats.messages_delivered += 1
+        body = envelope.__dict__.get("_wire_body")
+        if body is not None:
+            # The handler receives what the wire carried, not the sender's
+            # object graph — duplicated picks each decode independently.
+            envelope = Envelope(
+                src=envelope.src, dst=envelope.dst, payload=self._decode_body(body)
+            )
         endpoint.deliver(envelope)

@@ -5,10 +5,12 @@ run unchanged on asyncio: this module provides the in-process network
 (``loop.call_later`` stands in for link latency) and the node runtime that
 executes :class:`~repro.net.node.Effects` with real timers.
 
-This is the "production face" of the library used by the runnable
-examples.  A process-per-replica TCP deployment would only need to replace
-:class:`AsyncioNetwork.send` with a socket write — nodes cannot tell the
-difference, which is the point of the sans-io design.
+Registered protocol messages cross this fabric as real length-prefixed
+binary frames (:mod:`repro.wire`): ``send`` encodes the payload once,
+delivery decodes a fresh object from those bytes, and byte accounting is
+the actual frame length — the in-process network is wire-faithful to the
+socket transport in :mod:`repro.net.stream`, which hands the same frames
+to a TCP connection instead of ``loop.call_later``.
 """
 
 from __future__ import annotations
@@ -19,9 +21,10 @@ from typing import Any, Callable
 
 from repro.errors import TransportError
 from repro.net.latency import ConstantLatency, LatencyModel
-from repro.net.message import Envelope
+from repro.net.message import ENVELOPE_OVERHEAD_BYTES, Envelope
 from repro.net.node import Effects, ProtocolNode
 from repro.net.sim_transport import NetworkStats
+from repro.wire import decode_frame, encode_frame, spec_for
 
 
 class AsyncioNetwork:
@@ -46,8 +49,14 @@ class AsyncioNetwork:
         self._endpoints.pop(address, None)
 
     def send(self, src: str, dst: str, payload: Any) -> None:
-        envelope = Envelope(src=src, dst=dst, payload=payload)
-        size = envelope.size_bytes()
+        frame = None
+        if spec_for(type(payload)) is not None:
+            # The payload rides as real wire bytes; what the receiver gets
+            # is decoded from this frame, never the sender's object graph.
+            frame = encode_frame(payload)
+            size = ENVELOPE_OVERHEAD_BYTES + len(frame)
+        else:
+            size = Envelope(src=src, dst=dst, payload=payload).size_bytes()
         self.stats.record_send(type(payload).__name__, size)
         deliver = self._endpoints.get(dst)
         if deliver is None:
@@ -56,13 +65,22 @@ class AsyncioNetwork:
         delay = self._latency.sample(self._rng, size)
         loop = asyncio.get_running_loop()
         if delay <= 0:
-            loop.call_soon(self._deliver, deliver, envelope)
+            loop.call_soon(self._deliver, deliver, src, dst, payload, frame)
         else:
-            loop.call_later(delay, self._deliver, deliver, envelope)
+            loop.call_later(delay, self._deliver, deliver, src, dst, payload, frame)
 
-    def _deliver(self, deliver: Callable[[Envelope], None], envelope: Envelope) -> None:
+    def _deliver(
+        self,
+        deliver: Callable[[Envelope], None],
+        src: str,
+        dst: str,
+        payload: Any,
+        frame: bytes | None,
+    ) -> None:
         self.stats.messages_delivered += 1
-        deliver(envelope)
+        if frame is not None:
+            payload, _ = decode_frame(frame)
+        deliver(Envelope(src=src, dst=dst, payload=payload))
 
 
 class AsyncioNodeRuntime:

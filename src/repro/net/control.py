@@ -1,0 +1,40 @@
+"""Out-of-band control messages for real-network deployments.
+
+These never touch the consensus protocol: the multi-process bench rig
+uses them to collect transport counters from replica processes over the
+same wire connection the workload rides, so byte accounting reflects
+what each OS process actually wrote to its sockets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class NetStats:
+    """Driver → replica process: report your transport counters."""
+
+    request_id: str
+
+    def wire_size(self) -> int:
+        return 8
+
+
+@dataclass(frozen=True, slots=True)
+class NetStatsReply:
+    """Replica process → driver: cumulative socket-level counters."""
+
+    request_id: str
+    node: str
+    messages_sent: int
+    bytes_sent: int
+    messages_received: int
+    bytes_received: int
+
+    def wire_size(self) -> int:
+        return 8 + 32
+
+    @property
+    def is_refusal(self) -> bool:  # mirrors the client-message protocol
+        return False

@@ -10,21 +10,41 @@ structural estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, is_dataclass
-from typing import Any
+from typing import Any, Callable
 
 #: Fixed per-envelope overhead: source/destination addresses, message tag,
 #: transport framing.  A rough but consistent figure; only *relative* sizes
 #: matter for the experiments.
 ENVELOPE_OVERHEAD_BYTES = 32
 
+#: Optional codec-backed sizer consulted before any estimate.  Installed
+#: by :mod:`repro.wire` (which the transports import), it returns the
+#: *real* encoded length for wire-registered classes and ``None`` for
+#: everything else — unregistered objects keep the structural estimator
+#: below, so ad-hoc payloads stay sized exactly as documented.
+_EXACT_SIZER: Callable[[Any], int | None] | None = None
+
+
+def install_exact_sizer(sizer: Callable[[Any], int | None]) -> None:
+    """Route :func:`wire_size` through a codec that knows exact lengths."""
+    global _EXACT_SIZER
+    _EXACT_SIZER = sizer
+
 
 def wire_size(obj: Any) -> int:
-    """Approximate the serialized size of ``obj`` in bytes.
+    """The serialized size of ``obj`` in bytes.
 
-    Objects may implement ``wire_size() -> int`` to report an exact figure
-    (all CRDT payloads and protocol messages in this repository do).  For
-    everything else a small structural estimate keeps accounting sane.
+    With :mod:`repro.wire` imported this is the exact encoded body length
+    for every registered protocol class.  Otherwise — and for objects the
+    codec does not know — objects may implement ``wire_size() -> int`` to
+    report a figure themselves, and everything else gets a small
+    structural estimate that keeps accounting sane.
     """
+    sizer = _EXACT_SIZER
+    if sizer is not None:
+        exact = sizer(obj)
+        if exact is not None:
+            return exact
     method = getattr(obj, "wire_size", None)
     if callable(method):
         return int(method())

@@ -1,0 +1,381 @@
+"""Framed TCP transport: sans-io nodes on real sockets.
+
+The production face of the wire stack.  One :class:`FrameStream` wraps a
+TCP connection and moves length-prefixed :mod:`repro.wire` frames; a
+:class:`StreamNodeServer` hosts any sans-io protocol node (a
+:class:`~repro.core.keyspace.KeyedCrdtReplica`, a baseline RSM node, …)
+behind a listening socket, with peer-to-peer traffic over lazily dialed
+outbound connections and timers on the event loop; a
+:class:`StreamClient` is the awaitable request/reply side.
+
+Every frame on the wire is a ``(sender id, message)`` tuple — the
+destination is implied by the connection — so a server learns the return
+route for a client the moment its first frame arrives.  Frames are
+written back-to-back on one connection per destination, preserving TCP's
+FIFO property per link; the protocol itself never relies on it.
+
+The multi-process bench rig (``python -m repro.bench net``) spawns one
+OS process per :class:`StreamNodeServer` and measures ops/s and
+bytes/op through this module, so its numbers are hardware numbers:
+real serialization, real syscalls, real scheduling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import RequestTimeout, SerializationError, TransportError
+from repro.net.control import NetStats, NetStatsReply
+from repro.net.node import Effects
+from repro.wire import FrameDecoder, encode_frame
+
+#: Socket read granularity; large enough that a coalesced KeyedBatch
+#: usually arrives in one read.
+_READ_CHUNK = 1 << 16
+
+
+def uvloop_installed() -> bool:
+    """Install uvloop's event-loop policy when available.
+
+    Returns whether uvloop is active.  The container may not ship it;
+    everything works identically (slower) on the stock loop, so this is
+    a best-effort accelerator, never a dependency.
+    """
+    try:
+        import uvloop  # type: ignore[import-not-found]
+    except ImportError:
+        return False
+    uvloop.install()
+    return True
+
+
+class FrameStream:
+    """One framed TCP connection (reader/writer pair).
+
+    ``recv`` returns decoded messages one at a time and ``None`` at EOF;
+    a malformed frame raises :class:`SerializationError` and the only
+    safe reaction is closing the connection (frame sync is lost).
+    """
+
+    __slots__ = (
+        "_reader",
+        "_writer",
+        "_decoder",
+        "_inbox",
+        "bytes_sent",
+        "bytes_received",
+        "frames_sent",
+    )
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder()
+        self._inbox: deque[Any] = deque()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+
+    @property
+    def frames_received(self) -> int:
+        return self._decoder.frames_decoded
+
+    async def send(self, message: Any) -> int:
+        """Write one frame; returns its length in bytes."""
+        frame = encode_frame(message)
+        self._writer.write(frame)
+        self.bytes_sent += len(frame)
+        self.frames_sent += 1
+        await self._writer.drain()
+        return len(frame)
+
+    async def recv(self) -> Any | None:
+        """Next decoded message, or ``None`` once the peer closed."""
+        while not self._inbox:
+            chunk = await self._reader.read(_READ_CHUNK)
+            if not chunk:
+                if self._decoder.pending_bytes:
+                    raise SerializationError(
+                        "connection closed mid-frame "
+                        f"({self._decoder.pending_bytes} bytes pending)"
+                    )
+                return None
+            self.bytes_received += len(chunk)
+            self._inbox.extend(self._decoder.feed(chunk))
+        return self._inbox.popleft()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass  # already torn down by the peer
+
+
+async def open_stream(host: str, port: int) -> FrameStream:
+    reader, writer = await asyncio.open_connection(host, port)
+    return FrameStream(reader, writer)
+
+
+class StreamNodeServer:
+    """Host one sans-io protocol node behind a listening socket.
+
+    ``peers`` maps peer node ids to ``(host, port)``; protocol sends to
+    those ids dial (and cache) outbound connections, sends to any other
+    id are routed back over the inbound connection that id last spoke
+    on, and sends to ids the server has never heard of are dropped —
+    exactly the unreliable-channel model the protocol assumes.
+    """
+
+    def __init__(
+        self,
+        node: Any,
+        host: str,
+        port: int,
+        peers: dict[str, tuple[str, int]] | None = None,
+    ) -> None:
+        self.node = node
+        self.host = host
+        self.port = port
+        self.peers = dict(peers or {})
+        self._server: asyncio.Server | None = None
+        self._timers: dict[str, asyncio.TimerHandle] = {}
+        self._routes: dict[str, FrameStream] = {}
+        self._inbound: set[FrameStream] = set()
+        self._outbound: dict[str, FrameStream] = {}
+        self._outboxes: dict[str, asyncio.Queue] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._closed = False
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_received = 0
+        self._bytes_received_closed = 0
+
+    @property
+    def bytes_received(self) -> int:
+        """Total socket bytes read, live connections included."""
+        return self._bytes_received_closed + sum(
+            stream.bytes_received for stream in self._inbound
+        )
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        if self.port == 0:
+            self.port = self._server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        self._apply(self.node.on_start(loop.time()))
+
+    async def close(self) -> None:
+        self._closed = True
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        for stream in list(self._outbound.values()):
+            await stream.close()
+        self._outbound.clear()
+        # Closing inbound streams lets their handler coroutines exit by
+        # the EOF path instead of dying cancelled at loop teardown.
+        for stream in list(self._inbound):
+            await stream.close()
+
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        stream = FrameStream(reader, writer)
+        self._inbound.add(stream)
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                message = await stream.recv()
+                if message is None:
+                    return
+                src, payload = message
+                self.messages_received += 1
+                self._routes[src] = stream
+                if isinstance(payload, NetStats):
+                    # Transport-level control: answered here, the node
+                    # never sees it.
+                    self._send(
+                        src,
+                        NetStatsReply(
+                            request_id=payload.request_id,
+                            node=self.node.node_id,
+                            messages_sent=self.messages_sent,
+                            bytes_sent=self.bytes_sent,
+                            messages_received=self.messages_received,
+                            bytes_received=self.bytes_received,
+                        ),
+                    )
+                    continue
+                self._apply(self.node.on_message(src, payload, loop.time()))
+        except (SerializationError, ConnectionError, OSError):
+            return  # framing lost or peer gone: drop the connection
+        except asyncio.CancelledError:
+            return  # event loop shutting down: the connection dies with it
+        finally:
+            self._inbound.discard(stream)
+            self._bytes_received_closed += stream.bytes_received
+            for src, route in list(self._routes.items()):
+                if route is stream:
+                    del self._routes[src]
+            await stream.close()
+
+    # ------------------------------------------------------------------
+    def _fire_timer(self, key: str) -> None:
+        if self._closed:
+            return
+        self._timers.pop(key, None)
+        loop = asyncio.get_running_loop()
+        self._apply(self.node.on_timer(key, loop.time()))
+
+    def _apply(self, effects: Effects) -> None:
+        loop = asyncio.get_running_loop()
+        for key in effects.cancels:
+            handle = self._timers.pop(key, None)
+            if handle is not None:
+                handle.cancel()
+        for key, delay in effects.timers:
+            existing = self._timers.pop(key, None)
+            if existing is not None:
+                existing.cancel()
+            self._timers[key] = loop.call_later(delay, self._fire_timer, key)
+        for dst, message in effects.sends:
+            self._send(dst, message)
+
+    def _send(self, dst: str, message: Any) -> None:
+        outbox = self._outboxes.get(dst)
+        if outbox is None:
+            outbox = self._outboxes[dst] = asyncio.Queue()
+            task = asyncio.get_running_loop().create_task(
+                self._drain_outbox(dst, outbox)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        outbox.put_nowait(message)
+
+    async def _drain_outbox(self, dst: str, outbox: asyncio.Queue) -> None:
+        while not self._closed:
+            message = await outbox.get()
+            try:
+                stream = await self._stream_to(dst)
+            except (ConnectionError, OSError):
+                continue  # peer unreachable: the message is lost, as allowed
+            if stream is None:
+                continue  # no route: drop
+            try:
+                sent = await stream.send((self.node.node_id, message))
+            except (ConnectionError, OSError):
+                self._outbound.pop(dst, None)
+                continue
+            self.messages_sent += 1
+            self.bytes_sent += sent
+
+    async def _stream_to(self, dst: str) -> FrameStream | None:
+        placement = self.peers.get(dst)
+        if placement is None:
+            return self._routes.get(dst)
+        stream = self._outbound.get(dst)
+        if stream is None:
+            stream = await open_stream(*placement)
+            self._outbound[dst] = stream
+        return stream
+
+
+class StreamClient:
+    """Awaitable request/reply client over framed sockets.
+
+    Mirrors :class:`~repro.runtime.asyncio_cluster.AsyncioClient` —
+    replies correlate by ``request_id`` — but across process boundaries.
+    """
+
+    def __init__(
+        self, client_id: str, replicas: dict[str, tuple[str, int]]
+    ) -> None:
+        self.client_id = client_id
+        self._replicas = dict(replicas)
+        self._streams: dict[str, FrameStream] = {}
+        self._pumps: dict[str, asyncio.Task] = {}
+        self._pending: dict[str, asyncio.Future] = {}
+        #: Unsolicited replies (late duplicates, refusals after timeout).
+        self.stray_replies = 0
+
+    async def _stream_to(self, replica: str) -> FrameStream:
+        stream = self._streams.get(replica)
+        if stream is None:
+            placement = self._replicas.get(replica)
+            if placement is None:
+                raise TransportError(f"unknown replica {replica!r}")
+            stream = await open_stream(*placement)
+            self._streams[replica] = stream
+            self._pumps[replica] = asyncio.get_running_loop().create_task(
+                self._pump(replica, stream)
+            )
+        return stream
+
+    async def _pump(self, replica: str, stream: FrameStream) -> None:
+        try:
+            while True:
+                message = await stream.recv()
+                if message is None:
+                    return
+                _, payload = message
+                future = self._pending.pop(
+                    getattr(payload, "request_id", None), None
+                )
+                if future is not None and not future.done():
+                    future.set_result(payload)
+                else:
+                    self.stray_replies += 1
+        except (SerializationError, ConnectionError, OSError):
+            return
+        finally:
+            if self._streams.get(replica) is stream:
+                del self._streams[replica]
+
+    async def request(
+        self, replica: str, message: Any, timeout: float = 5.0
+    ) -> Any:
+        """Send ``message`` (which must carry a ``request_id``) to
+        ``replica`` and await the correlated reply."""
+        request_id = message.request_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        stream = await self._stream_to(replica)
+        await stream.send((self.client_id, message))
+        try:
+            return await asyncio.wait_for(future, timeout=timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(request_id, None)
+            raise RequestTimeout(
+                f"request {request_id} to {replica} timed out after {timeout}s"
+            ) from None
+
+    async def transport_stats(
+        self, replica: str, timeout: float = 5.0
+    ) -> NetStatsReply:
+        """Fetch a replica process's socket-level traffic counters."""
+        return await self.request(
+            replica, NetStats(request_id=f"stats:{self.client_id}:{replica}"),
+            timeout=timeout,
+        )
+
+    async def close(self) -> None:
+        for task in self._pumps.values():
+            task.cancel()
+        for stream in list(self._streams.values()):
+            await stream.close()
+        self._streams.clear()
+        self._pumps.clear()

@@ -22,19 +22,32 @@ not own (the replica refuses with its own attested hint).
 from __future__ import annotations
 
 import bisect
-import zlib
-from typing import Any, Hashable, Iterable, Mapping
+from typing import Any, Callable, Hashable, Iterable, Mapping
 
 from repro.errors import ConfigurationError
+
+#: Lazily bound :func:`repro.wire.keys.stable_key_hash` — the wire
+#: package's init closes over the protocol modules, so binding at first
+#: use keeps this module importable from anywhere in that chain.
+_key_hash: Callable[[Any], int] | None = None
 
 
 def stable_hash(value: Any) -> int:
     """Process-independent hash for ring placement.
 
-    ``hash()`` is salted per process; CRC32 over the repr keeps seeded
-    simulations and recovered replicas bit-identical to each other.
+    ``hash()`` is salted per process, and ``repr``-based digests break
+    on containers whose iteration order follows the hash seed
+    (frozensets).  CRC32 over the wire codec's canonical key encoding
+    keeps seeded simulations, recovered replicas, and separate OS
+    processes bit-identical to each other for every key shape the
+    deployments use.
     """
-    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
+    global _key_hash
+    if _key_hash is None:
+        from repro.wire.keys import stable_key_hash
+
+        _key_hash = stable_key_hash
+    return _key_hash(value)
 
 
 class RoutingTable:

@@ -1,0 +1,89 @@
+"""repro.wire — the binary wire stack.
+
+Wire format & delta replication
+===============================
+
+**Value codec** (:mod:`repro.wire.values`).  One recursive tagged
+encoding covers scalars, containers, and every registered protocol
+class (CRDT payloads, update/query ops, ``Round``, core + keyed +
+migration messages, the baselines' RSM messages).  Integers are
+zig-zag varints; unordered containers are serialized with elements
+sorted by encoded bytes, so the same value yields the same bytes in
+every process — the property ring placement, spill keys, and digests
+all lean on.  Registered classes encode as ``class tag · field count ·
+fields``; the tag order in :mod:`repro.wire.registry` is part of the
+format (append-only).
+
+**Framing** (:mod:`repro.wire.framing`).  A frame is ``"Cw" · version ·
+uvarint length · body · CRC32``.  :func:`~repro.wire.framing.encode_frame`
+/ :func:`~repro.wire.framing.decode_frame` handle one message;
+:class:`~repro.wire.framing.FrameDecoder` incrementally splits a socket
+byte stream with zero-copy ``memoryview`` parsing.  Foreign magic,
+unknown versions, truncation, and CRC rot are all rejected with
+:class:`~repro.errors.SerializationError` before any value decoding.
+
+**Exact sizing** (:mod:`repro.wire.sizer`).  Importing this package
+installs :func:`~repro.wire.sizer.exact_wire_size` into
+:func:`repro.net.message.wire_size`, so simulator byte accounting
+reports real encoded lengths for every registered message instead of
+structural estimates (unregistered objects keep the estimator).
+
+**Stable keys & digests** (:mod:`repro.wire.keys`,
+:mod:`repro.wire.digest`).  ``encode_key`` gives spill files and the
+sharding ring one canonical byte string per key across processes;
+``stable_digest`` is a CRC32 over a payload's canonical encoding — the
+cross-process state fingerprint delta anti-entropy compares.
+
+**Delta replication** (see :mod:`repro.core.proposer`).  With
+``delta_merge`` a proposer ships join-decompositions — the op's delta,
+and on re-drive the accumulated deltas since the batch opened — instead
+of full states.  A delta MERGE carries the proposer's full-state
+digest; the acceptor answers MERGED with its own post-join digest, and
+when a peer's digest keeps disagreeing (it likely missed earlier
+deltas, e.g. across a partition or restart) the proposer pushes one
+full-state MERGE to re-sync it (``anti_entropy`` config).  Shipping a
+full state is always safe — it is exactly the pre-delta wire payload —
+so digest collisions or false mismatches cost bandwidth, never safety.
+
+The transports put all of this on the wire: the asyncio network and
+the multi-process bench rig (``python -m repro.bench net``) move
+length-prefixed frames over real sockets, and the sim/adversarial
+drivers route every delivered payload through encode→decode so checker
+campaigns exercise the codec end to end.
+"""
+
+from repro.wire import registry as _registry  # noqa: F401  (assigns wire tags)
+from repro.wire.digest import stable_digest
+from repro.wire.framing import (
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    FrameDecoder,
+    decode_body,
+    decode_frame,
+    encode_body,
+    encode_frame,
+)
+from repro.wire.keys import decode_key, encode_key, stable_key_hash
+from repro.wire.sizer import exact_wire_size
+from repro.wire.values import registered_classes, spec_for
+
+from repro.net.message import install_exact_sizer as _install
+
+_install(exact_wire_size)
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "FrameDecoder",
+    "decode_body",
+    "decode_frame",
+    "decode_key",
+    "encode_body",
+    "encode_frame",
+    "encode_key",
+    "exact_wire_size",
+    "registered_classes",
+    "spec_for",
+    "stable_digest",
+    "stable_key_hash",
+]

@@ -1,0 +1,145 @@
+"""Length-prefixed frames: what actually crosses a socket.
+
+A frame is::
+
+    magic "Cw" · version byte · uvarint body length · body · CRC32(body)
+
+The magic/version prefix rejects foreign or future-format streams
+before any decoding happens; the CRC rejects bit-rot and torn writes
+(same posture as the storage layer's record framing); the length prefix
+lets a stream reader find frame boundaries without parsing bodies.
+
+:class:`FrameDecoder` is the incremental flip side for sockets: feed it
+byte chunks as they arrive, collect complete messages.  Parsing works
+over one contiguous buffer with ``memoryview`` slices, so a frame's
+body is never copied on its way to :func:`decode_body`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.wire.values import decode_value, encode_value
+from repro.wire.varint import read_uvarint, write_uvarint
+
+WIRE_MAGIC = b"Cw"
+WIRE_VERSION = 1
+
+#: Longest possible frame header: magic + version + 10-byte uvarint.
+_MAX_HEADER = len(WIRE_MAGIC) + 1 + 10
+
+
+def encode_body(message: Any) -> bytes:
+    """Encode a message body (no frame) — the unit wire sizes measure."""
+    out = bytearray()
+    encode_value(message, out)
+    return bytes(out)
+
+
+def decode_body(data) -> Any:
+    """Decode one message body; trailing bytes are an error."""
+    value, pos = decode_value(data, 0)
+    if pos != len(data):
+        raise SerializationError(f"{len(data) - pos} trailing bytes in body")
+    return value
+
+
+def encode_frame(message: Any) -> bytes:
+    """Encode ``message`` as one self-delimiting checked frame."""
+    body = encode_body(message)
+    out = bytearray(WIRE_MAGIC)
+    out.append(WIRE_VERSION)
+    write_uvarint(out, len(body))
+    out += body
+    out += zlib.crc32(body).to_bytes(4, "big")
+    return bytes(out)
+
+
+def decode_frame(data) -> tuple[Any, int]:
+    """Decode one frame at the start of ``data``.
+
+    Returns ``(message, bytes_consumed)``; raises
+    :class:`SerializationError` on bad magic, unknown version, CRC
+    mismatch, or truncation.
+    """
+    view = memoryview(data)
+    prefix = len(WIRE_MAGIC)
+    if len(view) < prefix + 1:
+        raise SerializationError("truncated frame header")
+    if bytes(view[:prefix]) != WIRE_MAGIC:
+        raise SerializationError("not a wire frame (bad magic)")
+    version = view[prefix]
+    if version != WIRE_VERSION:
+        raise SerializationError(
+            f"unsupported wire version {version} (expected {WIRE_VERSION})"
+        )
+    length, pos = read_uvarint(view, prefix + 1)
+    end = pos + length
+    if end + 4 > len(view):
+        raise SerializationError("truncated frame body")
+    body = view[pos:end]
+    crc = int.from_bytes(view[end : end + 4], "big")
+    if zlib.crc32(body) != crc:
+        raise SerializationError("frame CRC mismatch")
+    message, used = decode_value(body, 0)
+    if used != length:
+        raise SerializationError(f"{length - used} trailing bytes in frame body")
+    return message, end + 4
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream.
+
+    ``feed()`` buffers arriving chunks and yields every complete
+    message.  A malformed frame raises and poisons the decoder — on a
+    real connection the only safe response to framing corruption is to
+    drop the link, since frame boundaries are lost.
+    """
+
+    __slots__ = ("_buffer", "_poisoned", "frames_decoded", "bytes_decoded")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._poisoned = False
+        self.frames_decoded = 0
+        self.bytes_decoded = 0
+
+    def feed(self, data: bytes) -> list[Any]:
+        """Buffer ``data`` and return every complete decoded message."""
+        if self._poisoned:
+            raise SerializationError("decoder poisoned by an earlier bad frame")
+        self._buffer += data
+        messages: list[Any] = []
+        while True:
+            view = memoryview(self._buffer)
+            try:
+                prefix = len(WIRE_MAGIC)
+                if len(view) < prefix + 2:
+                    return messages  # magic+version+≥1 length byte incomplete
+                try:
+                    length, pos = read_uvarint(view, prefix + 1)
+                except SerializationError:
+                    if len(view) >= _MAX_HEADER:
+                        self._poisoned = True
+                        raise
+                    return messages  # length varint still arriving
+                if len(view) < pos + length + 4:
+                    return messages  # body/CRC still arriving
+                try:
+                    message, consumed = decode_frame(view)
+                except SerializationError:
+                    self._poisoned = True
+                    raise
+            finally:
+                view.release()
+            self.frames_decoded += 1
+            self.bytes_decoded += consumed
+            del self._buffer[:consumed]
+            messages.append(message)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward the next (incomplete) frame."""
+        return len(self._buffer)

@@ -1,0 +1,59 @@
+"""Stable cross-process key encoding.
+
+Two distant subsystems hash or persist store keys and must agree across
+Python versions, hash seeds, and OS processes:
+
+* the spill index (:mod:`repro.storage.segmented`) persists
+  ``encode_key`` bytes and looks records up by them after a restart;
+* consistent-hash routing (:mod:`repro.sharding.routing`) places keys
+  on the ring by an integer digest of the key.
+
+Raw pickle (the former key codec) is neither canonical nor stable —
+and ``repr``-based hashing breaks on any container whose iteration
+order depends on the per-process hash seed (frozensets).  Here keys are
+encoded with the strict tagged value codec: scalars, tuples and
+frozensets get one canonical byte string everywhere.  Keys outside that
+shape fall back to a marked pickle encoding — they still round-trip,
+but only canonical keys are guaranteed identical across processes (the
+keyed deployments in this repository use strings, ints and tuples
+throughout).
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from typing import Any, Hashable
+
+from repro.errors import SerializationError
+from repro.wire.values import decode_bytes, encode_value
+
+#: Prefix for the non-canonical pickle fallback; the strict value codec
+#: never emits 0xFF as a leading tag, so the namespaces cannot collide.
+_FALLBACK = b"\xff"
+
+
+def encode_key(key: Hashable) -> bytes:
+    """Encode a store key; canonical for every hashable value shape the
+    deployments use (None/bool/int/float/str/bytes/tuple/frozenset)."""
+    out = bytearray()
+    try:
+        encode_value(key, out, strict=True)
+    except SerializationError:
+        return _FALLBACK + pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+    return bytes(out)
+
+
+def decode_key(data: bytes) -> Any:
+    """Invert :func:`encode_key`."""
+    if data[:1] == _FALLBACK:
+        try:
+            return pickle.loads(data[1:])
+        except Exception as exc:
+            raise SerializationError(f"undecodable spill key: {exc!r}") from exc
+    return decode_bytes(data)
+
+
+def stable_key_hash(key: Hashable) -> int:
+    """Process-independent 32-bit digest of a key (ring placement)."""
+    return zlib.crc32(encode_key(key))

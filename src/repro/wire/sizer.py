@@ -1,0 +1,32 @@
+"""Exact wire sizing: sim byte accounting stops being an estimate.
+
+:func:`repro.net.message.wire_size` historically *estimated* message
+sizes structurally.  Once the binary codec exists there is no reason to
+guess: for any wire-registered class the exact size is the length of
+its encoded body.  :func:`exact_wire_size` is installed into
+``repro.net.message`` as a pre-hook (see ``install_exact_sizer``) by
+the transports, so every envelope the simulators, the adversarial
+explorer, and the asyncio network account for is sized by the real
+codec.
+
+Unregistered objects return ``None`` and fall through to the
+structural estimator — tests and ad-hoc payloads keep their documented
+sizing, and the estimator survives as the *assertable approximation*
+(``tests/wire/test_size_fidelity.py`` pins it within tolerance of the
+truth this function reports).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.wire.values import _SPECS_BY_CLASS, encode_value
+
+
+def exact_wire_size(obj: Any) -> int | None:
+    """Exact encoded body length for registered classes, else ``None``."""
+    if type(obj) not in _SPECS_BY_CLASS:
+        return None
+    out = bytearray()
+    encode_value(obj, out)
+    return len(out)

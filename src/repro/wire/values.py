@@ -1,0 +1,302 @@
+"""The tagged binary value codec underneath every wire message.
+
+One recursive encoding covers the entire protocol surface: scalars,
+containers, and *registered classes* — protocol messages, CRDT payloads,
+update/query ops, and :class:`~repro.core.rounds.Round` — which are
+encoded as a class tag plus their fields re-entering this codec.  The
+registry is populated by :mod:`repro.wire.registry`; this module only
+holds the mechanics.
+
+Determinism is a hard requirement (ring placement, spill keys, and
+digest-based anti-entropy all hash encoded bytes): unordered containers
+(frozensets, dicts) are serialized with their elements sorted by encoded
+byte string, which is stable across processes and hash seeds where
+``repr`` and salted ``hash`` iteration order are not.
+
+Values outside the registered/scalar/container world fall back to a
+pickle escape hatch — correct but neither compact nor cross-process
+canonical; protocol-critical values never need it.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Callable
+
+from repro.errors import SerializationError
+from repro.wire.varint import read_uvarint, read_varint, write_uvarint, write_varint
+
+T_NONE = 0
+T_FALSE = 1
+T_TRUE = 2
+T_INT = 3
+T_FLOAT = 4
+T_STR = 5
+T_BYTES = 6
+T_TUPLE = 7
+T_LIST = 8
+T_FROZENSET = 9
+T_DICT = 10
+T_OBJ = 11
+T_PICKLE = 12
+
+_FLOAT = struct.Struct(">d")
+
+
+class ClassSpec:
+    """How one registered class crosses the wire.
+
+    ``fields`` is the ordered attribute list; ``positional`` selects
+    whether decode rebuilds via ``cls(*values)`` (slotted op classes,
+    whose ``__init__`` takes the slots in order) or ``cls(**kwargs)``
+    (dataclasses, whose non-init memo slots must be reinitialized by the
+    generated constructor).  ``build`` overrides both for the handful of
+    classes whose constructor signature does not mirror their stored
+    fields (e.g. the graph edge ops, which store one ``edge`` tuple but
+    construct from ``(source, target)``); it receives the decoded field
+    values in order.
+    """
+
+    __slots__ = ("tag", "cls", "fields", "positional", "build")
+
+    def __init__(
+        self,
+        tag: int,
+        cls: type,
+        fields: tuple[str, ...],
+        positional: bool,
+        build: Callable[..., Any] | None = None,
+    ) -> None:
+        self.tag = tag
+        self.cls = cls
+        self.fields = fields
+        self.positional = positional
+        self.build = build
+
+
+#: exact type → spec; populated by :func:`register`.
+_SPECS_BY_CLASS: dict[type, ClassSpec] = {}
+#: wire tag → spec.
+_SPECS_BY_TAG: dict[int, ClassSpec] = {}
+
+
+def register(
+    cls: type,
+    fields: tuple[str, ...],
+    positional: bool,
+    build: Callable[..., Any] | None = None,
+) -> None:
+    """Assign ``cls`` the next wire tag.  Registration order is part of
+    the wire format — append, never reorder (see :data:`WIRE_VERSION` in
+    :mod:`repro.wire.framing`)."""
+    if cls in _SPECS_BY_CLASS:
+        raise SerializationError(f"{cls.__name__} already wire-registered")
+    spec = ClassSpec(len(_SPECS_BY_TAG), cls, fields, positional, build)
+    _SPECS_BY_CLASS[cls] = spec
+    _SPECS_BY_TAG[spec.tag] = spec
+
+
+def registered_classes() -> tuple[type, ...]:
+    """Every wire-registered class, in tag order."""
+    return tuple(_SPECS_BY_TAG[tag].cls for tag in sorted(_SPECS_BY_TAG))
+
+
+def spec_for(cls: type) -> ClassSpec | None:
+    return _SPECS_BY_CLASS.get(cls)
+
+
+def encode_value(value: Any, out: bytearray, strict: bool = False) -> None:
+    """Append the tagged encoding of ``value`` to ``out``.
+
+    ``strict`` forbids the pickle fallback — used for key encoding,
+    where a silently unstable byte string would corrupt ring placement.
+    """
+    if value is None:
+        out.append(T_NONE)
+        return
+    kind = type(value)
+    if kind is bool:
+        out.append(T_TRUE if value else T_FALSE)
+        return
+    if kind is int:
+        out.append(T_INT)
+        write_varint(out, value)
+        return
+    if kind is float:
+        out.append(T_FLOAT)
+        out += _FLOAT.pack(value)
+        return
+    if kind is str:
+        data = value.encode("utf-8")
+        out.append(T_STR)
+        write_uvarint(out, len(data))
+        out += data
+        return
+    if kind is bytes:
+        out.append(T_BYTES)
+        write_uvarint(out, len(value))
+        out += value
+        return
+    if kind is tuple:
+        out.append(T_TUPLE)
+        write_uvarint(out, len(value))
+        for item in value:
+            encode_value(item, out, strict)
+        return
+    if kind is list:
+        out.append(T_LIST)
+        write_uvarint(out, len(value))
+        for item in value:
+            encode_value(item, out, strict)
+        return
+    if kind is frozenset:
+        chunks = []
+        for item in value:
+            chunk = bytearray()
+            encode_value(item, chunk, strict)
+            chunks.append(bytes(chunk))
+        chunks.sort()
+        out.append(T_FROZENSET)
+        write_uvarint(out, len(chunks))
+        for chunk in chunks:
+            out += chunk
+        return
+    if kind is dict:
+        pairs = []
+        for key, item in value.items():
+            encoded_key = bytearray()
+            encode_value(key, encoded_key, strict)
+            encoded_item = bytearray()
+            encode_value(item, encoded_item, strict)
+            pairs.append((bytes(encoded_key), bytes(encoded_item)))
+        pairs.sort()
+        out.append(T_DICT)
+        write_uvarint(out, len(pairs))
+        for encoded_key, encoded_item in pairs:
+            out += encoded_key
+            out += encoded_item
+        return
+    spec = _SPECS_BY_CLASS.get(kind)
+    if spec is not None:
+        out.append(T_OBJ)
+        write_uvarint(out, spec.tag)
+        write_uvarint(out, len(spec.fields))
+        for name in spec.fields:
+            encode_value(getattr(value, name), out, strict)
+        return
+    if strict:
+        raise SerializationError(
+            f"{kind.__name__} has no canonical wire encoding"
+        )
+    data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    out.append(T_PICKLE)
+    write_uvarint(out, len(data))
+    out += data
+
+
+def decode_value(buf, pos: int = 0) -> tuple[Any, int]:
+    """Decode one tagged value at ``pos``; returns ``(value, next_pos)``."""
+    if pos >= len(buf):
+        raise SerializationError("truncated wire value")
+    tag = buf[pos]
+    pos += 1
+    if tag == T_NONE:
+        return None, pos
+    if tag == T_FALSE:
+        return False, pos
+    if tag == T_TRUE:
+        return True, pos
+    if tag == T_INT:
+        return read_varint(buf, pos)
+    if tag == T_FLOAT:
+        end = pos + 8
+        if end > len(buf):
+            raise SerializationError("truncated float")
+        return _FLOAT.unpack(bytes(buf[pos:end]))[0], end
+    if tag == T_STR:
+        length, pos = read_uvarint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise SerializationError("truncated string")
+        return bytes(buf[pos:end]).decode("utf-8"), end
+    if tag == T_BYTES:
+        length, pos = read_uvarint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise SerializationError("truncated bytes")
+        return bytes(buf[pos:end]), end
+    if tag in (T_TUPLE, T_LIST, T_FROZENSET):
+        count, pos = read_uvarint(buf, pos)
+        items = []
+        for _ in range(count):
+            item, pos = decode_value(buf, pos)
+            items.append(item)
+        if tag == T_TUPLE:
+            return tuple(items), pos
+        if tag == T_LIST:
+            return items, pos
+        return frozenset(items), pos
+    if tag == T_DICT:
+        count, pos = read_uvarint(buf, pos)
+        result = {}
+        for _ in range(count):
+            key, pos = decode_value(buf, pos)
+            item, pos = decode_value(buf, pos)
+            result[key] = item
+        return result, pos
+    if tag == T_OBJ:
+        class_tag, pos = read_uvarint(buf, pos)
+        spec = _SPECS_BY_TAG.get(class_tag)
+        if spec is None:
+            raise SerializationError(f"unknown wire class tag {class_tag}")
+        count, pos = read_uvarint(buf, pos)
+        if count != len(spec.fields):
+            raise SerializationError(
+                f"{spec.cls.__name__} arity mismatch: wire has {count} "
+                f"fields, this build expects {len(spec.fields)}"
+            )
+        values = []
+        for _ in range(count):
+            item, pos = decode_value(buf, pos)
+            values.append(item)
+        try:
+            if spec.build is not None:
+                return spec.build(*values), pos
+            if spec.positional:
+                return spec.cls(*values), pos
+            return spec.cls(**dict(zip(spec.fields, values))), pos
+        except SerializationError:
+            raise
+        except Exception as exc:
+            raise SerializationError(
+                f"cannot rebuild {spec.cls.__name__} from wire: {exc!r}"
+            ) from exc
+    if tag == T_PICKLE:
+        length, pos = read_uvarint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise SerializationError("truncated pickled value")
+        try:
+            return pickle.loads(bytes(buf[pos:end])), end
+        except Exception as exc:
+            raise SerializationError(f"undecodable fallback value: {exc!r}") from exc
+    raise SerializationError(f"unknown wire value tag {tag}")
+
+
+def encode_bytes(value: Any, strict: bool = False) -> bytes:
+    """One-shot :func:`encode_value` into a fresh byte string."""
+    out = bytearray()
+    encode_value(value, out, strict)
+    return bytes(out)
+
+
+def decode_bytes(data) -> Any:
+    """One-shot :func:`decode_value`; the buffer must hold exactly one
+    value (trailing bytes are a framing error, not silently ignored)."""
+    value, pos = decode_value(data, 0)
+    if pos != len(data):
+        raise SerializationError(
+            f"{len(data) - pos} trailing bytes after wire value"
+        )
+    return value

@@ -1,0 +1,62 @@
+"""LEB128-style variable-length integers, the codec's only number format.
+
+Unsigned varints frame every length and tag; signed integers ride the
+same encoding through a zig-zag mapping that keeps small magnitudes
+small regardless of sign.  Python integers are arbitrary precision, so
+both directions loop over 7-bit groups instead of assuming a width.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SerializationError
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append an unsigned varint to ``out``."""
+    if value < 0:
+        raise SerializationError(f"uvarint cannot encode negative {value}")
+    while True:
+        group = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(group | 0x80)
+        else:
+            out.append(group)
+            return
+
+
+def read_uvarint(buf, pos: int) -> tuple[int, int]:
+    """Read an unsigned varint at ``pos``; returns ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    limit = len(buf)
+    while True:
+        if pos >= limit:
+            raise SerializationError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def zigzag(value: int) -> int:
+    """Map a signed integer onto the unsigned varint domain."""
+    return value * 2 if value >= 0 else -value * 2 - 1
+
+
+def unzigzag(value: int) -> int:
+    """Invert :func:`zigzag`."""
+    return value >> 1 if not value & 1 else -((value + 1) >> 1)
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append a signed (zig-zag) varint to ``out``."""
+    write_uvarint(out, zigzag(value))
+
+
+def read_varint(buf, pos: int) -> tuple[int, int]:
+    """Read a signed (zig-zag) varint at ``pos``."""
+    raw, pos = read_uvarint(buf, pos)
+    return unzigzag(raw), pos

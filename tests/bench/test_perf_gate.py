@@ -27,6 +27,24 @@ class TestGateLogic:
     def test_missing_baseline_entries_are_skipped(self):
         assert perf_gate.evaluate_gate({"orset_join_all_ops_s": 1.0}, {}) == []
 
+    def test_lower_is_better_rise_within_tolerance_passes(self):
+        baseline = {"net_bytes_per_op": 300.0}
+        metrics = {"net_bytes_per_op": 350.0}  # +17% < 20% tolerance
+        assert perf_gate.evaluate_gate(metrics, baseline) == []
+
+    def test_lower_is_better_rise_beyond_tolerance_fails(self):
+        baseline = {"net_bytes_per_op": 300.0}
+        metrics = {"net_bytes_per_op": 380.0}  # +27%
+        failures = perf_gate.evaluate_gate(metrics, baseline)
+        assert len(failures) == 1
+        assert "net_bytes_per_op" in failures[0] and "ceiling" in failures[0]
+
+    def test_unmeasured_net_metrics_are_skipped(self):
+        # Sandboxes without sockets never measure net_*; the gate must
+        # not punish the absence.
+        baseline = {"net_wire_ops_s": 250.0, "net_bytes_per_op": 300.0}
+        assert perf_gate.evaluate_gate({}, baseline) == []
+
     def test_report_renders_failures(self):
         report = perf_gate.render_report({"x_ops_s": 5.0}, ["x_ops_s: too slow"])
         assert "FAILURES" in report and "too slow" in report
@@ -59,7 +77,7 @@ class TestBaselineSnapshot:
     def test_checked_in_baseline_is_wellformed(self):
         payload = json.loads(perf_gate.baseline_path().read_text())
         metrics = payload["metrics"]
-        for name in perf_gate.GATED_METRICS:
+        for name in perf_gate.GATED_METRICS + perf_gate.GATED_METRICS_LOWER:
             assert name in metrics, f"baseline missing gated metric {name}"
             assert metrics[name] > 0
 

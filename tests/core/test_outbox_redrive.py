@@ -97,6 +97,57 @@ def test_redrive_skips_already_acked_peers_in_the_outbox_too():
         assert len(parked_merges(replica, peer)) == 1
 
 
+def test_new_batch_refreshes_parked_redriven_merge_in_delta_mode():
+    """ISSUE-9 satellite: deltas folded into a re-drive accumulator after
+    the re-driven MERGE parked must still reach the wire.
+
+    In delta mode a new update batch folds its delta into every open
+    batch's re-drive accumulator ("their next re-send carries this
+    batch's updates too").  But with coalescing, the open batch's latest
+    re-driven MERGE may already sit *materialized* in the outbox, built
+    from the pre-fold accumulator value — before the fix the flush
+    shipped that stale fragment and the folded delta waited for the next
+    timeout round.  The fix re-sends the open batch's MERGE at fold
+    time, superseding the parked slot in place.
+    """
+    replica = KeyedCrdtReplica(
+        "r0",
+        list(PEERS),
+        lambda key: GCounter.initial(),
+        CrdtPaxosConfig(
+            keyed_coalesce_window=0.005,
+            request_timeout=0.5,
+            update_pipeline=2,
+            delta_merge=True,
+        ),
+    )
+    effects = replica.on_message(
+        "c", Keyed(key="k", message=ClientUpdate("u1", Increment(1))), 0.0
+    )
+    (uto_key,) = [key for key, _ in effects.timers if "|uto:" in key]
+    # Batch 1 times out and re-drives; the re-driven MERGE parks
+    # (superseding the original in its slot).
+    replica.on_timer(uto_key, 0.6)
+    # A second batch starts before the flush fires.  Its delta folds
+    # into batch 1's re-drive accumulator, so batch 1's parked envelope
+    # must now carry the full fold, not the pre-fold fragment.
+    replica.on_message(
+        "c", Keyed(key="k", message=ClientUpdate("u2", Increment(2))), 0.65
+    )
+    expected = replica.state_of("k").value()
+    for dst in ("r1", "r2"):
+        by_batch = {
+            keyed.message.request_id: keyed.message
+            for keyed in parked_merges(replica, dst)
+        }
+        assert set(by_batch) == {"r0/u1", "r0/u2"}
+        assert by_batch["r0/u1"].state.value() == expected, (
+            f"{dst}: parked re-driven MERGE still carries the stale "
+            f"pre-fold payload ({by_batch['r0/u1'].state.value()} "
+            f"of {expected})"
+        )
+
+
 def test_flush_packs_exactly_one_envelope_per_superseded_slot():
     # A pipelined proposer keeps two batches' MERGEs parked at once; a
     # re-drive of the second must not produce a duplicate inside the

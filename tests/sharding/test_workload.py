@@ -41,10 +41,18 @@ def test_sharded_workload_reports_per_group_stats():
 
 
 def test_mid_run_migrations_reroute_clients_not_break_them():
+    # Moved keys are picked from the live table so every scheduled
+    # migration genuinely changes owners (the last one moves back).
+    from repro.sharding.routing import RoutingTable
+
+    table = RoutingTable(["g0", "g1"])
+    keys = [f"k{i}" for i in range(SPEC.n_keys)]
+    from_g1 = next(key for key in keys if table.owner(key) == "g1")
+    from_g0 = next(key for key in keys if table.owner(key) == "g0")
     result = run_sharded_workload(
         SPEC,
         seed=4,
-        migrations=[(0.4, "k0", "g0"), (0.6, "k2", "g1"), (0.8, "k0", "g1")],
+        migrations=[(0.4, from_g1, "g0"), (0.6, from_g0, "g1"), (0.8, from_g1, "g1")],
     )
     assert result.migrations_completed == 3
     # Clients in flight across a commit get WrongGroup and re-route.

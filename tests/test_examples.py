@@ -72,6 +72,16 @@ def test_sharded_store():
     assert "sharded store: OK" in out
 
 
+def test_net_cluster():
+    from repro.bench.netbench import sockets_available
+
+    if not sockets_available():
+        pytest.skip("loopback sockets unavailable in this sandbox")
+    out = run_example("net_cluster.py")
+    assert "linearizable read over real sockets: hits = 10" in out
+    assert "two processes, one counter" in out
+
+
 def test_nemesis_demo():
     out = run_example("nemesis_demo.py")
     assert "majority side still commits" in out
