@@ -1,86 +1,91 @@
 #!/usr/bin/env python3
-"""Two OS processes, one replicated counter, real sockets.
+"""Four OS processes, one replicated counter, real sockets, one SIGKILL.
 
-Everything the other examples do in one process, this one does across a
-real process boundary: a child process hosts three keyed CRDT-Paxos
-replicas behind framed TCP sockets (:mod:`repro.net.stream`, the
-:mod:`repro.wire` binary codec on every frame), and this parent process
-is a plain socket client.  Ten increments land on one replica; the
-linearizable read is served by a *different* replica, so the answer can
-only be right if real MERGE/MERGED coordination crossed the wire.
+Everything the other examples do in one process, this one does across
+real process boundaries: three replica processes (each a keyed
+CRDT-Paxos replica behind a framed TCP socket — :mod:`repro.net.stream`,
+the :mod:`repro.wire` binary codec on every frame, a durable spill store
+on disk) and this parent process as a plain socket client.
+
+Act one — ten increments land on one replica; the linearizable read is
+served by a *different* replica, so the answer can only be right if real
+MERGE/MERGED coordination crossed the wire.
+
+Act two — the nemesis: ``kill -9`` the replica that took the writes.
+The client fails over (dead connections are rejected fail-fast, not
+timed out) and keeps incrementing through the outage.  Then the victim
+cold-restarts over its spill directory — ``recover(rejoin=True)``, the
+paper's log-less §3.3 recovery — and answers a linearizable read that
+includes every increment it missed while dead.
 
 Run:  python examples/net_cluster.py
 (The demo skips itself cleanly where sandboxes forbid loopback sockets.)
 """
 
 import asyncio
-import multiprocessing
 import sys
 import time
 
-from repro.bench.netbench import reserve_ports, sockets_available
-from repro.core.config import CrdtPaxosConfig
-from repro.core.keyspace import Keyed, KeyedCrdtReplica
+from repro.bench.netbench import sockets_available
+from repro.core.keyspace import Keyed
 from repro.core.messages import ClientQuery, ClientUpdate, QueryDone, UpdateDone
-from repro.crdt.gcounter import GCounter, GCounterValue, Increment
-from repro.net.stream import StreamClient, StreamNodeServer
-
-HOST = "127.0.0.1"
-NAMES = ["r0", "r1", "r2"]
+from repro.crdt.gcounter import GCounterValue, Increment
+from repro.nemesis import ProcessCluster
+from repro.net.stream import StreamClient
 
 
-def cluster_main(ports: dict, ready, stop) -> None:
-    """Child-process entry: three replicas on one event loop."""
-    asyncio.run(_host_cluster(ports, ready, stop))
+async def _increment(client: StreamClient, request_id: str) -> None:
+    reply = await client.request_any(
+        Keyed(key="hits", message=ClientUpdate(request_id, Increment(1))),
+        timeout=10.0,
+    )
+    assert isinstance(reply.message, UpdateDone), reply
 
 
-async def _host_cluster(ports: dict, ready, stop) -> None:
-    servers = []
-    for nid in NAMES:
-        replica = KeyedCrdtReplica(
-            nid, list(NAMES), lambda key: GCounter.initial(), CrdtPaxosConfig()
-        )
-        servers.append(
-            StreamNodeServer(
-                replica,
-                HOST,
-                ports[nid],
-                peers={p: (HOST, ports[p]) for p in NAMES if p != nid},
-            )
-        )
-    for server in servers:
-        await server.start()
-    ready.set()
-    while not stop.is_set():
-        await asyncio.sleep(0.05)
-    for server in servers:
-        await server.close()
+async def _read_hits(client: StreamClient, replica: str, request_id: str) -> int:
+    reply = await client.request(
+        replica,
+        Keyed(key="hits", message=ClientQuery(request_id, GCounterValue())),
+        timeout=15.0,
+    )
+    assert isinstance(reply.message, QueryDone), reply
+    return reply.message.result
 
 
-async def drive(ports: dict) -> None:
-    client = StreamClient("demo", {nid: (HOST, ports[nid]) for nid in NAMES})
+async def drive(cluster: ProcessCluster) -> None:
+    client = StreamClient("demo", cluster.placements, preferred="r0")
     try:
+        # Act one: ten increments at r0, linearizable read at r1.
         for i in range(10):
-            reply = await client.request(
-                "r0",
-                Keyed(key="hits", message=ClientUpdate(f"demo/u{i}", Increment(1))),
-                timeout=10.0,
-            )
-            assert isinstance(reply.message, UpdateDone), reply
-        reply = await client.request(
-            "r1",
-            Keyed(key="hits", message=ClientQuery("demo/q0", GCounterValue())),
-            timeout=10.0,
-        )
-        assert isinstance(reply.message, QueryDone), reply
-        assert reply.message.result == 10, reply.message
-        print(f"linearizable read over real sockets: hits = {reply.message.result}")
+            await _increment(client, f"demo/u{i}")
+        hits = await _read_hits(client, "r1", "demo/q0")
+        assert hits == 10, hits
+        print(f"linearizable read over real sockets: hits = {hits}")
 
         stats = await client.transport_stats("r0")
         print(
             f"replica r0 socket traffic: {stats.messages_sent} frames / "
             f"{stats.bytes_sent} bytes sent, {stats.messages_received} "
             f"frames received"
+        )
+
+        # Act two: kill -9 the replica that took every write.
+        cluster.kill("r0")
+        for i in range(10, 15):
+            await _increment(client, f"demo/u{i}")
+        print(
+            f"SIGKILL r0: fail-over kept 5 increments flowing "
+            f"(failovers = {client.failovers})"
+        )
+
+        # Cold restart over the spill directory: stored keys refresh
+        # from a read quorum (§3.3 prepare) before r0 serves again.
+        await asyncio.to_thread(cluster.restart, "r0")
+        hits = await _read_hits(client, "r0", "demo/q1")
+        assert hits == 15, hits
+        print(
+            f"restarted r0 answered the linearizable read: hits = {hits} "
+            f"(including 5 it missed while dead)"
         )
     finally:
         await client.close()
@@ -90,23 +95,15 @@ def main() -> int:
     if not sockets_available():
         print("net_cluster demo skipped: loopback sockets unavailable")
         return 0
-    ctx = multiprocessing.get_context("spawn")
-    ports = dict(zip(NAMES, reserve_ports(len(NAMES))))
-    ready, stop = ctx.Event(), ctx.Event()
-    child = ctx.Process(target=cluster_main, args=(ports, ready, stop), daemon=True)
-    child.start()
+    cluster = ProcessCluster(n_replicas=3, state="gcounter", durable=True)
     try:
-        if not ready.wait(timeout=30.0):
-            raise TimeoutError("replica process failed to start")
+        cluster.start()
         started = time.perf_counter()
-        asyncio.run(drive(ports))
+        asyncio.run(drive(cluster))
         elapsed = time.perf_counter() - started
-        print(f"two processes, one counter, {elapsed * 1e3:.0f} ms: OK")
+        print(f"four processes, one counter, {elapsed * 1e3:.0f} ms: OK")
     finally:
-        stop.set()
-        child.join(timeout=5.0)
-        if child.is_alive():
-            child.terminate()
+        cluster.stop()
     return 0
 
 

@@ -1,28 +1,42 @@
 """Multi-process socket benchmark: ``python -m repro.bench net``.
 
 Every other number in this harness comes from the simulator; this one
-does not.  The rig spawns one OS process per replica, each running a
+does not.  The rig spawns one OS process per replica (via
+:class:`~repro.nemesis.process.ProcessCluster`), each running a
 :class:`~repro.net.stream.StreamNodeServer` around a
 :class:`~repro.core.keyspace.KeyedCrdtReplica`, and drives a closed loop
-of updates from the parent process through a
-:class:`~repro.net.stream.StreamClient` — real serialization through
-:mod:`repro.wire`, real sockets, real scheduling.  uvloop is used when
-the container ships it (:func:`~repro.net.stream.uvloop_installed`).
+of updates from the parent process through
+:class:`~repro.net.stream.StreamClient` fail-over — real serialization
+through :mod:`repro.wire`, real sockets, real scheduling.  uvloop is
+used when the container ships it
+(:func:`~repro.net.stream.uvloop_installed`).
 
 The workload is GSet adds against a small hot keyspace, chosen because a
 grow-only set makes the paper's delta-state story *measurable*: without
 ``delta_merge`` every MERGE broadcast re-ships the key's whole
 accumulated set, with it each MERGE carries the single element just
-added.  The rig runs both modes and reports:
+added.  The rig runs both modes — plus a durable (write-through) run and
+the same durable run with a SIGKILL/cold-restart cycle woven through it
+— and reports:
 
 * ``net_wire_ops_s`` — closed-loop ops/s with delta replication on (the
   default wire payload), **gated**;
 * ``net_bytes_per_op`` — replica-outbound socket bytes per completed
   op, delta mode, **gated lower-is-better**;
+* ``net_kill_retention`` — ops/s of the durable run with one replica
+  SIGKILLed mid-traffic and cold-restarted via ``recover(rejoin=True)``
+  over its spill store, as a fraction of the fault-free durable run
+  (same config), **gated** ≥ 0.25: client fail-over plus connection
+  supervision must keep the service well above a quarter of its
+  fault-free throughput across the outage;
 * ``net_delta_bytes_ratio`` — delta / full-state bytes per op
   (trajectory; the acceptance check that deltas actually shrink the
   wire);
-* ``net_full_*`` twins and ``net_uvloop`` — trajectory diagnostics.
+* ``net_kill_missed_read`` — 1.0 when the restarted replica served a
+  linearizable read containing an op committed while it was dead
+  (trajectory sanity bit backing the gated retention number);
+* ``net_full_*`` / ``net_durable_ops_s`` / ``net_kill_recovery_s`` and
+  ``net_uvloop`` — trajectory diagnostics.
 
 Sandboxed environments may forbid sockets or process spawning; the rig
 probes first (:func:`sockets_available`) and returns an empty metric
@@ -33,19 +47,16 @@ never measured.
 from __future__ import annotations
 
 import asyncio
-import multiprocessing
 import socket
 import time
 from typing import Any
 
 from repro.core.config import CrdtPaxosConfig
 from repro.core.keyspace import Keyed
-from repro.core.messages import ClientUpdate, UpdateDone
-from repro.errors import RequestTimeout
+from repro.core.messages import ClientQuery, ClientUpdate, UpdateDone
+from repro.errors import RequestTimeout, TransportError
 
 _HOST = "127.0.0.1"
-#: Seconds the parent waits for every replica process to signal ready.
-_STARTUP_TIMEOUT = 30.0
 
 
 def sockets_available() -> bool:
@@ -89,76 +100,40 @@ def reserve_ports(count: int) -> list[int]:
 
 
 # ----------------------------------------------------------------------
-# Replica process
-# ----------------------------------------------------------------------
-def _replica_main(
-    node_id: str,
-    ports: dict[str, int],
-    config: CrdtPaxosConfig,
-    ready: Any,
-    stop: Any,
-) -> None:
-    """Entry point of one replica process (must be module-level for the
-    spawn start method to import it)."""
-    from repro.net.stream import uvloop_installed
-
-    uvloop_installed()
-    asyncio.run(_serve(node_id, ports, config, ready, stop))
-
-
-async def _serve(
-    node_id: str,
-    ports: dict[str, int],
-    config: CrdtPaxosConfig,
-    ready: Any,
-    stop: Any,
-) -> None:
-    from repro.core.keyspace import KeyedCrdtReplica
-    from repro.crdt.gset import GSet
-    from repro.net.stream import StreamNodeServer
-
-    replica = KeyedCrdtReplica(
-        node_id, sorted(ports), lambda key: GSet.initial(), config
-    )
-    server = StreamNodeServer(
-        replica,
-        _HOST,
-        ports[node_id],
-        peers={nid: (_HOST, p) for nid, p in ports.items() if nid != node_id},
-    )
-    await server.start()
-    ready.set()
-    # The stop event is a cross-process primitive; polling it beats
-    # burning a thread on a blocking wait.
-    while not stop.is_set():
-        await asyncio.sleep(0.05)
-    await server.close()
-
-
-# ----------------------------------------------------------------------
 # Client drive (parent process)
 # ----------------------------------------------------------------------
+def _add(element: str) -> Any:
+    from repro.crdt.gset import GSetAdd
+
+    return GSetAdd(element)
+
+
 async def _drive(
-    ports: dict[str, int],
+    cluster: Any,
     n_clients: int,
     ops_per_client: int,
     n_keys: int,
     timeout: float,
+    kill_cycle: bool,
 ) -> dict[str, float]:
     from repro.net.stream import StreamClient
 
-    replicas = sorted(ports)
-    placements = {nid: (_HOST, ports[nid]) for nid in replicas}
+    replicas = cluster.replicas
+    placements = cluster.placements
+    # Each worker homes on one replica (sticky fail-over moves it off a
+    # dead one and keeps it there until that one fails too).
     clients = [
-        StreamClient(f"bench-c{i}", placements) for i in range(n_clients)
+        StreamClient(
+            f"bench-c{i}", placements, preferred=replicas[i % len(replicas)]
+        )
+        for i in range(n_clients)
     ]
-    completed = 0
+    total_ops = n_clients * ops_per_client
+    progress = {"done": 0}
 
     async def closed_loop(index: int, client: StreamClient) -> int:
-        # Each worker homes on one replica and walks the shared hot
-        # keyspace; distinct elements per (worker, op) keep the GSets
-        # growing for the full run.
-        home = replicas[index % len(replicas)]
+        # Workers walk the shared hot keyspace; distinct elements per
+        # (worker, op) keep the GSets growing for the full run.
         done = 0
         for op in range(ops_per_client):
             key = f"k{op % n_keys}"
@@ -169,23 +144,72 @@ async def _drive(
                 ),
             )
             try:
-                reply = await client.request(home, message, timeout=timeout)
-            except RequestTimeout:
+                reply = await client.request_any(message, timeout=timeout)
+            except (RequestTimeout, TransportError):
                 continue  # counted by omission; the rate only sums acks
             inner = getattr(reply, "message", reply)
             if isinstance(inner, UpdateDone):
                 done += 1
+                progress["done"] += 1
         return done
 
+    fault_outcome = {"missed_read": 0.0, "recovery_s": 0.0}
+
+    async def kill_controller() -> None:
+        """SIGKILL the first replica a third of the way in, cold-restart
+        it two thirds in, then make it answer for an op it missed."""
+        from repro.crdt.gset import Elements, GSetAdd
+
+        victim = replicas[0]
+        nemesis = StreamClient("bench-nemesis", placements)
+        try:
+            while progress["done"] < total_ops // 3:
+                await asyncio.sleep(0.005)
+            cluster.kill(victim)
+            killed_at = time.perf_counter()
+            marker = f"missed-by-{victim}"
+            await nemesis.request_any(
+                Keyed(
+                    key="k0",
+                    message=ClientUpdate("bench-nemesis/marker", GSetAdd(marker)),
+                ),
+                timeout=timeout,
+            )
+            while progress["done"] < (2 * total_ops) // 3:
+                await asyncio.sleep(0.005)
+            await asyncio.to_thread(cluster.restart, victim)
+            reply = await nemesis.request(
+                victim,
+                Keyed(
+                    key="k0",
+                    message=ClientQuery("bench-nemesis/q", Elements()),
+                ),
+                timeout=max(timeout, 15.0),
+            )
+            fault_outcome["recovery_s"] = time.perf_counter() - killed_at
+            result = getattr(reply, "message", reply).result
+            fault_outcome["missed_read"] = 1.0 if marker in result else 0.0
+        finally:
+            await nemesis.close()
+
+    controller = (
+        asyncio.get_running_loop().create_task(kill_controller())
+        if kill_cycle
+        else None
+    )
     started = time.perf_counter()
     results = await asyncio.gather(
         *(closed_loop(i, c) for i, c in enumerate(clients))
     )
     elapsed = time.perf_counter() - started
     completed = sum(results)
+    if controller is not None:
+        await controller
 
     # Replica-outbound socket bytes: every MERGE broadcast, MERGED ack
     # and client reply the run generated, measured at the transport.
+    # (In a kill cycle the victim's counters restart from zero with the
+    # process; the bytes figure is only reported for fault-free runs.)
     bytes_sent = 0
     for nid in replicas:
         stats = await clients[0].transport_stats(nid, timeout=timeout)
@@ -198,13 +222,8 @@ async def _drive(
         "ops_s": completed / elapsed,
         "bytes_per_op": bytes_sent / completed,
         "completed": float(completed),
+        **fault_outcome,
     }
-
-
-def _add(element: str) -> Any:
-    from repro.crdt.gset import GSetAdd
-
-    return GSetAdd(element)
 
 
 # ----------------------------------------------------------------------
@@ -217,44 +236,39 @@ def run_cluster(
     ops_per_client: int = 75,
     n_keys: int = 4,
     timeout: float = 10.0,
+    durability: str = "none",
+    kill_cycle: bool = False,
 ) -> dict[str, float]:
-    """Spawn a replica cluster, drive the closed loop, tear down."""
-    ctx = multiprocessing.get_context("spawn")
-    ports = {
-        f"r{i}": port for i, port in enumerate(reserve_ports(n_replicas))
-    }
-    config = CrdtPaxosConfig(delta_merge=delta_merge)
-    stop = ctx.Event()
-    processes, readies = [], []
+    """Spawn a replica cluster, drive the closed loop, tear down.
+
+    ``durability="write_through"`` gives every replica process a
+    segmented spill store on disk and persists each key's §3.3 triple
+    before acks escape; ``kill_cycle=True`` additionally SIGKILLs one
+    replica mid-run and cold-restarts it over that store (requires
+    durability, since a restart needs something durable to recover).
+    """
+    from repro.nemesis.process import ProcessCluster
+
+    if kill_cycle and durability == "none":
+        raise ValueError("kill_cycle requires a durable configuration")
+    config = CrdtPaxosConfig(delta_merge=delta_merge, durability=durability)
+    cluster = ProcessCluster(
+        n_replicas=n_replicas,
+        config=config,
+        state="gset",
+        durable=durability != "none",
+    )
     try:
-        for nid in sorted(ports):
-            ready = ctx.Event()
-            process = ctx.Process(
-                target=_replica_main,
-                args=(nid, ports, config, ready, stop),
-                daemon=True,
-            )
-            process.start()
-            processes.append(process)
-            readies.append(ready)
-        deadline = time.monotonic() + _STARTUP_TIMEOUT
-        for ready in readies:
-            if not ready.wait(timeout=max(0.0, deadline - time.monotonic())):
-                raise TimeoutError("replica process failed to start")
+        cluster.start()
         return asyncio.run(
-            _drive(ports, n_clients, ops_per_client, n_keys, timeout)
+            _drive(cluster, n_clients, ops_per_client, n_keys, timeout, kill_cycle)
         )
     finally:
-        stop.set()
-        for process in processes:
-            process.join(timeout=5.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5.0)
+        cluster.stop()
 
 
 def run_net(quick: bool = True, seed: int = 0) -> dict[str, float]:
-    """The full net benchmark: delta and full-state runs plus the ratio.
+    """The full net benchmark: delta, full-state, durable and kill runs.
 
     Returns ``{}`` (and the gate skips the ``net_*`` metrics) where
     sockets or process spawning are unavailable.  ``seed`` is accepted
@@ -269,6 +283,17 @@ def run_net(quick: bool = True, seed: int = 0) -> dict[str, float]:
     try:
         delta = run_cluster(delta_merge=True, ops_per_client=ops_per_client)
         full = run_cluster(delta_merge=False, ops_per_client=ops_per_client)
+        durable = run_cluster(
+            delta_merge=True,
+            ops_per_client=ops_per_client,
+            durability="write_through",
+        )
+        killed = run_cluster(
+            delta_merge=True,
+            ops_per_client=ops_per_client,
+            durability="write_through",
+            kill_cycle=True,
+        )
     except (OSError, PermissionError, TimeoutError, RequestTimeout):
         # Spawning blocked, ports vanished, or the sandbox interfered
         # mid-run: no number beats a wrong number.
@@ -280,6 +305,11 @@ def run_net(quick: bool = True, seed: int = 0) -> dict[str, float]:
         "net_full_ops_s": full["ops_s"],
         "net_full_bytes_per_op": full["bytes_per_op"],
         "net_completed_ops": delta["completed"],
+        "net_durable_ops_s": durable["ops_s"],
+        "net_kill_ops_s": killed["ops_s"],
+        "net_kill_retention": killed["ops_s"] / durable["ops_s"],
+        "net_kill_missed_read": killed["missed_read"],
+        "net_kill_recovery_s": killed["recovery_s"],
         "net_uvloop": 1.0 if uvloop_installed() else 0.0,
     }
 
@@ -293,6 +323,14 @@ def render_net(metrics: dict[str, float]) -> str:
     lines = ["net benchmark (multi-process, real sockets)"]
     lines.append(f"  ops/s (delta replication)   {metrics['net_wire_ops_s']:12,.0f}")
     lines.append(f"  ops/s (full-state)          {metrics['net_full_ops_s']:12,.0f}")
+    lines.append(f"  ops/s (write-through)       {metrics['net_durable_ops_s']:12,.0f}")
+    lines.append(f"  ops/s (kill/restart cycle)  {metrics['net_kill_ops_s']:12,.0f}")
+    lines.append(f"  kill retention              {metrics['net_kill_retention']:12.3f}")
+    lines.append(
+        "  missed-op read after kill   "
+        f"{'served' if metrics['net_kill_missed_read'] else 'MISSING':>12}"
+    )
+    lines.append(f"  kill→serving recovery (s)   {metrics['net_kill_recovery_s']:12.2f}")
     lines.append(f"  bytes/op (delta)            {metrics['net_bytes_per_op']:12,.1f}")
     lines.append(f"  bytes/op (full-state)       {metrics['net_full_bytes_per_op']:12,.1f}")
     lines.append(f"  delta/full bytes ratio      {metrics['net_delta_bytes_ratio']:12.3f}")

@@ -41,9 +41,14 @@ baseline snapshot:
 * **net** — the multi-process socket rig (:mod:`repro.bench.netbench`):
   one OS process per replica over real loopback sockets, closed-loop
   GSet adds in delta and full-state modes — ``net_wire_ops_s`` (gated),
-  ``net_bytes_per_op`` (gated, *lower* is better) and the delta/full
-  byte ratio (trajectory); skipped cleanly where sandboxes forbid
-  sockets or process spawning;
+  ``net_bytes_per_op`` (gated, *lower* is better), the delta/full byte
+  ratio (trajectory), and the survivability cycle:
+  ``net_kill_retention`` (gated ≥ 0.25) is the durable run's ops/s with
+  one replica SIGKILLed mid-traffic and cold-restarted over its spill
+  store (``recover(rejoin=True)``) as a fraction of the fault-free
+  durable run — client fail-over plus connection supervision must carry
+  the outage; skipped cleanly where sandboxes forbid sockets or
+  process spawning;
 * **spill tier** — the frozen-record spill store: keys/second rehydrated
   from a cold segmented file store (index lookup + frame read + CRC +
   decode + admission) and the bounded-RAM churn density (keys per traced
@@ -96,7 +101,7 @@ from repro.workload.sharded import run_sharded_workload
 from repro.workload.spec import WorkloadSpec
 
 #: This PR's trajectory snapshot (BENCH_PR<N>.json).
-CURRENT_PR = 9
+CURRENT_PR = 10
 
 #: Allowed fractional drop below a baseline value before the gate fails.
 TOLERANCE = 0.20
@@ -123,6 +128,7 @@ GATED_METRICS = (
     "e2e_sharded_speedup",
     "wire_encode_ops_s",
     "net_wire_ops_s",
+    "net_kill_retention",
 )
 
 #: Gated metrics where *lower* is better (byte costs): the gate fails

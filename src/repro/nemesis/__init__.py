@@ -24,6 +24,12 @@ crash-recovery model: timers are lost, RAM survives); :class:`HardKill`
 is kill -9: RAM dies, the process restarts from whatever its durability
 policy persisted and *rejoins* — every recovered key is refreshed from
 a read quorum (a §3.3 prepare) before it serves traffic.
+:mod:`repro.nemesis.process` delivers both verbs through the operating
+system instead of the simulator: a :class:`ProcessCluster` of real
+replica processes on real sockets, SIGKILLed and cold-restarted over
+their spill directories, plus transport-level faults (severed TCP
+connections, garbage bytes desyncing a live frame stream) answered by
+the connection supervisor in :mod:`repro.net.stream`.
 
 **Storage** — :class:`IoFault` brownout windows during which a
 replica's :class:`~repro.storage.faulty.FaultySpillStore` fails every
@@ -63,6 +69,11 @@ path.
 """
 
 from repro.nemesis.campaign import KeyedNemesis, KillDuringRejoin
+from repro.nemesis.process import (
+    KillCampaignReport,
+    ProcessCluster,
+    run_kill_campaign,
+)
 from repro.nemesis.schedule import (
     Crash,
     DelaySpike,
@@ -92,6 +103,9 @@ __all__ = [
     "scenario",
     "KeyedNemesis",
     "KillDuringRejoin",
+    "KillCampaignReport",
+    "ProcessCluster",
+    "run_kill_campaign",
     "ShardedMigrationNemesis",
     "FaultySpillStore",
 ]

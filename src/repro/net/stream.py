@@ -1,10 +1,10 @@
-"""Framed TCP transport: sans-io nodes on real sockets.
+"""Framed TCP transport: sans-io nodes on real sockets, supervised.
 
 The production face of the wire stack.  One :class:`FrameStream` wraps a
 TCP connection and moves length-prefixed :mod:`repro.wire` frames; a
 :class:`StreamNodeServer` hosts any sans-io protocol node (a
 :class:`~repro.core.keyspace.KeyedCrdtReplica`, a baseline RSM node, …)
-behind a listening socket, with peer-to-peer traffic over lazily dialed
+behind a listening socket, with peer-to-peer traffic over supervised
 outbound connections and timers on the event loop; a
 :class:`StreamClient` is the awaitable request/reply side.
 
@@ -18,22 +18,76 @@ The multi-process bench rig (``python -m repro.bench net``) spawns one
 OS process per :class:`StreamNodeServer` and measures ops/s and
 bytes/op through this module, so its numbers are hardware numbers:
 real serialization, real syscalls, real scheduling.
+
+Fault model
+===========
+
+The transport assumes the protocol it carries tolerates message loss,
+duplication and reordering (it does — §2.1), so supervision never
+buffers unboundedly or retries a *message*; it supervises *links*:
+
+* **What is retried.**  Outbound peer connections.  A failed dial or a
+  send error evicts the cached stream and schedules a redial under
+  jittered exponential backoff (:class:`SupervisionPolicy`:
+  ``redial_base`` doubling per consecutive failure up to ``redial_cap``,
+  ±``redial_jitter`` deterministic per-link jitter so a restarted
+  replica is not hit by a synchronized dial storm).  The first
+  successful reconnect resets the backoff (counted in
+  ``backoff_resets``).  Return routes to clients are never redialed —
+  the server cannot dial a client; a dead client route drops traffic.
+
+* **What is shed.**  Messages.  Each destination has a bounded outbox
+  (``outbox_limit``); when a peer is dead-but-addressed long enough to
+  fill it, the *oldest* message is shed (counted in ``outbox_shed``) —
+  loss is allowed by the model, unbounded memory growth against a dead
+  peer is not.  A message whose dial or send fails is likewise dropped,
+  never requeued: the protocol's own re-drive timers are the retry
+  mechanism with end-to-end semantics.
+
+* **Frame desync.**  A malformed frame poisons that connection's
+  decoder — frame boundaries are lost, so the only safe reaction is
+  teardown.  The receiver counts ``frame_decode_errors``, drops the
+  connection, and the sender's next write fails, evicting its cached
+  stream and entering the redial path.  Recovery is a fresh connection
+  with a fresh decoder; the poison never outlives the socket.
+
+* **Strict wire mode.**  Sends encode with ``strict=True`` by default:
+  an unregistered type raises :class:`SerializationError` *at the
+  sender* instead of silently crossing the wire as a pickle blob.
+
+All of it is observable: :class:`~repro.net.control.NetStats` returns
+the fault counters next to the byte counters, and the process-level
+nemesis (:mod:`repro.nemesis.process`) asserts campaigns actually
+exercised them.
 """
 
 from __future__ import annotations
 
 import asyncio
+import zlib
 from collections import deque
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import RequestTimeout, SerializationError, TransportError
-from repro.net.control import NetStats, NetStatsReply
+from repro.net.control import (
+    GarbageInject,
+    GarbageInjectDone,
+    NetStats,
+    NetStatsReply,
+    Sever,
+    SeverDone,
+)
 from repro.net.node import Effects
 from repro.wire import FrameDecoder, encode_frame
 
 #: Socket read granularity; large enough that a coalesced KeyedBatch
 #: usually arrives in one read.
 _READ_CHUNK = 1 << 16
+
+#: Default garbage for :class:`GarbageInject` with an empty payload —
+#: long enough to complete a bogus "frame" (bad magic) at the receiver.
+_GARBAGE = b"XX\x00\x08not-a-frame\xde\xad\xbe\xef"
 
 
 def uvloop_installed() -> bool:
@@ -51,12 +105,39 @@ def uvloop_installed() -> bool:
     return True
 
 
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Knobs for the per-peer link supervisor.
+
+    The backoff discipline mirrors the proposer's re-drive backoff
+    (``backoff_multiplier`` / ``backoff_cap`` / ``backoff_jitter`` on
+    :class:`~repro.core.config.CrdtPaxosConfig`): exponential growth per
+    consecutive failure, a hard cap, deterministic jitter to
+    de-synchronize a fleet, and a reset on first success.
+    """
+
+    #: Delay before the first redial after a failure (seconds).
+    redial_base: float = 0.05
+    #: Multiplier applied per additional consecutive failure.
+    redial_multiplier: float = 2.0
+    #: Ceiling on the redial delay (seconds).
+    redial_cap: float = 2.0
+    #: ± fraction of deterministic per-(link, attempt) jitter.
+    redial_jitter: float = 0.1
+    #: Maximum queued messages per destination; beyond it the oldest
+    #: message is shed (drop-oldest: fresher protocol state wins).
+    outbox_limit: int = 512
+
+
 class FrameStream:
     """One framed TCP connection (reader/writer pair).
 
     ``recv`` returns decoded messages one at a time and ``None`` at EOF;
     a malformed frame raises :class:`SerializationError` and the only
     safe reaction is closing the connection (frame sync is lost).
+
+    ``strict`` makes every ``send`` refuse unregistered types at the
+    encoder (see :func:`repro.wire.encode_frame`).
     """
 
     __slots__ = (
@@ -64,18 +145,23 @@ class FrameStream:
         "_writer",
         "_decoder",
         "_inbox",
+        "strict",
         "bytes_sent",
         "bytes_received",
         "frames_sent",
     )
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        strict: bool = False,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._decoder = FrameDecoder()
         self._inbox: deque[Any] = deque()
+        self.strict = strict
         self.bytes_sent = 0
         self.bytes_received = 0
         self.frames_sent = 0
@@ -86,12 +172,19 @@ class FrameStream:
 
     async def send(self, message: Any) -> int:
         """Write one frame; returns its length in bytes."""
-        frame = encode_frame(message)
+        frame = encode_frame(message, strict=self.strict)
         self._writer.write(frame)
         self.bytes_sent += len(frame)
         self.frames_sent += 1
         await self._writer.drain()
         return len(frame)
+
+    async def send_raw(self, data: bytes) -> int:
+        """Write raw bytes with no framing — the nemesis' garbage path."""
+        self._writer.write(data)
+        self.bytes_sent += len(data)
+        await self._writer.drain()
+        return len(data)
 
     async def recv(self) -> Any | None:
         """Next decoded message, or ``None`` once the peer closed."""
@@ -116,19 +209,65 @@ class FrameStream:
             pass  # already torn down by the peer
 
 
-async def open_stream(host: str, port: int) -> FrameStream:
+async def open_stream(host: str, port: int, strict: bool = False) -> FrameStream:
     reader, writer = await asyncio.open_connection(host, port)
-    return FrameStream(reader, writer)
+    return FrameStream(reader, writer, strict=strict)
+
+
+class _PeerLink:
+    """Supervision state for one outbound peer link."""
+
+    __slots__ = ("failures", "not_before", "connected_once")
+
+    def __init__(self) -> None:
+        #: Consecutive dial/send failures since the last success.
+        self.failures = 0
+        #: Loop time before which no redial may be attempted.
+        self.not_before = 0.0
+        #: Whether this link ever carried a successful dial.
+        self.connected_once = False
+
+
+class _Outbox:
+    """Bounded per-destination message queue with drop-oldest shedding."""
+
+    __slots__ = ("_items", "_wakeup", "limit", "shed")
+
+    def __init__(self, limit: int) -> None:
+        self._items: deque[Any] = deque()
+        self._wakeup = asyncio.Event()
+        self.limit = limit
+        self.shed = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, message: Any) -> None:
+        if len(self._items) >= self.limit:
+            self._items.popleft()
+            self.shed += 1
+        self._items.append(message)
+        self._wakeup.set()
+
+    async def get(self) -> Any:
+        while not self._items:
+            self._wakeup.clear()
+            await self._wakeup.wait()
+        return self._items.popleft()
 
 
 class StreamNodeServer:
     """Host one sans-io protocol node behind a listening socket.
 
     ``peers`` maps peer node ids to ``(host, port)``; protocol sends to
-    those ids dial (and cache) outbound connections, sends to any other
-    id are routed back over the inbound connection that id last spoke
-    on, and sends to ids the server has never heard of are dropped —
-    exactly the unreliable-channel model the protocol assumes.
+    those ids dial (and cache) supervised outbound connections, sends to
+    any other id are routed back over the inbound connection that id
+    last spoke on, and sends to ids the server has never heard of are
+    dropped — exactly the unreliable-channel model the protocol assumes.
+
+    See the module docstring's *Fault model* section for what the
+    supervisor retries, what it sheds, and the backoff envelope
+    (:class:`SupervisionPolicy`).
     """
 
     def __init__(
@@ -137,23 +276,36 @@ class StreamNodeServer:
         host: str,
         port: int,
         peers: dict[str, tuple[str, int]] | None = None,
+        policy: SupervisionPolicy | None = None,
+        strict: bool = True,
     ) -> None:
         self.node = node
         self.host = host
         self.port = port
         self.peers = dict(peers or {})
+        self.policy = policy or SupervisionPolicy()
+        self.strict = strict
         self._server: asyncio.Server | None = None
         self._timers: dict[str, asyncio.TimerHandle] = {}
         self._routes: dict[str, FrameStream] = {}
         self._inbound: set[FrameStream] = set()
         self._outbound: dict[str, FrameStream] = {}
-        self._outboxes: dict[str, asyncio.Queue] = {}
+        self._links: dict[str, _PeerLink] = {}
+        self._outboxes: dict[str, _Outbox] = {}
         self._tasks: set[asyncio.Task] = set()
         self._closed = False
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_received = 0
         self._bytes_received_closed = 0
+        #: Transport fault counters (surfaced via NetStats).
+        self.frame_decode_errors = 0
+        self.connections_dropped = 0
+        self.redials = 0
+        self.backoff_resets = 0
+        #: Strict-mode sends refused at the encoder (message dropped,
+        #: drain loop survives) — a code bug, loudly countable.
+        self.encode_errors = 0
 
     @property
     def bytes_received(self) -> int:
@@ -161,6 +313,30 @@ class StreamNodeServer:
         return self._bytes_received_closed + sum(
             stream.bytes_received for stream in self._inbound
         )
+
+    @property
+    def outbox_shed(self) -> int:
+        """Messages shed by the bounded per-destination outboxes."""
+        return sum(outbox.shed for outbox in self._outboxes.values())
+
+    def link_health(self) -> dict[str, dict[str, float | bool | int]]:
+        """Supervision snapshot per peer: connection and backoff state."""
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:
+            now = 0.0
+        health: dict[str, dict[str, float | bool | int]] = {}
+        for dst in self.peers:
+            link = self._links.get(dst)
+            health[dst] = {
+                "connected": dst in self._outbound,
+                "failures": link.failures if link else 0,
+                "next_dial_in": (
+                    max(0.0, link.not_before - now) if link else 0.0
+                ),
+                "queued": len(self._outboxes.get(dst) or ()),
+            }
+        return health
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -194,7 +370,7 @@ class StreamNodeServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        stream = FrameStream(reader, writer)
+        stream = FrameStream(reader, writer, strict=self.strict)
         self._inbound.add(stream)
         loop = asyncio.get_running_loop()
         try:
@@ -205,24 +381,18 @@ class StreamNodeServer:
                 src, payload = message
                 self.messages_received += 1
                 self._routes[src] = stream
-                if isinstance(payload, NetStats):
-                    # Transport-level control: answered here, the node
-                    # never sees it.
-                    self._send(
-                        src,
-                        NetStatsReply(
-                            request_id=payload.request_id,
-                            node=self.node.node_id,
-                            messages_sent=self.messages_sent,
-                            bytes_sent=self.bytes_sent,
-                            messages_received=self.messages_received,
-                            bytes_received=self.bytes_received,
-                        ),
-                    )
+                if self._handle_control(src, payload, stream):
                     continue
                 self._apply(self.node.on_message(src, payload, loop.time()))
-        except (SerializationError, ConnectionError, OSError):
-            return  # framing lost or peer gone: drop the connection
+        except SerializationError:
+            # Framing desynced (garbage bytes, torn frame): the decoder
+            # is poisoned, so recovery is teardown — the peer redials.
+            self.frame_decode_errors += 1
+            self.connections_dropped += 1
+            return
+        except (ConnectionError, OSError):
+            self.connections_dropped += 1
+            return  # peer gone: drop the connection
         except asyncio.CancelledError:
             return  # event loop shutting down: the connection dies with it
         finally:
@@ -233,6 +403,75 @@ class StreamNodeServer:
                     del self._routes[src]
             await stream.close()
 
+    def _handle_control(
+        self, src: str, payload: Any, stream: FrameStream
+    ) -> bool:
+        """Transport-level control traffic: answered here, the node never
+        sees it.  Returns whether ``payload`` was consumed."""
+        if isinstance(payload, NetStats):
+            self._send(
+                src,
+                NetStatsReply(
+                    request_id=payload.request_id,
+                    node=self.node.node_id,
+                    messages_sent=self.messages_sent,
+                    bytes_sent=self.bytes_sent,
+                    messages_received=self.messages_received,
+                    bytes_received=self.bytes_received,
+                    frame_decode_errors=self.frame_decode_errors,
+                    connections_dropped=self.connections_dropped,
+                    redials=self.redials,
+                    backoff_resets=self.backoff_resets,
+                    outbox_shed=self.outbox_shed,
+                ),
+            )
+            return True
+        if isinstance(payload, Sever):
+            self._spawn(self._sever(src, payload, keep=stream))
+            return True
+        if isinstance(payload, GarbageInject):
+            self._spawn(self._inject_garbage(src, payload))
+            return True
+        return False
+
+    def _spawn(self, coro) -> None:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _sever(
+        self, src: str, request: Sever, keep: FrameStream
+    ) -> None:
+        """Tear down every established connection except ``keep``."""
+        dropped = 0
+        for dst, stream in list(self._outbound.items()):
+            self._outbound.pop(dst, None)
+            dropped += 1
+            await stream.close()
+        for stream in list(self._inbound):
+            if stream is keep:
+                continue
+            dropped += 1
+            await stream.close()  # its serve loop exits via EOF
+        self.connections_dropped += dropped
+        self._send(src, SeverDone(request.request_id, self.node.node_id, dropped))
+
+    async def _inject_garbage(self, src: str, request: GarbageInject) -> None:
+        """Write non-frame bytes into the live outbound stream to
+        ``request.dst``, desyncing the peer's decoder."""
+        injected = False
+        try:
+            stream = await self._stream_to(request.dst)
+            if stream is not None:
+                await stream.send_raw(request.payload or _GARBAGE)
+                injected = True
+        except (ConnectionError, OSError):
+            pass  # no live stream to poison: report injected=False
+        self._send(
+            src,
+            GarbageInjectDone(request.request_id, self.node.node_id, injected),
+        )
+
     # ------------------------------------------------------------------
     def _fire_timer(self, key: str) -> None:
         if self._closed:
@@ -240,6 +479,16 @@ class StreamNodeServer:
         self._timers.pop(key, None)
         loop = asyncio.get_running_loop()
         self._apply(self.node.on_timer(key, loop.time()))
+
+    def apply_effects(self, effects: Effects) -> None:
+        """Execute a node-produced effects bundle on this server's loop.
+
+        Public so out-of-band node entry points (e.g.
+        :meth:`~repro.core.keyspace.KeyedCrdtReplica.rejoin` after a
+        recovery) can be driven through the same send/timer machinery as
+        ``on_message``/``on_timer`` results.
+        """
+        self._apply(effects)
 
     def _apply(self, effects: Effects) -> None:
         loop = asyncio.get_running_loop()
@@ -258,15 +507,11 @@ class StreamNodeServer:
     def _send(self, dst: str, message: Any) -> None:
         outbox = self._outboxes.get(dst)
         if outbox is None:
-            outbox = self._outboxes[dst] = asyncio.Queue()
-            task = asyncio.get_running_loop().create_task(
-                self._drain_outbox(dst, outbox)
-            )
-            self._tasks.add(task)
-            task.add_done_callback(self._tasks.discard)
-        outbox.put_nowait(message)
+            outbox = self._outboxes[dst] = _Outbox(self.policy.outbox_limit)
+            self._spawn(self._drain_outbox(dst, outbox))
+        outbox.put(message)
 
-    async def _drain_outbox(self, dst: str, outbox: asyncio.Queue) -> None:
+    async def _drain_outbox(self, dst: str, outbox: _Outbox) -> None:
         while not self._closed:
             message = await outbox.get()
             try:
@@ -278,19 +523,81 @@ class StreamNodeServer:
             try:
                 sent = await stream.send((self.node.node_id, message))
             except (ConnectionError, OSError):
-                self._outbound.pop(dst, None)
-                continue
+                self._evict_stream(dst, stream)
+                continue  # message lost; the link enters the redial path
+            except SerializationError:
+                self.encode_errors += 1
+                continue  # strict mode refused the message at the encoder
             self.messages_sent += 1
             self.bytes_sent += sent
+
+    def _evict_stream(self, dst: str, stream: FrameStream) -> None:
+        """Drop a dead cached outbound stream and arm the redial backoff."""
+        if self._outbound.get(dst) is stream:
+            del self._outbound[dst]
+            self.connections_dropped += 1
+        link = self._links.setdefault(dst, _PeerLink())
+        link.failures += 1
+        try:
+            now = asyncio.get_running_loop().time()
+        except RuntimeError:
+            now = 0.0
+        link.not_before = now + self._backoff_delay(dst, link.failures)
+
+    def _backoff_delay(self, dst: str, failures: int) -> float:
+        policy = self.policy
+        delay = policy.redial_base * (
+            policy.redial_multiplier ** max(0, failures - 1)
+        )
+        delay = min(delay, policy.redial_cap)
+        if policy.redial_jitter:
+            # Deterministic per (link, attempt): reproducible in tests,
+            # de-synchronized across a fleet hammering one restarted
+            # peer — same discipline as the proposer's re-drive jitter.
+            seed = f"{self.node.node_id}->{dst}#{failures}".encode()
+            unit = zlib.crc32(seed) / 0xFFFFFFFF
+            delay *= 1.0 + policy.redial_jitter * (2.0 * unit - 1.0)
+        return delay
 
     async def _stream_to(self, dst: str) -> FrameStream | None:
         placement = self.peers.get(dst)
         if placement is None:
             return self._routes.get(dst)
         stream = self._outbound.get(dst)
-        if stream is None:
-            stream = await open_stream(*placement)
-            self._outbound[dst] = stream
+        if stream is not None:
+            return stream
+        return await self._dial(dst, placement)
+
+    async def _dial(self, dst: str, placement: tuple[str, int]) -> FrameStream:
+        """Dial ``dst`` under the link's backoff window.
+
+        Raises ``ConnectionError``/``OSError`` on failure after arming
+        the next backoff window; the caller drops the message (loss is
+        allowed) and the *next* send waits out the window first.
+        """
+        link = self._links.setdefault(dst, _PeerLink())
+        loop = asyncio.get_running_loop()
+        wait = link.not_before - loop.time()
+        if wait > 0:
+            await asyncio.sleep(wait)
+        if self._closed:
+            raise ConnectionError("server closed")
+        if link.connected_once or link.failures:
+            self.redials += 1
+        try:
+            stream = await open_stream(*placement, strict=self.strict)
+        except (ConnectionError, OSError):
+            link.failures += 1
+            link.not_before = loop.time() + self._backoff_delay(
+                dst, link.failures
+            )
+            raise
+        if link.failures:
+            self.backoff_resets += 1
+            link.failures = 0
+            link.not_before = 0.0
+        link.connected_once = True
+        self._outbound[dst] = stream
         return stream
 
 
@@ -299,18 +606,40 @@ class StreamClient:
 
     Mirrors :class:`~repro.runtime.asyncio_cluster.AsyncioClient` —
     replies correlate by ``request_id`` — but across process boundaries.
+
+    Failure handling is fail-fast: when a replica's receive pump dies
+    (connection reset, EOF, frame desync) every pending future homed on
+    that replica is rejected immediately with a typed
+    :class:`~repro.errors.TransportError` instead of waiting out its
+    request timeout, and :meth:`request_any` fails over across replicas,
+    sticking with the last one that answered.
     """
 
     def __init__(
-        self, client_id: str, replicas: dict[str, tuple[str, int]]
+        self,
+        client_id: str,
+        replicas: dict[str, tuple[str, int]],
+        strict: bool = True,
+        preferred: str | None = None,
     ) -> None:
         self.client_id = client_id
         self._replicas = dict(replicas)
+        self._order = sorted(replicas)
+        self.strict = strict
         self._streams: dict[str, FrameStream] = {}
         self._pumps: dict[str, asyncio.Task] = {}
         self._pending: dict[str, asyncio.Future] = {}
+        #: request_id → replica the request is homed on, so a pump death
+        #: can reject exactly its own pending futures.
+        self._owner: dict[str, str] = {}
+        #: Preferred replica index for :meth:`request_any` (sticky:
+        #: advanced on fail-over, so a dead home is not re-tried first
+        #: on every call).
+        self._preferred = self._order.index(preferred) if preferred else 0
         #: Unsolicited replies (late duplicates, refusals after timeout).
         self.stray_replies = 0
+        #: Fail-over attempts made by :meth:`request_any`.
+        self.failovers = 0
 
     async def _stream_to(self, replica: str) -> FrameStream:
         stream = self._streams.get(replica)
@@ -318,7 +647,12 @@ class StreamClient:
             placement = self._replicas.get(replica)
             if placement is None:
                 raise TransportError(f"unknown replica {replica!r}")
-            stream = await open_stream(*placement)
+            try:
+                stream = await open_stream(*placement, strict=self.strict)
+            except (ConnectionError, OSError) as exc:
+                raise TransportError(
+                    f"dial to replica {replica!r} at {placement} failed: {exc}"
+                ) from exc
             self._streams[replica] = stream
             self._pumps[replica] = asyncio.get_running_loop().create_task(
                 self._pump(replica, stream)
@@ -326,6 +660,7 @@ class StreamClient:
         return stream
 
     async def _pump(self, replica: str, stream: FrameStream) -> None:
+        reason = "connection closed by peer"
         try:
             while True:
                 message = await stream.recv()
@@ -336,32 +671,107 @@ class StreamClient:
                     getattr(payload, "request_id", None), None
                 )
                 if future is not None and not future.done():
+                    self._owner.pop(getattr(payload, "request_id", None), None)
                     future.set_result(payload)
                 else:
                     self.stray_replies += 1
-        except (SerializationError, ConnectionError, OSError):
+        except SerializationError as exc:
+            reason = f"frame desync: {exc}"
+            return
+        except (ConnectionError, OSError) as exc:
+            reason = f"connection error: {exc}"
             return
         finally:
             if self._streams.get(replica) is stream:
                 del self._streams[replica]
+                self._pumps.pop(replica, None)
+            self._fail_pending(replica, reason)
+
+    def _fail_pending(self, replica: str, reason: str) -> None:
+        """Reject every pending future homed on ``replica`` right now —
+        a dead pump can never deliver their replies, so making callers
+        wait out their full request timeout is pure dead air."""
+        for request_id, owner in list(self._owner.items()):
+            if owner != replica:
+                continue
+            del self._owner[request_id]
+            future = self._pending.pop(request_id, None)
+            if future is not None and not future.done():
+                future.set_exception(
+                    TransportError(
+                        f"request {request_id} failed: pump for replica "
+                        f"{replica!r} died ({reason})"
+                    )
+                )
+
+    def _discard(self, request_id: str) -> None:
+        self._pending.pop(request_id, None)
+        self._owner.pop(request_id, None)
 
     async def request(
         self, replica: str, message: Any, timeout: float = 5.0
     ) -> Any:
         """Send ``message`` (which must carry a ``request_id``) to
-        ``replica`` and await the correlated reply."""
+        ``replica`` and await the correlated reply.
+
+        Raises :class:`~repro.errors.TransportError` as soon as the
+        connection is known dead (dial refused, send failed, pump died)
+        and :class:`~repro.errors.RequestTimeout` only when the replica
+        stayed reachable but silent for ``timeout`` seconds.
+        """
         request_id = message.request_id
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        stream = await self._stream_to(replica)
-        await stream.send((self.client_id, message))
+        self._owner[request_id] = replica
+        try:
+            stream = await self._stream_to(replica)
+            await stream.send((self.client_id, message))
+        except (ConnectionError, OSError) as exc:
+            self._discard(request_id)
+            if self._streams.get(replica) is stream:
+                del self._streams[replica]
+            raise TransportError(
+                f"send to replica {replica!r} failed: {exc}"
+            ) from exc
+        except Exception:
+            self._discard(request_id)
+            raise
         try:
             return await asyncio.wait_for(future, timeout=timeout)
         except asyncio.TimeoutError:
-            self._pending.pop(request_id, None)
             raise RequestTimeout(
                 f"request {request_id} to {replica} timed out after {timeout}s"
             ) from None
+        finally:
+            self._discard(request_id)
+
+    async def request_any(self, message: Any, timeout: float = 5.0) -> Any:
+        """Send ``message`` to the preferred replica, failing over to the
+        others on transport failure or timeout.
+
+        ``timeout`` applies per attempt.  On success the answering
+        replica becomes preferred (sticky fail-over: a killed home is
+        not knocked on first for every subsequent request).  Raises the
+        last error once every replica has been tried.
+        """
+        count = len(self._order)
+        if count == 0:
+            raise TransportError("no replicas configured")
+        last: Exception | None = None
+        for attempt in range(count):
+            index = (self._preferred + attempt) % count
+            replica = self._order[index]
+            if attempt:
+                self.failovers += 1
+            try:
+                reply = await self.request(replica, message, timeout=timeout)
+            except (TransportError, RequestTimeout) as exc:
+                last = exc
+                continue
+            self._preferred = index
+            return reply
+        assert last is not None
+        raise last
 
     async def transport_stats(
         self, replica: str, timeout: float = 5.0
@@ -369,6 +779,28 @@ class StreamClient:
         """Fetch a replica process's socket-level traffic counters."""
         return await self.request(
             replica, NetStats(request_id=f"stats:{self.client_id}:{replica}"),
+            timeout=timeout,
+        )
+
+    async def sever(self, replica: str, timeout: float = 5.0) -> SeverDone:
+        """Nemesis: make ``replica`` drop every established connection."""
+        return await self.request(
+            replica, Sever(request_id=f"sever:{self.client_id}:{replica}"),
+            timeout=timeout,
+        )
+
+    async def inject_garbage(
+        self, replica: str, dst: str, payload: bytes = b"", timeout: float = 5.0
+    ) -> GarbageInjectDone:
+        """Nemesis: make ``replica`` write garbage into its live stream
+        to ``dst``, poisoning the peer's frame decoder."""
+        return await self.request(
+            replica,
+            GarbageInject(
+                request_id=f"garbage:{self.client_id}:{replica}:{dst}",
+                dst=dst,
+                payload=payload,
+            ),
             timeout=timeout,
         )
 

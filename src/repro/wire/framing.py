@@ -31,10 +31,16 @@ WIRE_VERSION = 1
 _MAX_HEADER = len(WIRE_MAGIC) + 1 + 10
 
 
-def encode_body(message: Any) -> bytes:
-    """Encode a message body (no frame) — the unit wire sizes measure."""
+def encode_body(message: Any, strict: bool = False) -> bytes:
+    """Encode a message body (no frame) — the unit wire sizes measure.
+
+    ``strict`` forbids the pickle escape hatch: an unregistered type
+    raises :class:`SerializationError` at the sender instead of silently
+    bloating the frame with a non-canonical pickle blob.  The socket
+    path (:mod:`repro.net.stream`) runs strict by default.
+    """
     out = bytearray()
-    encode_value(message, out)
+    encode_value(message, out, strict)
     return bytes(out)
 
 
@@ -46,9 +52,13 @@ def decode_body(data) -> Any:
     return value
 
 
-def encode_frame(message: Any) -> bytes:
-    """Encode ``message`` as one self-delimiting checked frame."""
-    body = encode_body(message)
+def encode_frame(message: Any, strict: bool = False) -> bytes:
+    """Encode ``message`` as one self-delimiting checked frame.
+
+    ``strict`` is threaded through to :func:`encode_body`: unregistered
+    types fail loudly at the sender rather than falling back to pickle.
+    """
+    body = encode_body(message, strict)
     out = bytearray(WIRE_MAGIC)
     out.append(WIRE_VERSION)
     write_uvarint(out, len(body))

@@ -194,5 +194,9 @@ for _cls in (
     gla_node.ProposeNack,
     net_control.NetStats,
     net_control.NetStatsReply,
+    net_control.Sever,
+    net_control.SeverDone,
+    net_control.GarbageInject,
+    net_control.GarbageInjectDone,
 ):
     _register_dataclass(_cls)

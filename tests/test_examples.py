@@ -79,7 +79,12 @@ def test_net_cluster():
         pytest.skip("loopback sockets unavailable in this sandbox")
     out = run_example("net_cluster.py")
     assert "linearizable read over real sockets: hits = 10" in out
-    assert "two processes, one counter" in out
+    assert "SIGKILL r0: fail-over kept 5 increments flowing" in out
+    assert (
+        "restarted r0 answered the linearizable read: hits = 15 "
+        "(including 5 it missed while dead)" in out
+    )
+    assert "four processes, one counter" in out
 
 
 def test_nemesis_demo():

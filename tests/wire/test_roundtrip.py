@@ -101,7 +101,14 @@ from repro.crdt.twophase_set import (
 )
 from repro.crdt.vector_clock import VectorClock
 from repro.errors import SerializationError
-from repro.net.control import NetStats, NetStatsReply
+from repro.net.control import (
+    GarbageInject,
+    GarbageInjectDone,
+    NetStats,
+    NetStatsReply,
+    Sever,
+    SeverDone,
+)
 from repro.wire import (
     WIRE_MAGIC,
     FrameDecoder,
@@ -221,7 +228,11 @@ EXEMPLARS = [
     ProposeAck(2),
     ProposeNack(2, frozenset({("r1", 2)})),
     NetStats("s1"),
-    NetStatsReply("s1", "r0", 10, 2048, 9, 1900),
+    NetStatsReply("s1", "r0", 10, 2048, 9, 1900, 1, 2, 3, 1, 4),
+    Sever("n1"),
+    SeverDone("n1", "r0", 3),
+    GarbageInject("n2", "r1", b"\xde\xad"),
+    GarbageInjectDone("n2", "r0", True),
 ]
 
 
